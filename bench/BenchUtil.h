@@ -1,0 +1,78 @@
+//===- bench/BenchUtil.h - Shared helpers for the bench harnesses --------===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table/figure benchmark binaries. Each binary
+/// prints the same rows the paper reports; absolute times differ from the
+/// 2008 testbed, so executions/transitions (hardware-independent) are
+/// printed alongside.
+///
+/// The per-run search budget defaults to a few seconds so the whole bench
+/// suite finishes quickly; set FSMC_BENCH_BUDGET (seconds) to reproduce
+/// with longer budgets (the paper used 5000 s).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_BENCH_BENCHUTIL_H
+#define FSMC_BENCH_BENCHUTIL_H
+
+#include "core/Checker.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace fsmc {
+namespace bench {
+
+/// Per-run time budget in seconds (FSMC_BENCH_BUDGET overrides).
+inline double runBudget(double Default = 5.0) {
+  if (const char *Env = std::getenv("FSMC_BENCH_BUDGET")) {
+    double V = std::atof(Env);
+    if (V > 0)
+      return V;
+  }
+  return Default;
+}
+
+/// Formats a state/execution count, starring it when the search did not
+/// finish within the budget (the paper's Table 2 notation).
+inline std::string countCell(uint64_t Count, const SearchStats &S) {
+  bool Finished = S.SearchExhausted && !S.TimedOut;
+  return Finished ? TablePrinter::cell(Count)
+                  : TablePrinter::cellTimedOut(Count);
+}
+
+/// The paper's strategy axis: cb=1..3 and dfs.
+struct StrategyRow {
+  const char *Label;
+  SearchKind Kind;
+  int ContextBound;
+};
+
+inline const StrategyRow *strategyRows(int &Count) {
+  static const StrategyRow Rows[] = {
+      {"cb=1", SearchKind::ContextBounded, 1},
+      {"cb=2", SearchKind::ContextBounded, 2},
+      {"cb=3", SearchKind::ContextBounded, 3},
+      {"dfs", SearchKind::Dfs, 0},
+  };
+  Count = 4;
+  return Rows;
+}
+
+inline void printHeader(const char *Title, const char *PaperRef) {
+  std::printf("=== %s ===\n", Title);
+  std::printf("(reproduces %s; budgets scaled via FSMC_BENCH_BUDGET)\n\n",
+              PaperRef);
+}
+
+} // namespace bench
+} // namespace fsmc
+
+#endif // FSMC_BENCH_BENCHUTIL_H

@@ -1,0 +1,121 @@
+//===- bench/micro_scheduler.cpp - Scheduler microbenchmarks -------------===//
+//
+// google-benchmark microbenchmarks for the fair scheduler's hot path:
+// the per-transition cost of Algorithm 1's bookkeeping, the priority
+// graph's pre() query, and end-to-end checker throughput (transitions
+// per second) on a representative workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+#include "core/FairScheduler.h"
+#include "core/PriorityGraph.h"
+#include "support/Xorshift.h"
+#include "workloads/DiningPhilosophers.h"
+#include "workloads/SpinWait.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace fsmc;
+
+static void BM_ThreadSetIteration(benchmark::State &State) {
+  ThreadSet S;
+  for (Tid T = 0; T < MaxThreads; T += 3)
+    S.insert(T);
+  for (auto _ : State) {
+    int Sum = 0;
+    for (Tid T : S)
+      Sum += T;
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_ThreadSetIteration);
+
+static void BM_PriorityGraphPre(benchmark::State &State) {
+  PriorityGraph P;
+  Xorshift Rng(7);
+  for (int E = 0; E < 40; ++E) {
+    Tid From = Rng.nextBelow(32);
+    Tid To = Rng.nextBelow(32);
+    if (From != To && !P.hasEdge(To, From))
+      P.addEdgesFrom(From, ThreadSet::singleton(To));
+  }
+  ThreadSet ES = ThreadSet::firstN(24);
+  for (auto _ : State) {
+    ThreadSet Pre = P.pre(ES);
+    benchmark::DoNotOptimize(Pre);
+  }
+}
+BENCHMARK(BM_PriorityGraphPre);
+
+/// Cost of one Algorithm 1 transition (lines 12-29) at varying thread
+/// counts; yields every 4th transition exercise the window-close path.
+static void BM_FairSchedulerTransition(benchmark::State &State) {
+  int Threads = int(State.range(0));
+  FairScheduler FS;
+  ThreadSet ES = ThreadSet::firstN(Threads);
+  Xorshift Rng(13);
+  uint64_t I = 0;
+  for (auto _ : State) {
+    Tid T = Rng.nextBelow(Threads);
+    ThreadSet Allowed = FS.allowed(ES);
+    if (!Allowed.contains(T))
+      T = Allowed.first();
+    FS.onTransition(T, ES, ES, (++I & 3) == 0);
+    benchmark::DoNotOptimize(FS.priorities());
+  }
+}
+BENCHMARK(BM_FairSchedulerTransition)->Arg(2)->Arg(8)->Arg(32);
+
+/// End-to-end throughput: transitions per second through the full stack
+/// (fibers + runtime + fair scheduler + explorer).
+static void BM_CheckerThroughputSpinWait(benchmark::State &State) {
+  SpinWaitConfig C;
+  uint64_t Transitions = 0;
+  for (auto _ : State) {
+    CheckerOptions O;
+    O.DetectDivergence = false;
+    CheckResult R = check(makeSpinWaitProgram(C), O);
+    Transitions += R.Stats.Transitions;
+    benchmark::DoNotOptimize(R.Stats.Executions);
+  }
+  State.counters["transitions/s"] = benchmark::Counter(
+      double(Transitions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CheckerThroughputSpinWait)->Unit(benchmark::kMillisecond);
+
+static void BM_CheckerThroughputDining(benchmark::State &State) {
+  DiningConfig C;
+  C.Philosophers = 2;
+  C.Kind = DiningConfig::Variant::Mixed;
+  C.CaptureState = false;
+  uint64_t Transitions = 0;
+  for (auto _ : State) {
+    CheckerOptions O;
+    O.DetectDivergence = false;
+    CheckResult R = check(makeDiningProgram(C), O);
+    Transitions += R.Stats.Transitions;
+  }
+  State.counters["transitions/s"] = benchmark::Counter(
+      double(Transitions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CheckerThroughputDining)->Unit(benchmark::kMillisecond);
+
+/// Fairness bookkeeping overhead: same workload with the scheduler's
+/// restriction disabled (pure demonic search, depth-cut).
+static void BM_CheckerThroughputUnfair(benchmark::State &State) {
+  SpinWaitConfig C;
+  uint64_t Transitions = 0;
+  for (auto _ : State) {
+    CheckerOptions O;
+    O.Fair = false;
+    O.DepthBound = 25;
+    O.RandomTail = false;
+    O.DetectDivergence = false;
+    CheckResult R = check(makeSpinWaitProgram(C), O);
+    Transitions += R.Stats.Transitions;
+  }
+  State.counters["transitions/s"] = benchmark::Counter(
+      double(Transitions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CheckerThroughputUnfair)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,122 @@
+//===- bench/table2_coverage.cpp - Table 2 reproduction ------------------===//
+//
+// Table 2 of the paper: states visited by the context-bounded (cb=1..3)
+// and depth-first strategies, with and without fairness, on dining
+// philosophers (2 and 3) and the work-stealing queue (1 and 2 stealers).
+//
+// "Total States" comes from the stateful reference search (visited-state
+// hash table), exactly as in Section 4.2.1. Without fairness the search
+// is cut at a depth bound db and a random walk finishes each execution;
+// states found in the tail count. A '*' marks searches that did not
+// finish within the budget (the paper's notation, at 5000 s; override
+// our default budget with FSMC_BENCH_BUDGET).
+//
+// Expected shape: fairness reaches the full state count and terminates;
+// small depth bounds terminate but miss states; larger ones time out.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "workloads/DiningPhilosophers.h"
+#include "workloads/WorkStealQueue.h"
+
+#include <cstdio>
+#include <functional>
+
+using namespace fsmc;
+using namespace fsmc::bench;
+
+namespace {
+
+struct Config {
+  std::string Name;
+  std::function<TestProgram()> Make;
+};
+
+CheckerOptions baseOptions(const StrategyRow &S, double Budget) {
+  CheckerOptions O;
+  O.Kind = S.Kind;
+  O.ContextBound = S.ContextBound;
+  O.TimeBudgetSeconds = Budget;
+  O.TrackCoverage = true;
+  O.DetectDivergence = false;
+  O.ExecutionBound = 5000;
+  return O;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Table 2: state coverage with and without fairness",
+              "Table 2 (Section 4.2.1)");
+
+  std::vector<Config> Configs;
+  for (int Phils : {2, 3}) {
+    DiningConfig C;
+    C.Philosophers = Phils;
+    C.Kind = DiningConfig::Variant::Mixed;
+    Configs.push_back({"Dining Philosophers " + std::to_string(Phils),
+                       [C] { return makeDiningProgram(C); }});
+  }
+  for (int Stealers : {1, 2}) {
+    WsqConfig C;
+    C.Stealers = Stealers;
+    C.Tasks = 2;
+    Configs.push_back({"Work-Stealing Queue " + std::to_string(Stealers) +
+                           " stealer",
+                       [C] { return makeWsqProgram(C); }});
+  }
+
+  double Budget = runBudget(5.0);
+  int StratCount = 0;
+  const StrategyRow *Strats = strategyRows(StratCount);
+
+  TablePrinter Table({"Configuration", "Strategy", "Total states",
+                      "With fairness", "db=20", "db=40", "db=60"});
+
+  for (const Config &Cfg : Configs) {
+    for (int SI = 0; SI < StratCount; ++SI) {
+      const StrategyRow &S = Strats[SI];
+      std::vector<std::string> Row{Cfg.Name, S.Label};
+
+      // Ground truth: the stateful reference search under this strategy.
+      {
+        CheckerOptions O = baseOptions(S, Budget);
+        O.Fair = false;
+        O.StatefulPruning = true;
+        CheckResult R = check(Cfg.Make(), O);
+        Row.push_back(countCell(R.Stats.DistinctStates, R.Stats));
+      }
+      // With fairness: no depth bound needed; the search terminates.
+      {
+        CheckerOptions O = baseOptions(S, Budget);
+        CheckResult R = check(Cfg.Make(), O);
+        Row.push_back(countCell(R.Stats.DistinctStates, R.Stats));
+      }
+      // Without fairness: depth bound + random tail.
+      for (uint64_t Db : {20, 40, 60}) {
+        CheckerOptions O = baseOptions(S, Budget);
+        O.Fair = false;
+        O.DepthBound = Db;
+        O.RandomTail = true;
+        O.RandomTailCap = 5000;
+        CheckResult R = check(Cfg.Make(), O);
+        Row.push_back(countCell(R.Stats.DistinctStates, R.Stats));
+      }
+      Table.addRow(Row);
+    }
+  }
+
+  std::printf("%s\n", Table.render().c_str());
+  std::printf(
+      "Paper's qualitative claims to verify here:\n"
+      " 1. 'With fairness' matches or exceeds 'Total states' in all but\n"
+      "    the hardest case (the paper's exception was dfs on WSQ-2).\n"
+      " 2. Small depth bounds terminate but under-cover; larger depth\n"
+      "    bounds approach full coverage or time out ('*').\n"
+      " 3. Fairness may visit MORE than the per-strategy total: its\n"
+      "    priority-induced switches are free and reach states beyond\n"
+      "    the context bound (Section 4.2.1).\n");
+  return 0;
+}

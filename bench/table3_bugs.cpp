@@ -1,0 +1,145 @@
+//===- bench/table3_bugs.cpp - Table 3 reproduction ----------------------===//
+//
+// Table 3 of the paper: executions and time to find each seeded bug in
+// the work-stealing queue (WSQ bugs 1-3) and the Dryad channel library
+// (bugs 1-4), with and without fairness. Both modes use a context bound
+// of 2; the no-fairness mode additionally needs a depth bound (250, "the
+// minimum required to find these errors") with a random tail, since the
+// programs do not terminate without fairness.
+//
+// Expected shape: fairness finds every bug in far fewer executions; the
+// hardest bugs (Dryad 3's fix race and Dryad 4, the previously-unknown
+// bug in that fix) are found only with fairness within the budget
+// ("-" rows, the paper's notation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "workloads/Channels.h"
+#include "workloads/WorkStealQueue.h"
+
+#include <cstdio>
+#include <functional>
+
+using namespace fsmc;
+using namespace fsmc::bench;
+
+namespace {
+
+struct BugCase {
+  std::string Name;
+  std::function<TestProgram()> Make;
+};
+
+std::vector<BugCase> bugCases() {
+  std::vector<BugCase> Cases;
+  auto addWsq = [&Cases](const char *Name, WsqBug Bug) {
+    WsqConfig C;
+    C.Stealers = 1;
+    C.Tasks = 2;
+    C.Bug = Bug;
+    C.CaptureState = false;
+    Cases.push_back({Name, [C] { return makeWsqProgram(C); }});
+  };
+  addWsq("WSQ bug 1", WsqBug::PopReordered);
+  addWsq("WSQ bug 2", WsqBug::StealNoRestore);
+  addWsq("WSQ bug 3", WsqBug::PopNoRecheck);
+
+  {
+    ChannelsConfig C;
+    C.Bug = ChannelBug::IfInsteadOfWhile;
+    Cases.push_back({"Dryad bug 1", [C] { return makeChannelsProgram(C); }});
+  }
+  {
+    ChannelsConfig C;
+    C.Bug = ChannelBug::LostSignal;
+    C.Producers = 2;
+    C.Consumers = 1;
+    C.Messages = 2;
+    C.Capacity = 2;
+    Cases.push_back({"Dryad bug 2", [C] { return makeChannelsProgram(C); }});
+  }
+  {
+    // The close must land mid-stream but only after real progress: the
+    // unfair search burns its depth budget unrolling the drain loop long
+    // before the racing window opens.
+    ChannelsConfig C;
+    C.Bug = ChannelBug::RacyClose;
+    C.Producers = 2;
+    C.Messages = 2;
+    C.CloseAfter = 3;
+    Cases.push_back({"Dryad bug 3", [C] { return makeChannelsProgram(C); }});
+  }
+  {
+    ChannelsConfig C;
+    C.Bug = ChannelBug::BadCloseFix;
+    C.Producers = 2;
+    C.Messages = 2;
+    C.CloseAfter = 3;
+    Cases.push_back({"Dryad bug 4", [C] { return makeChannelsProgram(C); }});
+  }
+  return Cases;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Table 3: executions and time to first bug",
+              "Table 3 (Section 4.2.3)");
+
+  double Budget = runBudget(30.0);
+  TablePrinter Table({"Bug", "Execs (fair)", "Time (fair)",
+                      "Execs (no fair)", "Time (no fair)"});
+
+  for (const BugCase &Case : bugCases()) {
+    std::vector<std::string> Row{Case.Name};
+
+    // With fairness: cb=2, no depth bound needed.
+    {
+      CheckerOptions O;
+      O.Kind = SearchKind::ContextBounded;
+      O.ContextBound = 2;
+      O.TimeBudgetSeconds = Budget;
+      O.DetectDivergence = false;
+      O.ExecutionBound = 5000;
+      CheckResult R = check(Case.Make(), O);
+      if (R.foundBug()) {
+        Row.push_back(TablePrinter::cell(R.Bug->AtExecution + 1));
+        Row.push_back(TablePrinter::cellSeconds(R.Stats.Seconds));
+      } else {
+        Row.push_back("-");
+        Row.push_back(">" + TablePrinter::cellSeconds(Budget));
+      }
+    }
+    // Without fairness: cb=2 plus depth bound 250 + random tail.
+    {
+      CheckerOptions O;
+      O.Kind = SearchKind::ContextBounded;
+      O.ContextBound = 2;
+      O.Fair = false;
+      O.DepthBound = 250;
+      O.RandomTail = true;
+      O.RandomTailCap = 5000;
+      O.DetectDivergence = false;
+      O.TimeBudgetSeconds = Budget;
+      CheckResult R = check(Case.Make(), O);
+      if (R.foundBug()) {
+        Row.push_back(TablePrinter::cell(R.Bug->AtExecution + 1));
+        Row.push_back(TablePrinter::cellSeconds(R.Stats.Seconds));
+      } else {
+        Row.push_back("-");
+        Row.push_back(">" + TablePrinter::cellSeconds(Budget));
+      }
+    }
+    Table.addRow(Row);
+  }
+
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("Paper's shape to verify: every bug found with fairness, in\n"
+              "fewer executions than without; the last Dryad bugs ('-')\n"
+              "not found without fairness within the budget. Absolute\n"
+              "counts differ (our workloads are reimplementations); the\n"
+              "ordering and the found/not-found split should hold.\n");
+  return 0;
+}

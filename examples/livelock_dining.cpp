@@ -1,0 +1,55 @@
+//===- examples/livelock_dining.cpp - Finding Figure 1's livelock --------===//
+//
+// The paper's motivating example (Figure 1): two philosophers with
+// try-lock retry loops. No execution deadlocks and no assertion fails,
+// yet the program can run forever without progress -- a livelock, a
+// liveness bug invisible to safety-only checkers.
+//
+// The fair checker detects it: the livelock cycle is *fair* (both
+// philosophers keep running and yielding), so the fair scheduler does not
+// prune it; an execution exceeding the bound is classified and reported.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+#include "workloads/DiningPhilosophers.h"
+
+#include <cstdio>
+
+using namespace fsmc;
+
+int main() {
+  DiningConfig C;
+  C.Philosophers = 2;
+  C.Kind = DiningConfig::Variant::TryLockRetry; // Figure 1 verbatim.
+
+  CheckerOptions O;
+  // "We ask the user to set a large bound on the execution depth ...
+  // orders of magnitude greater than the maximum number of steps the user
+  // expects" (Section 2). A full meal takes ~15 steps; we allow 500.
+  O.ExecutionBound = 500;
+  O.TimeBudgetSeconds = 60;
+
+  std::printf("Checking Figure 1's dining philosophers (try-lock retry)\n");
+  CheckResult R = check(makeDiningProgram(C), O);
+
+  std::printf("verdict: %s after %llu executions\n", verdictName(R.Kind),
+              (unsigned long long)R.Stats.Executions);
+  if (R.Bug) {
+    std::printf("%s\n", R.Bug->Message.c_str());
+    std::printf("diverging execution (suffix):\n%s",
+                R.Bug->TraceText.c_str());
+  }
+
+  // Contrast: the repaired protocol (ordered blocking acquisition)
+  // passes and the fair search terminates by itself.
+  std::printf("\nChecking the repaired (ordered, blocking) variant\n");
+  C.Kind = DiningConfig::Variant::OrderedBlocking;
+  CheckerOptions O2;
+  CheckResult R2 = check(makeDiningProgram(C), O2);
+  std::printf("verdict: %s after %llu executions (%s)\n",
+              verdictName(R2.Kind),
+              (unsigned long long)R2.Stats.Executions,
+              R2.Stats.SearchExhausted ? "exhausted" : "budget");
+  return R.Kind == Verdict::Livelock && R2.Kind == Verdict::Pass ? 0 : 1;
+}

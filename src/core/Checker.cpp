@@ -1,0 +1,40 @@
+//===- core/Checker.cpp ---------------------------------------------------===//
+
+#include "core/Checker.h"
+
+#include "core/Explorer.h"
+
+#include <cassert>
+
+using namespace fsmc;
+
+const char *fsmc::verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Pass:
+    return "pass";
+  case Verdict::SafetyViolation:
+    return "safety violation";
+  case Verdict::Deadlock:
+    return "deadlock";
+  case Verdict::Livelock:
+    return "livelock";
+  case Verdict::GoodSamaritanViolation:
+    return "good samaritan violation";
+  }
+  return "?";
+}
+
+CheckResult fsmc::check(const TestProgram &Program,
+                        const CheckerOptions &Opts) {
+  assert(Program.Body && "test program has no body");
+  CheckerOptions Effective = Opts;
+  // Random walks never exhaust; insist on some budget so check() returns.
+  if (Effective.Kind == SearchKind::RandomWalk &&
+      Effective.MaxExecutions == 0 && Effective.TimeBudgetSeconds <= 0)
+    Effective.MaxExecutions = 10000;
+  if (Effective.StatefulPruning)
+    Effective.TrackCoverage = true;
+
+  Explorer E(Program, Effective);
+  return E.run();
+}

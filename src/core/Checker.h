@@ -1,0 +1,184 @@
+//===- core/Checker.h - Public model-checking entry point ------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public API of the checker: describe a test program, configure the
+/// search, run it, get a verdict.
+///
+/// The semi-algorithm of Section 2 has four outcomes, mapped here as:
+///   1. terminates with a safety violation      -> SafetyViolation/Deadlock
+///   2. diverges violating the good samaritan   -> GoodSamaritanViolation
+///   3. diverges with an infinite fair execution-> Livelock
+///   4. terminates without errors               -> Pass
+/// Outcomes 2 and 3 are detected, as the paper prescribes, by a large
+/// execution bound "orders of magnitude greater than the maximum number of
+/// steps the user expects" plus classification of the diverging suffix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_CORE_CHECKER_H
+#define FSMC_CORE_CHECKER_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace fsmc {
+
+/// Final classification of a checker run.
+enum class Verdict {
+  Pass,                   ///< Search finished (or budget ran out) bug-free.
+  SafetyViolation,        ///< A checkThat/fail assertion fired.
+  Deadlock,               ///< A state with live but no enabled threads.
+                          ///< Never false under fairness (Theorem 3).
+  Livelock,               ///< Divergence on a fair execution (outcome 3).
+  GoodSamaritanViolation, ///< A thread scheduled forever without yielding
+                          ///< (outcome 2; Section 4.3.1's bug class).
+};
+
+const char *verdictName(Verdict V);
+
+/// How the search enumerates scheduling choices. A depth bound (the
+/// "without fairness" baseline of Section 4.2.1) is orthogonal and
+/// composes with any kind via CheckerOptions::DepthBound, exactly as the
+/// paper combines db=20..60 with cb=1..3 and dfs in Table 2.
+enum class SearchKind {
+  Dfs,            ///< Exhaustive depth-first search of all choices.
+  ContextBounded, ///< DFS over executions with at most `ContextBound`
+                  ///< preemptions (Musuvathi-Qadeer PLDI'07), combined with
+                  ///< fairness per Section 4: fairness-induced switches are
+                  ///< not counted.
+  RandomWalk,     ///< Repeated uniformly random executions; no backtrack.
+};
+
+/// Detailed counterexample for a non-Pass verdict.
+struct BugReport {
+  Verdict Kind = Verdict::Pass;
+  std::string Message;     ///< One-line description.
+  std::string TraceText;   ///< Rendered suffix of the buggy execution.
+  /// The buggy execution's serialized choice sequence; feed it to
+  /// replaySchedule (core/Schedule.h) to re-run the exact schedule.
+  std::string Schedule;
+  uint64_t AtExecution = 0;///< 0-based index of the buggy execution.
+  uint64_t AtStep = 0;     ///< Transition count when detected.
+};
+
+/// Aggregate statistics of a search; the benches derive every table and
+/// figure from these.
+struct SearchStats {
+  uint64_t Executions = 0;
+  uint64_t Transitions = 0;
+  uint64_t Preemptions = 0;
+  /// Executions abandoned at the depth bound / hard cap without
+  /// terminating -- the wasted work metric of Figure 2.
+  uint64_t NonterminatingExecutions = 0;
+  /// Executions pruned by the stateful reference search.
+  uint64_t PrunedExecutions = 0;
+  /// Executions pruned by sleep-set partial-order reduction.
+  uint64_t SleepSetPrunes = 0;
+  uint64_t MaxDepth = 0;
+  /// Distinct state signatures seen (when coverage tracking is on).
+  uint64_t DistinctStates = 0;
+  /// Priority edges the fair scheduler added across the whole search.
+  uint64_t FairEdgeAdditions = 0;
+  /// Total buggy executions seen (> 1 only with StopOnFirstBug = false).
+  uint64_t BugsFound = 0;
+  int MaxThreads = 0;        ///< Table 1 "Threads".
+  uint64_t MaxSyncOps = 0;   ///< Table 1 "Synch Ops".
+  double Seconds = 0;
+  bool TimedOut = false;        ///< Time budget exhausted.
+  bool ExecutionCapHit = false; ///< MaxExecutions reached.
+  bool SearchExhausted = false; ///< DFS enumerated every execution.
+};
+
+/// Knobs for one checker run. Defaults give the paper's configuration:
+/// fair DFS with k = 1 and divergence detection.
+struct CheckerOptions {
+  /// Use the fair scheduler (Algorithm 1). When false the demonic
+  /// scheduler is unconstrained -- the pre-CHESS-fairness baseline.
+  bool Fair = true;
+  /// Process every k-th yield (Section 3's parameterized algorithm).
+  int YieldK = 1;
+
+  SearchKind Kind = SearchKind::Dfs;
+  /// Preemption bound for SearchKind::ContextBounded.
+  int ContextBound = 2;
+  /// 0 = no depth bound. Otherwise the search branches only on the first
+  /// DepthBound transitions of each execution -- the termination crutch
+  /// stateless checkers needed before fairness (Section 4.2.1).
+  uint64_t DepthBound = 0;
+  /// If false, executions are cut at DepthBound with no random tail
+  /// (the Figure 2 configuration); if true, a random walk finishes the
+  /// execution and its states still count toward coverage (Section 4.2.1).
+  bool RandomTail = true;
+  /// Hard cap on random-tail length; executions still alive count as
+  /// nonterminating and are abandoned.
+  uint64_t RandomTailCap = 20000;
+
+  /// The "large bound on the execution depth" of Section 2. An execution
+  /// exceeding it is classified as a liveness violation when
+  /// DetectDivergence is set, else abandoned and counted.
+  uint64_t ExecutionBound = 20000;
+  /// Report divergence as Livelock / GoodSamaritanViolation. Defaults on;
+  /// baseline (unfair) reproductions turn it off since their depth cut is
+  /// expected.
+  bool DetectDivergence = true;
+  /// Eager good-samaritan detector: a thread scheduled this many times
+  /// since its last yield, while some other thread was enabled, is
+  /// reported without waiting for ExecutionBound. 0 disables.
+  uint64_t GoodSamaritanBound = 4000;
+
+  /// Stop at the first bug (Table 3 measures executions to first bug).
+  bool StopOnFirstBug = true;
+
+  uint64_t MaxExecutions = 0; ///< 0 = unlimited.
+  double TimeBudgetSeconds = 0; ///< 0 = unlimited.
+  uint64_t Seed = 12345;
+
+  /// EXPERIMENTAL: sleep-set partial-order reduction (Section 5 names POR
+  /// over fair schedules as future work). Prunes interleavings that only
+  /// permute independent operations. Sound for programs whose shared
+  /// state lives entirely in modeled objects and -- in general -- only
+  /// without fairness; the combination with the fair scheduler is
+  /// exploratory, exactly as the paper leaves it.
+  bool SleepSets = false;
+
+  /// Record distinct state signatures (requires the test program to call
+  /// Runtime::setStateExtractor, or relies on the built-in thread
+  /// signature otherwise).
+  bool TrackCoverage = false;
+  /// Stateful reference search: prune an execution once it reaches an
+  /// already-visited state. Used only to compute the "Total States" ground
+  /// truth of Table 2; implies TrackCoverage.
+  bool StatefulPruning = false;
+};
+
+/// A test program: a closure run as thread 0 of every execution. It may
+/// spawn further threads, use the sync primitives, and must be
+/// deterministic apart from scheduling and Runtime::chooseInt.
+struct TestProgram {
+  std::string Name;
+  std::function<void()> Body;
+};
+
+/// Everything a checker run produced.
+struct CheckResult {
+  Verdict Kind = Verdict::Pass;
+  std::optional<BugReport> Bug;
+  SearchStats Stats;
+
+  bool foundBug() const { return Kind != Verdict::Pass; }
+};
+
+/// Runs the fair stateless model checker on \p Program under \p Opts.
+/// This is the library's main entry point.
+CheckResult check(const TestProgram &Program, const CheckerOptions &Opts);
+
+} // namespace fsmc
+
+#endif // FSMC_CORE_CHECKER_H

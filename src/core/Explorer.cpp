@@ -1,0 +1,354 @@
+//===- core/Explorer.cpp --------------------------------------------------===//
+
+#include "core/Explorer.h"
+
+#include "core/FairScheduler.h"
+#include "core/LivenessMonitor.h"
+#include "core/Schedule.h"
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace fsmc;
+
+Explorer::Explorer(const TestProgram &Program, const CheckerOptions &Opts)
+    : Program(Program), Opts(Opts), Rng(Opts.Seed) {
+  Strategy = SearchStrategy::create(this->Opts);
+}
+
+Explorer::~Explorer() = default;
+
+bool Explorer::timeExceeded() const {
+  if (Opts.TimeBudgetSeconds <= 0)
+    return false;
+  auto Elapsed = std::chrono::steady_clock::now() - StartTime;
+  return std::chrono::duration<double>(Elapsed).count() >
+         Opts.TimeBudgetSeconds;
+}
+
+Tid Explorer::nthMember(ThreadSet S, int Idx) {
+  for (Tid T : S) {
+    if (Idx == 0)
+      return T;
+    --Idx;
+  }
+  assert(false && "choice index out of range");
+  return -1;
+}
+
+int Explorer::pickIndex(int N, bool Backtrack, bool PickRandom) {
+  assert(N >= 1 && "empty choice");
+  if (N == 1)
+    return 0; // Forced moves never enter the stack.
+  if (Cursor < Stack.size()) {
+    ChoiceRec &R = Stack[Cursor];
+    if (R.Num != N) {
+      // The test program diverged from its own replay: it is
+      // nondeterministic beyond scheduling and chooseInt, which the
+      // stateless method cannot handle.
+      ReplayMismatch = true;
+      ++Cursor;
+      return 0;
+    }
+    ++Cursor;
+    return R.Chosen;
+  }
+  int Chosen = PickRandom ? Rng.nextBelow(N) : 0;
+  Stack.push_back({Chosen, N, Backtrack});
+  ++Cursor;
+  return Chosen;
+}
+
+bool Explorer::advanceStack() {
+  if (Opts.Kind == SearchKind::RandomWalk) {
+    // Random walks never backtrack; each execution starts fresh and stops
+    // via MaxExecutions / TimeBudget.
+    Stack.clear();
+    return true;
+  }
+  while (!Stack.empty()) {
+    ChoiceRec &R = Stack.back();
+    if (R.Backtrack && R.Chosen + 1 < R.Num) {
+      ++R.Chosen;
+      return true;
+    }
+    Stack.pop_back();
+  }
+  return false;
+}
+
+void Explorer::preloadSchedule(const std::vector<ScheduleChoice> &Choices) {
+  assert(Stack.empty() && "preloadSchedule must precede run()");
+  for (const ScheduleChoice &C : Choices)
+    Stack.push_back({C.Chosen, C.Num, C.Backtrack});
+}
+
+void Explorer::reportBug(Verdict V, std::string Msg, const Runtime &RT,
+                         uint64_t Step) {
+  ++Result.Stats.BugsFound;
+  if (Result.Bug)
+    return; // Keep the first counterexample.
+  BugReport B;
+  B.Kind = V;
+  B.Message = std::move(Msg);
+  B.TraceText = CurTrace.render(RT, 120);
+  B.AtExecution = CurExecution;
+  B.AtStep = Step;
+  // Serialize the consumed choice prefix so the schedule can be replayed.
+  std::vector<ScheduleChoice> Choices;
+  Choices.reserve(Cursor);
+  for (size_t I = 0; I < Cursor && I < Stack.size(); ++I)
+    Choices.push_back({Stack[I].Chosen, Stack[I].Num, Stack[I].Backtrack});
+  B.Schedule = encodeSchedule(Choices);
+  Result.Bug = std::move(B);
+  Result.Kind = V;
+}
+
+int Explorer::chooseInt(int N) {
+  // Data choices in the random tail (or random walks) are random and not
+  // backtrack points, matching the treatment of scheduling choices there.
+  bool InTail = Opts.DepthBound > 0 && CurSteps >= Opts.DepthBound;
+  bool Random = Opts.Kind == SearchKind::RandomWalk || InTail;
+  return pickIndex(N, /*Backtrack=*/!Random, /*PickRandom=*/Random);
+}
+
+Explorer::ExecEnd Explorer::runOneExecution() {
+  Cursor = 0;
+  ReplayLen = Stack.size();
+  CurSteps = 0;
+  CurTrace.clear();
+
+  Runtime RT(*this);
+  FairScheduler FS(Opts.YieldK);
+  LivenessMonitor Monitor(Opts.GoodSamaritanBound);
+  Monitor.beginExecution();
+  Strategy->beginExecution();
+  RT.start(Program.Body);
+
+  Tid Prev = -1;
+  int Preemptions = 0;
+  bool CutAtDepth = Opts.DepthBound > 0 && !Opts.RandomTail;
+  // Sleep-set POR state: threads whose pending operation need not be
+  // scheduled here because an equivalent interleaving (same Mazurkiewicz
+  // trace) is explored on an already-visited branch.
+  ThreadSet Sleep;
+
+  auto finishStats = [&]() {
+    if (RT.threadCount() > Result.Stats.MaxThreads)
+      Result.Stats.MaxThreads = RT.threadCount();
+    if (RT.syncOpCount() > Result.Stats.MaxSyncOps)
+      Result.Stats.MaxSyncOps = RT.syncOpCount();
+    if (CurSteps > Result.Stats.MaxDepth)
+      Result.Stats.MaxDepth = CurSteps;
+    Result.Stats.FairEdgeAdditions += FS.edgeAdditions();
+  };
+
+  while (true) {
+    ThreadSet ES = RT.enabledSet();
+    if (ES.empty()) {
+      finishStats();
+      if (RT.liveSet().empty())
+        return ExecEnd::Terminated;
+      // Theorem 3: under fairness the schedulable set is empty only when
+      // ES is, so this is a genuine deadlock, never a false one.
+      std::string Blocked;
+      for (Tid T : RT.liveSet())
+        Blocked += " " + RT.threadName(T);
+      reportBug(Verdict::Deadlock, "deadlock: blocked threads:" + Blocked,
+                RT, CurSteps);
+      return ExecEnd::Bug;
+    }
+
+    ThreadSet Allowed = Opts.Fair ? FS.allowed(ES) : ES;
+
+    SchedContext C;
+    C.Enabled = ES;
+    C.Allowed = Allowed;
+    C.Prev = Prev;
+    C.PrevEnabled = Prev >= 0 && ES.contains(Prev);
+    C.PrevAllowed = Prev >= 0 && Allowed.contains(Prev);
+    C.PrevAtYield = Prev >= 0 && RT.yieldPending(Prev);
+    C.Step = CurSteps;
+    C.PreemptionsUsed = Preemptions;
+
+    CandidateSet Cands = Strategy->candidates(C);
+    assert(!Cands.Set.empty() && "strategy returned no candidates");
+    assert(Cands.Set.isSubsetOf(Allowed) &&
+           "strategy candidates must respect the priority order");
+    if (Opts.DepthBound > 0 && CurSteps >= Opts.DepthBound) {
+      // Past the depth bound: random, non-branching picks (Section 4.2.1).
+      Cands.Backtrack = false;
+      Cands.PickRandom = true;
+    }
+    if (Opts.SleepSets) {
+      Cands.Set -= Sleep;
+      if (Cands.Set.empty()) {
+        // Every schedulable move sleeps: this state's subtree is covered
+        // by an equivalent interleaving elsewhere. Not a deadlock.
+        finishStats();
+        ++Result.Stats.SleepSetPrunes;
+        return ExecEnd::Pruned;
+      }
+    }
+
+    int Idx = pickIndex(Cands.Set.size(), Cands.Backtrack, Cands.PickRandom);
+    if (ReplayMismatch) {
+      finishStats();
+      reportBug(Verdict::SafetyViolation,
+                "internal: test program is nondeterministic (replay "
+                "mismatch); stateless exploration requires determinism",
+                RT, CurSteps);
+      return ExecEnd::Bug;
+    }
+    Tid T = nthMember(Cands.Set, Idx);
+
+    // Preemption accounting (Section 4): switching away from an enabled
+    // previous thread costs one preemption unless the fair scheduler
+    // excluded it (PrevAllowed false) or it sits at a voluntary yield.
+    if (T != Prev && C.PrevEnabled && C.PrevAllowed && !C.PrevAtYield) {
+      ++Preemptions;
+      ++Result.Stats.Preemptions;
+    }
+
+    const PendingOp Op = RT.pendingOf(T); // Copy: step() replaces it.
+    bool WasYield = Op.isYield();
+    CurTrace.record(
+        {T, Op.Kind, Op.ObjectId, Op.Aux, RT.annotationOf(T), WasYield});
+    bool OthersEnabled = !(ES - ThreadSet::singleton(T)).empty();
+
+    if (Opts.SleepSets && Cands.Backtrack) {
+      // Siblings tried before this choice (indices < Idx) have fully
+      // explored subtrees; their moves sleep below this transition.
+      int K = 0;
+      for (Tid Sib : Cands.Set) {
+        if (K++ >= Idx)
+          break;
+        Sleep.insert(Sib);
+      }
+    }
+
+    StepStatus St = RT.step(T);
+    ++CurSteps;
+    ++Result.Stats.Transitions;
+
+    if (St == StepStatus::Failed) {
+      finishStats();
+      reportBug(Verdict::SafetyViolation, RT.failureMessage(), RT, CurSteps);
+      return ExecEnd::Bug;
+    }
+
+    ThreadSet ESAfter = RT.enabledSet();
+    if (Opts.Fair)
+      FS.onTransition(T, ES, ESAfter, WasYield);
+
+    if (Opts.SleepSets) {
+      // Wake every sleeper whose pending move conflicts with the executed
+      // operation: the orders now differ in observable effect.
+      Sleep.erase(T);
+      for (Tid S : Sleep)
+        if (!RT.liveSet().contains(S) ||
+            !independentOps(RT.pendingOf(S), Op))
+          Sleep.erase(S);
+    }
+
+    Monitor.onTransition(T, WasYield, OthersEnabled);
+    if (Opts.DetectDivergence && Monitor.eagerGsViolator() >= 0) {
+      Tid V = Monitor.eagerGsViolator();
+      finishStats();
+      reportBug(Verdict::GoodSamaritanViolation,
+                "good samaritan violation: thread " + RT.threadName(V) +
+                    " ran " + std::to_string(Opts.GoodSamaritanBound) +
+                    " transitions without yielding while other threads "
+                    "were enabled",
+                RT, CurSteps);
+      return ExecEnd::Bug;
+    }
+
+    if (Opts.TrackCoverage || Opts.StatefulPruning) {
+      uint64_t Sig = RT.stateSignature();
+      SeenStates.insert(Sig);
+      // Pruning decisions are made only beyond the replayed prefix; the
+      // prefix's states were inserted by the earlier execution that
+      // explored it.
+      if (Opts.StatefulPruning && Cursor >= ReplayLen) {
+        // The visited key must be finite for the reference search to
+        // terminate on cyclic state spaces: include the preemption budget
+        // only when a context bound caps it. Under a context bound the
+        // continuation also depends on which thread just ran (switching
+        // away from it is what costs), so the key includes it too --
+        // otherwise the reference search prunes paths whose futures
+        // differ and undercounts the total.
+        uint64_t Key = Sig;
+        if (Opts.Kind == SearchKind::ContextBounded) {
+          Key ^= hashU64(0x5157ULL + uint64_t(Preemptions));
+          Tid NewPrev = St == StepStatus::Finished ? -1 : T;
+          Key ^= hashU64(0xc0117e87ULL * uint64_t(NewPrev + 2));
+        }
+        if (!PruneKeys.insert(Key).second) {
+          finishStats();
+          ++Result.Stats.PrunedExecutions;
+          return ExecEnd::Pruned;
+        }
+      }
+    }
+
+    if (CutAtDepth && CurSteps >= Opts.DepthBound) {
+      finishStats();
+      ++Result.Stats.NonterminatingExecutions;
+      return ExecEnd::Abandoned;
+    }
+
+    uint64_t Cap = Opts.ExecutionBound;
+    if (Opts.DepthBound > 0 && Opts.RandomTail)
+      Cap = Opts.DepthBound + Opts.RandomTailCap;
+    if (Cap > 0 && CurSteps >= Cap) {
+      finishStats();
+      if (Opts.DetectDivergence) {
+        auto Div = LivenessMonitor::classifyDivergence(CurTrace, Cap / 2);
+        reportBug(Div.IsGoodSamaritan ? Verdict::GoodSamaritanViolation
+                                      : Verdict::Livelock,
+                  Div.Summary, RT, CurSteps);
+        return ExecEnd::Bug;
+      }
+      ++Result.Stats.NonterminatingExecutions;
+      return ExecEnd::Abandoned;
+    }
+
+    if ((CurSteps & 0xfff) == 0 && timeExceeded()) {
+      finishStats();
+      Result.Stats.TimedOut = true;
+      return ExecEnd::Abandoned;
+    }
+
+    Prev = (St == StepStatus::Finished) ? -1 : T;
+  }
+}
+
+CheckResult Explorer::run() {
+  StartTime = std::chrono::steady_clock::now();
+  for (CurExecution = 0;; ++CurExecution) {
+    ExecEnd End = runOneExecution();
+    ++Result.Stats.Executions;
+
+    if (End == ExecEnd::Bug && Opts.StopOnFirstBug)
+      break;
+    if (Result.Stats.TimedOut)
+      break;
+    if (Opts.MaxExecutions && Result.Stats.Executions >= Opts.MaxExecutions) {
+      Result.Stats.ExecutionCapHit = true;
+      break;
+    }
+    if (timeExceeded()) {
+      Result.Stats.TimedOut = true;
+      break;
+    }
+    if (!advanceStack()) {
+      Result.Stats.SearchExhausted = true;
+      break;
+    }
+  }
+  Result.Stats.DistinctStates = SeenStates.size();
+  auto Elapsed = std::chrono::steady_clock::now() - StartTime;
+  Result.Stats.Seconds = std::chrono::duration<double>(Elapsed).count();
+  return Result;
+}

@@ -1,0 +1,110 @@
+//===- core/Explorer.h - Stateless state-space exploration -----*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stateless explorer: runs the test program over and over, each time
+/// following a recorded choice sequence (replay) up to the deepest branch
+/// with untried alternatives, then taking a fresh alternative -- the
+/// standard Verisoft-style depth-first search, augmented with:
+///
+///   - the fair scheduler of Algorithm 1 restricting the choice set;
+///   - preemption accounting for context-bounded search, with
+///     fairness-induced preemptions uncounted (Section 4);
+///   - depth bounding with a random tail (the no-fairness baseline);
+///   - divergence detection: executions exceeding the execution bound are
+///     classified as livelocks or good-samaritan violations;
+///   - optional state-signature coverage, and a stateful pruning mode
+///     that reproduces the paper's "Total States" ground truth.
+///
+/// The explorer captures no program state between executions (beyond the
+/// optional signature hash table): it is a *stateless* model checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_CORE_EXPLORER_H
+#define FSMC_CORE_EXPLORER_H
+
+#include "core/Checker.h"
+#include "core/SearchStrategy.h"
+#include "core/Trace.h"
+#include "runtime/Runtime.h"
+#include "support/Xorshift.h"
+
+#include <chrono>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace fsmc {
+
+/// Drives the whole search for one checker run. Also serves as the
+/// ChoiceSource that resolves Runtime::chooseInt data choices, so both
+/// scheduling and data nondeterminism share one replayable choice stack.
+class Explorer final : public ChoiceSource {
+public:
+  Explorer(const TestProgram &Program, const CheckerOptions &Opts);
+  ~Explorer() override;
+
+  /// Runs executions until the search is exhausted, a bug stops it, or a
+  /// budget (time / execution count) runs out.
+  CheckResult run();
+
+  /// Seeds the first execution's choice stack with a recorded schedule
+  /// (see core/Schedule.h). Must be called before run().
+  void preloadSchedule(const std::vector<struct ScheduleChoice> &Choices);
+
+  // ChoiceSource: data nondeterminism raised from inside a transition.
+  int chooseInt(int N) override;
+
+private:
+  /// How one execution ended.
+  enum class ExecEnd {
+    Terminated, ///< All threads finished.
+    Bug,        ///< A violation was reported.
+    Abandoned,  ///< Cut at a bound (counted as nonterminating) or timeout.
+    Pruned,     ///< Stateful reference search reached a visited state.
+  };
+
+  /// One entry of the DFS choice stack.
+  struct ChoiceRec {
+    int Chosen;
+    int Num;
+    bool Backtrack;
+  };
+
+  ExecEnd runOneExecution();
+  /// Advances the deepest backtrackable choice; false when exhausted.
+  bool advanceStack();
+  /// Resolves one choice among \p N options through the stack.
+  int pickIndex(int N, bool Backtrack, bool PickRandom);
+  void reportBug(Verdict V, std::string Msg, const Runtime &RT,
+                 uint64_t Step);
+  bool timeExceeded() const;
+  static Tid nthMember(ThreadSet S, int Idx);
+
+  const TestProgram &Program;
+  CheckerOptions Opts;
+  std::unique_ptr<SearchStrategy> Strategy;
+  Xorshift Rng;
+
+  std::vector<ChoiceRec> Stack;
+  size_t Cursor = 0;
+  size_t ReplayLen = 0; ///< Stack records present when the execution began.
+  bool ReplayMismatch = false;
+
+  CheckResult Result;
+  Trace CurTrace;
+  std::unordered_set<uint64_t> SeenStates;
+  std::unordered_set<uint64_t> PruneKeys;
+  uint64_t CurExecution = 0;
+  uint64_t CurSteps = 0;
+  std::chrono::steady_clock::time_point StartTime;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_CORE_EXPLORER_H

@@ -1,0 +1,69 @@
+//===- core/FairScheduler.cpp ---------------------------------------------===//
+
+#include "core/FairScheduler.h"
+
+using namespace fsmc;
+
+FairScheduler::FairScheduler(int YieldK) : YieldK(YieldK) {
+  assert(YieldK > 0 && "YieldK must be positive");
+  reset();
+}
+
+void FairScheduler::reset() {
+  P.clear();
+  for (Tid U = 0; U < MaxThreads; ++U) {
+    // Lines 1-4 of Algorithm 1. D(u) = S(u) = Tid keeps the first yield of
+    // any thread from adding edges: H = (E ∪ D) \ S = ∅ when S is full.
+    S[U] = ThreadSet::all();
+    E[U] = ThreadSet();
+    D[U] = ThreadSet::all();
+    YieldSeen[U] = 0;
+  }
+  EdgeAdds = 0;
+}
+
+ThreadSet FairScheduler::allowed(ThreadSet ES) const {
+  ThreadSet T = ES - P.pre(ES);
+  assert((T.empty() == ES.empty()) &&
+         "Theorem 3 violated: schedulable set empty on nonempty ES");
+  return T;
+}
+
+void FairScheduler::onTransition(Tid T, ThreadSet ESBefore, ThreadSet ESAfter,
+                                 bool WasYield) {
+  assert(T >= 0 && T < MaxThreads && "tid out of range");
+
+  // Line 13: next.P := curr.P \ (Tid × {t}). Scheduling t satisfies any
+  // obligation other threads had towards it.
+  P.removeEdgesInto(T);
+
+  // Lines 14-22: update the per-thread window predicates.
+  for (Tid U = 0; U < MaxThreads; ++U) {
+    E[U] &= ESAfter;       // line 15: still continuously enabled
+    S[U].insert(T);        // line 21: t has now been scheduled
+  }
+  D[T] |= (ESBefore - ESAfter); // line 17: t disabled these threads
+
+  if (!WasYield)
+    return;
+
+  // Section 3's k-parameterization: only every k-th yield of t closes its
+  // window. With k = 1 this is exactly lines 23-29 of Algorithm 1.
+  if (++YieldSeen[T] % uint32_t(YieldK) != 0)
+    return;
+
+  // Line 24: H contains the threads never scheduled in t's closing window
+  // that were continuously enabled, or disabled by t, during it.
+  ThreadSet H = (E[T] | D[T]) - S[T];
+  assert(!H.contains(T) && "line 21 guarantees t ∈ S(t), so t ∉ H");
+
+  // Line 25: demote t below every starved thread in H.
+  P.addEdgesFrom(T, H);
+  EdgeAdds += uint64_t(H.size());
+  assert(P.isAcyclic() && "Theorem 3 loop invariant violated");
+
+  // Lines 26-28: open a new window for t.
+  E[T] = ESAfter;
+  D[T] = ThreadSet();
+  S[T] = ThreadSet();
+}

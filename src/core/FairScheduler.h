@@ -1,0 +1,101 @@
+//===- core/FairScheduler.h - Algorithm 1 of the paper ---------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fair, demonic scheduler -- Algorithm 1 of the paper, the central
+/// contribution of this reproduction.
+///
+/// The scheduler maintains, per execution:
+///   - P:    an acyclic priority relation over threads;
+///   - S(u): threads scheduled since u's last (processed) yield;
+///   - E(u): threads continuously enabled since u's last yield;
+///   - D(u): threads disabled by some transition of u since u's last yield.
+///
+/// At each state it restricts the demonic choice to
+///     T = ES \ pre(P, ES)
+/// and after executing thread t it applies lines 13-29: removes edges into
+/// t, updates E/D/S for every thread, and -- if t's transition was a yield
+/// -- closes t's window by adding edges from t to
+///     H = (E(t) ∪ D(t)) \ S(t)
+/// (the threads t starved in the window) and resetting E/D/S.
+///
+/// Guarantees reproduced from the paper and checked by the test suite:
+///   Thm 1: every infinite execution satisfies GS ⇒ SF (strong fairness);
+///   Thm 3: T = ∅ iff ES = ∅ (never a false deadlock), since P is acyclic;
+///   Thm 4: an unfair cycle is unrolled at most twice;
+///   Thm 5: every reachable state of yield count zero is visited;
+///   Thm 6: a reachable fair cycle of yield count ≤ 1 yields divergence.
+///
+/// The constructor's \p YieldK implements the parameterization at the end
+/// of Section 3: only every k-th yield of a thread closes its window,
+/// extending the safety-soundness guarantee to states whose yield count is
+/// below k.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_CORE_FAIRSCHEDULER_H
+#define FSMC_CORE_FAIRSCHEDULER_H
+
+#include "core/PriorityGraph.h"
+#include "support/ThreadSet.h"
+
+#include <array>
+#include <cstdint>
+
+namespace fsmc {
+
+/// Incremental implementation of Algorithm 1's auxiliary state.
+///
+/// The explorer owns the search; this class only answers "which threads may
+/// be scheduled here" and ingests "thread t just executed". It is cheap to
+/// copy-construct a fresh instance per execution.
+class FairScheduler {
+public:
+  /// \p YieldK > 0: process every k-th yield of each thread (Section 3's
+  /// parameterized algorithm; k = 1 is the paper's Algorithm 1).
+  explicit FairScheduler(int YieldK = 1);
+
+  /// Line 7: the schedulable set T = ES \ pre(P, ES) for enabled set \p ES.
+  /// By Theorem 3 the result is empty iff \p ES is empty.
+  ThreadSet allowed(ThreadSet ES) const;
+
+  /// Lines 12-29: ingest the transition in which thread \p T executed.
+  /// \p ESBefore is the enabled set of the pre-state (curr.ES), \p ESAfter
+  /// of the post-state (next.ES), and \p WasYield is curr.yield(t) -- i.e.
+  /// whether the executed visible operation was a yielding one.
+  void onTransition(Tid T, ThreadSet ESBefore, ThreadSet ESAfter,
+                    bool WasYield);
+
+  /// The current priority relation (for tests, traces and diagnostics).
+  const PriorityGraph &priorities() const { return P; }
+
+  ThreadSet scheduledSince(Tid U) const { return S[U]; }
+  ThreadSet continuouslyEnabledSince(Tid U) const { return E[U]; }
+  ThreadSet disabledBySince(Tid U) const { return D[U]; }
+
+  /// Total number of priority edges ever added (diagnostics/ablation).
+  uint64_t edgeAdditions() const { return EdgeAdds; }
+
+  /// Resets to the initial state of Algorithm 1 (lines 1-4):
+  /// P = ∅, E(u) = ∅, D(u) = Tid, S(u) = Tid for all u. The full initial
+  /// D/S guarantee that a thread's first window only begins after its
+  /// first yield.
+  void reset();
+
+private:
+  PriorityGraph P;
+  std::array<ThreadSet, MaxThreads> S;
+  std::array<ThreadSet, MaxThreads> E;
+  std::array<ThreadSet, MaxThreads> D;
+  std::array<uint32_t, MaxThreads> YieldSeen;
+  int YieldK;
+  uint64_t EdgeAdds = 0;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_CORE_FAIRSCHEDULER_H

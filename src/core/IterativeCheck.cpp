@@ -1,0 +1,50 @@
+//===- core/IterativeCheck.cpp --------------------------------------------===//
+
+#include "core/IterativeCheck.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace fsmc;
+
+IterativeCheckResult fsmc::iterativeCheck(const TestProgram &Program,
+                                          const CheckerOptions &Base,
+                                          int MaxBound) {
+  assert(MaxBound >= 0 && "negative context bound");
+  IterativeCheckResult Out;
+  double TotalBudget = Base.TimeBudgetSeconds;
+  auto Start = std::chrono::steady_clock::now();
+
+  for (int Bound = 0; Bound <= MaxBound; ++Bound) {
+    CheckerOptions O = Base;
+    O.Kind = SearchKind::ContextBounded;
+    O.ContextBound = Bound;
+    if (TotalBudget > 0) {
+      auto Elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+      double Remaining = TotalBudget - Elapsed;
+      if (Remaining <= 0)
+        break;
+      O.TimeBudgetSeconds = Remaining;
+    }
+
+    IterationResult IR;
+    IR.Bound = Bound;
+    IR.Result = check(Program, O);
+    bool Bug = IR.Result.foundBug();
+    bool Timed = IR.Result.Stats.TimedOut;
+    Out.PerBound.push_back(std::move(IR));
+
+    if (Bug) {
+      Out.BugBound = Bound;
+      break;
+    }
+    if (Timed)
+      break;
+  }
+
+  if (!Out.PerBound.empty())
+    Out.Final = Out.PerBound.back().Result;
+  return Out;
+}

@@ -1,0 +1,61 @@
+//===- core/IterativeCheck.h - Iterative context bounding ------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative context bounding [Musuvathi & Qadeer, PLDI 2007], "the
+/// context-bounded search strategy implemented in CHESS" that Section 4
+/// integrates with the fair scheduler: run the search with preemption
+/// bound 0, then 1, then 2, ..., so the simplest counterexamples surface
+/// first and every run inherits fairness's termination guarantee.
+///
+/// The fairness integration subtlety from Section 4 -- fairness-induced
+/// preemptions must not count against the bound -- lives in the
+/// explorer's preemption accounting, so this driver is a thin loop over
+/// `check`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_CORE_ITERATIVECHECK_H
+#define FSMC_CORE_ITERATIVECHECK_H
+
+#include "core/Checker.h"
+
+#include <vector>
+
+namespace fsmc {
+
+/// Result of one bound's search within an iterative run.
+struct IterationResult {
+  int Bound = 0;
+  CheckResult Result;
+};
+
+/// Result of a whole iterative context-bounded run.
+struct IterativeCheckResult {
+  /// Per-bound outcomes, in increasing bound order; ends at the bound
+  /// that found a bug, exhausted the budget, or MaxBound.
+  std::vector<IterationResult> PerBound;
+  /// The overall verdict: the first bug found, else the last bound's
+  /// result.
+  CheckResult Final;
+  /// Bound at which the bug was found, or -1.
+  int BugBound = -1;
+
+  bool foundBug() const { return BugBound >= 0; }
+};
+
+/// Runs `check` with context bounds 0..MaxBound, stopping early at the
+/// first bug or when the shared time budget (Base.TimeBudgetSeconds,
+/// interpreted as the *total* across bounds when positive) runs out.
+/// Base.Kind and Base.ContextBound are overridden per iteration.
+IterativeCheckResult iterativeCheck(const TestProgram &Program,
+                                    const CheckerOptions &Base,
+                                    int MaxBound);
+
+} // namespace fsmc
+
+#endif // FSMC_CORE_ITERATIVECHECK_H

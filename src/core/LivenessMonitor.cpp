@@ -1,0 +1,70 @@
+//===- core/LivenessMonitor.cpp -------------------------------------------===//
+
+#include "core/LivenessMonitor.h"
+
+#include <algorithm>
+#include <array>
+
+using namespace fsmc;
+
+void LivenessMonitor::beginExecution() {
+  RunSinceYield = {};
+  StarvedSomeone = {};
+  EagerViolator = -1;
+}
+
+void LivenessMonitor::onTransition(Tid T, bool WasYield, bool OthersEnabled) {
+  assert(T >= 0 && T < MaxThreads && "tid out of range");
+  if (WasYield) {
+    RunSinceYield[T] = 0;
+    StarvedSomeone[T] = false;
+    return;
+  }
+  ++RunSinceYield[T];
+  StarvedSomeone[T] = StarvedSomeone[T] || OthersEnabled;
+  if (GsBound && RunSinceYield[T] >= GsBound && StarvedSomeone[T])
+    EagerViolator = T;
+}
+
+LivenessMonitor::Divergence
+LivenessMonitor::classifyDivergence(const Trace &T, size_t Window) {
+  Divergence Result;
+  ThreadSet Scheduled = T.scheduledInSuffix(Window);
+
+  // GS asks about threads scheduled *infinitely often*; in the finite
+  // suffix we approximate that as "scheduled persistently". A thread that
+  // ran only a handful of times in the window (e.g. a joiner advancing
+  // past one finished thread) is not a spinner, even though it never
+  // yielded.
+  std::array<uint64_t, MaxThreads> Sched = {};
+  std::array<uint64_t, MaxThreads> Yields = {};
+  size_t Start = T.size() > Window ? T.size() - Window : 0;
+  for (size_t I = Start; I < T.size(); ++I) {
+    ++Sched[T[I].Thread];
+    if (T[I].WasYield)
+      ++Yields[T[I].Thread];
+  }
+  uint64_t Persistent = std::max<uint64_t>(4, (T.size() - Start) / 32);
+  ThreadSet Spinners;
+  for (Tid U = 0; U < MaxThreads; ++U)
+    if (Sched[U] >= Persistent && Yields[U] == 0)
+      Spinners.insert(U);
+
+  if (!Spinners.empty()) {
+    // Some thread runs in the limit without ever yielding: the execution
+    // violates the good samaritan property (outcome 2).
+    Result.IsGoodSamaritan = true;
+    Result.Culprit = Spinners.first();
+    Result.Summary =
+        "good samaritan violation: thread(s) " + Spinners.str() +
+        " scheduled throughout the diverging suffix without yielding";
+    return Result;
+  }
+
+  // Every scheduled thread yields in the suffix; the divergence is a fair
+  // nonterminating execution, i.e. a livelock (outcome 3).
+  Result.Summary = "livelock: fair nonterminating execution; threads " +
+                   Scheduled.str() +
+                   " cycle (each yields) without global progress";
+  return Result;
+}

@@ -1,0 +1,81 @@
+//===- core/LivenessMonitor.h - Livelock & good-samaritan checks *- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Detects the two liveness outcomes of the semi-algorithm (Section 2):
+///
+///  - outcome 2: a diverging execution that violates the good samaritan
+///    property GS = ∀t. GF sched(t) ⇒ GF (sched(t) ∧ yield(t)) -- some
+///    thread is scheduled forever without yielding (Section 4.3.1's bug);
+///
+///  - outcome 3: a diverging execution that is fair -- every thread
+///    scheduled in the limit also yields, i.e. a livelock (Section 4.3.2,
+///    and the dining-philosophers livelock of Figure 1).
+///
+/// In practice an infinite execution cannot be generated, so the paper has
+/// the user "set a large bound on the execution depth" and examine
+/// executions that exceed it. This monitor does that examination
+/// automatically, plus an *eager* good-samaritan check that fires as soon
+/// as one thread monopolizes the schedule for GoodSamaritanBound
+/// transitions without yielding while another thread is enabled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_CORE_LIVENESSMONITOR_H
+#define FSMC_CORE_LIVENESSMONITOR_H
+
+#include "core/Trace.h"
+#include "support/ThreadSet.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace fsmc {
+
+/// Per-execution liveness bookkeeping and divergence classification.
+class LivenessMonitor {
+public:
+  /// \p GsBound: eager good-samaritan threshold; 0 disables eager checks.
+  explicit LivenessMonitor(uint64_t GsBound) : GsBound(GsBound) {}
+
+  /// Resets per-execution counters.
+  void beginExecution();
+
+  /// Ingests one transition of thread \p T. \p WasYield is the yield(t)
+  /// predicate at scheduling time; \p OthersEnabled is whether some other
+  /// thread was enabled in the pre-state (a lone thread spinning cannot
+  /// starve anyone and is not flagged eagerly).
+  void onTransition(Tid T, bool WasYield, bool OthersEnabled);
+
+  /// \returns the thread caught by the eager good-samaritan detector, or
+  /// -1. Valid immediately after onTransition.
+  Tid eagerGsViolator() const { return EagerViolator; }
+
+  /// Classification of an execution that exceeded the execution bound.
+  struct Divergence {
+    bool IsGoodSamaritan = false; ///< else: fair divergence (livelock).
+    Tid Culprit = -1;             ///< Non-yielding thread for GS reports.
+    std::string Summary;
+  };
+
+  /// Examines the suffix of \p T (an execution that exceeded the bound)
+  /// and decides between outcome 2 (good-samaritan violation) and outcome
+  /// 3 (livelock): if every thread scheduled in the suffix also yields in
+  /// it, the divergence is fair.
+  static Divergence classifyDivergence(const Trace &T, size_t Window);
+
+private:
+  uint64_t GsBound;
+  std::array<uint64_t, MaxThreads> RunSinceYield = {};
+  std::array<bool, MaxThreads> StarvedSomeone = {};
+  Tid EagerViolator = -1;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_CORE_LIVENESSMONITOR_H

@@ -1,0 +1,82 @@
+//===- core/Schedule.cpp --------------------------------------------------===//
+
+#include "core/Schedule.h"
+
+#include "core/Explorer.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace fsmc;
+
+static const char *SchedulePrefix = "fsmc1:";
+
+std::string fsmc::encodeSchedule(const std::vector<ScheduleChoice> &Choices) {
+  std::string Out = SchedulePrefix;
+  for (size_t I = 0; I < Choices.size(); ++I) {
+    if (I)
+      Out += ";";
+    Out += std::to_string(Choices[I].Chosen);
+    Out += "/";
+    Out += std::to_string(Choices[I].Num);
+    if (!Choices[I].Backtrack)
+      Out += "r";
+  }
+  return Out;
+}
+
+bool fsmc::decodeSchedule(const std::string &Text,
+                          std::vector<ScheduleChoice> &Out) {
+  Out.clear();
+  std::string_view S = Text;
+  std::string_view Prefix = SchedulePrefix;
+  if (S.substr(0, Prefix.size()) != Prefix)
+    return false;
+  S.remove_prefix(Prefix.size());
+  if (S.empty())
+    return true;
+  while (!S.empty()) {
+    size_t Semi = S.find(';');
+    std::string_view Tok = S.substr(0, Semi);
+    S.remove_prefix(Semi == std::string_view::npos ? S.size() : Semi + 1);
+
+    ScheduleChoice C;
+    size_t Slash = Tok.find('/');
+    if (Slash == std::string_view::npos || Slash == 0)
+      return false;
+    C.Chosen = std::atoi(std::string(Tok.substr(0, Slash)).c_str());
+    std::string_view NumTok = Tok.substr(Slash + 1);
+    if (!NumTok.empty() && NumTok.back() == 'r') {
+      C.Backtrack = false;
+      NumTok.remove_suffix(1);
+    }
+    if (NumTok.empty())
+      return false;
+    C.Num = std::atoi(std::string(NumTok).c_str());
+    if (C.Num < 2 || C.Chosen < 0 || C.Chosen >= C.Num)
+      return false;
+    Out.push_back(C);
+  }
+  return true;
+}
+
+CheckResult fsmc::replaySchedule(const TestProgram &Program,
+                                 const CheckerOptions &Opts,
+                                 const std::string &Schedule) {
+  std::vector<ScheduleChoice> Choices;
+  CheckResult Bad;
+  if (!decodeSchedule(Schedule, Choices)) {
+    Bad.Kind = Verdict::SafetyViolation;
+    BugReport B;
+    B.Kind = Verdict::SafetyViolation;
+    B.Message = "malformed schedule string";
+    Bad.Bug = std::move(B);
+    return Bad;
+  }
+  CheckerOptions Effective = Opts;
+  Effective.MaxExecutions = 1;
+  Effective.StopOnFirstBug = true;
+  Explorer E(Program, Effective);
+  E.preloadSchedule(Choices);
+  return E.run();
+}

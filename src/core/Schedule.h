@@ -1,0 +1,61 @@
+//===- core/Schedule.h - Serialized schedules for bug replay ---*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialized schedules: the choice sequence of one execution, printable
+/// and replayable. CHESS's headline workflow is deterministic repro --
+/// "CHESS executes this test repeatedly, while controlling the thread
+/// schedule" -- and a found bug is only useful if the failing schedule
+/// can be re-run under a debugger. A Schedule captures exactly the
+/// explorer's non-forced choices; forced moves are recomputed during
+/// replay, so schedules stay short and survive unrelated code edits that
+/// do not change the choice structure.
+///
+/// Wire format (version 1):
+///   fsmc1:c/n;c/n;...;c/n
+/// where each `c/n` is the chosen index and the number of options of one
+/// choice point (scheduling or data). Non-backtrackable (random-tail)
+/// choices are marked with a trailing `r`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_CORE_SCHEDULE_H
+#define FSMC_CORE_SCHEDULE_H
+
+#include "core/Checker.h"
+
+#include <string>
+#include <vector>
+
+namespace fsmc {
+
+/// One recorded choice: `Chosen` of `Num` options.
+struct ScheduleChoice {
+  int Chosen = 0;
+  int Num = 1;
+  bool Backtrack = true;
+};
+
+/// Renders choices in the `fsmc1:` wire format.
+std::string encodeSchedule(const std::vector<ScheduleChoice> &Choices);
+
+/// Parses the wire format. \returns false on malformed input, leaving
+/// \p Out unspecified.
+bool decodeSchedule(const std::string &Text,
+                    std::vector<ScheduleChoice> &Out);
+
+/// Re-executes \p Program once under the recorded \p Schedule (typically
+/// BugReport::Schedule) and reports that single execution's outcome.
+/// The options must match the original run's semantics-affecting knobs
+/// (Fair, YieldK, bounds); scheduling decisions come from the schedule.
+CheckResult replaySchedule(const TestProgram &Program,
+                           const CheckerOptions &Opts,
+                           const std::string &Schedule);
+
+} // namespace fsmc
+
+#endif // FSMC_CORE_SCHEDULE_H

@@ -1,0 +1,42 @@
+//===- core/SearchStrategy.cpp --------------------------------------------===//
+
+#include "core/SearchStrategy.h"
+
+using namespace fsmc;
+
+SearchStrategy::~SearchStrategy() = default;
+
+std::unique_ptr<SearchStrategy>
+SearchStrategy::create(const CheckerOptions &Opts) {
+  switch (Opts.Kind) {
+  case SearchKind::Dfs:
+    return std::make_unique<DfsStrategy>();
+  case SearchKind::ContextBounded:
+    return std::make_unique<ContextBoundedStrategy>(Opts.ContextBound);
+  case SearchKind::RandomWalk:
+    return std::make_unique<RandomWalkStrategy>();
+  }
+  assert(false && "unknown SearchKind");
+  return nullptr;
+}
+
+CandidateSet DfsStrategy::candidates(const SchedContext &C) {
+  return {C.Allowed, /*Backtrack=*/true, /*PickRandom=*/false};
+}
+
+CandidateSet ContextBoundedStrategy::candidates(const SchedContext &C) {
+  assert(!C.Allowed.empty() && "no schedulable thread");
+  // A preemption would be charged only for switching away from an enabled,
+  // non-yielding, fairness-allowed previous thread. Once the budget is
+  // spent, such a thread must keep running; every other switch is free.
+  bool SwitchCosts = C.Prev >= 0 && C.PrevEnabled && C.PrevAllowed &&
+                     !C.PrevAtYield;
+  if (SwitchCosts && C.PreemptionsUsed >= Bound)
+    return {ThreadSet::singleton(C.Prev), /*Backtrack=*/true,
+            /*PickRandom=*/false};
+  return {C.Allowed, /*Backtrack=*/true, /*PickRandom=*/false};
+}
+
+CandidateSet RandomWalkStrategy::candidates(const SchedContext &C) {
+  return {C.Allowed, /*Backtrack=*/false, /*PickRandom=*/true};
+}

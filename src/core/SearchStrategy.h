@@ -1,0 +1,106 @@
+//===- core/SearchStrategy.h - Choice enumeration policies -----*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Search strategies decide which of the fairness-allowed threads the
+/// explorer considers at a scheduling point, and whether the point is a
+/// backtrackable branch of the depth-first search.
+///
+/// Algorithm 1 exposes its nondeterminism through the single Choose(T) on
+/// line 11; "it is easy to augment this description with either a stack to
+/// perform depth-first search ..." (Section 3). The strategies here are the
+/// four used in the paper's evaluation: plain DFS, context-bounded search
+/// [22], depth-bounded search with a random tail (the no-fairness
+/// baseline), and pure random walk [17].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_CORE_SEARCHSTRATEGY_H
+#define FSMC_CORE_SEARCHSTRATEGY_H
+
+#include "core/Checker.h"
+#include "support/ThreadSet.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace fsmc {
+
+/// Everything a strategy may consult at one scheduling point.
+struct SchedContext {
+  ThreadSet Enabled;   ///< ES of the current state.
+  ThreadSet Allowed;   ///< T = ES \ pre(P, ES) (== ES when fairness off).
+  Tid Prev = -1;       ///< Thread that executed the previous transition,
+                       ///< or -1 at the start / after a thread exit.
+  bool PrevEnabled = false;   ///< Prev is enabled now.
+  bool PrevAllowed = false;   ///< Prev is in Allowed now.
+  bool PrevAtYield = false;   ///< Prev's pending op is a yield: switching
+                              ///< away from it is voluntary, not a
+                              ///< preemption.
+  uint64_t Step = 0;          ///< Transitions executed so far.
+  int PreemptionsUsed = 0;
+};
+
+/// The candidate threads at a scheduling point.
+struct CandidateSet {
+  ThreadSet Set;
+  /// False: the point is not a DFS branch (e.g. random-tail picks).
+  bool Backtrack = true;
+  /// True: pick uniformly at random instead of first-untried.
+  bool PickRandom = false;
+};
+
+/// Policy interface. Implementations must be deterministic functions of
+/// the SchedContext so that replayed executions see identical choices.
+class SearchStrategy {
+public:
+  virtual ~SearchStrategy();
+
+  /// Called by the explorer at the start of every execution.
+  virtual void beginExecution() {}
+
+  /// The threads to consider scheduling in this state. Must return a
+  /// nonempty subset of \p C.Allowed.
+  virtual CandidateSet candidates(const SchedContext &C) = 0;
+
+  virtual const char *name() const = 0;
+
+  /// Builds the strategy selected by \p Opts.
+  static std::unique_ptr<SearchStrategy> create(const CheckerOptions &Opts);
+};
+
+/// Exhaustive DFS over every allowed choice.
+class DfsStrategy final : public SearchStrategy {
+public:
+  CandidateSet candidates(const SchedContext &C) override;
+  const char *name() const override { return "dfs"; }
+};
+
+/// Context-bounded search: only executions with at most \p Bound
+/// preemptions. Per Section 4, a switch away from an enabled previous
+/// thread costs one preemption *unless* the fair scheduler excluded that
+/// thread (PrevAllowed == false) or the thread is at a yield.
+class ContextBoundedStrategy final : public SearchStrategy {
+public:
+  explicit ContextBoundedStrategy(int Bound) : Bound(Bound) {}
+  CandidateSet candidates(const SchedContext &C) override;
+  const char *name() const override { return "cb"; }
+
+private:
+  int Bound;
+};
+
+/// Uniformly random executions, never backtracking.
+class RandomWalkStrategy final : public SearchStrategy {
+public:
+  CandidateSet candidates(const SchedContext &C) override;
+  const char *name() const override { return "random"; }
+};
+
+} // namespace fsmc
+
+#endif // FSMC_CORE_SEARCHSTRATEGY_H

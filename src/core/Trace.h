@@ -1,0 +1,73 @@
+//===- core/Trace.h - Execution traces and bug reports ---------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recorded execution: the sequence of transitions the scheduler chose.
+/// Traces back every counterexample the checker reports -- the "finite
+/// execution of Q violating ϕ" and the bounded prefix of a "fair
+/// nonterminating execution" from the problem statement in Section 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_CORE_TRACE_H
+#define FSMC_CORE_TRACE_H
+
+#include "runtime/PendingOp.h"
+#include "support/ThreadSet.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsmc {
+
+class Runtime;
+
+/// One transition of an execution: thread \p Thread performed the visible
+/// operation described by Kind/ObjectId/Aux.
+struct TraceEvent {
+  Tid Thread;
+  OpKind Kind;
+  int ObjectId;
+  int64_t Aux;
+  uint64_t Annotation; ///< The thread's abstract pc before the transition.
+  bool WasYield;       ///< curr.yield(t) at the moment of scheduling.
+};
+
+/// The transition sequence of one execution.
+class Trace {
+public:
+  void clear() { Events.clear(); }
+  void record(const TraceEvent &E) { Events.push_back(E); }
+
+  size_t size() const { return Events.size(); }
+  bool empty() const { return Events.empty(); }
+  const TraceEvent &operator[](size_t I) const { return Events[I]; }
+  const std::vector<TraceEvent> &events() const { return Events; }
+
+  /// Threads scheduled in the last \p Window events.
+  ThreadSet scheduledInSuffix(size_t Window) const;
+  /// Threads with at least one yielding transition in the last \p Window
+  /// events.
+  ThreadSet yieldedInSuffix(size_t Window) const;
+
+  /// Renders the last \p MaxEvents transitions with names resolved via
+  /// \p RT, one per line, for inclusion in a bug report. Must be called
+  /// while the execution's Runtime is still alive.
+  std::string render(const Runtime &RT, size_t MaxEvents = 100) const;
+
+  /// Order-sensitive hash of the whole transition sequence; used by tests
+  /// to check that the explorer enumerates *distinct* executions.
+  uint64_t digest() const;
+
+private:
+  std::vector<TraceEvent> Events;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_CORE_TRACE_H

@@ -1,0 +1,62 @@
+//===- runtime/Fiber.cpp --------------------------------------------------===//
+
+#include "runtime/Fiber.h"
+
+#include <cassert>
+#include <cstdint>
+#include <sys/mman.h>
+#include <unistd.h>
+
+using namespace fsmc;
+
+Fiber::~Fiber() {
+  if (StackBase)
+    munmap(StackBase, MappedBytes);
+}
+
+void Fiber::initAsHost() {
+  // Nothing to do: the first switchTo() away from the host fills Ctx via
+  // getcontext-like semantics of swapcontext.
+  assert(!StackBase && "host fiber must not own a stack");
+}
+
+void Fiber::trampoline(unsigned HiHalf, unsigned LoHalf) {
+  // makecontext only passes ints; reassemble the Fiber pointer.
+  auto Bits = (uint64_t(HiHalf) << 32) | uint64_t(LoHalf);
+  auto *Self = reinterpret_cast<Fiber *>(uintptr_t(Bits));
+  Self->Entry(Self->EntryArg);
+  // Entry functions must switch away before returning; see Runtime.
+  assert(false && "fiber entry returned without switching away");
+}
+
+bool Fiber::initWithEntry(size_t StackBytes, EntryFn Entry, void *Arg) {
+  assert(!StackBase && "fiber already initialized");
+  long Page = sysconf(_SC_PAGESIZE);
+  size_t Usable = (StackBytes + Page - 1) / Page * Page;
+  MappedBytes = Usable + Page; // one guard page below the stack
+  void *Map = mmap(nullptr, MappedBytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Map == MAP_FAILED) {
+    MappedBytes = 0;
+    return false;
+  }
+  StackBase = static_cast<char *>(Map);
+  mprotect(StackBase, Page, PROT_NONE);
+
+  getcontext(&Ctx);
+  Ctx.uc_stack.ss_sp = StackBase + Page;
+  Ctx.uc_stack.ss_size = Usable;
+  Ctx.uc_link = nullptr;
+
+  this->Entry = Entry;
+  this->EntryArg = Arg;
+  auto Bits = uint64_t(uintptr_t(this));
+  makecontext(&Ctx, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              unsigned(Bits >> 32), unsigned(Bits & 0xffffffffu));
+  return true;
+}
+
+void Fiber::switchTo(Fiber &From, Fiber &To) {
+  [[maybe_unused]] int RC = swapcontext(&From.Ctx, &To.Ctx);
+  assert(RC == 0 && "swapcontext failed");
+}

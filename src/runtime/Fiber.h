@@ -1,0 +1,78 @@
+//===- runtime/Fiber.h - Cooperative execution contexts --------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// User-space execution contexts (fibers) built on POSIX ucontext.
+///
+/// CHESS intercepts Win32/.NET synchronization calls made by real OS
+/// threads and serializes them with semaphores. This repository substitutes
+/// a cooperative fiber runtime: every test thread is a fiber owned by a
+/// single OS thread, and the controller switches to exactly one fiber at a
+/// time. The substitution preserves what the checker needs -- complete
+/// control over scheduling, deterministic replay, and the enabled/yield
+/// predicates -- while removing OS-scheduler noise entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_RUNTIME_FIBER_H
+#define FSMC_RUNTIME_FIBER_H
+
+#include <cstddef>
+#include <ucontext.h>
+
+namespace fsmc {
+
+/// A single execution context with its own stack.
+///
+/// Two kinds of fibers exist: the controller fiber, which wraps the host
+/// context and owns no stack (\ref initAsHost), and test-thread fibers with
+/// a freshly mapped, guard-paged stack (\ref initWithEntry). Switching is
+/// always symmetric via \ref switchTo.
+class Fiber {
+public:
+  using EntryFn = void (*)(void *Arg);
+
+  Fiber() = default;
+  ~Fiber();
+
+  Fiber(const Fiber &) = delete;
+  Fiber &operator=(const Fiber &) = delete;
+
+  /// Marks this fiber as the host (controller) context. No stack is
+  /// allocated; the context is filled in by the first switch away from it.
+  void initAsHost();
+
+  /// Allocates a stack and arranges for \p Entry(\p Arg) to run when this
+  /// fiber is first switched to. The stack has an inaccessible guard page
+  /// below it so overflow faults instead of corrupting a neighbour.
+  ///
+  /// \returns false if stack allocation failed.
+  bool initWithEntry(size_t StackBytes, EntryFn Entry, void *Arg);
+
+  /// Saves the current context into \p From and resumes \p To. When some
+  /// other fiber later switches back to \p From, this call returns.
+  static void switchTo(Fiber &From, Fiber &To);
+
+  bool hasStack() const { return StackBase != nullptr; }
+
+  /// Default stack size for test threads. Workload threads are ordinary
+  /// C++ with shallow call chains; 256 KiB is generous.
+  static constexpr size_t DefaultStackBytes = 256 * 1024;
+
+private:
+  static void trampoline(unsigned HiHalf, unsigned LoHalf);
+
+  ucontext_t Ctx = {};
+  char *StackBase = nullptr; ///< mmap base (guard page + usable stack).
+  size_t MappedBytes = 0;
+  EntryFn Entry = nullptr;
+  void *EntryArg = nullptr;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_RUNTIME_FIBER_H

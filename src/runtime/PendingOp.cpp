@@ -1,0 +1,93 @@
+//===- runtime/PendingOp.cpp ----------------------------------------------===//
+
+#include "runtime/PendingOp.h"
+
+using namespace fsmc;
+
+const char *fsmc::opKindName(OpKind K) {
+  switch (K) {
+  case OpKind::ThreadStart:
+    return "start";
+  case OpKind::Yield:
+    return "yield";
+  case OpKind::Sleep:
+    return "sleep";
+  case OpKind::MutexLock:
+    return "lock";
+  case OpKind::MutexTryLock:
+    return "trylock";
+  case OpKind::MutexUnlock:
+    return "unlock";
+  case OpKind::SemWait:
+    return "sem.wait";
+  case OpKind::SemPost:
+    return "sem.post";
+  case OpKind::CondWait:
+    return "cond.wait";
+  case OpKind::CondTimedWait:
+    return "cond.timedwait";
+  case OpKind::CondNotify:
+    return "cond.notify";
+  case OpKind::EventWait:
+    return "event.wait";
+  case OpKind::EventTimedWait:
+    return "event.timedwait";
+  case OpKind::EventSet:
+    return "event.set";
+  case OpKind::EventReset:
+    return "event.reset";
+  case OpKind::BarrierArrive:
+    return "barrier.arrive";
+  case OpKind::RwReadLock:
+    return "rw.rdlock";
+  case OpKind::RwWriteLock:
+    return "rw.wrlock";
+  case OpKind::RwUnlock:
+    return "rw.unlock";
+  case OpKind::Join:
+    return "join";
+  case OpKind::VarLoad:
+    return "load";
+  case OpKind::VarStore:
+    return "store";
+  case OpKind::VarRmw:
+    return "rmw";
+  case OpKind::UserOp:
+    return "userop";
+  }
+  return "?";
+}
+
+bool fsmc::independentOps(const PendingOp &A, const PendingOp &B) {
+  auto classify = [](const PendingOp &Op) -> int {
+    switch (Op.Kind) {
+    case OpKind::Yield:
+    case OpKind::Sleep:
+      return 0; // Pure: commutes with everything.
+    case OpKind::ThreadStart:
+    case OpKind::Join:
+    case OpKind::UserOp:
+      return 2; // Global: conflicts with everything.
+    default:
+      return 1; // Object-local: commutes across distinct objects.
+    }
+  };
+  int CA = classify(A), CB = classify(B);
+  if (CA == 0 || CB == 0)
+    return true;
+  if (CA == 2 || CB == 2)
+    return false;
+  return A.ObjectId >= 0 && B.ObjectId >= 0 && A.ObjectId != B.ObjectId;
+}
+
+bool fsmc::isYieldKind(OpKind K) {
+  switch (K) {
+  case OpKind::Yield:
+  case OpKind::Sleep:
+  case OpKind::CondTimedWait:
+  case OpKind::EventTimedWait:
+    return true;
+  default:
+    return false;
+  }
+}

@@ -1,0 +1,123 @@
+//===- runtime/PendingOp.h - Visible operation descriptors -----*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Describes the *visible operation* a parked test thread will perform when
+/// it is next scheduled.
+///
+/// The paper's program model equips every state with two predicates per
+/// thread (Section 3): `enabled(t)` -- executing t can proceed -- and
+/// `yield(t)` -- executing t results in a yield. In CHESS these are derived
+/// by intercepting synchronization APIs; here every modeled primitive
+/// publishes a PendingOp at its scheduling point, and the controller
+/// evaluates both predicates from it. Following Section 4 of the paper,
+/// "every synchronization operation with a finite timeout and every
+/// explicit processor yield" counts as a yielding operation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_RUNTIME_PENDINGOP_H
+#define FSMC_RUNTIME_PENDINGOP_H
+
+#include <cstdint>
+
+namespace fsmc {
+
+/// Kinds of visible operations. One transition of the transition relation
+/// is: perform the pending visible operation, then run invisible thread-
+/// local code up to the next scheduling point.
+enum class OpKind : uint8_t {
+  ThreadStart,   ///< First transition of a freshly spawned thread.
+  Yield,         ///< Explicit processor yield (Sleep(0), sched_yield).
+  Sleep,         ///< Timed sleep; modeled as a yield, always enabled.
+  MutexLock,     ///< Blocking acquire; enabled iff the mutex is free.
+  MutexTryLock,  ///< Non-blocking acquire; always enabled, may fail.
+  MutexUnlock,   ///< Release; always enabled.
+  SemWait,       ///< Semaphore P(); enabled iff count > 0.
+  SemPost,       ///< Semaphore V(); always enabled.
+  CondWait,      ///< Untimed wait; enabled once signaled (lock reacquire
+                 ///< is a separate MutexLock transition).
+  CondTimedWait, ///< Wait with finite timeout; always enabled, yielding.
+  CondNotify,    ///< signal/broadcast; always enabled.
+  EventWait,     ///< Untimed wait on an event; enabled iff set.
+  EventTimedWait,///< Timed wait on an event; always enabled, yielding.
+  EventSet,      ///< Set an event; always enabled.
+  EventReset,    ///< Reset a manual event; always enabled.
+  BarrierArrive, ///< Arrive at barrier; enabled iff this arrival releases
+                 ///< the barrier or registers and blocks (two-phase).
+  RwReadLock,    ///< Reader acquire; enabled iff no writer holds the lock.
+  RwWriteLock,   ///< Writer acquire; enabled iff the lock is free.
+  RwUnlock,      ///< Release read or write lock; always enabled.
+  Join,          ///< Join another thread; enabled iff the target finished.
+  VarLoad,       ///< Load of a modeled shared variable.
+  VarStore,      ///< Store to a modeled shared variable.
+  VarRmw,        ///< Atomic read-modify-write (exchange, CAS, fetch-add).
+  UserOp,        ///< Workload-defined visible operation.
+};
+
+/// \returns a short stable name for \p K, used in traces and bug reports.
+const char *opKindName(OpKind K);
+
+/// \returns true if operations of kind \p K are *yielding*: they signal
+/// that the thread cannot make progress and donate its turn. The fair
+/// scheduler only ever demotes a thread's priority at these points
+/// (Section 2: "the scheduler only penalizes yielding threads").
+bool isYieldKind(OpKind K);
+
+/// The visible operation a parked thread is about to perform.
+///
+/// `EnabledFn` is an optional pure predicate over the owning object's
+/// current state; null means always enabled. The controller re-evaluates it
+/// whenever it computes the enabled set, so it must be side-effect free.
+struct PendingOp {
+  OpKind Kind = OpKind::ThreadStart;
+  /// Runtime-assigned id of the sync object or variable, -1 if none.
+  int ObjectId = -1;
+  /// Operation-specific payload (e.g. join target tid, store value).
+  int64_t Aux = 0;
+  bool (*EnabledFn)(const void *Ctx) = nullptr;
+  const void *EnabledCtx = nullptr;
+
+  bool isEnabled() const { return !EnabledFn || EnabledFn(EnabledCtx); }
+  bool isYield() const { return isYieldKind(Kind); }
+};
+
+/// Conservative commutativity check for partial-order reduction: true
+/// only if executing one operation can neither change the effect nor the
+/// enabledness of the other. Operations on distinct sync objects or
+/// variables commute; pure yields/sleeps commute with everything;
+/// thread-management operations (start, join, user ops) conservatively
+/// conflict with everything.
+///
+/// Soundness caveat: a *transition* is the visible operation plus the
+/// invisible code after it. Programs whose shared state lives entirely in
+/// modeled objects satisfy this independence; raw() back-channel accesses
+/// do not, so POR is an opt-in (CheckerOptions::SleepSets).
+bool independentOps(const PendingOp &A, const PendingOp &B);
+
+/// Builds an always-enabled op of kind \p K on object \p ObjectId.
+inline PendingOp makeOp(OpKind K, int ObjectId = -1, int64_t Aux = 0) {
+  PendingOp Op;
+  Op.Kind = K;
+  Op.ObjectId = ObjectId;
+  Op.Aux = Aux;
+  return Op;
+}
+
+/// Builds an op guarded by \p Fn(\p Ctx).
+inline PendingOp makeGuardedOp(OpKind K, int ObjectId,
+                               bool (*Fn)(const void *), const void *Ctx,
+                               int64_t Aux = 0) {
+  PendingOp Op = makeOp(K, ObjectId, Aux);
+  Op.EnabledFn = Fn;
+  Op.EnabledCtx = Ctx;
+  return Op;
+}
+
+} // namespace fsmc
+
+#endif // FSMC_RUNTIME_PENDINGOP_H

@@ -1,0 +1,243 @@
+//===- runtime/Runtime.cpp ------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace fsmc;
+
+ChoiceSource::~ChoiceSource() = default;
+
+namespace {
+/// The runtime of the execution currently running on this OS thread. All
+/// fibers of one execution share the host OS thread, so a single pointer
+/// suffices; it is set for the duration of start()/step().
+Runtime *CurrentRuntime = nullptr;
+} // namespace
+
+struct Runtime::ThreadState {
+  Tid Id = -1;
+  std::string Name;
+  Fiber F;
+  std::function<void()> Body;
+  PendingOp Pending;
+  bool FinishedFlag = false;
+  uint64_t Annotation = 0;
+  Runtime *RT = nullptr;
+};
+
+Runtime::Runtime(ChoiceSource &Choices) : Runtime(Choices, Options()) {}
+
+Runtime::Runtime(ChoiceSource &Choices, Options Opts)
+    : Choices(Choices), Opts(Opts) {
+  Controller.initAsHost();
+}
+
+Runtime::~Runtime() {
+  // Fibers of unfinished threads are freed without unwinding their stacks.
+  // This abandons any heap owned by objects on those stacks; acceptable for
+  // bug-reporting executions, and workloads are written to keep transient
+  // allocations off abandoned paths.
+}
+
+Runtime &Runtime::current() {
+  assert(CurrentRuntime && "no execution in progress");
+  return *CurrentRuntime;
+}
+
+void Runtime::threadEntry(void *Arg) {
+  auto *TS = static_cast<ThreadState *>(Arg);
+  // The first transition of a thread begins here (its ThreadStart op).
+  TS->Body();
+  TS->Body = nullptr;
+  TS->RT->exitThread(*TS);
+}
+
+void Runtime::exitThread(ThreadState &TS) {
+  TS.FinishedFlag = true;
+  Live.erase(TS.Id);
+  // The extractor reads locals of its registering thread; those are gone
+  // now, so stop calling it.
+  if (ExtractorOwner == TS.Id)
+    StateExtractor = nullptr;
+  switchToController(TS);
+  assert(false && "finished thread was rescheduled");
+  __builtin_unreachable();
+}
+
+void Runtime::switchToController(ThreadState &TS) {
+  InController = true;
+  Fiber::switchTo(TS.F, Controller);
+  // Execution resumes here when the scheduler picks this thread again.
+  InController = false;
+}
+
+Tid Runtime::spawn(std::function<void()> Body, std::string Name) {
+  assert(!InController && "spawn must be called from a test thread");
+  Tid Id = Tid(Threads.size());
+  if (Id >= MaxThreads)
+    fail("thread limit exceeded (MaxThreads = 64)");
+  auto TS = std::make_unique<ThreadState>();
+  TS->Id = Id;
+  TS->Name = Name.empty() ? ("t" + std::to_string(Id)) : std::move(Name);
+  TS->Body = std::move(Body);
+  TS->RT = this;
+  TS->Pending = makeOp(OpKind::ThreadStart);
+  if (!TS->F.initWithEntry(Opts.StackBytes, &Runtime::threadEntry, TS.get()))
+    fail("fiber stack allocation failed");
+  Live.insert(Id);
+  Threads.push_back(std::move(TS));
+  return Id;
+}
+
+void Runtime::start(std::function<void()> MainBody, std::string Name) {
+  assert(Threads.empty() && "start() called twice");
+  assert(InController && "start must be called from the controller");
+  Tid Id = 0;
+  auto TS = std::make_unique<ThreadState>();
+  TS->Id = Id;
+  TS->Name = std::move(Name);
+  TS->Body = std::move(MainBody);
+  TS->RT = this;
+  TS->Pending = makeOp(OpKind::ThreadStart);
+  bool OK =
+      TS->F.initWithEntry(Opts.StackBytes, &Runtime::threadEntry, TS.get());
+  assert(OK && "fiber stack allocation failed for main thread");
+  (void)OK;
+  Live.insert(Id);
+  Threads.push_back(std::move(TS));
+}
+
+void Runtime::schedulePoint(const PendingOp &Op) {
+  assert(!InController && "schedulePoint must be called from a test thread");
+  ThreadState &TS = *Threads[CurTid];
+  TS.Pending = Op;
+  if (Opts.CountOps)
+    ++SyncOps;
+  switchToController(TS);
+  assert(TS.Pending.isEnabled() &&
+         "scheduler resumed a thread whose pending op is disabled");
+}
+
+int Runtime::chooseInt(int N) {
+  assert(N > 0 && "chooseInt requires at least one alternative");
+  if (N == 1)
+    return 0;
+  return Choices.chooseInt(N);
+}
+
+void Runtime::annotate(uint64_t Value) {
+  assert(!InController && "annotate must be called from a test thread");
+  Threads[CurTid]->Annotation = Value;
+}
+
+Tid Runtime::self() const {
+  assert(!InController && "self() must be called from a test thread");
+  return CurTid;
+}
+
+void Runtime::fail(std::string Message) {
+  assert(!InController && "fail must be called from a test thread");
+  Failed = true;
+  FailureBy = CurTid;
+  FailureMsg = std::move(Message);
+  ThreadState &TS = *Threads[CurTid];
+  switchToController(TS);
+  assert(false && "failed thread was rescheduled");
+  __builtin_unreachable();
+}
+
+int Runtime::newObjectId(std::string Name) {
+  ObjectNames.push_back(std::move(Name));
+  return int(ObjectNames.size()) - 1;
+}
+
+void Runtime::setStateExtractor(std::function<uint64_t()> Fn) {
+  assert(!InController && "extractors are registered by test threads");
+  StateExtractor = std::move(Fn);
+  ExtractorOwner = CurTid;
+}
+
+uint64_t Runtime::stateSignature() const {
+  Fnv1a H;
+  H.addU64(StateExtractor ? StateExtractor() : 0);
+  for (const auto &TS : Threads) {
+    if (TS->FinishedFlag) {
+      H.addU64(0xf1f1f1f1f1f1f1f1ULL);
+      continue;
+    }
+    H.addByte(uint8_t(TS->Pending.Kind));
+    H.addU64(uint64_t(TS->Pending.ObjectId) + 1);
+    H.addU64(uint64_t(TS->Pending.Aux));
+    H.addU64(TS->Annotation);
+  }
+  return H.digest();
+}
+
+ThreadSet Runtime::enabledSet() const {
+  ThreadSet ES;
+  for (Tid T : Live)
+    if (Threads[T]->Pending.isEnabled())
+      ES.insert(T);
+  return ES;
+}
+
+const PendingOp &Runtime::pendingOf(Tid T) const {
+  assert(Live.contains(T) && "pendingOf on a non-live thread");
+  return Threads[T]->Pending;
+}
+
+bool Runtime::yieldPending(Tid T) const {
+  return Live.contains(T) && Threads[T]->Pending.isYield();
+}
+
+StepStatus Runtime::step(Tid T) {
+  assert(InController && "step must be called from the controller");
+  assert(Live.contains(T) && "stepping a non-live thread");
+  assert(Threads[T]->Pending.isEnabled() && "stepping a disabled thread");
+  assert(!Failed && "stepping after a failure");
+
+  Runtime *PrevRuntime = CurrentRuntime;
+  CurrentRuntime = this;
+  CurTid = T;
+  InController = false;
+  Fiber::switchTo(Controller, Threads[T]->F);
+  // Back in the controller: the thread parked, finished, or failed.
+  CurTid = -1;
+  CurrentRuntime = PrevRuntime;
+
+  if (Failed)
+    return StepStatus::Failed;
+  if (Threads[T]->FinishedFlag)
+    return StepStatus::Finished;
+  return StepStatus::Parked;
+}
+
+bool Runtime::isFinished(Tid T) const {
+  assert(T >= 0 && T < int(Threads.size()) && "unknown thread");
+  return Threads[T]->FinishedFlag;
+}
+
+const std::string &Runtime::threadName(Tid T) const {
+  assert(T >= 0 && T < int(Threads.size()) && "unknown thread");
+  return Threads[T]->Name;
+}
+
+uint64_t Runtime::annotationOf(Tid T) const {
+  assert(T >= 0 && T < int(Threads.size()) && "unknown thread");
+  return Threads[T]->Annotation;
+}
+
+const std::string &Runtime::objectName(int Id) const {
+  static const std::string None = "<none>";
+  if (Id < 0 || Id >= int(ObjectNames.size()))
+    return None;
+  return ObjectNames[Id];
+}
+
+void fsmc::checkThat(bool Cond, const char *Msg) {
+  if (!Cond)
+    Runtime::current().fail(Msg);
+}

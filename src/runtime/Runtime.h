@@ -1,0 +1,198 @@
+//===- runtime/Runtime.h - Per-execution test-thread world -----*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Runtime owns one execution of a test program: its fibers, their
+/// pending visible operations, and the bookkeeping the explorer needs to
+/// drive Algorithm 1 (enabled set, yield predicate, per-thread annotations).
+///
+/// The runtime is *passive*: it exposes `enabledSet()` and `step(t)` and
+/// leaves every scheduling decision -- fairness, search strategy, choice
+/// enumeration -- to the core library. This mirrors the paper's split
+/// between the program model (Section 3, `NextState`) and the scheduler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_RUNTIME_RUNTIME_H
+#define FSMC_RUNTIME_RUNTIME_H
+
+#include "runtime/Fiber.h"
+#include "runtime/PendingOp.h"
+#include "support/ThreadSet.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fsmc {
+
+/// Resolves nondeterministic choices that arise *inside* a transition.
+///
+/// Thread scheduling is the primary nondeterminism, handled by the explorer
+/// between transitions. Data nondeterminism (`Runtime::chooseInt`) is the
+/// "nondeterministic but finitely-branching thread transition relation"
+/// generalization mentioned in Section 3; it funnels through this interface
+/// so the explorer can enumerate it with the same choice stack.
+class ChoiceSource {
+public:
+  virtual ~ChoiceSource();
+  /// \returns a value in [0, N) for a data choice among \p N alternatives.
+  virtual int chooseInt(int N) = 0;
+};
+
+/// Result of running one transition via Runtime::step.
+enum class StepStatus {
+  Parked,   ///< The thread reached its next scheduling point.
+  Finished, ///< The thread's body returned; it is no longer live.
+  Failed,   ///< The thread reported a safety violation; stop the execution.
+};
+
+/// One execution's world: test threads, their fibers and pending ops.
+///
+/// Lifecycle: construct, `start()` with the main thread's body, then the
+/// explorer repeatedly calls `enabledSet()` / `step(t)` until no live
+/// threads remain (or a bug/bound stops the execution). A fresh Runtime is
+/// built for every execution; the stateless explorer replays by re-running
+/// the test with the same choice sequence.
+class Runtime {
+public:
+  struct Options {
+    size_t StackBytes = Fiber::DefaultStackBytes;
+    /// Maximum trace length retained (0 = unlimited). Long diverging
+    /// executions keep only a suffix-relevant window via the explorer.
+    bool CountOps = true;
+  };
+
+  explicit Runtime(ChoiceSource &Choices);
+  Runtime(ChoiceSource &Choices, Options Opts);
+  ~Runtime();
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  //===--------------------------------------------------------------------
+  // Thread-side API: called from within test-thread fibers.
+  //===--------------------------------------------------------------------
+
+  /// \returns the runtime of the execution the calling fiber belongs to.
+  /// Only valid while an execution is in progress.
+  static Runtime &current();
+
+  /// Spawns a new test thread. The child starts with a ThreadStart pending
+  /// op and runs only when the scheduler first picks it.
+  Tid spawn(std::function<void()> Body, std::string Name = "");
+
+  /// Parks the calling thread at a scheduling point described by \p Op.
+  /// Returns when the scheduler picks this thread; at that moment \p Op's
+  /// enabled predicate is guaranteed to hold, and the caller performs the
+  /// operation's effect atomically (no other thread runs until the next
+  /// scheduling point).
+  void schedulePoint(const PendingOp &Op);
+
+  /// Resolves a data-nondeterministic choice among \p N alternatives.
+  int chooseInt(int N);
+
+  /// Records an abstract per-thread program counter, used by workloads
+  /// that support state capture (Section 4.2.1's manual state extraction).
+  void annotate(uint64_t Value);
+
+  /// \returns the calling thread's id.
+  Tid self() const;
+
+  /// Reports a safety violation and abandons the execution. Never returns
+  /// to the caller; control transfers to the explorer.
+  [[noreturn]] void fail(std::string Message);
+
+  /// Registers a named object (mutex, variable, ...) for traces.
+  int newObjectId(std::string Name);
+
+  /// Registers the workload's manual state-extraction function (Section
+  /// 4.2.1: "we manually added facilities to extract states"). The
+  /// callback is invoked from the controller after every transition while
+  /// the execution is alive; it must only read workload state. Because
+  /// extractors typically read locals of the registering thread, the
+  /// runtime automatically drops the extractor when that thread finishes.
+  void setStateExtractor(std::function<uint64_t()> Fn);
+
+  //===--------------------------------------------------------------------
+  // Controller-side API: called by the explorer between transitions.
+  //===--------------------------------------------------------------------
+
+  /// Creates thread 0 with \p MainBody. Must be called exactly once.
+  void start(std::function<void()> MainBody, std::string Name = "main");
+
+  /// Threads that have been spawned and have not finished.
+  ThreadSet liveSet() const { return Live; }
+
+  /// The enabled set ES of the current state: live threads whose pending
+  /// operation can execute now.
+  ThreadSet enabledSet() const;
+
+  /// The pending visible operation of live thread \p T.
+  const PendingOp &pendingOf(Tid T) const;
+
+  /// The `yield(t)` predicate of Section 3: true iff \p T is live and its
+  /// pending operation is a yielding one.
+  bool yieldPending(Tid T) const;
+
+  /// Runs one transition of \p T: resumes its fiber until the next
+  /// scheduling point, thread exit, or failure. \p T must be enabled.
+  StepStatus step(Tid T);
+
+  bool hasFailure() const { return Failed; }
+  const std::string &failureMessage() const { return FailureMsg; }
+  /// Thread that called fail(), or -1.
+  Tid failureTid() const { return FailureBy; }
+
+  /// Total threads ever spawned in this execution (Table 1 "Threads").
+  int threadCount() const { return int(Threads.size()); }
+  /// Scheduling points executed so far (Table 1 "Synch Ops").
+  uint64_t syncOpCount() const { return SyncOps; }
+
+  /// Signature of the current program state: the workload extractor's
+  /// digest (if registered) combined with each thread's liveness, pending
+  /// operation and annotation. Used for coverage counting and for the
+  /// stateful reference search of Table 2.
+  uint64_t stateSignature() const;
+
+  bool isFinished(Tid T) const;
+  const std::string &threadName(Tid T) const;
+  uint64_t annotationOf(Tid T) const;
+  const std::string &objectName(int Id) const;
+
+private:
+  struct ThreadState;
+
+  static void threadEntry(void *Arg);
+  [[noreturn]] void exitThread(ThreadState &TS);
+  void switchToController(ThreadState &TS);
+
+  ChoiceSource &Choices;
+  Options Opts;
+  Fiber Controller;
+  std::vector<std::unique_ptr<ThreadState>> Threads;
+  std::vector<std::string> ObjectNames;
+  ThreadSet Live;
+  Tid CurTid = -1;       ///< Thread currently executing a transition.
+  bool Failed = false;
+  Tid FailureBy = -1;
+  std::string FailureMsg;
+  uint64_t SyncOps = 0;
+  bool InController = true;
+  std::function<uint64_t()> StateExtractor;
+  Tid ExtractorOwner = -1;
+};
+
+/// Checks a safety property from inside a test thread; on failure reports
+/// a safety violation (with \p Msg) and abandons the execution.
+void checkThat(bool Cond, const char *Msg);
+
+} // namespace fsmc
+
+#endif // FSMC_RUNTIME_RUNTIME_H

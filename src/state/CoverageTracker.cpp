@@ -1,0 +1,27 @@
+//===- state/CoverageTracker.cpp ------------------------------------------===//
+
+#include "state/CoverageTracker.h"
+
+using namespace fsmc;
+
+bool CoverageTracker::record(uint64_t Sig) {
+  if (States.insert(Sig).second)
+    return true;
+  ++Hits;
+  return false;
+}
+
+double CoverageTracker::coverageOf(const CoverageTracker &Reference) const {
+  if (Reference.States.empty())
+    return 1.0;
+  uint64_t Covered = 0;
+  for (uint64_t S : Reference.States)
+    if (States.count(S))
+      ++Covered;
+  return double(Covered) / double(Reference.States.size());
+}
+
+void CoverageTracker::clear() {
+  States.clear();
+  Hits = 0;
+}

@@ -1,0 +1,48 @@
+//===- state/CoverageTracker.h - Distinct-state accounting -----*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records distinct state signatures across a search -- the "states
+/// visited" metric of Table 2 -- and answers coverage queries against a
+/// reference set (the paper's "we used this table to check if the
+/// subsequent runs cover all of the states").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_STATE_COVERAGETRACKER_H
+#define FSMC_STATE_COVERAGETRACKER_H
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace fsmc {
+
+/// A set of visited state signatures with hit statistics.
+class CoverageTracker {
+public:
+  /// Records \p Sig. \returns true if it was new.
+  bool record(uint64_t Sig);
+
+  bool contains(uint64_t Sig) const { return States.count(Sig) != 0; }
+  uint64_t distinct() const { return States.size(); }
+  uint64_t hits() const { return Hits; }
+  uint64_t records() const { return Hits + States.size(); }
+
+  /// Fraction of \p Reference's states present here, in [0, 1].
+  double coverageOf(const CoverageTracker &Reference) const;
+
+  const std::unordered_set<uint64_t> &states() const { return States; }
+  void clear();
+
+private:
+  std::unordered_set<uint64_t> States;
+  uint64_t Hits = 0;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_STATE_COVERAGETRACKER_H

@@ -1,0 +1,13 @@
+//===- state/HeapCanonicalizer.cpp ----------------------------------------===//
+
+#include "state/HeapCanonicalizer.h"
+
+using namespace fsmc;
+
+uint64_t HeapCanonicalizer::idOf(const void *Ptr) {
+  if (!Ptr)
+    return 0;
+  auto [It, Inserted] = Ids.try_emplace(Ptr, Ids.size() + 1);
+  (void)Inserted;
+  return It->second;
+}

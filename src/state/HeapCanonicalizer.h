@@ -1,0 +1,49 @@
+//===- state/HeapCanonicalizer.h - Canonical pointer naming ----*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical renaming of heap addresses for state signatures.
+///
+/// Section 4.2.1: "in order to avoid multiple representations of
+/// behaviorally equivalent heaps, we used a simple heap-canonicalization
+/// algorithm [Iosif, ASE'01]". Two executions that allocate the same
+/// logical objects in different orders (or at different addresses, since
+/// every execution re-runs the allocator) must produce the same signature.
+/// The canonical name of a pointer is its first-visit index in the
+/// deterministic traversal order the workload's extractor uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_STATE_HEAPCANONICALIZER_H
+#define FSMC_STATE_HEAPCANONICALIZER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace fsmc {
+
+/// Assigns dense canonical ids to pointers in first-visit order. Create a
+/// fresh instance per signature computation.
+class HeapCanonicalizer {
+public:
+  /// Canonical id of \p Ptr: 0 for null, otherwise 1 + first-visit index.
+  uint64_t idOf(const void *Ptr);
+
+  /// \returns true if \p Ptr has already been named (useful for cycle
+  /// detection when walking object graphs).
+  bool seen(const void *Ptr) const { return Ids.count(Ptr) != 0; }
+
+  size_t distinctPointers() const { return Ids.size(); }
+
+private:
+  std::unordered_map<const void *, uint64_t> Ids;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_STATE_HEAPCANONICALIZER_H

@@ -1,0 +1,7 @@
+//===- state/StateBuilder.cpp ---------------------------------------------===//
+//
+// StateBuilder is header-only; this TU anchors the module in the library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "state/StateBuilder.h"

@@ -1,0 +1,63 @@
+//===- support/Hashing.h - FNV-1a hashing for state signatures -*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 64-bit FNV-1a hashing used to build the state signatures of Section
+/// 4.2.1 of the paper ("we performed a stateful search of the state space
+/// and stored the state signatures in a hash table").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_SUPPORT_HASHING_H
+#define FSMC_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fsmc {
+
+/// Incremental 64-bit FNV-1a hasher.
+class Fnv1a {
+public:
+  static constexpr uint64_t Offset = 0xcbf29ce484222325ULL;
+  static constexpr uint64_t Prime = 0x100000001b3ULL;
+
+  void addByte(uint8_t B) {
+    H ^= B;
+    H *= Prime;
+  }
+
+  void addU64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      addByte(uint8_t(V >> (I * 8)));
+  }
+
+  void addBytes(const void *Data, size_t Len) {
+    const auto *P = static_cast<const uint8_t *>(Data);
+    for (size_t I = 0; I < Len; ++I)
+      addByte(P[I]);
+  }
+
+  void addString(std::string_view S) { addBytes(S.data(), S.size()); }
+
+  uint64_t digest() const { return H; }
+
+private:
+  uint64_t H = Offset;
+};
+
+/// Convenience one-shot hash of a 64-bit value.
+inline uint64_t hashU64(uint64_t V) {
+  Fnv1a H;
+  H.addU64(V);
+  return H.digest();
+}
+
+} // namespace fsmc
+
+#endif // FSMC_SUPPORT_HASHING_H

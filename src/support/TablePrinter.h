@@ -1,0 +1,53 @@
+//===- support/TablePrinter.h - Paper-style result tables ------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny fixed-width text table builder used by the benchmark harnesses to
+/// print rows in the same layout as the paper's Tables 1-3 and the data
+/// series behind Figures 2, 5 and 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_SUPPORT_TABLEPRINTER_H
+#define FSMC_SUPPORT_TABLEPRINTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsmc {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Headers);
+
+  /// Appends a data row; missing trailing cells render empty, extra cells
+  /// are asserted against in debug builds.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the full table (header, separator, rows) as a string.
+  std::string render() const;
+
+  /// Helpers for common cell formats.
+  static std::string cell(uint64_t V) { return std::to_string(V); }
+  static std::string cell(int V) { return std::to_string(V); }
+  static std::string cellSeconds(double Secs);
+  /// Renders a count with a trailing '*' marker, the paper's notation for
+  /// searches that did not terminate within the time budget.
+  static std::string cellTimedOut(uint64_t V) {
+    return std::to_string(V) + "*";
+  }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,18 @@
+//===- support/ThreadSet.cpp ----------------------------------------------===//
+
+#include "support/ThreadSet.h"
+
+using namespace fsmc;
+
+std::string ThreadSet::str() const {
+  std::string Out = "{";
+  bool First = true;
+  for (Tid T : *this) {
+    if (!First)
+      Out += ", ";
+    Out += std::to_string(T);
+    First = false;
+  }
+  Out += "}";
+  return Out;
+}

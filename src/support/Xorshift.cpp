@@ -1,0 +1,9 @@
+//===- support/Xorshift.cpp -----------------------------------------------===//
+
+#include "support/Xorshift.h"
+
+using namespace fsmc;
+
+void Xorshift::reseed(uint64_t Seed) {
+  State = Seed ? Seed : 0x9e3779b97f4a7c15ULL;
+}

@@ -1,0 +1,53 @@
+//===- support/Xorshift.h - Deterministic PRNG for search ------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic xorshift64* generator. The paper's evaluation
+/// (Section 4.2.1) follows depth-bounded search with a random walk to the
+/// end of the execution; the generator must be seedable and reproducible so
+/// that whole checker runs are replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_SUPPORT_XORSHIFT_H
+#define FSMC_SUPPORT_XORSHIFT_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace fsmc {
+
+/// xorshift64* PRNG. Not cryptographic; used only to pick scheduling
+/// choices in random-walk phases of the search.
+class Xorshift {
+public:
+  explicit Xorshift(uint64_t Seed = 0x9e3779b97f4a7c15ULL)
+      : State(Seed ? Seed : 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform-ish value in [0, N). \p N must be positive.
+  int nextBelow(int N) {
+    assert(N > 0 && "nextBelow requires a positive bound");
+    return int(next() % uint64_t(N));
+  }
+
+  /// Reseeds the generator (0 maps to a fixed nonzero constant).
+  void reseed(uint64_t Seed);
+
+private:
+  uint64_t State;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_SUPPORT_XORSHIFT_H

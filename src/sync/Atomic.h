@@ -1,0 +1,111 @@
+//===- sync/Atomic.h - Modeled shared variables ----------------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared variables whose every access is a visible transition. This is
+/// the modeled counterpart of the `volatile int x` / InterlockedRead
+/// accesses in the paper's examples (Figures 3 and 8): checkers must
+/// interleave at shared-memory accesses to find races like the stale-read
+/// livelock of Figure 8.
+///
+/// `Atomic<T>` provides sequentially consistent load/store/RMW.
+/// `SharedVar<T>` is an alias used by workloads for plain shared data --
+/// the interleaving semantics are the same here, the distinct name only
+/// documents intent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_SYNC_ATOMIC_H
+#define FSMC_SYNC_ATOMIC_H
+
+#include "runtime/Runtime.h"
+
+#include <string>
+#include <type_traits>
+
+namespace fsmc {
+
+/// A modeled shared variable with interleaving at every access.
+template <typename T> class Atomic {
+public:
+  explicit Atomic(T Init = T(), std::string Name = "var")
+      : Id(Runtime::current().newObjectId(std::move(Name))), Value(Init) {}
+
+  /// Visible load.
+  T load() {
+    Runtime::current().schedulePoint(makeOp(OpKind::VarLoad, Id));
+    return Value;
+  }
+
+  /// Visible store.
+  void store(T V) {
+    Runtime::current().schedulePoint(
+        makeOp(OpKind::VarStore, Id, auxOf(V)));
+    Value = V;
+  }
+
+  /// Atomic swap; one visible transition.
+  T exchange(T V) {
+    Runtime::current().schedulePoint(makeOp(OpKind::VarRmw, Id, auxOf(V)));
+    T Old = Value;
+    Value = V;
+    return Old;
+  }
+
+  /// Atomic compare-and-swap; one visible transition. On failure
+  /// \p Expected is updated with the observed value.
+  bool compareExchange(T &Expected, T Desired) {
+    Runtime::current().schedulePoint(
+        makeOp(OpKind::VarRmw, Id, auxOf(Desired)));
+    if (Value == Expected) {
+      Value = Desired;
+      return true;
+    }
+    Expected = Value;
+    return false;
+  }
+
+  /// Atomic fetch-add (integral T only); one visible transition.
+  T fetchAdd(T Delta) {
+    static_assert(std::is_integral_v<T>, "fetchAdd requires an integer");
+    Runtime::current().schedulePoint(
+        makeOp(OpKind::VarRmw, Id, auxOf(Delta)));
+    T Old = Value;
+    Value = T(Value + Delta);
+    return Old;
+  }
+
+  /// Non-visible read: no scheduling point. For state extractors,
+  /// invariant checks at quiescence, and thread-local fast paths that are
+  /// deliberately *not* interleaving points (used to seed the Figure 8
+  /// stale-read bug).
+  T raw() const { return Value; }
+
+  /// Non-visible write for initialization before threads race.
+  void rawStore(T V) { Value = V; }
+
+  int objectId() const { return Id; }
+
+private:
+  static int64_t auxOf(const T &V) {
+    if constexpr (std::is_integral_v<T> || std::is_enum_v<T>)
+      return int64_t(V);
+    else
+      return 0;
+  }
+
+  int Id;
+  T Value;
+};
+
+/// Plain shared data accessed by multiple threads; same modeling as
+/// Atomic, the alias documents workload intent.
+template <typename T> using SharedVar = Atomic<T>;
+
+} // namespace fsmc
+
+#endif // FSMC_SYNC_ATOMIC_H

@@ -1,0 +1,28 @@
+//===- sync/Barrier.cpp ---------------------------------------------------===//
+
+#include "sync/Barrier.h"
+
+using namespace fsmc;
+
+Barrier::Barrier(int Participants, std::string Name)
+    : Id(Runtime::current().newObjectId(std::move(Name))),
+      Participants(Participants) {
+  assert(Participants > 0 && "barrier needs at least one participant");
+}
+
+bool Barrier::arriveAndWait() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(makeOp(OpKind::BarrierArrive, Id));
+  if (++Arrived == Participants) {
+    Arrived = 0;
+    ++Generation;
+    return true;
+  }
+  // Park until the final participant advances the generation. The wait
+  // context lives on this fiber's stack, which stays alive while parked.
+  WaitCtx W{this, Generation};
+  RT.schedulePoint(makeGuardedOp(OpKind::BarrierArrive, Id,
+                                 &Barrier::generationAdvanced, &W,
+                                 /*Aux=*/1));
+  return false;
+}

@@ -1,0 +1,58 @@
+//===- sync/Barrier.h - Modeled cyclic barrier -----------------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cyclic barrier for a fixed participant count. Arrival is one visible
+/// transition; non-final arrivals then block (disabled) until the final
+/// participant opens the next generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_SYNC_BARRIER_H
+#define FSMC_SYNC_BARRIER_H
+
+#include "runtime/Runtime.h"
+
+#include <cstdint>
+#include <string>
+
+namespace fsmc {
+
+/// A reusable (cyclic) barrier. Construct inside a test execution only.
+class Barrier {
+public:
+  explicit Barrier(int Participants, std::string Name = "barrier");
+
+  /// Arrives at the barrier and waits for the rest of the cohort.
+  /// \returns true for exactly one participant per generation (the one
+  /// whose arrival released it), mirroring pthread_barrier's
+  /// SERIAL_THREAD convention.
+  bool arriveAndWait();
+
+  int arrived() const { return Arrived; }
+  uint64_t generation() const { return Generation; }
+  int objectId() const { return Id; }
+
+private:
+  struct WaitCtx {
+    const Barrier *B;
+    uint64_t Gen;
+  };
+  static bool generationAdvanced(const void *Ctx) {
+    const auto *W = static_cast<const WaitCtx *>(Ctx);
+    return W->B->Generation != W->Gen;
+  }
+
+  int Id;
+  int Participants;
+  int Arrived = 0;
+  uint64_t Generation = 0;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_SYNC_BARRIER_H

@@ -1,0 +1,52 @@
+//===- sync/CondVar.cpp ---------------------------------------------------===//
+
+#include "sync/CondVar.h"
+
+using namespace fsmc;
+
+CondVar::CondVar(std::string Name)
+    : Id(Runtime::current().newObjectId(std::move(Name))) {}
+
+void CondVar::wait(Mutex &M) {
+  Runtime &RT = Runtime::current();
+  checkThat(M.holder() == RT.self(), "CondVar::wait without holding mutex");
+  // Release and register atomically: the increment happens inside the
+  // unlock transition, before any other thread can run.
+  M.unlock();
+  ++Waiters;
+  RT.schedulePoint(
+      makeGuardedOp(OpKind::CondWait, Id, &CondVar::hasPermit, this));
+  assert(Permits > 0 && "woken without a permit");
+  --Permits;
+  --Waiters;
+  M.lock();
+}
+
+bool CondVar::waitTimed(Mutex &M) {
+  Runtime &RT = Runtime::current();
+  checkThat(M.holder() == RT.self(),
+            "CondVar::waitTimed without holding mutex");
+  M.unlock();
+  ++Waiters;
+  // Always enabled (the timeout can fire) and yielding (Section 4).
+  RT.schedulePoint(makeOp(OpKind::CondTimedWait, Id));
+  bool Notified = Permits > 0;
+  if (Notified)
+    --Permits;
+  --Waiters;
+  M.lock();
+  return Notified;
+}
+
+void CondVar::notifyOne() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(makeOp(OpKind::CondNotify, Id, /*Aux=*/1));
+  if (Permits < Waiters)
+    ++Permits;
+}
+
+void CondVar::notifyAll() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(makeOp(OpKind::CondNotify, Id, /*Aux=*/2));
+  Permits = Waiters;
+}

@@ -1,0 +1,70 @@
+//===- sync/CondVar.h - Modeled condition variable -------------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A condition variable over a \ref Mutex.
+///
+/// `wait` atomically releases the mutex and registers as a waiter (one
+/// transition), blocks until a notification is available, consumes it, and
+/// reacquires the mutex (a further blocking transition). When several
+/// waiters compete for one notifyOne, all become enabled and the demonic
+/// scheduler picks the winner -- exactly the nondeterminism a checker must
+/// explore.
+///
+/// `waitTimed` models a wait with a finite timeout: it is *always enabled*
+/// (the timeout can always fire) and is a *yielding* operation, following
+/// Section 4's rule that "every synchronization operation with a finite
+/// timeout" counts as a yield. Spin loops built on timed waits are exactly
+/// the good-samaritan-conforming idiom the fair scheduler expects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_SYNC_CONDVAR_H
+#define FSMC_SYNC_CONDVAR_H
+
+#include "sync/Mutex.h"
+
+#include <string>
+
+namespace fsmc {
+
+/// A condition variable. Construct inside a test execution only.
+class CondVar {
+public:
+  explicit CondVar(std::string Name = "cond");
+
+  /// Releases \p M, waits for a notification, reacquires \p M. The caller
+  /// must hold \p M. Subject to spurious batching by notifyAll, so use the
+  /// standard while-loop idiom around the predicate.
+  void wait(Mutex &M);
+
+  /// Timed wait: releases \p M, yields, wakes either by notification or
+  /// timeout, reacquires \p M. \returns true if a notification was
+  /// consumed, false on (modeled) timeout.
+  bool waitTimed(Mutex &M);
+
+  /// Wakes one blocked waiter (no-op when none are blocked).
+  void notifyOne();
+  /// Wakes all currently blocked waiters.
+  void notifyAll();
+
+  int waiters() const { return Waiters; }
+  int objectId() const { return Id; }
+
+private:
+  static bool hasPermit(const void *Ctx) {
+    return static_cast<const CondVar *>(Ctx)->Permits > 0;
+  }
+
+  int Id;
+  int Waiters = 0; ///< Threads registered and not yet woken.
+  int Permits = 0; ///< Outstanding wakeups (≤ Waiters).
+};
+
+} // namespace fsmc
+
+#endif // FSMC_SYNC_CONDVAR_H

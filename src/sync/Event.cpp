@@ -1,0 +1,38 @@
+//===- sync/Event.cpp -----------------------------------------------------===//
+
+#include "sync/Event.h"
+
+using namespace fsmc;
+
+Event::Event(Reset Mode, bool InitiallySet, std::string Name)
+    : Id(Runtime::current().newObjectId(std::move(Name))), Mode(Mode),
+      SetFlag(InitiallySet) {}
+
+void Event::wait() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(
+      makeGuardedOp(OpKind::EventWait, Id, &Event::isSignaled, this));
+  assert(SetFlag && "scheduled while event unset");
+  if (Mode == Reset::Auto)
+    SetFlag = false;
+}
+
+bool Event::waitTimed() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(makeOp(OpKind::EventTimedWait, Id));
+  if (!SetFlag)
+    return false;
+  if (Mode == Reset::Auto)
+    SetFlag = false;
+  return true;
+}
+
+void Event::set() {
+  Runtime::current().schedulePoint(makeOp(OpKind::EventSet, Id));
+  SetFlag = true;
+}
+
+void Event::reset() {
+  Runtime::current().schedulePoint(makeOp(OpKind::EventReset, Id));
+  SetFlag = false;
+}

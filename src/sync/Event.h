@@ -1,0 +1,60 @@
+//===- sync/Event.h - Win32-style event objects ----------------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Auto-reset and manual-reset events in the Win32 style the paper's
+/// subject programs (Dryad channels, APE) are built on. `wait` blocks
+/// until the event is set; `waitTimed` has a finite timeout and is a
+/// yielding operation per Section 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_SYNC_EVENT_H
+#define FSMC_SYNC_EVENT_H
+
+#include "runtime/Runtime.h"
+
+#include <string>
+
+namespace fsmc {
+
+/// A settable event. Auto-reset events release exactly one waiter per
+/// set(); manual-reset events stay signaled until reset().
+class Event {
+public:
+  enum class Reset { Auto, Manual };
+
+  explicit Event(Reset Mode = Reset::Auto, bool InitiallySet = false,
+                 std::string Name = "event");
+
+  /// Blocks (disabled) until the event is set; consumes it if auto-reset.
+  void wait();
+
+  /// Timed wait: always enabled, yielding. \returns true if the event was
+  /// set (and consumed, if auto-reset), false on modeled timeout.
+  bool waitTimed();
+
+  void set();
+  void reset();
+
+  /// Non-visible read for state extractors and invariants.
+  bool isSet() const { return SetFlag; }
+  int objectId() const { return Id; }
+
+private:
+  static bool isSignaled(const void *Ctx) {
+    return static_cast<const Event *>(Ctx)->SetFlag;
+  }
+
+  int Id;
+  Reset Mode;
+  bool SetFlag;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_SYNC_EVENT_H

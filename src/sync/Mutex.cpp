@@ -1,0 +1,31 @@
+//===- sync/Mutex.cpp -----------------------------------------------------===//
+
+#include "sync/Mutex.h"
+
+using namespace fsmc;
+
+Mutex::Mutex(std::string Name)
+    : Id(Runtime::current().newObjectId(std::move(Name))) {}
+
+void Mutex::lock() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(makeGuardedOp(OpKind::MutexLock, Id, &Mutex::isFree, this));
+  assert(Holder < 0 && "scheduled while mutex held");
+  Holder = RT.self();
+}
+
+bool Mutex::tryLock() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(makeOp(OpKind::MutexTryLock, Id));
+  if (Holder >= 0)
+    return false;
+  Holder = RT.self();
+  return true;
+}
+
+void Mutex::unlock() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(makeOp(OpKind::MutexUnlock, Id));
+  checkThat(Holder == RT.self(), "unlock of a mutex not held by the caller");
+  Holder = -1;
+}

@@ -1,0 +1,38 @@
+//===- sync/RwLock.cpp ----------------------------------------------------===//
+
+#include "sync/RwLock.h"
+
+using namespace fsmc;
+
+RwLock::RwLock(std::string Name)
+    : Id(Runtime::current().newObjectId(std::move(Name))) {}
+
+void RwLock::lockShared() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(
+      makeGuardedOp(OpKind::RwReadLock, Id, &RwLock::noWriter, this));
+  assert(Writer < 0 && "reader admitted while writer holds the lock");
+  ++Readers;
+}
+
+void RwLock::lockExclusive() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(
+      makeGuardedOp(OpKind::RwWriteLock, Id, &RwLock::isFree, this));
+  assert(Writer < 0 && Readers == 0 && "writer admitted while lock busy");
+  Writer = RT.self();
+}
+
+void RwLock::unlockShared() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(makeOp(OpKind::RwUnlock, Id));
+  checkThat(Readers > 0, "unlockShared with no readers");
+  --Readers;
+}
+
+void RwLock::unlockExclusive() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(makeOp(OpKind::RwUnlock, Id, /*Aux=*/1));
+  checkThat(Writer == RT.self(), "unlockExclusive by a non-writer");
+  Writer = -1;
+}

@@ -1,0 +1,59 @@
+//===- sync/RwLock.h - Modeled reader-writer lock --------------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reader-writer lock: any number of concurrent readers or one writer.
+/// Writer-preference is deliberately *not* built in -- the demonic
+/// scheduler explores both admission orders, and writer starvation under
+/// an unfair schedule is exactly what the fair scheduler prunes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_SYNC_RWLOCK_H
+#define FSMC_SYNC_RWLOCK_H
+
+#include "runtime/Runtime.h"
+
+#include <string>
+
+namespace fsmc {
+
+/// A reader-writer lock. Construct inside a test execution only.
+class RwLock {
+public:
+  explicit RwLock(std::string Name = "rwlock");
+
+  /// Shared acquire: enabled iff no writer holds the lock.
+  void lockShared();
+  /// Exclusive acquire: enabled iff no reader or writer holds the lock.
+  void lockExclusive();
+  /// Releases a shared hold.
+  void unlockShared();
+  /// Releases the exclusive hold.
+  void unlockExclusive();
+
+  int readers() const { return Readers; }
+  Tid writer() const { return Writer; }
+  int objectId() const { return Id; }
+
+private:
+  static bool noWriter(const void *Ctx) {
+    return static_cast<const RwLock *>(Ctx)->Writer < 0;
+  }
+  static bool isFree(const void *Ctx) {
+    const auto *L = static_cast<const RwLock *>(Ctx);
+    return L->Writer < 0 && L->Readers == 0;
+  }
+
+  int Id;
+  int Readers = 0;
+  Tid Writer = -1;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_SYNC_RWLOCK_H

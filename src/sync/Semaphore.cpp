@@ -1,0 +1,33 @@
+//===- sync/Semaphore.cpp -------------------------------------------------===//
+
+#include "sync/Semaphore.h"
+
+using namespace fsmc;
+
+Semaphore::Semaphore(int Initial, std::string Name)
+    : Id(Runtime::current().newObjectId(std::move(Name))), Count(Initial) {
+  assert(Initial >= 0 && "negative initial semaphore count");
+}
+
+void Semaphore::wait() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(
+      makeGuardedOp(OpKind::SemWait, Id, &Semaphore::isPositive, this));
+  assert(Count > 0 && "scheduled with zero semaphore count");
+  --Count;
+}
+
+bool Semaphore::tryWait() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(makeOp(OpKind::SemWait, Id, /*Aux=*/1));
+  if (Count == 0)
+    return false;
+  --Count;
+  return true;
+}
+
+void Semaphore::post() {
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(makeOp(OpKind::SemPost, Id));
+  ++Count;
+}

@@ -1,0 +1,52 @@
+//===- sync/Semaphore.h - Modeled counting semaphore -----------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A counting semaphore with visible wait/post transitions. `wait` is
+/// enabled iff the count is positive; the consuming decrement and any
+/// competing waiter's disabling happen within one transition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_SYNC_SEMAPHORE_H
+#define FSMC_SYNC_SEMAPHORE_H
+
+#include "runtime/Runtime.h"
+
+#include <string>
+
+namespace fsmc {
+
+/// A counting semaphore. Construct inside a test execution only.
+class Semaphore {
+public:
+  explicit Semaphore(int Initial = 0, std::string Name = "sem");
+
+  /// P(): blocks (disabled) while the count is zero, then decrements.
+  void wait();
+
+  /// Non-blocking P(): always enabled. \returns true if a unit was taken.
+  bool tryWait();
+
+  /// V(): increments the count; always enabled.
+  void post();
+
+  int count() const { return Count; }
+  int objectId() const { return Id; }
+
+private:
+  static bool isPositive(const void *Ctx) {
+    return static_cast<const Semaphore *>(Ctx)->Count > 0;
+  }
+
+  int Id;
+  int Count;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_SYNC_SEMAPHORE_H

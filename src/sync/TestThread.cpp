@@ -1,0 +1,49 @@
+//===- sync/TestThread.cpp ------------------------------------------------===//
+
+#include "sync/TestThread.h"
+
+using namespace fsmc;
+
+TestThread::TestThread(std::function<void()> Body, std::string Name) {
+  RT = &Runtime::current();
+  Id = RT->spawn(std::move(Body), std::move(Name));
+}
+
+TestThread::TestThread(TestThread &&O) noexcept
+    : RT(O.RT), Id(O.Id), Joined(O.Joined) {
+  O.RT = nullptr;
+  O.Id = -1;
+  O.Joined = false;
+}
+
+TestThread &TestThread::operator=(TestThread &&O) noexcept {
+  RT = O.RT;
+  Id = O.Id;
+  Joined = O.Joined;
+  O.RT = nullptr;
+  O.Id = -1;
+  O.Joined = false;
+  return *this;
+}
+
+bool TestThread::targetFinished(const void *Ctx) {
+  const auto *T = static_cast<const TestThread *>(Ctx);
+  return T->RT->isFinished(T->Id);
+}
+
+void TestThread::join() {
+  checkThat(joinable(), "join of a non-joinable thread");
+  Runtime &R = Runtime::current();
+  R.schedulePoint(makeGuardedOp(OpKind::Join, /*ObjectId=*/-1,
+                                &TestThread::targetFinished, this,
+                                /*Aux=*/Id));
+  Joined = true;
+}
+
+void fsmc::yieldNow() {
+  Runtime::current().schedulePoint(makeOp(OpKind::Yield));
+}
+
+void fsmc::sleepFor(int Ticks) {
+  Runtime::current().schedulePoint(makeOp(OpKind::Sleep, -1, Ticks));
+}

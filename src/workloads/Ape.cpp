@@ -1,0 +1,105 @@
+//===- workloads/Ape.cpp --------------------------------------------------===//
+
+#include "workloads/Ape.h"
+
+#include "runtime/Runtime.h"
+#include "sync/Atomic.h"
+#include "sync/Mutex.h"
+#include "sync/TestThread.h"
+#include "workloads/Channels.h"
+
+#include <vector>
+
+using namespace fsmc;
+
+namespace {
+
+/// Shared environment state. The work queue carries item indices; the
+/// retry queue carries items whose first attempt failed transiently.
+struct ApeWorld {
+  explicit ApeWorld(const ApeConfig &Config)
+      : Work(/*Capacity=*/Config.Items + 1, ChannelBug::None, "ape.work"),
+        Retry(/*Capacity=*/Config.Items + 1, ChannelBug::None, "ape.retry"),
+        Completed(0, "ape.completed"), StatsLock("ape.stats") {
+    Attempts.assign(size_t(Config.Items), 0);
+    DoneFlags.assign(size_t(Config.Items), 0);
+  }
+
+  Channel Work;
+  Channel Retry;
+  Atomic<int> Completed;
+  Mutex StatsLock;
+  std::vector<int> Attempts;
+  std::vector<int> DoneFlags;
+};
+
+/// Executes one item; returns false on a (chosen) transient failure.
+bool processItem(ApeWorld &W, int Item, bool AllowFailure) {
+  Runtime &RT = Runtime::current();
+  W.StatsLock.lock();
+  ++W.Attempts[size_t(Item)];
+  bool FirstAttempt = W.Attempts[size_t(Item)] == 1;
+  W.StatsLock.unlock();
+
+  // Data nondeterminism: the checker explores both the success and the
+  // transient-failure outcome of a first attempt.
+  if (AllowFailure && FirstAttempt && RT.chooseInt(2) == 1)
+    return false;
+
+  W.StatsLock.lock();
+  checkThat(W.DoneFlags[size_t(Item)] == 0, "APE item completed twice");
+  W.DoneFlags[size_t(Item)] = 1;
+  W.StatsLock.unlock();
+  W.Completed.fetchAdd(1);
+  return true;
+}
+
+} // namespace
+
+TestProgram fsmc::makeApeProgram(const ApeConfig &Config) {
+  TestProgram P;
+  P.Name = "ape";
+  P.Body = [Config] {
+    ApeWorld W(Config);
+
+    std::vector<TestThread> Workers;
+    for (int I = 0; I < Config.Workers; ++I)
+      Workers.emplace_back(
+          [&W, &Config] {
+            int Item;
+            while (W.Work.recv(Item)) {
+              if (!processItem(W, Item, Config.TransientFailures))
+                W.Retry.send(Item); // Defer to the retry timer.
+            }
+          },
+          "worker" + std::to_string(I));
+
+    // The retry timer: sleeps (yielding) and reposts failed items.
+    TestThread Timer(
+        [&W] {
+          int Item;
+          while (W.Retry.recv(Item)) {
+            sleepFor(); // Back-off before the retry.
+            W.Work.send(Item);
+          }
+        },
+        "timer");
+
+    for (int Item = 0; Item < Config.Items; ++Item)
+      W.Work.send(Item);
+
+    // Wait for all completions (yielding poll), then shut down: the retry
+    // channel closes first so the timer exits, then the work channel.
+    while (W.Completed.load() < Config.Items)
+      sleepFor();
+    W.Retry.close();
+    Timer.join();
+    W.Work.close();
+    for (TestThread &Worker : Workers)
+      Worker.join();
+
+    for (int Item = 0; Item < Config.Items; ++Item)
+      checkThat(W.DoneFlags[size_t(Item)] == 1, "APE item never completed");
+  };
+  return P;
+}

@@ -1,0 +1,42 @@
+//===- workloads/Ape.h - Asynchronous Processing Environment ---*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An analog of APE, "a library in the Windows operating system that
+/// provides a set of data structures and functions for asynchronous
+/// multithreaded code" (Table 1: 4 threads).
+///
+/// Work items are posted to a completion-port-style channel; a pool of
+/// worker threads executes them; items can fail transiently (modeled with
+/// Runtime::chooseInt, the paper's finitely-branching data nondeterminism)
+/// and a retry timer thread reposts them after a back-off sleep. The whole
+/// environment is a nonterminating service; the test harness bounds the
+/// number of items, making it fair-terminating (Section 2's test-harness
+/// discipline).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_WORKLOADS_APE_H
+#define FSMC_WORKLOADS_APE_H
+
+#include "core/Checker.h"
+
+namespace fsmc {
+
+struct ApeConfig {
+  int Workers = 2;
+  int Items = 3;
+  /// Allow items to fail transiently once and be retried by the timer.
+  bool TransientFailures = true;
+};
+
+/// Builds the asynchronous-processing-environment test program.
+TestProgram makeApeProgram(const ApeConfig &Config);
+
+} // namespace fsmc
+
+#endif // FSMC_WORKLOADS_APE_H

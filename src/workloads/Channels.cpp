@@ -1,0 +1,217 @@
+//===- workloads/Channels.cpp ---------------------------------------------===//
+
+#include "workloads/Channels.h"
+
+#include "runtime/Runtime.h"
+#include "sync/Atomic.h"
+#include "sync/TestThread.h"
+
+#include <memory>
+
+using namespace fsmc;
+
+Channel::Channel(int Capacity, ChannelBug Bug, std::string Name)
+    : M(Name + ".lock"), NotEmpty(Name + ".notempty"),
+      NotFull(Name + ".notfull"), Buf(size_t(Capacity), 0),
+      Capacity(Capacity), Bug(Bug) {
+  assert(Capacity > 0 && "channel capacity must be positive");
+}
+
+int Channel::take() {
+  checkThat(!Freed, "channel buffer used after close() freed it");
+  checkThat(Count > 0, "channel take() on an empty buffer");
+  int V = Buf[size_t(Hd)];
+  Hd = (Hd + 1) % Capacity;
+  --Count;
+  return V;
+}
+
+void Channel::put(int V) {
+  checkThat(!Freed, "channel buffer used after close() freed it");
+  checkThat(Count < Capacity, "channel put() on a full buffer");
+  Buf[size_t((Hd + Count) % Capacity)] = V;
+  ++Count;
+}
+
+void Channel::send(int V) {
+  M.lock();
+  while (Count == Capacity && !Closed)
+    NotFull.wait(M);
+  if (Closed) {
+    // Cancellation semantics: sends racing a close are dropped.
+    M.unlock();
+    return;
+  }
+  put(V);
+  NotEmpty.notifyOne();
+  M.unlock();
+  // Bug4: channel statistics are updated after the lock is released. The
+  // locked close() (the "fix" for bug 3) does not protect this late
+  // write, so a close sliding into this window still frees the channel
+  // under the writer -- the paper's previously-unknown bug in the fix.
+  if (Bug == ChannelBug::BadCloseFix) {
+    checkThat(!Freed, "channel buffer used after close() freed it");
+    LastSent = V;
+  }
+}
+
+bool Channel::recv(int &V) {
+  M.lock();
+  if (Bug == ChannelBug::IfInsteadOfWhile) {
+    // Bug1: a single re-check admits a receiver whose wakeup another
+    // receiver consumed, straight past an empty buffer.
+    if (Count == 0 && !Closed)
+      NotEmpty.wait(M);
+  } else {
+    while (Count == 0 && !Closed)
+      NotEmpty.wait(M);
+  }
+  if (Count == 0 && Closed) {
+    M.unlock();
+    return false;
+  }
+  V = take();
+  if (Bug == ChannelBug::LostSignal) {
+    // Bug2: "only the full -> not-full transition needs a signal". Wrong:
+    // with two senders blocked, draining two slots produces one wakeup
+    // and strands the second sender forever -- a missed-wakeup deadlock.
+    if (Count == Capacity - 1)
+      NotFull.notifyOne();
+  } else {
+    NotFull.notifyOne();
+  }
+  M.unlock();
+  return true;
+}
+
+void Channel::close() {
+  if (Bug == ChannelBug::RacyClose) {
+    // Bug3: teardown without the lock. A sender or receiver inside its
+    // critical section observes the freed buffer.
+    Closed = true;
+    Freed = true;
+    NotEmpty.notifyAll();
+    NotFull.notifyAll();
+    return;
+  }
+  M.lock();
+  Closed = true;
+  if (Bug == ChannelBug::BadCloseFix || Bug == ChannelBug::RacyClose)
+    Freed = true;
+  NotEmpty.notifyAll();
+  NotFull.notifyAll();
+  M.unlock();
+}
+
+TestProgram fsmc::makeChannelsProgram(const ChannelsConfig &Config) {
+  TestProgram P;
+  P.Name = "channels";
+  P.Body = [Config] {
+    Channel Chan(Config.Capacity, Config.Bug, "chan");
+    int Total = Config.Producers * Config.Messages;
+    // A close threshold below Total exercises the cancellation path:
+    // main closes the channel mid-stream and racing sends are dropped.
+    int CloseAfter = Config.CloseAfter >= 0 ? Config.CloseAfter : Total;
+    std::vector<int> Received(size_t(Total), 0);
+    Atomic<int> ReceivedCount(0, "received.count");
+
+    std::vector<TestThread> Producers;
+    for (int I = 0; I < Config.Producers; ++I)
+      Producers.emplace_back(
+          [&Chan, I, &Config] {
+            for (int MsgIdx = 0; MsgIdx < Config.Messages; ++MsgIdx)
+              Chan.send(I * Config.Messages + MsgIdx);
+          },
+          "prod" + std::to_string(I));
+
+    std::vector<TestThread> Consumers;
+    for (int I = 0; I < Config.Consumers; ++I)
+      Consumers.emplace_back(
+          [&Chan, &Received, &ReceivedCount, Total] {
+            int V;
+            while (Chan.recv(V)) {
+              checkThat(V >= 0 && V < Total, "received garbage message");
+              ++Received[size_t(V)];
+              checkThat(Received[size_t(V)] == 1,
+                        "message delivered twice");
+              ReceivedCount.fetchAdd(1);
+            }
+          },
+          "cons" + std::to_string(I));
+
+    if (CloseAfter == Total) {
+      // Normal shutdown: producers must all finish (a stranded sender --
+      // bug 2 -- turns this join into a genuine deadlock), then main
+      // waits for the drain and closes.
+      for (TestThread &Prod : Producers)
+        Prod.join();
+      while (ReceivedCount.load() < Total)
+        sleepFor(); // Yielding spin: Section 4's good-samaritan idiom.
+      Chan.close();
+    } else {
+      // Cancellation: close mid-stream, racing the producers' sends (the
+      // window the close() bugs 3 and 4 need).
+      while (ReceivedCount.load() < CloseAfter)
+        sleepFor();
+      Chan.close();
+      for (TestThread &Prod : Producers)
+        Prod.join();
+    }
+    for (TestThread &Cons : Consumers)
+      Cons.join();
+
+    if (CloseAfter == Total)
+      for (int I = 0; I < Total; ++I)
+        checkThat(Received[size_t(I)] == 1, "message lost");
+  };
+  return P;
+}
+
+TestProgram fsmc::makeFifoMuxProgram(const FifoMuxConfig &Config) {
+  TestProgram P;
+  P.Name = "fifomux";
+  P.Body = [Config] {
+    // One input channel per source; pump threads multiplex every input
+    // into the shared output channel. FIFO order per input must survive.
+    std::vector<std::unique_ptr<Channel>> Inputs;
+    for (int I = 0; I < Config.Inputs; ++I)
+      Inputs.push_back(std::make_unique<Channel>(
+          Config.Capacity, ChannelBug::None, "in" + std::to_string(I)));
+    Channel Output(Config.Capacity * 2, ChannelBug::None, "out");
+
+    std::vector<TestThread> Workers;
+    for (int I = 0; I < Config.Inputs; ++I) {
+      Workers.emplace_back(
+          [&Inputs, I, &Config] {
+            for (int MsgIdx = 0; MsgIdx < Config.MessagesPerInput; ++MsgIdx)
+              Inputs[size_t(I)]->send(I * 1000 + MsgIdx);
+            Inputs[size_t(I)]->close();
+          },
+          "src" + std::to_string(I));
+      Workers.emplace_back(
+          [&Inputs, &Output, I] {
+            int V;
+            while (Inputs[size_t(I)]->recv(V))
+              Output.send(V);
+          },
+          "pump" + std::to_string(I));
+    }
+
+    // Main drains the output and checks per-input FIFO order.
+    std::vector<int> LastSeen(size_t(Config.Inputs), -1);
+    int Expected = Config.Inputs * Config.MessagesPerInput;
+    for (int N = 0; N < Expected; ++N) {
+      int V;
+      bool OK = Output.recv(V);
+      checkThat(OK, "output channel closed early");
+      int Src = V / 1000, Seq = V % 1000;
+      checkThat(Src >= 0 && Src < Config.Inputs, "bad mux source");
+      checkThat(Seq > LastSeen[size_t(Src)],
+                "per-input FIFO order violated by the mux");
+      LastSeen[size_t(Src)] = Seq;
+    }
+    for (TestThread &W : Workers)
+      W.join();
+  };
+  return P;
+}

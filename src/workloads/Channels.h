@@ -1,0 +1,119 @@
+//===- workloads/Channels.h - Dryad-style channel library ------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded FIFO channel library modeled on the channels of Dryad, "a
+/// distributed execution engine for coarse-grained data-parallel
+/// applications", which the paper checks unmodified (Table 1 "Dryad
+/// Channels" / "Dryad Fifo"; Table 3 "Dryad bug 1-4").
+///
+/// Four seeded bugs reproduce the Table 3 defect classes:
+///   Bug1 (IfInsteadOfWhile)  -- the receiver re-checks its wait condition
+///        with `if` instead of `while`; with two receivers a batched
+///        wakeup admits one past an empty buffer.
+///   Bug2 (LostSignal)        -- the sender only signals when the buffer
+///        transitions empty -> nonempty; a second blocked receiver sleeps
+///        forever: a missed-wakeup deadlock.
+///   Bug3 (RacyClose)         -- close() tears the channel down without
+///        taking the lock; a receiver inside its critical section touches
+///        freed buffer memory.
+///   Bug4 (BadCloseFix)       -- the "fix" for bug 3 locks close(), but
+///        the sender still updates channel statistics after releasing the
+///        lock; the narrower race needs a deeper interleaving, matching
+///        the paper's previously-unknown bug found in the fix of bug 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_WORKLOADS_CHANNELS_H
+#define FSMC_WORKLOADS_CHANNELS_H
+
+#include "core/Checker.h"
+#include "sync/CondVar.h"
+#include "sync/Mutex.h"
+
+#include <string>
+#include <vector>
+
+namespace fsmc {
+
+enum class ChannelBug {
+  None,
+  IfInsteadOfWhile, ///< Bug1.
+  LostSignal,       ///< Bug2.
+  RacyClose,        ///< Bug3.
+  BadCloseFix,      ///< Bug4.
+};
+
+/// A bounded multi-producer multi-consumer FIFO channel. Construct inside
+/// a test execution only.
+class Channel {
+public:
+  Channel(int Capacity, ChannelBug Bug, std::string Name = "chan");
+
+  /// Sends \p V, blocking while the buffer is full. Sending on a closed
+  /// channel is a safety violation.
+  void send(int V);
+
+  /// Receives into \p V, blocking while the buffer is empty and the
+  /// channel is open. \returns false once the channel is closed and
+  /// drained.
+  bool recv(int &V);
+
+  /// Closes the channel and wakes all blocked receivers.
+  void close();
+
+  int size() const { return Count; }
+  bool closed() const { return Closed; }
+
+private:
+  int take();
+  void put(int V);
+
+  Mutex M;
+  CondVar NotEmpty;
+  CondVar NotFull;
+  std::vector<int> Buf;
+  int Capacity;
+  int Count = 0;
+  int Hd = 0;
+  bool Closed = false;
+  bool Freed = false;   ///< Buffer torn down by close().
+  int LastSent = 0;     ///< "Statistics" written by send (bug 4's race).
+  ChannelBug Bug;
+};
+
+struct ChannelsConfig {
+  int Capacity = 2;
+  int Producers = 1;
+  int Consumers = 2;
+  int Messages = 2; ///< Messages per producer.
+  ChannelBug Bug = ChannelBug::None;
+  /// If >= 0, main closes the channel after this many deliveries (the
+  /// cancellation path the close() bugs race against); -1 = close only
+  /// after all messages arrived.
+  int CloseAfter = -1;
+};
+
+/// Builds the producer/consumer channel test program.
+TestProgram makeChannelsProgram(const ChannelsConfig &Config);
+
+struct FifoMuxConfig {
+  /// Input channels, each with a producer and a pump thread multiplexing
+  /// into one output; 12 inputs gives the 25-thread "Dryad Fifo" shape of
+  /// Table 1 (1 main + 12 producers + 12 pumps).
+  int Inputs = 12;
+  int MessagesPerInput = 4;
+  int Capacity = 2;
+};
+
+/// Builds the fifo-multiplexer program (the "Dryad Fifo" analog): per-input
+/// FIFO order must be preserved through the mux.
+TestProgram makeFifoMuxProgram(const FifoMuxConfig &Config);
+
+} // namespace fsmc
+
+#endif // FSMC_WORKLOADS_CHANNELS_H

@@ -1,0 +1,147 @@
+//===- workloads/DiningPhilosophers.cpp -----------------------------------===//
+
+#include "workloads/DiningPhilosophers.h"
+
+#include "runtime/Runtime.h"
+#include "state/StateBuilder.h"
+#include "sync/Mutex.h"
+#include "sync/TestThread.h"
+
+#include <memory>
+#include <vector>
+
+using namespace fsmc;
+
+namespace {
+
+/// Abstract per-thread pcs recorded via Runtime::annotate for the state
+/// extractor. Values are small and disjoint per phase.
+enum PhilPhase : uint64_t {
+  PhaseHungry = 1,
+  PhaseHaveFirst = 2,
+  PhaseRetry = 3,
+  PhaseEating = 4,
+  PhaseDone = 5,
+};
+
+/// Shared table state. Lives on the main thread's fiber stack for the
+/// whole execution (main joins every philosopher before returning).
+struct Table {
+  explicit Table(int N) {
+    Forks.reserve(N);
+    for (int I = 0; I < N; ++I)
+      Forks.push_back(std::make_unique<Mutex>("fork" + std::to_string(I)));
+    MealsEaten.assign(N, 0);
+  }
+
+  std::vector<std::unique_ptr<Mutex>> Forks;
+  std::vector<int> MealsEaten;
+};
+
+/// Figure 1's philosopher: blocking acquire of the first fork, TryAcquire
+/// of the second, release-and-retry on failure.
+void retryPhilosopher(Table &T, int Me, Mutex &First, Mutex &Second,
+                      int Meals) {
+  Runtime &RT = Runtime::current();
+  for (int Meal = 0; Meal < Meals; ++Meal) {
+    RT.annotate(PhaseHungry);
+    while (true) {
+      First.lock();
+      RT.annotate(PhaseHaveFirst);
+      if (Second.tryLock())
+        break;
+      RT.annotate(PhaseRetry);
+      First.unlock();
+      // The back-edge sleep keeps the retry loop good-samaritan
+      // conforming; Figure 1 elides it but real retry loops back off.
+      sleepFor();
+    }
+    RT.annotate(PhaseEating);
+    ++T.MealsEaten[Me];
+    Second.unlock();
+    First.unlock();
+  }
+  RT.annotate(PhaseDone);
+}
+
+/// A philosopher that acquires both forks blocking, in the given order.
+void blockingPhilosopher(Table &T, int Me, Mutex &First, Mutex &Second,
+                         int Meals) {
+  Runtime &RT = Runtime::current();
+  for (int Meal = 0; Meal < Meals; ++Meal) {
+    RT.annotate(PhaseHungry);
+    First.lock();
+    RT.annotate(PhaseHaveFirst);
+    Second.lock();
+    RT.annotate(PhaseEating);
+    ++T.MealsEaten[Me];
+    Second.unlock();
+    First.unlock();
+  }
+  RT.annotate(PhaseDone);
+}
+
+} // namespace
+
+TestProgram fsmc::makeDiningProgram(const DiningConfig &Config) {
+  assert(Config.Philosophers >= 2 && "need at least two philosophers");
+  TestProgram P;
+  P.Name = "dining-" + std::to_string(Config.Philosophers);
+  P.Body = [Config] {
+    Runtime &RT = Runtime::current();
+    int N = Config.Philosophers;
+    Table T(N);
+
+    if (Config.CaptureState)
+      RT.setStateExtractor([&T] {
+        StateBuilder B;
+        for (const auto &F : T.Forks)
+          B.addI64(F->holder());
+        B.addSeparator();
+        for (int Meals : T.MealsEaten)
+          B.addI64(Meals);
+        return B.digest();
+      });
+
+    std::vector<TestThread> Phils;
+    for (int I = 0; I < N; ++I) {
+      int LeftIdx = I;
+      int RightIdx = (I + 1) % N;
+      auto Run = [&T, LeftIdx, RightIdx, I, Config] {
+        Mutex &Left = *T.Forks[LeftIdx];
+        Mutex &Right = *T.Forks[RightIdx];
+        Mutex &Lo = LeftIdx < RightIdx ? Left : Right;
+        Mutex &Hi = LeftIdx < RightIdx ? Right : Left;
+        switch (Config.Kind) {
+        case DiningConfig::Variant::TryLockRetry:
+          // Figure 1: first = own left fork; neighbours clash on shared
+          // forks in opposite orders.
+          retryPhilosopher(T, I, Left, Right, Config.Meals);
+          return;
+        case DiningConfig::Variant::Mixed:
+          if (I == 0)
+            retryPhilosopher(T, I, Left, Right, Config.Meals);
+          else
+            blockingPhilosopher(T, I, Lo, Hi, Config.Meals);
+          return;
+        case DiningConfig::Variant::OrderedBlocking:
+          blockingPhilosopher(T, I, Lo, Hi, Config.Meals);
+          return;
+        case DiningConfig::Variant::DeadlockProne:
+          blockingPhilosopher(T, I, Left, Right, Config.Meals);
+          return;
+        }
+      };
+      Phils.emplace_back(Run, "phil" + std::to_string(I));
+    }
+
+    for (TestThread &Phil : Phils)
+      Phil.join();
+    for (int I = 0; I < N; ++I) {
+      checkThat(T.MealsEaten[I] == Config.Meals,
+                "every philosopher must eat the configured meals");
+      checkThat(!T.Forks[I]->isHeld(), "all forks released at the end");
+    }
+  };
+  return P;
+}

@@ -1,0 +1,54 @@
+//===- workloads/DiningPhilosophers.h - Figure 1's program -----*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dining philosophers, the paper's running example.
+///
+/// Variants:
+///  - TryLockRetry: Figure 1 verbatim. Every philosopher acquires its
+///    first fork (blocking), TryAcquires the second, and on failure
+///    releases and retries after a sleep. The retry loops create cycles in
+///    the state space and the symmetric schedule
+///        all acquire first / all fail second / all release / repeat
+///    is a *fair* livelock -- detected by the fair checker as divergence.
+///  - Mixed: philosopher 0 keeps the retry loop, the others acquire both
+///    forks in global index order (blocking). Fair-terminating with a
+///    cyclic state space: the configuration used for the coverage and
+///    search-time experiments (Table 2, Figure 5).
+///  - OrderedBlocking: everyone acquires in global order; terminating,
+///    used as a correct baseline.
+///  - DeadlockProne: everyone blocks on left-then-right; the classic
+///    deadlock cycle, used to exercise deadlock detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_WORKLOADS_DININGPHILOSOPHERS_H
+#define FSMC_WORKLOADS_DININGPHILOSOPHERS_H
+
+#include "core/Checker.h"
+
+namespace fsmc {
+
+struct DiningConfig {
+  enum class Variant { TryLockRetry, Mixed, OrderedBlocking, DeadlockProne };
+
+  int Philosophers = 2;
+  Variant Kind = Variant::Mixed;
+  /// Meals each philosopher must finish before the test ends (the fair
+  /// test-harness bound of Section 2).
+  int Meals = 1;
+  /// Register the manual state extractor (Section 4.2.1) for coverage
+  /// measurements.
+  bool CaptureState = true;
+};
+
+/// Builds a dining-philosophers test program for \p Config.
+TestProgram makeDiningProgram(const DiningConfig &Config);
+
+} // namespace fsmc
+
+#endif // FSMC_WORKLOADS_DININGPHILOSOPHERS_H

@@ -1,0 +1,94 @@
+//===- workloads/Peterson.cpp ---------------------------------------------===//
+
+#include "workloads/Peterson.h"
+
+#include "runtime/Runtime.h"
+#include "state/StateBuilder.h"
+#include "sync/Atomic.h"
+#include "sync/TestThread.h"
+
+using namespace fsmc;
+
+namespace {
+
+/// Shared protocol state; lives on main's stack for the execution.
+struct PetersonState {
+  PetersonState()
+      : Flag{Atomic<int>(0, "flag0"), Atomic<int>(0, "flag1")},
+        Turn(0, "turn"), InCritical(0, "incrit") {}
+
+  Atomic<int> Flag[2];
+  Atomic<int> Turn;
+  Atomic<int> InCritical;
+  int Entries[2] = {0, 0};
+};
+
+void contender(PetersonState &S, int Me, const PetersonConfig &Config) {
+  Runtime &RT = Runtime::current();
+  int Other = 1 - Me;
+  for (int Round = 0; Round < Config.Rounds; ++Round) {
+    RT.annotate(1);
+    switch (Config.Kind) {
+    case PetersonConfig::Variant::Correct:
+      S.Flag[Me].store(1);
+      S.Turn.store(Other);
+      while (S.Flag[Other].load() == 1 && S.Turn.load() == Other)
+        if (Config.YieldInSpin)
+          yieldNow();
+      break;
+    case PetersonConfig::Variant::NoTurn:
+      // Classic broken protocol: both flags up -> both spin forever.
+      S.Flag[Me].store(1);
+      while (S.Flag[Other].load() == 1)
+        if (Config.YieldInSpin)
+          yieldNow();
+      break;
+    case PetersonConfig::Variant::FlagAfterCheck:
+      // TOCTOU: the peer can pass its own check before our flag lands.
+      while (S.Flag[Other].load() == 1)
+        if (Config.YieldInSpin)
+          yieldNow();
+      S.Flag[Me].store(1);
+      break;
+    }
+
+    // Critical section: at most one thread may be inside.
+    RT.annotate(2);
+    int Occupants = S.InCritical.fetchAdd(1);
+    checkThat(Occupants == 0, "mutual exclusion violated");
+    ++S.Entries[Me];
+    S.InCritical.fetchAdd(-1);
+
+    RT.annotate(3);
+    S.Flag[Me].store(0);
+  }
+  RT.annotate(4);
+}
+
+} // namespace
+
+TestProgram fsmc::makePetersonProgram(const PetersonConfig &Config) {
+  TestProgram P;
+  P.Name = "peterson";
+  P.Body = [Config] {
+    Runtime &RT = Runtime::current();
+    PetersonState S;
+    RT.setStateExtractor([&S] {
+      StateBuilder B;
+      B.addI64(S.Flag[0].raw());
+      B.addI64(S.Flag[1].raw());
+      B.addI64(S.Turn.raw());
+      B.addI64(S.InCritical.raw());
+      B.addI64(S.Entries[0]);
+      B.addI64(S.Entries[1]);
+      return B.digest();
+    });
+    TestThread T0([&S, Config] { contender(S, 0, Config); }, "p0");
+    TestThread T1([&S, Config] { contender(S, 1, Config); }, "p1");
+    T0.join();
+    T1.join();
+    checkThat(S.Entries[0] == Config.Rounds && S.Entries[1] == Config.Rounds,
+              "every contender must finish its rounds");
+  };
+  return P;
+}

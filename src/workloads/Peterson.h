@@ -1,0 +1,47 @@
+//===- workloads/Peterson.h - Peterson's mutual exclusion ------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Peterson's two-thread mutual-exclusion algorithm, the textbook
+/// spin-loop protocol. It is the ideal showcase for fair stateless model
+/// checking: the entry protocol busy-waits, so the state space is cyclic
+/// and the checker must be fair to terminate; and the two classic ways to
+/// get it wrong produce one bug of each liveness/safety class:
+///
+///  - Correct: flags + turn, yielding spin loop. Fair-terminating;
+///    exhaustive fair search proves mutual exclusion.
+///  - NoTurn: drop the turn variable. Both threads can raise their flags
+///    and then spin forever waiting on each other -- a *fair livelock*
+///    (each spinner yields), exactly outcome 3 of the semi-algorithm.
+///  - FlagAfterCheck: check the peer's flag before raising your own.
+///    Mutual exclusion breaks -- a safety violation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_WORKLOADS_PETERSON_H
+#define FSMC_WORKLOADS_PETERSON_H
+
+#include "core/Checker.h"
+
+namespace fsmc {
+
+struct PetersonConfig {
+  enum class Variant { Correct, NoTurn, FlagAfterCheck };
+  Variant Kind = Variant::Correct;
+  /// Critical-section entries per thread.
+  int Rounds = 1;
+  /// Yield on the spin loop's back edge (the good-samaritan idiom);
+  /// turning it off makes even the correct variant a GS violator.
+  bool YieldInSpin = true;
+};
+
+/// Builds the Peterson test program.
+TestProgram makePetersonProgram(const PetersonConfig &Config);
+
+} // namespace fsmc
+
+#endif // FSMC_WORKLOADS_PETERSON_H

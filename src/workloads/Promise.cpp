@@ -1,0 +1,87 @@
+//===- workloads/Promise.cpp ----------------------------------------------===//
+
+#include "workloads/Promise.h"
+
+#include "runtime/Runtime.h"
+#include "sync/Atomic.h"
+#include "sync/TestThread.h"
+
+#include <memory>
+#include <vector>
+
+using namespace fsmc;
+
+namespace {
+
+/// One write-once promise cell with a spin-then-sleep reader.
+class PromiseCell {
+public:
+  PromiseCell(int Index, bool StaleReadBug)
+      : State(0, "promise" + std::to_string(Index) + ".state"),
+        StaleReadBug(StaleReadBug) {}
+
+  /// Publishes \p V; may be called once.
+  void set(int V) {
+    Value = V;
+    int Old = State.exchange(1);
+    checkThat(Old == 0, "promise set twice");
+  }
+
+  /// Blocks (spinning with sleep back-off) until set, then returns the
+  /// value.
+  int get() {
+    // Fast path: the "common case" of Figure 8.
+    int Temp = State.load();
+    if (Temp == 1)
+      return Value;
+    if (StaleReadBug) {
+      // Figure 8: "BUG: should read x once again". The loop waits on the
+      // stale local copy; it yields each iteration, so the resulting
+      // divergence is *fair* -- a livelock.
+      while (Temp != 1)
+        sleepFor();
+      return Value;
+    }
+    while (State.load() != 1)
+      sleepFor();
+    return Value;
+  }
+
+private:
+  Atomic<int> State; ///< 0 = empty, 1 = set.
+  int Value = 0;     ///< Published before State, read after.
+  bool StaleReadBug;
+};
+
+} // namespace
+
+TestProgram fsmc::makePromiseProgram(const PromiseConfig &Config) {
+  TestProgram P;
+  P.Name = Config.StaleReadBug ? "promise-livelock" : "promise";
+  P.Body = [Config] {
+    std::vector<std::unique_ptr<PromiseCell>> Cells;
+    for (int I = 0; I < Config.Cells; ++I)
+      Cells.push_back(std::make_unique<PromiseCell>(I, Config.StaleReadBug));
+
+    Atomic<int> ProducerProgress(0, "producer.progress");
+
+    TestThread Producer(
+        [&Cells, &ProducerProgress, &Config] {
+          for (int I = 0; I < int(Cells.size()); ++I) {
+            // Simulated data-parallel work before the result is ready.
+            for (int W = 0; W < Config.ProducerWork; ++W)
+              ProducerProgress.fetchAdd(1);
+            Cells[size_t(I)]->set(100 + I);
+          }
+        },
+        "producer");
+
+    // The main thread consumes every promise in order.
+    for (int I = 0; I < int(Cells.size()); ++I) {
+      int V = Cells[size_t(I)]->get();
+      checkThat(V == 100 + I, "promise delivered the wrong value");
+    }
+    Producer.join();
+  };
+  return P;
+}

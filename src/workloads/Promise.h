@@ -1,0 +1,48 @@
+//===- workloads/Promise.h - Data-parallel promises (Fig. 8) ---*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small promise library in the style of the paper's Promise subject, "a
+/// library for data-parallel programs ... optimized for efficiency and
+/// selectively uses low-level hardware primitives".
+///
+/// A promise cell is set once by a producer and read by consumers that
+/// spin with a Sleep(1) back-off -- the idiom of Figure 8. The seeded
+/// livelock reproduces Figure 8 exactly: for performance the consumer
+/// caches the shared state word in a local, and the buggy wait loop spins
+/// on the *stale local copy* without re-reading the global. The loop
+/// yields (Sleep), so the divergence is fair: a livelock, not a
+/// good-samaritan violation. It only manifests when the "common cases"
+/// (value already available) are inapplicable, i.e. when the consumer
+/// arrives before the producer -- the rare interleaving the paper
+/// mentions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_WORKLOADS_PROMISE_H
+#define FSMC_WORKLOADS_PROMISE_H
+
+#include "core/Checker.h"
+
+namespace fsmc {
+
+struct PromiseConfig {
+  /// Number of promises chained producer -> consumer.
+  int Cells = 2;
+  /// Seed the Figure 8 stale-read livelock in the consumer's wait loop.
+  bool StaleReadBug = false;
+  /// Extra work transitions in the producer before each set, to widen the
+  /// window in which the consumer's fast path misses.
+  int ProducerWork = 1;
+};
+
+/// Builds a promise-library test program for \p Config.
+TestProgram makePromiseProgram(const PromiseConfig &Config);
+
+} // namespace fsmc
+
+#endif // FSMC_WORKLOADS_PROMISE_H

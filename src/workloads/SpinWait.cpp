@@ -1,0 +1,45 @@
+//===- workloads/SpinWait.cpp ---------------------------------------------===//
+
+#include "workloads/SpinWait.h"
+
+#include "runtime/Runtime.h"
+#include "state/StateBuilder.h"
+#include "sync/Atomic.h"
+#include "sync/TestThread.h"
+
+#include <memory>
+#include <vector>
+
+using namespace fsmc;
+
+TestProgram fsmc::makeSpinWaitProgram(const SpinWaitConfig &Config) {
+  TestProgram P;
+  P.Name = Config.WithYield ? "spinwait" : "spinwait-noyield";
+  P.Body = [Config] {
+    Runtime &RT = Runtime::current();
+    auto X = std::make_shared<Atomic<int>>(0, "x");
+    RT.setStateExtractor([X] {
+      StateBuilder B;
+      B.addU64(uint64_t(X->raw()));
+      return B.digest();
+    });
+
+    TestThread Setter([X] { X->store(1); }, "t");
+    std::vector<TestThread> Spinners;
+    bool WithYield = Config.WithYield;
+    for (int I = 0; I < Config.Spinners; ++I)
+      Spinners.emplace_back(
+          [X, WithYield] {
+            while (X->load() != 1)
+              if (WithYield)
+                yieldNow();
+          },
+          "u" + std::to_string(I));
+
+    Setter.join();
+    for (TestThread &S : Spinners)
+      S.join();
+    checkThat(X->raw() == 1, "x must be 1 after the setter ran");
+  };
+  return P;
+}

@@ -1,0 +1,37 @@
+//===- workloads/SpinWait.h - Figure 3's spin-loop program -----*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-thread program of Figure 3: thread t sets x := 1, thread u
+/// spins `while (x != 1) yield()`. Its state space has the (a,c)/(a,d)
+/// cycle from u's spin loop; the only infinite execution starves t and is
+/// unfair, so the program is fair-terminating. The no-yield variant
+/// violates the good samaritan property instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_WORKLOADS_SPINWAIT_H
+#define FSMC_WORKLOADS_SPINWAIT_H
+
+#include "core/Checker.h"
+
+namespace fsmc {
+
+struct SpinWaitConfig {
+  /// Figure 3 has the yield on the spin loop's back edge; turning it off
+  /// produces the good-samaritan-violating variant.
+  bool WithYield = true;
+  /// Number of spinning threads (Figure 3 has one).
+  int Spinners = 1;
+};
+
+/// Builds the Figure 3 test program.
+TestProgram makeSpinWaitProgram(const SpinWaitConfig &Config);
+
+} // namespace fsmc
+
+#endif // FSMC_WORKLOADS_SPINWAIT_H

@@ -1,0 +1,202 @@
+//===- workloads/WorkStealQueue.cpp ---------------------------------------===//
+
+#include "workloads/WorkStealQueue.h"
+
+#include "runtime/Runtime.h"
+#include "state/StateBuilder.h"
+#include "sync/Atomic.h"
+#include "sync/Mutex.h"
+#include "sync/TestThread.h"
+
+#include <vector>
+
+using namespace fsmc;
+
+namespace {
+
+/// Per-thread abstract pcs for the state extractor.
+enum WsqPhase : uint64_t {
+  PhasePush = 1,
+  PhasePop = 2,
+  PhaseStealTry = 3,
+  PhaseGotTask = 4,
+  PhaseIdle = 5,
+  PhaseDone = 6,
+};
+
+/// THE-protocol deque over modeled shared variables.
+class WsqDeque {
+public:
+  WsqDeque(int Capacity, WsqBug Bug)
+      : Elems(size_t(Capacity), -1), Head(0, "wsq.head"), Tail(0, "wsq.tail"),
+        ForeignLock("wsq.lock"), Bug(Bug) {}
+
+  /// Owner-only push at the tail.
+  void push(int Task) {
+    long T = Tail.load();
+    checkThat(T - Head.raw() < long(Elems.size()), "wsq overflow");
+    Elems[size_t(T) % Elems.size()] = Task;
+    Tail.store(T + 1);
+  }
+
+  /// Owner-only pop at the tail. \returns false when empty.
+  bool pop(int &Task) {
+    long T, H;
+    if (Bug == WsqBug::PopReordered) {
+      // Bug1: the head read is hoisted above the tail publish -- the
+      // reorder a missing fence permits. A thief running between the two
+      // reads can take the same last element this pop will take.
+      T = Tail.load() - 1;
+      H = Head.load();
+      Tail.store(T);
+    } else {
+      T = Tail.load() - 1;
+      Tail.store(T);
+      H = Head.load();
+    }
+    if (H <= T) {
+      Task = Elems[size_t(T) % Elems.size()];
+      return true;
+    }
+    // Possible conflict with a thief on the last element: reconcile under
+    // the lock. Bug3 reuses the stale head value read outside the lock
+    // instead of re-reading it; if the thief had only *claimed* the
+    // element and then restored head, the stale value makes this pop give
+    // up on an element nobody took, and the queue silently strands it.
+    ForeignLock.lock();
+    long H2 = Bug == WsqBug::PopNoRecheck ? H : Head.load();
+    if (H2 <= T) {
+      Task = Elems[size_t(T) % Elems.size()];
+      ForeignLock.unlock();
+      return true;
+    }
+    Tail.store(T + 1); // Restore: the thief won.
+    ForeignLock.unlock();
+    return false;
+  }
+
+  /// Thief-side steal at the head. \returns false when empty or losing
+  /// the race.
+  bool steal(int &Task) {
+    if (!ForeignLock.tryLock())
+      return false;
+    long H = Head.load();
+    Head.store(H + 1); // Claim first; the owner's pop sees the claim.
+    if (H < Tail.load()) {
+      Task = Elems[size_t(H) % Elems.size()];
+      ForeignLock.unlock();
+      return true;
+    }
+    if (Bug != WsqBug::StealNoRestore)
+      Head.store(H); // Bug2 omits this restore, leaking the claim.
+    ForeignLock.unlock();
+    return false;
+  }
+
+  long headRaw() const { return Head.raw(); }
+  long tailRaw() const { return Tail.raw(); }
+  int elemRaw(size_t I) const { return Elems[I % Elems.size()]; }
+  size_t capacity() const { return Elems.size(); }
+  Tid lockHolder() const { return ForeignLock.holder(); }
+
+private:
+  std::vector<int> Elems;
+  Atomic<long> Head;
+  Atomic<long> Tail;
+  Mutex ForeignLock;
+  WsqBug Bug;
+};
+
+/// Shared harness state.
+struct WsqWorld {
+  WsqWorld(const WsqConfig &Config)
+      : Deque(Config.Capacity, Config.Bug), Done(false, "wsq.done") {
+    Executed.assign(size_t(Config.Tasks), 0);
+  }
+
+  WsqDeque Deque;
+  Atomic<bool> Done;
+  std::vector<int> Executed; ///< Exactly-once accounting per task.
+};
+
+void runTask(WsqWorld &W, int Task) {
+  checkThat(Task >= 0 && Task < int(W.Executed.size()),
+            "wsq produced an out-of-range task");
+  ++W.Executed[size_t(Task)];
+  checkThat(W.Executed[size_t(Task)] == 1, "wsq task executed twice");
+}
+
+} // namespace
+
+TestProgram fsmc::makeWsqProgram(const WsqConfig &Config) {
+  TestProgram P;
+  P.Name = "wsq-" + std::to_string(Config.Stealers) + "s";
+  P.Body = [Config] {
+    Runtime &RT = Runtime::current();
+    WsqWorld W(Config);
+
+    if (Config.CaptureState)
+      RT.setStateExtractor([&W] {
+        StateBuilder B;
+        long H = W.Deque.headRaw(), T = W.Deque.tailRaw();
+        B.addI64(H);
+        B.addI64(T);
+        for (long I = H; I < T; ++I)
+          B.addI64(W.Deque.elemRaw(size_t(I)));
+        B.addSeparator();
+        B.addI64(W.Deque.lockHolder());
+        B.addBool(W.Done.raw());
+        for (int E : W.Executed)
+          B.addI64(E);
+        return B.digest();
+      });
+
+    std::vector<TestThread> Thieves;
+    for (int I = 0; I < Config.Stealers; ++I)
+      Thieves.emplace_back(
+          [&W] {
+            Runtime &R = Runtime::current();
+            // Nonterminating steal loop, made fair-terminating by the
+            // harness's Done flag -- the service-loop shape of Section 2.
+            while (!W.Done.load()) {
+              R.annotate(PhaseStealTry);
+              int Task;
+              if (W.Deque.steal(Task)) {
+                R.annotate(PhaseGotTask);
+                runTask(W, Task);
+              } else {
+                R.annotate(PhaseIdle);
+                sleepFor();
+              }
+            }
+            R.annotate(PhaseDone);
+          },
+          "steal" + std::to_string(I));
+
+    // The main thread is the deque's owner.
+    for (int Task = 0; Task < Config.Tasks; ++Task) {
+      RT.annotate(PhasePush);
+      W.Deque.push(Task);
+      if (Config.InterleavePops) {
+        RT.annotate(PhasePop);
+        int Got;
+        if (W.Deque.pop(Got))
+          runTask(W, Got);
+      }
+    }
+    RT.annotate(PhasePop);
+    int Got;
+    while (W.Deque.pop(Got))
+      runTask(W, Got);
+
+    W.Done.store(true);
+    for (TestThread &Thief : Thieves)
+      Thief.join();
+    RT.annotate(PhaseDone);
+
+    for (int Task = 0; Task < Config.Tasks; ++Task)
+      checkThat(W.Executed[size_t(Task)] == 1,
+                "wsq task lost: executed zero times");
+  };
+  return P;
+}

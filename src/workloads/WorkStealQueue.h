@@ -1,0 +1,66 @@
+//===- workloads/WorkStealQueue.h - Cilk THE work stealing -----*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The work-stealing queue of the paper's evaluation: "an implementation
+/// [Leijen, MSR-TR-2006-162] of the work-stealing queue algorithm
+/// originally designed for the Cilk multithreaded programming system".
+///
+/// The deque follows the THE protocol: the owner pushes/pops at the tail
+/// with a lock-free fast path, thieves steal at the head under a lock;
+/// owner and thieves reconcile through the ordering of the tail
+/// decrement against the head read, falling back to the lock on conflict.
+///
+/// Three seeded bugs reproduce the classes of defects CHESS found in the
+/// original (Table 3, "WSQ bug 1-3"):
+///   Bug1 -- pop reads head before publishing its tail decrement (the
+///           missing-fence/reorder bug): a concurrent steal and pop can
+///           both take the last element.
+///   Bug2 -- steal forgets to restore head when it loses the race for the
+///           last element: that element is leaked and never executed.
+///   Bug3 -- pop's lock-protected slow path takes the element without
+///           re-checking against head: it can take an element a thief
+///           already stole.
+///
+/// The harness has the owner push and pop N tasks while S thieves loop
+/// stealing until the owner finishes (a nonterminating service loop made
+/// fair-terminating by the harness); the safety property is that every
+/// task executes exactly once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_WORKLOADS_WORKSTEALQUEUE_H
+#define FSMC_WORKLOADS_WORKSTEALQUEUE_H
+
+#include "core/Checker.h"
+
+namespace fsmc {
+
+enum class WsqBug {
+  None,
+  PopReordered,   ///< Bug1: head read hoisted above the tail publish.
+  StealNoRestore, ///< Bug2: failed steal leaves head incremented.
+  PopNoRecheck,   ///< Bug3: locked pop path skips the head re-check.
+};
+
+struct WsqConfig {
+  int Stealers = 1;
+  int Tasks = 2;
+  int Capacity = 8;
+  WsqBug Bug = WsqBug::None;
+  bool CaptureState = true;
+  /// Owner pops after every push (interleaved) instead of pushing all
+  /// first; widens the reachable interleavings.
+  bool InterleavePops = false;
+};
+
+/// Builds a work-stealing-queue test program for \p Config.
+TestProgram makeWsqProgram(const WsqConfig &Config);
+
+} // namespace fsmc
+
+#endif // FSMC_WORKLOADS_WORKSTEALQUEUE_H

@@ -1,0 +1,141 @@
+//===- workloads/WorkerGroup.cpp ------------------------------------------===//
+
+#include "workloads/WorkerGroup.h"
+
+#include "runtime/Runtime.h"
+#include "sync/Atomic.h"
+#include "sync/Mutex.h"
+#include "sync/TestThread.h"
+
+#include <memory>
+#include <vector>
+
+using namespace fsmc;
+
+namespace {
+
+constexpr int NoTask = -1;
+
+class WorkerGroup;
+
+/// One worker of the pool, following Figure 7's Worker::Run verbatim.
+class Worker {
+public:
+  Worker(int Index, WorkerGroup &Group)
+      : Stop(false, "worker" + std::to_string(Index) + ".stop"),
+        Group(Group) {}
+
+  void run();
+  void requestStop() { Stop.store(true); }
+
+  Atomic<bool> Stop;
+  int TasksRun = 0;
+
+private:
+  WorkerGroup &Group;
+};
+
+/// The group of Figure 7: a shared task queue and a group-wide stop flag.
+class WorkerGroup {
+public:
+  WorkerGroup(const WorkerGroupConfig &Config)
+      : Stop(false, "group.stop"), QueueLock("group.queue"),
+        Buggy(Config.ShutdownSpinBug) {
+    for (int I = 0; I < Config.Workers * Config.TasksPerWorker; ++I)
+      Tasks.push_back(I);
+  }
+
+  /// Figure 7's WorkerGroup::Idle: spin (yielding) until work appears or
+  /// the group stops. The return path taken when Stop is already true
+  /// performs no yield -- the seed of the violation.
+  int idle(Worker &W) {
+    while (!Stop.load()) {
+      int Task = popTask();
+      if (Task != NoTask)
+        return Task;
+      // "No work to be found. Yield to other threads."
+      sleepFor(); // YieldExponential analog.
+    }
+    return NoTask;
+  }
+
+  int popTask() {
+    QueueLock.lock();
+    int Task = NoTask;
+    if (!Tasks.empty()) {
+      Task = Tasks.back();
+      Tasks.pop_back();
+    }
+    QueueLock.unlock();
+    return Task;
+  }
+
+  /// Shutdown: the group flag first, each worker's flag second -- the
+  /// window Figure 7's violation lives in.
+  void shutdown(std::vector<std::unique_ptr<Worker>> &Workers) {
+    Stop.store(true);
+    for (auto &W : Workers)
+      W->requestStop();
+  }
+
+  bool buggy() const { return Buggy; }
+
+  Atomic<bool> Stop;
+  Mutex QueueLock;
+  std::vector<int> Tasks;
+  int TotalRun = 0;
+
+private:
+  bool Buggy;
+};
+
+void Worker::run() {
+  // Figure 7's Worker::Run. The repaired variant also honours the group's
+  // stop flag in the outer loop, closing the spin window.
+  auto stopping = [this] {
+    if (Stop.load())
+      return true;
+    return !Group.buggy() && Group.Stop.raw();
+  };
+  int Task = Group.popTask();
+  while (!stopping()) {
+    while (!Stop.load() && Task != NoTask) {
+      // Perform task.
+      ++TasksRun;
+      ++Group.TotalRun;
+      Task = Group.popTask();
+    }
+    if (!Stop.load())
+      Task = Group.idle(*this);
+  }
+}
+
+} // namespace
+
+TestProgram fsmc::makeWorkerGroupProgram(const WorkerGroupConfig &Config) {
+  TestProgram P;
+  P.Name = "workergroup";
+  P.Body = [Config] {
+    WorkerGroup Group(Config);
+    std::vector<std::unique_ptr<Worker>> Workers;
+    for (int I = 0; I < Config.Workers; ++I)
+      Workers.push_back(std::make_unique<Worker>(I, Group));
+
+    std::vector<TestThread> Threads;
+    for (int I = 0; I < Config.Workers; ++I) {
+      Worker *W = Workers[size_t(I)].get();
+      Threads.emplace_back([W] { W->run(); }, "worker" + std::to_string(I));
+    }
+
+    // Let the pool drain the queue (yielding poll), then shut it down.
+    while (Group.TotalRun < Config.Workers * Config.TasksPerWorker)
+      sleepFor();
+    Group.shutdown(Workers);
+    for (TestThread &T : Threads)
+      T.join();
+
+    checkThat(Group.TotalRun == Config.Workers * Config.TasksPerWorker,
+              "worker group lost tasks");
+  };
+  return P;
+}

@@ -1,0 +1,42 @@
+//===- workloads/WorkerGroup.h - Figure 7's worker pool --------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel-task library of Section 4.3.1, reproducing Figure 7's
+/// good-samaritan violation: both Worker and WorkerGroup carry a `stop`
+/// flag, and shutdown sets the group's flag before each worker's. In the
+/// window where group.stop is true but worker.stop is false,
+/// WorkerGroup::idle returns immediately (its yielding loop body never
+/// runs) and Worker::run spins through its outer loop without a single
+/// yield -- starving, among others, the very thread that would set its
+/// stop flag.
+///
+/// The fixed variant has the worker treat the group's stop as its own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_WORKLOADS_WORKERGROUP_H
+#define FSMC_WORKLOADS_WORKERGROUP_H
+
+#include "core/Checker.h"
+
+namespace fsmc {
+
+struct WorkerGroupConfig {
+  int Workers = 2;
+  int TasksPerWorker = 1;
+  /// Reproduce Figure 7's spin-without-yield shutdown window; false
+  /// builds the repaired library.
+  bool ShutdownSpinBug = true;
+};
+
+/// Builds the worker-group test program.
+TestProgram makeWorkerGroupProgram(const WorkerGroupConfig &Config);
+
+} // namespace fsmc
+
+#endif // FSMC_WORKLOADS_WORKERGROUP_H

@@ -1,0 +1,114 @@
+//===- workloads/WorkloadRegistry.cpp -------------------------------------===//
+
+#include "workloads/WorkloadRegistry.h"
+
+#include "workloads/Ape.h"
+#include "workloads/Channels.h"
+#include "workloads/DiningPhilosophers.h"
+#include "workloads/Promise.h"
+#include "workloads/WorkStealQueue.h"
+#include "workloads/WorkerGroup.h"
+#include "workloads/minikernel/Kernel.h"
+
+using namespace fsmc;
+
+static std::vector<RegisteredWorkload> buildRegistry() {
+  std::vector<RegisteredWorkload> R;
+
+  // Bounded random exploration is enough to measure per-execution
+  // characteristics (Table 1 reports maxima per execution, not search
+  // results).
+  CheckerOptions Sample;
+  Sample.Kind = SearchKind::RandomWalk;
+  Sample.MaxExecutions = 20;
+  Sample.DetectDivergence = true;
+
+  {
+    DiningConfig C;
+    C.Philosophers = 3;
+    C.Kind = DiningConfig::Variant::Mixed;
+    R.push_back({"Dining Philosophers",
+                 "Dining Philosophers (54 LOC, 3 threads)",
+                 {"src/workloads/DiningPhilosophers.h",
+                  "src/workloads/DiningPhilosophers.cpp"},
+                 [C] { return makeDiningProgram(C); },
+                 Sample});
+  }
+  {
+    WsqConfig C;
+    C.Stealers = 2;
+    C.Tasks = 3;
+    R.push_back({"Work-Stealing Queue",
+                 "Work-Stealing Queue (1266 LOC, 3 threads)",
+                 {"src/workloads/WorkStealQueue.h",
+                  "src/workloads/WorkStealQueue.cpp"},
+                 [C] { return makeWsqProgram(C); },
+                 Sample});
+  }
+  {
+    PromiseConfig C;
+    C.Cells = 3;
+    R.push_back({"Promise",
+                 "Promise (14044 LOC, 3 threads)",
+                 {"src/workloads/Promise.h", "src/workloads/Promise.cpp"},
+                 [C] { return makePromiseProgram(C); },
+                 Sample});
+  }
+  {
+    ApeConfig C;
+    R.push_back({"APE",
+                 "APE (18947 LOC, 4 threads)",
+                 {"src/workloads/Ape.h", "src/workloads/Ape.cpp"},
+                 [C] { return makeApeProgram(C); },
+                 Sample});
+  }
+  {
+    ChannelsConfig C;
+    C.Producers = 2;
+    C.Consumers = 2;
+    C.Messages = 2;
+    R.push_back({"Dryad Channels",
+                 "Dryad Channels (16036 LOC, 5 threads)",
+                 {"src/workloads/Channels.h", "src/workloads/Channels.cpp"},
+                 [C] { return makeChannelsProgram(C); },
+                 Sample});
+  }
+  {
+    FifoMuxConfig C;
+    C.Inputs = 12;
+    R.push_back({"Dryad Fifo",
+                 "Dryad Fifo (18093 LOC, 25 threads)",
+                 {"src/workloads/Channels.h", "src/workloads/Channels.cpp"},
+                 [C] { return makeFifoMuxProgram(C); },
+                 Sample});
+  }
+  {
+    minikernel::KernelConfig C;
+    R.push_back({"Mini-kernel (Singularity)",
+                 "Singularity kernel (174601 LOC, 14 threads)",
+                 {"src/workloads/minikernel/Kernel.h",
+                  "src/workloads/minikernel/Kernel.cpp",
+                  "src/workloads/minikernel/Ipc.h",
+                  "src/workloads/minikernel/Ipc.cpp",
+                  "src/workloads/minikernel/Services.h",
+                  "src/workloads/minikernel/Services.cpp"},
+                 [C] { return minikernel::makeKernelBootProgram(C); },
+                 Sample});
+  }
+  {
+    WorkerGroupConfig C;
+    C.ShutdownSpinBug = false;
+    R.push_back({"Worker Group",
+                 "Section 4.3.1 parallel-task library",
+                 {"src/workloads/WorkerGroup.h",
+                  "src/workloads/WorkerGroup.cpp"},
+                 [C] { return makeWorkerGroupProgram(C); },
+                 Sample});
+  }
+  return R;
+}
+
+const std::vector<RegisteredWorkload> &fsmc::allWorkloads() {
+  static const std::vector<RegisteredWorkload> Registry = buildRegistry();
+  return Registry;
+}

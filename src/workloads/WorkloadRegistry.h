@@ -1,0 +1,48 @@
+//===- workloads/WorkloadRegistry.h - All evaluation programs --*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of the evaluation programs in their Table 1 configurations,
+/// so benches and examples can enumerate them uniformly: the Table 1 rows
+/// (Dining Philosophers, Work-Stealing Queue, Promise, APE, Dryad
+/// Channels, Dryad Fifo, Singularity kernel) mapped to this repository's
+/// workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_WORKLOADS_WORKLOADREGISTRY_H
+#define FSMC_WORKLOADS_WORKLOADREGISTRY_H
+
+#include "core/Checker.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fsmc {
+
+/// One registered evaluation program.
+struct RegisteredWorkload {
+  /// Row label, matching Table 1 where applicable.
+  std::string Name;
+  std::string PaperCounterpart;
+  /// Source files (relative to the repository root) whose line count
+  /// stands in for Table 1's "LOC" column.
+  std::vector<std::string> SourceFiles;
+  /// Builds the workload in its Table 1 configuration.
+  std::function<TestProgram()> Make;
+  /// A bounded search configuration suitable for measuring the program's
+  /// per-execution characteristics (threads, sync ops).
+  CheckerOptions MeasureOptions;
+};
+
+/// All registered workloads, in Table 1 order.
+const std::vector<RegisteredWorkload> &allWorkloads();
+
+} // namespace fsmc
+
+#endif // FSMC_WORKLOADS_WORKLOADREGISTRY_H

@@ -1,0 +1,72 @@
+//===- workloads/minikernel/Ipc.cpp ---------------------------------------===//
+
+#include "workloads/minikernel/Ipc.h"
+
+#include "runtime/Runtime.h"
+
+using namespace fsmc;
+using namespace fsmc::minikernel;
+
+Port::Port(int Capacity, std::string Name)
+    : M(Name + ".lock"), NotEmpty(Name + ".notempty"),
+      NotFull(Name + ".notfull"), Buf(size_t(Capacity)),
+      Capacity(size_t(Capacity)) {
+  assert(Capacity > 0 && "port capacity must be positive");
+}
+
+void Port::send(const Message &Msg) {
+  M.lock();
+  while (Count == Capacity && !Closed)
+    NotFull.wait(M);
+  checkThat(!Closed, "send on a closed kernel port");
+  Buf[(Hd + Count) % Capacity] = Msg;
+  ++Count;
+  NotEmpty.notifyOne();
+  M.unlock();
+}
+
+bool Port::recv(Message &Msg) {
+  M.lock();
+  while (Count == 0 && !Closed)
+    NotEmpty.wait(M);
+  if (Count == 0 && Closed) {
+    M.unlock();
+    return false;
+  }
+  Msg = Buf[Hd];
+  Hd = (Hd + 1) % Capacity;
+  --Count;
+  NotFull.notifyOne();
+  M.unlock();
+  return true;
+}
+
+void Port::close() {
+  M.lock();
+  Closed = true;
+  NotEmpty.notifyAll();
+  NotFull.notifyAll();
+  M.unlock();
+}
+
+int minikernel::rpcCall(Port &P, int Op, int A, int B) {
+  // Reply plumbing lives on the caller's stack; the caller blocks on the
+  // event until the service has written the slot and set the event.
+  int Slot = 0;
+  Event Done(Event::Reset::Auto, false, "rpc.done");
+  Message Msg;
+  Msg.Op = Op;
+  Msg.A = A;
+  Msg.B = B;
+  Msg.ReplySlot = &Slot;
+  Msg.Reply = &Done;
+  P.send(Msg);
+  Done.wait();
+  return Slot;
+}
+
+void minikernel::rpcReply(const Message &Msg, int Result) {
+  checkThat(Msg.ReplySlot && Msg.Reply, "rpcReply on a one-way message");
+  *Msg.ReplySlot = Result; // Plain write: the event publishes it.
+  Msg.Reply->set();
+}

@@ -1,0 +1,80 @@
+//===- workloads/minikernel/Ipc.h - Kernel message ports -------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Message ports for the mini-kernel, modeled after Singularity's channel
+/// based IPC (the paper's headline demo is booting Singularity under
+/// CHESS; Singularity processes communicate exclusively over channels).
+///
+/// A Port is a bounded mailbox of Messages; rpcCall performs the
+/// request/reply pattern every kernel service uses: post a request
+/// carrying a reply slot and a one-shot event, then block on the event.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_WORKLOADS_MINIKERNEL_IPC_H
+#define FSMC_WORKLOADS_MINIKERNEL_IPC_H
+
+#include "sync/CondVar.h"
+#include "sync/Event.h"
+#include "sync/Mutex.h"
+
+#include <string>
+#include <vector>
+
+namespace fsmc {
+namespace minikernel {
+
+/// One kernel IPC message. Reply delivery writes *ReplySlot then sets
+/// *Reply; both point into the caller's frame, which stays alive while it
+/// blocks on the event.
+struct Message {
+  int Op = 0;
+  int A = 0;
+  int B = 0;
+  int *ReplySlot = nullptr;
+  Event *Reply = nullptr;
+};
+
+/// A bounded MPSC/MPMC mailbox with close semantics.
+class Port {
+public:
+  Port(int Capacity, std::string Name);
+
+  /// Posts \p Msg, blocking while the mailbox is full. Posting to a
+  /// closed port is a safety violation (kernel protocol error).
+  void send(const Message &Msg);
+
+  /// Receives into \p Msg; blocks while empty; \returns false once the
+  /// port is closed and drained.
+  bool recv(Message &Msg);
+
+  /// Closes the port; blocked receivers drain and finish.
+  void close();
+
+private:
+  Mutex M;
+  CondVar NotEmpty;
+  CondVar NotFull;
+  std::vector<Message> Buf;
+  size_t Capacity;
+  size_t Count = 0;
+  size_t Hd = 0;
+  bool Closed = false;
+};
+
+/// Sends the request (Op, A, B) on \p P and blocks until the service
+/// replies. \returns the reply value.
+int rpcCall(Port &P, int Op, int A = 0, int B = 0);
+
+/// Replies to \p Msg with \p Result (service side).
+void rpcReply(const Message &Msg, int Result);
+
+} // namespace minikernel
+} // namespace fsmc
+
+#endif // FSMC_WORKLOADS_MINIKERNEL_IPC_H

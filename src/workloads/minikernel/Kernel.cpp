@@ -1,0 +1,72 @@
+//===- workloads/minikernel/Kernel.cpp ------------------------------------===//
+
+#include "workloads/minikernel/Kernel.h"
+
+#include "runtime/Runtime.h"
+#include "sync/TestThread.h"
+#include "workloads/minikernel/Services.h"
+
+#include <vector>
+
+using namespace fsmc;
+using namespace fsmc::minikernel;
+
+TestProgram minikernel::makeKernelBootProgram(const KernelConfig &Config) {
+  TestProgram P;
+  P.Name = "minikernel-boot";
+  P.Body = [Config] {
+    // ---- Phase 1: boot. Construct services and start their threads.
+    MemoryService Mem(Config.MemoryPages);
+    NameService Names;
+    IoService Io;
+    TimerService Timer;
+
+    TestThread MemThread([&Mem] { Mem.run(); }, "svc.mem");
+    TestThread NameThread([&Names] { Names.run(); }, "svc.names");
+    TestThread IoThread([&Io] { Io.run(); }, "svc.io");
+    TestThread TimerThread;
+    if (Config.WithTimer)
+      TimerThread = TestThread([&Timer] { Timer.run(); }, "svc.timer");
+
+    // The boot thread waits for every service to come up, like a kernel
+    // waiting on driver initialization.
+    Mem.ready().wait();
+    Names.ready().wait();
+    Io.ready().wait();
+    if (Config.WithTimer)
+      Timer.ready().wait();
+
+    // ---- Phase 2: run user processes.
+    std::vector<TestThread> Apps;
+    for (int Pid = 0; Pid < Config.Apps; ++Pid)
+      Apps.emplace_back(
+          [Pid, &Mem, &Names, &Io] { runAppProcess(Pid, Mem, Names, Io); },
+          "app" + std::to_string(Pid));
+    for (TestThread &App : Apps)
+      App.join();
+
+    // ---- Phase 3: shutdown. Stop the timer, close service ports, join.
+    if (Config.WithTimer) {
+      Timer.requestStop();
+      TimerThread.join();
+    }
+    Mem.port().close();
+    Names.port().close();
+    Io.port().close();
+    MemThread.join();
+    NameThread.join();
+    IoThread.join();
+
+    // ---- Phase 4: audit kernel invariants.
+    checkThat(Mem.balance() == 0, "kernel shutdown leaked memory pages");
+    checkThat(Names.bindings() == 0, "kernel shutdown leaked name bindings");
+    checkThat(Mem.served() == Config.Apps * 2,
+              "memory service lost requests");
+    checkThat(Names.served() == Config.Apps * 3,
+              "name service lost requests");
+    checkThat(Io.served() == Config.Apps, "io service lost requests");
+    checkThat(int(Io.log().size()) == Config.Apps,
+              "device log incomplete after shutdown");
+  };
+  return P;
+}

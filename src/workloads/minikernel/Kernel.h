@@ -1,0 +1,50 @@
+//===- workloads/minikernel/Kernel.h - Boot and shutdown -------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mini-kernel: the Singularity-boot analog of Section 4.1 ("we have
+/// successfully booted the Singularity operating system under the control
+/// of CHESS") and the Table 1 "Singularity kernel" row.
+///
+/// The boot harness drives the full lifecycle under the checker:
+///   1. boot: start the memory, name, I/O and timer services; wait for
+///      each to signal readiness;
+///   2. run: launch user processes that exercise the services over IPC;
+///   3. shutdown: stop the timer, close every service port, join all
+///      threads;
+///   4. audit: memory balance zero, name table empty, every request
+///      served, every app's I/O in the device log.
+///
+/// Every service is a nonterminating loop and the timer spins forever by
+/// design -- without the fair scheduler, no stateless search of this
+/// program terminates, which is exactly the paper's motivation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_WORKLOADS_MINIKERNEL_KERNEL_H
+#define FSMC_WORKLOADS_MINIKERNEL_KERNEL_H
+
+#include "core/Checker.h"
+
+namespace fsmc {
+namespace minikernel {
+
+struct KernelConfig {
+  /// User processes launched after boot. 9 apps + 4 services + main = 14
+  /// threads, the Table 1 "Singularity kernel" thread count.
+  int Apps = 9;
+  int MemoryPages = 16;
+  bool WithTimer = true;
+};
+
+/// Builds the boot/run/shutdown test program for the mini-kernel.
+TestProgram makeKernelBootProgram(const KernelConfig &Config);
+
+} // namespace minikernel
+} // namespace fsmc
+
+#endif // FSMC_WORKLOADS_MINIKERNEL_KERNEL_H

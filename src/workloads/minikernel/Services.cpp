@@ -1,0 +1,163 @@
+//===- workloads/minikernel/Services.cpp ----------------------------------===//
+
+#include "workloads/minikernel/Services.h"
+
+#include "runtime/Runtime.h"
+#include "sync/TestThread.h"
+
+using namespace fsmc;
+using namespace fsmc::minikernel;
+
+//===----------------------------------------------------------------------===
+// MemoryService
+//===----------------------------------------------------------------------===
+
+MemoryService::MemoryService(int Pages, std::string Name)
+    : Requests(/*Capacity=*/4, Name + ".port"),
+      Ready(Event::Reset::Manual, false, Name + ".ready"),
+      PageUsed(size_t(Pages), false) {}
+
+void MemoryService::run() {
+  Ready.set();
+  Message Msg;
+  while (Requests.recv(Msg)) {
+    ++Served;
+    switch (Msg.Op) {
+    case OpAlloc: {
+      int Page = -1;
+      for (size_t I = 0; I < PageUsed.size(); ++I)
+        if (!PageUsed[I]) {
+          Page = int(I);
+          break;
+        }
+      checkThat(Page >= 0, "kernel out of memory pages");
+      PageUsed[size_t(Page)] = true;
+      ++Balance;
+      rpcReply(Msg, Page);
+      break;
+    }
+    case OpFree: {
+      int Page = Msg.A;
+      bool OK = Page >= 0 && Page < int(PageUsed.size()) &&
+                PageUsed[size_t(Page)];
+      checkThat(OK, "double free or bad free in kernel memory service");
+      PageUsed[size_t(Page)] = false;
+      --Balance;
+      rpcReply(Msg, 1);
+      break;
+    }
+    default:
+      checkThat(false, "memory service: unknown opcode");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// NameService
+//===----------------------------------------------------------------------===
+
+NameService::NameService(std::string Name)
+    : Requests(/*Capacity=*/4, Name + ".port"),
+      Ready(Event::Reset::Manual, false, Name + ".ready") {}
+
+void NameService::run() {
+  Ready.set();
+  Message Msg;
+  while (Requests.recv(Msg)) {
+    ++Served;
+    switch (Msg.Op) {
+    case OpRegister: {
+      bool Fresh = Table.emplace(Msg.A, Msg.B).second;
+      checkThat(Fresh, "name registered twice");
+      rpcReply(Msg, 1);
+      break;
+    }
+    case OpLookup: {
+      auto It = Table.find(Msg.A);
+      rpcReply(Msg, It == Table.end() ? -1 : It->second);
+      break;
+    }
+    case OpUnregister: {
+      size_t Erased = Table.erase(Msg.A);
+      rpcReply(Msg, Erased ? 1 : 0);
+      break;
+    }
+    default:
+      checkThat(false, "name service: unknown opcode");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// IoService
+//===----------------------------------------------------------------------===
+
+IoService::IoService(std::string Name)
+    : Requests(/*Capacity=*/4, Name + ".port"),
+      Ready(Event::Reset::Manual, false, Name + ".ready") {}
+
+void IoService::run() {
+  Ready.set();
+  Message Msg;
+  while (Requests.recv(Msg)) {
+    ++Served;
+    switch (Msg.Op) {
+    case OpWrite:
+      Log.push_back(Msg.A);
+      rpcReply(Msg, 1);
+      break;
+    case OpRead:
+      rpcReply(Msg, Log.empty() ? -1 : Log.back());
+      break;
+    default:
+      checkThat(false, "io service: unknown opcode");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// TimerService
+//===----------------------------------------------------------------------===
+
+TimerService::TimerService(std::string Name)
+    : StopFlag(false, Name + ".stop"),
+      Ready(Event::Reset::Manual, false, Name + ".ready") {}
+
+void TimerService::run() {
+  Ready.set();
+  // The canonical nonterminating kernel loop: tick, sleep, repeat. Under
+  // an unfair scheduler this loop alone makes the boot test diverge; the
+  // yielding sleep keeps it good-samaritan conforming so the fair
+  // scheduler can drive the rest of the kernel around it.
+  while (!StopFlag.load()) {
+    ++Ticks;
+    sleepFor();
+  }
+}
+
+//===----------------------------------------------------------------------===
+// App processes
+//===----------------------------------------------------------------------===
+
+void minikernel::runAppProcess(int Pid, MemoryService &Mem,
+                               NameService &Names, IoService &Io) {
+  // Allocate a page, publish ourselves, do some I/O, look ourselves up,
+  // clean up. Every step checks the service protocol.
+  int Page = rpcCall(Mem.port(), OpAlloc);
+  checkThat(Page >= 0, "app: alloc failed");
+
+  int RegOK = rpcCall(Names.port(), OpRegister, /*A=*/Pid, /*B=*/Page);
+  checkThat(RegOK == 1, "app: register failed");
+
+  int WroteOK = rpcCall(Io.port(), OpWrite, /*A=*/1000 + Pid);
+  checkThat(WroteOK == 1, "app: io write failed");
+
+  int Found = rpcCall(Names.port(), OpLookup, /*A=*/Pid);
+  checkThat(Found == Page, "app: lookup returned the wrong binding");
+
+  int UnregOK = rpcCall(Names.port(), OpUnregister, /*A=*/Pid);
+  checkThat(UnregOK == 1, "app: unregister failed");
+
+  int FreeOK = rpcCall(Mem.port(), OpFree, /*A=*/Page);
+  checkThat(FreeOK == 1, "app: free failed");
+}

@@ -1,0 +1,129 @@
+//===- workloads/minikernel/Services.h - Kernel services -------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mini-kernel's services: memory manager, name server, I/O service
+/// and timer. Each is a nonterminating message loop over a Port -- the
+/// shape that made real kernels untestable under stateless checkers
+/// before fairness -- brought to fair termination by the kernel's
+/// shutdown protocol (close the port, join the thread).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_WORKLOADS_MINIKERNEL_SERVICES_H
+#define FSMC_WORKLOADS_MINIKERNEL_SERVICES_H
+
+#include "sync/Atomic.h"
+#include "sync/Event.h"
+#include "workloads/minikernel/Ipc.h"
+
+#include <map>
+#include <vector>
+
+namespace fsmc {
+namespace minikernel {
+
+/// Request opcodes understood by the services.
+enum ServiceOp : int {
+  OpAlloc = 1,  ///< Memory: allocate one page; reply = page id.
+  OpFree = 2,   ///< Memory: free page A; reply = 1 ok / 0 bad free.
+  OpRegister = 3, ///< Names: bind key A -> value B; reply = 1.
+  OpLookup = 4,   ///< Names: reply = value of key A, or -1.
+  OpUnregister = 5, ///< Names: remove key A; reply = 1 ok / 0 missing.
+  OpWrite = 6,  ///< I/O: append A to the device log; reply = bytes (1).
+  OpRead = 7,   ///< I/O: reply = last value written, or -1.
+};
+
+/// The memory manager: a page allocator with double-free detection.
+class MemoryService {
+public:
+  MemoryService(int Pages, std::string Name = "mem");
+
+  /// The service loop; runs until the port closes.
+  void run();
+
+  Port &port() { return Requests; }
+  Event &ready() { return Ready; }
+  /// Outstanding allocations; must be 0 after a clean shutdown.
+  int balance() const { return Balance; }
+  int served() const { return Served; }
+
+private:
+  Port Requests;
+  Event Ready;
+  std::vector<bool> PageUsed;
+  int Balance = 0;
+  int Served = 0;
+};
+
+/// The name server: a key -> value binding table.
+class NameService {
+public:
+  explicit NameService(std::string Name = "names");
+
+  void run();
+
+  Port &port() { return Requests; }
+  Event &ready() { return Ready; }
+  size_t bindings() const { return Table.size(); }
+  int served() const { return Served; }
+
+private:
+  Port Requests;
+  Event Ready;
+  std::map<int, int> Table;
+  int Served = 0;
+};
+
+/// The I/O service: an append-only device log.
+class IoService {
+public:
+  explicit IoService(std::string Name = "io");
+
+  void run();
+
+  Port &port() { return Requests; }
+  Event &ready() { return Ready; }
+  int served() const { return Served; }
+  const std::vector<int> &log() const { return Log; }
+
+private:
+  Port Requests;
+  Event Ready;
+  std::vector<int> Log;
+  int Served = 0;
+};
+
+/// The timer: ticks (with a yielding sleep) until told to stop. Pure
+/// background noise, exactly like a kernel's preemption timer -- the kind
+/// of thread that makes the state space cyclic.
+class TimerService {
+public:
+  explicit TimerService(std::string Name = "timer");
+
+  void run();
+  void requestStop() { StopFlag.store(true); }
+
+  Event &ready() { return Ready; }
+  int ticks() const { return Ticks; }
+
+private:
+  Atomic<bool> StopFlag;
+  Event Ready;
+  int Ticks = 0;
+};
+
+/// One user process: allocates memory, registers itself with the name
+/// server, performs I/O, looks itself up, releases everything, exits.
+/// Reports protocol violations via checkThat.
+void runAppProcess(int Pid, MemoryService &Mem, NameService &Names,
+                   IoService &Io);
+
+} // namespace minikernel
+} // namespace fsmc
+
+#endif // FSMC_WORKLOADS_MINIKERNEL_SERVICES_H

@@ -1,0 +1,206 @@
+//===- tests/core/FairSchedulerTest.cpp -----------------------------------===//
+//
+// Unit tests of Algorithm 1, including a step-by-step replay of the
+// paper's Figure 4 emulation and property tests of the Theorem 3
+// invariants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FairScheduler.h"
+
+#include "support/Xorshift.h"
+
+#include <gtest/gtest.h>
+
+using namespace fsmc;
+
+namespace {
+constexpr Tid T = 0; // Figure 3's thread t.
+constexpr Tid U = 1; // Figure 3's thread u.
+
+ThreadSet both() {
+  ThreadSet S;
+  S.insert(T);
+  S.insert(U);
+  return S;
+}
+} // namespace
+
+TEST(FairScheduler, InitialStateMatchesAlgorithmLines1To4) {
+  FairScheduler FS;
+  EXPECT_TRUE(FS.priorities().empty());
+  for (Tid X = 0; X < 4; ++X) {
+    EXPECT_EQ(FS.scheduledSince(X), ThreadSet::all());
+    EXPECT_EQ(FS.disabledBySince(X), ThreadSet::all());
+    EXPECT_TRUE(FS.continuouslyEnabledSince(X).empty());
+  }
+}
+
+TEST(FairScheduler, InitiallyFullyNondeterministic) {
+  // With an empty priority relation the scheduler is the standard demonic
+  // one: allowed == ES.
+  FairScheduler FS;
+  EXPECT_EQ(FS.allowed(both()), both());
+  EXPECT_EQ(FS.allowed(ThreadSet::singleton(U)), ThreadSet::singleton(U));
+  EXPECT_TRUE(FS.allowed(ThreadSet()).empty());
+}
+
+/// The Figure 4 emulation, transition for transition. The scheduler keeps
+/// choosing u; the priority edge (u, t) must appear exactly after u's
+/// *second* yield, forcing t to run.
+TEST(FairScheduler, Figure4Emulation) {
+  FairScheduler FS;
+  ThreadSet ES = both(); // Both threads stay enabled throughout.
+
+  // (a,c) -> (a,d): u executes the while check; not a yield.
+  ASSERT_EQ(FS.allowed(ES), both());
+  FS.onTransition(U, ES, ES, /*WasYield=*/false);
+  EXPECT_TRUE(FS.priorities().empty());
+
+  // (a,d) -> (a,c): u yields. First yield of u: S(u)/D(u) start full, so
+  // H = (E ∪ D) \ S = {} and P stays empty; the first window begins.
+  ASSERT_TRUE(FS.allowed(ES).contains(U));
+  FS.onTransition(U, ES, ES, /*WasYield=*/true);
+  EXPECT_TRUE(FS.priorities().empty()) << "first yield must not add edges";
+  EXPECT_EQ(FS.continuouslyEnabledSince(U), both());
+  EXPECT_TRUE(FS.scheduledSince(U).empty());
+  EXPECT_TRUE(FS.disabledBySince(U).empty());
+
+  // (a,c) -> (a,d): u executes the while check again. Still no priority:
+  // the paper stresses "the P relation is still empty allowing the
+  // scheduler to choose either of the two threads".
+  ASSERT_EQ(FS.allowed(ES), both());
+  FS.onTransition(U, ES, ES, /*WasYield=*/false);
+  EXPECT_TRUE(FS.priorities().empty());
+  EXPECT_EQ(FS.scheduledSince(U), ThreadSet::singleton(U));
+
+  // (a,d) -> (a,c): u's second yield closes its first real window. u ran
+  // the whole window while t stayed continuously enabled and unscheduled:
+  // H = {t} and the edge (u, t) appears.
+  ASSERT_TRUE(FS.allowed(ES).contains(U));
+  FS.onTransition(U, ES, ES, /*WasYield=*/true);
+  EXPECT_TRUE(FS.priorities().hasEdge(U, T));
+  EXPECT_EQ(FS.edgeAdditions(), 1u);
+
+  // Now the scheduler's choices are T = {t}: u is starving t no longer.
+  EXPECT_EQ(FS.allowed(ES), ThreadSet::singleton(T));
+
+  // Scheduling t removes the edge into t (line 13), restoring full
+  // nondeterminism.
+  FS.onTransition(T, ES, ES, /*WasYield=*/false);
+  EXPECT_FALSE(FS.priorities().hasEdge(U, T));
+  EXPECT_EQ(FS.allowed(ES), both());
+}
+
+TEST(FairScheduler, DisabledSinkDoesNotBlockSource) {
+  // (u, t) only forbids u when t is *enabled*: priority is over the
+  // enabled set, per line 7.
+  FairScheduler FS;
+  ThreadSet ES = both();
+  // Drive u to acquire the edge (u, t) as in Figure 4.
+  FS.onTransition(U, ES, ES, true);
+  FS.onTransition(U, ES, ES, false);
+  FS.onTransition(U, ES, ES, true);
+  ASSERT_TRUE(FS.priorities().hasEdge(U, T));
+  // With t disabled, u is schedulable again.
+  EXPECT_EQ(FS.allowed(ThreadSet::singleton(U)), ThreadSet::singleton(U));
+}
+
+TEST(FairScheduler, TracksThreadsDisabledByTransition) {
+  // Line 17: a transition of t that shrinks the enabled set charges the
+  // disappearance to t's D set.
+  FairScheduler FS;
+  ThreadSet Before = both();
+  ThreadSet After = ThreadSet::singleton(T); // t's transition disabled u.
+  // Open t's window first (its initial D/S are full).
+  FS.onTransition(T, Before, Before, true);
+  FS.onTransition(T, Before, After, false);
+  EXPECT_TRUE(FS.disabledBySince(T).contains(U));
+  // u was disabled by t and never scheduled: t's next yield demotes t.
+  FS.onTransition(T, After, After, true);
+  EXPECT_TRUE(FS.priorities().hasEdge(T, U));
+}
+
+TEST(FairScheduler, ScheduledThreadNeverEntersH) {
+  // A thread that ran during the window is not starved: line 21 ensures
+  // it is in S and thus excluded from H.
+  FairScheduler FS;
+  ThreadSet ES = both();
+  FS.onTransition(U, ES, ES, true); // Open u's window.
+  FS.onTransition(T, ES, ES, false); // t runs inside u's window.
+  FS.onTransition(U, ES, ES, true);  // u's window closes.
+  EXPECT_FALSE(FS.priorities().hasEdge(U, T));
+}
+
+TEST(FairScheduler, YieldCountParameterK) {
+  // With k = 2 only every second yield closes a window (Section 3's
+  // parameterized algorithm), so the Figure 4 edge appears one whole
+  // window later.
+  FairScheduler FS(/*YieldK=*/2);
+  ThreadSet ES = both();
+  // Yields 1 and 2: the first *processed* yield is yield 2, which opens
+  // the first window (H is empty then because S/D start full... they are
+  // reset only at processed yields).
+  FS.onTransition(U, ES, ES, true);
+  EXPECT_TRUE(FS.priorities().empty());
+  FS.onTransition(U, ES, ES, true);
+  EXPECT_TRUE(FS.priorities().empty()) << "yield 2 opens the first window";
+  FS.onTransition(U, ES, ES, true);
+  EXPECT_TRUE(FS.priorities().empty()) << "yield 3 is unprocessed under k=2";
+  FS.onTransition(U, ES, ES, true);
+  EXPECT_TRUE(FS.priorities().hasEdge(U, T)) << "yield 4 closes the window";
+}
+
+TEST(FairScheduler, ResetRestoresInitialState) {
+  FairScheduler FS;
+  ThreadSet ES = both();
+  FS.onTransition(U, ES, ES, true);
+  FS.onTransition(U, ES, ES, true);
+  ASSERT_FALSE(FS.priorities().empty());
+  FS.reset();
+  EXPECT_TRUE(FS.priorities().empty());
+  EXPECT_EQ(FS.edgeAdditions(), 0u);
+  EXPECT_EQ(FS.scheduledSince(U), ThreadSet::all());
+}
+
+/// Property: under arbitrary transition streams, P stays acyclic and the
+/// schedulable set is empty iff ES is empty (Theorem 3).
+class FairSchedulerPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(FairSchedulerPropertyTest, Theorem3HoldsOnRandomStreams) {
+  Xorshift Rng(GetParam());
+  FairScheduler FS;
+  const int NumThreads = 5;
+  ThreadSet ES = ThreadSet::firstN(NumThreads);
+  for (int Step = 0; Step < 4000; ++Step) {
+    ThreadSet Allowed = FS.allowed(ES);
+    ASSERT_EQ(Allowed.empty(), ES.empty());
+    ASSERT_TRUE(Allowed.isSubsetOf(ES));
+    if (ES.empty())
+      break;
+    // Pick a random allowed thread; random next enabled set containing
+    // at least one thread.
+    int Idx = Rng.nextBelow(Allowed.size());
+    Tid Chosen = -1;
+    for (Tid X : Allowed)
+      if (Idx-- == 0) {
+        Chosen = X;
+        break;
+      }
+    ThreadSet Next;
+    for (Tid X = 0; X < NumThreads; ++X)
+      if (Rng.nextBelow(4) != 0)
+        Next.insert(X);
+    if (Next.empty())
+      Next.insert(Chosen);
+    bool WasYield = Rng.nextBelow(3) == 0;
+    FS.onTransition(Chosen, ES, Next, WasYield);
+    ASSERT_TRUE(FS.priorities().isAcyclic());
+    ES = Next;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairSchedulerPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));

@@ -1,0 +1,102 @@
+//===- tests/core/IterativeCheckTest.cpp ----------------------------------===//
+
+#include "core/IterativeCheck.h"
+
+#include "runtime/Runtime.h"
+#include "sync/Atomic.h"
+#include "sync/TestThread.h"
+#include "workloads/WorkStealQueue.h"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+using namespace fsmc;
+
+namespace {
+
+/// A bug that requires exactly two preemptions: one to deschedule main
+/// (enabled at its load) so the writer starts, one to interrupt the
+/// writer between its stores so main observes the intermediate value.
+TestProgram twoPreemptionBug() {
+  TestProgram P;
+  P.Name = "needs-2-preemptions";
+  P.Body = [] {
+    auto X = std::make_shared<Atomic<int>>(0, "x");
+    TestThread Writer([X] {
+      X->store(1);
+      X->store(2);
+    }, "writer");
+    int Seen = X->load();
+    checkThat(Seen != 1, "intermediate value observed");
+    Writer.join();
+  };
+  return P;
+}
+
+} // namespace
+
+TEST(IterativeCheck, CleanProgramRunsAllBounds) {
+  TestProgram P;
+  P.Name = "clean";
+  P.Body = [] {
+    auto X = std::make_shared<Atomic<int>>(0, "x");
+    TestThread W([X] { X->store(1); }, "w");
+    W.join();
+    checkThat(X->raw() == 1, "value written");
+  };
+  IterativeCheckResult R = iterativeCheck(P, CheckerOptions(), 3);
+  EXPECT_FALSE(R.foundBug());
+  ASSERT_EQ(R.PerBound.size(), 4u);
+  for (size_t I = 0; I < R.PerBound.size(); ++I) {
+    EXPECT_EQ(R.PerBound[I].Bound, int(I));
+    EXPECT_EQ(R.PerBound[I].Result.Kind, Verdict::Pass);
+  }
+  EXPECT_EQ(R.Final.Kind, Verdict::Pass);
+}
+
+TEST(IterativeCheck, FindsBugAtItsMinimalBound) {
+  IterativeCheckResult R = iterativeCheck(twoPreemptionBug(),
+                                          CheckerOptions(), 3);
+  ASSERT_TRUE(R.foundBug());
+  // cb<=1 cannot both start the writer and interrupt it; cb=2 can. The
+  // PLDI'07 promise: the bug surfaces at the smallest sufficient bound.
+  EXPECT_EQ(R.BugBound, 2);
+  ASSERT_EQ(R.PerBound.size(), 3u);
+  EXPECT_EQ(R.PerBound[0].Result.Kind, Verdict::Pass);
+  EXPECT_EQ(R.PerBound[1].Result.Kind, Verdict::Pass);
+  EXPECT_EQ(R.PerBound[2].Result.Kind, Verdict::SafetyViolation);
+  EXPECT_EQ(R.Final.Kind, Verdict::SafetyViolation);
+}
+
+TEST(IterativeCheck, StopsAtFirstBuggyBound) {
+  IterativeCheckResult R = iterativeCheck(twoPreemptionBug(),
+                                          CheckerOptions(), 10);
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_EQ(R.PerBound.size(), 3u) << "bounds after the bug must not run";
+}
+
+TEST(IterativeCheck, WorkloadBugHasSmallPreemptionBound) {
+  // The WSQ reorder bug needs very few preemptions -- the kind of defect
+  // iterative context bounding is built for.
+  WsqConfig C;
+  C.Stealers = 1;
+  C.Tasks = 2;
+  C.Bug = WsqBug::PopReordered;
+  CheckerOptions O;
+  O.TimeBudgetSeconds = 120;
+  IterativeCheckResult R = iterativeCheck(makeWsqProgram(C), O, 3);
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_LE(R.BugBound, 2);
+}
+
+TEST(IterativeCheck, RespectsTotalTimeBudget) {
+  WsqConfig C;
+  C.Stealers = 2;
+  C.Tasks = 3;
+  CheckerOptions O;
+  O.TimeBudgetSeconds = 0.2; // Total across bounds.
+  IterativeCheckResult R = iterativeCheck(makeWsqProgram(C), O, 50);
+  EXPECT_FALSE(R.foundBug());
+  EXPECT_LT(R.PerBound.size(), 51u)
+      << "the shared budget must cut the bound ladder short";
+}

@@ -1,0 +1,172 @@
+//===- tests/core/PorTest.cpp ---------------------------------------------===//
+//
+// Sleep-set partial-order reduction (the paper's stated future work,
+// implemented here as an experimental option): independence relation
+// unit tests, plus end-to-end checks that POR preserves verdicts while
+// shrinking the search on programs whose shared state is fully modeled.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+
+#include "runtime/PendingOp.h"
+#include "runtime/Runtime.h"
+#include "sync/Atomic.h"
+#include "sync/Mutex.h"
+#include "sync/TestThread.h"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+using namespace fsmc;
+
+TEST(Independence, DistinctObjectsCommute) {
+  PendingOp A = makeOp(OpKind::VarStore, /*ObjectId=*/1);
+  PendingOp B = makeOp(OpKind::VarLoad, /*ObjectId=*/2);
+  EXPECT_TRUE(independentOps(A, B));
+  EXPECT_TRUE(independentOps(B, A));
+}
+
+TEST(Independence, SameObjectConflicts) {
+  PendingOp A = makeOp(OpKind::VarStore, 5);
+  PendingOp B = makeOp(OpKind::VarLoad, 5);
+  EXPECT_FALSE(independentOps(A, B));
+  PendingOp L1 = makeOp(OpKind::MutexLock, 7);
+  PendingOp L2 = makeOp(OpKind::MutexTryLock, 7);
+  EXPECT_FALSE(independentOps(L1, L2));
+}
+
+TEST(Independence, YieldsCommuteWithEverything) {
+  PendingOp Y = makeOp(OpKind::Yield);
+  PendingOp S = makeOp(OpKind::Sleep);
+  PendingOp Store = makeOp(OpKind::VarStore, 3);
+  PendingOp J = makeOp(OpKind::Join, -1, 1);
+  EXPECT_TRUE(independentOps(Y, Store));
+  EXPECT_TRUE(independentOps(S, J));
+  EXPECT_TRUE(independentOps(Y, S));
+}
+
+TEST(Independence, ThreadManagementConflictsWithEverything) {
+  PendingOp J = makeOp(OpKind::Join, -1, 1);
+  PendingOp Start = makeOp(OpKind::ThreadStart);
+  PendingOp Store = makeOp(OpKind::VarStore, 3);
+  EXPECT_FALSE(independentOps(J, Store));
+  EXPECT_FALSE(independentOps(Start, Store));
+  EXPECT_FALSE(independentOps(J, Start));
+}
+
+TEST(Independence, UnknownObjectsConflictConservatively) {
+  PendingOp A = makeOp(OpKind::VarStore, -1);
+  PendingOp B = makeOp(OpKind::VarLoad, -1);
+  EXPECT_FALSE(independentOps(A, B));
+}
+
+namespace {
+
+/// Three writers to three distinct variables: all interleavings are
+/// equivalent, POR should collapse most of them.
+TestProgram disjointWriters() {
+  TestProgram P;
+  P.Name = "disjoint";
+  P.Body = [] {
+    auto X = std::make_shared<Atomic<int>>(0, "x");
+    auto Y = std::make_shared<Atomic<int>>(0, "y");
+    auto Z = std::make_shared<Atomic<int>>(0, "z");
+    TestThread A([X] { X->store(1); }, "a");
+    TestThread B([Y] { Y->store(1); }, "b");
+    TestThread C([Z] { Z->store(1); }, "c");
+    A.join();
+    B.join();
+    C.join();
+    checkThat(X->raw() + Y->raw() + Z->raw() == 3, "all writes landed");
+  };
+  return P;
+}
+
+} // namespace
+
+TEST(Por, ShrinksSearchOnIndependentPrograms) {
+  CheckerOptions Plain;
+  Plain.Fair = false;
+  CheckResult Full = check(disjointWriters(), Plain);
+  ASSERT_EQ(Full.Kind, Verdict::Pass);
+  ASSERT_TRUE(Full.Stats.SearchExhausted);
+
+  CheckerOptions Por = Plain;
+  Por.SleepSets = true;
+  CheckResult Reduced = check(disjointWriters(), Por);
+  EXPECT_EQ(Reduced.Kind, Verdict::Pass);
+  EXPECT_TRUE(Reduced.Stats.SearchExhausted);
+  EXPECT_LT(Reduced.Stats.Transitions, Full.Stats.Transitions)
+      << "POR must prune equivalent interleavings";
+  EXPECT_GT(Reduced.Stats.SleepSetPrunes, 0u);
+}
+
+TEST(Por, StillFindsConflictingBug) {
+  // Racy RMW on one variable: the conflict is real, POR must keep it.
+  TestProgram P;
+  P.Name = "racy";
+  P.Body = [] {
+    auto X = std::make_shared<Atomic<int>>(0, "x");
+    auto Bump = [X] { X->store(X->load() + 1); };
+    TestThread A(Bump, "a");
+    TestThread B(Bump, "b");
+    A.join();
+    B.join();
+    checkThat(X->raw() == 2, "lost update");
+  };
+  CheckerOptions O;
+  O.Fair = false;
+  O.SleepSets = true;
+  CheckResult R = check(P, O);
+  EXPECT_EQ(R.Kind, Verdict::SafetyViolation);
+}
+
+TEST(Por, StillFindsDeadlock) {
+  TestProgram P;
+  P.Name = "abba";
+  P.Body = [] {
+    auto A = std::make_shared<Mutex>("A");
+    auto B = std::make_shared<Mutex>("B");
+    TestThread T1([A, B] {
+      A->lock();
+      B->lock();
+      B->unlock();
+      A->unlock();
+    }, "t1");
+    TestThread T2([A, B] {
+      B->lock();
+      A->lock();
+      A->unlock();
+      B->unlock();
+    }, "t2");
+    T1.join();
+    T2.join();
+  };
+  CheckerOptions O;
+  O.Fair = false;
+  O.SleepSets = true;
+  CheckResult R = check(P, O);
+  EXPECT_EQ(R.Kind, Verdict::Deadlock);
+}
+
+TEST(Por, SleepBlockedStateIsNotADeadlock) {
+  // On a program with independent moves the reduced search prunes whole
+  // branches; none of those prunes may masquerade as a deadlock.
+  CheckerOptions O;
+  O.Fair = false;
+  O.SleepSets = true;
+  CheckResult R = check(disjointWriters(), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Por, ComposesWithFairnessExperimentally) {
+  // The paper leaves POR-over-fair-schedules as future work; we verify
+  // the combination at least preserves the verdict on a terminating
+  // spin-free program.
+  CheckerOptions O;
+  O.SleepSets = true; // Fair stays on.
+  CheckResult R = check(disjointWriters(), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(R.Stats.SearchExhausted);
+}

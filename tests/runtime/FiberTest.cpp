@@ -1,0 +1,134 @@
+//===- tests/runtime/FiberTest.cpp ----------------------------------------===//
+
+#include "runtime/Fiber.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+using namespace fsmc;
+
+namespace {
+
+/// A little ping-pong harness: host <-> fiber.
+struct PingPong {
+  Fiber Host;
+  Fiber Worker;
+  std::vector<int> Log;
+  int Rounds = 0;
+
+  static void entry(void *Arg) {
+    auto *Self = static_cast<PingPong *>(Arg);
+    for (int I = 0; I < Self->Rounds; ++I) {
+      Self->Log.push_back(100 + I);
+      Fiber::switchTo(Self->Worker, Self->Host);
+    }
+    Self->Log.push_back(999);
+    Fiber::switchTo(Self->Worker, Self->Host);
+    FAIL() << "fiber resumed after its final switch-away";
+  }
+};
+
+} // namespace
+
+TEST(Fiber, PingPongInterleaves) {
+  PingPong P;
+  P.Rounds = 3;
+  P.Host.initAsHost();
+  ASSERT_TRUE(P.Worker.initWithEntry(64 * 1024, &PingPong::entry, &P));
+  for (int I = 0; I < 3; ++I) {
+    P.Log.push_back(I);
+    Fiber::switchTo(P.Host, P.Worker);
+  }
+  Fiber::switchTo(P.Host, P.Worker); // Final leg: fiber logs 999.
+  EXPECT_EQ(P.Log, (std::vector<int>{0, 100, 1, 101, 2, 102, 999}));
+}
+
+TEST(Fiber, HasStackReflectsInit) {
+  Fiber Host;
+  Host.initAsHost();
+  EXPECT_FALSE(Host.hasStack());
+  PingPong P;
+  P.Rounds = 0;
+  P.Host.initAsHost();
+  ASSERT_TRUE(P.Worker.initWithEntry(64 * 1024, &PingPong::entry, &P));
+  EXPECT_TRUE(P.Worker.hasStack());
+  Fiber::switchTo(P.Host, P.Worker); // Runs to the 999 log and parks.
+  EXPECT_EQ(P.Log, (std::vector<int>{999}));
+}
+
+namespace {
+
+struct DeepState {
+  Fiber Host;
+  Fiber Worker;
+  int Result = 0;
+
+  static int collatzSteps(unsigned long N, int Depth) {
+    // Some genuine stack usage to exercise the mapped stack.
+    volatile char Pad[512];
+    Pad[0] = char(Depth);
+    (void)Pad;
+    if (N == 1)
+      return Depth;
+    return collatzSteps(N % 2 ? 3 * N + 1 : N / 2, Depth + 1);
+  }
+
+  static void entry(void *Arg) {
+    auto *Self = static_cast<DeepState *>(Arg);
+    Self->Result = collatzSteps(27, 0); // 111 steps, ~56 KiB of frames.
+    Fiber::switchTo(Self->Worker, Self->Host);
+  }
+};
+
+} // namespace
+
+TEST(Fiber, SupportsDeepStacks) {
+  DeepState D;
+  D.Host.initAsHost();
+  ASSERT_TRUE(D.Worker.initWithEntry(256 * 1024, &DeepState::entry, &D));
+  Fiber::switchTo(D.Host, D.Worker);
+  EXPECT_EQ(D.Result, 111);
+}
+
+namespace {
+
+struct Counter {
+  Fiber Host;
+  Fiber Worker;
+  int Value = 0;
+
+  static void entry(void *Arg) {
+    auto *Self = static_cast<Counter *>(Arg);
+    ++Self->Value;
+    Fiber::switchTo(Self->Worker, Self->Host);
+  }
+};
+
+} // namespace
+
+TEST(Fiber, ManyFibersCoexist) {
+  Fiber Host;
+  Host.initAsHost();
+  std::vector<std::unique_ptr<Counter>> Fibers;
+  for (int I = 0; I < 50; ++I) {
+    auto C = std::make_unique<Counter>();
+    C->Host.initAsHost();
+    ASSERT_TRUE(C->Worker.initWithEntry(64 * 1024, &Counter::entry, C.get()));
+    Fibers.push_back(std::move(C));
+  }
+  for (auto &C : Fibers)
+    Fiber::switchTo(C->Host, C->Worker);
+  for (auto &C : Fibers)
+    EXPECT_EQ(C->Value, 1);
+}
+
+TEST(Fiber, UnstartedFiberIsFreedSafely) {
+  // A fiber that is initialized but never switched to must clean up its
+  // stack without running the entry.
+  auto *C = new Counter();
+  C->Host.initAsHost();
+  ASSERT_TRUE(C->Worker.initWithEntry(64 * 1024, &Counter::entry, C));
+  int Val = C->Value;
+  delete C;
+  EXPECT_EQ(Val, 0);
+}

@@ -1,0 +1,257 @@
+//===- tests/runtime/RuntimeTest.cpp --------------------------------------===//
+//
+// Controller-level tests of the Runtime: these drive executions manually
+// (no Explorer), checking the enabled/yield predicates, transition
+// granularity, spawn/finish bookkeeping, failure reporting and state
+// signatures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include "sync/Atomic.h"
+#include "sync/Mutex.h"
+#include "sync/TestThread.h"
+
+#include <gtest/gtest.h>
+
+using namespace fsmc;
+
+namespace {
+
+/// A scripted choice source for manual driving; data choices always 0.
+class FixedChoices : public ChoiceSource {
+public:
+  int chooseInt(int N) override { return 0; }
+};
+
+/// Runs all enabled threads in ascending tid order until none are live
+/// (or a failure stops the execution). \returns transitions executed.
+int runRoundRobin(Runtime &RT) {
+  int Steps = 0;
+  while (!RT.liveSet().empty()) {
+    ThreadSet ES = RT.enabledSet();
+    if (ES.empty())
+      break;
+    StepStatus St = RT.step(ES.first());
+    ++Steps;
+    if (St == StepStatus::Failed)
+      break;
+  }
+  return Steps;
+}
+
+} // namespace
+
+TEST(Runtime, MainThreadRunsToCompletion) {
+  FixedChoices C;
+  Runtime RT(C);
+  int Ran = 0;
+  RT.start([&Ran] { Ran = 1; });
+  EXPECT_EQ(RT.liveSet().size(), 1);
+  EXPECT_EQ(RT.enabledSet().size(), 1);
+  EXPECT_EQ(RT.pendingOf(0).Kind, OpKind::ThreadStart);
+  StepStatus St = RT.step(0);
+  EXPECT_EQ(St, StepStatus::Finished);
+  EXPECT_EQ(Ran, 1);
+  EXPECT_TRUE(RT.liveSet().empty());
+  EXPECT_TRUE(RT.isFinished(0));
+}
+
+TEST(Runtime, SpawnedThreadsGetDenseIds) {
+  FixedChoices C;
+  Runtime RT(C);
+  RT.start([] {
+    TestThread A([] {}, "a");
+    TestThread B([] {}, "b");
+    EXPECT_EQ(A.tid(), 1);
+    EXPECT_EQ(B.tid(), 2);
+    A.join();
+    B.join();
+  });
+  runRoundRobin(RT);
+  EXPECT_EQ(RT.threadCount(), 3);
+  EXPECT_EQ(RT.threadName(1), "a");
+  EXPECT_EQ(RT.threadName(2), "b");
+  EXPECT_FALSE(RT.hasFailure());
+}
+
+TEST(Runtime, JoinDisablesUntilTargetFinishes) {
+  FixedChoices C;
+  Runtime RT(C);
+  RT.start([] {
+    TestThread A([] { yieldNow(); }, "a");
+    A.join();
+  });
+  // Step main: it spawns and parks at join. A has not run: join disabled.
+  EXPECT_EQ(RT.step(0), StepStatus::Parked);
+  EXPECT_EQ(RT.pendingOf(0).Kind, OpKind::Join);
+  EXPECT_FALSE(RT.enabledSet().contains(0));
+  EXPECT_TRUE(RT.enabledSet().contains(1));
+  // Run A through its yield and to completion.
+  EXPECT_EQ(RT.step(1), StepStatus::Parked); // Runs to its yield point.
+  EXPECT_TRUE(RT.yieldPending(1));
+  EXPECT_EQ(RT.step(1), StepStatus::Finished);
+  // Main is enabled again and finishes.
+  EXPECT_TRUE(RT.enabledSet().contains(0));
+  EXPECT_EQ(RT.step(0), StepStatus::Finished);
+}
+
+TEST(Runtime, YieldPredicateMatchesSection4Rules) {
+  FixedChoices C;
+  Runtime RT(C);
+  RT.start([] {
+    yieldNow();                    // Yield op.
+    sleepFor(3);                   // Sleep: yielding.
+    Atomic<int> X(0, "x");
+    X.store(1);                    // Store: not yielding.
+  });
+  EXPECT_EQ(RT.step(0), StepStatus::Parked);
+  EXPECT_TRUE(RT.yieldPending(0)); // Parked at yieldNow.
+  EXPECT_EQ(RT.step(0), StepStatus::Parked);
+  EXPECT_TRUE(RT.yieldPending(0)); // Parked at sleepFor.
+  EXPECT_EQ(RT.pendingOf(0).Aux, 3);
+  EXPECT_EQ(RT.step(0), StepStatus::Parked);
+  EXPECT_FALSE(RT.yieldPending(0)); // Parked at the store.
+  EXPECT_EQ(RT.pendingOf(0).Kind, OpKind::VarStore);
+  EXPECT_EQ(RT.step(0), StepStatus::Finished);
+}
+
+TEST(Runtime, MutexDisablesCompetingLocker) {
+  FixedChoices C;
+  Runtime RT(C);
+  RT.start([] {
+    Mutex M("m");
+    M.lock();
+    TestThread A([&M] {
+      M.lock();
+      M.unlock();
+    }, "a");
+    yieldNow();
+    M.unlock();
+    A.join();
+  });
+  RT.step(0); // Main: creates M, parks at lock.
+  RT.step(0); // Main: acquires M, spawns A, parks at yield.
+  RT.step(1); // A: starts, parks at lock (M held).
+  EXPECT_EQ(RT.pendingOf(1).Kind, OpKind::MutexLock);
+  EXPECT_FALSE(RT.enabledSet().contains(1)) << "lock on held mutex disables";
+  RT.step(0); // Main: yields, parks at unlock.
+  EXPECT_FALSE(RT.enabledSet().contains(1));
+  RT.step(0); // Main: unlocks, parks at join.
+  EXPECT_TRUE(RT.enabledSet().contains(1)) << "unlock re-enables the waiter";
+  runRoundRobin(RT);
+  EXPECT_FALSE(RT.hasFailure()) << RT.failureMessage();
+}
+
+TEST(Runtime, FailStopsExecutionWithMessage) {
+  FixedChoices C;
+  Runtime RT(C);
+  RT.start([] {
+    yieldNow();
+    checkThat(false, "boom");
+  });
+  EXPECT_EQ(RT.step(0), StepStatus::Parked);
+  EXPECT_EQ(RT.step(0), StepStatus::Failed);
+  EXPECT_TRUE(RT.hasFailure());
+  EXPECT_EQ(RT.failureMessage(), "boom");
+  EXPECT_EQ(RT.failureTid(), 0);
+}
+
+TEST(Runtime, SyncOpCountCountsSchedulePoints) {
+  FixedChoices C;
+  Runtime RT(C);
+  RT.start([] {
+    yieldNow();
+    yieldNow();
+    Atomic<int> X(0, "x");
+    X.store(1);
+    X.load();
+  });
+  runRoundRobin(RT);
+  // ThreadStart is not a schedulePoint; 2 yields + store + load = 4.
+  EXPECT_EQ(RT.syncOpCount(), 4u);
+}
+
+TEST(Runtime, AnnotationsVisibleToController) {
+  FixedChoices C;
+  Runtime RT(C);
+  RT.start([] {
+    Runtime::current().annotate(7);
+    yieldNow();
+    Runtime::current().annotate(13);
+  });
+  RT.step(0); // Runs annotate(7), parks at yield.
+  EXPECT_EQ(RT.annotationOf(0), 7u);
+  RT.step(0);
+  EXPECT_EQ(RT.annotationOf(0), 13u);
+}
+
+TEST(Runtime, StateSignatureDistinguishesProgress) {
+  FixedChoices C;
+  Runtime RT(C);
+  RT.start([] {
+    Runtime::current().annotate(1);
+    yieldNow();
+    Runtime::current().annotate(2);
+    yieldNow();
+  });
+  RT.step(0);
+  uint64_t S1 = RT.stateSignature();
+  RT.step(0);
+  uint64_t S2 = RT.stateSignature();
+  EXPECT_NE(S1, S2);
+}
+
+TEST(Runtime, StateExtractorDroppedWhenOwnerExits) {
+  FixedChoices C;
+  Runtime RT(C);
+  RT.start([] {
+    int Local = 5;
+    Runtime::current().setStateExtractor(
+        [&Local] { return uint64_t(Local); });
+    yieldNow();
+  });
+  RT.step(0);
+  (void)RT.stateSignature(); // Extractor active while main is live.
+  RT.step(0);                // Main finishes; extractor must be dropped.
+  (void)RT.stateSignature(); // Must not touch the dead frame.
+  SUCCEED();
+}
+
+TEST(Runtime, ObjectNamesResolveInTraces) {
+  FixedChoices C;
+  Runtime RT(C);
+  RT.start([] {
+    Mutex M("my-mutex");
+    M.lock();
+    M.unlock();
+  });
+  RT.step(0); // Parks at lock.
+  EXPECT_EQ(RT.objectName(RT.pendingOf(0).ObjectId), "my-mutex");
+  EXPECT_EQ(RT.objectName(-1), "<none>");
+  runRoundRobin(RT);
+}
+
+TEST(Runtime, TransitionRunsToNextVisibleOp) {
+  // One transition = the pending visible op plus all invisible local code
+  // up to the next scheduling point.
+  FixedChoices C;
+  Runtime RT(C);
+  int Progress = 0;
+  RT.start([&Progress] {
+    Progress = 1; // Invisible.
+    yieldNow();
+    Progress = 2;
+    Progress = 3; // Both invisible: same transition.
+    yieldNow();
+    Progress = 4;
+  });
+  RT.step(0);
+  EXPECT_EQ(Progress, 1);
+  RT.step(0);
+  EXPECT_EQ(Progress, 3);
+  RT.step(0);
+  EXPECT_EQ(Progress, 4);
+  EXPECT_TRUE(RT.isFinished(0));
+}

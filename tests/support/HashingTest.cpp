@@ -1,0 +1,91 @@
+//===- tests/support/HashingTest.cpp --------------------------------------===//
+
+#include "support/Hashing.h"
+
+#include "support/Xorshift.h"
+
+#include <gtest/gtest.h>
+#include <unordered_set>
+
+using namespace fsmc;
+
+TEST(Fnv1a, EmptyDigestIsOffset) {
+  Fnv1a H;
+  EXPECT_EQ(H.digest(), Fnv1a::Offset);
+}
+
+TEST(Fnv1a, Deterministic) {
+  Fnv1a A, B;
+  A.addU64(12345);
+  A.addString("hello");
+  B.addU64(12345);
+  B.addString("hello");
+  EXPECT_EQ(A.digest(), B.digest());
+}
+
+TEST(Fnv1a, OrderSensitive) {
+  Fnv1a A, B;
+  A.addU64(1);
+  A.addU64(2);
+  B.addU64(2);
+  B.addU64(1);
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+TEST(Fnv1a, BytesMatchString) {
+  Fnv1a A, B;
+  A.addString("abc");
+  B.addBytes("abc", 3);
+  EXPECT_EQ(A.digest(), B.digest());
+}
+
+TEST(Fnv1a, SingleBitSensitivity) {
+  // Flipping one input bit must change the digest (for these inputs).
+  Fnv1a A, B;
+  A.addU64(0x10);
+  B.addU64(0x11);
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+TEST(Fnv1a, FewCollisionsOnSequentialInputs) {
+  std::unordered_set<uint64_t> Seen;
+  for (uint64_t I = 0; I < 100000; ++I)
+    Seen.insert(hashU64(I));
+  EXPECT_EQ(Seen.size(), 100000u);
+}
+
+TEST(Xorshift, DeterministicForSeed) {
+  Xorshift A(99), B(99);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Xorshift, ZeroSeedIsValid) {
+  Xorshift A(0);
+  EXPECT_NE(A.next(), 0u);
+}
+
+TEST(Xorshift, NextBelowInRange) {
+  Xorshift A(7);
+  for (int I = 0; I < 1000; ++I) {
+    int V = A.nextBelow(17);
+    EXPECT_GE(V, 0);
+    EXPECT_LT(V, 17);
+  }
+}
+
+TEST(Xorshift, NextBelowCoversAllResidues) {
+  Xorshift A(5);
+  std::unordered_set<int> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(A.nextBelow(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(Xorshift, ReseedRestartsSequence) {
+  Xorshift A(31337);
+  uint64_t First = A.next();
+  A.next();
+  A.reseed(31337);
+  EXPECT_EQ(A.next(), First);
+}

@@ -1,0 +1,118 @@
+//===- tests/sync/AtomicTest.cpp ------------------------------------------===//
+
+#include "sync/Atomic.h"
+
+#include "core/Checker.h"
+#include "sync/TestThread.h"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+using namespace fsmc;
+
+TEST(Atomic, FetchAddIsAtomicUnderAllInterleavings) {
+  TestProgram P;
+  P.Name = "atomic-fa";
+  P.Body = [] {
+    auto X = std::make_shared<Atomic<int>>(0, "x");
+    auto Worker = [X] {
+      X->fetchAdd(1);
+      X->fetchAdd(1);
+    };
+    TestThread A(Worker, "a");
+    TestThread B(Worker, "b");
+    A.join();
+    B.join();
+    checkThat(X->raw() == 4, "fetchAdd lost an update");
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(R.Stats.SearchExhausted);
+}
+
+TEST(Atomic, CompareExchangePublishesExactlyOnce) {
+  TestProgram P;
+  P.Name = "atomic-cas";
+  P.Body = [] {
+    auto X = std::make_shared<Atomic<int>>(0, "x");
+    auto Winners = std::make_shared<Atomic<int>>(0, "winners");
+    auto Claim = [X, Winners] {
+      int Expected = 0;
+      if (X->compareExchange(Expected, 1))
+        Winners->fetchAdd(1);
+      else
+        checkThat(Expected == 1, "failed CAS must report observed value");
+    };
+    TestThread A(Claim, "a");
+    TestThread B(Claim, "b");
+    A.join();
+    B.join();
+    checkThat(Winners->raw() == 1, "exactly one CAS may win");
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Atomic, ExchangeReturnsOldValue) {
+  TestProgram P;
+  P.Name = "atomic-xchg";
+  P.Body = [] {
+    Atomic<int> X(5, "x");
+    int Old = X.exchange(9);
+    checkThat(Old == 5, "exchange must return the prior value");
+    checkThat(X.raw() == 9, "exchange must install the new value");
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Atomic, LoadStoreInterleavingsExposeRaces) {
+  // A read-modify-write split into load and store must lose updates in
+  // some interleaving: the dual of the fetchAdd test.
+  auto SawLost = std::make_shared<bool>(false);
+  TestProgram P;
+  P.Name = "atomic-torn";
+  P.Body = [SawLost] {
+    auto X = std::make_shared<Atomic<int>>(0, "x");
+    auto Worker = [X] { X->store(X->load() + 1); };
+    TestThread A(Worker, "a");
+    TestThread B(Worker, "b");
+    A.join();
+    B.join();
+    if (X->raw() != 2)
+      *SawLost = true;
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(*SawLost) << "the lost-update interleaving must be explored";
+}
+
+TEST(Atomic, RawAccessIsInvisibleToScheduler) {
+  TestProgram P;
+  P.Name = "atomic-raw";
+  P.Body = [] {
+    Atomic<int> X(0, "x");
+    X.rawStore(3);
+    checkThat(X.raw() == 3, "raw store round-trips");
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  // start transition only: raw accesses introduce no scheduling points.
+  EXPECT_EQ(R.Stats.MaxSyncOps, 0u);
+}
+
+TEST(Atomic, WorksWithBoolAndEnums) {
+  enum class Color { Red, Green };
+  TestProgram P;
+  P.Name = "atomic-types";
+  P.Body = [] {
+    Atomic<bool> B(false, "b");
+    B.store(true);
+    checkThat(B.load(), "bool store/load");
+    Atomic<Color> C(Color::Red, "c");
+    C.store(Color::Green);
+    checkThat(C.load() == Color::Green, "enum store/load");
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}

@@ -1,0 +1,109 @@
+//===- tests/sync/BarrierTest.cpp -----------------------------------------===//
+
+#include "sync/Barrier.h"
+
+#include "core/Checker.h"
+#include "sync/Atomic.h"
+#include "sync/TestThread.h"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+using namespace fsmc;
+
+TEST(Barrier, NoThreadPassesEarly) {
+  // Phase separation: everyone writes in phase 1, the barrier, everyone
+  // reads in phase 2. In every interleaving the reads see all writes.
+  TestProgram P;
+  P.Name = "barrier-phases";
+  P.Body = [] {
+    const int N = 3;
+    auto B = std::make_shared<Barrier>(N, "b");
+    auto Flags = std::make_shared<std::vector<int>>(N, 0);
+    auto Sum = std::make_shared<Atomic<int>>(0, "sum");
+    std::vector<TestThread> Ts;
+    for (int I = 0; I < N; ++I)
+      Ts.emplace_back(
+          [B, Flags, Sum, I, N] {
+            (*Flags)[size_t(I)] = 1;
+            yieldNow();
+            B->arriveAndWait();
+            int Total = 0;
+            for (int J = 0; J < N; ++J)
+              Total += (*Flags)[size_t(J)];
+            checkThat(Total == N, "crossed the barrier before everyone");
+            Sum->fetchAdd(Total);
+          },
+          "t" + std::to_string(I));
+    for (TestThread &T : Ts)
+      T.join();
+    checkThat(Sum->raw() == N * N, "all phases must complete");
+  };
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.TimeBudgetSeconds = 120;
+  CheckResult R = check(P, O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Barrier, ExactlyOneSerialThreadPerGeneration) {
+  TestProgram P;
+  P.Name = "barrier-serial";
+  P.Body = [] {
+    auto B = std::make_shared<Barrier>(2, "b");
+    auto Serials = std::make_shared<Atomic<int>>(0, "serials");
+    auto Worker = [B, Serials] {
+      if (B->arriveAndWait())
+        Serials->fetchAdd(1);
+    };
+    TestThread A(Worker, "a");
+    TestThread C(Worker, "c");
+    A.join();
+    C.join();
+    checkThat(Serials->raw() == 1, "exactly one serial thread");
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(R.Stats.SearchExhausted);
+}
+
+TEST(Barrier, IsCyclicAcrossGenerations) {
+  TestProgram P;
+  P.Name = "barrier-cyclic";
+  P.Body = [] {
+    const int Rounds = 3;
+    auto B = std::make_shared<Barrier>(2, "b");
+    auto Phase = std::make_shared<Atomic<int>>(0, "phase");
+    auto Worker = [B, Phase] {
+      for (int R = 0; R < Rounds; ++R) {
+        int Before = Phase->load();
+        checkThat(Before / 2 == R, "phase out of sync with round");
+        Phase->fetchAdd(1);
+        B->arriveAndWait();
+      }
+    };
+    TestThread A(Worker, "a");
+    TestThread C(Worker, "c");
+    A.join();
+    C.join();
+    checkThat(Phase->raw() == 2 * Rounds, "all rounds completed");
+    checkThat(B->generation() == Rounds, "one generation per round");
+  };
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 1;
+  CheckResult R = check(P, O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Barrier, MissingParticipantDeadlocks) {
+  TestProgram P;
+  P.Name = "barrier-short";
+  P.Body = [] {
+    Barrier B(2, "b");
+    B.arriveAndWait(); // The second participant never arrives.
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Deadlock);
+}

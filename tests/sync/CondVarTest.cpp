@@ -1,0 +1,192 @@
+//===- tests/sync/CondVarTest.cpp -----------------------------------------===//
+
+#include "sync/CondVar.h"
+
+#include "core/Checker.h"
+#include "sync/Atomic.h"
+#include "sync/TestThread.h"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+using namespace fsmc;
+
+TEST(CondVar, WaitNotifyDeliversPredicate) {
+  TestProgram P;
+  P.Name = "cv-basic";
+  P.Body = [] {
+    auto M = std::make_shared<Mutex>("m");
+    auto CV = std::make_shared<CondVar>("cv");
+    auto Ready = std::make_shared<Atomic<int>>(0, "ready");
+    TestThread Setter([M, CV, Ready] {
+      M->lock();
+      Ready->store(1);
+      CV->notifyOne();
+      M->unlock();
+    }, "setter");
+    M->lock();
+    while (Ready->load() == 0)
+      CV->wait(*M);
+    checkThat(Ready->raw() == 1, "woken before the predicate held");
+    M->unlock();
+    Setter.join();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(R.Stats.SearchExhausted);
+}
+
+TEST(CondVar, NotifyWithNoWaiterIsLost) {
+  // The canonical missed-wakeup: signal first, wait after -> deadlock in
+  // the interleaving where the waiter checks before the setter runs...
+  // unless the predicate loop re-checks, which it does here, so the
+  // *correct* idiom passes.
+  TestProgram P;
+  P.Name = "cv-lost-signal-ok";
+  P.Body = [] {
+    auto M = std::make_shared<Mutex>("m");
+    auto CV = std::make_shared<CondVar>("cv");
+    auto Flag = std::make_shared<Atomic<int>>(0, "flag");
+    TestThread Setter([M, CV, Flag] {
+      M->lock();
+      Flag->store(1);
+      CV->notifyOne();
+      M->unlock();
+    }, "setter");
+    M->lock();
+    while (Flag->load() == 0)
+      CV->wait(*M);
+    M->unlock();
+    Setter.join();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(CondVar, WaitWithoutPredicateLoopDeadlocks) {
+  // Waiting unconditionally after the signal was already consumed (sent
+  // before the waiter registered) deadlocks: the checker must find it.
+  TestProgram P;
+  P.Name = "cv-no-loop";
+  P.Body = [] {
+    auto M = std::make_shared<Mutex>("m");
+    auto CV = std::make_shared<CondVar>("cv");
+    TestThread Setter([M, CV] {
+      M->lock();
+      CV->notifyOne(); // Lost if nobody is waiting yet.
+      M->unlock();
+    }, "setter");
+    M->lock();
+    CV->wait(*M); // No predicate: waits forever in some interleaving.
+    M->unlock();
+    Setter.join();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Deadlock);
+}
+
+TEST(CondVar, NotifyOneWakesExactlyOne) {
+  TestProgram P;
+  P.Name = "cv-one";
+  P.Body = [] {
+    auto M = std::make_shared<Mutex>("m");
+    auto CV = std::make_shared<CondVar>("cv");
+    auto Woken = std::make_shared<Atomic<int>>(0, "woken");
+    auto Waiter = [M, CV, Woken] {
+      M->lock();
+      CV->wait(*M);
+      Woken->fetchAdd(1);
+      M->unlock();
+    };
+    TestThread A(Waiter, "a");
+    TestThread B(Waiter, "b");
+    // Let both block, then wake one; then wake the other so the test
+    // terminates. The yielding sleeps order the phases fairly.
+    while (CV->waiters() < 2)
+      sleepFor();
+    M->lock();
+    CV->notifyOne();
+    M->unlock();
+    while (Woken->load() < 1)
+      sleepFor();
+    checkThat(Woken->raw() == 1, "notifyOne woke more than one waiter");
+    M->lock();
+    CV->notifyOne();
+    M->unlock();
+    A.join();
+    B.join();
+    checkThat(Woken->raw() == 2, "second notify must wake the other");
+  };
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.TimeBudgetSeconds = 120;
+  CheckResult R = check(P, O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(CondVar, NotifyAllWakesEveryWaiter) {
+  TestProgram P;
+  P.Name = "cv-all";
+  P.Body = [] {
+    auto M = std::make_shared<Mutex>("m");
+    auto CV = std::make_shared<CondVar>("cv");
+    auto Woken = std::make_shared<Atomic<int>>(0, "woken");
+    auto Waiter = [M, CV, Woken] {
+      M->lock();
+      CV->wait(*M);
+      Woken->fetchAdd(1);
+      M->unlock();
+    };
+    TestThread A(Waiter, "a");
+    TestThread B(Waiter, "b");
+    while (CV->waiters() < 2)
+      sleepFor();
+    M->lock();
+    CV->notifyAll();
+    M->unlock();
+    A.join();
+    B.join();
+    checkThat(Woken->raw() == 2, "notifyAll must wake everyone");
+  };
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.TimeBudgetSeconds = 120;
+  CheckResult R = check(P, O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(CondVar, TimedWaitAlwaysReturnsAndYields) {
+  // A timed wait may time out with no signal at all; the loop around it
+  // re-checks and so the program still terminates (fairly).
+  TestProgram P;
+  P.Name = "cv-timed";
+  P.Body = [] {
+    auto M = std::make_shared<Mutex>("m");
+    auto CV = std::make_shared<CondVar>("cv");
+    auto Flag = std::make_shared<Atomic<int>>(0, "flag");
+    TestThread Setter([Flag] { Flag->store(1); }, "setter");
+    M->lock();
+    while (Flag->load() == 0)
+      (void)CV->waitTimed(*M); // Timeout path: no notify ever sent.
+    M->unlock();
+    Setter.join();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(R.Stats.SearchExhausted)
+      << "timed waits are yields; fairness must terminate the spin";
+}
+
+TEST(CondVar, WaitWithoutMutexIsViolation) {
+  TestProgram P;
+  P.Name = "cv-nolock";
+  P.Body = [] {
+    Mutex M("m");
+    CondVar CV("cv");
+    CV.wait(M); // Caller does not hold M.
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::SafetyViolation);
+}

@@ -1,0 +1,123 @@
+//===- tests/sync/EventTest.cpp -------------------------------------------===//
+
+#include "sync/Event.h"
+
+#include "core/Checker.h"
+#include "sync/Atomic.h"
+#include "sync/TestThread.h"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+using namespace fsmc;
+
+TEST(Event, ManualResetReleasesAllWaiters) {
+  TestProgram P;
+  P.Name = "event-manual";
+  P.Body = [] {
+    auto E = std::make_shared<Event>(Event::Reset::Manual, false, "e");
+    auto Count = std::make_shared<Atomic<int>>(0, "count");
+    auto Waiter = [E, Count] {
+      E->wait();
+      Count->fetchAdd(1);
+    };
+    TestThread A(Waiter, "a");
+    TestThread B(Waiter, "b");
+    E->set();
+    A.join();
+    B.join();
+    checkThat(Count->raw() == 2, "manual event must release everyone");
+    checkThat(E->isSet(), "manual event stays set");
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(R.Stats.SearchExhausted);
+}
+
+TEST(Event, AutoResetReleasesOnePerSet) {
+  TestProgram P;
+  P.Name = "event-auto";
+  P.Body = [] {
+    auto E = std::make_shared<Event>(Event::Reset::Auto, false, "e");
+    auto Count = std::make_shared<Atomic<int>>(0, "count");
+    auto Waiter = [E, Count] {
+      E->wait();
+      Count->fetchAdd(1);
+    };
+    TestThread A(Waiter, "a");
+    TestThread B(Waiter, "b");
+    E->set();
+    while (Count->load() < 1)
+      sleepFor();
+    checkThat(Count->raw() == 1, "auto event released more than one");
+    E->set();
+    A.join();
+    B.join();
+    checkThat(Count->raw() == 2, "second set must release the other");
+  };
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.TimeBudgetSeconds = 120;
+  CheckResult R = check(P, O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Event, InitiallySetEventDoesNotBlock) {
+  TestProgram P;
+  P.Name = "event-preset";
+  P.Body = [] {
+    Event E(Event::Reset::Auto, true, "e");
+    E.wait(); // Must not block.
+    checkThat(!E.isSet(), "auto event consumed by wait");
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_EQ(R.Stats.Executions, 1u);
+}
+
+TEST(Event, ResetBlocksSubsequentWaiters) {
+  TestProgram P;
+  P.Name = "event-reset";
+  P.Body = [] {
+    auto E = std::make_shared<Event>(Event::Reset::Manual, true, "e");
+    E->reset();
+    TestThread Setter([E] { E->set(); }, "setter");
+    E->wait(); // Blocks until the setter runs.
+    Setter.join();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Event, TimedWaitObservesBothOutcomes) {
+  auto TimedOut = std::make_shared<bool>(false);
+  auto Signaled = std::make_shared<bool>(false);
+  TestProgram P;
+  P.Name = "event-timed";
+  P.Body = [TimedOut, Signaled] {
+    auto E = std::make_shared<Event>(Event::Reset::Auto, false, "e");
+    TestThread Setter([E] { E->set(); }, "setter");
+    if (E->waitTimed())
+      *Signaled = true;
+    else
+      *TimedOut = true;
+    Setter.join();
+    // Drain so the auto event's final state is deterministic per branch.
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(*TimedOut) << "the timeout branch must be explored";
+  EXPECT_TRUE(*Signaled) << "the signaled branch must be explored";
+}
+
+TEST(Event, WaitOnNeverSetEventDeadlocks) {
+  TestProgram P;
+  P.Name = "event-deadlock";
+  P.Body = [] {
+    Event E(Event::Reset::Auto, false, "e");
+    E.wait();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Deadlock);
+}

@@ -1,0 +1,107 @@
+//===- tests/sync/RwLockTest.cpp ------------------------------------------===//
+
+#include "sync/RwLock.h"
+
+#include "core/Checker.h"
+#include "sync/Atomic.h"
+#include "sync/TestThread.h"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+using namespace fsmc;
+
+TEST(RwLock, WriterExcludesReadersAndWriters) {
+  TestProgram P;
+  P.Name = "rw-excl";
+  P.Body = [] {
+    auto L = std::make_shared<RwLock>("l");
+    auto Data = std::make_shared<Atomic<int>>(0, "data");
+    TestThread Writer([L, Data] {
+      L->lockExclusive();
+      Data->store(1);
+      yieldNow(); // Nobody may observe the intermediate state.
+      Data->store(2);
+      L->unlockExclusive();
+    }, "writer");
+    TestThread Reader([L, Data] {
+      L->lockShared();
+      int V = Data->load();
+      checkThat(V == 0 || V == 2, "reader saw a torn write");
+      L->unlockShared();
+    }, "reader");
+    Writer.join();
+    Reader.join();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(R.Stats.SearchExhausted);
+}
+
+TEST(RwLock, ReadersShareInSomeInterleaving) {
+  auto MaxReaders = std::make_shared<int>(0);
+  TestProgram P;
+  P.Name = "rw-share";
+  P.Body = [MaxReaders] {
+    auto L = std::make_shared<RwLock>("l");
+    auto Reader = [L, MaxReaders] {
+      L->lockShared();
+      if (L->readers() > *MaxReaders)
+        *MaxReaders = L->readers();
+      yieldNow();
+      L->unlockShared();
+    };
+    TestThread A(Reader, "a");
+    TestThread B(Reader, "b");
+    A.join();
+    B.join();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_EQ(*MaxReaders, 2)
+      << "some interleaving must admit both readers concurrently";
+}
+
+TEST(RwLock, WriterBlockedWhileReaderHolds) {
+  TestProgram P;
+  P.Name = "rw-block";
+  P.Body = [] {
+    auto L = std::make_shared<RwLock>("l");
+    auto Order = std::make_shared<Atomic<int>>(0, "order");
+    L->lockShared();
+    TestThread Writer([L, Order] {
+      L->lockExclusive();
+      checkThat(Order->raw() == 1, "writer ran before reader released");
+      L->unlockExclusive();
+    }, "writer");
+    yieldNow();
+    Order->store(1);
+    L->unlockShared();
+    Writer.join();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(R.Stats.SearchExhausted);
+}
+
+TEST(RwLock, UnlockSharedWithoutReadersIsViolation) {
+  TestProgram P;
+  P.Name = "rw-bad";
+  P.Body = [] {
+    RwLock L("l");
+    L.unlockShared();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::SafetyViolation);
+}
+
+TEST(RwLock, UnlockExclusiveByNonWriterIsViolation) {
+  TestProgram P;
+  P.Name = "rw-bad2";
+  P.Body = [] {
+    RwLock L("l");
+    L.unlockExclusive();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::SafetyViolation);
+}

@@ -1,0 +1,115 @@
+//===- tests/sync/SemaphoreTest.cpp ---------------------------------------===//
+
+#include "sync/Semaphore.h"
+
+#include "core/Checker.h"
+#include "sync/Atomic.h"
+#include "sync/TestThread.h"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+using namespace fsmc;
+
+TEST(Semaphore, CountNeverGoesNegative) {
+  TestProgram P;
+  P.Name = "sem-basic";
+  P.Body = [] {
+    auto S = std::make_shared<Semaphore>(1, "s");
+    auto InCrit = std::make_shared<Atomic<int>>(0, "crit");
+    auto Worker = [S, InCrit] {
+      S->wait();
+      int N = InCrit->fetchAdd(1);
+      checkThat(N == 0, "two threads inside a binary semaphore");
+      InCrit->fetchAdd(-1);
+      S->post();
+    };
+    TestThread A(Worker, "a");
+    TestThread B(Worker, "b");
+    A.join();
+    B.join();
+    checkThat(S->count() == 1, "semaphore count must return to 1");
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(R.Stats.SearchExhausted);
+}
+
+TEST(Semaphore, ProducerConsumerHandshake) {
+  TestProgram P;
+  P.Name = "sem-handshake";
+  P.Body = [] {
+    auto Items = std::make_shared<Semaphore>(0, "items");
+    auto Data = std::make_shared<Atomic<int>>(0, "data");
+    TestThread Producer([Items, Data] {
+      Data->store(42);
+      Items->post();
+    }, "producer");
+    Items->wait(); // Blocks until the producer posts.
+    checkThat(Data->raw() == 42, "semaphore must order the publication");
+    Producer.join();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Semaphore, TryWaitObservesBothOutcomes) {
+  auto Hit = std::make_shared<bool>(false);
+  auto Miss = std::make_shared<bool>(false);
+  TestProgram P;
+  P.Name = "sem-trywait";
+  P.Body = [Hit, Miss] {
+    auto S = std::make_shared<Semaphore>(0, "s");
+    TestThread Poster([S] { S->post(); }, "poster");
+    if (S->tryWait())
+      *Hit = true;
+    else
+      *Miss = true;
+    Poster.join();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(*Hit);
+  EXPECT_TRUE(*Miss);
+}
+
+TEST(Semaphore, CountingAdmitsExactlyN) {
+  TestProgram P;
+  P.Name = "sem-counting";
+  P.Body = [] {
+    auto S = std::make_shared<Semaphore>(2, "s");
+    auto Inside = std::make_shared<Atomic<int>>(0, "inside");
+    auto Max = std::make_shared<Atomic<int>>(0, "max");
+    auto Worker = [S, Inside, Max] {
+      S->wait();
+      int Now = Inside->fetchAdd(1) + 1;
+      if (Now > Max->raw())
+        Max->rawStore(Now);
+      Inside->fetchAdd(-1);
+      S->post();
+    };
+    TestThread A(Worker, "a");
+    TestThread B(Worker, "b");
+    TestThread C(Worker, "c");
+    A.join();
+    B.join();
+    C.join();
+    checkThat(Max->raw() <= 2, "semaphore admitted more than its count");
+  };
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  CheckResult R = check(P, O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Semaphore, WaitOnZeroBlocksForever) {
+  TestProgram P;
+  P.Name = "sem-deadlock";
+  P.Body = [] {
+    Semaphore S(0, "s");
+    S.wait(); // Nobody posts: deadlock.
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Deadlock);
+}

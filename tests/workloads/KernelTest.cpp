@@ -1,0 +1,188 @@
+//===- tests/workloads/KernelTest.cpp -------------------------------------===//
+//
+// The mini-kernel (Singularity analog): boot/shutdown under the checker,
+// plus unit tests of the IPC port and the individual services.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/minikernel/Kernel.h"
+
+#include "sync/TestThread.h"
+#include "workloads/minikernel/Ipc.h"
+#include "workloads/minikernel/Services.h"
+
+#include <gtest/gtest.h>
+
+using namespace fsmc;
+using namespace fsmc::minikernel;
+
+TEST(Port, SendRecvFifo) {
+  TestProgram P;
+  P.Name = "port-fifo";
+  P.Body = [] {
+    Port Q(2, "q");
+    TestThread Producer([&Q] {
+      for (int I = 0; I < 4; ++I) {
+        Message M;
+        M.Op = 100 + I;
+        Q.send(M);
+      }
+      Q.close();
+    }, "producer");
+    Message M;
+    int Expected = 100;
+    while (Q.recv(M))
+      checkThat(M.Op == Expected++, "port must be FIFO");
+    checkThat(Expected == 104, "port dropped messages");
+    Producer.join();
+  };
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.TimeBudgetSeconds = 120;
+  CheckResult R = check(P, O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Port, SendOnClosedPortIsViolation) {
+  TestProgram P;
+  P.Name = "port-closed";
+  P.Body = [] {
+    Port Q(2, "q");
+    Q.close();
+    Message M;
+    Q.send(M);
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::SafetyViolation);
+}
+
+TEST(Port, RpcRoundTrip) {
+  TestProgram P;
+  P.Name = "rpc";
+  P.Body = [] {
+    Port Q(2, "q");
+    TestThread Server([&Q] {
+      Message M;
+      while (Q.recv(M))
+        rpcReply(M, M.A * 10);
+    }, "server");
+    checkThat(rpcCall(Q, 1, 7) == 70, "rpc must return the computed value");
+    checkThat(rpcCall(Q, 1, 3) == 30, "second rpc must also work");
+    Q.close();
+    Server.join();
+  };
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.TimeBudgetSeconds = 120;
+  CheckResult R = check(P, O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(MemoryService, DetectsDoubleFree) {
+  TestProgram P;
+  P.Name = "mem-doublefree";
+  P.Body = [] {
+    MemoryService Mem(4);
+    TestThread T([&Mem] { Mem.run(); }, "svc");
+    Mem.ready().wait();
+    int Page = rpcCall(Mem.port(), OpAlloc);
+    rpcCall(Mem.port(), OpFree, Page);
+    rpcCall(Mem.port(), OpFree, Page); // Double free.
+    Mem.port().close();
+    T.join();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::SafetyViolation);
+  EXPECT_NE(R.Bug->Message.find("free"), std::string::npos);
+}
+
+TEST(MemoryService, AllocatorExhaustionIsViolation) {
+  TestProgram P;
+  P.Name = "mem-oom";
+  P.Body = [] {
+    MemoryService Mem(1);
+    TestThread T([&Mem] { Mem.run(); }, "svc");
+    Mem.ready().wait();
+    rpcCall(Mem.port(), OpAlloc);
+    rpcCall(Mem.port(), OpAlloc); // Out of pages.
+    Mem.port().close();
+    T.join();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::SafetyViolation);
+}
+
+TEST(NameService, RegisterLookupUnregister) {
+  TestProgram P;
+  P.Name = "names";
+  P.Body = [] {
+    NameService Names;
+    TestThread T([&Names] { Names.run(); }, "svc");
+    Names.ready().wait();
+    checkThat(rpcCall(Names.port(), OpLookup, 5) == -1, "empty lookup");
+    rpcCall(Names.port(), OpRegister, 5, 99);
+    checkThat(rpcCall(Names.port(), OpLookup, 5) == 99, "lookup");
+    checkThat(rpcCall(Names.port(), OpUnregister, 5) == 1, "unregister");
+    checkThat(rpcCall(Names.port(), OpUnregister, 5) == 0,
+              "second unregister reports missing");
+    Names.port().close();
+    T.join();
+  };
+  CheckResult R = check(P, CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Kernel, BootAndShutdownUnderRandomWalks) {
+  KernelConfig C;
+  C.Apps = 3;
+  CheckerOptions O;
+  O.Kind = SearchKind::RandomWalk;
+  O.MaxExecutions = 100;
+  O.Seed = 5;
+  O.ExecutionBound = 200000;
+  CheckResult R = check(makeKernelBootProgram(C), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass)
+      << (R.Bug ? R.Bug->Message : "") << "\n"
+      << (R.Bug ? R.Bug->TraceText : "");
+}
+
+TEST(Kernel, BootWithFullTableOneConfig) {
+  // The Table 1 shape: 14 threads (main + 4 services + 9 apps).
+  KernelConfig C;
+  CheckerOptions O;
+  O.Kind = SearchKind::RandomWalk;
+  O.MaxExecutions = 10;
+  O.Seed = 9;
+  O.ExecutionBound = 500000;
+  CheckResult R = check(makeKernelBootProgram(C), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_EQ(R.Stats.MaxThreads, 14);
+}
+
+TEST(Kernel, BootUnderBoundedFairSearch) {
+  // A tiny configuration that the systematic fair search can cover.
+  KernelConfig C;
+  C.Apps = 1;
+  C.WithTimer = false;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 1;
+  O.TimeBudgetSeconds = 120;
+  CheckResult R = check(makeKernelBootProgram(C), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Kernel, TimerMakesStateSpaceCyclicYetFairTerminating) {
+  KernelConfig C;
+  C.Apps = 1;
+  C.WithTimer = true;
+  CheckerOptions O;
+  O.Kind = SearchKind::RandomWalk;
+  O.MaxExecutions = 50;
+  O.Seed = 13;
+  O.ExecutionBound = 200000;
+  CheckResult R = check(makeKernelBootProgram(C), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}

@@ -1,0 +1,259 @@
+//===- tests/workloads/WorkloadTest.cpp -----------------------------------===//
+//
+// The evaluation programs: correct variants pass bounded fair searches,
+// every seeded bug is found with its expected verdict (the Table 3 bug
+// inventory), and the workload registry is coherent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadRegistry.h"
+
+#include "workloads/Ape.h"
+#include "workloads/Channels.h"
+#include "workloads/DiningPhilosophers.h"
+#include "workloads/Promise.h"
+#include "workloads/WorkStealQueue.h"
+
+#include <gtest/gtest.h>
+
+using namespace fsmc;
+
+namespace {
+
+CheckerOptions boundedFair(double Seconds = 60) {
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.TimeBudgetSeconds = Seconds;
+  return O;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Dining philosophers.
+//===----------------------------------------------------------------------===
+
+TEST(Dining, MixedVariantIsCorrectAndExhaustible) {
+  DiningConfig C;
+  C.Philosophers = 2;
+  C.Kind = DiningConfig::Variant::Mixed;
+  CheckerOptions O;
+  O.TrackCoverage = true;
+  CheckResult R = check(makeDiningProgram(C), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(R.Stats.SearchExhausted);
+  EXPECT_GT(R.Stats.DistinctStates, 10u);
+}
+
+TEST(Dining, ThreePhilosophersStillExhaustible) {
+  DiningConfig C;
+  C.Philosophers = 3;
+  C.Kind = DiningConfig::Variant::Mixed;
+  CheckerOptions O = boundedFair(120);
+  CheckResult R = check(makeDiningProgram(C), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Dining, DeadlockVariantWithThreePhilosophers) {
+  DiningConfig C;
+  C.Philosophers = 3;
+  C.Kind = DiningConfig::Variant::DeadlockProne;
+  CheckResult R = check(makeDiningProgram(C), CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Deadlock);
+}
+
+TEST(Dining, MultipleMealsSupported) {
+  DiningConfig C;
+  C.Philosophers = 2;
+  C.Kind = DiningConfig::Variant::OrderedBlocking;
+  C.Meals = 2;
+  CheckResult R = check(makeDiningProgram(C), CheckerOptions());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(R.Stats.SearchExhausted);
+}
+
+//===----------------------------------------------------------------------===
+// Work-stealing queue: Table 3's WSQ bugs.
+//===----------------------------------------------------------------------===
+
+TEST(Wsq, CorrectTheProtocolPasses) {
+  WsqConfig C;
+  C.Stealers = 1;
+  C.Tasks = 2;
+  CheckResult R = check(makeWsqProgram(C), boundedFair());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+  EXPECT_TRUE(R.Stats.SearchExhausted);
+}
+
+TEST(Wsq, CorrectWithTwoStealersAndInterleavedPops) {
+  WsqConfig C;
+  C.Stealers = 2;
+  C.Tasks = 2;
+  C.InterleavePops = true;
+  CheckerOptions O = boundedFair(120);
+  O.ContextBound = 1;
+  CheckResult R = check(makeWsqProgram(C), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+struct WsqBugCase {
+  const char *Name;
+  WsqBug Bug;
+  const char *ExpectMsg;
+};
+
+class WsqBugTest : public ::testing::TestWithParam<WsqBugCase> {};
+
+TEST_P(WsqBugTest, SeededBugIsFound) {
+  WsqConfig C;
+  C.Stealers = 1;
+  C.Tasks = 2;
+  C.Bug = GetParam().Bug;
+  CheckResult R = check(makeWsqProgram(C), boundedFair(120));
+  ASSERT_EQ(R.Kind, Verdict::SafetyViolation)
+      << "bug " << GetParam().Name << " not found";
+  EXPECT_NE(R.Bug->Message.find(GetParam().ExpectMsg), std::string::npos)
+      << "actual: " << R.Bug->Message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bugs, WsqBugTest,
+    ::testing::Values(
+        WsqBugCase{"PopReordered", WsqBug::PopReordered, "twice"},
+        WsqBugCase{"StealNoRestore", WsqBug::StealNoRestore, "lost"},
+        WsqBugCase{"PopNoRecheck", WsqBug::PopNoRecheck, "lost"}),
+    [](const auto &Info) { return std::string(Info.param.Name); });
+
+//===----------------------------------------------------------------------===
+// Channels: Table 3's Dryad bugs.
+//===----------------------------------------------------------------------===
+
+TEST(Channels, CorrectChannelPassesBoundedSearch) {
+  ChannelsConfig C;
+  C.Producers = 1;
+  C.Consumers = 2;
+  C.Messages = 2;
+  CheckerOptions O = boundedFair(120);
+  O.ContextBound = 1;
+  CheckResult R = check(makeChannelsProgram(C), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Channels, Bug1IfInsteadOfWhile) {
+  ChannelsConfig C;
+  C.Bug = ChannelBug::IfInsteadOfWhile;
+  CheckResult R = check(makeChannelsProgram(C), boundedFair(180));
+  EXPECT_EQ(R.Kind, Verdict::SafetyViolation);
+  EXPECT_NE(R.Bug->Message.find("empty buffer"), std::string::npos);
+}
+
+TEST(Channels, Bug2LostSignalDeadlocks) {
+  ChannelsConfig C;
+  C.Bug = ChannelBug::LostSignal;
+  C.Producers = 2;
+  C.Consumers = 1;
+  C.Messages = 2;
+  C.Capacity = 2;
+  CheckResult R = check(makeChannelsProgram(C), boundedFair(180));
+  EXPECT_EQ(R.Kind, Verdict::Deadlock);
+}
+
+TEST(Channels, Bug3RacyCloseUseAfterFree) {
+  ChannelsConfig C;
+  C.Bug = ChannelBug::RacyClose;
+  C.CloseAfter = 1;
+  CheckResult R = check(makeChannelsProgram(C), boundedFair(180));
+  // The unlocked teardown either trips the use-after-free check or
+  // deadlocks waiters the close no longer wakes correctly; both are
+  // manifestations of bug 3.
+  EXPECT_TRUE(R.Kind == Verdict::SafetyViolation ||
+              R.Kind == Verdict::Deadlock)
+      << verdictName(R.Kind);
+}
+
+TEST(Channels, Bug4BadCloseFixFound) {
+  ChannelsConfig C;
+  C.Bug = ChannelBug::BadCloseFix;
+  C.CloseAfter = 1;
+  CheckResult R = check(makeChannelsProgram(C), boundedFair(180));
+  EXPECT_EQ(R.Kind, Verdict::SafetyViolation);
+  EXPECT_NE(R.Bug->Message.find("after close"), std::string::npos);
+}
+
+TEST(Channels, CancellationPathIsCorrectWithoutBugs) {
+  ChannelsConfig C;
+  C.CloseAfter = 1;
+  CheckerOptions O = boundedFair(120);
+  O.ContextBound = 1;
+  CheckResult R = check(makeChannelsProgram(C), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Channels, FifoMuxPreservesPerInputOrder) {
+  FifoMuxConfig C;
+  C.Inputs = 2;
+  C.MessagesPerInput = 2;
+  CheckerOptions O;
+  O.Kind = SearchKind::RandomWalk;
+  O.MaxExecutions = 300;
+  O.ExecutionBound = 100000;
+  CheckResult R = check(makeFifoMuxProgram(C), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+//===----------------------------------------------------------------------===
+// Promise and APE.
+//===----------------------------------------------------------------------===
+
+TEST(Promise, DeliversValuesInOrder) {
+  PromiseConfig C;
+  C.Cells = 3;
+  CheckResult R = check(makePromiseProgram(C), boundedFair());
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Ape, CompletesAllItemsAcrossRetries) {
+  ApeConfig C;
+  CheckerOptions O;
+  O.Kind = SearchKind::RandomWalk;
+  O.MaxExecutions = 300;
+  O.Seed = 11;
+  O.ExecutionBound = 100000;
+  CheckResult R = check(makeApeProgram(C), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+TEST(Ape, BoundedFairSearchOnSmallConfig) {
+  ApeConfig C;
+  C.Workers = 1;
+  C.Items = 2;
+  C.TransientFailures = false;
+  CheckerOptions O = boundedFair(180);
+  O.ContextBound = 1;
+  CheckResult R = check(makeApeProgram(C), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+}
+
+//===----------------------------------------------------------------------===
+// Registry.
+//===----------------------------------------------------------------------===
+
+TEST(Registry, AllWorkloadsRegisteredAndRunnable) {
+  const auto &All = allWorkloads();
+  ASSERT_GE(All.size(), 7u) << "every Table 1 row needs a workload";
+  for (const auto &W : All) {
+    EXPECT_FALSE(W.Name.empty());
+    EXPECT_FALSE(W.SourceFiles.empty());
+    TestProgram P = W.Make();
+    EXPECT_TRUE(P.Body) << W.Name;
+    CheckerOptions O = W.MeasureOptions;
+    O.MaxExecutions = 3;
+    O.ExecutionBound = 200000;
+    CheckResult R = check(P, O);
+    EXPECT_EQ(R.Kind, Verdict::Pass) << W.Name << ": "
+                                     << (R.Bug ? R.Bug->Message : "");
+    EXPECT_GT(R.Stats.MaxThreads, 1) << W.Name;
+    EXPECT_GT(R.Stats.MaxSyncOps, 0u) << W.Name;
+  }
+}

@@ -1,0 +1,233 @@
+//===- tools/fsmc_run.cpp - Command-line checker driver ------------------===//
+//
+// A small CLI over the checker, in the spirit of the chess.exe driver:
+// pick a registered workload (or one of the seeded-bug variants), choose
+// a search strategy, run, and print the verdict plus the replayable
+// schedule of any counterexample.
+//
+//   fsmc_run --list
+//   fsmc_run --program=wsq-bug1 --cb=2
+//   fsmc_run --program=dining-livelock --bound=300
+//   fsmc_run --program=minikernel --random --executions=100
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+#include "core/IterativeCheck.h"
+#include "core/Schedule.h"
+#include "workloads/Channels.h"
+#include "workloads/DiningPhilosophers.h"
+#include "workloads/Peterson.h"
+#include "workloads/Promise.h"
+#include "workloads/SpinWait.h"
+#include "workloads/WorkStealQueue.h"
+#include "workloads/WorkerGroup.h"
+#include "workloads/WorkloadRegistry.h"
+#include "workloads/minikernel/Kernel.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+
+using namespace fsmc;
+
+namespace {
+
+/// Named test programs available to the CLI: every registry row plus the
+/// seeded-bug variants the paper's Table 3 and Section 4.3 evaluate.
+std::map<std::string, std::function<TestProgram()>> catalogue() {
+  std::map<std::string, std::function<TestProgram()>> C;
+  for (const RegisteredWorkload &W : allWorkloads()) {
+    std::string Key;
+    for (char Ch : W.Name)
+      Key += Ch == ' ' ? '-' : char(std::tolower(Ch));
+    C[Key] = W.Make;
+  }
+  C["dining-livelock"] = [] {
+    DiningConfig D;
+    D.Philosophers = 2;
+    D.Kind = DiningConfig::Variant::TryLockRetry;
+    return makeDiningProgram(D);
+  };
+  C["dining-deadlock"] = [] {
+    DiningConfig D;
+    D.Philosophers = 2;
+    D.Kind = DiningConfig::Variant::DeadlockProne;
+    return makeDiningProgram(D);
+  };
+  for (int B = 1; B <= 3; ++B)
+    C["wsq-bug" + std::to_string(B)] = [B] {
+      WsqConfig W;
+      W.Stealers = 1;
+      W.Tasks = 2;
+      W.Bug = WsqBug(B);
+      return makeWsqProgram(W);
+    };
+  for (int B = 1; B <= 4; ++B)
+    C["channels-bug" + std::to_string(B)] = [B] {
+      ChannelsConfig Ch;
+      Ch.Bug = ChannelBug(B);
+      if (Ch.Bug == ChannelBug::LostSignal) {
+        Ch.Producers = 2;
+        Ch.Consumers = 1;
+      }
+      if (Ch.Bug == ChannelBug::RacyClose ||
+          Ch.Bug == ChannelBug::BadCloseFix)
+        Ch.CloseAfter = 1;
+      return makeChannelsProgram(Ch);
+    };
+  C["promise-livelock"] = [] {
+    PromiseConfig P;
+    P.StaleReadBug = true;
+    return makePromiseProgram(P);
+  };
+  C["workergroup-gs"] = [] {
+    WorkerGroupConfig W;
+    return makeWorkerGroupProgram(W);
+  };
+  C["spinwait-noyield"] = [] {
+    SpinWaitConfig S;
+    S.WithYield = false;
+    return makeSpinWaitProgram(S);
+  };
+  C["peterson"] = [] { return makePetersonProgram(PetersonConfig()); };
+  C["peterson-livelock"] = [] {
+    PetersonConfig P;
+    P.Kind = PetersonConfig::Variant::NoTurn;
+    return makePetersonProgram(P);
+  };
+  C["minikernel"] = [] {
+    return minikernel::makeKernelBootProgram(minikernel::KernelConfig());
+  };
+  return C;
+}
+
+bool parseFlag(const char *Arg, const char *Name, const char **Value) {
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(Arg, Name, Len) != 0)
+    return false;
+  if (Arg[Len] == '\0') {
+    *Value = "";
+    return true;
+  }
+  if (Arg[Len] == '=') {
+    *Value = Arg + Len + 1;
+    return true;
+  }
+  return false;
+}
+
+int usage() {
+  std::printf(
+      "usage: fsmc_run --program=<name> [options]\n"
+      "       fsmc_run --list\n\n"
+      "options:\n"
+      "  --cb=N           context-bounded search with N preemptions\n"
+      "  --iterative=N    iterative context bounding up to N\n"
+      "  --random         random-walk search\n"
+      "  --unfair         disable the fair scheduler\n"
+      "  --depth=N        depth bound (with --unfair: the baseline mode)\n"
+      "  --bound=N        execution bound for divergence detection\n"
+      "  --executions=N   cap on executions\n"
+      "  --seconds=S      time budget\n"
+      "  --seed=N         PRNG seed\n"
+      "  --yieldk=N       process every k-th yield\n"
+      "  --por            experimental sleep-set reduction\n"
+      "  --replay=SCHED   replay a recorded schedule (fsmc1:...)\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  auto Programs = catalogue();
+  std::string ProgramName;
+  std::string Replay;
+  CheckerOptions Opts;
+  int Iterative = -1;
+  bool List = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *V = nullptr;
+    if (parseFlag(Argv[I], "--list", &V))
+      List = true;
+    else if (parseFlag(Argv[I], "--program", &V))
+      ProgramName = V;
+    else if (parseFlag(Argv[I], "--cb", &V)) {
+      Opts.Kind = SearchKind::ContextBounded;
+      Opts.ContextBound = std::atoi(V);
+    } else if (parseFlag(Argv[I], "--iterative", &V))
+      Iterative = std::atoi(V);
+    else if (parseFlag(Argv[I], "--random", &V))
+      Opts.Kind = SearchKind::RandomWalk;
+    else if (parseFlag(Argv[I], "--unfair", &V))
+      Opts.Fair = false;
+    else if (parseFlag(Argv[I], "--depth", &V))
+      Opts.DepthBound = std::strtoull(V, nullptr, 10);
+    else if (parseFlag(Argv[I], "--bound", &V))
+      Opts.ExecutionBound = std::strtoull(V, nullptr, 10);
+    else if (parseFlag(Argv[I], "--executions", &V))
+      Opts.MaxExecutions = std::strtoull(V, nullptr, 10);
+    else if (parseFlag(Argv[I], "--seconds", &V))
+      Opts.TimeBudgetSeconds = std::atof(V);
+    else if (parseFlag(Argv[I], "--seed", &V))
+      Opts.Seed = std::strtoull(V, nullptr, 10);
+    else if (parseFlag(Argv[I], "--yieldk", &V))
+      Opts.YieldK = std::atoi(V);
+    else if (parseFlag(Argv[I], "--por", &V))
+      Opts.SleepSets = true;
+    else if (parseFlag(Argv[I], "--replay", &V))
+      Replay = V;
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", Argv[I]);
+      return usage();
+    }
+  }
+
+  if (List) {
+    for (const auto &[Name, _] : Programs)
+      std::printf("%s\n", Name.c_str());
+    return 0;
+  }
+  auto It = Programs.find(ProgramName);
+  if (It == Programs.end()) {
+    std::fprintf(stderr, "unknown program '%s' (try --list)\n",
+                 ProgramName.c_str());
+    return usage();
+  }
+  TestProgram Program = It->second();
+
+  CheckResult R;
+  if (!Replay.empty()) {
+    R = replaySchedule(Program, Opts, Replay);
+  } else if (Iterative >= 0) {
+    IterativeCheckResult IR = iterativeCheck(Program, Opts, Iterative);
+    for (const IterationResult &Step : IR.PerBound)
+      std::printf("cb=%d: %s (%llu executions, %.2fs)\n", Step.Bound,
+                  verdictName(Step.Result.Kind),
+                  (unsigned long long)Step.Result.Stats.Executions,
+                  Step.Result.Stats.Seconds);
+    R = IR.Final;
+  } else {
+    R = check(Program, Opts);
+  }
+
+  std::printf("program:     %s\n", Program.Name.c_str());
+  std::printf("verdict:     %s\n", verdictName(R.Kind));
+  std::printf("executions:  %llu%s\n",
+              (unsigned long long)R.Stats.Executions,
+              R.Stats.SearchExhausted ? " (search exhausted)" : "");
+  std::printf("transitions: %llu\n", (unsigned long long)R.Stats.Transitions);
+  std::printf("states:      %llu\n",
+              (unsigned long long)R.Stats.DistinctStates);
+  std::printf("time:        %.3fs\n", R.Stats.Seconds);
+  if (R.Bug) {
+    std::printf("bug:         %s\n", R.Bug->Message.c_str());
+    std::printf("schedule:    %s\n", R.Bug->Schedule.c_str());
+    std::printf("trace suffix:\n%s", R.Bug->TraceText.c_str());
+  }
+  return R.foundBug() ? 1 : 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_yieldk.dir/ablation_yieldk.cpp.o"
+  "CMakeFiles/ablation_yieldk.dir/ablation_yieldk.cpp.o.d"
+  "ablation_yieldk"
+  "ablation_yieldk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_yieldk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_nonterminating.dir/fig2_nonterminating.cpp.o"
+  "CMakeFiles/fig2_nonterminating.dir/fig2_nonterminating.cpp.o.d"
+  "fig2_nonterminating"
+  "fig2_nonterminating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_nonterminating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_nonterminating.
+# This may be replaced when dependencies are built.

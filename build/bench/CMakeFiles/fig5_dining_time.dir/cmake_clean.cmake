@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dining_time.dir/fig5_dining_time.cpp.o"
+  "CMakeFiles/fig5_dining_time.dir/fig5_dining_time.cpp.o.d"
+  "fig5_dining_time"
+  "fig5_dining_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dining_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_wsq_time.dir/fig6_wsq_time.cpp.o"
+  "CMakeFiles/fig6_wsq_time.dir/fig6_wsq_time.cpp.o.d"
+  "fig6_wsq_time"
+  "fig6_wsq_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_wsq_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_programs.dir/table1_programs.cpp.o"
+  "CMakeFiles/table1_programs.dir/table1_programs.cpp.o.d"
+  "table1_programs"
+  "table1_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_coverage.dir/table2_coverage.cpp.o"
+  "CMakeFiles/table2_coverage.dir/table2_coverage.cpp.o.d"
+  "table2_coverage"
+  "table2_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bugs.dir/table3_bugs.cpp.o"
+  "CMakeFiles/table3_bugs.dir/table3_bugs.cpp.o.d"
+  "table3_bugs"
+  "table3_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_liveness.dir/table4_liveness.cpp.o"
+  "CMakeFiles/table4_liveness.dir/table4_liveness.cpp.o.d"
+  "table4_liveness"
+  "table4_liveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_liveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livelock_dining.dir/livelock_dining.cpp.o"
+  "CMakeFiles/livelock_dining.dir/livelock_dining.cpp.o.d"
+  "livelock_dining"
+  "livelock_dining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livelock_dining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for livelock_dining.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for livelock_dining.
+# This may be replaced when dependencies are built.

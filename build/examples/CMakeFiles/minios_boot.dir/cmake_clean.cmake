@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minios_boot.dir/minios_boot.cpp.o"
+  "CMakeFiles/minios_boot.dir/minios_boot.cpp.o.d"
+  "minios_boot"
+  "minios_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minios_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for minios_boot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workstealing.dir/workstealing.cpp.o"
+  "CMakeFiles/workstealing.dir/workstealing.cpp.o.d"
+  "workstealing"
+  "workstealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workstealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Checker.cpp" "src/CMakeFiles/fsmc.dir/core/Checker.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/core/Checker.cpp.o.d"
+  "/root/repo/src/core/Explorer.cpp" "src/CMakeFiles/fsmc.dir/core/Explorer.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/core/Explorer.cpp.o.d"
+  "/root/repo/src/core/FairScheduler.cpp" "src/CMakeFiles/fsmc.dir/core/FairScheduler.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/core/FairScheduler.cpp.o.d"
+  "/root/repo/src/core/IterativeCheck.cpp" "src/CMakeFiles/fsmc.dir/core/IterativeCheck.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/core/IterativeCheck.cpp.o.d"
+  "/root/repo/src/core/LivenessMonitor.cpp" "src/CMakeFiles/fsmc.dir/core/LivenessMonitor.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/core/LivenessMonitor.cpp.o.d"
+  "/root/repo/src/core/PriorityGraph.cpp" "src/CMakeFiles/fsmc.dir/core/PriorityGraph.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/core/PriorityGraph.cpp.o.d"
+  "/root/repo/src/core/Schedule.cpp" "src/CMakeFiles/fsmc.dir/core/Schedule.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/core/Schedule.cpp.o.d"
+  "/root/repo/src/core/SearchStrategy.cpp" "src/CMakeFiles/fsmc.dir/core/SearchStrategy.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/core/SearchStrategy.cpp.o.d"
+  "/root/repo/src/core/Trace.cpp" "src/CMakeFiles/fsmc.dir/core/Trace.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/core/Trace.cpp.o.d"
+  "/root/repo/src/runtime/Fiber.cpp" "src/CMakeFiles/fsmc.dir/runtime/Fiber.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/runtime/Fiber.cpp.o.d"
+  "/root/repo/src/runtime/PendingOp.cpp" "src/CMakeFiles/fsmc.dir/runtime/PendingOp.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/runtime/PendingOp.cpp.o.d"
+  "/root/repo/src/runtime/Runtime.cpp" "src/CMakeFiles/fsmc.dir/runtime/Runtime.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/runtime/Runtime.cpp.o.d"
+  "/root/repo/src/state/CoverageTracker.cpp" "src/CMakeFiles/fsmc.dir/state/CoverageTracker.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/state/CoverageTracker.cpp.o.d"
+  "/root/repo/src/state/HeapCanonicalizer.cpp" "src/CMakeFiles/fsmc.dir/state/HeapCanonicalizer.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/state/HeapCanonicalizer.cpp.o.d"
+  "/root/repo/src/state/StateBuilder.cpp" "src/CMakeFiles/fsmc.dir/state/StateBuilder.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/state/StateBuilder.cpp.o.d"
+  "/root/repo/src/support/TablePrinter.cpp" "src/CMakeFiles/fsmc.dir/support/TablePrinter.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/support/TablePrinter.cpp.o.d"
+  "/root/repo/src/support/ThreadSet.cpp" "src/CMakeFiles/fsmc.dir/support/ThreadSet.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/support/ThreadSet.cpp.o.d"
+  "/root/repo/src/support/Xorshift.cpp" "src/CMakeFiles/fsmc.dir/support/Xorshift.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/support/Xorshift.cpp.o.d"
+  "/root/repo/src/sync/Barrier.cpp" "src/CMakeFiles/fsmc.dir/sync/Barrier.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/sync/Barrier.cpp.o.d"
+  "/root/repo/src/sync/CondVar.cpp" "src/CMakeFiles/fsmc.dir/sync/CondVar.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/sync/CondVar.cpp.o.d"
+  "/root/repo/src/sync/Event.cpp" "src/CMakeFiles/fsmc.dir/sync/Event.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/sync/Event.cpp.o.d"
+  "/root/repo/src/sync/Mutex.cpp" "src/CMakeFiles/fsmc.dir/sync/Mutex.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/sync/Mutex.cpp.o.d"
+  "/root/repo/src/sync/RwLock.cpp" "src/CMakeFiles/fsmc.dir/sync/RwLock.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/sync/RwLock.cpp.o.d"
+  "/root/repo/src/sync/Semaphore.cpp" "src/CMakeFiles/fsmc.dir/sync/Semaphore.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/sync/Semaphore.cpp.o.d"
+  "/root/repo/src/sync/TestThread.cpp" "src/CMakeFiles/fsmc.dir/sync/TestThread.cpp.o" "gcc" "src/CMakeFiles/fsmc.dir/sync/TestThread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

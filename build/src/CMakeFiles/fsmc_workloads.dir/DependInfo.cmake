@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Ape.cpp" "src/CMakeFiles/fsmc_workloads.dir/workloads/Ape.cpp.o" "gcc" "src/CMakeFiles/fsmc_workloads.dir/workloads/Ape.cpp.o.d"
+  "/root/repo/src/workloads/Channels.cpp" "src/CMakeFiles/fsmc_workloads.dir/workloads/Channels.cpp.o" "gcc" "src/CMakeFiles/fsmc_workloads.dir/workloads/Channels.cpp.o.d"
+  "/root/repo/src/workloads/DiningPhilosophers.cpp" "src/CMakeFiles/fsmc_workloads.dir/workloads/DiningPhilosophers.cpp.o" "gcc" "src/CMakeFiles/fsmc_workloads.dir/workloads/DiningPhilosophers.cpp.o.d"
+  "/root/repo/src/workloads/Peterson.cpp" "src/CMakeFiles/fsmc_workloads.dir/workloads/Peterson.cpp.o" "gcc" "src/CMakeFiles/fsmc_workloads.dir/workloads/Peterson.cpp.o.d"
+  "/root/repo/src/workloads/Promise.cpp" "src/CMakeFiles/fsmc_workloads.dir/workloads/Promise.cpp.o" "gcc" "src/CMakeFiles/fsmc_workloads.dir/workloads/Promise.cpp.o.d"
+  "/root/repo/src/workloads/SpinWait.cpp" "src/CMakeFiles/fsmc_workloads.dir/workloads/SpinWait.cpp.o" "gcc" "src/CMakeFiles/fsmc_workloads.dir/workloads/SpinWait.cpp.o.d"
+  "/root/repo/src/workloads/WorkStealQueue.cpp" "src/CMakeFiles/fsmc_workloads.dir/workloads/WorkStealQueue.cpp.o" "gcc" "src/CMakeFiles/fsmc_workloads.dir/workloads/WorkStealQueue.cpp.o.d"
+  "/root/repo/src/workloads/WorkerGroup.cpp" "src/CMakeFiles/fsmc_workloads.dir/workloads/WorkerGroup.cpp.o" "gcc" "src/CMakeFiles/fsmc_workloads.dir/workloads/WorkerGroup.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadRegistry.cpp" "src/CMakeFiles/fsmc_workloads.dir/workloads/WorkloadRegistry.cpp.o" "gcc" "src/CMakeFiles/fsmc_workloads.dir/workloads/WorkloadRegistry.cpp.o.d"
+  "/root/repo/src/workloads/minikernel/Ipc.cpp" "src/CMakeFiles/fsmc_workloads.dir/workloads/minikernel/Ipc.cpp.o" "gcc" "src/CMakeFiles/fsmc_workloads.dir/workloads/minikernel/Ipc.cpp.o.d"
+  "/root/repo/src/workloads/minikernel/Kernel.cpp" "src/CMakeFiles/fsmc_workloads.dir/workloads/minikernel/Kernel.cpp.o" "gcc" "src/CMakeFiles/fsmc_workloads.dir/workloads/minikernel/Kernel.cpp.o.d"
+  "/root/repo/src/workloads/minikernel/Services.cpp" "src/CMakeFiles/fsmc_workloads.dir/workloads/minikernel/Services.cpp.o" "gcc" "src/CMakeFiles/fsmc_workloads.dir/workloads/minikernel/Services.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fsmc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmc_workloads.dir/workloads/Ape.cpp.o"
+  "CMakeFiles/fsmc_workloads.dir/workloads/Ape.cpp.o.d"
+  "CMakeFiles/fsmc_workloads.dir/workloads/Channels.cpp.o"
+  "CMakeFiles/fsmc_workloads.dir/workloads/Channels.cpp.o.d"
+  "CMakeFiles/fsmc_workloads.dir/workloads/DiningPhilosophers.cpp.o"
+  "CMakeFiles/fsmc_workloads.dir/workloads/DiningPhilosophers.cpp.o.d"
+  "CMakeFiles/fsmc_workloads.dir/workloads/Peterson.cpp.o"
+  "CMakeFiles/fsmc_workloads.dir/workloads/Peterson.cpp.o.d"
+  "CMakeFiles/fsmc_workloads.dir/workloads/Promise.cpp.o"
+  "CMakeFiles/fsmc_workloads.dir/workloads/Promise.cpp.o.d"
+  "CMakeFiles/fsmc_workloads.dir/workloads/SpinWait.cpp.o"
+  "CMakeFiles/fsmc_workloads.dir/workloads/SpinWait.cpp.o.d"
+  "CMakeFiles/fsmc_workloads.dir/workloads/WorkStealQueue.cpp.o"
+  "CMakeFiles/fsmc_workloads.dir/workloads/WorkStealQueue.cpp.o.d"
+  "CMakeFiles/fsmc_workloads.dir/workloads/WorkerGroup.cpp.o"
+  "CMakeFiles/fsmc_workloads.dir/workloads/WorkerGroup.cpp.o.d"
+  "CMakeFiles/fsmc_workloads.dir/workloads/WorkloadRegistry.cpp.o"
+  "CMakeFiles/fsmc_workloads.dir/workloads/WorkloadRegistry.cpp.o.d"
+  "CMakeFiles/fsmc_workloads.dir/workloads/minikernel/Ipc.cpp.o"
+  "CMakeFiles/fsmc_workloads.dir/workloads/minikernel/Ipc.cpp.o.d"
+  "CMakeFiles/fsmc_workloads.dir/workloads/minikernel/Kernel.cpp.o"
+  "CMakeFiles/fsmc_workloads.dir/workloads/minikernel/Kernel.cpp.o.d"
+  "CMakeFiles/fsmc_workloads.dir/workloads/minikernel/Services.cpp.o"
+  "CMakeFiles/fsmc_workloads.dir/workloads/minikernel/Services.cpp.o.d"
+  "libfsmc_workloads.a"
+  "libfsmc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

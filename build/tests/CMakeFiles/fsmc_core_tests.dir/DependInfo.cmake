@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/ExplorerTest.cpp" "tests/CMakeFiles/fsmc_core_tests.dir/core/ExplorerTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_core_tests.dir/core/ExplorerTest.cpp.o.d"
+  "/root/repo/tests/core/FairSchedulerTest.cpp" "tests/CMakeFiles/fsmc_core_tests.dir/core/FairSchedulerTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_core_tests.dir/core/FairSchedulerTest.cpp.o.d"
+  "/root/repo/tests/core/IterativeCheckTest.cpp" "tests/CMakeFiles/fsmc_core_tests.dir/core/IterativeCheckTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_core_tests.dir/core/IterativeCheckTest.cpp.o.d"
+  "/root/repo/tests/core/LivenessTest.cpp" "tests/CMakeFiles/fsmc_core_tests.dir/core/LivenessTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_core_tests.dir/core/LivenessTest.cpp.o.d"
+  "/root/repo/tests/core/PorTest.cpp" "tests/CMakeFiles/fsmc_core_tests.dir/core/PorTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_core_tests.dir/core/PorTest.cpp.o.d"
+  "/root/repo/tests/core/PriorityGraphTest.cpp" "tests/CMakeFiles/fsmc_core_tests.dir/core/PriorityGraphTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_core_tests.dir/core/PriorityGraphTest.cpp.o.d"
+  "/root/repo/tests/core/ScheduleTest.cpp" "tests/CMakeFiles/fsmc_core_tests.dir/core/ScheduleTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_core_tests.dir/core/ScheduleTest.cpp.o.d"
+  "/root/repo/tests/core/TheoremTest.cpp" "tests/CMakeFiles/fsmc_core_tests.dir/core/TheoremTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_core_tests.dir/core/TheoremTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fsmc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fsmc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

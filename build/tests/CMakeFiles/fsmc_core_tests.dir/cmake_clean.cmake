@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmc_core_tests.dir/core/ExplorerTest.cpp.o"
+  "CMakeFiles/fsmc_core_tests.dir/core/ExplorerTest.cpp.o.d"
+  "CMakeFiles/fsmc_core_tests.dir/core/FairSchedulerTest.cpp.o"
+  "CMakeFiles/fsmc_core_tests.dir/core/FairSchedulerTest.cpp.o.d"
+  "CMakeFiles/fsmc_core_tests.dir/core/IterativeCheckTest.cpp.o"
+  "CMakeFiles/fsmc_core_tests.dir/core/IterativeCheckTest.cpp.o.d"
+  "CMakeFiles/fsmc_core_tests.dir/core/LivenessTest.cpp.o"
+  "CMakeFiles/fsmc_core_tests.dir/core/LivenessTest.cpp.o.d"
+  "CMakeFiles/fsmc_core_tests.dir/core/PorTest.cpp.o"
+  "CMakeFiles/fsmc_core_tests.dir/core/PorTest.cpp.o.d"
+  "CMakeFiles/fsmc_core_tests.dir/core/PriorityGraphTest.cpp.o"
+  "CMakeFiles/fsmc_core_tests.dir/core/PriorityGraphTest.cpp.o.d"
+  "CMakeFiles/fsmc_core_tests.dir/core/ScheduleTest.cpp.o"
+  "CMakeFiles/fsmc_core_tests.dir/core/ScheduleTest.cpp.o.d"
+  "CMakeFiles/fsmc_core_tests.dir/core/TheoremTest.cpp.o"
+  "CMakeFiles/fsmc_core_tests.dir/core/TheoremTest.cpp.o.d"
+  "fsmc_core_tests"
+  "fsmc_core_tests.pdb"
+  "fsmc_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmc_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

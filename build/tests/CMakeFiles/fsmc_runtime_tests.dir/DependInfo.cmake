@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/FiberTest.cpp" "tests/CMakeFiles/fsmc_runtime_tests.dir/runtime/FiberTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_runtime_tests.dir/runtime/FiberTest.cpp.o.d"
+  "/root/repo/tests/runtime/RuntimeTest.cpp" "tests/CMakeFiles/fsmc_runtime_tests.dir/runtime/RuntimeTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_runtime_tests.dir/runtime/RuntimeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fsmc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fsmc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

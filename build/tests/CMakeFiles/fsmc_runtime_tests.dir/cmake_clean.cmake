@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmc_runtime_tests.dir/runtime/FiberTest.cpp.o"
+  "CMakeFiles/fsmc_runtime_tests.dir/runtime/FiberTest.cpp.o.d"
+  "CMakeFiles/fsmc_runtime_tests.dir/runtime/RuntimeTest.cpp.o"
+  "CMakeFiles/fsmc_runtime_tests.dir/runtime/RuntimeTest.cpp.o.d"
+  "fsmc_runtime_tests"
+  "fsmc_runtime_tests.pdb"
+  "fsmc_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmc_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

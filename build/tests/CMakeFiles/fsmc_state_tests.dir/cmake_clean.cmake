@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmc_state_tests.dir/state/StateTest.cpp.o"
+  "CMakeFiles/fsmc_state_tests.dir/state/StateTest.cpp.o.d"
+  "fsmc_state_tests"
+  "fsmc_state_tests.pdb"
+  "fsmc_state_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmc_state_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

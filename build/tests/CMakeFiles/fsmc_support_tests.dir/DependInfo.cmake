@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/HashingTest.cpp" "tests/CMakeFiles/fsmc_support_tests.dir/support/HashingTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_support_tests.dir/support/HashingTest.cpp.o.d"
+  "/root/repo/tests/support/TablePrinterTest.cpp" "tests/CMakeFiles/fsmc_support_tests.dir/support/TablePrinterTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_support_tests.dir/support/TablePrinterTest.cpp.o.d"
+  "/root/repo/tests/support/ThreadSetTest.cpp" "tests/CMakeFiles/fsmc_support_tests.dir/support/ThreadSetTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_support_tests.dir/support/ThreadSetTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fsmc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fsmc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

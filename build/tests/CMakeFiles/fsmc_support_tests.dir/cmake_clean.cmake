@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmc_support_tests.dir/support/HashingTest.cpp.o"
+  "CMakeFiles/fsmc_support_tests.dir/support/HashingTest.cpp.o.d"
+  "CMakeFiles/fsmc_support_tests.dir/support/TablePrinterTest.cpp.o"
+  "CMakeFiles/fsmc_support_tests.dir/support/TablePrinterTest.cpp.o.d"
+  "CMakeFiles/fsmc_support_tests.dir/support/ThreadSetTest.cpp.o"
+  "CMakeFiles/fsmc_support_tests.dir/support/ThreadSetTest.cpp.o.d"
+  "fsmc_support_tests"
+  "fsmc_support_tests.pdb"
+  "fsmc_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmc_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

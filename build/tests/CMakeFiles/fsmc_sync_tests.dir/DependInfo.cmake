@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sync/AtomicTest.cpp" "tests/CMakeFiles/fsmc_sync_tests.dir/sync/AtomicTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_sync_tests.dir/sync/AtomicTest.cpp.o.d"
+  "/root/repo/tests/sync/BarrierTest.cpp" "tests/CMakeFiles/fsmc_sync_tests.dir/sync/BarrierTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_sync_tests.dir/sync/BarrierTest.cpp.o.d"
+  "/root/repo/tests/sync/CondVarTest.cpp" "tests/CMakeFiles/fsmc_sync_tests.dir/sync/CondVarTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_sync_tests.dir/sync/CondVarTest.cpp.o.d"
+  "/root/repo/tests/sync/EventTest.cpp" "tests/CMakeFiles/fsmc_sync_tests.dir/sync/EventTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_sync_tests.dir/sync/EventTest.cpp.o.d"
+  "/root/repo/tests/sync/MutexTest.cpp" "tests/CMakeFiles/fsmc_sync_tests.dir/sync/MutexTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_sync_tests.dir/sync/MutexTest.cpp.o.d"
+  "/root/repo/tests/sync/RwLockTest.cpp" "tests/CMakeFiles/fsmc_sync_tests.dir/sync/RwLockTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_sync_tests.dir/sync/RwLockTest.cpp.o.d"
+  "/root/repo/tests/sync/SemaphoreTest.cpp" "tests/CMakeFiles/fsmc_sync_tests.dir/sync/SemaphoreTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_sync_tests.dir/sync/SemaphoreTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fsmc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fsmc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

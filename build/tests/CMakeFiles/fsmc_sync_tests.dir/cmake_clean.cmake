@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmc_sync_tests.dir/sync/AtomicTest.cpp.o"
+  "CMakeFiles/fsmc_sync_tests.dir/sync/AtomicTest.cpp.o.d"
+  "CMakeFiles/fsmc_sync_tests.dir/sync/BarrierTest.cpp.o"
+  "CMakeFiles/fsmc_sync_tests.dir/sync/BarrierTest.cpp.o.d"
+  "CMakeFiles/fsmc_sync_tests.dir/sync/CondVarTest.cpp.o"
+  "CMakeFiles/fsmc_sync_tests.dir/sync/CondVarTest.cpp.o.d"
+  "CMakeFiles/fsmc_sync_tests.dir/sync/EventTest.cpp.o"
+  "CMakeFiles/fsmc_sync_tests.dir/sync/EventTest.cpp.o.d"
+  "CMakeFiles/fsmc_sync_tests.dir/sync/MutexTest.cpp.o"
+  "CMakeFiles/fsmc_sync_tests.dir/sync/MutexTest.cpp.o.d"
+  "CMakeFiles/fsmc_sync_tests.dir/sync/RwLockTest.cpp.o"
+  "CMakeFiles/fsmc_sync_tests.dir/sync/RwLockTest.cpp.o.d"
+  "CMakeFiles/fsmc_sync_tests.dir/sync/SemaphoreTest.cpp.o"
+  "CMakeFiles/fsmc_sync_tests.dir/sync/SemaphoreTest.cpp.o.d"
+  "fsmc_sync_tests"
+  "fsmc_sync_tests.pdb"
+  "fsmc_sync_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmc_sync_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/KernelTest.cpp" "tests/CMakeFiles/fsmc_workload_tests.dir/workloads/KernelTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_workload_tests.dir/workloads/KernelTest.cpp.o.d"
+  "/root/repo/tests/workloads/PetersonTest.cpp" "tests/CMakeFiles/fsmc_workload_tests.dir/workloads/PetersonTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_workload_tests.dir/workloads/PetersonTest.cpp.o.d"
+  "/root/repo/tests/workloads/WorkloadTest.cpp" "tests/CMakeFiles/fsmc_workload_tests.dir/workloads/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/fsmc_workload_tests.dir/workloads/WorkloadTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fsmc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fsmc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

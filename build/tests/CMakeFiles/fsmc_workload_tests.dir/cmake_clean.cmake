@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmc_workload_tests.dir/workloads/KernelTest.cpp.o"
+  "CMakeFiles/fsmc_workload_tests.dir/workloads/KernelTest.cpp.o.d"
+  "CMakeFiles/fsmc_workload_tests.dir/workloads/PetersonTest.cpp.o"
+  "CMakeFiles/fsmc_workload_tests.dir/workloads/PetersonTest.cpp.o.d"
+  "CMakeFiles/fsmc_workload_tests.dir/workloads/WorkloadTest.cpp.o"
+  "CMakeFiles/fsmc_workload_tests.dir/workloads/WorkloadTest.cpp.o.d"
+  "fsmc_workload_tests"
+  "fsmc_workload_tests.pdb"
+  "fsmc_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmc_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fsmc_support_tests[1]_include.cmake")
+include("/root/repo/build/tests/fsmc_runtime_tests[1]_include.cmake")
+include("/root/repo/build/tests/fsmc_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/fsmc_sync_tests[1]_include.cmake")
+include("/root/repo/build/tests/fsmc_state_tests[1]_include.cmake")
+include("/root/repo/build/tests/fsmc_workload_tests[1]_include.cmake")

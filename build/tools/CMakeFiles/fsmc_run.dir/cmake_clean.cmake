@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmc_run.dir/fsmc_run.cpp.o"
+  "CMakeFiles/fsmc_run.dir/fsmc_run.cpp.o.d"
+  "fsmc_run"
+  "fsmc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

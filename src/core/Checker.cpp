@@ -3,6 +3,7 @@
 #include "core/Checker.h"
 
 #include "core/Explorer.h"
+#include "core/ParallelExplorer.h"
 
 #include <cassert>
 
@@ -32,9 +33,13 @@ CheckResult fsmc::check(const TestProgram &Program,
   if (Effective.Kind == SearchKind::RandomWalk &&
       Effective.MaxExecutions == 0 && Effective.TimeBudgetSeconds <= 0)
     Effective.MaxExecutions = 10000;
-  if (Effective.StatefulPruning)
+  if (Effective.StatefulPruning || Effective.ExportStateSignatures)
     Effective.TrackCoverage = true;
 
+  if (Effective.Jobs > 1) {
+    ParallelExplorer PE(Program, Effective);
+    return PE.run();
+  }
   Explorer E(Program, Effective);
   return E.run();
 }

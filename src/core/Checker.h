@@ -27,6 +27,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace fsmc {
 
@@ -140,6 +141,14 @@ struct CheckerOptions {
   double TimeBudgetSeconds = 0; ///< 0 = unlimited.
   uint64_t Seed = 12345;
 
+  /// OS worker threads for the search. 1 = the serial explorer; > 1
+  /// shards the DFS by schedule prefix across workers (see
+  /// core/ParallelExplorer.h). Exhaustive searches visit the same
+  /// executions and states as the serial run, and StopOnFirstBug reports
+  /// the same (DFS-smallest) counterexample; random-walk search and
+  /// StatefulPruning ignore this and run serially.
+  int Jobs = 1;
+
   /// EXPERIMENTAL: sleep-set partial-order reduction (Section 5 names POR
   /// over fair schedules as future work). Prunes interleavings that only
   /// permute independent operations. Sound for programs whose shared
@@ -152,6 +161,11 @@ struct CheckerOptions {
   /// Runtime::setStateExtractor, or relies on the built-in thread
   /// signature otherwise).
   bool TrackCoverage = false;
+  /// Also return the signatures themselves, sorted, in
+  /// CheckResult::StateSignatures (implies TrackCoverage). The
+  /// serial-equivalence tests use this to assert a parallel run visits
+  /// the same state *set* as the serial run, not merely as many states.
+  bool ExportStateSignatures = false;
   /// Stateful reference search: prune an execution once it reaches an
   /// already-visited state. Used only to compute the "Total States" ground
   /// truth of Table 2; implies TrackCoverage.
@@ -171,6 +185,9 @@ struct CheckResult {
   Verdict Kind = Verdict::Pass;
   std::optional<BugReport> Bug;
   SearchStats Stats;
+  /// Sorted distinct state signatures; filled only when
+  /// CheckerOptions::ExportStateSignatures is set.
+  std::vector<uint64_t> StateSignatures;
 
   bool foundBug() const { return Kind != Verdict::Pass; }
 };

@@ -7,6 +7,7 @@
 #include "core/Schedule.h"
 #include "support/Hashing.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace fsmc;
@@ -63,12 +64,14 @@ bool Explorer::advanceStack() {
   if (Opts.Kind == SearchKind::RandomWalk) {
     // Random walks never backtrack; each execution starts fresh and stops
     // via MaxExecutions / TimeBudget.
-    Stack.clear();
+    Stack.resize(FrozenLen);
     return true;
   }
-  while (!Stack.empty()) {
+  // Records below FrozenLen belong to this shard's fixed prefix; popping
+  // past them would wander into another worker's subtree.
+  while (Stack.size() > FrozenLen) {
     ChoiceRec &R = Stack.back();
-    if (R.Backtrack && R.Chosen + 1 < R.Num) {
+    if (R.Backtrack && !R.Donated && R.Chosen + 1 < R.Num) {
       ++R.Chosen;
       return true;
     }
@@ -77,10 +80,51 @@ bool Explorer::advanceStack() {
   return false;
 }
 
-void Explorer::preloadSchedule(const std::vector<ScheduleChoice> &Choices) {
+void Explorer::preloadSchedule(const std::vector<ScheduleChoice> &Choices,
+                               bool Frozen) {
   assert(Stack.empty() && "preloadSchedule must precede run()");
   for (const ScheduleChoice &C : Choices)
     Stack.push_back({C.Chosen, C.Num, C.Backtrack});
+  if (Frozen)
+    FrozenLen = Stack.size();
+}
+
+void Explorer::setExecutionHook(std::function<bool(Explorer &)> H) {
+  Hook = std::move(H);
+}
+
+size_t Explorer::splitWork(std::vector<std::vector<ScheduleChoice>> &Out,
+                           size_t MaxItems) {
+  size_t Donated = 0;
+  for (size_t I = FrozenLen; I < Stack.size() && Donated < MaxItems; ++I) {
+    ChoiceRec &R = Stack[I];
+    if (!R.Backtrack || R.Donated || R.Chosen + 1 >= R.Num)
+      continue;
+    std::vector<ScheduleChoice> Base;
+    Base.reserve(I + 1);
+    for (size_t J = 0; J < I; ++J)
+      Base.push_back({Stack[J].Chosen, Stack[J].Num, Stack[J].Backtrack});
+    // Partial donation of a record is not representable (Donated is
+    // all-or-nothing), so give away the record's whole remainder even if
+    // that overshoots MaxItems by a few siblings.
+    for (int Alt = R.Chosen + 1; Alt < R.Num; ++Alt) {
+      std::vector<ScheduleChoice> Prefix = Base;
+      Prefix.push_back({Alt, R.Num, R.Backtrack});
+      Out.push_back(std::move(Prefix));
+      ++Donated;
+    }
+    R.Donated = true;
+  }
+  return Donated;
+}
+
+std::vector<int> Explorer::consumedPathKey() const {
+  std::vector<int> Key;
+  size_t N = Cursor < Stack.size() ? Cursor : Stack.size();
+  Key.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Key.push_back(Stack[I].Chosen);
+  return Key;
 }
 
 void Explorer::reportBug(Verdict V, std::string Msg, const Runtime &RT,
@@ -330,6 +374,11 @@ CheckResult Explorer::run() {
     ExecEnd End = runOneExecution();
     ++Result.Stats.Executions;
 
+    // The hook runs on every execution (it is also how the parallel
+    // driver counts executions against the shared budget); its stop
+    // request is honored after the local stop conditions so a bug or
+    // local budget still reports with the usual flags.
+    bool HookStop = Hook && !Hook(*this);
     if (End == ExecEnd::Bug && Opts.StopOnFirstBug)
       break;
     if (Result.Stats.TimedOut)
@@ -342,12 +391,18 @@ CheckResult Explorer::run() {
       Result.Stats.TimedOut = true;
       break;
     }
+    if (HookStop)
+      break;
     if (!advanceStack()) {
       Result.Stats.SearchExhausted = true;
       break;
     }
   }
   Result.Stats.DistinctStates = SeenStates.size();
+  if (Opts.ExportStateSignatures) {
+    Result.StateSignatures.assign(SeenStates.begin(), SeenStates.end());
+    std::sort(Result.StateSignatures.begin(), Result.StateSignatures.end());
+  }
   auto Elapsed = std::chrono::steady_clock::now() - StartTime;
   Result.Stats.Seconds = std::chrono::duration<double>(Elapsed).count();
   return Result;

@@ -55,7 +55,39 @@ public:
 
   /// Seeds the first execution's choice stack with a recorded schedule
   /// (see core/Schedule.h). Must be called before run().
-  void preloadSchedule(const std::vector<struct ScheduleChoice> &Choices);
+  ///
+  /// With \p Frozen set, the preloaded records form an immutable prefix:
+  /// the DFS never advances or pops them, so the search is confined to
+  /// the subtree below the prefix. This is how ParallelExplorer shards
+  /// the choice tree across workers.
+  void preloadSchedule(const std::vector<struct ScheduleChoice> &Choices,
+                       bool Frozen = false);
+
+  /// Invoked after every execution (before the DFS stack advances).
+  /// Returning false stops the search without marking it exhausted --
+  /// the parallel driver's handle for global budgets, first-bug pruning
+  /// and work donation.
+  void setExecutionHook(std::function<bool(Explorer &)> Hook);
+
+  /// Carves unexplored sibling alternatives off the DFS stack as frozen
+  /// prefixes for other workers, shallowest (largest subtree) first, and
+  /// marks the donated records so this explorer skips them. Only valid
+  /// from within the execution hook. \returns the number of prefixes
+  /// appended to \p Out (at most \p MaxItems).
+  size_t splitWork(std::vector<std::vector<struct ScheduleChoice>> &Out,
+                   size_t MaxItems);
+
+  /// The Chosen values consumed by the execution that just finished --
+  /// the path's position in DFS order. Two paths compare by the first
+  /// differing choice index; this total order is what makes the parallel
+  /// first-bug report deterministic.
+  std::vector<int> consumedPathKey() const;
+
+  /// State signatures this explorer inserted (TrackCoverage); the
+  /// parallel driver unions the per-worker shards.
+  const std::unordered_set<uint64_t> &seenStates() const {
+    return SeenStates;
+  }
 
   // ChoiceSource: data nondeterminism raised from inside a transition.
   int chooseInt(int N) override;
@@ -74,6 +106,10 @@ private:
     int Chosen;
     int Num;
     bool Backtrack;
+    /// Untried alternatives were handed to another worker via splitWork;
+    /// advanceStack treats the record as exhausted. Kept separate from
+    /// Backtrack so bug schedules serialize identically to a serial run.
+    bool Donated = false;
   };
 
   ExecEnd runOneExecution();
@@ -94,7 +130,9 @@ private:
   std::vector<ChoiceRec> Stack;
   size_t Cursor = 0;
   size_t ReplayLen = 0; ///< Stack records present when the execution began.
+  size_t FrozenLen = 0; ///< Leading records the DFS never advances past.
   bool ReplayMismatch = false;
+  std::function<bool(Explorer &)> Hook;
 
   CheckResult Result;
   Trace CurTrace;

@@ -1,0 +1,280 @@
+//===- core/ParallelExplorer.cpp ------------------------------------------===//
+
+#include "core/ParallelExplorer.h"
+
+#include "core/Explorer.h"
+#include "core/Schedule.h"
+#include "core/WorkQueue.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+using namespace fsmc;
+
+namespace {
+
+/// DFS order over choice paths: the first differing choice index decides;
+/// an ancestor precedes its extensions. Two distinct complete executions
+/// always differ at some consumed index, so this totally orders bugs.
+bool dfsBefore(const std::vector<int> &A, const std::vector<int> &B) {
+  size_t N = A.size() < B.size() ? A.size() : B.size();
+  for (size_t I = 0; I < N; ++I)
+    if (A[I] != B[I])
+      return A[I] < B[I];
+  return A.size() < B.size();
+}
+
+std::vector<int> pathKeyOfSchedule(const std::string &Schedule) {
+  std::vector<ScheduleChoice> Choices;
+  std::vector<int> Key;
+  if (decodeSchedule(Schedule, Choices))
+    for (const ScheduleChoice &C : Choices)
+      Key.push_back(C.Chosen);
+  return Key;
+}
+
+/// Sums / maxes worker-shard statistics into the aggregate. DistinctStates
+/// and the termination flags are owned by the aggregator, not merged here.
+void mergeStats(SearchStats &Into, const SearchStats &From) {
+  Into.Executions += From.Executions;
+  Into.Transitions += From.Transitions;
+  Into.Preemptions += From.Preemptions;
+  Into.NonterminatingExecutions += From.NonterminatingExecutions;
+  Into.PrunedExecutions += From.PrunedExecutions;
+  Into.SleepSetPrunes += From.SleepSetPrunes;
+  Into.FairEdgeAdditions += From.FairEdgeAdditions;
+  Into.BugsFound += From.BugsFound;
+  if (From.MaxDepth > Into.MaxDepth)
+    Into.MaxDepth = From.MaxDepth;
+  if (From.MaxThreads > Into.MaxThreads)
+    Into.MaxThreads = From.MaxThreads;
+  if (From.MaxSyncOps > Into.MaxSyncOps)
+    Into.MaxSyncOps = From.MaxSyncOps;
+}
+
+} // namespace
+
+struct ParallelExplorer::Shared {
+  explicit Shared(size_t QueueCapacity) : Queue(QueueCapacity) {}
+
+  WorkQueue Queue;
+  std::atomic<uint64_t> Executions{0};
+  std::atomic<bool> StopAll{false};
+  std::atomic<bool> CapHit{false};
+  std::atomic<bool> GlobalTimeout{false};
+  std::chrono::steady_clock::time_point Deadline;
+  bool HasDeadline = false;
+
+  // Best (DFS-smallest) bug so far. Guarded by BugM; read on every
+  // execution by every worker, written only when a better bug lands.
+  std::mutex BugM;
+  bool HasBug = false;
+  std::vector<int> BestKey;
+  BugReport BestBug;
+  Verdict BestKind = Verdict::Pass;
+
+  // Result aggregation: per-item stats and signature shards.
+  std::mutex MergeM;
+  SearchStats Total;
+  std::unordered_set<uint64_t> States;
+
+  void requestStop() {
+    StopAll.store(true, std::memory_order_relaxed);
+    Queue.stop();
+  }
+
+  /// True when \p Key lies strictly after the best bug in DFS order --
+  /// the serial search would have stopped before reaching it.
+  bool afterBestBug(const std::vector<int> &Key) {
+    std::lock_guard<std::mutex> Lock(BugM);
+    return HasBug && !dfsBefore(Key, BestKey);
+  }
+
+  void offerBug(const BugReport &Bug, Verdict Kind) {
+    std::vector<int> Key = pathKeyOfSchedule(Bug.Schedule);
+    std::lock_guard<std::mutex> Lock(BugM);
+    if (!HasBug || dfsBefore(Key, BestKey)) {
+      HasBug = true;
+      BestKey = std::move(Key);
+      BestBug = Bug;
+      BestKind = Kind;
+    }
+  }
+};
+
+ParallelExplorer::ParallelExplorer(const TestProgram &Program,
+                                   const CheckerOptions &Opts)
+    : Program(Program), Opts(Opts) {}
+
+ParallelExplorer::~ParallelExplorer() = default;
+
+CheckResult ParallelExplorer::run() {
+  int Jobs = Opts.Jobs;
+  // Random walks draw fresh randomness per execution and stateful pruning
+  // keys off the global visit order; neither partitions by prefix, so
+  // they run serially.
+  if (Jobs <= 1 || Opts.Kind == SearchKind::RandomWalk ||
+      Opts.StatefulPruning) {
+    Explorer E(Program, Opts);
+    return E.run();
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  Shared SH(/*QueueCapacity=*/size_t(Jobs) * 64);
+  if (Opts.TimeBudgetSeconds > 0) {
+    SH.HasDeadline = true;
+    SH.Deadline = Start + std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(
+                                  Opts.TimeBudgetSeconds));
+  }
+
+  // Seed the search with the whole tree: one item, empty prefix. The
+  // first worker to pop it starts donating as soon as the queue reports
+  // hungry, which is immediately.
+  {
+    std::vector<WorkItem> Root(1);
+    SH.Queue.pushAll(std::move(Root));
+  }
+
+  CheckerOptions WorkerOpts = Opts;
+  WorkerOpts.Jobs = 1;
+  // Budgets are enforced globally through the execution hook; a worker
+  // must not stop on its private counters.
+  WorkerOpts.MaxExecutions = 0;
+  WorkerOpts.TimeBudgetSeconds = 0;
+
+  const uint64_t MaxExecutions = Opts.MaxExecutions;
+  const bool StopOnFirstBug = Opts.StopOnFirstBug;
+  const size_t LowWater = size_t(Jobs);
+
+  auto WorkerMain = [&]() {
+    while (std::optional<WorkItem> Item = SH.Queue.pop()) {
+      if (SH.StopAll.load(std::memory_order_relaxed)) {
+        SH.Queue.itemDone();
+        continue;
+      }
+      // Serial semantics never reach subtrees past the first bug.
+      if (StopOnFirstBug && !Item->Prefix.empty()) {
+        std::vector<int> Key;
+        Key.reserve(Item->Prefix.size());
+        for (const ScheduleChoice &C : Item->Prefix)
+          Key.push_back(C.Chosen);
+        if (SH.afterBestBug(Key)) {
+          SH.Queue.itemDone();
+          continue;
+        }
+      }
+
+      CheckerOptions ItemOpts = WorkerOpts;
+      if (SH.HasDeadline) {
+        // Re-derive the remaining budget so the explorer's mid-execution
+        // time checks stay meaningful for this item.
+        double Remaining = std::chrono::duration<double>(
+                               SH.Deadline - std::chrono::steady_clock::now())
+                               .count();
+        ItemOpts.TimeBudgetSeconds = Remaining > 0.001 ? Remaining : 0.001;
+      }
+
+      Explorer E(Program, ItemOpts);
+      E.preloadSchedule(Item->Prefix, /*Frozen=*/true);
+      E.setExecutionHook([&](Explorer &Ex) {
+        uint64_t N = SH.Executions.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (MaxExecutions && N >= MaxExecutions) {
+          SH.CapHit.store(true, std::memory_order_relaxed);
+          SH.requestStop();
+        }
+        if (SH.HasDeadline &&
+            std::chrono::steady_clock::now() >= SH.Deadline) {
+          SH.GlobalTimeout.store(true, std::memory_order_relaxed);
+          SH.requestStop();
+        }
+        if (SH.StopAll.load(std::memory_order_relaxed))
+          return false;
+        // First-bug pruning: everything this item would explore next is
+        // DFS-after its current path, so once that path passes the best
+        // bug the serial search would already have stopped.
+        if (StopOnFirstBug && SH.afterBestBug(Ex.consumedPathKey()))
+          return false;
+        // Donate the shallowest unexplored siblings when the queue runs
+        // dry; idle workers pick them up (work stealing by splitting).
+        if (SH.Queue.hungry(LowWater)) {
+          size_t Free = SH.Queue.freeSlots();
+          if (Free > 0) {
+            std::vector<std::vector<ScheduleChoice>> Prefixes;
+            size_t Want = size_t(Jobs) * 2;
+            E.splitWork(Prefixes, Want < Free ? Want : Free);
+            if (!Prefixes.empty()) {
+              std::vector<WorkItem> Items;
+              Items.reserve(Prefixes.size());
+              for (auto &P : Prefixes)
+                Items.push_back(WorkItem{std::move(P)});
+              SH.Queue.pushAll(std::move(Items));
+            }
+          }
+        }
+        return true;
+      });
+
+      CheckResult R = E.run();
+      if (R.Stats.TimedOut) {
+        // The per-item remaining budget ran out mid-execution; that is
+        // the shared deadline expiring, so stop the whole search.
+        SH.GlobalTimeout.store(true, std::memory_order_relaxed);
+        SH.requestStop();
+      }
+      if (R.Bug)
+        SH.offerBug(*R.Bug, R.Kind);
+      {
+        std::lock_guard<std::mutex> Lock(SH.MergeM);
+        mergeStats(SH.Total, R.Stats);
+        if (!E.seenStates().empty())
+          SH.States.insert(E.seenStates().begin(), E.seenStates().end());
+      }
+      SH.Queue.itemDone();
+    }
+  };
+
+  std::vector<std::thread> Workers;
+  Workers.reserve(Jobs);
+  for (int I = 0; I < Jobs; ++I)
+    Workers.emplace_back(WorkerMain);
+  for (std::thread &W : Workers)
+    W.join();
+
+  CheckResult Result;
+  Result.Stats = SH.Total;
+  Result.Stats.DistinctStates = SH.States.size();
+  if (Opts.ExportStateSignatures) {
+    Result.StateSignatures.assign(SH.States.begin(), SH.States.end());
+    std::sort(Result.StateSignatures.begin(), Result.StateSignatures.end());
+  }
+  Result.Stats.ExecutionCapHit = SH.CapHit.load();
+  Result.Stats.TimedOut = SH.GlobalTimeout.load();
+  if (SH.HasBug) {
+    Result.Kind = SH.BestKind;
+    Result.Bug = std::move(SH.BestBug);
+  }
+  // Exhausted iff nothing cut the enumeration short: every subtree either
+  // ran dry or was pruned only by the first-bug rule (which mirrors the
+  // serial early stop, where the flag is also left clear).
+  Result.Stats.SearchExhausted = !Result.Stats.ExecutionCapHit &&
+                                 !Result.Stats.TimedOut &&
+                                 !(SH.HasBug && StopOnFirstBug);
+  auto Elapsed = std::chrono::steady_clock::now() - Start;
+  Result.Stats.Seconds = std::chrono::duration<double>(Elapsed).count();
+  return Result;
+}
+
+CheckResult fsmc::checkParallel(const TestProgram &Program,
+                                const CheckerOptions &Opts, int Jobs) {
+  CheckerOptions E = Opts;
+  E.Jobs = Jobs;
+  return check(Program, E);
+}

@@ -1,0 +1,64 @@
+//===- core/WorkQueue.cpp -------------------------------------------------===//
+
+#include "core/WorkQueue.h"
+
+using namespace fsmc;
+
+void WorkQueue::pushAll(std::vector<WorkItem> Items) {
+  if (Items.empty())
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Stopped)
+      return;
+    Outstanding += Items.size();
+    for (WorkItem &I : Items)
+      Q.push_back(std::move(I));
+  }
+  CV.notify_all();
+}
+
+std::optional<WorkItem> WorkQueue::pop() {
+  std::unique_lock<std::mutex> Lock(M);
+  CV.wait(Lock, [this] { return !Q.empty() || Outstanding == 0 || Stopped; });
+  if (Stopped || Q.empty())
+    return std::nullopt;
+  WorkItem I = std::move(Q.front());
+  Q.pop_front();
+  return I;
+}
+
+void WorkQueue::itemDone() {
+  bool Done;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Done = --Outstanding == 0;
+  }
+  if (Done)
+    CV.notify_all();
+}
+
+void WorkQueue::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopped = true;
+    Outstanding -= Q.size();
+    Q.clear();
+  }
+  CV.notify_all();
+}
+
+size_t WorkQueue::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Q.size();
+}
+
+size_t WorkQueue::freeSlots() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Q.size() >= Capacity ? 0 : Capacity - Q.size();
+}
+
+bool WorkQueue::hungry(size_t LowWater) const {
+  std::lock_guard<std::mutex> Lock(M);
+  return !Stopped && Q.size() < LowWater;
+}

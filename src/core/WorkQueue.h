@@ -1,0 +1,78 @@
+//===- core/WorkQueue.h - MPMC queue of schedule-prefix shards -*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bounded multi-producer/multi-consumer queue that carries schedule
+/// prefixes between parallel workers. Each item is one unexplored subtree
+/// of the DFS choice tree, identified by the frozen choice prefix that
+/// reaches its root (see Explorer::preloadSchedule(Frozen)).
+///
+/// The queue also owns search-wide termination: it counts *outstanding*
+/// items -- queued plus popped-but-unfinished -- and pop() returns empty
+/// only when that count hits zero (every subtree fully explored, and no
+/// running worker can donate more) or the search is stopped. This is the
+/// standard work-stealing termination argument: an item can only appear
+/// while some other item is outstanding, so outstanding==0 is stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_CORE_WORKQUEUE_H
+#define FSMC_CORE_WORKQUEUE_H
+
+#include "core/Schedule.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace fsmc {
+
+/// One unit of parallel search: the subtree of schedules below Prefix.
+struct WorkItem {
+  std::vector<ScheduleChoice> Prefix;
+};
+
+class WorkQueue {
+public:
+  explicit WorkQueue(size_t Capacity) : Capacity(Capacity) {}
+
+  /// Enqueues \p Items, registering them as outstanding. Donation is
+  /// gated on freeSlots(), so the capacity is a soft bound: a racing
+  /// donor may briefly overshoot it rather than lose donated work.
+  void pushAll(std::vector<WorkItem> Items);
+
+  /// Blocks until an item is available, all work is done, or stop().
+  /// A successful pop leaves the item outstanding until itemDone().
+  std::optional<WorkItem> pop();
+
+  /// Balances one successful pop(); the last call wakes all waiters.
+  void itemDone();
+
+  /// Aborts the search: drops queued items and wakes every waiter.
+  void stop();
+
+  size_t size() const;
+  /// Remaining soft capacity; donors size their splits by this.
+  size_t freeSlots() const;
+  /// True when the queue holds fewer than \p LowWater items -- the
+  /// signal for busy workers to donate a slice of their subtree.
+  bool hungry(size_t LowWater) const;
+
+private:
+  mutable std::mutex M;
+  std::condition_variable CV;
+  std::deque<WorkItem> Q;
+  size_t Capacity;
+  size_t Outstanding = 0;
+  bool Stopped = false;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_CORE_WORKQUEUE_H

@@ -12,9 +12,11 @@ ChoiceSource::~ChoiceSource() = default;
 
 namespace {
 /// The runtime of the execution currently running on this OS thread. All
-/// fibers of one execution share the host OS thread, so a single pointer
-/// suffices; it is set for the duration of start()/step().
-Runtime *CurrentRuntime = nullptr;
+/// fibers of one execution share the host OS thread, so one pointer per
+/// OS thread suffices; it is set for the duration of step(). thread_local
+/// (not a plain global) so parallel workers can each drive a private
+/// Runtime concurrently.
+thread_local Runtime *CurrentRuntime = nullptr;
 } // namespace
 
 struct Runtime::ThreadState {
@@ -198,6 +200,16 @@ StepStatus Runtime::step(Tid T) {
   assert(Live.contains(T) && "stepping a non-live thread");
   assert(Threads[T]->Pending.isEnabled() && "stepping a disabled thread");
   assert(!Failed && "stepping after a failure");
+#ifndef NDEBUG
+  // Fibers are ucontexts bound to the stack of the OS thread that first
+  // stepped them; migrating a Runtime across OS threads mid-execution
+  // would switch onto a foreign stack. Each Runtime has exactly one
+  // owning OS thread for its whole lifetime.
+  if (OwnerThread == std::thread::id())
+    OwnerThread = std::this_thread::get_id();
+  assert(OwnerThread == std::this_thread::get_id() &&
+         "Runtime stepped from a second OS thread");
+#endif
 
   Runtime *PrevRuntime = CurrentRuntime;
   CurrentRuntime = this;

@@ -28,6 +28,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace fsmc {
@@ -187,6 +188,11 @@ private:
   bool InController = true;
   std::function<uint64_t()> StateExtractor;
   Tid ExtractorOwner = -1;
+#ifndef NDEBUG
+  /// The single OS thread allowed to drive this Runtime's fibers; set on
+  /// the first step(). See the assertion in step().
+  std::thread::id OwnerThread;
+#endif
 };
 
 /// Checks a safety property from inside a test thread; on failure reports

@@ -1,0 +1,265 @@
+//===- tests/core/ParallelExplorerTest.cpp --------------------------------===//
+//
+// Serial-equivalence regression suite for the prefix-sharded parallel
+// explorer. The parallel engine's contract is exact: an exhaustive
+// search with --jobs N visits the same executions, the same transition
+// total and the same state-signature *set* as --jobs 1, and under
+// StopOnFirstBug it reports the identical (DFS-smallest) counterexample
+// -- same schedule string, message, and failing step. These tests pin
+// that contract down for Peterson, DiningPhilosophers and the
+// work-stealing queue at small sizes, for every bug class (safety,
+// deadlock, livelock), and for a worker exploring from a nonempty
+// frozen prefix (the fairness-under-parallelism theorem case).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Explorer.h"
+#include "core/ParallelExplorer.h"
+#include "core/Schedule.h"
+#include "workloads/DiningPhilosophers.h"
+#include "workloads/Peterson.h"
+#include "workloads/SpinWait.h"
+#include "workloads/WorkStealQueue.h"
+
+#include <gtest/gtest.h>
+
+using namespace fsmc;
+
+namespace {
+
+const int JobCounts[] = {2, 4, 8};
+
+/// Runs the exhaustive search serially and at each parallel width and
+/// asserts the full equivalence contract.
+void expectExhaustiveEquivalence(const TestProgram &Program,
+                                 CheckerOptions Opts) {
+  Opts.ExportStateSignatures = true;
+  Opts.Jobs = 1;
+  CheckResult Serial = check(Program, Opts);
+  ASSERT_TRUE(Serial.Stats.SearchExhausted)
+      << "equivalence requires a search that completes";
+
+  for (int Jobs : JobCounts) {
+    SCOPED_TRACE("jobs=" + std::to_string(Jobs));
+    Opts.Jobs = Jobs;
+    CheckResult Par = check(Program, Opts);
+    EXPECT_TRUE(Par.Stats.SearchExhausted);
+    EXPECT_EQ(Par.Kind, Serial.Kind);
+    EXPECT_EQ(Par.Stats.Executions, Serial.Stats.Executions);
+    EXPECT_EQ(Par.Stats.Transitions, Serial.Stats.Transitions);
+    EXPECT_EQ(Par.Stats.Preemptions, Serial.Stats.Preemptions);
+    EXPECT_EQ(Par.Stats.MaxDepth, Serial.Stats.MaxDepth);
+    EXPECT_EQ(Par.Stats.DistinctStates, Serial.Stats.DistinctStates);
+    EXPECT_EQ(Par.Stats.BugsFound, Serial.Stats.BugsFound);
+    // The sorted signature vectors must be identical element-wise: the
+    // shards partition the choice tree, so their union is exactly the
+    // serial visit set.
+    EXPECT_EQ(Par.StateSignatures, Serial.StateSignatures);
+  }
+}
+
+/// Runs a first-bug search at every width and asserts the identical
+/// counterexample is reported.
+void expectSameFirstBug(const TestProgram &Program, CheckerOptions Opts) {
+  Opts.StopOnFirstBug = true;
+  Opts.Jobs = 1;
+  CheckResult Serial = check(Program, Opts);
+  ASSERT_TRUE(Serial.foundBug());
+  ASSERT_TRUE(Serial.Bug.has_value());
+
+  for (int Jobs : JobCounts) {
+    SCOPED_TRACE("jobs=" + std::to_string(Jobs));
+    Opts.Jobs = Jobs;
+    CheckResult Par = check(Program, Opts);
+    ASSERT_TRUE(Par.foundBug());
+    ASSERT_TRUE(Par.Bug.has_value());
+    EXPECT_EQ(Par.Kind, Serial.Kind);
+    // The schedule string is the bug's identity: equal schedules mean
+    // the exact same execution was reported.
+    EXPECT_EQ(Par.Bug->Schedule, Serial.Bug->Schedule);
+    EXPECT_EQ(Par.Bug->Message, Serial.Bug->Message);
+    EXPECT_EQ(Par.Bug->AtStep, Serial.Bug->AtStep);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Exhaustive-search equivalence: executions, transitions, state sets.
+//===----------------------------------------------------------------------===
+
+TEST(ParallelEquivalence, PetersonContextBounded) {
+  PetersonConfig C;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  expectExhaustiveEquivalence(makePetersonProgram(C), O);
+}
+
+TEST(ParallelEquivalence, DiningPhilosophersFairDfs) {
+  DiningConfig C;
+  C.Philosophers = 2;
+  C.Kind = DiningConfig::Variant::Mixed;
+  expectExhaustiveEquivalence(makeDiningProgram(C), CheckerOptions());
+}
+
+TEST(ParallelEquivalence, DiningPhilosophersOrderedCb) {
+  DiningConfig C;
+  C.Philosophers = 3;
+  C.Kind = DiningConfig::Variant::OrderedBlocking;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 1;
+  expectExhaustiveEquivalence(makeDiningProgram(C), O);
+}
+
+TEST(ParallelEquivalence, WorkStealQueueContextBounded) {
+  WsqConfig C;
+  C.Stealers = 1;
+  C.Tasks = 2;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 1;
+  expectExhaustiveEquivalence(makeWsqProgram(C), O);
+}
+
+TEST(ParallelEquivalence, CountsAllBugsWhenNotStoppingEarly) {
+  // With StopOnFirstBug off the whole tree is enumerated even though it
+  // contains bugs; every buggy execution must be counted exactly once
+  // across the shards.
+  PetersonConfig C;
+  C.Kind = PetersonConfig::Variant::FlagAfterCheck;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.StopOnFirstBug = false;
+  expectExhaustiveEquivalence(makePetersonProgram(C), O);
+}
+
+//===----------------------------------------------------------------------===
+// First-bug determinism: --jobs N reports the serial counterexample.
+//===----------------------------------------------------------------------===
+
+TEST(ParallelFirstBug, SafetyViolationInWorkStealQueue) {
+  WsqConfig C;
+  C.Stealers = 1;
+  C.Tasks = 2;
+  C.Bug = WsqBug::PopReordered;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  expectSameFirstBug(makeWsqProgram(C), O);
+}
+
+TEST(ParallelFirstBug, SafetyViolationInPeterson) {
+  PetersonConfig C;
+  C.Kind = PetersonConfig::Variant::FlagAfterCheck;
+  expectSameFirstBug(makePetersonProgram(C), CheckerOptions());
+}
+
+TEST(ParallelFirstBug, DeadlockInDiningPhilosophers) {
+  DiningConfig C;
+  C.Philosophers = 2;
+  C.Kind = DiningConfig::Variant::DeadlockProne;
+  expectSameFirstBug(makeDiningProgram(C), CheckerOptions());
+}
+
+TEST(ParallelFirstBug, ReportedScheduleReplaysToTheSameBug) {
+  // The parallel bug report must be replayable exactly like a serial
+  // one: its schedule is a root-relative choice sequence even when the
+  // finding worker ran from a donated prefix.
+  WsqConfig C;
+  C.Stealers = 1;
+  C.Tasks = 2;
+  C.Bug = WsqBug::PopReordered;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.Jobs = 4;
+  TestProgram P = makeWsqProgram(C);
+  CheckResult R = check(P, O);
+  ASSERT_TRUE(R.foundBug());
+  CheckerOptions ReplayOpts = O;
+  ReplayOpts.Jobs = 1;
+  CheckResult Replay = replaySchedule(P, ReplayOpts, R.Bug->Schedule);
+  EXPECT_EQ(Replay.Kind, R.Kind);
+  EXPECT_EQ(Replay.Stats.Executions, 1u);
+  EXPECT_EQ(Replay.Bug->Message, R.Bug->Message);
+}
+
+//===----------------------------------------------------------------------===
+// Fairness under parallelism: liveness theorems survive sharding.
+//===----------------------------------------------------------------------===
+
+TEST(ParallelFairness, FairNonterminationDetectedAtEveryWidth) {
+  // Theorem 6 / TheoremTest.FairCycleYieldsDivergence: the Figure 1/2
+  // retry cycle is a fair livelock; the parallel search must report the
+  // same diverging execution regardless of which worker owns it.
+  DiningConfig C;
+  C.Philosophers = 2;
+  C.Kind = DiningConfig::Variant::TryLockRetry;
+  CheckerOptions O;
+  O.ExecutionBound = 200;
+  expectSameFirstBug(makeDiningProgram(C), O);
+}
+
+TEST(ParallelFairness, FairSearchStillExhaustsSpinWait) {
+  // Theorem 2: fair termination of the search is a per-subtree property;
+  // sharding must not reintroduce divergence. Figure 3's program only
+  // fair-terminates because the scheduler lowers the spinner's priority;
+  // every shard must inherit that.
+  SpinWaitConfig C;
+  expectExhaustiveEquivalence(makeSpinWaitProgram(C), CheckerOptions());
+}
+
+TEST(ParallelFairness, LivelockFoundFromNonemptyFrozenPrefix) {
+  // The worker-level guarantee behind the jobs-level tests: seed an
+  // Explorer with a frozen prefix of the livelock schedule and let it
+  // search only that subtree -- the fair scheduler and the divergence
+  // monitor must still flag the cycle below the preloaded prefix.
+  DiningConfig C;
+  C.Philosophers = 2;
+  C.Kind = DiningConfig::Variant::TryLockRetry;
+  CheckerOptions O;
+  O.ExecutionBound = 200;
+  TestProgram P = makeDiningProgram(C);
+
+  CheckResult Serial = check(P, O);
+  ASSERT_EQ(Serial.Kind, Verdict::Livelock);
+  std::vector<ScheduleChoice> Choices;
+  ASSERT_TRUE(decodeSchedule(Serial.Bug->Schedule, Choices));
+  ASSERT_GT(Choices.size(), 4u);
+
+  // Freeze the first four choices; the livelock lives in this subtree.
+  Choices.resize(4);
+  Explorer Sub(P, O);
+  Sub.preloadSchedule(Choices, /*Frozen=*/true);
+  CheckResult R = Sub.run();
+  EXPECT_EQ(R.Kind, Verdict::Livelock);
+  // The reported schedule must still be root-relative and replayable.
+  CheckResult Replay = replaySchedule(P, O, R.Bug->Schedule);
+  EXPECT_EQ(Replay.Kind, Verdict::Livelock);
+}
+
+TEST(ParallelFairness, FrozenPrefixConfinesTheSearch) {
+  // A frozen prefix must shard, not just seed: the subtree explorer may
+  // never backtrack above the prefix, so its execution count is that of
+  // one subtree, strictly less than the whole tree's.
+  DiningConfig C;
+  C.Philosophers = 2;
+  C.Kind = DiningConfig::Variant::Mixed;
+  CheckerOptions O;
+  TestProgram P = makeDiningProgram(C);
+  CheckResult Whole = check(P, O);
+  ASSERT_TRUE(Whole.Stats.SearchExhausted);
+
+  // The first scheduling point of this workload offers two threads;
+  // freezing one choice confines the search to half the tree.
+  Explorer Sub(P, O);
+  std::vector<ScheduleChoice> Prefix = {{0, 2, true}};
+  Sub.preloadSchedule(Prefix, /*Frozen=*/true);
+  CheckResult R = Sub.run();
+  EXPECT_TRUE(R.Stats.SearchExhausted);
+  EXPECT_LT(R.Stats.Executions, Whole.Stats.Executions);
+  EXPECT_GE(R.Stats.Executions, 1u);
+}

@@ -132,6 +132,7 @@ int usage() {
       "  --depth=N        depth bound (with --unfair: the baseline mode)\n"
       "  --bound=N        execution bound for divergence detection\n"
       "  --executions=N   cap on executions\n"
+      "  --jobs=N         parallel search with N worker threads\n"
       "  --seconds=S      time budget\n"
       "  --seed=N         PRNG seed\n"
       "  --yieldk=N       process every k-th yield\n"
@@ -171,6 +172,13 @@ int main(int Argc, char **Argv) {
       Opts.ExecutionBound = std::strtoull(V, nullptr, 10);
     else if (parseFlag(Argv[I], "--executions", &V))
       Opts.MaxExecutions = std::strtoull(V, nullptr, 10);
+    else if (parseFlag(Argv[I], "--jobs", &V)) {
+      Opts.Jobs = std::atoi(V);
+      if (Opts.Jobs < 1) {
+        std::fprintf(stderr, "--jobs must be >= 1\n");
+        return usage();
+      }
+    }
     else if (parseFlag(Argv[I], "--seconds", &V))
       Opts.TimeBudgetSeconds = std::atof(V);
     else if (parseFlag(Argv[I], "--seed", &V))

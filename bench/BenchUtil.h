@@ -21,9 +21,10 @@
 #define FSMC_BENCH_BENCHUTIL_H
 
 #include "core/Checker.h"
+#include "obs/StatsJson.h"
+#include "support/OutStream.h"
 #include "support/TablePrinter.h"
 
-#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -67,10 +68,58 @@ inline const StrategyRow *strategyRows(int &Count) {
 }
 
 inline void printHeader(const char *Title, const char *PaperRef) {
-  std::printf("=== %s ===\n", Title);
-  std::printf("(reproduces %s; budgets scaled via FSMC_BENCH_BUDGET)\n\n",
-              PaperRef);
+  std::string Out = "=== ";
+  Out += Title;
+  Out += " ===\n(reproduces ";
+  Out += PaperRef;
+  Out += "; budgets scaled via FSMC_BENCH_BUDGET)\n\n";
+  outs() << Out;
 }
+
+/// Machine-readable bench export: when FSMC_STATS_JSON names a file, each
+/// recordRun() call appends one stats-json report line (JSONL, one run per
+/// line) so CI can diff executions/transitions across revisions without
+/// scraping the human tables. A no-op when the variable is unset.
+class StatsJsonlExport {
+public:
+  StatsJsonlExport() {
+    if (const char *Env = std::getenv("FSMC_STATS_JSON"))
+      Path = Env;
+  }
+
+  bool enabled() const { return !Path.empty(); }
+
+  /// Appends the report for one checker run under the row label \p Name.
+  void recordRun(const std::string &Name, const CheckResult &R,
+                 const CheckerOptions &Opts) {
+    if (Path.empty())
+      return;
+    obs::StatsJsonInfo Info;
+    Info.Program = Name;
+    Info.Options = &Opts;
+    std::string Json = obs::renderStatsJson(R, Info);
+    // One line per run: collapse the pretty-printed report.
+    std::string Line;
+    Line.reserve(Json.size());
+    bool InString = false;
+    for (size_t I = 0; I < Json.size(); ++I) {
+      char C = Json[I];
+      if (C == '"' && (I == 0 || Json[I - 1] != '\\'))
+        InString = !InString;
+      if (!InString && (C == '\n' || C == ' '))
+        continue;
+      Line += C;
+    }
+    Line += '\n';
+    if (std::FILE *F = std::fopen(Path.c_str(), "a")) {
+      std::fwrite(Line.data(), 1, Line.size(), F);
+      std::fclose(F);
+    }
+  }
+
+private:
+  std::string Path;
+};
 
 } // namespace bench
 } // namespace fsmc

@@ -59,7 +59,8 @@ int main() {
                       R.Stats.SearchExhausted ? "yes" : "NO"});
       }
     }
-    std::printf("%s\n", Table.render().c_str());
+    Table.print(outs());
+    outs() << '\n';
     std::printf("Expected: larger k processes fewer yields, so spin loops\n"
                 "unroll up to k extra times (deeper, more executions, at\n"
                 "least as many states) while the search still terminates.\n\n");
@@ -93,7 +94,8 @@ int main() {
                     TablePrinter::cell(R.Stats.MaxDepth),
                     R.Stats.SearchExhausted ? "yes" : "NO"});
     }
-    std::printf("%s\n", Table.render().c_str());
+    Table.print(outs());
+    outs() << '\n';
     std::printf("Expected: with fairness the search is small, terminates\n"
                 "and wastes zero nonterminating executions; without it the\n"
                 "same program costs orders of magnitude more.\n");

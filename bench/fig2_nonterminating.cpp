@@ -47,7 +47,8 @@ int main() {
                   TablePrinter::cellSeconds(R.Stats.Seconds)});
   }
 
-  std::printf("%s\n", Table.render().c_str());
+  Table.print(outs());
+  outs() << '\n';
   std::printf("Paper: counts rise exponentially from ~10 at db=15 toward\n"
               "10^4..10^5 by db=40 (Figure 2's log-scale curve). A '*'\n"
               "marks searches cut off by the time budget before\n"

@@ -67,7 +67,8 @@ int main() {
                     R.Stats.SearchExhausted ? "yes" : "NO (budget)"});
     }
   }
-  std::printf("%s\n", Table.render().c_str());
+  Table.print(outs());
+  outs() << '\n';
   std::printf("Paper (Figure 5, log scale): fair runs finish exponentially\n"
               "faster than the depth-bounded runs as db grows; dfs without\n"
               "fairness times out at every db.\n");

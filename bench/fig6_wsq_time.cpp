@@ -65,7 +65,8 @@ int main() {
                     R.Stats.SearchExhausted ? "yes" : "NO (budget)"});
     }
   }
-  std::printf("%s\n", Table.render().c_str());
+  Table.print(outs());
+  outs() << '\n';
   std::printf("Paper (Figure 6): on this larger space the fair cb runs\n"
               "finish while deep unfair bounds and all dfs runs time out;\n"
               "shallow unfair bounds may finish sooner but under-cover\n"

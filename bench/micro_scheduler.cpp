@@ -10,6 +10,7 @@
 #include "core/Checker.h"
 #include "core/FairScheduler.h"
 #include "core/PriorityGraph.h"
+#include "obs/Observer.h"
 #include "support/Xorshift.h"
 #include "workloads/DiningPhilosophers.h"
 #include "workloads/SpinWait.h"
@@ -100,6 +101,27 @@ static void BM_CheckerThroughputDining(benchmark::State &State) {
       double(Transitions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CheckerThroughputDining)->Unit(benchmark::kMillisecond);
+
+/// Observability overhead, enabled path: the SpinWait throughput run with
+/// an Observer attached (sharded counters live, no event sink). Compare
+/// against BM_CheckerThroughputSpinWait, which is the compiled-in-but-
+/// disabled path guarded by docs/OBSERVABILITY.md's <=2% budget.
+static void BM_CheckerThroughputSpinWaitObserved(benchmark::State &State) {
+  SpinWaitConfig C;
+  uint64_t Transitions = 0;
+  for (auto _ : State) {
+    obs::Observer Obs;
+    CheckerOptions O;
+    O.DetectDivergence = false;
+    O.Obs = &Obs;
+    CheckResult R = check(makeSpinWaitProgram(C), O);
+    Transitions += R.Stats.Transitions;
+    benchmark::DoNotOptimize(Obs.snapshot().counter(obs::Counter::Transitions));
+  }
+  State.counters["transitions/s"] = benchmark::Counter(
+      double(Transitions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CheckerThroughputSpinWaitObserved)->Unit(benchmark::kMillisecond);
 
 /// Fairness bookkeeping overhead: same workload with the scheduler's
 /// restriction disabled (pure demonic search, depth-cut).

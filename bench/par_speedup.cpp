@@ -98,7 +98,8 @@ int main() {
                   R.Stats.SearchExhausted ? "yes" : "NO (budget)",
                   Equivalent});
   }
-  std::printf("%s\n", Table.render().c_str());
+  Table.print(outs());
+  outs() << '\n';
   std::printf("Each worker owns a private Explorer/Runtime; subtrees are\n"
               "sharded by frozen schedule prefix and re-balanced through\n"
               "the bounded MPMC work queue, so executions and state\n"

@@ -53,7 +53,8 @@ int main() {
                   TablePrinter::cell(R.Stats.MaxSyncOps),
                   W.PaperCounterpart});
   }
-  std::printf("%s\n", Table.render().c_str());
+  Table.print(outs());
+  outs() << '\n';
   std::printf("Threads/sync-ops are maxima per execution over bounded\n"
               "random exploration, as in the paper. Our LOC are smaller:\n"
               "the paper measured entire production systems, we measure\n"

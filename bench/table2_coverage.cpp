@@ -108,7 +108,8 @@ int main() {
     }
   }
 
-  std::printf("%s\n", Table.render().c_str());
+  Table.print(outs());
+  outs() << '\n';
   std::printf(
       "Paper's qualitative claims to verify here:\n"
       " 1. 'With fairness' matches or exceeds 'Total states' in all but\n"

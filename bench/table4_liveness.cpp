@@ -113,7 +113,8 @@ int main() {
                   TablePrinter::cellSeconds(R.Stats.Seconds),
                   R.Kind == Case.Expected ? "yes" : "NO"});
   }
-  std::printf("%s\n", Table.render().c_str());
+  Table.print(outs());
+  outs() << '\n';
   std::printf("The buggy programs are detected as the paper classifies\n"
               "them: fair divergence -> livelock; a thread scheduled\n"
               "persistently without yielding -> good samaritan violation.\n");

@@ -31,6 +31,10 @@
 
 namespace fsmc {
 
+namespace obs {
+class Observer;
+} // namespace obs
+
 /// Final classification of a checker run.
 enum class Verdict {
   Pass,                   ///< Search finished (or budget ran out) bug-free.
@@ -170,6 +174,11 @@ struct CheckerOptions {
   /// already-visited state. Used only to compute the "Total States" ground
   /// truth of Table 2; implies TrackCoverage.
   bool StatefulPruning = false;
+
+  /// Observability hub (src/obs/): live sharded counters and, if its sink
+  /// is set, a structured event trace. Not owned, may outlive the run.
+  /// Null keeps every instrumentation hook down to one pointer test.
+  obs::Observer *Obs = nullptr;
 };
 
 /// A test program: a closure run as thread 0 of every execution. It may

@@ -5,6 +5,7 @@
 #include "core/FairScheduler.h"
 #include "core/LivenessMonitor.h"
 #include "core/Schedule.h"
+#include "obs/Observer.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -15,6 +16,23 @@ using namespace fsmc;
 Explorer::Explorer(const TestProgram &Program, const CheckerOptions &Opts)
     : Program(Program), Opts(Opts), Rng(Opts.Seed) {
   Strategy = SearchStrategy::create(this->Opts);
+  if (this->Opts.Obs) {
+    Obs = this->Opts.Obs;
+    Ctr = &Obs->shard(0);
+  }
+}
+
+void Explorer::setObsWorker(unsigned Worker, uint64_t StartClock) {
+  if (!Obs)
+    return;
+  ObsWorker = Worker;
+  Ctr = &Obs->shard(Worker);
+  ObsClock = StartClock;
+}
+
+void Explorer::emitEvent(obs::ObsEvent E) {
+  E.Worker = ObsWorker;
+  Obs->sink()->event(E);
 }
 
 Explorer::~Explorer() = default;
@@ -130,6 +148,25 @@ std::vector<int> Explorer::consumedPathKey() const {
 void Explorer::reportBug(Verdict V, std::string Msg, const Runtime &RT,
                          uint64_t Step) {
   ++Result.Stats.BugsFound;
+  if (Ctr) {
+    Ctr->add(obs::Counter::BugsFound);
+    if (V == Verdict::Deadlock)
+      Ctr->add(obs::Counter::Deadlocks);
+    else if (V == Verdict::Livelock)
+      Ctr->add(obs::Counter::Livelocks);
+    else if (V == Verdict::GoodSamaritanViolation)
+      Ctr->add(obs::Counter::GoodSamaritanViolations);
+    if (Obs->sink()) {
+      obs::ObsEvent E;
+      E.Kind = obs::EventKind::BugFound;
+      E.Thread = RT.failureTid();
+      E.Ts = ObsClock;
+      E.ArgA = CurExecution;
+      E.ArgB = Step;
+      E.Detail = verdictName(V);
+      emitEvent(E);
+    }
+  }
   if (Result.Bug)
     return; // Keep the first counterexample.
   BugReport B;
@@ -162,7 +199,16 @@ Explorer::ExecEnd Explorer::runOneExecution() {
   CurSteps = 0;
   CurTrace.clear();
 
-  Runtime RT(*this);
+  // Hoisted observability state: with no observer, Ctr is null and every
+  // hook below is one predictable-false branch.
+  const bool TraceT = Obs && Obs->traceTransitions();
+  const bool TimeSteps = Ctr && Obs->stepTiming();
+  const uint64_t ExecStartClock = ObsClock;
+  uint64_t LastEdgeAdds = 0, LastEdgeRemovals = 0;
+
+  Runtime::Options RTOpts;
+  RTOpts.Ctr = Ctr;
+  Runtime RT(*this, RTOpts);
   FairScheduler FS(Opts.YieldK);
   LivenessMonitor Monitor(Opts.GoodSamaritanBound);
   Monitor.beginExecution();
@@ -177,7 +223,9 @@ Explorer::ExecEnd Explorer::runOneExecution() {
   // trace) is explored on an already-visited branch.
   ThreadSet Sleep;
 
-  auto finishStats = [&]() {
+  // Runs on every way out of the execution; \p EndDetail is the stable
+  // wire name of the end class for the ExecutionEnd trace event.
+  auto finishStats = [&](const char *EndDetail) {
     if (RT.threadCount() > Result.Stats.MaxThreads)
       Result.Stats.MaxThreads = RT.threadCount();
     if (RT.syncOpCount() > Result.Stats.MaxSyncOps)
@@ -185,14 +233,30 @@ Explorer::ExecEnd Explorer::runOneExecution() {
     if (CurSteps > Result.Stats.MaxDepth)
       Result.Stats.MaxDepth = CurSteps;
     Result.Stats.FairEdgeAdditions += FS.edgeAdditions();
+    if (Ctr) {
+      Ctr->add(obs::Counter::FairEdgeAdds, FS.edgeAdditions());
+      Ctr->add(obs::Counter::FairEdgeRemovals, FS.edgeRemovals());
+      Ctr->maxGauge(obs::Gauge::MaxDepth, Result.Stats.MaxDepth);
+      if (Obs->sink()) {
+        obs::ObsEvent E;
+        E.Kind = obs::EventKind::ExecutionEnd;
+        E.Ts = ExecStartClock;
+        E.Dur = CurSteps;
+        E.ArgA = CurSteps;
+        E.Detail = EndDetail;
+        emitEvent(E);
+      }
+    }
   };
 
   while (true) {
     ThreadSet ES = RT.enabledSet();
     if (ES.empty()) {
-      finishStats();
-      if (RT.liveSet().empty())
+      if (RT.liveSet().empty()) {
+        finishStats("terminated");
         return ExecEnd::Terminated;
+      }
+      finishStats("bug");
       // Theorem 3: under fairness the schedulable set is empty only when
       // ES is, so this is a genuine deadlock, never a false one.
       std::string Blocked;
@@ -229,15 +293,18 @@ Explorer::ExecEnd Explorer::runOneExecution() {
       if (Cands.Set.empty()) {
         // Every schedulable move sleeps: this state's subtree is covered
         // by an equivalent interleaving elsewhere. Not a deadlock.
-        finishStats();
+        finishStats("pruned");
         ++Result.Stats.SleepSetPrunes;
+        if (Ctr)
+          Ctr->add(obs::Counter::SleepSetPrunes);
         return ExecEnd::Pruned;
       }
     }
 
+    bool Replaying = Cursor < ReplayLen;
     int Idx = pickIndex(Cands.Set.size(), Cands.Backtrack, Cands.PickRandom);
     if (ReplayMismatch) {
-      finishStats();
+      finishStats("bug");
       reportBug(Verdict::SafetyViolation,
                 "internal: test program is nondeterministic (replay "
                 "mismatch); stateless exploration requires determinism",
@@ -252,6 +319,8 @@ Explorer::ExecEnd Explorer::runOneExecution() {
     if (T != Prev && C.PrevEnabled && C.PrevAllowed && !C.PrevAtYield) {
       ++Preemptions;
       ++Result.Stats.Preemptions;
+      if (Ctr)
+        Ctr->add(obs::Counter::Preemptions);
     }
 
     const PendingOp Op = RT.pendingOf(T); // Copy: step() replaces it.
@@ -271,12 +340,39 @@ Explorer::ExecEnd Explorer::runOneExecution() {
       }
     }
 
-    StepStatus St = RT.step(T);
+    StepStatus St;
+    if (TimeSteps) {
+      auto T0 = std::chrono::steady_clock::now();
+      St = RT.step(T);
+      Ctr->addLatencyNs(uint64_t(std::chrono::duration_cast<
+                                     std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now() - T0)
+                                     .count()));
+    } else {
+      St = RT.step(T);
+    }
     ++CurSteps;
     ++Result.Stats.Transitions;
+    if (Ctr) {
+      ++ObsClock;
+      Ctr->add(obs::Counter::Transitions);
+      Ctr->addOp(unsigned(Op.Kind));
+      if (Replaying)
+        Ctr->add(obs::Counter::ReplaySteps);
+      if (TraceT) {
+        obs::ObsEvent E; // Kind defaults to Transition.
+        E.Thread = T;
+        E.Ts = ObsClock - 1;
+        E.Dur = 1;
+        E.Op = Op.Kind;
+        E.Object = Op.ObjectId;
+        E.ArgA = CurSteps - 1;
+        emitEvent(E);
+      }
+    }
 
     if (St == StepStatus::Failed) {
-      finishStats();
+      finishStats("bug");
       reportBug(Verdict::SafetyViolation, RT.failureMessage(), RT, CurSteps);
       return ExecEnd::Bug;
     }
@@ -284,6 +380,33 @@ Explorer::ExecEnd Explorer::runOneExecution() {
     ThreadSet ESAfter = RT.enabledSet();
     if (Opts.Fair)
       FS.onTransition(T, ES, ESAfter, WasYield);
+
+    if (TraceT && Opts.Fair) {
+      // Priority-edge churn as instant events at this transition's tick;
+      // removal (line 13) happens before addition (line 25).
+      uint64_t RemD = FS.edgeRemovals() - LastEdgeRemovals;
+      uint64_t AddD = FS.edgeAdditions() - LastEdgeAdds;
+      LastEdgeRemovals = FS.edgeRemovals();
+      LastEdgeAdds = FS.edgeAdditions();
+      if (RemD) {
+        obs::ObsEvent E;
+        E.Kind = obs::EventKind::FairEdgeRemove;
+        E.Thread = T;
+        E.Ts = ObsClock - 1;
+        E.ArgA = RemD;
+        E.ArgB = CurSteps - 1;
+        emitEvent(E);
+      }
+      if (AddD) {
+        obs::ObsEvent E;
+        E.Kind = obs::EventKind::FairEdgeAdd;
+        E.Thread = T;
+        E.Ts = ObsClock - 1;
+        E.ArgA = AddD;
+        E.ArgB = CurSteps - 1;
+        emitEvent(E);
+      }
+    }
 
     if (Opts.SleepSets) {
       // Wake every sleeper whose pending move conflicts with the executed
@@ -298,7 +421,7 @@ Explorer::ExecEnd Explorer::runOneExecution() {
     Monitor.onTransition(T, WasYield, OthersEnabled);
     if (Opts.DetectDivergence && Monitor.eagerGsViolator() >= 0) {
       Tid V = Monitor.eagerGsViolator();
-      finishStats();
+      finishStats("bug");
       reportBug(Verdict::GoodSamaritanViolation,
                 "good samaritan violation: thread " + RT.threadName(V) +
                     " ran " + std::to_string(Opts.GoodSamaritanBound) +
@@ -329,16 +452,20 @@ Explorer::ExecEnd Explorer::runOneExecution() {
           Key ^= hashU64(0xc0117e87ULL * uint64_t(NewPrev + 2));
         }
         if (!PruneKeys.insert(Key).second) {
-          finishStats();
+          finishStats("pruned");
           ++Result.Stats.PrunedExecutions;
+          if (Ctr)
+            Ctr->add(obs::Counter::StatefulPrunes);
           return ExecEnd::Pruned;
         }
       }
     }
 
     if (CutAtDepth && CurSteps >= Opts.DepthBound) {
-      finishStats();
+      finishStats("abandoned");
       ++Result.Stats.NonterminatingExecutions;
+      if (Ctr)
+        Ctr->add(obs::Counter::NonterminatingExecutions);
       return ExecEnd::Abandoned;
     }
 
@@ -346,20 +473,32 @@ Explorer::ExecEnd Explorer::runOneExecution() {
     if (Opts.DepthBound > 0 && Opts.RandomTail)
       Cap = Opts.DepthBound + Opts.RandomTailCap;
     if (Cap > 0 && CurSteps >= Cap) {
-      finishStats();
       if (Opts.DetectDivergence) {
+        finishStats("bug");
         auto Div = LivenessMonitor::classifyDivergence(CurTrace, Cap / 2);
+        if (Obs && Obs->sink()) {
+          obs::ObsEvent E;
+          E.Kind = obs::EventKind::Divergence;
+          E.Ts = ObsClock;
+          E.ArgA = CurExecution;
+          E.ArgB = CurSteps;
+          E.Detail = Div.IsGoodSamaritan ? "good_samaritan" : "livelock";
+          emitEvent(E);
+        }
         reportBug(Div.IsGoodSamaritan ? Verdict::GoodSamaritanViolation
                                       : Verdict::Livelock,
                   Div.Summary, RT, CurSteps);
         return ExecEnd::Bug;
       }
+      finishStats("abandoned");
       ++Result.Stats.NonterminatingExecutions;
+      if (Ctr)
+        Ctr->add(obs::Counter::NonterminatingExecutions);
       return ExecEnd::Abandoned;
     }
 
     if ((CurSteps & 0xfff) == 0 && timeExceeded()) {
-      finishStats();
+      finishStats("abandoned");
       Result.Stats.TimedOut = true;
       return ExecEnd::Abandoned;
     }
@@ -373,6 +512,8 @@ CheckResult Explorer::run() {
   for (CurExecution = 0;; ++CurExecution) {
     ExecEnd End = runOneExecution();
     ++Result.Stats.Executions;
+    if (Ctr)
+      Ctr->add(obs::Counter::Executions);
 
     // The hook runs on every execution (it is also how the parallel
     // driver counts executions against the shared budget); its stop

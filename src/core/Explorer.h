@@ -41,6 +41,11 @@
 
 namespace fsmc {
 
+namespace obs {
+struct ObsEvent;
+struct WorkerCounters;
+} // namespace obs
+
 /// Drives the whole search for one checker run. Also serves as the
 /// ChoiceSource that resolves Runtime::chooseInt data choices, so both
 /// scheduling and data nondeterminism share one replayable choice stack.
@@ -89,6 +94,16 @@ public:
     return SeenStates;
   }
 
+  /// Binds this explorer to observability shard \p Worker of Opts.Obs
+  /// (serial search and the replay path use shard 0; parallel workers get
+  /// 1..Jobs). \p StartClock seeds the logical trace clock so a worker
+  /// running many short-lived explorers keeps one monotonic time axis.
+  /// No-op when no observer is attached.
+  void setObsWorker(unsigned Worker, uint64_t StartClock = 0);
+
+  /// Logical transitions this explorer has run; see setObsWorker.
+  uint64_t obsClock() const { return ObsClock; }
+
   // ChoiceSource: data nondeterminism raised from inside a transition.
   int chooseInt(int N) override;
 
@@ -113,6 +128,9 @@ private:
   };
 
   ExecEnd runOneExecution();
+  /// Sends \p E to the observer's sink with this worker's identity filled
+  /// in. Call only when Obs && Obs->sink().
+  void emitEvent(obs::ObsEvent E);
   /// Advances the deepest backtrackable choice; false when exhausted.
   bool advanceStack();
   /// Resolves one choice among \p N options through the stack.
@@ -133,6 +151,15 @@ private:
   size_t FrozenLen = 0; ///< Leading records the DFS never advances past.
   bool ReplayMismatch = false;
   std::function<bool(Explorer &)> Hook;
+
+  /// Observability (all null/zero when CheckerOptions::Obs is unset; every
+  /// hot-path hook then reduces to one pointer test on Ctr).
+  obs::Observer *Obs = nullptr;
+  obs::WorkerCounters *Ctr = nullptr;
+  unsigned ObsWorker = 0;
+  /// Logical clock: transitions run by this explorer. Trace timestamps use
+  /// it instead of wall time so serial traces are byte-reproducible.
+  uint64_t ObsClock = 0;
 
   CheckResult Result;
   Trace CurTrace;

@@ -20,6 +20,7 @@ void FairScheduler::reset() {
     YieldSeen[U] = 0;
   }
   EdgeAdds = 0;
+  EdgeRemovals = 0;
 }
 
 ThreadSet FairScheduler::allowed(ThreadSet ES) const {
@@ -35,7 +36,7 @@ void FairScheduler::onTransition(Tid T, ThreadSet ESBefore, ThreadSet ESAfter,
 
   // Line 13: next.P := curr.P \ (Tid × {t}). Scheduling t satisfies any
   // obligation other threads had towards it.
-  P.removeEdgesInto(T);
+  EdgeRemovals += uint64_t(P.removeEdgesInto(T));
 
   // Lines 14-22: update the per-thread window predicates.
   for (Tid U = 0; U < MaxThreads; ++U) {

@@ -80,6 +80,12 @@ public:
   /// Total number of priority edges ever added (diagnostics/ablation).
   uint64_t edgeAdditions() const { return EdgeAdds; }
 
+  /// Total edges removed by line 13 (scheduling a thread discharges the
+  /// obligations towards it). Together with edgeAdditions this gives the
+  /// priority-graph churn rate, a live measure of how hard the fair
+  /// scheduler is working.
+  uint64_t edgeRemovals() const { return EdgeRemovals; }
+
   /// Resets to the initial state of Algorithm 1 (lines 1-4):
   /// P = ∅, E(u) = ∅, D(u) = Tid, S(u) = Tid for all u. The full initial
   /// D/S guarantee that a thread's first window only begins after its
@@ -94,6 +100,7 @@ private:
   std::array<uint32_t, MaxThreads> YieldSeen;
   int YieldK;
   uint64_t EdgeAdds = 0;
+  uint64_t EdgeRemovals = 0;
 };
 
 } // namespace fsmc

@@ -5,6 +5,7 @@
 #include "core/Explorer.h"
 #include "core/Schedule.h"
 #include "core/WorkQueue.h"
+#include "obs/Observer.h"
 
 #include <algorithm>
 #include <atomic>
@@ -127,6 +128,8 @@ CheckResult ParallelExplorer::run() {
 
   auto Start = std::chrono::steady_clock::now();
   Shared SH(/*QueueCapacity=*/size_t(Jobs) * 64);
+  if (Opts.Obs)
+    SH.Queue.setObserver(&Opts.Obs->shard(0));
   if (Opts.TimeBudgetSeconds > 0) {
     SH.HasDeadline = true;
     SH.Deadline = Start + std::chrono::duration_cast<
@@ -154,7 +157,13 @@ CheckResult ParallelExplorer::run() {
   const bool StopOnFirstBug = Opts.StopOnFirstBug;
   const size_t LowWater = size_t(Jobs);
 
-  auto WorkerMain = [&]() {
+  // Worker ids 1..Jobs: observability shard 0 stays with the driver (the
+  // work queue publishes its depth gauge there).
+  auto WorkerMain = [&](int WorkerId) {
+    obs::WorkerCounters *WCtr =
+        Opts.Obs ? &Opts.Obs->shard(unsigned(WorkerId)) : nullptr;
+    obs::EventSink *Sink = Opts.Obs ? Opts.Obs->sink() : nullptr;
+    uint64_t Clock = 0; ///< This worker's logical time across items.
     while (std::optional<WorkItem> Item = SH.Queue.pop()) {
       if (SH.StopAll.load(std::memory_order_relaxed)) {
         SH.Queue.itemDone();
@@ -182,7 +191,21 @@ CheckResult ParallelExplorer::run() {
         ItemOpts.TimeBudgetSeconds = Remaining > 0.001 ? Remaining : 0.001;
       }
 
+      if (WCtr) {
+        WCtr->add(obs::Counter::WorkItemsRun);
+        WCtr->setGauge(obs::Gauge::ActiveWorkers, 1);
+      }
+      if (Sink) {
+        obs::ObsEvent Ev;
+        Ev.Kind = obs::EventKind::WorkItemStart;
+        Ev.Worker = unsigned(WorkerId);
+        Ev.Ts = Clock;
+        Ev.ArgA = Item->Prefix.size();
+        Sink->event(Ev);
+      }
+
       Explorer E(Program, ItemOpts);
+      E.setObsWorker(unsigned(WorkerId), Clock);
       E.preloadSchedule(Item->Prefix, /*Frozen=*/true);
       E.setExecutionHook([&](Explorer &Ex) {
         uint64_t N = SH.Executions.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -211,11 +234,22 @@ CheckResult ParallelExplorer::run() {
             size_t Want = size_t(Jobs) * 2;
             E.splitWork(Prefixes, Want < Free ? Want : Free);
             if (!Prefixes.empty()) {
+              size_t Donated = Prefixes.size();
               std::vector<WorkItem> Items;
-              Items.reserve(Prefixes.size());
+              Items.reserve(Donated);
               for (auto &P : Prefixes)
                 Items.push_back(WorkItem{std::move(P)});
               SH.Queue.pushAll(std::move(Items));
+              if (WCtr)
+                WCtr->add(obs::Counter::PrefixesDonated, Donated);
+              if (Sink) {
+                obs::ObsEvent Ev;
+                Ev.Kind = obs::EventKind::Donation;
+                Ev.Worker = unsigned(WorkerId);
+                Ev.Ts = Ex.obsClock();
+                Ev.ArgA = Donated;
+                Sink->event(Ev);
+              }
             }
           }
         }
@@ -237,14 +271,19 @@ CheckResult ParallelExplorer::run() {
         if (!E.seenStates().empty())
           SH.States.insert(E.seenStates().begin(), E.seenStates().end());
       }
+      Clock = E.obsClock();
+      if (WCtr)
+        WCtr->setGauge(obs::Gauge::ActiveWorkers, 0);
       SH.Queue.itemDone();
     }
+    if (WCtr)
+      WCtr->setGauge(obs::Gauge::ActiveWorkers, 0);
   };
 
   std::vector<std::thread> Workers;
   Workers.reserve(Jobs);
   for (int I = 0; I < Jobs; ++I)
-    Workers.emplace_back(WorkerMain);
+    Workers.emplace_back(WorkerMain, I + 1);
   for (std::thread &W : Workers)
     W.join();
 

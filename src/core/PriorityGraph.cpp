@@ -12,10 +12,14 @@ ThreadSet PriorityGraph::pre(ThreadSet X) const {
   return Result;
 }
 
-void PriorityGraph::removeEdgesInto(Tid T) {
+int PriorityGraph::removeEdgesInto(Tid T) {
   assert(validTid(T) && "tid out of range");
-  for (auto &S : Succ)
+  int Removed = 0;
+  for (auto &S : Succ) {
+    Removed += S.contains(T);
     S.erase(T);
+  }
+  return Removed;
 }
 
 void PriorityGraph::addEdgesFrom(Tid From, ThreadSet Sinks) {

@@ -46,7 +46,8 @@ public:
 
   /// Removes all edges with sink \p T (line 13: P := P \ (Tid × {t})),
   /// raising T's relative priority after it is scheduled.
-  void removeEdgesInto(Tid T);
+  /// \returns the number of edges removed.
+  int removeEdgesInto(Tid T);
 
   /// Adds the edges {From} × \p Sinks (line 25), lowering From's priority
   /// below every thread it starved during the window just closed.

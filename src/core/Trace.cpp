@@ -4,6 +4,7 @@
 
 #include "runtime/Runtime.h"
 #include "support/Hashing.h"
+#include "support/OutStream.h"
 
 #include <cstdio>
 
@@ -49,6 +50,11 @@ std::string Trace::render(const Runtime &RT, size_t MaxEvents) const {
     Out += "\n";
   }
   return Out;
+}
+
+void Trace::print(OutStream &OS, const Runtime &RT, size_t MaxEvents) const {
+  std::string Text = render(RT, MaxEvents);
+  OS.write(Text.data(), Text.size());
 }
 
 uint64_t Trace::digest() const {

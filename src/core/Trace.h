@@ -25,6 +25,7 @@
 
 namespace fsmc {
 
+class OutStream;
 class Runtime;
 
 /// One transition of an execution: thread \p Thread performed the visible
@@ -59,6 +60,10 @@ public:
   /// \p RT, one per line, for inclusion in a bug report. Must be called
   /// while the execution's Runtime is still alive.
   std::string render(const Runtime &RT, size_t MaxEvents = 100) const;
+
+  /// Renders and emits the trace through \p OS as one atomic write, so a
+  /// concurrent progress line (see obs/ProgressReporter) cannot shear it.
+  void print(OutStream &OS, const Runtime &RT, size_t MaxEvents = 100) const;
 
   /// Order-sensitive hash of the whole transition sequence; used by tests
   /// to check that the explorer enumerates *distinct* executions.

@@ -2,7 +2,20 @@
 
 #include "core/WorkQueue.h"
 
+#include "obs/Counters.h"
+
 using namespace fsmc;
+
+void WorkQueue::setObserver(obs::WorkerCounters *C) {
+  std::lock_guard<std::mutex> Lock(M);
+  Ctr = C;
+  publishDepth();
+}
+
+void WorkQueue::publishDepth() {
+  if (Ctr)
+    Ctr->setGauge(obs::Gauge::WorkQueueDepth, Q.size());
+}
 
 void WorkQueue::pushAll(std::vector<WorkItem> Items) {
   if (Items.empty())
@@ -14,6 +27,7 @@ void WorkQueue::pushAll(std::vector<WorkItem> Items) {
     Outstanding += Items.size();
     for (WorkItem &I : Items)
       Q.push_back(std::move(I));
+    publishDepth();
   }
   CV.notify_all();
 }
@@ -25,6 +39,7 @@ std::optional<WorkItem> WorkQueue::pop() {
     return std::nullopt;
   WorkItem I = std::move(Q.front());
   Q.pop_front();
+  publishDepth();
   return I;
 }
 
@@ -44,6 +59,7 @@ void WorkQueue::stop() {
     Stopped = true;
     Outstanding -= Q.size();
     Q.clear();
+    publishDepth();
   }
   CV.notify_all();
 }

@@ -33,6 +33,10 @@
 
 namespace fsmc {
 
+namespace obs {
+struct WorkerCounters;
+} // namespace obs
+
 /// One unit of parallel search: the subtree of schedules below Prefix.
 struct WorkItem {
   std::vector<ScheduleChoice> Prefix;
@@ -64,7 +68,16 @@ public:
   /// signal for busy workers to donate a slice of their subtree.
   bool hungry(size_t LowWater) const;
 
+  /// Publishes the queue depth to \p Ctr's WorkQueueDepth gauge after
+  /// every mutation (the driver's shard; all writes happen under the
+  /// queue lock, so the single-writer protocol holds).
+  void setObserver(obs::WorkerCounters *Ctr);
+
 private:
+  /// Call with M held after Q changed.
+  void publishDepth();
+
+  obs::WorkerCounters *Ctr = nullptr;
   mutable std::mutex M;
   std::condition_variable CV;
   std::deque<WorkItem> Q;

@@ -1,0 +1,106 @@
+//===- obs/Counters.cpp ---------------------------------------------------===//
+
+#include "obs/Counters.h"
+
+#include "runtime/PendingOp.h"
+
+using namespace fsmc;
+using namespace fsmc::obs;
+
+static_assert(size_t(OpKind::UserOp) < OpKindSlots,
+              "OpKindSlots must cover every OpKind");
+
+const char *fsmc::obs::counterName(Counter C) {
+  switch (C) {
+  case Counter::Executions:
+    return "executions";
+  case Counter::Transitions:
+    return "transitions";
+  case Counter::Preemptions:
+    return "preemptions";
+  case Counter::ReplaySteps:
+    return "replay_steps";
+  case Counter::SchedulePoints:
+    return "schedule_points";
+  case Counter::SyncContention:
+    return "sync_contention";
+  case Counter::FairEdgeAdds:
+    return "fair_edge_adds";
+  case Counter::FairEdgeRemovals:
+    return "fair_edge_removals";
+  case Counter::SleepSetPrunes:
+    return "sleepset_prunes";
+  case Counter::StatefulPrunes:
+    return "stateful_prunes";
+  case Counter::NonterminatingExecutions:
+    return "nonterminating_executions";
+  case Counter::BugsFound:
+    return "bugs_found";
+  case Counter::Deadlocks:
+    return "deadlocks";
+  case Counter::Livelocks:
+    return "livelocks";
+  case Counter::GoodSamaritanViolations:
+    return "good_samaritan_violations";
+  case Counter::WorkItemsRun:
+    return "work_items_run";
+  case Counter::PrefixesDonated:
+    return "prefixes_donated";
+  case Counter::NumCounters:
+    break;
+  }
+  return "?";
+}
+
+const char *fsmc::obs::gaugeName(Gauge G) {
+  switch (G) {
+  case Gauge::WorkQueueDepth:
+    return "workqueue_depth";
+  case Gauge::MaxDepth:
+    return "max_depth";
+  case Gauge::ActiveWorkers:
+    return "active_workers";
+  case Gauge::NumGauges:
+    break;
+  }
+  return "?";
+}
+
+void WorkerCounters::addLatencyNs(uint64_t Ns) {
+  unsigned Bucket = 0;
+  while (Bucket + 1 < LatencyBuckets && (uint64_t(1) << (Bucket + 1)) <= Ns)
+    ++Bucket;
+  auto &A = Latency[Bucket];
+  A.store(A.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+CounterRegistry::CounterRegistry(size_t MaxWorkers)
+    : Shards(new WorkerCounters[MaxWorkers ? MaxWorkers : 1]),
+      NumShards(MaxWorkers ? MaxWorkers : 1) {}
+
+WorkerCounters &CounterRegistry::shard(unsigned Worker) {
+  return Shards[Worker < NumShards ? Worker : NumShards - 1];
+}
+
+CounterSnapshot CounterRegistry::snapshot() const {
+  CounterSnapshot S;
+  for (size_t I = 0; I < NumShards; ++I) {
+    const WorkerCounters &W = Shards[I];
+    for (size_t K = 0; K < size_t(Counter::NumCounters); ++K)
+      S.C[K] += W.C[K].load(std::memory_order_relaxed);
+    for (size_t K = 0; K < OpKindSlots; ++K) {
+      S.Ops[K] += W.Ops[K].load(std::memory_order_relaxed);
+      S.Contended[K] += W.Contended[K].load(std::memory_order_relaxed);
+    }
+    for (size_t K = 0; K < LatencyBuckets; ++K)
+      S.Latency[K] += W.Latency[K].load(std::memory_order_relaxed);
+    uint64_t Depth = W.G[size_t(Gauge::MaxDepth)].load(std::memory_order_relaxed);
+    if (Depth > S.G[size_t(Gauge::MaxDepth)])
+      S.G[size_t(Gauge::MaxDepth)] = Depth;
+    S.G[size_t(Gauge::WorkQueueDepth)] +=
+        W.G[size_t(Gauge::WorkQueueDepth)].load(std::memory_order_relaxed);
+    S.G[size_t(Gauge::ActiveWorkers)] +=
+        W.G[size_t(Gauge::ActiveWorkers)].load(std::memory_order_relaxed);
+  }
+  return S;
+}

@@ -1,0 +1,158 @@
+//===- obs/Counters.h - Per-worker-sharded search metrics ------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Live counters for the search. The paper's whole evaluation is told
+/// through search telemetry (executions, transitions, priority edges,
+/// divergence classes); SearchStats reports those post hoc, while this
+/// registry makes them observable *while the search runs* -- the substrate
+/// for the progress reporter, the stats exporter, and any future perf work.
+///
+/// Layout: one cache-line-padded shard per OS worker (shard 0 is the
+/// serial explorer / the parallel driver). Each shard has exactly one
+/// writer -- the worker that owns it -- so increments are plain
+/// load/add/store on relaxed atomics (no RMW, no contention); readers
+/// (progress reporter, exporters) sum shards at their own pace and may
+/// observe slightly stale values, which is fine for telemetry.
+///
+/// The disabled path costs nothing: code holds a WorkerCounters pointer
+/// that is null when no Observer is attached, and every instrumentation
+/// site is a single pointer test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_OBS_COUNTERS_H
+#define FSMC_OBS_COUNTERS_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace fsmc {
+namespace obs {
+
+/// The counter catalogue. Monotonic totals; see counterName() for the
+/// stable wire names used in --stats-json and the progress line.
+enum class Counter : unsigned {
+  Executions,              ///< Executions finished (any end kind).
+  Transitions,             ///< Transitions executed.
+  Preemptions,             ///< Preemptive context switches (Section 4).
+  ReplaySteps,             ///< Transitions spent re-running recorded
+                           ///< prefixes -- the stateless method's tax.
+  SchedulePoints,          ///< Visible operations published by test code.
+  SyncContention,          ///< Blocking ops that parked on a busy object.
+  FairEdgeAdds,            ///< Priority edges added (Algorithm 1 line 25).
+  FairEdgeRemovals,        ///< Priority edges removed (line 13).
+  SleepSetPrunes,          ///< Executions cut by sleep-set POR.
+  StatefulPrunes,          ///< Executions cut by the reference search.
+  NonterminatingExecutions,///< Executions abandoned at a bound.
+  BugsFound,               ///< Buggy executions (all verdict classes).
+  Deadlocks,               ///< ... of which deadlocks.
+  Livelocks,               ///< ... of which fair divergences.
+  GoodSamaritanViolations, ///< ... of which good-samaritan violations.
+  WorkItemsRun,            ///< Parallel: prefixes popped and explored.
+  PrefixesDonated,         ///< Parallel: prefixes split off for others.
+  NumCounters
+};
+
+/// Point-in-time values; unlike counters they can go down. Gauges have
+/// multiple writers (any worker may update), so they use plain relaxed
+/// stores of the new absolute value.
+enum class Gauge : unsigned {
+  WorkQueueDepth, ///< Items currently queued (parallel search).
+  MaxDepth,       ///< Deepest execution seen so far (monotonic max).
+  ActiveWorkers,  ///< Workers currently inside an execution.
+  NumGauges
+};
+
+const char *counterName(Counter C);
+const char *gaugeName(Gauge G);
+
+/// Number of power-of-two buckets in the scheduling-point latency
+/// histogram: bucket i counts steps whose latency was in [2^i, 2^(i+1))
+/// nanoseconds.
+constexpr size_t LatencyBuckets = 32;
+
+/// Number of distinct PendingOp kinds tracked per shard (must cover
+/// OpKind; checked by a static_assert in Counters.cpp).
+constexpr size_t OpKindSlots = 32;
+
+/// One worker's shard. Padded to its own cache lines so workers never
+/// false-share.
+struct alignas(64) WorkerCounters {
+  std::atomic<uint64_t> C[size_t(Counter::NumCounters)] = {};
+  std::atomic<uint64_t> G[size_t(Gauge::NumGauges)] = {};
+  /// Scheduling points by visible-operation kind (indexed by OpKind).
+  std::atomic<uint64_t> Ops[OpKindSlots] = {};
+  /// Contended blocking operations by kind.
+  std::atomic<uint64_t> Contended[OpKindSlots] = {};
+  /// log2-bucketed per-transition latency (only filled when step timing
+  /// is enabled; clock reads are not free).
+  std::atomic<uint64_t> Latency[LatencyBuckets] = {};
+
+  /// Single-writer increment: load+store, no RMW. The owning worker is
+  /// the only writer, so this never loses updates.
+  void add(Counter Id, uint64_t N = 1) {
+    auto &A = C[size_t(Id)];
+    A.store(A.load(std::memory_order_relaxed) + N, std::memory_order_relaxed);
+  }
+  void addOp(unsigned Kind, uint64_t N = 1) {
+    auto &A = Ops[Kind < OpKindSlots ? Kind : OpKindSlots - 1];
+    A.store(A.load(std::memory_order_relaxed) + N, std::memory_order_relaxed);
+  }
+  void addContended(unsigned Kind) {
+    auto &A = Contended[Kind < OpKindSlots ? Kind : OpKindSlots - 1];
+    A.store(A.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  void addLatencyNs(uint64_t Ns);
+  void setGauge(Gauge Id, uint64_t V) {
+    G[size_t(Id)].store(V, std::memory_order_relaxed);
+  }
+  /// Raises a monotonic-max gauge (e.g. MaxDepth); single writer per shard
+  /// so load+store suffices.
+  void maxGauge(Gauge Id, uint64_t V) {
+    auto &A = G[size_t(Id)];
+    if (V > A.load(std::memory_order_relaxed))
+      A.store(V, std::memory_order_relaxed);
+  }
+};
+
+/// An aggregated, coherent-enough copy of every shard, taken by readers.
+struct CounterSnapshot {
+  uint64_t C[size_t(Counter::NumCounters)] = {};
+  uint64_t G[size_t(Gauge::NumGauges)] = {};
+  uint64_t Ops[OpKindSlots] = {};
+  uint64_t Contended[OpKindSlots] = {};
+  uint64_t Latency[LatencyBuckets] = {};
+
+  uint64_t counter(Counter Id) const { return C[size_t(Id)]; }
+  uint64_t gauge(Gauge Id) const { return G[size_t(Id)]; }
+};
+
+/// The sharded registry. Sized at construction for the maximum worker
+/// count; shard(i) hands worker i its private shard.
+class CounterRegistry {
+public:
+  explicit CounterRegistry(size_t MaxWorkers);
+
+  WorkerCounters &shard(unsigned Worker);
+  size_t shardCount() const { return NumShards; }
+
+  /// Sums every shard. Gauges: WorkQueueDepth and ActiveWorkers sum
+  /// (each worker contributes its own view), MaxDepth takes the max.
+  CounterSnapshot snapshot() const;
+
+private:
+  std::unique_ptr<WorkerCounters[]> Shards;
+  size_t NumShards;
+};
+
+} // namespace obs
+} // namespace fsmc
+
+#endif // FSMC_OBS_COUNTERS_H

@@ -1,0 +1,132 @@
+//===- obs/EventSink.cpp --------------------------------------------------===//
+
+#include "obs/EventSink.h"
+
+using namespace fsmc;
+using namespace fsmc::obs;
+
+EventSink::~EventSink() = default;
+
+const char *fsmc::obs::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::Transition:
+    return "transition";
+  case EventKind::ExecutionEnd:
+    return "execution";
+  case EventKind::FairEdgeAdd:
+    return "fair_edge_add";
+  case EventKind::FairEdgeRemove:
+    return "fair_edge_remove";
+  case EventKind::Divergence:
+    return "divergence";
+  case EventKind::BugFound:
+    return "bug";
+  case EventKind::WorkItemStart:
+    return "work_item";
+  case EventKind::Donation:
+    return "donation";
+  }
+  return "?";
+}
+
+const char *fsmc::obs::eventCategory(EventKind K) {
+  switch (K) {
+  case EventKind::Transition:
+    return "transition";
+  case EventKind::ExecutionEnd:
+    return "execution";
+  case EventKind::FairEdgeAdd:
+  case EventKind::FairEdgeRemove:
+    return "fairness";
+  case EventKind::Divergence:
+  case EventKind::BugFound:
+    return "verdict";
+  case EventKind::WorkItemStart:
+  case EventKind::Donation:
+    return "par";
+  }
+  return "?";
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string &Path) {
+  F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return;
+  // Array format with a leading version record; every later line is one
+  // event object followed by a comma, so close() can append the final
+  // summary record and the terminator to form strictly valid JSON.
+  std::fputs("[\n{\"name\":\"fsmc_trace\",\"cat\":\"meta\",\"ph\":\"i\","
+             "\"s\":\"g\",\"ts\":0,\"pid\":0,\"tid\":0,"
+             "\"args\":{\"version\":1}},\n",
+             F);
+}
+
+JsonlTraceSink::~JsonlTraceSink() { close(); }
+
+void JsonlTraceSink::event(const ObsEvent &E) {
+  if (!F)
+    return;
+  char Buf[512];
+  int N = 0;
+  switch (E.Kind) {
+  case EventKind::Transition:
+    // A complete ("X") span of one logical tick per transition: the
+    // Perfetto track of worker E.Worker shows the fiber interleaving.
+    N = std::snprintf(Buf, sizeof(Buf),
+                      "{\"name\":\"%s\",\"cat\":\"transition\",\"ph\":\"X\","
+                      "\"ts\":%llu,\"dur\":1,\"pid\":%u,\"tid\":%d,"
+                      "\"args\":{\"step\":%llu,\"obj\":%d}},\n",
+                      opKindName(E.Op), (unsigned long long)E.Ts, E.Worker,
+                      E.Thread, (unsigned long long)E.ArgA, E.Object);
+    break;
+  case EventKind::ExecutionEnd:
+    N = std::snprintf(Buf, sizeof(Buf),
+                      "{\"name\":\"execution\",\"cat\":\"execution\","
+                      "\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,\"pid\":%u,"
+                      "\"tid\":%d,\"args\":{\"steps\":%llu,\"end\":\"%s\"}},\n",
+                      (unsigned long long)E.Ts, (unsigned long long)E.Dur,
+                      E.Worker, E.Thread, (unsigned long long)E.ArgA,
+                      E.Detail ? E.Detail : "?");
+    break;
+  default:
+    N = std::snprintf(
+        Buf, sizeof(Buf),
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+        "\"ts\":%llu,\"pid\":%u,\"tid\":%d,"
+        "\"args\":{\"a\":%llu,\"b\":%llu%s%s%s}},\n",
+        eventKindName(E.Kind), eventCategory(E.Kind),
+        (unsigned long long)E.Ts, E.Worker, E.Thread,
+        (unsigned long long)E.ArgA, (unsigned long long)E.ArgB,
+        E.Detail ? ",\"detail\":\"" : "", E.Detail ? E.Detail : "",
+        E.Detail ? "\"" : "");
+    break;
+  }
+  if (N <= 0)
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  std::fwrite(Buf, 1, size_t(N), F);
+  ++Emitted;
+}
+
+void JsonlTraceSink::flush() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (F)
+    std::fflush(F);
+}
+
+void JsonlTraceSink::close() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (!F || Closed) {
+    Closed = true;
+    return;
+  }
+  std::fprintf(F,
+               "{\"name\":\"fsmc_trace_end\",\"cat\":\"meta\",\"ph\":\"i\","
+               "\"s\":\"g\",\"ts\":0,\"pid\":0,\"tid\":0,"
+               "\"args\":{\"events\":%llu}}\n]\n",
+               (unsigned long long)Emitted);
+  std::fflush(F);
+  std::fclose(F);
+  F = nullptr;
+  Closed = true;
+}

@@ -1,0 +1,115 @@
+//===- obs/EventSink.h - Structured search events --------------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured events emitted by the search, and the JSONL trace exporter.
+///
+/// Events describe either the *explored tree* (transitions, execution
+/// spans, priority-edge churn, divergence classifications, bugs -- the
+/// category "transition"/"execution"/"fairness"/"verdict") or the *search
+/// engine itself* (work-item pops, donations -- category "par"). The
+/// split matters for determinism: for a fixed program, seed and options,
+/// the multiset of tree-scoped events is identical at every --jobs width
+/// (the shards partition the choice tree exactly), while engine-scoped
+/// events exist only in parallel runs. The trace-determinism tests key on
+/// this: serial traces are byte-identical, parallel traces agree on the
+/// tree-scoped multiset after stripping worker/timestamp fields.
+///
+/// Timestamps are *logical*: each worker advances its clock by one per
+/// transition. That keeps serial traces bit-reproducible (no wall clock)
+/// while still giving Perfetto a monotonic time axis per worker.
+///
+/// The exporter writes the Chrome trace_event JSON array format, one
+/// event object per line, so the file is simultaneously (a) valid JSON
+/// loadable in Perfetto / chrome://tracing and (b) line-structured for
+/// grep/jq-style processing. Execution and transition events are "X"
+/// (complete) spans; everything else is an "i" (instant) event.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_OBS_EVENTSINK_H
+#define FSMC_OBS_EVENTSINK_H
+
+#include "runtime/PendingOp.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace fsmc {
+namespace obs {
+
+/// What happened. See EventSink.cpp for the stable wire names.
+enum class EventKind : uint8_t {
+  Transition,    ///< One step: thread Tid ran op Op on object Object.
+  ExecutionEnd,  ///< An execution finished; span of the whole execution.
+  FairEdgeAdd,   ///< Priority edges added after a yield (count in ArgA).
+  FairEdgeRemove,///< Priority edges removed into the scheduled thread.
+  Divergence,    ///< Execution-bound hit; Detail holds the class.
+  BugFound,      ///< A verdict other than Pass; Detail holds its name.
+  WorkItemStart, ///< Parallel: a worker popped a prefix (depth in ArgA).
+  Donation,      ///< Parallel: prefixes split off (count in ArgA).
+};
+
+/// One event. Plain-old-data so emitting one costs a few stores.
+struct ObsEvent {
+  EventKind Kind = EventKind::Transition;
+  unsigned Worker = 0;   ///< Shard / OS worker id (pid in the trace).
+  int Thread = -1;       ///< Test-thread id (tid in the trace), -1 if n/a.
+  uint64_t Ts = 0;       ///< Logical time: transitions seen by this worker.
+  uint64_t Dur = 0;      ///< Span length in logical time (X events).
+  OpKind Op = OpKind::ThreadStart; ///< For Transition events.
+  int Object = -1;       ///< Sync-object id of the op, -1 if none.
+  uint64_t ArgA = 0;     ///< Kind-specific (step index, edge count, ...).
+  uint64_t ArgB = 0;     ///< Kind-specific.
+  const char *Detail = nullptr; ///< Static string (verdict name, ...).
+};
+
+const char *eventKindName(EventKind K);
+/// Category string for the Chrome `cat` field; engine-scoped events
+/// ("par") are excluded from cross-jobs determinism comparisons.
+const char *eventCategory(EventKind K);
+
+/// Receives events. Implementations must be thread-safe: parallel workers
+/// emit concurrently.
+class EventSink {
+public:
+  virtual ~EventSink();
+  virtual void event(const ObsEvent &E) = 0;
+  virtual void flush() {}
+};
+
+/// Writes events as a Chrome trace_event JSON array, one event per line
+/// (see file comment). The stream is valid JSON once close() runs and
+/// still loads in Perfetto if the process dies mid-trace (the array
+/// format tolerates a missing terminator).
+class JsonlTraceSink final : public EventSink {
+public:
+  /// Opens \p Path for writing; valid() reports failure.
+  explicit JsonlTraceSink(const std::string &Path);
+  ~JsonlTraceSink() override;
+
+  bool valid() const { return F != nullptr; }
+
+  void event(const ObsEvent &E) override;
+  void flush() override;
+  /// Writes the trailing summary record and the array terminator.
+  /// Idempotent; also run by the destructor.
+  void close();
+
+private:
+  std::FILE *F = nullptr;
+  std::mutex M;
+  uint64_t Emitted = 0;
+  bool Closed = false;
+};
+
+} // namespace obs
+} // namespace fsmc
+
+#endif // FSMC_OBS_EVENTSINK_H

@@ -1,0 +1,117 @@
+//===- obs/ProgressReporter.cpp -------------------------------------------===//
+
+#include "obs/ProgressReporter.h"
+
+#include "obs/Observer.h"
+#include "support/OutStream.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace fsmc;
+using namespace fsmc::obs;
+
+namespace {
+
+/// 1234567 -> "1.2M": keeps the one-line format one line.
+std::string compactCount(uint64_t V) {
+  char Buf[32];
+  if (V >= 10'000'000'000ULL)
+    std::snprintf(Buf, sizeof(Buf), "%.1fG", double(V) / 1e9);
+  else if (V >= 10'000'000ULL)
+    std::snprintf(Buf, sizeof(Buf), "%.1fM", double(V) / 1e6);
+  else if (V >= 100'000ULL)
+    std::snprintf(Buf, sizeof(Buf), "%.1fk", double(V) / 1e3);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%llu", (unsigned long long)V);
+  return Buf;
+}
+
+} // namespace
+
+ProgressReporter::ProgressReporter(const Observer &Obs, const Config &Cfg,
+                                   OutStream &OS)
+    : Obs(Obs), Cfg(Cfg), OS(OS) {
+  if (this->Cfg.IntervalSeconds <= 0)
+    this->Cfg.IntervalSeconds = 1.0;
+  Th = std::thread([this] { run(); });
+}
+
+ProgressReporter::~ProgressReporter() { stop(); }
+
+void ProgressReporter::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Stopping && !Th.joinable())
+      return;
+    Stopping = true;
+  }
+  CV.notify_all();
+  if (Th.joinable())
+    Th.join();
+}
+
+std::string ProgressReporter::formatLine(double ElapsedSeconds,
+                                         uint64_t Execs, uint64_t Trans,
+                                         double ExecRate) const {
+  CounterSnapshot S = Obs.snapshot();
+  char Head[160];
+  std::snprintf(Head, sizeof(Head), "[fsmc %.1fs] exec=%s (%.0f/s) trans=%s",
+                ElapsedSeconds, compactCount(Execs).c_str(), ExecRate,
+                compactCount(Trans).c_str());
+  std::string Line = Head;
+  Line += " depth=" + std::to_string(S.gauge(Gauge::MaxDepth));
+  Line += " edges=" + compactCount(S.counter(Counter::FairEdgeAdds));
+  if (Cfg.Jobs > 1) {
+    Line += " queue=" + std::to_string(S.gauge(Gauge::WorkQueueDepth));
+    Line += " workers=" + std::to_string(S.gauge(Gauge::ActiveWorkers)) +
+            "/" + std::to_string(Cfg.Jobs);
+  }
+  // ETA against whichever budget binds first; execution-cap ETA needs a
+  // rate to extrapolate with.
+  double Eta = -1;
+  if (Cfg.TimeBudgetSeconds > 0)
+    Eta = Cfg.TimeBudgetSeconds - ElapsedSeconds;
+  if (Cfg.MaxExecutions > 0 && ExecRate > 0.1) {
+    double CapEta = double(Cfg.MaxExecutions > Execs
+                               ? Cfg.MaxExecutions - Execs
+                               : 0) /
+                    ExecRate;
+    if (Eta < 0 || CapEta < Eta)
+      Eta = CapEta;
+  }
+  if (Eta >= 0) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), " eta=%.0fs", Eta > 0 ? Eta : 0.0);
+    Line += Buf;
+  }
+  Line += '\n';
+  return Line;
+}
+
+void ProgressReporter::run() {
+  auto Start = std::chrono::steady_clock::now();
+  uint64_t PrevExecs = 0;
+  double PrevT = 0;
+  std::unique_lock<std::mutex> Lock(M);
+  while (!Stopping) {
+    CV.wait_for(Lock, std::chrono::duration<double>(Cfg.IntervalSeconds),
+                [this] { return Stopping; });
+    if (Stopping)
+      break;
+    double T = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count();
+    CounterSnapshot S = Obs.snapshot();
+    uint64_t Execs = S.counter(Counter::Executions);
+    double Rate = T > PrevT ? double(Execs - PrevExecs) / (T - PrevT) : 0;
+    // Compose the whole line first: one write() call is atomic against
+    // the main thread's summary output.
+    std::string Line =
+        formatLine(T, Execs, S.counter(Counter::Transitions), Rate);
+    OS.write(Line.data(), Line.size());
+    OS.flush();
+    PrevExecs = Execs;
+    PrevT = T;
+  }
+}

@@ -1,0 +1,246 @@
+//===- obs/StatsJson.cpp --------------------------------------------------===//
+
+#include "obs/StatsJson.h"
+
+#include "obs/Observer.h"
+#include "runtime/PendingOp.h"
+#include "support/OutStream.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace fsmc;
+using namespace fsmc::obs;
+
+void fsmc::obs::appendJsonEscaped(std::string &Out, std::string_view S) {
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (uint8_t(Ch) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", Ch);
+        Out += Buf;
+      } else {
+        Out += Ch;
+      }
+    }
+  }
+}
+
+const char *fsmc::obs::stopReason(const CheckResult &R) {
+  if (R.foundBug())
+    return "bug_found";
+  if (R.Stats.TimedOut)
+    return "time_budget_exhausted";
+  if (R.Stats.ExecutionCapHit)
+    return "execution_cap_hit";
+  if (R.Stats.SearchExhausted)
+    return "search_exhausted";
+  return "stopped";
+}
+
+std::string fsmc::obs::budgetNote(const CheckResult &R,
+                                  const CheckerOptions &Opts) {
+  char Buf[128];
+  if (R.Stats.TimedOut) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "time budget exhausted (%.1fs); verdict covers the "
+                  "executions explored, not the full tree",
+                  Opts.TimeBudgetSeconds);
+    return Buf;
+  }
+  if (R.Stats.ExecutionCapHit) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "execution cap hit (%" PRIu64 "); verdict covers the "
+                  "executions explored, not the full tree",
+                  Opts.MaxExecutions);
+    return Buf;
+  }
+  return "";
+}
+
+namespace {
+
+const char *searchKindName(SearchKind K) {
+  switch (K) {
+  case SearchKind::Dfs:
+    return "dfs";
+  case SearchKind::ContextBounded:
+    return "context_bounded";
+  case SearchKind::RandomWalk:
+    return "random_walk";
+  }
+  return "?";
+}
+
+void appendKV(std::string &Out, const char *Key, uint64_t V, bool Comma,
+              int Indent = 4) {
+  Out.append(size_t(Indent), ' ');
+  Out += '"';
+  Out += Key;
+  Out += "\": ";
+  Out += std::to_string(V);
+  if (Comma)
+    Out += ',';
+  Out += '\n';
+}
+
+void appendKVBool(std::string &Out, const char *Key, bool V, bool Comma) {
+  Out += "    \"";
+  Out += Key;
+  Out += "\": ";
+  Out += V ? "true" : "false";
+  if (Comma)
+    Out += ',';
+  Out += '\n';
+}
+
+void appendKVStr(std::string &Out, const char *Key, std::string_view V,
+                 bool Comma, int Indent = 4) {
+  Out.append(size_t(Indent), ' ');
+  Out += '"';
+  Out += Key;
+  Out += "\": \"";
+  appendJsonEscaped(Out, V);
+  Out += '"';
+  if (Comma)
+    Out += ',';
+  Out += '\n';
+}
+
+} // namespace
+
+std::string fsmc::obs::renderStatsJson(const CheckResult &R,
+                                       const StatsJsonInfo &Info) {
+  const SearchStats &S = R.Stats;
+  std::string Out;
+  Out.reserve(2048);
+  Out += "{\n";
+  Out += "  \"schema\": 1,\n";
+  appendKVStr(Out, "program", Info.Program, true, 2);
+  appendKVStr(Out, "verdict", verdictName(R.Kind), true, 2);
+  appendKVStr(Out, "stop_reason", stopReason(R), true, 2);
+  Out += "  \"replay\": ";
+  Out += Info.Replay ? "true" : "false";
+  Out += ",\n";
+
+  if (Info.Options) {
+    const CheckerOptions &O = *Info.Options;
+    Out += "  \"options\": {\n";
+    appendKVStr(Out, "kind", searchKindName(O.Kind), true);
+    appendKVBool(Out, "fair", O.Fair, true);
+    appendKV(Out, "yield_k", uint64_t(O.YieldK), true);
+    appendKV(Out, "context_bound", uint64_t(O.ContextBound), true);
+    appendKV(Out, "depth_bound", O.DepthBound, true);
+    appendKV(Out, "execution_bound", O.ExecutionBound, true);
+    appendKV(Out, "max_executions", O.MaxExecutions, true);
+    Out += "    \"time_budget_seconds\": " +
+           std::to_string(O.TimeBudgetSeconds) + ",\n";
+    appendKV(Out, "seed", O.Seed, true);
+    appendKV(Out, "jobs", uint64_t(O.Jobs), true);
+    appendKVBool(Out, "sleep_sets", O.SleepSets, true);
+    appendKVBool(Out, "stop_on_first_bug", O.StopOnFirstBug, false);
+    Out += "  },\n";
+  }
+
+  Out += "  \"stats\": {\n";
+  appendKV(Out, "executions", S.Executions, true);
+  appendKV(Out, "transitions", S.Transitions, true);
+  appendKV(Out, "preemptions", S.Preemptions, true);
+  appendKV(Out, "nonterminating_executions", S.NonterminatingExecutions,
+           true);
+  appendKV(Out, "pruned_executions", S.PrunedExecutions, true);
+  appendKV(Out, "sleepset_prunes", S.SleepSetPrunes, true);
+  appendKV(Out, "max_depth", S.MaxDepth, true);
+  appendKV(Out, "distinct_states", S.DistinctStates, true);
+  appendKV(Out, "fair_edge_additions", S.FairEdgeAdditions, true);
+  appendKV(Out, "bugs_found", S.BugsFound, true);
+  appendKV(Out, "max_threads", uint64_t(S.MaxThreads), true);
+  appendKV(Out, "max_sync_ops", S.MaxSyncOps, true);
+  char Secs[48];
+  std::snprintf(Secs, sizeof(Secs), "    \"seconds\": %.6f,\n", S.Seconds);
+  Out += Secs;
+  appendKVBool(Out, "timed_out", S.TimedOut, true);
+  appendKVBool(Out, "execution_cap_hit", S.ExecutionCapHit, true);
+  appendKVBool(Out, "search_exhausted", S.SearchExhausted, false);
+  Out += "  },\n";
+
+  if (Info.Obs) {
+    CounterSnapshot C = Info.Obs->snapshot();
+    Out += "  \"counters\": {\n";
+    for (unsigned I = 0; I < unsigned(Counter::NumCounters); ++I)
+      appendKV(Out, counterName(Counter(I)), C.C[I], true);
+    for (unsigned I = 0; I < unsigned(Gauge::NumGauges); ++I)
+      appendKV(Out, gaugeName(Gauge(I)), C.G[I],
+               /*Comma=*/I + 1 < unsigned(Gauge::NumGauges));
+    Out += "  },\n";
+
+    // Per-op-kind scheduling points and contention, non-zero rows only.
+    Out += "  \"ops\": {\n";
+    std::string Rows;
+    for (unsigned I = 0; I < OpKindSlots; ++I) {
+      if (C.Ops[I] == 0 && C.Contended[I] == 0)
+        continue;
+      if (!Rows.empty())
+        Rows += ",\n";
+      Rows += "    \"";
+      Rows += opKindName(OpKind(I));
+      Rows += "\": { \"count\": " + std::to_string(C.Ops[I]) +
+              ", \"contended\": " + std::to_string(C.Contended[I]) + " }";
+    }
+    Out += Rows;
+    Out += "\n  },\n";
+
+    // log2 step-latency histogram, present only when step timing ran.
+    std::string Hist;
+    for (unsigned I = 0; I < LatencyBuckets; ++I) {
+      if (C.Latency[I] == 0)
+        continue;
+      if (!Hist.empty())
+        Hist += ",\n";
+      Hist += "    \"" + std::to_string(uint64_t(1) << I) +
+              "\": " + std::to_string(C.Latency[I]);
+    }
+    if (!Hist.empty()) {
+      Out += "  \"step_latency_ns\": {\n";
+      Out += Hist;
+      Out += "\n  },\n";
+    }
+  }
+
+  if (R.Bug) {
+    Out += "  \"bug\": {\n";
+    appendKVStr(Out, "kind", verdictName(R.Bug->Kind), true);
+    appendKVStr(Out, "message", R.Bug->Message, true);
+    appendKVStr(Out, "schedule", R.Bug->Schedule, true);
+    appendKV(Out, "at_execution", R.Bug->AtExecution, true);
+    appendKV(Out, "at_step", R.Bug->AtStep, false);
+    Out += "  }\n";
+  } else {
+    Out += "  \"bug\": null\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+void fsmc::obs::writeStatsJson(OutStream &OS, const CheckResult &R,
+                               const StatsJsonInfo &Info) {
+  std::string Text = renderStatsJson(R, Info);
+  OS.write(Text.data(), Text.size());
+  OS.flush();
+}

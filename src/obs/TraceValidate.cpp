@@ -1,0 +1,428 @@
+//===- obs/TraceValidate.cpp ----------------------------------------------===//
+
+#include "obs/TraceValidate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace fsmc;
+using namespace fsmc::obs;
+
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  if (T != Type::Object)
+    return nullptr;
+  for (const auto &[K, V] : Obj)
+    if (K == Key)
+      return &V;
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded view. The traces it targets
+/// are machine-written, so diagnostics carry offsets, not line numbers.
+class Parser {
+public:
+  Parser(std::string_view Text, std::string &Err) : S(Text), Err(Err) {}
+
+  bool parseValue(JsonValue &Out) {
+    skipWs();
+    if (Pos >= S.size())
+      return fail("unexpected end of input");
+    switch (S[Pos]) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"':
+      Out.T = JsonValue::Type::String;
+      return parseString(Out.Str);
+    case 't':
+      Out.T = JsonValue::Type::Bool;
+      Out.B = true;
+      return expect("true");
+    case 'f':
+      Out.T = JsonValue::Type::Bool;
+      Out.B = false;
+      return expect("false");
+    case 'n':
+      Out.T = JsonValue::Type::Null;
+      return expect("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool atEnd() {
+    skipWs();
+    return Pos >= S.size();
+  }
+
+  size_t position() const { return Pos; }
+
+private:
+  bool fail(const std::string &Msg) {
+    Err = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool expect(std::string_view Word) {
+    if (S.substr(Pos, Word.size()) != Word)
+      return fail("expected '" + std::string(Word) + "'");
+    Pos += Word.size();
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (S[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    while (Pos < S.size() && S[Pos] != '"') {
+      char Ch = S[Pos];
+      if (Ch == '\\') {
+        if (Pos + 1 >= S.size())
+          return fail("dangling escape");
+        char E = S[Pos + 1];
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'u': {
+          if (Pos + 5 >= S.size())
+            return fail("truncated \\u escape");
+          unsigned Code = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = S[Pos + 2 + I];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= unsigned(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code |= unsigned(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code |= unsigned(H - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          // Traces are ASCII; keep non-ASCII code points as '?' rather
+          // than implementing UTF-8 encoding nobody produces.
+          Out += Code < 0x80 ? char(Code) : '?';
+          Pos += 4;
+          break;
+        }
+        default:
+          return fail("unknown escape");
+        }
+        Pos += 2;
+        continue;
+      }
+      if (uint8_t(Ch) < 0x20)
+        return fail("raw control character in string");
+      Out += Ch;
+      ++Pos;
+    }
+    if (Pos >= S.size())
+      return fail("unterminated string");
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(uint8_t(S[Pos])) || S[Pos] == '.' ||
+            S[Pos] == 'e' || S[Pos] == 'E' || S[Pos] == '+' ||
+            S[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected value");
+    std::string Num(S.substr(Start, Pos - Start));
+    char *End = nullptr;
+    Out.T = JsonValue::Type::Number;
+    Out.Num = std::strtod(Num.c_str(), &End);
+    if (!End || *End != '\0')
+      return fail("malformed number '" + Num + "'");
+    return true;
+  }
+
+  bool parseObject(JsonValue &Out) {
+    Out.T = JsonValue::Type::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string Key;
+      if (Pos >= S.size() || S[Pos] != '"')
+        return fail("expected object key");
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return fail("expected ':'");
+      ++Pos;
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < S.size() && S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray(JsonValue &Out) {
+    Out.T = JsonValue::Type::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out.Arr.push_back(std::move(V));
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < S.size() && S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view S;
+  size_t Pos = 0;
+  std::string &Err;
+};
+
+bool readFile(const std::string &Path, std::string &Out, std::string &Err) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Err = "cannot read '" + Path + "'";
+    return false;
+  }
+  char Buf[16384];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return true;
+}
+
+/// Serializes \p V with object keys sorted, for order-insensitive
+/// comparison. Integral numbers print without a fraction so 5 and 5.0
+/// normalize identically.
+void serializeCanonical(const JsonValue &V, std::string &Out) {
+  switch (V.T) {
+  case JsonValue::Type::Null:
+    Out += "null";
+    return;
+  case JsonValue::Type::Bool:
+    Out += V.B ? "true" : "false";
+    return;
+  case JsonValue::Type::Number: {
+    double Int;
+    char Buf[40];
+    if (std::modf(V.Num, &Int) == 0 && std::fabs(V.Num) < 1e15)
+      std::snprintf(Buf, sizeof(Buf), "%lld", (long long)V.Num);
+    else
+      std::snprintf(Buf, sizeof(Buf), "%.17g", V.Num);
+    Out += Buf;
+    return;
+  }
+  case JsonValue::Type::String:
+    Out += '"';
+    Out += V.Str; // canonical form is for comparison, not re-parsing
+    Out += '"';
+    return;
+  case JsonValue::Type::Array:
+    Out += '[';
+    for (size_t I = 0; I < V.Arr.size(); ++I) {
+      if (I)
+        Out += ',';
+      serializeCanonical(V.Arr[I], Out);
+    }
+    Out += ']';
+    return;
+  case JsonValue::Type::Object: {
+    std::vector<const std::pair<std::string, JsonValue> *> Members;
+    Members.reserve(V.Obj.size());
+    for (const auto &M : V.Obj)
+      Members.push_back(&M);
+    std::sort(Members.begin(), Members.end(),
+              [](const auto *A, const auto *B) { return A->first < B->first; });
+    Out += '{';
+    bool First = true;
+    for (const auto *M : Members) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += '"';
+      Out += M->first;
+      Out += "\":";
+      serializeCanonical(M->second, Out);
+    }
+    Out += '}';
+    return;
+  }
+  }
+}
+
+bool isMeta(const JsonValue &Ev) {
+  const JsonValue *Cat = Ev.find("cat");
+  return Cat && Cat->T == JsonValue::Type::String && Cat->Str == "meta";
+}
+
+} // namespace
+
+bool fsmc::obs::parseJson(std::string_view Text, JsonValue &Out,
+                          std::string &Err) {
+  Parser P(Text, Err);
+  if (!P.parseValue(Out))
+    return false;
+  if (!P.atEnd()) {
+    Err = "trailing garbage at offset " + std::to_string(P.position());
+    return false;
+  }
+  return true;
+}
+
+bool fsmc::obs::parseJsonFile(const std::string &Path, JsonValue &Out,
+                              std::string &Err) {
+  std::string Text;
+  if (!readFile(Path, Text, Err))
+    return false;
+  return parseJson(Text, Out, Err);
+}
+
+bool fsmc::obs::validateTraceFile(const std::string &Path, std::string &Err,
+                                  size_t *EventCount) {
+  JsonValue Root;
+  if (!parseJsonFile(Path, Root, Err))
+    return false;
+  if (Root.T != JsonValue::Type::Array) {
+    Err = "trace is not a JSON array";
+    return false;
+  }
+  if (Root.Arr.size() < 2 || !isMeta(Root.Arr.front()) ||
+      !isMeta(Root.Arr.back())) {
+    Err = "trace lacks the leading/terminal meta records";
+    return false;
+  }
+  size_t Events = 0;
+  for (size_t I = 0; I < Root.Arr.size(); ++I) {
+    const JsonValue &Ev = Root.Arr[I];
+    auto Fail = [&](const char *Msg) {
+      Err = "event " + std::to_string(I) + ": " + Msg;
+      return false;
+    };
+    if (!Ev.isObject())
+      return Fail("not an object");
+    const JsonValue *Name = Ev.find("name");
+    const JsonValue *Cat = Ev.find("cat");
+    const JsonValue *Ph = Ev.find("ph");
+    if (!Name || Name->T != JsonValue::Type::String || Name->Str.empty())
+      return Fail("missing string 'name'");
+    if (!Cat || Cat->T != JsonValue::Type::String)
+      return Fail("missing string 'cat'");
+    if (!Ph || Ph->T != JsonValue::Type::String ||
+        (Ph->Str != "X" && Ph->Str != "i" && Ph->Str != "M"))
+      return Fail("'ph' must be one of X / i / M");
+    for (const char *Key : {"ts", "pid", "tid"}) {
+      const JsonValue *V = Ev.find(Key);
+      if (!V || V->T != JsonValue::Type::Number)
+        return Fail("missing numeric ts/pid/tid");
+    }
+    if (Ph->Str == "X") {
+      const JsonValue *Dur = Ev.find("dur");
+      if (!Dur || Dur->T != JsonValue::Type::Number)
+        return Fail("'X' event missing numeric 'dur'");
+    }
+    if (!isMeta(Ev))
+      ++Events;
+  }
+  if (EventCount)
+    *EventCount = Events;
+  return true;
+}
+
+bool fsmc::obs::loadNormalizedEvents(
+    const std::string &Path, bool StripWorkerAndTime,
+    const std::vector<std::string> &DropCategories,
+    std::vector<std::string> &Out, std::string &Err) {
+  JsonValue Root;
+  if (!parseJsonFile(Path, Root, Err))
+    return false;
+  if (Root.T != JsonValue::Type::Array) {
+    Err = "trace is not a JSON array";
+    return false;
+  }
+  for (const JsonValue &Ev : Root.Arr) {
+    if (!Ev.isObject() || isMeta(Ev))
+      continue;
+    const JsonValue *Cat = Ev.find("cat");
+    std::string CatStr =
+        Cat && Cat->T == JsonValue::Type::String ? Cat->Str : "";
+    if (std::find(DropCategories.begin(), DropCategories.end(), CatStr) !=
+        DropCategories.end())
+      continue;
+    JsonValue Stripped;
+    Stripped.T = JsonValue::Type::Object;
+    for (const auto &[K, V] : Ev.Obj) {
+      if (StripWorkerAndTime && (K == "pid" || K == "ts"))
+        continue;
+      Stripped.Obj.emplace_back(K, V);
+    }
+    std::string Line;
+    serializeCanonical(Stripped, Line);
+    Out.push_back(std::move(Line));
+  }
+  return true;
+}

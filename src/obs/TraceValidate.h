@@ -1,0 +1,71 @@
+//===- obs/TraceValidate.h - Trace schema validation -----------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained JSON parser (values, no streaming) plus validation of
+/// the JsonlTraceSink output against the schema in docs/OBSERVABILITY.md.
+/// Lives in the library, not the tests, so CI can check a trace with zero
+/// external dependencies (no Python/jq) and the CLI could grow a
+/// --validate-trace mode for free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_OBS_TRACEVALIDATE_H
+#define FSMC_OBS_TRACEVALIDATE_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsmc {
+namespace obs {
+
+/// A parsed JSON value. Object keys keep insertion order.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type T = Type::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+
+  bool isObject() const { return T == Type::Object; }
+  /// Object member lookup; null if absent or not an object.
+  const JsonValue *find(std::string_view Key) const;
+};
+
+/// Parses \p Text as a single JSON value (trailing whitespace allowed).
+/// On failure returns false and describes the problem in \p Err.
+bool parseJson(std::string_view Text, JsonValue &Out, std::string &Err);
+
+/// Reads and parses an entire file. \p Err gets "cannot read ..." or the
+/// parse diagnostic.
+bool parseJsonFile(const std::string &Path, JsonValue &Out,
+                   std::string &Err);
+
+/// Validates \p Path as a JsonlTraceSink trace: a JSON array whose
+/// elements carry name/cat/ph/ts/pid/tid with the right types, "X" events
+/// a dur, and the leading/terminal meta records present. \p EventCount
+/// (optional) receives the number of non-meta events.
+bool validateTraceFile(const std::string &Path, std::string &Err,
+                       size_t *EventCount = nullptr);
+
+/// Loads the trace and returns one canonical string per non-meta event:
+/// keys sorted, and -- when \p StripWorkerAndTime -- the pid/ts fields
+/// dropped. Events in categories listed in \p DropCategories (e.g. "par",
+/// whose events only exist in parallel runs) are skipped. This is the
+/// normalization under which a parallel trace must be a permutation of
+/// the serial one.
+bool loadNormalizedEvents(const std::string &Path, bool StripWorkerAndTime,
+                          const std::vector<std::string> &DropCategories,
+                          std::vector<std::string> &Out, std::string &Err);
+
+} // namespace obs
+} // namespace fsmc
+
+#endif // FSMC_OBS_TRACEVALIDATE_H

@@ -2,6 +2,7 @@
 
 #include "runtime/Runtime.h"
 
+#include "obs/Counters.h"
 #include "support/Hashing.h"
 
 #include <cassert>
@@ -118,6 +119,8 @@ void Runtime::schedulePoint(const PendingOp &Op) {
   TS.Pending = Op;
   if (Opts.CountOps)
     ++SyncOps;
+  if (Opts.Ctr)
+    Opts.Ctr->add(obs::Counter::SchedulePoints);
   switchToController(TS);
   assert(TS.Pending.isEnabled() &&
          "scheduler resumed a thread whose pending op is disabled");
@@ -154,6 +157,13 @@ void Runtime::fail(std::string Message) {
 int Runtime::newObjectId(std::string Name) {
   ObjectNames.push_back(std::move(Name));
   return int(ObjectNames.size()) - 1;
+}
+
+void Runtime::noteContended(OpKind Kind) {
+  if (!Opts.Ctr)
+    return;
+  Opts.Ctr->add(obs::Counter::SyncContention);
+  Opts.Ctr->addContended(unsigned(Kind));
 }
 
 void Runtime::setStateExtractor(std::function<uint64_t()> Fn) {

@@ -33,6 +33,10 @@
 
 namespace fsmc {
 
+namespace obs {
+struct WorkerCounters;
+} // namespace obs
+
 /// Resolves nondeterministic choices that arise *inside* a transition.
 ///
 /// Thread scheduling is the primary nondeterminism, handled by the explorer
@@ -68,6 +72,10 @@ public:
     /// Maximum trace length retained (0 = unlimited). Long diverging
     /// executions keep only a suffix-relevant window via the explorer.
     bool CountOps = true;
+    /// Observability shard of the worker driving this execution, or null.
+    /// When set, schedulePoint and the sync primitives' contention
+    /// notifications feed live counters (see src/obs/Counters.h).
+    obs::WorkerCounters *Ctr = nullptr;
   };
 
   explicit Runtime(ChoiceSource &Choices);
@@ -112,6 +120,11 @@ public:
 
   /// Registers a named object (mutex, variable, ...) for traces.
   int newObjectId(std::string Name);
+
+  /// Telemetry from a sync primitive: the calling thread is about to park
+  /// on a busy object (lock held, queue full, ...). One counter increment
+  /// when observability is attached; otherwise free.
+  void noteContended(OpKind Kind);
 
   /// Registers the workload's manual state-extraction function (Section
   /// 4.2.1: "we manually added facilities to extract states"). The

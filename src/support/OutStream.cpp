@@ -1,0 +1,76 @@
+//===- support/OutStream.cpp ----------------------------------------------===//
+
+#include "support/OutStream.h"
+
+#include <cinttypes>
+#include <mutex>
+
+using namespace fsmc;
+
+namespace {
+/// One mutex for every OutStream in the process: a progress line on stderr
+/// and a bug report on stdout must not shear even though they target
+/// different FILEs (terminals merge both).
+std::mutex &ioMutex() {
+  static std::mutex M;
+  return M;
+}
+} // namespace
+
+OutStream::OutStream(std::FILE *F, bool Owned) : F(F), Owned(Owned) {}
+
+OutStream::~OutStream() {
+  if (F && Owned) {
+    std::fflush(F);
+    std::fclose(F);
+  }
+}
+
+OutStream OutStream::open(const std::string &Path) {
+  return OutStream(std::fopen(Path.c_str(), "w"), /*Owned=*/true);
+}
+
+void OutStream::write(const char *Data, size_t Size) {
+  if (!F || Size == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(ioMutex());
+  std::fwrite(Data, 1, Size, F);
+}
+
+void OutStream::flush() {
+  if (!F)
+    return;
+  std::lock_guard<std::mutex> Lock(ioMutex());
+  std::fflush(F);
+}
+
+OutStream &OutStream::operator<<(uint64_t V) {
+  char Buf[24];
+  int N = std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  write(Buf, size_t(N));
+  return *this;
+}
+
+OutStream &OutStream::operator<<(int64_t V) {
+  char Buf[24];
+  int N = std::snprintf(Buf, sizeof(Buf), "%" PRId64, V);
+  write(Buf, size_t(N));
+  return *this;
+}
+
+OutStream &OutStream::operator<<(double V) {
+  char Buf[40];
+  int N = std::snprintf(Buf, sizeof(Buf), "%g", V);
+  write(Buf, size_t(N));
+  return *this;
+}
+
+OutStream &fsmc::outs() {
+  static OutStream S(stdout);
+  return S;
+}
+
+OutStream &fsmc::errs() {
+  static OutStream S(stderr);
+  return S;
+}

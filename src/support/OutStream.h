@@ -1,0 +1,86 @@
+//===- support/OutStream.h - Library output sink ---------------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A raw_ostream-style text sink. All human-readable library output --
+/// tables, bug reports, progress lines, the CLI summary -- funnels through
+/// OutStream instead of bare printf, so (a) library code never writes to
+/// stdout behind the caller's back and (b) concurrent writers (a progress
+/// reporter ticking on stderr while a worker prints a bug report) cannot
+/// interleave mid-line: every write() call is atomic with respect to other
+/// streams sharing the same underlying FILE group.
+///
+/// A single operator<< or write() call is atomic; multi-part lines built
+/// from several << calls may interleave with other threads, so concurrent
+/// writers should compose a full line first and emit it with one call
+/// (see ProgressReporter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_SUPPORT_OUTSTREAM_H
+#define FSMC_SUPPORT_OUTSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace fsmc {
+
+/// Text sink over a stdio FILE. Writes are unbuffered beyond stdio's own
+/// buffering; a process-wide mutex serializes every write across *all*
+/// OutStream instances so stdout and stderr lines never shear.
+class OutStream {
+public:
+  /// Wraps \p F; the stream does not own the FILE unless \p Owned.
+  explicit OutStream(std::FILE *F, bool Owned = false);
+  ~OutStream();
+
+  OutStream(const OutStream &) = delete;
+  OutStream &operator=(const OutStream &) = delete;
+
+  /// Opens \p Path for writing. \returns a stream whose valid() is false
+  /// on failure (writes then go nowhere).
+  static OutStream open(const std::string &Path);
+
+  bool valid() const { return F != nullptr; }
+
+  /// Writes \p Size bytes atomically with respect to other OutStreams.
+  void write(const char *Data, size_t Size);
+  void flush();
+
+  OutStream &operator<<(std::string_view S) {
+    write(S.data(), S.size());
+    return *this;
+  }
+  OutStream &operator<<(const char *S) { return *this << std::string_view(S); }
+  OutStream &operator<<(const std::string &S) {
+    return *this << std::string_view(S);
+  }
+  OutStream &operator<<(char C) {
+    write(&C, 1);
+    return *this;
+  }
+  OutStream &operator<<(uint64_t V);
+  OutStream &operator<<(int64_t V);
+  OutStream &operator<<(unsigned V) { return *this << uint64_t(V); }
+  OutStream &operator<<(int V) { return *this << int64_t(V); }
+  OutStream &operator<<(double V);
+
+private:
+  std::FILE *F;
+  bool Owned;
+};
+
+/// The process's standard output/error sinks. Library code and tools
+/// print through these, never through printf directly.
+OutStream &outs();
+OutStream &errs();
+
+} // namespace fsmc
+
+#endif // FSMC_SUPPORT_OUTSTREAM_H

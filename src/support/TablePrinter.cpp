@@ -2,6 +2,8 @@
 
 #include "support/TablePrinter.h"
 
+#include "support/OutStream.h"
+
 #include <cassert>
 #include <cstdio>
 
@@ -23,6 +25,11 @@ std::string TablePrinter::cellSeconds(double Secs) {
   else
     std::snprintf(Buf, sizeof(Buf), "%.2f", Secs);
   return Buf;
+}
+
+void TablePrinter::print(OutStream &OS) const {
+  std::string Text = render();
+  OS.write(Text.data(), Text.size());
 }
 
 std::string TablePrinter::render() const {

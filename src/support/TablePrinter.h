@@ -21,6 +21,8 @@
 
 namespace fsmc {
 
+class OutStream;
+
 /// Accumulates rows of string cells and renders them with aligned columns.
 class TablePrinter {
 public:
@@ -32,6 +34,10 @@ public:
 
   /// Renders the full table (header, separator, rows) as a string.
   std::string render() const;
+
+  /// Emits the rendered table through \p OS as one atomic write (whole
+  /// tables never interleave with concurrent progress output).
+  void print(OutStream &OS) const;
 
   /// Helpers for common cell formats.
   static std::string cell(uint64_t V) { return std::to_string(V); }

@@ -20,6 +20,7 @@ bool Barrier::arriveAndWait() {
   }
   // Park until the final participant advances the generation. The wait
   // context lives on this fiber's stack, which stays alive while parked.
+  RT.noteContended(OpKind::BarrierArrive);
   WaitCtx W{this, Generation};
   RT.schedulePoint(makeGuardedOp(OpKind::BarrierArrive, Id,
                                  &Barrier::generationAdvanced, &W,

@@ -14,6 +14,8 @@ void CondVar::wait(Mutex &M) {
   // unlock transition, before any other thread can run.
   M.unlock();
   ++Waiters;
+  if (Permits == 0)
+    RT.noteContended(OpKind::CondWait);
   RT.schedulePoint(
       makeGuardedOp(OpKind::CondWait, Id, &CondVar::hasPermit, this));
   assert(Permits > 0 && "woken without a permit");

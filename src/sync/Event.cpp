@@ -10,6 +10,8 @@ Event::Event(Reset Mode, bool InitiallySet, std::string Name)
 
 void Event::wait() {
   Runtime &RT = Runtime::current();
+  if (!SetFlag)
+    RT.noteContended(OpKind::EventWait);
   RT.schedulePoint(
       makeGuardedOp(OpKind::EventWait, Id, &Event::isSignaled, this));
   assert(SetFlag && "scheduled while event unset");

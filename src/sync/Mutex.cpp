@@ -9,6 +9,8 @@ Mutex::Mutex(std::string Name)
 
 void Mutex::lock() {
   Runtime &RT = Runtime::current();
+  if (Holder >= 0)
+    RT.noteContended(OpKind::MutexLock);
   RT.schedulePoint(makeGuardedOp(OpKind::MutexLock, Id, &Mutex::isFree, this));
   assert(Holder < 0 && "scheduled while mutex held");
   Holder = RT.self();

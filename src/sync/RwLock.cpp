@@ -9,6 +9,8 @@ RwLock::RwLock(std::string Name)
 
 void RwLock::lockShared() {
   Runtime &RT = Runtime::current();
+  if (Writer >= 0)
+    RT.noteContended(OpKind::RwReadLock);
   RT.schedulePoint(
       makeGuardedOp(OpKind::RwReadLock, Id, &RwLock::noWriter, this));
   assert(Writer < 0 && "reader admitted while writer holds the lock");
@@ -17,6 +19,8 @@ void RwLock::lockShared() {
 
 void RwLock::lockExclusive() {
   Runtime &RT = Runtime::current();
+  if (Writer >= 0 || Readers > 0)
+    RT.noteContended(OpKind::RwWriteLock);
   RT.schedulePoint(
       makeGuardedOp(OpKind::RwWriteLock, Id, &RwLock::isFree, this));
   assert(Writer < 0 && Readers == 0 && "writer admitted while lock busy");

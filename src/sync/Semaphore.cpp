@@ -11,6 +11,8 @@ Semaphore::Semaphore(int Initial, std::string Name)
 
 void Semaphore::wait() {
   Runtime &RT = Runtime::current();
+  if (Count == 0)
+    RT.noteContended(OpKind::SemWait);
   RT.schedulePoint(
       makeGuardedOp(OpKind::SemWait, Id, &Semaphore::isPositive, this));
   assert(Count > 0 && "scheduled with zero semaphore count");

@@ -34,6 +34,8 @@ bool TestThread::targetFinished(const void *Ctx) {
 void TestThread::join() {
   checkThat(joinable(), "join of a non-joinable thread");
   Runtime &R = Runtime::current();
+  if (!R.isFinished(Id))
+    R.noteContended(OpKind::Join);
   R.schedulePoint(makeGuardedOp(OpKind::Join, /*ObjectId=*/-1,
                                 &TestThread::targetFinished, this,
                                 /*Aux=*/Id));

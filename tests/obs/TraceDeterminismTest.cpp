@@ -1,0 +1,128 @@
+//===- tests/obs/TraceDeterminismTest.cpp ---------------------------------===//
+//
+// The trace-determinism contract from the obs subsystem's design notes:
+//
+//  * A serial search is fully deterministic, so running it twice with a
+//    trace sink attached produces byte-identical files (timestamps are
+//    logical, never wall clock).
+//
+//  * The prefix shards of a parallel exhaustive search partition the
+//    choice tree exactly, so the *tree-scoped* events (transitions,
+//    execution spans, fairness churn, verdicts) form the same multiset
+//    at every --jobs width once worker ids and per-worker clocks are
+//    stripped. Engine-scoped events (category "par": work-item pops,
+//    donations) exist only in parallel runs and are excluded.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+#include "obs/EventSink.h"
+#include "obs/Observer.h"
+#include "obs/TraceValidate.h"
+#include "workloads/Peterson.h"
+#include "workloads/WorkStealQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using namespace fsmc;
+using namespace fsmc::obs;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return testing::TempDir() + Name;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream F(Path, std::ios::binary);
+  std::ostringstream S;
+  S << F.rdbuf();
+  return S.str();
+}
+
+CheckResult runWithTrace(const TestProgram &Program, CheckerOptions Opts,
+                         const std::string &TracePath) {
+  JsonlTraceSink Sink(TracePath);
+  EXPECT_TRUE(Sink.valid());
+  Observer::Config OC;
+  OC.Sink = &Sink;
+  Observer Obs(OC);
+  Opts.Obs = &Obs;
+  CheckResult R = check(Program, Opts);
+  Sink.close();
+  return R;
+}
+
+/// Sorted canonical event strings with worker/timestamp fields stripped
+/// and engine-scoped ("par") events dropped.
+std::vector<std::string> normalizedMultiset(const std::string &Path) {
+  std::vector<std::string> Out;
+  std::string Err;
+  EXPECT_TRUE(loadNormalizedEvents(Path, /*StripWorkerAndTime=*/true,
+                                   {"par"}, Out, Err))
+      << Err;
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+TEST(TraceDeterminism, SerialRunsAreByteIdentical) {
+  WsqConfig C;
+  C.Stealers = 1;
+  C.Tasks = 2;
+  C.Bug = WsqBug::PopReordered;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+
+  const std::string P1 = tempPath("serial_run1.json");
+  const std::string P2 = tempPath("serial_run2.json");
+  CheckResult R1 = runWithTrace(makeWsqProgram(C), O, P1);
+  CheckResult R2 = runWithTrace(makeWsqProgram(C), O, P2);
+  ASSERT_TRUE(R1.foundBug());
+  ASSERT_TRUE(R2.foundBug());
+
+  std::string T1 = slurp(P1);
+  ASSERT_FALSE(T1.empty());
+  EXPECT_EQ(T1, slurp(P2));
+
+  std::string Err;
+  size_t Events = 0;
+  EXPECT_TRUE(validateTraceFile(P1, Err, &Events)) << Err;
+  EXPECT_GT(Events, R1.Stats.Transitions);
+}
+
+TEST(TraceDeterminism, ParallelWidthsAgreeOnTreeEvents) {
+  PetersonConfig C;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+
+  const std::string SerialPath = tempPath("det_jobs1.json");
+  O.Jobs = 1;
+  CheckResult Serial = runWithTrace(makePetersonProgram(C), O, SerialPath);
+  ASSERT_TRUE(Serial.Stats.SearchExhausted)
+      << "the multiset contract needs an exhaustive search";
+  ASSERT_FALSE(Serial.foundBug());
+  std::vector<std::string> Expected = normalizedMultiset(SerialPath);
+  ASSERT_FALSE(Expected.empty());
+
+  for (int Jobs : {2, 4}) {
+    SCOPED_TRACE("jobs=" + std::to_string(Jobs));
+    const std::string Path =
+        tempPath(("det_jobs" + std::to_string(Jobs) + ".json").c_str());
+    O.Jobs = Jobs;
+    CheckResult Par = runWithTrace(makePetersonProgram(C), O, Path);
+    EXPECT_TRUE(Par.Stats.SearchExhausted);
+    EXPECT_EQ(Par.Stats.Transitions, Serial.Stats.Transitions);
+
+    std::string Err;
+    EXPECT_TRUE(validateTraceFile(Path, Err)) << Err;
+    EXPECT_EQ(normalizedMultiset(Path), Expected);
+  }
+}
+
+} // namespace

@@ -9,12 +9,21 @@
 //   fsmc_run --program=wsq-bug1 --cb=2
 //   fsmc_run --program=dining-livelock --bound=300
 //   fsmc_run --program=minikernel --random --executions=100
+//   fsmc_run --program=wsq-bug1 --cb=2 --stats-json=- --trace-out=t.jsonl
+//
+// Exit codes: 0 = no bug found, 1 = bug found, 2 = usage/setup error.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Checker.h"
 #include "core/IterativeCheck.h"
 #include "core/Schedule.h"
+#include "obs/EventSink.h"
+#include "obs/Observer.h"
+#include "obs/ProgressReporter.h"
+#include "obs/StatsJson.h"
+#include "support/OutStream.h"
+#include "support/TablePrinter.h"
 #include "workloads/Channels.h"
 #include "workloads/DiningPhilosophers.h"
 #include "workloads/Peterson.h"
@@ -30,6 +39,7 @@
 #include <cstring>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 using namespace fsmc;
@@ -121,24 +131,88 @@ bool parseFlag(const char *Arg, const char *Name, const char **Value) {
 }
 
 int usage() {
-  std::printf(
-      "usage: fsmc_run --program=<name> [options]\n"
-      "       fsmc_run --list\n\n"
-      "options:\n"
-      "  --cb=N           context-bounded search with N preemptions\n"
-      "  --iterative=N    iterative context bounding up to N\n"
-      "  --random         random-walk search\n"
-      "  --unfair         disable the fair scheduler\n"
-      "  --depth=N        depth bound (with --unfair: the baseline mode)\n"
-      "  --bound=N        execution bound for divergence detection\n"
-      "  --executions=N   cap on executions\n"
-      "  --jobs=N         parallel search with N worker threads\n"
-      "  --seconds=S      time budget\n"
-      "  --seed=N         PRNG seed\n"
-      "  --yieldk=N       process every k-th yield\n"
-      "  --por            experimental sleep-set reduction\n"
-      "  --replay=SCHED   replay a recorded schedule (fsmc1:...)\n");
+  errs() << "usage: fsmc_run --program=<name> [options]\n"
+            "       fsmc_run --list [--stats-json=FILE|-]\n\n"
+            "search options:\n"
+            "  --cb=N           context-bounded search with N preemptions\n"
+            "  --iterative=N    iterative context bounding up to N\n"
+            "  --random         random-walk search\n"
+            "  --unfair         disable the fair scheduler\n"
+            "  --depth=N        depth bound (with --unfair: the baseline "
+            "mode)\n"
+            "  --bound=N        execution bound for divergence detection\n"
+            "  --executions=N   cap on executions\n"
+            "  --jobs=N         parallel search with N worker threads\n"
+            "  --seconds=S      time budget\n"
+            "  --seed=N         PRNG seed\n"
+            "  --yieldk=N       process every k-th yield\n"
+            "  --por            experimental sleep-set reduction\n"
+            "  --replay=SCHED   replay a recorded schedule (fsmc1:...)\n\n"
+            "observability options:\n"
+            "  --stats-json=F   machine-readable run report to file F "
+            "('-' = stdout)\n"
+            "  --trace-out=F    Chrome trace_event JSONL trace to file F "
+            "(Perfetto-loadable)\n"
+            "  --progress[=S]   live status line to stderr every S seconds "
+            "(default 1)\n"
+            "  --step-timing    fill the per-transition latency histogram\n"
+            "  --quiet          suppress the human-readable summary\n"
+            "  --verbose        also print the counter and per-op tables\n\n"
+            "exit codes: 0 = no bug found, 1 = bug found, 2 = usage error\n";
   return 2;
+}
+
+/// Appends "key:  value\n"-style summary lines, padding keys to a fixed
+/// column so the block stays aligned.
+void summaryLine(std::string &Out, const char *Key, const std::string &Val) {
+  std::string K = Key;
+  K += ':';
+  if (K.size() < 13)
+    K += std::string(13 - K.size(), ' ');
+  Out += K + Val + "\n";
+}
+
+std::string formatSeconds(double S) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3fs", S);
+  return Buf;
+}
+
+/// The --verbose counter dump: every nonzero counter and gauge, then the
+/// per-op scheduling-point table, then the latency histogram if filled.
+void printVerboseTables(const obs::CounterSnapshot &S) {
+  TablePrinter Counters({"counter", "value"});
+  for (unsigned I = 0; I < unsigned(obs::Counter::NumCounters); ++I)
+    if (uint64_t V = S.counter(obs::Counter(I)))
+      Counters.addRow({obs::counterName(obs::Counter(I)),
+                       TablePrinter::cell(V)});
+  for (unsigned I = 0; I < unsigned(obs::Gauge::NumGauges); ++I)
+    if (uint64_t V = S.gauge(obs::Gauge(I)))
+      Counters.addRow({obs::gaugeName(obs::Gauge(I)),
+                       TablePrinter::cell(V)});
+  outs() << "\ncounters:\n";
+  Counters.print(outs());
+
+  TablePrinter Ops({"op", "schedule points", "contended"});
+  for (unsigned I = 0; I <= unsigned(OpKind::UserOp); ++I)
+    if (S.Ops[I] || S.Contended[I])
+      Ops.addRow({opKindName(OpKind(I)), TablePrinter::cell(S.Ops[I]),
+                  TablePrinter::cell(S.Contended[I])});
+  outs() << "\nscheduling points by op:\n";
+  Ops.print(outs());
+
+  bool AnyLatency = false;
+  for (uint64_t V : S.Latency)
+    AnyLatency |= V != 0;
+  if (AnyLatency) {
+    TablePrinter Lat({"step latency (ns)", "count"});
+    for (size_t I = 0; I < obs::LatencyBuckets; ++I)
+      if (S.Latency[I])
+        Lat.addRow({"< " + std::to_string(uint64_t(1) << (I + 1)),
+                    TablePrinter::cell(S.Latency[I])});
+    outs() << "\nstep latency histogram:\n";
+    Lat.print(outs());
+  }
 }
 
 } // namespace
@@ -147,9 +221,16 @@ int main(int Argc, char **Argv) {
   auto Programs = catalogue();
   std::string ProgramName;
   std::string Replay;
+  std::string StatsJsonPath;
+  std::string TraceOutPath;
   CheckerOptions Opts;
   int Iterative = -1;
   bool List = false;
+  bool Progress = false;
+  double ProgressSeconds = 1.0;
+  bool Quiet = false;
+  bool Verbose = false;
+  bool StepTiming = false;
 
   for (int I = 1; I < Argc; ++I) {
     const char *V = nullptr;
@@ -175,11 +256,10 @@ int main(int Argc, char **Argv) {
     else if (parseFlag(Argv[I], "--jobs", &V)) {
       Opts.Jobs = std::atoi(V);
       if (Opts.Jobs < 1) {
-        std::fprintf(stderr, "--jobs must be >= 1\n");
+        errs() << "--jobs must be >= 1\n";
         return usage();
       }
-    }
-    else if (parseFlag(Argv[I], "--seconds", &V))
+    } else if (parseFlag(Argv[I], "--seconds", &V))
       Opts.TimeBudgetSeconds = std::atof(V);
     else if (parseFlag(Argv[I], "--seed", &V))
       Opts.Seed = std::strtoull(V, nullptr, 10);
@@ -189,53 +269,170 @@ int main(int Argc, char **Argv) {
       Opts.SleepSets = true;
     else if (parseFlag(Argv[I], "--replay", &V))
       Replay = V;
+    else if (parseFlag(Argv[I], "--stats-json", &V)) {
+      if (!*V) {
+        errs() << "--stats-json needs a file name (or '-')\n";
+        return usage();
+      }
+      StatsJsonPath = V;
+    } else if (parseFlag(Argv[I], "--trace-out", &V)) {
+      if (!*V) {
+        errs() << "--trace-out needs a file name\n";
+        return usage();
+      }
+      TraceOutPath = V;
+    } else if (parseFlag(Argv[I], "--progress", &V)) {
+      Progress = true;
+      if (*V) {
+        ProgressSeconds = std::atof(V);
+        if (ProgressSeconds <= 0) {
+          errs() << "--progress interval must be > 0\n";
+          return usage();
+        }
+      }
+    } else if (parseFlag(Argv[I], "--step-timing", &V))
+      StepTiming = true;
+    else if (parseFlag(Argv[I], "--quiet", &V))
+      Quiet = true;
+    else if (parseFlag(Argv[I], "--verbose", &V))
+      Verbose = true;
     else {
-      std::fprintf(stderr, "unknown option: %s\n", Argv[I]);
+      errs() << "unknown option: " << Argv[I] << "\n";
       return usage();
     }
   }
 
   if (List) {
-    for (const auto &[Name, _] : Programs)
-      std::printf("%s\n", Name.c_str());
+    if (!StatsJsonPath.empty()) {
+      // Machine-readable program list, mirroring the stats-json schema.
+      std::string Out = "{\n  \"schema\": 1,\n  \"programs\": [";
+      bool First = true;
+      for (const auto &[Name, _] : Programs) {
+        Out += First ? "\n    \"" : ",\n    \"";
+        obs::appendJsonEscaped(Out, Name);
+        Out += '"';
+        First = false;
+      }
+      Out += "\n  ]\n}\n";
+      if (StatsJsonPath == "-") {
+        outs() << Out;
+      } else {
+        OutStream F = OutStream::open(StatsJsonPath);
+        if (!F.valid()) {
+          errs() << "cannot open " << StatsJsonPath << " for writing\n";
+          return 2;
+        }
+        F << Out;
+      }
+    } else {
+      std::string Out;
+      for (const auto &[Name, _] : Programs)
+        Out += Name + "\n";
+      outs() << Out;
+    }
     return 0;
   }
   auto It = Programs.find(ProgramName);
   if (It == Programs.end()) {
-    std::fprintf(stderr, "unknown program '%s' (try --list)\n",
-                 ProgramName.c_str());
+    errs() << "unknown program '" << ProgramName << "' (try --list)\n";
     return usage();
   }
   TestProgram Program = It->second();
+
+  // Observability: one Observer per run, attached through CheckerOptions.
+  // Created whenever any consumer of its counters/events is requested.
+  std::unique_ptr<obs::JsonlTraceSink> Sink;
+  if (!TraceOutPath.empty()) {
+    Sink = std::make_unique<obs::JsonlTraceSink>(TraceOutPath);
+    if (!Sink->valid()) {
+      errs() << "cannot open " << TraceOutPath << " for writing\n";
+      return 2;
+    }
+  }
+  std::unique_ptr<obs::Observer> Obs;
+  if (Sink || !StatsJsonPath.empty() || Progress || Verbose || StepTiming) {
+    obs::Observer::Config OC;
+    OC.Sink = Sink.get();
+    OC.StepTiming = StepTiming;
+    Obs = std::make_unique<obs::Observer>(OC);
+    Opts.Obs = Obs.get();
+  }
+
+  std::unique_ptr<obs::ProgressReporter> Reporter;
+  if (Progress && Obs) {
+    obs::ProgressReporter::Config PC;
+    PC.IntervalSeconds = ProgressSeconds;
+    PC.TimeBudgetSeconds = Opts.TimeBudgetSeconds;
+    PC.MaxExecutions = Opts.MaxExecutions;
+    PC.Jobs = Opts.Jobs;
+    Reporter = std::make_unique<obs::ProgressReporter>(*Obs, PC, errs());
+  }
 
   CheckResult R;
   if (!Replay.empty()) {
     R = replaySchedule(Program, Opts, Replay);
   } else if (Iterative >= 0) {
     IterativeCheckResult IR = iterativeCheck(Program, Opts, Iterative);
-    for (const IterationResult &Step : IR.PerBound)
-      std::printf("cb=%d: %s (%llu executions, %.2fs)\n", Step.Bound,
-                  verdictName(Step.Result.Kind),
-                  (unsigned long long)Step.Result.Stats.Executions,
-                  Step.Result.Stats.Seconds);
+    if (!Quiet)
+      for (const IterationResult &Step : IR.PerBound) {
+        char Buf[128];
+        std::snprintf(Buf, sizeof(Buf), "cb=%d: %s (%llu executions, %.2fs)\n",
+                      Step.Bound, verdictName(Step.Result.Kind),
+                      (unsigned long long)Step.Result.Stats.Executions,
+                      Step.Result.Stats.Seconds);
+        outs() << Buf;
+      }
     R = IR.Final;
   } else {
     R = check(Program, Opts);
   }
 
-  std::printf("program:     %s\n", Program.Name.c_str());
-  std::printf("verdict:     %s\n", verdictName(R.Kind));
-  std::printf("executions:  %llu%s\n",
-              (unsigned long long)R.Stats.Executions,
-              R.Stats.SearchExhausted ? " (search exhausted)" : "");
-  std::printf("transitions: %llu\n", (unsigned long long)R.Stats.Transitions);
-  std::printf("states:      %llu\n",
-              (unsigned long long)R.Stats.DistinctStates);
-  std::printf("time:        %.3fs\n", R.Stats.Seconds);
-  if (R.Bug) {
-    std::printf("bug:         %s\n", R.Bug->Message.c_str());
-    std::printf("schedule:    %s\n", R.Bug->Schedule.c_str());
-    std::printf("trace suffix:\n%s", R.Bug->TraceText.c_str());
+  // Quiesce the background output before printing the summary, and seal
+  // the trace so it is valid JSON even if the summary path throws.
+  Reporter.reset();
+  if (Sink)
+    Sink->close();
+
+  if (!Quiet) {
+    std::string Out;
+    summaryLine(Out, "program", Program.Name);
+    summaryLine(Out, "verdict", verdictName(R.Kind));
+    summaryLine(Out, "executions",
+                std::to_string(R.Stats.Executions) +
+                    (R.Stats.SearchExhausted ? " (search exhausted)" : ""));
+    summaryLine(Out, "transitions", std::to_string(R.Stats.Transitions));
+    summaryLine(Out, "states", std::to_string(R.Stats.DistinctStates));
+    summaryLine(Out, "time", formatSeconds(R.Stats.Seconds));
+    summaryLine(Out, "stop reason", obs::stopReason(R));
+    std::string Note = obs::budgetNote(R, Opts);
+    if (!Note.empty())
+      summaryLine(Out, "note", Note);
+    if (R.Bug) {
+      summaryLine(Out, "bug", R.Bug->Message);
+      summaryLine(Out, "schedule", R.Bug->Schedule);
+      Out += "trace suffix:\n" + R.Bug->TraceText;
+    }
+    outs() << Out;
+    if (Verbose && Obs)
+      printVerboseTables(Obs->snapshot());
+  }
+
+  if (!StatsJsonPath.empty()) {
+    obs::StatsJsonInfo Info;
+    Info.Program = Program.Name;
+    Info.Options = &Opts;
+    Info.Obs = Obs.get();
+    Info.Replay = !Replay.empty();
+    if (StatsJsonPath == "-") {
+      obs::writeStatsJson(outs(), R, Info);
+    } else {
+      OutStream F = OutStream::open(StatsJsonPath);
+      if (!F.valid()) {
+        errs() << "cannot open " << StatsJsonPath << " for writing\n";
+        return 2;
+      }
+      obs::writeStatsJson(F, R, Info);
+    }
   }
   return R.foundBug() ? 1 : 0;
 }

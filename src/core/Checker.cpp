@@ -4,7 +4,9 @@
 
 #include "core/Explorer.h"
 #include "core/ParallelExplorer.h"
+#include "core/Sandbox.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace fsmc;
@@ -21,8 +23,33 @@ const char *fsmc::verdictName(Verdict V) {
     return "livelock";
   case Verdict::GoodSamaritanViolation:
     return "good samaritan violation";
+  case Verdict::Divergence:
+    return "divergence";
+  case Verdict::Crash:
+    return "crash";
+  case Verdict::Hang:
+    return "hang";
   }
   return "?";
+}
+
+void fsmc::mergeSearchStats(SearchStats &Into, const SearchStats &From) {
+  Into.Executions += From.Executions;
+  Into.Transitions += From.Transitions;
+  Into.Preemptions += From.Preemptions;
+  Into.NonterminatingExecutions += From.NonterminatingExecutions;
+  Into.PrunedExecutions += From.PrunedExecutions;
+  Into.SleepSetPrunes += From.SleepSetPrunes;
+  Into.MaxDepth = std::max(Into.MaxDepth, From.MaxDepth);
+  Into.FairEdgeAdditions += From.FairEdgeAdditions;
+  Into.BugsFound += From.BugsFound;
+  Into.MaxThreads = std::max(Into.MaxThreads, From.MaxThreads);
+  Into.MaxSyncOps = std::max(Into.MaxSyncOps, From.MaxSyncOps);
+  Into.Divergences += From.Divergences;
+  Into.DivergenceRetries += From.DivergenceRetries;
+  Into.Crashes += From.Crashes;
+  Into.Hangs += From.Hangs;
+  Into.Checkpoints += From.Checkpoints;
 }
 
 CheckResult fsmc::check(const TestProgram &Program,
@@ -35,6 +62,12 @@ CheckResult fsmc::check(const TestProgram &Program,
     Effective.MaxExecutions = 10000;
   if (Effective.StatefulPruning || Effective.ExportStateSignatures)
     Effective.TrackCoverage = true;
+
+  // Process isolation forces serial exploration (the frontier must live in
+  // one parent); stateful pruning stays in-process because prune keys
+  // cannot cross the fork boundary.
+  if (Effective.Isolate == IsolationMode::Batch && !Effective.StatefulPruning)
+    return runSandboxed(Program, Effective);
 
   if (Effective.Jobs > 1) {
     ParallelExplorer PE(Program, Effective);

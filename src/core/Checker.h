@@ -23,8 +23,10 @@
 #ifndef FSMC_CORE_CHECKER_H
 #define FSMC_CORE_CHECKER_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,6 +37,8 @@ namespace obs {
 class Observer;
 } // namespace obs
 
+struct CheckpointState;
+
 /// Final classification of a checker run.
 enum class Verdict {
   Pass,                   ///< Search finished (or budget ran out) bug-free.
@@ -44,6 +48,14 @@ enum class Verdict {
   Livelock,               ///< Divergence on a fair execution (outcome 3).
   GoodSamaritanViolation, ///< A thread scheduled forever without yielding
                           ///< (outcome 2; Section 4.3.1's bug class).
+  Divergence,             ///< The test program is nondeterministic beyond
+                          ///< scheduling/chooseInt: a recorded schedule did
+                          ///< not replay even after the configured retries.
+                          ///< A checker limitation, never a workload bug.
+  Crash,                  ///< Sandboxed execution died on a signal or
+                          ///< unexpected exit (--isolate=batch only).
+  Hang,                   ///< Sandboxed execution made no progress for the
+                          ///< watchdog timeout and was killed.
 };
 
 const char *verdictName(Verdict V);
@@ -96,9 +108,35 @@ struct SearchStats {
   int MaxThreads = 0;        ///< Table 1 "Threads".
   uint64_t MaxSyncOps = 0;   ///< Table 1 "Synch Ops".
   double Seconds = 0;
+  /// Schedule prefixes discarded because they would not replay even after
+  /// the configured retries (robustness layer; see docs/ROBUSTNESS.md).
+  uint64_t Divergences = 0;
+  /// Re-executions spent trying to get a mismatching prefix to replay.
+  uint64_t DivergenceRetries = 0;
+  /// Sandboxed executions that died on a signal / unexpected exit.
+  uint64_t Crashes = 0;
+  /// Sandboxed executions killed by the hang watchdog.
+  uint64_t Hangs = 0;
+  /// Checkpoints written (periodic + on interrupt).
+  uint64_t Checkpoints = 0;
   bool TimedOut = false;        ///< Time budget exhausted.
   bool ExecutionCapHit = false; ///< MaxExecutions reached.
   bool SearchExhausted = false; ///< DFS enumerated every execution.
+  bool Interrupted = false;     ///< Stopped by CheckerOptions::InterruptFlag.
+};
+
+/// Accumulates \p From into \p Into: counters add, maxima take the max.
+/// Budget flags (TimedOut &c.) stay owned by the aggregating driver and
+/// are not merged. Shared by the parallel driver, the sandbox parent, and
+/// checkpoint resume.
+void mergeSearchStats(SearchStats &Into, const SearchStats &From);
+
+/// Where test-program code runs relative to the checker (--isolate=).
+enum class IsolationMode {
+  Off,   ///< In-process; a workload crash kills the checker (fast path).
+  Batch, ///< Fork a worker per batch of executions; crashes and hangs are
+         ///< harvested as Verdict::Crash / Verdict::Hang with a repro
+         ///< schedule, and the search continues (core/Sandbox.h).
 };
 
 /// Knobs for one checker run. Defaults give the paper's configuration:
@@ -179,6 +217,35 @@ struct CheckerOptions {
   /// is set, a structured event trace. Not owned, may outlive the run.
   /// Null keeps every instrumentation hook down to one pointer test.
   obs::Observer *Obs = nullptr;
+
+  //===--- Robustness layer (docs/ROBUSTNESS.md) -------------------------===//
+
+  /// Run test-program code in forked child processes so workload crashes
+  /// and hangs cannot kill the search. Forces serial exploration (like
+  /// RandomWalk, Jobs is ignored); StatefulPruning falls back to the
+  /// in-process path because prune keys cannot cross process boundaries.
+  IsolationMode Isolate = IsolationMode::Off;
+  /// Executions per forked worker under IsolationMode::Batch; batching
+  /// amortizes the fork cost.
+  int SandboxBatchSize = 64;
+  /// Sandbox watchdog: a child that produces no progress records for this
+  /// long is SIGKILLed and the execution recorded as Verdict::Hang. Must
+  /// exceed the wall time of the slowest single execution.
+  double HangTimeoutSeconds = 10.0;
+  /// A recorded prefix that fails to replay (the workload is
+  /// nondeterministic beyond scheduling/chooseInt) is re-executed this
+  /// many times before being discarded under Verdict::Divergence.
+  int DivergenceRetries = 3;
+  /// Invoke CheckpointSink every this many executions (0 = never). The
+  /// checkpoint captures the DFS frontier so the search can be resumed
+  /// with resumeCheck (core/Checkpoint.h).
+  uint64_t CheckpointEvery = 0;
+  std::function<void(const CheckpointState &)> CheckpointSink;
+  /// Cooperative interrupt: when non-null and set (e.g. from a SIGINT
+  /// handler), the search stops at the next execution boundary, marks
+  /// Stats.Interrupted, and returns a resume checkpoint in
+  /// CheckResult::Resume.
+  std::atomic<bool> *InterruptFlag = nullptr;
 };
 
 /// A test program: a closure run as thread 0 of every execution. It may
@@ -197,8 +264,18 @@ struct CheckResult {
   /// Sorted distinct state signatures; filled only when
   /// CheckerOptions::ExportStateSignatures is set.
   std::vector<uint64_t> StateSignatures;
+  /// Every crash/hang the sandbox harvested (Bug holds the first workload
+  /// bug, or the first incident when no real bug was found).
+  std::vector<BugReport> Incidents;
+  /// Set when the run stopped on InterruptFlag: everything needed to
+  /// continue the search via resumeCheck (core/Checkpoint.h).
+  std::shared_ptr<CheckpointState> Resume;
 
-  bool foundBug() const { return Kind != Verdict::Pass; }
+  /// True for workload bugs. Divergence is a checker limitation and Crash
+  /// and Hang count: a workload that dies under sandboxing is buggy.
+  bool foundBug() const {
+    return Kind != Verdict::Pass && Kind != Verdict::Divergence;
+  }
 };
 
 /// Runs the fair stateless model checker on \p Program under \p Opts.

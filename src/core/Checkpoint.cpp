@@ -1,0 +1,428 @@
+//===- core/Checkpoint.cpp ------------------------------------------------===//
+
+#include "core/Checkpoint.h"
+
+#include "core/Explorer.h"
+#include "core/ParallelExplorer.h"
+#include "core/Sandbox.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace fsmc;
+
+static const char *CheckpointMagic = "fsmc-ckpt 1";
+
+namespace {
+
+/// Stable wire tokens for Verdict in checkpoint files (independent of
+/// verdictName, whose strings contain spaces).
+const char *verdictWire(Verdict V) {
+  switch (V) {
+  case Verdict::Pass:
+    return "pass";
+  case Verdict::SafetyViolation:
+    return "safety";
+  case Verdict::Deadlock:
+    return "deadlock";
+  case Verdict::Livelock:
+    return "livelock";
+  case Verdict::GoodSamaritanViolation:
+    return "goodsam";
+  case Verdict::Divergence:
+    return "divergence";
+  case Verdict::Crash:
+    return "crash";
+  case Verdict::Hang:
+    return "hang";
+  }
+  return "pass";
+}
+
+bool parseVerdictWire(const std::string &S, Verdict &V) {
+  if (S == "pass")
+    V = Verdict::Pass;
+  else if (S == "safety")
+    V = Verdict::SafetyViolation;
+  else if (S == "deadlock")
+    V = Verdict::Deadlock;
+  else if (S == "livelock")
+    V = Verdict::Livelock;
+  else if (S == "goodsam")
+    V = Verdict::GoodSamaritanViolation;
+  else if (S == "divergence")
+    V = Verdict::Divergence;
+  else if (S == "crash")
+    V = Verdict::Crash;
+  else if (S == "hang")
+    V = Verdict::Hang;
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
+std::vector<std::vector<ScheduleChoice>>
+fsmc::decomposeUnitToFrozenPrefixes(const CheckpointUnit &U) {
+  std::vector<std::vector<ScheduleChoice>> Out;
+  if (U.FrozenLen >= U.Prefix.size()) {
+    Out.push_back(U.Prefix);
+    return Out;
+  }
+  // The unit's stack is the replay prefix of the next execution a serial
+  // explorer would run. Its remainder is that complete path's subtree
+  // (the stack itself, fully frozen) plus every untried larger sibling at
+  // each advanceable record -- the splitWork carve-up, done statically.
+  Out.push_back(U.Prefix);
+  for (size_t I = U.FrozenLen; I < U.Prefix.size(); ++I) {
+    const ScheduleChoice &C = U.Prefix[I];
+    if (!C.Backtrack || C.Chosen + 1 >= C.Num)
+      continue;
+    for (int Alt = C.Chosen + 1; Alt < C.Num; ++Alt) {
+      std::vector<ScheduleChoice> P(U.Prefix.begin(),
+                                    U.Prefix.begin() + long(I));
+      P.push_back({Alt, C.Num, C.Backtrack});
+      Out.push_back(std::move(P));
+    }
+  }
+  return Out;
+}
+
+std::string fsmc::encodeCheckpoint(const CheckpointState &CK,
+                                   const std::string &Program,
+                                   uint64_t Seed) {
+  std::ostringstream OS;
+  OS << CheckpointMagic << "\n";
+  OS << "program " << Program << "\n";
+  OS << "seed " << Seed << "\n";
+  OS << "rng " << CK.Rng << "\n";
+  const SearchStats &S = CK.Stats;
+  OS << "stat executions " << S.Executions << "\n";
+  OS << "stat transitions " << S.Transitions << "\n";
+  OS << "stat preemptions " << S.Preemptions << "\n";
+  OS << "stat nonterminating_executions " << S.NonterminatingExecutions
+     << "\n";
+  OS << "stat pruned_executions " << S.PrunedExecutions << "\n";
+  OS << "stat sleep_set_prunes " << S.SleepSetPrunes << "\n";
+  OS << "stat max_depth " << S.MaxDepth << "\n";
+  OS << "stat fair_edge_additions " << S.FairEdgeAdditions << "\n";
+  OS << "stat bugs_found " << S.BugsFound << "\n";
+  OS << "stat max_threads " << S.MaxThreads << "\n";
+  OS << "stat max_sync_ops " << S.MaxSyncOps << "\n";
+  OS << "stat divergences " << S.Divergences << "\n";
+  OS << "stat divergence_retries " << S.DivergenceRetries << "\n";
+  OS << "stat crashes " << S.Crashes << "\n";
+  OS << "stat hangs " << S.Hangs << "\n";
+  OS << "stat checkpoints " << S.Checkpoints << "\n";
+  if (CK.Bug) {
+    OS << "bug " << verdictWire(CK.Bug->Kind) << " " << CK.Bug->AtExecution
+       << " " << CK.Bug->AtStep << " " << CK.Bug->Schedule << "\n";
+    // The message is free text: keep it on one line.
+    std::string Msg = CK.Bug->Message;
+    std::replace(Msg.begin(), Msg.end(), '\n', ' ');
+    OS << "bugmsg " << Msg << "\n";
+  }
+  OS << "states " << CK.States.size();
+  OS << std::hex;
+  for (uint64_t St : CK.States)
+    OS << " " << St;
+  OS << std::dec << "\n";
+  for (const CheckpointUnit &U : CK.Frontier)
+    OS << "unit " << U.FrozenLen << " " << encodeSchedule(U.Prefix) << "\n";
+  OS << "end\n";
+  return OS.str();
+}
+
+bool fsmc::decodeCheckpoint(const std::string &Text, CheckpointState &CK,
+                            std::string &Program, uint64_t &Seed,
+                            std::string &Err) {
+  CK = CheckpointState();
+  Program.clear();
+  Seed = 0;
+  std::istringstream IS(Text);
+  std::string Line;
+  if (!std::getline(IS, Line) || Line != CheckpointMagic) {
+    Err = "not a checkpoint file (missing '" + std::string(CheckpointMagic) +
+          "' header)";
+    return false;
+  }
+  bool SawEnd = false;
+  while (std::getline(IS, Line)) {
+    if (Line.empty())
+      continue;
+    if (Line == "end") {
+      SawEnd = true;
+      break;
+    }
+    std::istringstream LS(Line);
+    std::string Key;
+    LS >> Key;
+    if (Key == "program") {
+      LS >> std::ws;
+      std::getline(LS, Program);
+    } else if (Key == "seed") {
+      LS >> Seed;
+    } else if (Key == "rng") {
+      LS >> CK.Rng;
+    } else if (Key == "stat") {
+      std::string Name;
+      uint64_t Val = 0;
+      LS >> Name >> Val;
+      SearchStats &S = CK.Stats;
+      if (Name == "executions")
+        S.Executions = Val;
+      else if (Name == "transitions")
+        S.Transitions = Val;
+      else if (Name == "preemptions")
+        S.Preemptions = Val;
+      else if (Name == "nonterminating_executions")
+        S.NonterminatingExecutions = Val;
+      else if (Name == "pruned_executions")
+        S.PrunedExecutions = Val;
+      else if (Name == "sleep_set_prunes")
+        S.SleepSetPrunes = Val;
+      else if (Name == "max_depth")
+        S.MaxDepth = Val;
+      else if (Name == "fair_edge_additions")
+        S.FairEdgeAdditions = Val;
+      else if (Name == "bugs_found")
+        S.BugsFound = Val;
+      else if (Name == "max_threads")
+        S.MaxThreads = int(Val);
+      else if (Name == "max_sync_ops")
+        S.MaxSyncOps = Val;
+      else if (Name == "divergences")
+        S.Divergences = Val;
+      else if (Name == "divergence_retries")
+        S.DivergenceRetries = Val;
+      else if (Name == "crashes")
+        S.Crashes = Val;
+      else if (Name == "hangs")
+        S.Hangs = Val;
+      else if (Name == "checkpoints")
+        S.Checkpoints = Val;
+      // Unknown stat keys are skipped for forward compatibility.
+    } else if (Key == "bug") {
+      std::string KindTok, Schedule;
+      uint64_t AtExec = 0, AtStep = 0;
+      LS >> KindTok >> AtExec >> AtStep >> Schedule;
+      BugReport B;
+      if (!parseVerdictWire(KindTok, B.Kind)) {
+        Err = "bad bug verdict '" + KindTok + "'";
+        return false;
+      }
+      B.AtExecution = AtExec;
+      B.AtStep = AtStep;
+      B.Schedule = Schedule;
+      CK.Bug = std::move(B);
+    } else if (Key == "bugmsg") {
+      if (CK.Bug) {
+        LS >> std::ws;
+        std::getline(LS, CK.Bug->Message);
+      }
+    } else if (Key == "states") {
+      size_t N = 0;
+      LS >> N;
+      CK.States.reserve(N);
+      LS >> std::hex;
+      for (size_t I = 0; I < N; ++I) {
+        uint64_t V = 0;
+        if (!(LS >> V)) {
+          Err = "truncated states line";
+          return false;
+        }
+        CK.States.push_back(V);
+      }
+    } else if (Key == "unit") {
+      CheckpointUnit U;
+      std::string Sched;
+      LS >> U.FrozenLen >> Sched;
+      if (!decodeSchedule(Sched, U.Prefix)) {
+        Err = "malformed unit schedule '" + Sched + "'";
+        return false;
+      }
+      if (U.FrozenLen > U.Prefix.size()) {
+        Err = "unit frozen length exceeds prefix";
+        return false;
+      }
+      CK.Frontier.push_back(std::move(U));
+    }
+    // Unknown keys are skipped for forward compatibility.
+  }
+  if (!SawEnd) {
+    Err = "truncated checkpoint (missing 'end' marker)";
+    return false;
+  }
+  CK.Stats.DistinctStates = CK.States.size();
+  return true;
+}
+
+bool fsmc::writeCheckpointFile(const std::string &Path,
+                               const CheckpointState &CK,
+                               const std::string &Program, uint64_t Seed) {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OS)
+      return false;
+    OS << encodeCheckpoint(CK, Program, Seed);
+    OS.flush();
+    if (!OS)
+      return false;
+  }
+  return std::rename(Tmp.c_str(), Path.c_str()) == 0;
+}
+
+bool fsmc::readCheckpointFile(const std::string &Path, CheckpointState &CK,
+                              std::string &Program, uint64_t &Seed,
+                              std::string &Err) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS) {
+    Err = "cannot open checkpoint file '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  return decodeCheckpoint(Buf.str(), CK, Program, Seed, Err);
+}
+
+CheckResult fsmc::resumeCheck(const TestProgram &Program,
+                              const CheckerOptions &Opts,
+                              const CheckpointState &CK) {
+  CheckerOptions Effective = Opts;
+  if (Effective.Kind == SearchKind::RandomWalk &&
+      Effective.MaxExecutions == 0 && Effective.TimeBudgetSeconds <= 0)
+    Effective.MaxExecutions = 10000;
+  if (Effective.StatefulPruning || Effective.ExportStateSignatures)
+    Effective.TrackCoverage = true;
+
+  auto Start = std::chrono::steady_clock::now();
+
+  if (CK.Frontier.empty()) {
+    // The checkpoint was taken exactly at exhaustion; nothing to run.
+    CheckResult R;
+    R.Stats = CK.Stats;
+    R.Stats.SearchExhausted = true;
+    R.Stats.DistinctStates = CK.States.size();
+    if (CK.Bug) {
+      R.Bug = *CK.Bug;
+      R.Kind = CK.Bug->Kind;
+    }
+    if (Effective.ExportStateSignatures)
+      R.StateSignatures = CK.States;
+    return R;
+  }
+
+  if (Effective.Jobs > 1 && Effective.Kind != SearchKind::RandomWalk &&
+      !Effective.StatefulPruning &&
+      Effective.Isolate != IsolationMode::Batch) {
+    ParallelExplorer PE(Program, Effective);
+    PE.resumeFrom(CK);
+    return PE.run();
+  }
+
+  // Serial (optionally sandboxed) chain over the frontier units. Stats,
+  // coverage, the RNG and the first-bug slot thread through from unit to
+  // unit, so the aggregate equals one uninterrupted run.
+  CheckResult Agg;
+  Agg.Stats = CK.Stats;
+  Agg.Stats.TimedOut = false;
+  Agg.Stats.ExecutionCapHit = false;
+  Agg.Stats.SearchExhausted = false;
+  Agg.Stats.Interrupted = false;
+  uint64_t Rng = CK.Rng ? CK.Rng : Effective.Seed;
+  std::vector<uint64_t> States = CK.States;
+  std::optional<BugReport> Bug;
+  if (CK.Bug)
+    Bug = *CK.Bug;
+
+  for (size_t U = 0; U < CK.Frontier.size(); ++U) {
+    CheckerOptions SubOpts = Effective;
+    if (Effective.TimeBudgetSeconds > 0) {
+      double Remaining =
+          Effective.TimeBudgetSeconds -
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        Start)
+              .count();
+      SubOpts.TimeBudgetSeconds = Remaining > 0.001 ? Remaining : 0.001;
+    }
+    if (Effective.CheckpointSink) {
+      // A periodic checkpoint inside one unit must also carry the units
+      // not yet started, or resuming from it would lose them.
+      SubOpts.CheckpointSink = [&Effective, &CK,
+                                U](const CheckpointState &S) {
+        CheckpointState Full = S;
+        for (size_t V = U + 1; V < CK.Frontier.size(); ++V)
+          Full.Frontier.push_back(CK.Frontier[V]);
+        Effective.CheckpointSink(Full);
+      };
+    }
+
+    CheckResult R;
+    if (Effective.Isolate == IsolationMode::Batch) {
+      SandboxResumeContext RC;
+      RC.BaseStats = &Agg.Stats;
+      RC.BaseStates = &States;
+      RC.BaseBug = Bug ? &*Bug : nullptr;
+      RC.Rng = Rng;
+      // Under TrackCoverage the sandbox always fills StateSignatures
+      // (sorted union including the base), so coverage chains across
+      // units exactly like the in-process path; RC.Rng comes back as the
+      // final PRNG state for the same reason.
+      R = runSandboxed(Program, SubOpts, &CK.Frontier[U].Prefix,
+                       CK.Frontier[U].FrozenLen, &RC);
+      if (SubOpts.TrackCoverage)
+        States = R.StateSignatures;
+      Rng = RC.Rng;
+    } else {
+      Explorer E(Program, SubOpts);
+      E.preloadScheduleFrozenPrefix(CK.Frontier[U].Prefix,
+                                    CK.Frontier[U].FrozenLen);
+      E.preloadBaseStats(Agg.Stats);
+      E.setRngState(Rng);
+      if (SubOpts.TrackCoverage)
+        E.preloadSeenStates(States);
+      if (Bug)
+        E.preloadBug(*Bug);
+      R = E.run();
+      Rng = E.rngState();
+      if (SubOpts.TrackCoverage)
+        States.assign(E.seenStates().begin(), E.seenStates().end());
+    }
+
+    Agg.Stats = R.Stats; // Cumulative: the explorer ran on top of Agg.
+    if (R.Bug)
+      Bug = R.Bug;
+    Agg.Incidents.insert(Agg.Incidents.end(), R.Incidents.begin(),
+                         R.Incidents.end());
+
+    if (R.Stats.Interrupted && R.Resume) {
+      for (size_t V = U + 1; V < CK.Frontier.size(); ++V)
+        R.Resume->Frontier.push_back(CK.Frontier[V]);
+      Agg.Resume = R.Resume;
+      break;
+    }
+    if (R.Stats.TimedOut || R.Stats.ExecutionCapHit)
+      break;
+    if (R.foundBug() && Effective.StopOnFirstBug)
+      break;
+  }
+
+  if (Bug) {
+    Agg.Bug = *Bug;
+    Agg.Kind = Bug->Kind;
+  }
+  Agg.Stats.DistinctStates = States.size();
+  if (Effective.ExportStateSignatures) {
+    std::sort(States.begin(), States.end());
+    Agg.StateSignatures = std::move(States);
+  }
+  Agg.Stats.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Agg;
+}

@@ -1,0 +1,102 @@
+//===- core/Checkpoint.h - Search checkpoint and resume --------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checkpointing for long unattended runs (the multi-week Dryad/APE runs
+/// of the paper's Section 6 are the motivating scale): the complete
+/// remaining search is a set of schedule prefixes -- the stateless
+/// method's whole state between executions is the DFS choice stack -- so
+/// a checkpoint is small, versioned text, and resuming from it visits
+/// exactly the executions an uninterrupted run would have visited.
+///
+/// A serial explorer checkpoints its raw DFS stack (one unit, nothing
+/// frozen: the resumed explorer may advance any record). The parallel
+/// driver checkpoints the union of every worker's splitWork donation plus
+/// the queued work items (all fully frozen subtree prefixes). Format and
+/// invariants: docs/ROBUSTNESS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_CORE_CHECKPOINT_H
+#define FSMC_CORE_CHECKPOINT_H
+
+#include "core/Checker.h"
+#include "core/Schedule.h"
+
+#include <string>
+#include <vector>
+
+namespace fsmc {
+
+/// One unexplored region of the choice tree.
+struct CheckpointUnit {
+  std::vector<ScheduleChoice> Prefix;
+  /// Leading records the resumed explorer must not advance or pop:
+  /// Prefix.size() for a donated subtree prefix (the search is confined
+  /// below it), 0 for a serial DFS stack (every record is advanceable).
+  size_t FrozenLen = 0;
+};
+
+/// Everything needed to continue a search: written by
+/// CheckerOptions::CheckpointSink / returned in CheckResult::Resume.
+struct CheckpointState {
+  /// Cumulative totals at save time; resume continues from these so
+  /// budgets (MaxExecutions) and reports span the whole logical run.
+  SearchStats Stats;
+  /// Unexplored frontier. Empty means the search was already complete.
+  std::vector<CheckpointUnit> Frontier;
+  /// Serial explorer PRNG state (random tails / random walks); chained
+  /// through on in-process serial resume only.
+  uint64_t Rng = 0;
+  /// Coverage signatures seen so far (sorted), so DistinctStates and the
+  /// exported signature set match an uninterrupted run.
+  std::vector<uint64_t> States;
+  /// First (DFS-smallest so far) bug of a StopOnFirstBug=false run that
+  /// checkpointed after finding it. TraceText is not persisted -- replay
+  /// the schedule to regenerate it.
+  std::optional<BugReport> Bug;
+};
+
+/// Rewrites \p U as fully frozen subtree prefixes: the unit's own stack
+/// (confining a worker below the complete path) plus one prefix per
+/// untried sibling alternative -- the same carve-up Explorer::splitWork
+/// performs on a live stack. Already-frozen units pass through unchanged.
+/// The parallel driver uses this to shard a serial checkpoint.
+std::vector<std::vector<ScheduleChoice>>
+decomposeUnitToFrozenPrefixes(const CheckpointUnit &U);
+
+/// Stable text encoding, version tag "fsmc-ckpt 1". \p Program and
+/// \p Seed identify the run; resume refuses a mismatched program name.
+std::string encodeCheckpoint(const CheckpointState &CK,
+                             const std::string &Program, uint64_t Seed);
+
+/// Parses encodeCheckpoint output. \returns false on malformed or
+/// wrong-version input with a diagnostic in \p Err.
+bool decodeCheckpoint(const std::string &Text, CheckpointState &CK,
+                      std::string &Program, uint64_t &Seed,
+                      std::string &Err);
+
+/// Atomically (write-temp-then-rename) writes the checkpoint file.
+bool writeCheckpointFile(const std::string &Path, const CheckpointState &CK,
+                         const std::string &Program, uint64_t Seed);
+
+/// Reads a checkpoint file; false with \p Err set on any failure.
+bool readCheckpointFile(const std::string &Path, CheckpointState &CK,
+                        std::string &Program, uint64_t &Seed,
+                        std::string &Err);
+
+/// Continues a checkpointed search to completion (or the next budget /
+/// interrupt). \p Opts must carry the same semantics-affecting knobs
+/// (Fair, YieldK, Kind, bounds, Seed) as the original run; stats and
+/// coverage are cumulative across the original and resumed parts.
+CheckResult resumeCheck(const TestProgram &Program,
+                        const CheckerOptions &Opts,
+                        const CheckpointState &CK);
+
+} // namespace fsmc
+
+#endif // FSMC_CORE_CHECKPOINT_H

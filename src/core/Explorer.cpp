@@ -2,6 +2,7 @@
 
 #include "core/Explorer.h"
 
+#include "core/Checkpoint.h"
 #include "core/FairScheduler.h"
 #include "core/LivenessMonitor.h"
 #include "core/Schedule.h"
@@ -63,18 +64,24 @@ int Explorer::pickIndex(int N, bool Backtrack, bool PickRandom) {
     ChoiceRec &R = Stack[Cursor];
     if (R.Num != N) {
       // The test program diverged from its own replay: it is
-      // nondeterministic beyond scheduling and chooseInt, which the
-      // stateless method cannot handle.
+      // nondeterministic beyond scheduling and chooseInt. The attempt is
+      // abandoned (ExecEnd::Diverged) with the stack untouched, so the
+      // driver can retry the prefix before discarding it.
       ReplayMismatch = true;
+      MismatchIdx = Cursor;
       ++Cursor;
       return 0;
     }
     ++Cursor;
+    if (StreamCb)
+      StreamCb(R.Chosen, R.Num, R.Backtrack);
     return R.Chosen;
   }
   int Chosen = PickRandom ? Rng.nextBelow(N) : 0;
   Stack.push_back({Chosen, N, Backtrack});
   ++Cursor;
+  if (StreamCb)
+    StreamCb(Chosen, N, Backtrack);
   return Chosen;
 }
 
@@ -105,6 +112,67 @@ void Explorer::preloadSchedule(const std::vector<ScheduleChoice> &Choices,
     Stack.push_back({C.Chosen, C.Num, C.Backtrack});
   if (Frozen)
     FrozenLen = Stack.size();
+}
+
+void Explorer::preloadScheduleFrozenPrefix(
+    const std::vector<ScheduleChoice> &Choices, size_t FrozenPrefixLen) {
+  assert(FrozenPrefixLen <= Choices.size() && "frozen prefix too long");
+  preloadSchedule(Choices, /*Frozen=*/false);
+  FrozenLen = FrozenPrefixLen;
+}
+
+void Explorer::preloadBaseStats(const SearchStats &Base) {
+  assert(Result.Stats.Executions == 0 && "preloadBaseStats must precede run()");
+  Result.Stats = Base;
+  Result.Stats.TimedOut = false;
+  Result.Stats.ExecutionCapHit = false;
+  Result.Stats.SearchExhausted = false;
+  Result.Stats.Interrupted = false;
+  Result.Stats.Seconds = 0;
+}
+
+void Explorer::preloadSeenStates(const std::vector<uint64_t> &States) {
+  SeenStates.insert(States.begin(), States.end());
+}
+
+void Explorer::preloadBug(const BugReport &B) {
+  Result.Bug = B;
+  Result.Kind = B.Kind;
+}
+
+std::vector<ScheduleChoice> Explorer::currentStackSnapshot() const {
+  std::vector<ScheduleChoice> Out;
+  Out.reserve(Stack.size());
+  for (const ChoiceRec &R : Stack)
+    Out.push_back({R.Chosen, R.Num, R.Backtrack});
+  return Out;
+}
+
+std::optional<std::vector<ScheduleChoice>> Explorer::nextFrontier() {
+  if (!advanceStack())
+    return std::nullopt;
+  return currentStackSnapshot();
+}
+
+void Explorer::setChoiceStream(
+    std::function<void(int Chosen, int Num, bool Backtrack)> CB) {
+  StreamCb = std::move(CB);
+}
+
+std::shared_ptr<CheckpointState> Explorer::makeCheckpointState() const {
+  auto CK = std::make_shared<CheckpointState>();
+  CK->Stats = Result.Stats;
+  CK->Stats.Interrupted = false; // Flags describe a run, not a checkpoint.
+  CK->Stats.DistinctStates = SeenStates.size();
+  CK->Rng = Rng.state();
+  CheckpointUnit U;
+  U.Prefix = currentStackSnapshot();
+  U.FrozenLen = FrozenLen;
+  CK->Frontier.push_back(std::move(U));
+  CK->States.assign(SeenStates.begin(), SeenStates.end());
+  std::sort(CK->States.begin(), CK->States.end());
+  CK->Bug = Result.Bug; // Only set under StopOnFirstBug=false.
+  return CK;
 }
 
 void Explorer::setExecutionHook(std::function<bool(Explorer &)> H) {
@@ -161,7 +229,7 @@ void Explorer::reportBug(Verdict V, std::string Msg, const Runtime &RT,
       E.Kind = obs::EventKind::BugFound;
       E.Thread = RT.failureTid();
       E.Ts = ObsClock;
-      E.ArgA = CurExecution;
+      E.ArgA = Result.Stats.Executions;
       E.ArgB = Step;
       E.Detail = verdictName(V);
       emitEvent(E);
@@ -173,7 +241,10 @@ void Explorer::reportBug(Verdict V, std::string Msg, const Runtime &RT,
   B.Kind = V;
   B.Message = std::move(Msg);
   B.TraceText = CurTrace.render(RT, 120);
-  B.AtExecution = CurExecution;
+  // Stats.Executions counts completed executions, so during the buggy one
+  // it equals the 0-based index (and stays correct across resumed or
+  // sandboxed run parts, where a base count is preloaded).
+  B.AtExecution = Result.Stats.Executions;
   B.AtStep = Step;
   // Serialize the consumed choice prefix so the schedule can be replayed.
   std::vector<ScheduleChoice> Choices;
@@ -304,12 +375,12 @@ Explorer::ExecEnd Explorer::runOneExecution() {
     bool Replaying = Cursor < ReplayLen;
     int Idx = pickIndex(Cands.Set.size(), Cands.Backtrack, Cands.PickRandom);
     if (ReplayMismatch) {
-      finishStats("bug");
-      reportBug(Verdict::SafetyViolation,
-                "internal: test program is nondeterministic (replay "
-                "mismatch); stateless exploration requires determinism",
-                RT, CurSteps);
-      return ExecEnd::Bug;
+      // Nondeterminism beyond scheduling/chooseInt. A mismatch can only
+      // fire in the replay region, so the stack is exactly as it was at
+      // the start of the execution: the driver retries it verbatim up to
+      // Opts.DivergenceRetries times before discarding the subtree.
+      finishStats("diverged");
+      return ExecEnd::Diverged;
     }
     Tid T = nthMember(Cands.Set, Idx);
 
@@ -369,6 +440,15 @@ Explorer::ExecEnd Explorer::runOneExecution() {
         E.ArgA = CurSteps - 1;
         emitEvent(E);
       }
+    }
+
+    if (ReplayMismatch) {
+      // A chooseInt inside this transition mismatched its recording. The
+      // whole execution is poisoned -- later choices were misapplied --
+      // so divergence outranks anything the transition appeared to do,
+      // including failing an assertion or ending the program.
+      finishStats("diverged");
+      return ExecEnd::Diverged;
     }
 
     if (St == StepStatus::Failed) {
@@ -433,7 +513,8 @@ Explorer::ExecEnd Explorer::runOneExecution() {
 
     if (Opts.TrackCoverage || Opts.StatefulPruning) {
       uint64_t Sig = RT.stateSignature();
-      SeenStates.insert(Sig);
+      if (SeenStates.insert(Sig).second && LogStates)
+        StateLog.push_back(Sig);
       // Pruning decisions are made only beyond the replayed prefix; the
       // prefix's states were inserted by the earlier execution that
       // explored it.
@@ -480,7 +561,7 @@ Explorer::ExecEnd Explorer::runOneExecution() {
           obs::ObsEvent E;
           E.Kind = obs::EventKind::Divergence;
           E.Ts = ObsClock;
-          E.ArgA = CurExecution;
+          E.ArgA = Result.Stats.Executions;
           E.ArgB = CurSteps;
           E.Detail = Div.IsGoodSamaritan ? "good_samaritan" : "livelock";
           emitEvent(E);
@@ -497,10 +578,17 @@ Explorer::ExecEnd Explorer::runOneExecution() {
       return ExecEnd::Abandoned;
     }
 
-    if ((CurSteps & 0xfff) == 0 && timeExceeded()) {
-      finishStats("abandoned");
-      Result.Stats.TimedOut = true;
-      return ExecEnd::Abandoned;
+    if ((CurSteps & 0xfff) == 0) {
+      if (Opts.InterruptFlag &&
+          Opts.InterruptFlag->load(std::memory_order_relaxed)) {
+        finishStats("abandoned");
+        return ExecEnd::Interrupted;
+      }
+      if (timeExceeded()) {
+        finishStats("abandoned");
+        Result.Stats.TimedOut = true;
+        return ExecEnd::Abandoned;
+      }
     }
 
     Prev = (St == StepStatus::Finished) ? -1 : T;
@@ -509,9 +597,50 @@ Explorer::ExecEnd Explorer::runOneExecution() {
 
 CheckResult Explorer::run() {
   StartTime = std::chrono::steady_clock::now();
+  int RetriesLeft = Opts.DivergenceRetries;
   for (CurExecution = 0;; ++CurExecution) {
     ExecEnd End = runOneExecution();
+
+    if (End == ExecEnd::Interrupted) {
+      // Mid-execution interrupt: the attempt does not count. Drop its
+      // fresh pushes so the resume frontier re-runs it from the top.
+      Stack.resize(ReplayLen);
+      Result.Stats.Interrupted = true;
+      Result.Resume = makeCheckpointState();
+      break;
+    }
+
+    if (End == ExecEnd::Diverged) {
+      // Replay mismatch: not an execution. Retry the identical prefix
+      // (transient nondeterminism often clears); after the retry budget,
+      // charge one divergence and discard the subtree at the mismatch.
+      ReplayMismatch = false;
+      if (RetriesLeft > 0) {
+        --RetriesLeft;
+        ++Result.Stats.DivergenceRetries;
+        if (Ctr)
+          Ctr->add(obs::Counter::DivergenceRetries);
+        continue;
+      }
+      RetriesLeft = Opts.DivergenceRetries;
+      ++Result.Stats.Divergences;
+      if (Ctr)
+        Ctr->add(obs::Counter::Divergences);
+      if (MismatchIdx < Stack.size())
+        Stack.resize(MismatchIdx);
+      if (timeExceeded()) {
+        Result.Stats.TimedOut = true;
+        break;
+      }
+      if (Stack.size() <= FrozenLen || !advanceStack()) {
+        Result.Stats.SearchExhausted = true;
+        break;
+      }
+      continue;
+    }
+
     ++Result.Stats.Executions;
+    RetriesLeft = Opts.DivergenceRetries;
     if (Ctr)
       Ctr->add(obs::Counter::Executions);
 
@@ -534,11 +663,35 @@ CheckResult Explorer::run() {
     }
     if (HookStop)
       break;
+    if (Opts.InterruptFlag &&
+        Opts.InterruptFlag->load(std::memory_order_relaxed)) {
+      // Clean boundary: advance past the finished execution first so the
+      // resume frontier holds exactly the unexplored remainder.
+      if (advanceStack()) {
+        Result.Stats.Interrupted = true;
+        Result.Resume = makeCheckpointState();
+      } else {
+        Result.Stats.SearchExhausted = true;
+      }
+      break;
+    }
     if (!advanceStack()) {
       Result.Stats.SearchExhausted = true;
       break;
     }
+    if (Opts.CheckpointEvery && Opts.CheckpointSink &&
+        Result.Stats.Executions % Opts.CheckpointEvery == 0) {
+      ++Result.Stats.Checkpoints;
+      if (Ctr)
+        Ctr->add(obs::Counter::Checkpoints);
+      Opts.CheckpointSink(*makeCheckpointState());
+    }
   }
+  if (Result.Kind == Verdict::Pass && Result.Stats.Divergences > 0 &&
+      Result.Stats.Executions == 0)
+    // Nothing ever replayed: the whole request (typically a single
+    // --replay) diverged. Not a workload bug -- foundBug() is false.
+    Result.Kind = Verdict::Divergence;
   Result.Stats.DistinctStates = SeenStates.size();
   if (Opts.ExportStateSignatures) {
     Result.StateSignatures.assign(SeenStates.begin(), SeenStates.end());

@@ -36,6 +36,7 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
@@ -45,6 +46,8 @@ namespace obs {
 struct ObsEvent;
 struct WorkerCounters;
 } // namespace obs
+
+struct CheckpointState;
 
 /// Drives the whole search for one checker run. Also serves as the
 /// ChoiceSource that resolves Runtime::chooseInt data choices, so both
@@ -67,6 +70,55 @@ public:
   /// the choice tree across workers.
   void preloadSchedule(const std::vector<struct ScheduleChoice> &Choices,
                        bool Frozen = false);
+
+  /// preloadSchedule freezing only the first \p FrozenLen records: the
+  /// rest of the preloaded stack stays advanceable. This is how a resumed
+  /// or sandboxed search re-enters the middle of a frozen subtree.
+  void preloadScheduleFrozenPrefix(
+      const std::vector<struct ScheduleChoice> &Choices, size_t FrozenLen);
+
+  /// Starts this run's statistics from \p Base instead of zero, so a
+  /// resumed search reports cumulative totals and budget checks
+  /// (MaxExecutions) span the original and resumed parts. Budget flags
+  /// (TimedOut &c.) are cleared. Must precede run().
+  void preloadBaseStats(const SearchStats &Base);
+
+  /// Seeds the coverage table with signatures from an earlier run part,
+  /// so DistinctStates and exported signatures stay cumulative.
+  void preloadSeenStates(const std::vector<uint64_t> &States);
+
+  /// Seeds the first-counterexample slot from an earlier run part
+  /// (StopOnFirstBug=false resume), so a later bug cannot displace it.
+  void preloadBug(const BugReport &B);
+
+  /// Also record newly inserted state signatures in insertion order
+  /// (stateLog); the sandbox child streams coverage deltas from it.
+  void enableStateLog() { LogStates = true; }
+  const std::vector<uint64_t> &stateLog() const { return StateLog; }
+
+  /// PRNG state accessors for checkpoint/resume and batch chaining.
+  uint64_t rngState() const { return Rng.state(); }
+  void setRngState(uint64_t S) { Rng.setState(S); }
+
+  /// Live statistics; valid from the execution hook.
+  const SearchStats &currentStats() const { return Result.Stats; }
+
+  /// The DFS stack as schedule choices (Donated records excluded from
+  /// nothing -- this is the raw stack). Valid from the execution hook or
+  /// after run().
+  std::vector<struct ScheduleChoice> currentStackSnapshot() const;
+
+  /// Advances the stack past the last executed path and returns it -- the
+  /// replay prefix of the next execution this explorer would have run.
+  /// std::nullopt when the (sub)tree is exhausted. Call only after run()
+  /// returned without itself advancing (hook stop, budget stop, bug
+  /// stop); the sandbox parent uses it to chain batches.
+  std::optional<std::vector<struct ScheduleChoice>> nextFrontier();
+
+  /// Streams every non-forced choice as it resolves (replayed or fresh):
+  /// the sandbox probe uses this to recover the exact stack of a crashing
+  /// execution from outside the process.
+  void setChoiceStream(std::function<void(int Chosen, int Num, bool Backtrack)> CB);
 
   /// Invoked after every execution (before the DFS stack advances).
   /// Returning false stops the search without marking it exhausted --
@@ -110,10 +162,13 @@ public:
 private:
   /// How one execution ended.
   enum class ExecEnd {
-    Terminated, ///< All threads finished.
-    Bug,        ///< A violation was reported.
-    Abandoned,  ///< Cut at a bound (counted as nonterminating) or timeout.
-    Pruned,     ///< Stateful reference search reached a visited state.
+    Terminated,  ///< All threads finished.
+    Bug,         ///< A violation was reported.
+    Abandoned,   ///< Cut at a bound (counted as nonterminating) or timeout.
+    Pruned,      ///< Stateful reference search reached a visited state.
+    Diverged,    ///< Replay mismatch: the attempt does not count as an
+                 ///< execution; the stack is untouched and retriable.
+    Interrupted, ///< InterruptFlag observed mid-execution; not counted.
   };
 
   /// One entry of the DFS choice stack.
@@ -128,6 +183,10 @@ private:
   };
 
   ExecEnd runOneExecution();
+  /// Snapshot of the whole search state for CheckpointSink /
+  /// CheckResult::Resume: stats, the current stack as one non-frozen
+  /// frontier unit, RNG state, and sorted coverage signatures.
+  std::shared_ptr<CheckpointState> makeCheckpointState() const;
   /// Sends \p E to the observer's sink with this worker's identity filled
   /// in. Call only when Obs && Obs->sink().
   void emitEvent(obs::ObsEvent E);
@@ -150,7 +209,11 @@ private:
   size_t ReplayLen = 0; ///< Stack records present when the execution began.
   size_t FrozenLen = 0; ///< Leading records the DFS never advances past.
   bool ReplayMismatch = false;
+  size_t MismatchIdx = 0; ///< Stack index where replay diverged.
   std::function<bool(Explorer &)> Hook;
+  std::function<void(int, int, bool)> StreamCb;
+  bool LogStates = false;
+  std::vector<uint64_t> StateLog;
 
   /// Observability (all null/zero when CheckerOptions::Obs is unset; every
   /// hot-path hook then reduces to one pointer test on Ctr).

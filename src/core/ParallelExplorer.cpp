@@ -2,6 +2,7 @@
 
 #include "core/ParallelExplorer.h"
 
+#include "core/Checkpoint.h"
 #include "core/Explorer.h"
 #include "core/Schedule.h"
 #include "core/WorkQueue.h"
@@ -40,25 +41,6 @@ std::vector<int> pathKeyOfSchedule(const std::string &Schedule) {
   return Key;
 }
 
-/// Sums / maxes worker-shard statistics into the aggregate. DistinctStates
-/// and the termination flags are owned by the aggregator, not merged here.
-void mergeStats(SearchStats &Into, const SearchStats &From) {
-  Into.Executions += From.Executions;
-  Into.Transitions += From.Transitions;
-  Into.Preemptions += From.Preemptions;
-  Into.NonterminatingExecutions += From.NonterminatingExecutions;
-  Into.PrunedExecutions += From.PrunedExecutions;
-  Into.SleepSetPrunes += From.SleepSetPrunes;
-  Into.FairEdgeAdditions += From.FairEdgeAdditions;
-  Into.BugsFound += From.BugsFound;
-  if (From.MaxDepth > Into.MaxDepth)
-    Into.MaxDepth = From.MaxDepth;
-  if (From.MaxThreads > Into.MaxThreads)
-    Into.MaxThreads = From.MaxThreads;
-  if (From.MaxSyncOps > Into.MaxSyncOps)
-    Into.MaxSyncOps = From.MaxSyncOps;
-}
-
 } // namespace
 
 struct ParallelExplorer::Shared {
@@ -71,6 +53,17 @@ struct ParallelExplorer::Shared {
   std::atomic<bool> GlobalTimeout{false};
   std::chrono::steady_clock::time_point Deadline;
   bool HasDeadline = false;
+
+  // Epoch control (checkpoint / interrupt). When EpochStop rises, every
+  // worker stops at its next execution boundary, stashing the unexplored
+  // remainder of its current item; the driver decides between writing a
+  // checkpoint and requeueing (periodic) or returning a resume state
+  // (interrupt).
+  std::atomic<bool> EpochStop{false};
+  std::atomic<bool> InterruptSeen{false};
+  std::atomic<uint64_t> NextCheckpointAt{UINT64_MAX};
+  std::mutex StashM;
+  std::vector<std::vector<ScheduleChoice>> Stash;
 
   // Best (DFS-smallest) bug so far. Guarded by BugM; read on every
   // execution by every worker, written only when a better bug lands.
@@ -88,6 +81,12 @@ struct ParallelExplorer::Shared {
   void requestStop() {
     StopAll.store(true, std::memory_order_relaxed);
     Queue.stop();
+  }
+
+  void stashPrefixes(std::vector<std::vector<ScheduleChoice>> &&Prefixes) {
+    std::lock_guard<std::mutex> Lock(StashM);
+    for (auto &P : Prefixes)
+      Stash.push_back(std::move(P));
   }
 
   /// True when \p Key lies strictly after the best bug in DFS order --
@@ -115,13 +114,19 @@ ParallelExplorer::ParallelExplorer(const TestProgram &Program,
 
 ParallelExplorer::~ParallelExplorer() = default;
 
+void ParallelExplorer::resumeFrom(const CheckpointState &CK) {
+  ResumeCK = std::make_shared<CheckpointState>(CK);
+}
+
 CheckResult ParallelExplorer::run() {
   int Jobs = Opts.Jobs;
   // Random walks draw fresh randomness per execution and stateful pruning
   // keys off the global visit order; neither partitions by prefix, so
-  // they run serially.
+  // they run serially. (resumeCheck routes those to the serial unit
+  // chain, never here.)
   if (Jobs <= 1 || Opts.Kind == SearchKind::RandomWalk ||
       Opts.StatefulPruning) {
+    assert(!ResumeCK && "serial fallback cannot consume a checkpoint");
     Explorer E(Program, Opts);
     return E.run();
   }
@@ -138,10 +143,29 @@ CheckResult ParallelExplorer::run() {
                                   Opts.TimeBudgetSeconds));
   }
 
-  // Seed the search with the whole tree: one item, empty prefix. The
-  // first worker to pop it starts donating as soon as the queue reports
-  // hungry, which is immediately.
-  {
+  if (ResumeCK) {
+    // Continue a checkpointed run: cumulative totals, seeded coverage,
+    // the carried-over first bug, and the frontier sharded into fully
+    // frozen subtree prefixes. pushAll's capacity is soft, so a frontier
+    // wider than the queue still seeds completely.
+    SH.Total = ResumeCK->Stats;
+    SH.Total.TimedOut = SH.Total.ExecutionCapHit = SH.Total.SearchExhausted =
+        SH.Total.Interrupted = false;
+    SH.Total.Seconds = 0;
+    SH.Executions.store(ResumeCK->Stats.Executions,
+                        std::memory_order_relaxed);
+    SH.States.insert(ResumeCK->States.begin(), ResumeCK->States.end());
+    if (ResumeCK->Bug)
+      SH.offerBug(*ResumeCK->Bug, ResumeCK->Bug->Kind);
+    std::vector<WorkItem> Seed;
+    for (const CheckpointUnit &U : ResumeCK->Frontier)
+      for (auto &P : decomposeUnitToFrozenPrefixes(U))
+        Seed.push_back(WorkItem{std::move(P)});
+    SH.Queue.pushAll(std::move(Seed));
+  } else {
+    // Seed the search with the whole tree: one item, empty prefix. The
+    // first worker to pop it starts donating as soon as the queue reports
+    // hungry, which is immediately.
     std::vector<WorkItem> Root(1);
     SH.Queue.pushAll(std::move(Root));
   }
@@ -149,13 +173,23 @@ CheckResult ParallelExplorer::run() {
   CheckerOptions WorkerOpts = Opts;
   WorkerOpts.Jobs = 1;
   // Budgets are enforced globally through the execution hook; a worker
-  // must not stop on its private counters.
+  // must not stop on its private counters. Likewise interrupts and
+  // checkpoints belong to the driver: a worker explorer must never
+  // snapshot or halt on its own.
   WorkerOpts.MaxExecutions = 0;
   WorkerOpts.TimeBudgetSeconds = 0;
+  WorkerOpts.InterruptFlag = nullptr;
+  WorkerOpts.CheckpointEvery = 0;
+  WorkerOpts.CheckpointSink = nullptr;
 
   const uint64_t MaxExecutions = Opts.MaxExecutions;
   const bool StopOnFirstBug = Opts.StopOnFirstBug;
   const size_t LowWater = size_t(Jobs);
+  const uint64_t Every = Opts.CheckpointSink ? Opts.CheckpointEvery : 0;
+  if (Every)
+    SH.NextCheckpointAt.store(
+        (SH.Executions.load(std::memory_order_relaxed) / Every + 1) * Every,
+        std::memory_order_relaxed);
 
   // Worker ids 1..Jobs: observability shard 0 stays with the driver (the
   // work queue publishes its depth gauge there).
@@ -166,6 +200,12 @@ CheckResult ParallelExplorer::run() {
     uint64_t Clock = 0; ///< This worker's logical time across items.
     while (std::optional<WorkItem> Item = SH.Queue.pop()) {
       if (SH.StopAll.load(std::memory_order_relaxed)) {
+        SH.Queue.itemDone();
+        continue;
+      }
+      if (SH.EpochStop.load(std::memory_order_relaxed)) {
+        // Wind-down: drain the queue into the stash untouched.
+        SH.stashPrefixes({std::move(Item->Prefix)});
         SH.Queue.itemDone();
         continue;
       }
@@ -220,6 +260,24 @@ CheckResult ParallelExplorer::run() {
         }
         if (SH.StopAll.load(std::memory_order_relaxed))
           return false;
+        // Epoch triggers: an interrupt or a crossed checkpoint boundary
+        // stops every worker at its next execution boundary.
+        if (Opts.InterruptFlag &&
+            Opts.InterruptFlag->load(std::memory_order_relaxed)) {
+          SH.InterruptSeen.store(true, std::memory_order_relaxed);
+          SH.EpochStop.store(true, std::memory_order_relaxed);
+        } else if (N >= SH.NextCheckpointAt.load(std::memory_order_relaxed)) {
+          SH.EpochStop.store(true, std::memory_order_relaxed);
+        }
+        if (SH.EpochStop.load(std::memory_order_relaxed)) {
+          // Stash this item's entire unexplored remainder: splitWork over
+          // the whole stack donates every untried alternative, so stopping
+          // here loses nothing.
+          std::vector<std::vector<ScheduleChoice>> Rest;
+          Ex.splitWork(Rest, SIZE_MAX);
+          SH.stashPrefixes(std::move(Rest));
+          return false;
+        }
         // First-bug pruning: everything this item would explore next is
         // DFS-after its current path, so once that path passes the best
         // bug the serial search would already have stopped.
@@ -267,7 +325,7 @@ CheckResult ParallelExplorer::run() {
         SH.offerBug(*R.Bug, R.Kind);
       {
         std::lock_guard<std::mutex> Lock(SH.MergeM);
-        mergeStats(SH.Total, R.Stats);
+        mergeSearchStats(SH.Total, R.Stats);
         if (!E.seenStates().empty())
           SH.States.insert(E.seenStates().begin(), E.seenStates().end());
       }
@@ -280,12 +338,73 @@ CheckResult ParallelExplorer::run() {
       WCtr->setGauge(obs::Gauge::ActiveWorkers, 0);
   };
 
-  std::vector<std::thread> Workers;
-  Workers.reserve(Jobs);
-  for (int I = 0; I < Jobs; ++I)
-    Workers.emplace_back(WorkerMain, I + 1);
-  for (std::thread &W : Workers)
-    W.join();
+  // Snapshot of the whole search for the checkpoint sink / resume: only
+  // valid between epochs, when every worker has joined.
+  auto buildCheckpoint = [&]() {
+    auto CK = std::make_shared<CheckpointState>();
+    CK->Stats = SH.Total;
+    CK->Stats.TimedOut = CK->Stats.ExecutionCapHit =
+        CK->Stats.SearchExhausted = CK->Stats.Interrupted = false;
+    CK->Stats.Seconds = 0;
+    CK->Stats.DistinctStates = SH.States.size();
+    CK->Rng = Opts.Seed;
+    CK->States.assign(SH.States.begin(), SH.States.end());
+    std::sort(CK->States.begin(), CK->States.end());
+    CK->Frontier.reserve(SH.Stash.size());
+    for (const auto &P : SH.Stash)
+      CK->Frontier.push_back({P, P.size()});
+    if (SH.HasBug)
+      CK->Bug = SH.BestBug;
+    return CK;
+  };
+
+  bool Interrupted = false;
+  std::shared_ptr<CheckpointState> ResumeOut;
+  obs::WorkerCounters *DCtr = Opts.Obs ? &Opts.Obs->shard(0) : nullptr;
+
+  for (;;) {
+    std::vector<std::thread> Workers;
+    Workers.reserve(Jobs);
+    for (int I = 0; I < Jobs; ++I)
+      Workers.emplace_back(WorkerMain, I + 1);
+    for (std::thread &W : Workers)
+      W.join();
+
+    if (!SH.EpochStop.load(std::memory_order_relaxed))
+      break; // Search ended for real (drained, bug, cap, timeout).
+    if (SH.StopAll.load(std::memory_order_relaxed))
+      break; // A budget fired while the epoch wound down; it wins.
+    if (SH.HasBug && StopOnFirstBug)
+      break;
+
+    if (SH.InterruptSeen.load(std::memory_order_relaxed)) {
+      if (!SH.Stash.empty()) {
+        Interrupted = true;
+        ResumeOut = buildCheckpoint();
+      }
+      // Empty stash: the interrupt landed exactly on exhaustion.
+      break;
+    }
+
+    // Periodic checkpoint: persist the stash as the frontier, then put it
+    // back and run the next epoch.
+    if (SH.Stash.empty())
+      break; // Boundary coincided with exhaustion; nothing left to save.
+    ++SH.Total.Checkpoints;
+    if (DCtr)
+      DCtr->add(obs::Counter::Checkpoints);
+    Opts.CheckpointSink(*buildCheckpoint());
+    SH.NextCheckpointAt.store(
+        (SH.Executions.load(std::memory_order_relaxed) / Every + 1) * Every,
+        std::memory_order_relaxed);
+    std::vector<WorkItem> Items;
+    Items.reserve(SH.Stash.size());
+    for (auto &P : SH.Stash)
+      Items.push_back(WorkItem{std::move(P)});
+    SH.Stash.clear();
+    SH.EpochStop.store(false, std::memory_order_relaxed);
+    SH.Queue.pushAll(std::move(Items));
+  }
 
   CheckResult Result;
   Result.Stats = SH.Total;
@@ -296,6 +415,9 @@ CheckResult ParallelExplorer::run() {
   }
   Result.Stats.ExecutionCapHit = SH.CapHit.load();
   Result.Stats.TimedOut = SH.GlobalTimeout.load();
+  Result.Stats.Interrupted = Interrupted;
+  if (Interrupted)
+    Result.Resume = ResumeOut;
   if (SH.HasBug) {
     Result.Kind = SH.BestKind;
     Result.Bug = std::move(SH.BestBug);
@@ -304,7 +426,7 @@ CheckResult ParallelExplorer::run() {
   // ran dry or was pruned only by the first-bug rule (which mirrors the
   // serial early stop, where the flag is also left clear).
   Result.Stats.SearchExhausted = !Result.Stats.ExecutionCapHit &&
-                                 !Result.Stats.TimedOut &&
+                                 !Result.Stats.TimedOut && !Interrupted &&
                                  !(SH.HasBug && StopOnFirstBug);
   auto Elapsed = std::chrono::steady_clock::now() - Start;
   Result.Stats.Seconds = std::chrono::duration<double>(Elapsed).count();

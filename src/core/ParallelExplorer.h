@@ -42,7 +42,11 @@
 
 #include "core/Checker.h"
 
+#include <memory>
+
 namespace fsmc {
+
+struct CheckpointState;
 
 /// Drives one parallel checker run with Opts.Jobs workers.
 class ParallelExplorer {
@@ -50,8 +54,20 @@ public:
   ParallelExplorer(const TestProgram &Program, const CheckerOptions &Opts);
   ~ParallelExplorer();
 
+  /// Seeds the search from a checkpoint instead of the tree root: the
+  /// frontier units are sharded into fully frozen subtree prefixes
+  /// (decomposeUnitToFrozenPrefixes), and stats / coverage / the first
+  /// bug carry over so the combined run reports cumulative totals. Must
+  /// precede run().
+  void resumeFrom(const CheckpointState &CK);
+
   /// Runs the sharded search to completion (exhaustion, first bug, or a
-  /// shared budget) and returns the aggregated result.
+  /// shared budget) and returns the aggregated result. Honors
+  /// CheckerOptions::CheckpointEvery / InterruptFlag at epoch granularity:
+  /// workers wind down at the next execution boundary, stash their
+  /// unexplored remainders (splitWork over the whole stack), and the
+  /// driver either writes a checkpoint and requeues the stash or returns
+  /// with CheckResult::Resume.
   CheckResult run();
 
 private:
@@ -59,6 +75,7 @@ private:
 
   const TestProgram &Program;
   CheckerOptions Opts;
+  std::shared_ptr<CheckpointState> ResumeCK;
 };
 
 /// Convenience entry point: check() with \p Jobs workers.

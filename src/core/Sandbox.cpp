@@ -1,0 +1,951 @@
+//===- core/Sandbox.cpp - Process-isolated execution batches --------------===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+//
+// The sandbox parent/child protocol. One batch = one forked child running
+// up to SandboxBatchSize executions of the ordinary serial Explorer; the
+// child streams one record per finished execution so that when it dies the
+// parent still knows exactly where the search stood:
+//
+//   ExecDone  (tag 1)  cumulative SearchStats, PRNG state, the executed
+//                      path (raw DFS stack), and the coverage signatures
+//                      first seen during this execution.
+//   Bug       (tag 2)  a full BugReport (first workload bug only).
+//   BatchEnd  (tag 3)  authoritative final stats/PRNG/frontier; its
+//                      presence is what distinguishes a clean batch from a
+//                      crashed one.
+//   Choice    (tag 4)  probe mode only: every non-forced choice as it
+//                      resolves, so the parent can reconstruct the exact
+//                      stack of an execution that never finishes.
+//
+// Records are `u8 tag + u32 length + payload`. Parent and child are the
+// same process image (fork, no exec), so trivially-copyable payloads
+// (SearchStats, ScheduleChoice) cross the pipe as raw bytes.
+//
+// Crash attribution: the child dies somewhere inside execution N+1, whose
+// replay prefix is advance(stack of ExecDone N). A fresh probe child
+// re-runs that single execution with choice streaming; the streamed
+// choices at the moment of death are the crashing execution's stack --
+// deterministic programs cannot crash in the replay region they already
+// survived -- which becomes the --replay repro and, advanced once more,
+// the resume point. The search then continues: one bad execution costs
+// one execution.
+//
+// Commit discipline: a clean BatchEnd commits the batch; a crash/hang
+// commits up to the last ExecDone plus one incident; an interrupt discards
+// the partial batch entirely, so a resumed run re-executes it and the
+// final execution multiset matches an uninterrupted run exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Sandbox.h"
+
+#include "core/Checkpoint.h"
+#include "core/Explorer.h"
+#include "obs/Observer.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace fsmc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Wire format helpers
+//===----------------------------------------------------------------------===//
+
+enum : uint8_t {
+  TagExecDone = 1,
+  TagBug = 2,
+  TagBatchEnd = 3,
+  TagChoice = 4,
+};
+
+enum : uint8_t {
+  FlagTimedOut = 1,
+  FlagCapHit = 2,
+  FlagExhausted = 4,
+  FlagFrontier = 8,
+};
+
+struct WireWriter {
+  std::string Buf;
+
+  void u8(uint8_t V) { Buf.push_back(char(V)); }
+  void raw(const void *P, size_t N) {
+    Buf.append(reinterpret_cast<const char *>(P), N);
+  }
+  void u32(uint32_t V) { raw(&V, sizeof(V)); }
+  void u64(uint64_t V) { raw(&V, sizeof(V)); }
+  void str(const std::string &S) {
+    u32(uint32_t(S.size()));
+    Buf.append(S);
+  }
+  void stats(const SearchStats &S) { raw(&S, sizeof(S)); }
+  void choices(const std::vector<ScheduleChoice> &C) {
+    u32(uint32_t(C.size()));
+    if (!C.empty())
+      raw(C.data(), C.size() * sizeof(ScheduleChoice));
+  }
+  void states(const uint64_t *P, size_t N) {
+    u32(uint32_t(N));
+    if (N)
+      raw(P, N * sizeof(uint64_t));
+  }
+};
+
+/// Writes the whole buffer, restarting on EINTR. Returns false when the
+/// parent is gone (EPIPE; SIGPIPE is ignored in the child).
+bool writeAll(int Fd, const void *P, size_t N) {
+  const char *C = static_cast<const char *>(P);
+  while (N) {
+    ssize_t W = ::write(Fd, C, N);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    C += W;
+    N -= size_t(W);
+  }
+  return true;
+}
+
+bool writeRecord(int Fd, uint8_t Tag, const WireWriter &W) {
+  std::string Frame;
+  Frame.reserve(W.Buf.size() + 5);
+  Frame.push_back(char(Tag));
+  uint32_t Len = uint32_t(W.Buf.size());
+  Frame.append(reinterpret_cast<char *>(&Len), sizeof(Len));
+  Frame.append(W.Buf);
+  return writeAll(Fd, Frame.data(), Frame.size());
+}
+
+/// Cursor over one received payload. All reads are bounds-checked; a short
+/// record marks the reader bad and the parent treats the batch as crashed.
+struct WireReader {
+  const char *P;
+  size_t N;
+  bool Ok = true;
+
+  bool take(void *Out, size_t K) {
+    if (!Ok || K > N) {
+      Ok = false;
+      return false;
+    }
+    std::memcpy(Out, P, K);
+    P += K;
+    N -= K;
+    return true;
+  }
+  uint8_t u8() {
+    uint8_t V = 0;
+    take(&V, 1);
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    take(&V, sizeof(V));
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    take(&V, sizeof(V));
+    return V;
+  }
+  std::string str() {
+    uint32_t K = u32();
+    if (!Ok || K > N) {
+      Ok = false;
+      return {};
+    }
+    std::string S(P, K);
+    P += K;
+    N -= K;
+    return S;
+  }
+  SearchStats stats() {
+    SearchStats S;
+    take(&S, sizeof(S));
+    return S;
+  }
+  std::vector<ScheduleChoice> choices() {
+    uint32_t K = u32();
+    std::vector<ScheduleChoice> C;
+    if (!Ok || size_t(K) * sizeof(ScheduleChoice) > N) {
+      Ok = false;
+      return C;
+    }
+    C.resize(K);
+    if (K)
+      take(C.data(), K * sizeof(ScheduleChoice));
+    return C;
+  }
+  std::vector<uint64_t> states() {
+    uint32_t K = u32();
+    std::vector<uint64_t> V;
+    if (!Ok || size_t(K) * sizeof(uint64_t) > N) {
+      Ok = false;
+      return V;
+    }
+    V.resize(K);
+    if (K)
+      take(V.data(), K * sizeof(uint64_t));
+    return V;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Child side
+//===----------------------------------------------------------------------===//
+
+/// What every batch/probe child starts from; assembled by the parent
+/// before fork so the child only reads plain memory it inherited.
+struct ChildInput {
+  const TestProgram *Program;
+  CheckerOptions Opts; ///< Already stripped for in-child use.
+  std::vector<ScheduleChoice> Prefix;
+  size_t FrozenLen = 0;
+  SearchStats BaseStats;
+  std::vector<uint64_t> BaseStates;
+  std::optional<BugReport> BaseBug;
+  uint64_t Rng = 0;
+};
+
+void writeBugRecord(int Fd, const BugReport &B) {
+  WireWriter W;
+  W.u8(uint8_t(B.Kind));
+  W.u64(B.AtExecution);
+  W.u64(B.AtStep);
+  W.str(B.Message);
+  W.str(B.Schedule);
+  W.str(B.TraceText);
+  writeRecord(Fd, TagBug, W);
+}
+
+/// Runs one batch inside the forked child and streams progress to \p Fd.
+/// Never returns.
+[[noreturn]] void childBatchMain(const ChildInput &In, int Fd) {
+  Explorer E(*In.Program, In.Opts);
+  if (!In.Prefix.empty())
+    E.preloadScheduleFrozenPrefix(In.Prefix, In.FrozenLen);
+  E.preloadBaseStats(In.BaseStats);
+  if (!In.BaseStates.empty())
+    E.preloadSeenStates(In.BaseStates);
+  if (In.BaseBug)
+    E.preloadBug(*In.BaseBug);
+  E.setRngState(In.Rng);
+  E.enableStateLog();
+
+  size_t StatesSent = 0;
+  bool PipeOk = true;
+  E.setExecutionHook([&](Explorer &Ex) {
+    WireWriter W;
+    W.stats(Ex.currentStats());
+    W.u64(Ex.rngState());
+    W.choices(Ex.currentStackSnapshot());
+    const std::vector<uint64_t> &Log = Ex.stateLog();
+    W.states(Log.data() + StatesSent, Log.size() - StatesSent);
+    StatesSent = Log.size();
+    PipeOk = writeRecord(Fd, TagExecDone, W);
+    return PipeOk; // Parent gone -> stop quietly.
+  });
+
+  CheckResult R = E.run();
+  if (!PipeOk)
+    _exit(0);
+
+  if (R.Bug && !In.BaseBug)
+    writeBugRecord(Fd, *R.Bug);
+
+  std::vector<ScheduleChoice> Frontier;
+  bool HasFrontier = false;
+  if (R.Stats.ExecutionCapHit) {
+    // Batch boundary (or the global cap; the parent re-derives which).
+    if (auto Next = E.nextFrontier()) {
+      Frontier = std::move(*Next);
+      HasFrontier = true;
+    } else {
+      R.Stats.SearchExhausted = true;
+    }
+  }
+
+  WireWriter W;
+  uint8_t Flags = 0;
+  if (R.Stats.TimedOut)
+    Flags |= FlagTimedOut;
+  if (R.Stats.ExecutionCapHit)
+    Flags |= FlagCapHit;
+  if (R.Stats.SearchExhausted)
+    Flags |= FlagExhausted;
+  if (HasFrontier)
+    Flags |= FlagFrontier;
+  W.u8(Flags);
+  W.stats(R.Stats);
+  W.u64(E.rngState());
+  W.choices(Frontier);
+  const std::vector<uint64_t> &Log = E.stateLog();
+  W.states(Log.data() + StatesSent, Log.size() - StatesSent);
+  writeRecord(Fd, TagBatchEnd, W);
+  _exit(0);
+}
+
+/// Probe child: re-runs exactly one execution under a fully frozen prefix,
+/// streaming every choice so the parent can see how far it got. Never
+/// returns.
+[[noreturn]] void childProbeMain(const ChildInput &In, int Fd) {
+  CheckerOptions Opts = In.Opts;
+  Opts.MaxExecutions = 1;
+  Explorer E(*In.Program, Opts);
+  if (!In.Prefix.empty())
+    E.preloadScheduleFrozenPrefix(In.Prefix, In.Prefix.size());
+  if (!In.BaseStates.empty())
+    E.preloadSeenStates(In.BaseStates);
+  E.setRngState(In.Rng);
+  E.setChoiceStream([&](int Chosen, int Num, bool Backtrack) {
+    WireWriter W;
+    W.u32(uint32_t(Chosen));
+    W.u32(uint32_t(Num));
+    W.u8(Backtrack ? 1 : 0);
+    writeRecord(Fd, TagChoice, W);
+  });
+  (void)E.run();
+  _exit(0);
+}
+
+//===----------------------------------------------------------------------===//
+// Parent side
+//===----------------------------------------------------------------------===//
+
+/// Everything one child reported, in arrival order.
+struct BatchReport {
+  // Progress as of the last ExecDone.
+  bool HaveExec = false;
+  SearchStats ExecStats;
+  uint64_t ExecRng = 0;
+  std::vector<ScheduleChoice> LastStack;
+  std::vector<uint64_t> StatesDelta; ///< Accumulated across ExecDones.
+
+  std::optional<BugReport> Bug;
+
+  // BatchEnd, when the child finished cleanly.
+  bool GotEnd = false;
+  uint8_t Flags = 0;
+  SearchStats EndStats;
+  uint64_t EndRng = 0;
+  std::vector<ScheduleChoice> Frontier;
+
+  // Probe mode.
+  std::vector<ScheduleChoice> Streamed;
+
+  bool Malformed = false;
+
+  void onRecord(uint8_t Tag, WireReader R) {
+    switch (Tag) {
+    case TagExecDone: {
+      ExecStats = R.stats();
+      ExecRng = R.u64();
+      LastStack = R.choices();
+      std::vector<uint64_t> Delta = R.states();
+      if (!R.Ok)
+        break;
+      StatesDelta.insert(StatesDelta.end(), Delta.begin(), Delta.end());
+      HaveExec = true;
+      return;
+    }
+    case TagBug: {
+      BugReport B;
+      B.Kind = Verdict(R.u8());
+      B.AtExecution = R.u64();
+      B.AtStep = R.u64();
+      B.Message = R.str();
+      B.Schedule = R.str();
+      B.TraceText = R.str();
+      if (!R.Ok)
+        break;
+      Bug = std::move(B);
+      return;
+    }
+    case TagBatchEnd: {
+      Flags = R.u8();
+      EndStats = R.stats();
+      EndRng = R.u64();
+      Frontier = R.choices();
+      std::vector<uint64_t> Delta = R.states();
+      if (!R.Ok)
+        break;
+      StatesDelta.insert(StatesDelta.end(), Delta.begin(), Delta.end());
+      GotEnd = true;
+      return;
+    }
+    case TagChoice: {
+      ScheduleChoice C;
+      C.Chosen = int(R.u32());
+      C.Num = int(R.u32());
+      C.Backtrack = R.u8() != 0;
+      if (!R.Ok)
+        break;
+      Streamed.push_back(C);
+      return;
+    }
+    default:
+      break;
+    }
+    Malformed = true;
+  }
+};
+
+/// How a child process ended, from the parent's point of view.
+struct ChildExit {
+  bool HangKilled = false;       ///< Watchdog fired.
+  bool InterruptKilled = false;  ///< Parent-side InterruptFlag.
+  bool Signaled = false;
+  int Signal = 0;
+  int ExitStatus = 0;
+};
+
+/// Reads records from \p Fd until EOF, the watchdog fires, or the
+/// interrupt flag is raised; then reaps the child.
+ChildExit superviseChild(pid_t Pid, int Fd, const CheckerOptions &Opts,
+                         BatchReport &Rep) {
+  ChildExit Ex;
+  std::string Buf;
+  auto LastActivity = std::chrono::steady_clock::now();
+  bool Killed = false;
+
+  auto drainParse = [&]() {
+    size_t Off = 0;
+    while (Buf.size() - Off >= 5) {
+      uint8_t Tag = uint8_t(Buf[Off]);
+      uint32_t Len;
+      std::memcpy(&Len, Buf.data() + Off + 1, sizeof(Len));
+      if (Buf.size() - Off - 5 < Len)
+        break;
+      Rep.onRecord(Tag, WireReader{Buf.data() + Off + 5, Len});
+      Off += 5 + size_t(Len);
+    }
+    Buf.erase(0, Off);
+  };
+
+  for (;;) {
+    if (!Killed && Opts.InterruptFlag &&
+        Opts.InterruptFlag->load(std::memory_order_relaxed)) {
+      ::kill(Pid, SIGKILL);
+      Killed = true;
+      Ex.InterruptKilled = true;
+    }
+    struct pollfd Pfd = {Fd, POLLIN, 0};
+    int N = ::poll(&Pfd, 1, 100);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (N > 0) {
+      char Chunk[16384];
+      ssize_t R = ::read(Fd, Chunk, sizeof(Chunk));
+      if (R < 0) {
+        if (errno == EINTR)
+          continue;
+        break;
+      }
+      if (R == 0)
+        break; // EOF: child closed its end (exit or death).
+      Buf.append(Chunk, size_t(R));
+      drainParse();
+      LastActivity = std::chrono::steady_clock::now();
+      continue;
+    }
+    // Silence. A child that stopped making progress is hung.
+    if (!Killed && Opts.HangTimeoutSeconds > 0) {
+      double Quiet = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - LastActivity)
+                         .count();
+      if (Quiet > Opts.HangTimeoutSeconds) {
+        ::kill(Pid, SIGKILL);
+        Killed = true;
+        Ex.HangKilled = true;
+      }
+    }
+  }
+  ::close(Fd);
+
+  int Status = 0;
+  while (::waitpid(Pid, &Status, 0) < 0 && errno == EINTR)
+    ;
+  if (WIFSIGNALED(Status)) {
+    Ex.Signaled = true;
+    Ex.Signal = WTERMSIG(Status);
+  } else if (WIFEXITED(Status)) {
+    Ex.ExitStatus = WEXITSTATUS(Status);
+  }
+  return Ex;
+}
+
+/// Forks and runs \p Main in the child. Returns the report/exit through
+/// out-params; false when fork/pipe itself failed (no child ran).
+template <typename MainFn>
+bool runChild(const ChildInput &In, const CheckerOptions &ParentOpts,
+              MainFn Main, BatchReport &Rep, ChildExit &Ex) {
+  int P[2];
+  if (::pipe(P) != 0)
+    return false;
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(P[0]);
+    ::close(P[1]);
+    return false;
+  }
+  if (Pid == 0) {
+    // Child. Detach from the parent's control surfaces: the parent owns
+    // SIGINT handling, and a vanished parent must surface as EPIPE, not a
+    // signal. _exit (never exit) on every path so fork-duplicated stdio
+    // buffers are not flushed twice.
+    ::signal(SIGINT, SIG_IGN);
+    ::signal(SIGTERM, SIG_IGN);
+    ::signal(SIGPIPE, SIG_IGN);
+    ::close(P[0]);
+    Main(In, P[1]); // noreturn
+    _exit(0);       // unreachable
+  }
+  ::close(P[1]);
+  Ex = superviseChild(Pid, P[0], ParentOpts, Rep);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Parent-side search state
+//===----------------------------------------------------------------------===//
+
+/// Mirrors Explorer::advanceStack on a serialized stack: bump the deepest
+/// backtrackable record with an untried alternative, popping exhausted
+/// ones, never descending into the frozen region. Random walks never
+/// backtrack; their "next path" is the bare frozen prefix.
+bool advancePrefix(std::vector<ScheduleChoice> &P, size_t FrozenLen,
+                   bool RandomWalk) {
+  if (RandomWalk) {
+    P.resize(FrozenLen);
+    return true;
+  }
+  while (P.size() > FrozenLen) {
+    ScheduleChoice &R = P.back();
+    if (R.Backtrack && R.Chosen + 1 < R.Num) {
+      ++R.Chosen;
+      return true;
+    }
+    P.pop_back();
+  }
+  return false;
+}
+
+/// Folds the per-batch SearchStats delta into the parent's shard-0 live
+/// counters, so --stats-json counters and the progress line keep working
+/// under isolation. Per-op and latency telemetry has no SearchStats
+/// mirror and is lost when the child exits (see docs/ROBUSTNESS.md).
+void addCounterDeltas(obs::WorkerCounters *Ctr, const SearchStats &Prev,
+                      const SearchStats &Now) {
+  if (!Ctr)
+    return;
+  using obs::Counter;
+  auto D = [&](Counter C, uint64_t New, uint64_t Old) {
+    if (New > Old)
+      Ctr->add(C, New - Old);
+  };
+  D(Counter::Executions, Now.Executions, Prev.Executions);
+  D(Counter::Transitions, Now.Transitions, Prev.Transitions);
+  D(Counter::Preemptions, Now.Preemptions, Prev.Preemptions);
+  D(Counter::NonterminatingExecutions, Now.NonterminatingExecutions,
+    Prev.NonterminatingExecutions);
+  D(Counter::StatefulPrunes, Now.PrunedExecutions, Prev.PrunedExecutions);
+  D(Counter::SleepSetPrunes, Now.SleepSetPrunes, Prev.SleepSetPrunes);
+  D(Counter::FairEdgeAdds, Now.FairEdgeAdditions, Prev.FairEdgeAdditions);
+  D(Counter::BugsFound, Now.BugsFound, Prev.BugsFound);
+  D(Counter::Divergences, Now.Divergences, Prev.Divergences);
+  D(Counter::DivergenceRetries, Now.DivergenceRetries, Prev.DivergenceRetries);
+  Ctr->maxGauge(obs::Gauge::MaxDepth, Now.MaxDepth);
+}
+
+void bumpBugClass(obs::WorkerCounters *Ctr, Verdict V) {
+  if (!Ctr)
+    return;
+  switch (V) {
+  case Verdict::Deadlock:
+    Ctr->add(obs::Counter::Deadlocks);
+    break;
+  case Verdict::Livelock:
+    Ctr->add(obs::Counter::Livelocks);
+    break;
+  case Verdict::GoodSamaritanViolation:
+    Ctr->add(obs::Counter::GoodSamaritanViolations);
+    break;
+  default:
+    break;
+  }
+}
+
+std::string describeSignal(int Sig) {
+  const char *Name = strsignal(Sig);
+  std::string S = "child killed by signal " + std::to_string(Sig);
+  if (Name) {
+    S += " (";
+    S += Name;
+    S += ")";
+  }
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// runSandboxed
+//===----------------------------------------------------------------------===//
+
+CheckResult fsmc::runSandboxed(const TestProgram &Program,
+                               const CheckerOptions &Opts,
+                               const std::vector<ScheduleChoice> *InitialPrefix,
+                               size_t FrozenLen,
+                               SandboxResumeContext *Resume) {
+  auto StartTime = std::chrono::steady_clock::now();
+  const bool RandomWalk = Opts.Kind == SearchKind::RandomWalk;
+  const bool WantStates = Opts.TrackCoverage || Opts.ExportStateSignatures ||
+                          Opts.StatefulPruning;
+
+  // Options every child runs under: in-process serial exploration with all
+  // parent-owned machinery stripped. Obs must be null in the child -- fork
+  // duplicates the parent's sink FILE buffers, and a child flush would
+  // corrupt the trace.
+  CheckerOptions ChildOpts = Opts;
+  ChildOpts.Isolate = IsolationMode::Off;
+  ChildOpts.Jobs = 1;
+  ChildOpts.Obs = nullptr;
+  ChildOpts.InterruptFlag = nullptr;
+  ChildOpts.CheckpointEvery = 0;
+  ChildOpts.CheckpointSink = nullptr;
+  ChildOpts.ExportStateSignatures = false;
+
+  obs::WorkerCounters *Ctr = Opts.Obs ? &Opts.Obs->shard(0) : nullptr;
+  const int BatchSize = Opts.SandboxBatchSize > 0 ? Opts.SandboxBatchSize : 64;
+
+  // Committed search state; every batch starts from exactly this.
+  SearchStats Cum;
+  std::vector<uint64_t> States; // Sorted distinct signatures.
+  std::optional<BugReport> FirstBug;
+  uint64_t Rng = Opts.Seed;
+  if (Resume) {
+    if (Resume->BaseStats) {
+      Cum = *Resume->BaseStats;
+      Cum.TimedOut = Cum.ExecutionCapHit = Cum.SearchExhausted =
+          Cum.Interrupted = false;
+      Cum.Seconds = 0;
+    }
+    if (Resume->BaseStates)
+      States = *Resume->BaseStates;
+    if (Resume->BaseBug)
+      FirstBug = *Resume->BaseBug;
+    if (Resume->Rng)
+      Rng = Resume->Rng;
+  }
+  std::vector<ScheduleChoice> Prefix;
+  if (InitialPrefix)
+    Prefix = *InitialPrefix;
+
+  CheckResult Agg;
+  bool Exhausted = false, TimedOut = false, CapHit = false,
+       Interrupted = false;
+  uint64_t NextCheckpointAt =
+      Opts.CheckpointEvery
+          ? (Cum.Executions / Opts.CheckpointEvery + 1) * Opts.CheckpointEvery
+          : 0;
+
+  auto elapsed = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         StartTime)
+        .count();
+  };
+  auto commitStates = [&](const std::vector<uint64_t> &Delta) {
+    if (Delta.empty())
+      return;
+    States.insert(States.end(), Delta.begin(), Delta.end());
+    std::sort(States.begin(), States.end());
+    States.erase(std::unique(States.begin(), States.end()), States.end());
+  };
+  auto makeCheckpoint = [&]() {
+    auto CK = std::make_shared<CheckpointState>();
+    CK->Stats = Cum;
+    CK->Stats.TimedOut = CK->Stats.ExecutionCapHit =
+        CK->Stats.SearchExhausted = CK->Stats.Interrupted = false;
+    CK->Stats.DistinctStates = States.size();
+    CK->Frontier.push_back({Prefix, FrozenLen});
+    CK->Rng = Rng;
+    CK->States = States;
+    CK->Bug = FirstBug;
+    return CK;
+  };
+  auto interruptRequested = [&]() {
+    return Opts.InterruptFlag &&
+           Opts.InterruptFlag->load(std::memory_order_relaxed);
+  };
+
+  for (;;) {
+    if (interruptRequested()) {
+      Interrupted = true;
+      break;
+    }
+    if (Opts.MaxExecutions && Cum.Executions >= Opts.MaxExecutions) {
+      CapHit = true;
+      break;
+    }
+    double Remaining = 0;
+    if (Opts.TimeBudgetSeconds > 0) {
+      Remaining = Opts.TimeBudgetSeconds - elapsed();
+      if (Remaining <= 0) {
+        TimedOut = true;
+        break;
+      }
+    }
+
+    ChildInput In;
+    In.Program = &Program;
+    In.Opts = ChildOpts;
+    In.Opts.TimeBudgetSeconds = Remaining;
+    In.Opts.MaxExecutions = Cum.Executions + uint64_t(BatchSize);
+    if (Opts.MaxExecutions &&
+        Opts.MaxExecutions < In.Opts.MaxExecutions)
+      In.Opts.MaxExecutions = Opts.MaxExecutions;
+    In.Prefix = Prefix;
+    In.FrozenLen = FrozenLen;
+    In.BaseStats = Cum;
+    In.BaseStates = States;
+    In.BaseBug = FirstBug;
+    In.Rng = Rng;
+
+    BatchReport Rep;
+    ChildExit Ex;
+    if (!runChild(In, Opts, childBatchMain, Rep, Ex)) {
+      // fork/pipe failed (resource exhaustion): finish the search
+      // in-process rather than losing it. Isolation is best-effort.
+      In.Opts.MaxExecutions = Opts.MaxExecutions;
+      Explorer E(Program, In.Opts);
+      if (!Prefix.empty())
+        E.preloadScheduleFrozenPrefix(Prefix, FrozenLen);
+      E.preloadBaseStats(Cum);
+      if (!States.empty())
+        E.preloadSeenStates(States);
+      if (FirstBug)
+        E.preloadBug(*FirstBug);
+      E.setRngState(Rng);
+      E.enableStateLog();
+      CheckResult R = E.run();
+      addCounterDeltas(Ctr, Cum, R.Stats);
+      Cum = R.Stats;
+      Cum.TimedOut = Cum.ExecutionCapHit = Cum.SearchExhausted =
+          Cum.Interrupted = false;
+      commitStates(E.stateLog());
+      Rng = E.rngState();
+      if (R.Bug && !FirstBug) {
+        FirstBug = *R.Bug;
+        bumpBugClass(Ctr, R.Bug->Kind);
+      }
+      if (FirstBug && Opts.StopOnFirstBug)
+        break;
+      TimedOut = R.Stats.TimedOut;
+      CapHit = R.Stats.ExecutionCapHit;
+      Exhausted = R.Stats.SearchExhausted;
+      if (CapHit && Opts.MaxExecutions &&
+          R.Stats.Executions >= Opts.MaxExecutions)
+        break;
+      if (TimedOut || Exhausted)
+        break;
+      if (auto Next = E.nextFrontier()) {
+        Prefix = std::move(*Next);
+        continue;
+      }
+      Exhausted = true;
+      break;
+    }
+
+    if (Ex.InterruptKilled) {
+      // Discard the partial batch: the resumed run re-executes it from the
+      // committed state, preserving the exact execution multiset.
+      Interrupted = true;
+      break;
+    }
+
+    if (Rep.Bug) {
+      FirstBug = *Rep.Bug;
+      bumpBugClass(Ctr, Rep.Bug->Kind);
+    }
+
+    if (Rep.GotEnd && !Rep.Malformed) {
+      // Clean batch: the BatchEnd block is authoritative.
+      addCounterDeltas(Ctr, Cum, Rep.EndStats);
+      Cum = Rep.EndStats;
+      Cum.TimedOut = Cum.ExecutionCapHit = Cum.SearchExhausted =
+          Cum.Interrupted = false;
+      commitStates(Rep.StatesDelta);
+      Rng = Rep.EndRng;
+
+      bool GlobalCap = Opts.MaxExecutions &&
+                       Cum.Executions >= Opts.MaxExecutions;
+      if (FirstBug && Opts.StopOnFirstBug)
+        break;
+      if (Rep.Flags & FlagTimedOut) {
+        TimedOut = true;
+        break;
+      }
+      if (GlobalCap) {
+        CapHit = true;
+        break;
+      }
+      if (!(Rep.Flags & FlagFrontier)) {
+        Exhausted = true;
+        break;
+      }
+      Prefix = std::move(Rep.Frontier);
+    } else {
+      // The child died (or truncated the protocol) inside execution N+1.
+      // Commit through ExecDone N, attribute the crash, and skip past it.
+      if (Rep.HaveExec) {
+        addCounterDeltas(Ctr, Cum, Rep.ExecStats);
+        Cum = Rep.ExecStats;
+        Cum.TimedOut = Cum.ExecutionCapHit = Cum.SearchExhausted =
+            Cum.Interrupted = false;
+        commitStates(Rep.StatesDelta);
+        Rng = Rep.ExecRng;
+      }
+
+      // The crashing execution's replay prefix.
+      std::vector<ScheduleChoice> CrashPrefix;
+      bool HavePath = true;
+      if (Rep.HaveExec) {
+        CrashPrefix = Rep.LastStack;
+        HavePath = advancePrefix(CrashPrefix, FrozenLen, RandomWalk);
+      } else {
+        CrashPrefix = Prefix;
+      }
+
+      bool IsHang = Ex.HangKilled;
+      std::string Msg;
+      if (IsHang)
+        Msg = "no progress for " +
+              std::to_string(Opts.HangTimeoutSeconds) +
+              "s; child killed by the sandbox watchdog";
+      else if (Ex.Signaled)
+        Msg = describeSignal(Ex.Signal);
+      else if (Ex.ExitStatus != 0)
+        Msg = "child exited with status " + std::to_string(Ex.ExitStatus);
+      else
+        Msg = "child exited without completing its batch";
+
+      std::vector<ScheduleChoice> CrashStack = CrashPrefix;
+      if (HavePath) {
+        // Probe: re-run the single crashing execution with choice
+        // streaming; the streamed choices at death are its exact stack.
+        ChildInput PIn;
+        PIn.Program = &Program;
+        PIn.Opts = ChildOpts;
+        PIn.Prefix = CrashPrefix;
+        PIn.BaseStates = States;
+        PIn.Rng = Rng;
+        BatchReport PRep;
+        ChildExit PEx;
+        if (runChild(PIn, Opts, childProbeMain, PRep, PEx) &&
+            !PRep.Streamed.empty())
+          CrashStack = std::move(PRep.Streamed);
+        if (PEx.InterruptKilled)
+          Interrupted = true;
+      }
+
+      BugReport Incident;
+      Incident.Kind = IsHang ? Verdict::Hang : Verdict::Crash;
+      Incident.Message = Msg;
+      Incident.Schedule = encodeSchedule(CrashStack);
+      Incident.AtExecution = Cum.Executions;
+      Agg.Incidents.push_back(Incident);
+      if (IsHang) {
+        ++Cum.Hangs;
+        if (Ctr)
+          Ctr->add(obs::Counter::Hangs);
+      } else {
+        ++Cum.Crashes;
+        if (Ctr)
+          Ctr->add(obs::Counter::Crashes);
+      }
+
+      if (Interrupted)
+        break;
+      if (!HavePath) {
+        Exhausted = true;
+        break;
+      }
+      // Skip the crashing subtree: no choice resolves after the crash
+      // point, so everything below CrashStack dies the same death.
+      std::vector<ScheduleChoice> Next = CrashStack;
+      if (RandomWalk) {
+        // Re-running with the same PRNG state would reproduce the crash
+        // forever; step the generator to a fresh stream.
+        Xorshift Step(Rng ? Rng : Opts.Seed);
+        Step.next();
+        Rng = Step.state();
+        Next.resize(FrozenLen);
+      } else if (!advancePrefix(Next, FrozenLen, false)) {
+        Exhausted = true;
+        break;
+      }
+      Prefix = std::move(Next);
+    }
+
+    // Batch-granular periodic checkpoints (the serial explorer checkpoints
+    // per execution; a sandbox parent only sees batch boundaries).
+    if (NextCheckpointAt && Opts.CheckpointSink &&
+        Cum.Executions >= NextCheckpointAt) {
+      ++Cum.Checkpoints;
+      if (Ctr)
+        Ctr->add(obs::Counter::Checkpoints);
+      Opts.CheckpointSink(*makeCheckpoint());
+      NextCheckpointAt = (Cum.Executions / Opts.CheckpointEvery + 1) *
+                         Opts.CheckpointEvery;
+    }
+  }
+
+  Agg.Stats = Cum;
+  Agg.Stats.TimedOut = TimedOut;
+  Agg.Stats.ExecutionCapHit = CapHit;
+  Agg.Stats.SearchExhausted = Exhausted;
+  Agg.Stats.Interrupted = Interrupted;
+  Agg.Stats.DistinctStates = States.size();
+  Agg.Stats.Seconds = elapsed();
+
+  if (FirstBug) {
+    Agg.Kind = FirstBug->Kind;
+    Agg.Bug = FirstBug;
+  } else if (!Agg.Incidents.empty()) {
+    // No genuine workload bug: the first incident stands in.
+    Agg.Kind = Agg.Incidents.front().Kind;
+    Agg.Bug = Agg.Incidents.front();
+  } else if (Cum.Divergences > 0 && Cum.Executions == 0) {
+    Agg.Kind = Verdict::Divergence;
+  }
+
+  if (Interrupted)
+    Agg.Resume = makeCheckpoint();
+  if (WantStates)
+    Agg.StateSignatures = States;
+  if (Resume)
+    Resume->Rng = Rng;
+  return Agg;
+}

@@ -1,0 +1,60 @@
+//===- core/Sandbox.h - Process-isolated execution batches -----*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash isolation for misbehaving workloads. CHESS ran unattended for
+/// weeks against large test harnesses (Section 6); at that scale the
+/// checker must outlive the checked code. Under --isolate=batch the
+/// parent process never runs a single workload instruction: it forks a
+/// child per batch of executions, the child streams progress records over
+/// a pipe, and the parent harvests a SIGSEGV/std::abort as Verdict::Crash
+/// and a silent child (watchdog timeout) as Verdict::Hang -- each with
+/// the offending schedule serialized for --replay -- then continues the
+/// search from the rest of the frontier. One bad execution costs one
+/// execution, not the run.
+///
+/// Protocol, crash attribution (the probe re-run), and the batch chaining
+/// invariants are documented in docs/ROBUSTNESS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_CORE_SANDBOX_H
+#define FSMC_CORE_SANDBOX_H
+
+#include "core/Checker.h"
+#include "core/Schedule.h"
+
+#include <vector>
+
+namespace fsmc {
+
+/// Carried-over state when a sandboxed search continues an earlier run
+/// part (checkpoint resume); see core/Checkpoint.h.
+struct SandboxResumeContext {
+  const SearchStats *BaseStats = nullptr;
+  const std::vector<uint64_t> *BaseStates = nullptr;
+  const BugReport *BaseBug = nullptr;
+  /// In: PRNG state to start from (0 = derive from Opts.Seed).
+  /// Out: final PRNG state after the last batch, for unit chaining.
+  uint64_t Rng = 0;
+};
+
+/// Runs the (serial) search with every execution inside forked child
+/// processes. \p InitialPrefix seeds the DFS stack (replay / resume);
+/// its first \p FrozenLen records confine the search to a subtree.
+/// Returns the aggregated result; crashes and hangs are collected in
+/// CheckResult::Incidents, with the first one standing in as the Bug
+/// when no genuine workload bug was found.
+CheckResult runSandboxed(const TestProgram &Program,
+                         const CheckerOptions &Opts,
+                         const std::vector<ScheduleChoice> *InitialPrefix = nullptr,
+                         size_t FrozenLen = 0,
+                         SandboxResumeContext *Resume = nullptr);
+
+} // namespace fsmc
+
+#endif // FSMC_CORE_SANDBOX_H

@@ -3,6 +3,7 @@
 #include "core/Schedule.h"
 
 #include "core/Explorer.h"
+#include "core/Sandbox.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -76,7 +77,14 @@ CheckResult fsmc::replaySchedule(const TestProgram &Program,
   CheckerOptions Effective = Opts;
   Effective.MaxExecutions = 1;
   Effective.StopOnFirstBug = true;
+  // Freeze the whole schedule: replay must stay on the recorded path. A
+  // mismatch then surfaces as Verdict::Divergence (after the configured
+  // retries) instead of wandering into sibling schedules.
+  if (Effective.Isolate == IsolationMode::Batch)
+    // Replaying a crashing schedule in-process would kill the caller --
+    // the one execution isolation exists for.
+    return runSandboxed(Program, Effective, &Choices, Choices.size());
   Explorer E(Program, Effective);
-  E.preloadSchedule(Choices);
+  E.preloadSchedule(Choices, /*Frozen=*/true);
   return E.run();
 }

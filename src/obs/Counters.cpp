@@ -46,6 +46,16 @@ const char *fsmc::obs::counterName(Counter C) {
     return "work_items_run";
   case Counter::PrefixesDonated:
     return "prefixes_donated";
+  case Counter::Divergences:
+    return "divergences";
+  case Counter::DivergenceRetries:
+    return "divergence_retries";
+  case Counter::Crashes:
+    return "crashes";
+  case Counter::Hangs:
+    return "hangs";
+  case Counter::Checkpoints:
+    return "checkpoints";
   case Counter::NumCounters:
     break;
   }

@@ -57,6 +57,14 @@ enum class Counter : unsigned {
   GoodSamaritanViolations, ///< ... of which good-samaritan violations.
   WorkItemsRun,            ///< Parallel: prefixes popped and explored.
   PrefixesDonated,         ///< Parallel: prefixes split off for others.
+  // Robustness layer (docs/ROBUSTNESS.md). These report as zero on every
+  // healthy run, so --stats-json omits zero values to keep legacy output
+  // byte-identical.
+  Divergences,             ///< Prefixes discarded after failed replays.
+  DivergenceRetries,       ///< Re-executions of mismatching prefixes.
+  Crashes,                 ///< Sandboxed executions that died on a signal.
+  Hangs,                   ///< Sandboxed executions killed by the watchdog.
+  Checkpoints,             ///< Checkpoints written.
   NumCounters
 };
 

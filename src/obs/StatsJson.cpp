@@ -43,6 +43,17 @@ void fsmc::obs::appendJsonEscaped(std::string &Out, std::string_view S) {
 }
 
 const char *fsmc::obs::stopReason(const CheckResult &R) {
+  // Robustness outcomes first: an interrupted run stopped for the signal
+  // regardless of what it had found, and crash/hang/divergence verdicts
+  // are incident classes, not workload bugs (docs/ROBUSTNESS.md).
+  if (R.Stats.Interrupted)
+    return "interrupted";
+  if (R.Kind == Verdict::Divergence)
+    return "divergence";
+  if (R.Kind == Verdict::Crash)
+    return "workload_crash";
+  if (R.Kind == Verdict::Hang)
+    return "workload_hang";
   if (R.foundBug())
     return "bug_found";
   if (R.Stats.TimedOut)
@@ -154,6 +165,16 @@ std::string fsmc::obs::renderStatsJson(const CheckResult &R,
     appendKV(Out, "seed", O.Seed, true);
     appendKV(Out, "jobs", uint64_t(O.Jobs), true);
     appendKVBool(Out, "sleep_sets", O.SleepSets, true);
+    // Robustness options appear only when set away from their defaults,
+    // so pre-existing outputs stay byte-identical.
+    if (O.Isolate != IsolationMode::Off) {
+      appendKVStr(Out, "isolate", "batch", true);
+      appendKV(Out, "sandbox_batch_size", uint64_t(O.SandboxBatchSize), true);
+    }
+    if (O.DivergenceRetries != 3)
+      appendKV(Out, "divergence_retries", uint64_t(O.DivergenceRetries), true);
+    if (O.CheckpointEvery != 0)
+      appendKV(Out, "checkpoint_every", O.CheckpointEvery, true);
     appendKVBool(Out, "stop_on_first_bug", O.StopOnFirstBug, false);
     Out += "  },\n";
   }
@@ -172,6 +193,20 @@ std::string fsmc::obs::renderStatsJson(const CheckResult &R,
   appendKV(Out, "bugs_found", S.BugsFound, true);
   appendKV(Out, "max_threads", uint64_t(S.MaxThreads), true);
   appendKV(Out, "max_sync_ops", S.MaxSyncOps, true);
+  // Robustness stats are zero/false on every healthy run and omitted then,
+  // keeping legacy stats-json output byte-identical.
+  if (S.Divergences != 0)
+    appendKV(Out, "divergences", S.Divergences, true);
+  if (S.DivergenceRetries != 0)
+    appendKV(Out, "divergence_retries", S.DivergenceRetries, true);
+  if (S.Crashes != 0)
+    appendKV(Out, "crashes", S.Crashes, true);
+  if (S.Hangs != 0)
+    appendKV(Out, "hangs", S.Hangs, true);
+  if (S.Checkpoints != 0)
+    appendKV(Out, "checkpoints", S.Checkpoints, true);
+  if (S.Interrupted)
+    appendKVBool(Out, "interrupted", true, true);
   char Secs[48];
   std::snprintf(Secs, sizeof(Secs), "    \"seconds\": %.6f,\n", S.Seconds);
   Out += Secs;
@@ -183,8 +218,13 @@ std::string fsmc::obs::renderStatsJson(const CheckResult &R,
   if (Info.Obs) {
     CounterSnapshot C = Info.Obs->snapshot();
     Out += "  \"counters\": {\n";
-    for (unsigned I = 0; I < unsigned(Counter::NumCounters); ++I)
+    for (unsigned I = 0; I < unsigned(Counter::NumCounters); ++I) {
+      // Robustness counters (Divergences onward) are omitted at zero; see
+      // Counters.h.
+      if (I >= unsigned(Counter::Divergences) && C.C[I] == 0)
+        continue;
       appendKV(Out, counterName(Counter(I)), C.C[I], true);
+    }
     for (unsigned I = 0; I < unsigned(Gauge::NumGauges); ++I)
       appendKV(Out, gaugeName(Gauge(I)), C.G[I],
                /*Comma=*/I + 1 < unsigned(Gauge::NumGauges));

@@ -44,6 +44,13 @@ public:
   /// Reseeds the generator (0 maps to a fixed nonzero constant).
   void reseed(uint64_t Seed);
 
+  /// Raw generator state, for checkpoint/resume. Restoring it with
+  /// setState continues the exact random sequence; unlike reseed it
+  /// applies no zero-mapping (state captured from a live generator is
+  /// never zero).
+  uint64_t state() const { return State; }
+  void setState(uint64_t S) { State = S ? S : 0x9e3779b97f4a7c15ULL; }
+
 private:
   uint64_t State;
 };

@@ -4,6 +4,7 @@
 
 #include "workloads/Ape.h"
 #include "workloads/Channels.h"
+#include "workloads/CrashFault.h"
 #include "workloads/DiningPhilosophers.h"
 #include "workloads/Promise.h"
 #include "workloads/WorkStealQueue.h"
@@ -93,6 +94,19 @@ static std::vector<RegisteredWorkload> buildRegistry() {
                   "src/workloads/minikernel/Services.h",
                   "src/workloads/minikernel/Services.cpp"},
                  [C] { return minikernel::makeKernelBootProgram(C); },
+                 Sample});
+  }
+  {
+    // Benign configuration only: the faulting variants (segv/abort/hang)
+    // are reserved for --isolate=batch runs via the fsmc_run catalogue;
+    // a registry enumerator must be safe to run in-process.
+    CrashFaultConfig C;
+    C.Kind = CrashFaultConfig::Fault::None;
+    R.push_back({"Crash Fault",
+                 "Section 6 unattended-run fault injection",
+                 {"src/workloads/CrashFault.h",
+                  "src/workloads/CrashFault.cpp"},
+                 [C] { return makeCrashFaultProgram(C); },
                  Sample});
   }
   {

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Explorer.h"
+#include "core/Checkpoint.h"
 #include "core/ParallelExplorer.h"
 #include "core/Schedule.h"
 #include "workloads/DiningPhilosophers.h"
@@ -262,4 +263,85 @@ TEST(ParallelFairness, FrozenPrefixConfinesTheSearch) {
   EXPECT_TRUE(R.Stats.SearchExhausted);
   EXPECT_LT(R.Stats.Executions, Whole.Stats.Executions);
   EXPECT_GE(R.Stats.Executions, 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Interrupt / resume at parallel widths (docs/ROBUSTNESS.md).
+//===----------------------------------------------------------------------===
+
+TEST(ParallelResume, InterruptedParallelSearchResumesToTheSerialTotals) {
+  // Interrupt a --jobs 4 search at a checkpoint epoch, then resume the
+  // stashed frontier (again at --jobs 4): the chain must reach the same
+  // executions, transitions and state-signature set as one uninterrupted
+  // serial run.
+  PetersonConfig C;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.ExportStateSignatures = true;
+
+  CheckResult Serial = check(makePetersonProgram(C), O);
+  ASSERT_TRUE(Serial.Stats.SearchExhausted);
+
+  TestProgram P = makePetersonProgram(C);
+  std::atomic<bool> Flag{false};
+  CheckerOptions Cut = O;
+  Cut.Jobs = 4;
+  Cut.InterruptFlag = &Flag;
+  Cut.CheckpointEvery = 40;
+  Cut.CheckpointSink = [&](const CheckpointState &) { Flag.store(true); };
+  CheckResult Partial = check(P, Cut);
+
+  CheckResult Final;
+  if (Partial.Stats.Interrupted) {
+    ASSERT_TRUE(Partial.Resume != nullptr);
+    EXPECT_LT(Partial.Stats.Executions, Serial.Stats.Executions);
+    CheckerOptions Again = O;
+    Again.Jobs = 4;
+    Final = resumeCheck(P, Again, *Partial.Resume);
+  } else {
+    // The whole tree fit before the first epoch boundary -- equivalence
+    // still must hold, there was just nothing to resume.
+    Final = Partial;
+  }
+  EXPECT_TRUE(Final.Stats.SearchExhausted);
+  EXPECT_EQ(Final.Kind, Serial.Kind);
+  EXPECT_EQ(Final.Stats.Executions, Serial.Stats.Executions);
+  EXPECT_EQ(Final.Stats.Transitions, Serial.Stats.Transitions);
+  EXPECT_EQ(Final.Stats.DistinctStates, Serial.Stats.DistinctStates);
+  EXPECT_EQ(Final.StateSignatures, Serial.StateSignatures);
+}
+
+TEST(ParallelResume, PeriodicParallelCheckpointIsIndependentlyResumable) {
+  // Every periodic checkpoint of an uninterrupted parallel run must be a
+  // complete description of the remaining search: resuming the *first*
+  // one (serially) and adding nothing else reaches the full totals.
+  DiningConfig C;
+  C.Philosophers = 2;
+  C.Kind = DiningConfig::Variant::Mixed;
+  TestProgram P = makeDiningProgram(C);
+  CheckerOptions O;
+  O.ExportStateSignatures = true;
+
+  CheckResult Serial = check(P, O);
+  ASSERT_TRUE(Serial.Stats.SearchExhausted);
+
+  std::vector<CheckpointState> Checkpoints;
+  CheckerOptions Par = O;
+  Par.Jobs = 4;
+  Par.CheckpointEvery = 15;
+  Par.CheckpointSink = [&](const CheckpointState &CK) {
+    Checkpoints.push_back(CK);
+  };
+  CheckResult Full = check(P, Par);
+  ASSERT_TRUE(Full.Stats.SearchExhausted);
+  EXPECT_EQ(Full.Stats.Executions, Serial.Stats.Executions);
+  if (Checkpoints.empty())
+    GTEST_SKIP() << "search completed before the first epoch";
+
+  CheckResult Resumed = resumeCheck(P, O, Checkpoints.front());
+  EXPECT_TRUE(Resumed.Stats.SearchExhausted);
+  EXPECT_EQ(Resumed.Stats.Executions, Serial.Stats.Executions);
+  EXPECT_EQ(Resumed.Stats.Transitions, Serial.Stats.Transitions);
+  EXPECT_EQ(Resumed.StateSignatures, Serial.StateSignatures);
 }

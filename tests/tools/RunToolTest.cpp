@@ -1,0 +1,190 @@
+//===- tests/tools/RunToolTest.cpp ----------------------------------------===//
+//
+// End-to-end tests of the fsmc_run binary: the documented exit codes,
+// SIGINT checkpointing (the "kill -INT a week-long run and lose nothing"
+// contract of docs/ROBUSTNESS.md), and the --repro-dir / --replay round
+// trip. The binary's path arrives via the FSMC_RUN_PATH compile
+// definition; every test works in its own temp directory.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+namespace {
+
+std::string runBinary() { return FSMC_RUN_PATH; }
+
+/// A fresh temp directory per test.
+class RunTool : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Template[] = "/tmp/fsmc-runtool-XXXXXX";
+    char *D = mkdtemp(Template);
+    ASSERT_NE(D, nullptr);
+    Dir = D;
+  }
+  void TearDown() override {
+    // Best-effort cleanup; leaks a small temp dir on failure paths.
+    std::string Cmd = "rm -rf '" + Dir + "'";
+    (void)system(Cmd.c_str());
+  }
+  std::string Dir;
+};
+
+/// fork/execs fsmc_run with \p Args. Returns the child's pid; the caller
+/// reaps it. stdout/stderr are discarded (tests read the artifact files).
+pid_t spawn(const std::vector<std::string> &Args) {
+  pid_t Pid = fork();
+  if (Pid != 0)
+    return Pid;
+  // Child.
+  FILE *Null = std::fopen("/dev/null", "w");
+  if (Null) {
+    dup2(fileno(Null), 1);
+    dup2(fileno(Null), 2);
+  }
+  std::vector<char *> Argv;
+  std::string Bin = runBinary();
+  Argv.push_back(Bin.data());
+  std::vector<std::string> Copy = Args;
+  for (std::string &A : Copy)
+    Argv.push_back(A.data());
+  Argv.push_back(nullptr);
+  execv(Argv[0], Argv.data());
+  _exit(127);
+}
+
+/// Runs fsmc_run to completion; returns its exit code (-1 on signal).
+int run(const std::vector<std::string> &Args) {
+  pid_t Pid = spawn(Args);
+  if (Pid < 0)
+    return -2;
+  int Status = 0;
+  while (waitpid(Pid, &Status, 0) < 0 && errno == EINTR) {
+  }
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+bool contains(const std::string &Hay, const std::string &Needle) {
+  return Hay.find(Needle) != std::string::npos;
+}
+
+/// First *.sched file in \p Dir, or "".
+std::string firstSched(const std::string &Dir) {
+  std::string Out;
+  std::string Cmd = "ls '" + Dir + "'/*.sched 2>/dev/null | head -1";
+  FILE *P = popen(Cmd.c_str(), "r");
+  if (!P)
+    return Out;
+  char Buf[512];
+  if (fgets(Buf, sizeof(Buf), P))
+    Out.assign(Buf, strcspn(Buf, "\n"));
+  pclose(P);
+  return Out;
+}
+
+} // namespace
+
+TEST_F(RunTool, ExitCodesMatchTheContract) {
+  EXPECT_EQ(run({"--program=peterson", "--executions=50", "--quiet"}), 0);
+  EXPECT_EQ(run({"--program=peterson-bug", "--quiet"}), 1);
+  EXPECT_EQ(run({"--no-such-flag"}), 2);
+  EXPECT_EQ(run({"--program=does-not-exist"}), 2);
+  EXPECT_EQ(run({"--program=crashfault-segv", "--isolate=batch", "--quiet"}),
+            3);
+}
+
+TEST_F(RunTool, SigintWritesCheckpointAndHonestStats) {
+  // Launch an effectively unbounded search, interrupt it, and assert the
+  // documented contract: exit code 5, a loadable checkpoint, and a
+  // stats-json that says "interrupted" rather than claiming completion.
+  std::string Ckpt = Dir + "/run.ckpt";
+  std::string Stats = Dir + "/stats.json";
+  pid_t Pid = spawn({"--program=peterson", "--checkpoint=" + Ckpt,
+                     "--stats-json=" + Stats, "--quiet"});
+  ASSERT_GT(Pid, 0);
+  // Give the search time to pass a few thousand execution boundaries.
+  usleep(500 * 1000);
+  ASSERT_EQ(kill(Pid, SIGINT), 0);
+  int Status = 0;
+  while (waitpid(Pid, &Status, 0) < 0 && errno == EINTR) {
+  }
+  ASSERT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 5);
+
+  std::string CkptText = slurp(Ckpt);
+  EXPECT_TRUE(contains(CkptText, "fsmc-ckpt 1")) << CkptText.substr(0, 80);
+  EXPECT_TRUE(contains(CkptText, "program peterson"));
+
+  std::string Json = slurp(Stats);
+  EXPECT_TRUE(contains(Json, "\"stop_reason\": \"interrupted\"")) << Json;
+  EXPECT_TRUE(contains(Json, "\"interrupted\": true"));
+
+  // The checkpoint must actually resume: a bounded continuation exits 0
+  // and reports cumulative executions past what the checkpoint froze.
+  EXPECT_EQ(run({"--resume=" + Ckpt, "--executions=999999999",
+                 "--seconds=2", "--quiet"}),
+            0);
+}
+
+TEST_F(RunTool, ReproDirRoundTripsThroughReplay) {
+  std::string Repro = Dir + "/repros";
+  ASSERT_EQ(run({"--program=peterson-bug", "--repro-dir=" + Repro,
+                 "--quiet"}),
+            1);
+  std::string Sched = firstSched(Repro);
+  ASSERT_FALSE(Sched.empty()) << "expected a .sched repro file";
+  std::string Content = slurp(Sched);
+  EXPECT_TRUE(contains(Content, "fsmc1:")) << Content;
+  // Replaying the repro file reproduces the bug: exit code 1 again.
+  EXPECT_EQ(run({"--program=peterson-bug", "--replay=" + Sched, "--quiet"}),
+            1);
+}
+
+TEST_F(RunTool, CrashReproRoundTripsUnderIsolation) {
+  std::string Repro = Dir + "/repros";
+  ASSERT_EQ(run({"--program=crashfault-segv", "--isolate=batch",
+                 "--repro-dir=" + Repro, "--quiet"}),
+            3);
+  std::string Sched = firstSched(Repro);
+  ASSERT_FALSE(Sched.empty());
+  EXPECT_EQ(run({"--program=crashfault-segv", "--isolate=batch",
+                 "--replay=" + Sched, "--quiet"}),
+            3);
+}
+
+TEST_F(RunTool, PeriodicCheckpointsAppearDuringTheRun) {
+  std::string Ckpt = Dir + "/periodic.ckpt";
+  std::string Stats = Dir + "/stats.json";
+  ASSERT_EQ(run({"--program=peterson", "--executions=100",
+                 "--checkpoint=" + Ckpt, "--checkpoint-every=30",
+                 "--stats-json=" + Stats, "--quiet"}),
+            0);
+  EXPECT_TRUE(contains(slurp(Ckpt), "fsmc-ckpt 1"));
+  EXPECT_TRUE(contains(slurp(Stats), "\"checkpoints\": 3"));
+}
+
+TEST_F(RunTool, CheckpointEveryRequiresAFile) {
+  EXPECT_EQ(run({"--program=peterson", "--checkpoint-every=10"}), 2);
+}

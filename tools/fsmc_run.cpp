@@ -10,12 +10,20 @@
 //   fsmc_run --program=dining-livelock --bound=300
 //   fsmc_run --program=minikernel --random --executions=100
 //   fsmc_run --program=wsq-bug1 --cb=2 --stats-json=- --trace-out=t.jsonl
+//   fsmc_run --program=crashfault-segv --isolate=batch --repro-dir=repros
+//   fsmc_run --program=peterson --checkpoint=run.ckpt --checkpoint-every=50
+//   fsmc_run --resume=run.ckpt --checkpoint=run.ckpt
 //
-// Exit codes: 0 = no bug found, 1 = bug found, 2 = usage/setup error.
+// Exit codes (docs/ROBUSTNESS.md):
+//   0 = no bug found            4 = workload hang (sandbox watchdog)
+//   1 = bug found               5 = interrupted (SIGINT/SIGTERM)
+//   2 = usage/setup error       6 = replay divergence (checker limitation)
+//   3 = workload crash
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Checker.h"
+#include "core/Checkpoint.h"
 #include "core/IterativeCheck.h"
 #include "core/Schedule.h"
 #include "obs/EventSink.h"
@@ -25,6 +33,7 @@
 #include "support/OutStream.h"
 #include "support/TablePrinter.h"
 #include "workloads/Channels.h"
+#include "workloads/CrashFault.h"
 #include "workloads/DiningPhilosophers.h"
 #include "workloads/Peterson.h"
 #include "workloads/Promise.h"
@@ -34,13 +43,19 @@
 #include "workloads/WorkloadRegistry.h"
 #include "workloads/minikernel/Kernel.h"
 
+#include <atomic>
 #include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <sys/stat.h>
+#include <vector>
 
 using namespace fsmc;
 
@@ -109,6 +124,29 @@ std::map<std::string, std::function<TestProgram()>> catalogue() {
     P.Kind = PetersonConfig::Variant::NoTurn;
     return makePetersonProgram(P);
   };
+  C["peterson-bug"] = [] {
+    PetersonConfig P;
+    P.Kind = PetersonConfig::Variant::FlagAfterCheck;
+    return makePetersonProgram(P);
+  };
+  // Fault-injection variants for --isolate=batch (docs/ROBUSTNESS.md).
+  // Deliberately kept out of the workload registry: they kill the process
+  // that runs them, so only the sandbox can search them.
+  C["crashfault-segv"] = [] {
+    CrashFaultConfig F;
+    F.Kind = CrashFaultConfig::Fault::NullDeref;
+    return makeCrashFaultProgram(F);
+  };
+  C["crashfault-abort"] = [] {
+    CrashFaultConfig F;
+    F.Kind = CrashFaultConfig::Fault::Abort;
+    return makeCrashFaultProgram(F);
+  };
+  C["crashfault-hang"] = [] {
+    CrashFaultConfig F;
+    F.Kind = CrashFaultConfig::Fault::Hang;
+    return makeCrashFaultProgram(F);
+  };
   C["minikernel"] = [] {
     return minikernel::makeKernelBootProgram(minikernel::KernelConfig());
   };
@@ -147,7 +185,31 @@ int usage() {
             "  --seed=N         PRNG seed\n"
             "  --yieldk=N       process every k-th yield\n"
             "  --por            experimental sleep-set reduction\n"
-            "  --replay=SCHED   replay a recorded schedule (fsmc1:...)\n\n"
+            "  --replay=SCHED   replay a recorded schedule (an fsmc1:... "
+            "string\n"
+            "                   or the path of a file holding one)\n\n"
+            "robustness options (docs/ROBUSTNESS.md):\n"
+            "  --isolate=MODE   off (default) | batch: fork worker "
+            "processes so\n"
+            "                   workload crashes/hangs are harvested, not "
+            "fatal\n"
+            "  --batch-size=N   executions per forked worker (default 64)\n"
+            "  --hang-timeout=S sandbox watchdog: kill a silent child "
+            "after S\n"
+            "                   seconds (default 10)\n"
+            "  --divergence-retries=N  retries before a mismatching "
+            "prefix is\n"
+            "                   discarded as a divergence (default 3)\n"
+            "  --checkpoint=F   write a resumable checkpoint to F on "
+            "SIGINT/\n"
+            "                   SIGTERM (and periodically, see below)\n"
+            "  --checkpoint-every=K    also checkpoint every K "
+            "executions\n"
+            "  --resume=F       continue the search recorded in "
+            "checkpoint F\n"
+            "  --repro-dir=D    write every bug/crash/hang schedule "
+            "under D as\n"
+            "                   a file --replay accepts\n\n"
             "observability options:\n"
             "  --stats-json=F   machine-readable run report to file F "
             "('-' = stdout)\n"
@@ -158,8 +220,103 @@ int usage() {
             "  --step-timing    fill the per-transition latency histogram\n"
             "  --quiet          suppress the human-readable summary\n"
             "  --verbose        also print the counter and per-op tables\n\n"
-            "exit codes: 0 = no bug found, 1 = bug found, 2 = usage error\n";
+            "exit codes: 0 = no bug found, 1 = bug found, 2 = usage "
+            "error,\n"
+            "            3 = workload crash, 4 = workload hang, "
+            "5 = interrupted,\n"
+            "            6 = replay divergence\n";
   return 2;
+}
+
+/// Set by the SIGINT/SIGTERM handler; polled by the search at execution
+/// boundaries (and by the sandbox watchdog loop).
+std::atomic<bool> GInterrupted{false};
+
+extern "C" void onInterrupt(int) {
+  // Second signal: the user really wants out. 130 = 128 + SIGINT, the
+  // shell convention for death-by-interrupt.
+  if (GInterrupted.exchange(true))
+    _exit(130);
+}
+
+/// Maps a finished run to the documented exit code. Interruption wins
+/// (the verdict is provisional -- the search did not finish), then the
+/// sandbox incident classes, then the divergence non-verdict, then the
+/// plain bug/no-bug split.
+int exitCode(const CheckResult &R) {
+  if (R.Stats.Interrupted)
+    return 5;
+  if (R.Kind == Verdict::Crash)
+    return 3;
+  if (R.Kind == Verdict::Hang)
+    return 4;
+  if (R.Kind == Verdict::Divergence)
+    return 6;
+  return R.foundBug() ? 1 : 0;
+}
+
+/// A --replay operand is either a literal schedule or the path of a file
+/// holding one (as written by --repro-dir). Files win the ambiguity by
+/// the literal's mandatory "fsmc1:" prefix.
+bool loadReplayOperand(const std::string &Operand, std::string &Schedule) {
+  if (Operand.rfind("fsmc1:", 0) == 0) {
+    Schedule = Operand;
+    return true;
+  }
+  std::ifstream In(Operand);
+  if (!In)
+    return false;
+  std::stringstream SS;
+  SS << In.rdbuf();
+  Schedule = SS.str();
+  // Trim trailing/leading whitespace so a text editor's final newline is
+  // harmless.
+  while (!Schedule.empty() && std::isspace((unsigned char)Schedule.back()))
+    Schedule.pop_back();
+  size_t B = 0;
+  while (B < Schedule.size() && std::isspace((unsigned char)Schedule[B]))
+    ++B;
+  Schedule.erase(0, B);
+  return true;
+}
+
+/// File-name token for a verdict ("safety violation" -> "safety-violation").
+std::string verdictSlug(Verdict V) {
+  std::string S = verdictName(V);
+  for (char &C : S)
+    if (C == ' ')
+      C = '-';
+  return S;
+}
+
+/// Writes one repro file per distinct failure of the run: the bug (if
+/// any) and every sandbox incident. Each file holds a single schedule
+/// line that --replay accepts verbatim. Returns the paths written.
+std::vector<std::string> writeReproFiles(const std::string &Dir,
+                                         const std::string &Program,
+                                         const CheckResult &R) {
+  std::vector<std::string> Paths;
+  ::mkdir(Dir.c_str(), 0777); // EEXIST is fine; open() below reports others.
+  int N = 0;
+  auto WriteOne = [&](const BugReport &B) {
+    if (B.Schedule.empty())
+      return;
+    std::string Path = Dir + "/" + Program + "." + verdictSlug(B.Kind) +
+                       "." + std::to_string(N++) + ".sched";
+    OutStream F = OutStream::open(Path);
+    if (!F.valid()) {
+      errs() << "warning: cannot write repro file " << Path << "\n";
+      return;
+    }
+    F << B.Schedule << "\n";
+    Paths.push_back(std::move(Path));
+  };
+  if (R.Bug)
+    WriteOne(*R.Bug);
+  for (const BugReport &B : R.Incidents)
+    if (!R.Bug || B.Schedule != R.Bug->Schedule)
+      WriteOne(B);
+  return Paths;
 }
 
 /// Appends "key:  value\n"-style summary lines, padding keys to a fixed
@@ -223,6 +380,9 @@ int main(int Argc, char **Argv) {
   std::string Replay;
   std::string StatsJsonPath;
   std::string TraceOutPath;
+  std::string CheckpointPath;
+  std::string ResumePath;
+  std::string ReproDir;
   CheckerOptions Opts;
   int Iterative = -1;
   bool List = false;
@@ -231,6 +391,7 @@ int main(int Argc, char **Argv) {
   bool Quiet = false;
   bool Verbose = false;
   bool StepTiming = false;
+  bool SeedSet = false;
 
   for (int I = 1; I < Argc; ++I) {
     const char *V = nullptr;
@@ -261,15 +422,67 @@ int main(int Argc, char **Argv) {
       }
     } else if (parseFlag(Argv[I], "--seconds", &V))
       Opts.TimeBudgetSeconds = std::atof(V);
-    else if (parseFlag(Argv[I], "--seed", &V))
+    else if (parseFlag(Argv[I], "--seed", &V)) {
       Opts.Seed = std::strtoull(V, nullptr, 10);
-    else if (parseFlag(Argv[I], "--yieldk", &V))
+      SeedSet = true;
+    } else if (parseFlag(Argv[I], "--yieldk", &V))
       Opts.YieldK = std::atoi(V);
     else if (parseFlag(Argv[I], "--por", &V))
       Opts.SleepSets = true;
     else if (parseFlag(Argv[I], "--replay", &V))
       Replay = V;
-    else if (parseFlag(Argv[I], "--stats-json", &V)) {
+    else if (parseFlag(Argv[I], "--isolate", &V)) {
+      if (std::strcmp(V, "off") == 0)
+        Opts.Isolate = IsolationMode::Off;
+      else if (std::strcmp(V, "batch") == 0)
+        Opts.Isolate = IsolationMode::Batch;
+      else {
+        errs() << "--isolate must be 'off' or 'batch'\n";
+        return usage();
+      }
+    } else if (parseFlag(Argv[I], "--batch-size", &V)) {
+      Opts.SandboxBatchSize = std::atoi(V);
+      if (Opts.SandboxBatchSize < 1) {
+        errs() << "--batch-size must be >= 1\n";
+        return usage();
+      }
+    } else if (parseFlag(Argv[I], "--hang-timeout", &V)) {
+      Opts.HangTimeoutSeconds = std::atof(V);
+      if (Opts.HangTimeoutSeconds <= 0) {
+        errs() << "--hang-timeout must be > 0\n";
+        return usage();
+      }
+    } else if (parseFlag(Argv[I], "--divergence-retries", &V)) {
+      Opts.DivergenceRetries = std::atoi(V);
+      if (Opts.DivergenceRetries < 0) {
+        errs() << "--divergence-retries must be >= 0\n";
+        return usage();
+      }
+    } else if (parseFlag(Argv[I], "--checkpoint", &V)) {
+      if (!*V) {
+        errs() << "--checkpoint needs a file name\n";
+        return usage();
+      }
+      CheckpointPath = V;
+    } else if (parseFlag(Argv[I], "--checkpoint-every", &V)) {
+      Opts.CheckpointEvery = std::strtoull(V, nullptr, 10);
+      if (!Opts.CheckpointEvery) {
+        errs() << "--checkpoint-every must be >= 1\n";
+        return usage();
+      }
+    } else if (parseFlag(Argv[I], "--resume", &V)) {
+      if (!*V) {
+        errs() << "--resume needs a file name\n";
+        return usage();
+      }
+      ResumePath = V;
+    } else if (parseFlag(Argv[I], "--repro-dir", &V)) {
+      if (!*V) {
+        errs() << "--repro-dir needs a directory\n";
+        return usage();
+      }
+      ReproDir = V;
+    } else if (parseFlag(Argv[I], "--stats-json", &V)) {
       if (!*V) {
         errs() << "--stats-json needs a file name (or '-')\n";
         return usage();
@@ -332,6 +545,37 @@ int main(int Argc, char **Argv) {
     }
     return 0;
   }
+  if (Opts.CheckpointEvery && CheckpointPath.empty()) {
+    errs() << "--checkpoint-every needs --checkpoint=FILE to write to\n";
+    return usage();
+  }
+
+  // A checkpoint names the program and seed it froze; --resume alone is a
+  // complete invocation. Explicit flags still win so a resumed search can
+  // e.g. lower its remaining time budget.
+  CheckpointState ResumeCK;
+  if (!ResumePath.empty()) {
+    if (!Replay.empty() || Iterative >= 0) {
+      errs() << "--resume cannot be combined with --replay/--iterative\n";
+      return usage();
+    }
+    std::string CkProgram, Err;
+    uint64_t CkSeed = 0;
+    if (!readCheckpointFile(ResumePath, ResumeCK, CkProgram, CkSeed, Err)) {
+      errs() << "cannot resume from " << ResumePath << ": " << Err << "\n";
+      return 2;
+    }
+    if (ProgramName.empty())
+      ProgramName = CkProgram;
+    else if (ProgramName != CkProgram) {
+      errs() << "checkpoint " << ResumePath << " is for program '"
+             << CkProgram << "', not '" << ProgramName << "'\n";
+      return 2;
+    }
+    if (!SeedSet)
+      Opts.Seed = CkSeed;
+  }
+
   auto It = Programs.find(ProgramName);
   if (It == Programs.end()) {
     errs() << "unknown program '" << ProgramName << "' (try --list)\n";
@@ -368,9 +612,36 @@ int main(int Argc, char **Argv) {
     Reporter = std::make_unique<obs::ProgressReporter>(*Obs, PC, errs());
   }
 
+  // Interrupt and checkpoint wiring. The handler only sets a flag; the
+  // search notices it at the next execution boundary (or sandbox watchdog
+  // slice), checkpoints cleanly and returns with Stats.Interrupted. No
+  // SA_RESTART: an interrupted syscall should surface promptly.
+  Opts.InterruptFlag = &GInterrupted;
+  {
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = onInterrupt;
+    sigemptyset(&SA.sa_mask);
+    sigaction(SIGINT, &SA, nullptr);
+    sigaction(SIGTERM, &SA, nullptr);
+  }
+  if (!CheckpointPath.empty() && Opts.CheckpointEvery)
+    Opts.CheckpointSink = [&](const CheckpointState &CK) {
+      if (!writeCheckpointFile(CheckpointPath, CK, Program.Name, Opts.Seed))
+        errs() << "warning: cannot write checkpoint " << CheckpointPath
+               << "\n";
+    };
+
   CheckResult R;
   if (!Replay.empty()) {
-    R = replaySchedule(Program, Opts, Replay);
+    std::string Schedule;
+    if (!loadReplayOperand(Replay, Schedule)) {
+      errs() << "cannot read replay file " << Replay << "\n";
+      return 2;
+    }
+    R = replaySchedule(Program, Opts, Schedule);
+  } else if (!ResumePath.empty()) {
+    R = resumeCheck(Program, Opts, ResumeCK);
   } else if (Iterative >= 0) {
     IterativeCheckResult IR = iterativeCheck(Program, Opts, Iterative);
     if (!Quiet)
@@ -393,6 +664,23 @@ int main(int Argc, char **Argv) {
   if (Sink)
     Sink->close();
 
+  // An interrupted search hands back its frontier; persist it so the run
+  // can be continued with --resume. Without --checkpoint the progress is
+  // lost, which the summary calls out.
+  bool CheckpointSaved = false;
+  if (R.Stats.Interrupted && R.Resume && !CheckpointPath.empty()) {
+    if (writeCheckpointFile(CheckpointPath, *R.Resume, Program.Name,
+                            Opts.Seed))
+      CheckpointSaved = true;
+    else
+      errs() << "warning: cannot write checkpoint " << CheckpointPath
+             << "\n";
+  }
+
+  std::vector<std::string> ReproPaths;
+  if (!ReproDir.empty())
+    ReproPaths = writeReproFiles(ReproDir, Program.Name, R);
+
   if (!Quiet) {
     std::string Out;
     summaryLine(Out, "program", Program.Name);
@@ -407,11 +695,27 @@ int main(int Argc, char **Argv) {
     std::string Note = obs::budgetNote(R, Opts);
     if (!Note.empty())
       summaryLine(Out, "note", Note);
+    if (R.Stats.Interrupted) {
+      if (CheckpointSaved)
+        summaryLine(Out, "checkpoint",
+                    CheckpointPath + " (continue with --resume)");
+      else
+        summaryLine(Out, "checkpoint",
+                    "not saved -- progress lost (pass --checkpoint=FILE)");
+    }
+    for (const BugReport &B : R.Incidents) {
+      if (R.Bug && B.Schedule == R.Bug->Schedule)
+        continue; // Already shown as the bug below.
+      summaryLine(Out, "incident", B.Message);
+      summaryLine(Out, "schedule", B.Schedule);
+    }
     if (R.Bug) {
       summaryLine(Out, "bug", R.Bug->Message);
       summaryLine(Out, "schedule", R.Bug->Schedule);
       Out += "trace suffix:\n" + R.Bug->TraceText;
     }
+    for (const std::string &P : ReproPaths)
+      summaryLine(Out, "repro", P);
     outs() << Out;
     if (Verbose && Obs)
       printVerboseTables(Obs->snapshot());
@@ -434,5 +738,5 @@ int main(int Argc, char **Argv) {
       obs::writeStatsJson(F, R, Info);
     }
   }
-  return R.foundBug() ? 1 : 0;
+  return exitCode(R);
 }

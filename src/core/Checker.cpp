@@ -29,6 +29,8 @@ const char *fsmc::verdictName(Verdict V) {
     return "crash";
   case Verdict::Hang:
     return "hang";
+  case Verdict::DataRace:
+    return "data race";
   }
   return "?";
 }
@@ -50,6 +52,36 @@ void fsmc::mergeSearchStats(SearchStats &Into, const SearchStats &From) {
   Into.Crashes += From.Crashes;
   Into.Hangs += From.Hangs;
   Into.Checkpoints += From.Checkpoints;
+  Into.RacesChecked += From.RacesChecked;
+  Into.RacesFound += From.RacesFound;
+}
+
+void fsmc::finalizeRaces(CheckResult &R, const CheckerOptions &Opts) {
+  if (Opts.Races == RaceCheckMode::Off)
+    return;
+  // The within-run dedup already happened in whichever engine collected
+  // the incidents; the count only needs to be consistent with them.
+  uint64_t RaceIncidents = 0;
+  const BugReport *First = nullptr;
+  for (const BugReport &I : R.Incidents)
+    if (I.Kind == Verdict::DataRace) {
+      ++RaceIncidents;
+      if (!First)
+        First = &I;
+    }
+  R.Stats.RacesFound = std::max(R.Stats.RacesFound, RaceIncidents);
+  if (!First)
+    return;
+  // Promote here, at the top level only: the engines themselves must keep
+  // racy executions indistinguishable from clean ones (same StopOnFirstBug
+  // behaviour, same multiset) so --races=on explores exactly what
+  // --races=off does. In Fatal mode the race already flowed through the
+  // normal bug path and R.Bug is set.
+  if (R.Kind == Verdict::Pass) {
+    R.Kind = Verdict::DataRace;
+    if (!R.Bug)
+      R.Bug = *First;
+  }
 }
 
 CheckResult fsmc::check(const TestProgram &Program,
@@ -66,13 +98,17 @@ CheckResult fsmc::check(const TestProgram &Program,
   // Process isolation forces serial exploration (the frontier must live in
   // one parent); stateful pruning stays in-process because prune keys
   // cannot cross the fork boundary.
-  if (Effective.Isolate == IsolationMode::Batch && !Effective.StatefulPruning)
-    return runSandboxed(Program, Effective);
-
-  if (Effective.Jobs > 1) {
+  CheckResult R;
+  if (Effective.Isolate == IsolationMode::Batch &&
+      !Effective.StatefulPruning) {
+    R = runSandboxed(Program, Effective);
+  } else if (Effective.Jobs > 1) {
     ParallelExplorer PE(Program, Effective);
-    return PE.run();
+    R = PE.run();
+  } else {
+    Explorer E(Program, Effective);
+    R = E.run();
   }
-  Explorer E(Program, Effective);
-  return E.run();
+  finalizeRaces(R, Effective);
+  return R;
 }

@@ -56,6 +56,9 @@ enum class Verdict {
                           ///< unexpected exit (--isolate=batch only).
   Hang,                   ///< Sandboxed execution made no progress for the
                           ///< watchdog timeout and was killed.
+  DataRace,               ///< Concurrent conflicting accesses to a plain
+                          ///< shared variable with no happens-before edge
+                          ///< (src/race/RaceDetector.h; --races=on|fatal).
 };
 
 const char *verdictName(Verdict V);
@@ -119,6 +122,10 @@ struct SearchStats {
   uint64_t Hangs = 0;
   /// Checkpoints written (periodic + on interrupt).
   uint64_t Checkpoints = 0;
+  /// Plain-variable accesses race-checked (RaceCheckMode on/fatal).
+  uint64_t RacesChecked = 0;
+  /// Distinct data races found (deduplicated by race description).
+  uint64_t RacesFound = 0;
   bool TimedOut = false;        ///< Time budget exhausted.
   bool ExecutionCapHit = false; ///< MaxExecutions reached.
   bool SearchExhausted = false; ///< DFS enumerated every execution.
@@ -130,6 +137,17 @@ struct SearchStats {
 /// are not merged. Shared by the parallel driver, the sandbox parent, and
 /// checkpoint resume.
 void mergeSearchStats(SearchStats &Into, const SearchStats &From);
+
+/// Happens-before data race detection over plain shared variables
+/// (--races=). Detection is purely observational: On and Fatal explore
+/// the same execution multiset as Off; only the reporting differs.
+enum class RaceCheckMode {
+  Off,   ///< No detection; zero overhead (the default).
+  On,    ///< Detect and report races (Verdict::DataRace + Incidents) but
+         ///< keep searching the full configured budget.
+  Fatal, ///< A detected race ends the execution like a safety violation
+         ///< and, with StopOnFirstBug, the search.
+};
 
 /// Where test-program code runs relative to the checker (--isolate=).
 enum class IsolationMode {
@@ -218,6 +236,9 @@ struct CheckerOptions {
   /// Null keeps every instrumentation hook down to one pointer test.
   obs::Observer *Obs = nullptr;
 
+  /// Happens-before race detection over PlainVar accesses (src/race/).
+  RaceCheckMode Races = RaceCheckMode::Off;
+
   //===--- Robustness layer (docs/ROBUSTNESS.md) -------------------------===//
 
   /// Run test-program code in forked child processes so workload crashes
@@ -264,8 +285,9 @@ struct CheckResult {
   /// Sorted distinct state signatures; filled only when
   /// CheckerOptions::ExportStateSignatures is set.
   std::vector<uint64_t> StateSignatures;
-  /// Every crash/hang the sandbox harvested (Bug holds the first workload
-  /// bug, or the first incident when no real bug was found).
+  /// Every crash/hang the sandbox harvested and every distinct data race
+  /// the detector found (Bug holds the first workload bug, or the first
+  /// incident when no real bug was found).
   std::vector<BugReport> Incidents;
   /// Set when the run stopped on InterruptFlag: everything needed to
   /// continue the search via resumeCheck (core/Checkpoint.h).
@@ -281,6 +303,15 @@ struct CheckResult {
 /// Runs the fair stateless model checker on \p Program under \p Opts.
 /// This is the library's main entry point.
 CheckResult check(const TestProgram &Program, const CheckerOptions &Opts);
+
+/// Top-level race promotion, shared by check() and resumeCheck(): when
+/// race detection is on and \p R carries DataRace incidents, reconciles
+/// Stats.RacesFound with them and -- if no workload bug outranks the
+/// races -- promotes the verdict to Verdict::DataRace with the first race
+/// as the bug report. Deliberately *not* done inside the engines, so a
+/// racy execution never changes StopOnFirstBug behaviour mid-search
+/// (RaceCheckMode::On must explore the same multiset as Off).
+void finalizeRaces(CheckResult &R, const CheckerOptions &Opts);
 
 } // namespace fsmc
 

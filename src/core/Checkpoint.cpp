@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 using namespace fsmc;
 
@@ -38,6 +39,8 @@ const char *verdictWire(Verdict V) {
     return "crash";
   case Verdict::Hang:
     return "hang";
+  case Verdict::DataRace:
+    return "datarace";
   }
   return "pass";
 }
@@ -59,6 +62,8 @@ bool parseVerdictWire(const std::string &S, Verdict &V) {
     V = Verdict::Crash;
   else if (S == "hang")
     V = Verdict::Hang;
+  else if (S == "datarace")
+    V = Verdict::DataRace;
   else
     return false;
   return true;
@@ -118,6 +123,9 @@ std::string fsmc::encodeCheckpoint(const CheckpointState &CK,
   OS << "stat crashes " << S.Crashes << "\n";
   OS << "stat hangs " << S.Hangs << "\n";
   OS << "stat checkpoints " << S.Checkpoints << "\n";
+  // Older readers skip unknown stat keys, so these are forward-compatible.
+  OS << "stat races_checked " << S.RacesChecked << "\n";
+  OS << "stat races_found " << S.RacesFound << "\n";
   if (CK.Bug) {
     OS << "bug " << verdictWire(CK.Bug->Kind) << " " << CK.Bug->AtExecution
        << " " << CK.Bug->AtStep << " " << CK.Bug->Schedule << "\n";
@@ -205,6 +213,10 @@ bool fsmc::decodeCheckpoint(const std::string &Text, CheckpointState &CK,
         S.Hangs = Val;
       else if (Name == "checkpoints")
         S.Checkpoints = Val;
+      else if (Name == "races_checked")
+        S.RacesChecked = Val;
+      else if (Name == "races_found")
+        S.RacesFound = Val;
       // Unknown stat keys are skipped for forward compatibility.
     } else if (Key == "bug") {
       std::string KindTok, Schedule;
@@ -322,7 +334,9 @@ CheckResult fsmc::resumeCheck(const TestProgram &Program,
       Effective.Isolate != IsolationMode::Batch) {
     ParallelExplorer PE(Program, Effective);
     PE.resumeFrom(CK);
-    return PE.run();
+    CheckResult R = PE.run();
+    finalizeRaces(R, Effective);
+    return R;
   }
 
   // Serial (optionally sandboxed) chain over the frontier units. Stats,
@@ -339,6 +353,13 @@ CheckResult fsmc::resumeCheck(const TestProgram &Program,
   std::optional<BugReport> Bug;
   if (CK.Bug)
     Bug = *CK.Bug;
+  // Each frontier unit runs its own engine with a fresh race-dedup set, so
+  // unit N+1 can re-report a race unit N already found; dedup across units
+  // here and keep the cumulative count consistent. Races found before the
+  // checkpoint are not keyed in the file, so a resumed run may recount
+  // them (documented in docs/RACES.md).
+  std::unordered_set<std::string> RaceKeys;
+  const uint64_t RaceBase = CK.Stats.RacesFound;
 
   for (size_t U = 0; U < CK.Frontier.size(); ++U) {
     CheckerOptions SubOpts = Effective;
@@ -397,8 +418,11 @@ CheckResult fsmc::resumeCheck(const TestProgram &Program,
     Agg.Stats = R.Stats; // Cumulative: the explorer ran on top of Agg.
     if (R.Bug)
       Bug = R.Bug;
-    Agg.Incidents.insert(Agg.Incidents.end(), R.Incidents.begin(),
-                         R.Incidents.end());
+    for (const BugReport &I : R.Incidents)
+      if (I.Kind != Verdict::DataRace || RaceKeys.insert(I.Message).second)
+        Agg.Incidents.push_back(I);
+    if (Effective.Races != RaceCheckMode::Off)
+      Agg.Stats.RacesFound = RaceBase + RaceKeys.size();
 
     if (R.Stats.Interrupted && R.Resume) {
       for (size_t V = U + 1; V < CK.Frontier.size(); ++V)
@@ -424,5 +448,8 @@ CheckResult fsmc::resumeCheck(const TestProgram &Program,
   Agg.Stats.Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+  // Top-level promotion, mirroring check(): resumed runs surface data
+  // races in the verdict the same way uninterrupted ones do.
+  finalizeRaces(Agg, Effective);
   return Agg;
 }

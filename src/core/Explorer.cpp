@@ -7,6 +7,7 @@
 #include "core/LivenessMonitor.h"
 #include "core/Schedule.h"
 #include "obs/Observer.h"
+#include "race/RaceDetector.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -256,6 +257,31 @@ void Explorer::reportBug(Verdict V, std::string Msg, const Runtime &RT,
   Result.Kind = V;
 }
 
+void Explorer::harvestRaces(const RaceDetector &D, const Runtime &RT) {
+  Result.Stats.RacesChecked += D.checks();
+  if (Ctr && D.checks())
+    Ctr->add(obs::Counter::RacesChecked, D.checks());
+  for (const RaceReport &R : D.races()) {
+    if (!RaceKeys.insert(R.Message).second)
+      continue; // The same race, surfaced by another interleaving.
+    ++Result.Stats.RacesFound;
+    if (Ctr)
+      Ctr->add(obs::Counter::RacesFound);
+    BugReport B;
+    B.Kind = Verdict::DataRace;
+    B.Message = R.Message;
+    B.TraceText = R.Detail + CurTrace.render(RT, 120);
+    B.AtExecution = Result.Stats.Executions;
+    B.AtStep = CurSteps;
+    std::vector<ScheduleChoice> Choices;
+    Choices.reserve(Cursor);
+    for (size_t I = 0; I < Cursor && I < Stack.size(); ++I)
+      Choices.push_back({Stack[I].Chosen, Stack[I].Num, Stack[I].Backtrack});
+    B.Schedule = encodeSchedule(Choices);
+    Result.Incidents.push_back(std::move(B));
+  }
+}
+
 int Explorer::chooseInt(int N) {
   // Data choices in the random tail (or random walks) are random and not
   // backtrack points, matching the treatment of scheduling choices there.
@@ -277,8 +303,16 @@ Explorer::ExecEnd Explorer::runOneExecution() {
   const uint64_t ExecStartClock = ObsClock;
   uint64_t LastEdgeAdds = 0, LastEdgeRemovals = 0;
 
+  // A fresh detector per execution, like every other piece of per-
+  // execution state: the stateless search replays establish all clocks
+  // from scratch each time.
+  std::optional<RaceDetector> RaceD;
   Runtime::Options RTOpts;
   RTOpts.Ctr = Ctr;
+  if (Opts.Races != RaceCheckMode::Off) {
+    RaceD.emplace();
+    RTOpts.Race = &*RaceD;
+  }
   Runtime RT(*this, RTOpts);
   FairScheduler FS(Opts.YieldK);
   LivenessMonitor Monitor(Opts.GoodSamaritanBound);
@@ -296,7 +330,11 @@ Explorer::ExecEnd Explorer::runOneExecution() {
 
   // Runs on every way out of the execution; \p EndDetail is the stable
   // wire name of the end class for the ExecutionEnd trace event.
-  auto finishStats = [&](const char *EndDetail) {
+  // \p HarvestRaces is cleared on the exits that do not count as an
+  // execution (divergence, mid-execution interrupt): their attempts are
+  // re-run, and harvesting them would double-count checks and break the
+  // resumed run's equivalence with an uninterrupted one.
+  auto finishStats = [&](const char *EndDetail, bool HarvestRaces = true) {
     if (RT.threadCount() > Result.Stats.MaxThreads)
       Result.Stats.MaxThreads = RT.threadCount();
     if (RT.syncOpCount() > Result.Stats.MaxSyncOps)
@@ -318,6 +356,8 @@ Explorer::ExecEnd Explorer::runOneExecution() {
         emitEvent(E);
       }
     }
+    if (RaceD && HarvestRaces)
+      harvestRaces(*RaceD, RT);
   };
 
   while (true) {
@@ -379,7 +419,7 @@ Explorer::ExecEnd Explorer::runOneExecution() {
       // fire in the replay region, so the stack is exactly as it was at
       // the start of the execution: the driver retries it verbatim up to
       // Opts.DivergenceRetries times before discarding the subtree.
-      finishStats("diverged");
+      finishStats("diverged", /*HarvestRaces=*/false);
       return ExecEnd::Diverged;
     }
     Tid T = nthMember(Cands.Set, Idx);
@@ -447,13 +487,23 @@ Explorer::ExecEnd Explorer::runOneExecution() {
       // whole execution is poisoned -- later choices were misapplied --
       // so divergence outranks anything the transition appeared to do,
       // including failing an assertion or ending the program.
-      finishStats("diverged");
+      finishStats("diverged", /*HarvestRaces=*/false);
       return ExecEnd::Diverged;
     }
 
     if (St == StepStatus::Failed) {
       finishStats("bug");
       reportBug(Verdict::SafetyViolation, RT.failureMessage(), RT, CurSteps);
+      return ExecEnd::Bug;
+    }
+
+    if (RaceD && Opts.Races == RaceCheckMode::Fatal &&
+        !RaceD->races().empty()) {
+      // Fatal mode: a race ends the execution like a safety violation
+      // (finishStats already harvested it as an incident too).
+      finishStats("bug");
+      reportBug(Verdict::DataRace, RaceD->races().front().Message, RT,
+                CurSteps);
       return ExecEnd::Bug;
     }
 
@@ -581,7 +631,7 @@ Explorer::ExecEnd Explorer::runOneExecution() {
     if ((CurSteps & 0xfff) == 0) {
       if (Opts.InterruptFlag &&
           Opts.InterruptFlag->load(std::memory_order_relaxed)) {
-        finishStats("abandoned");
+        finishStats("abandoned", /*HarvestRaces=*/false);
         return ExecEnd::Interrupted;
       }
       if (timeExceeded()) {

@@ -156,6 +156,11 @@ public:
   /// Logical transitions this explorer has run; see setObsWorker.
   uint64_t obsClock() const { return ObsClock; }
 
+  /// Incidents collected so far (data races under RaceCheckMode::On); the
+  /// sandbox child streams deltas of this list to its parent. Valid from
+  /// the execution hook or after run().
+  const std::vector<BugReport> &incidents() const { return Result.Incidents; }
+
   // ChoiceSource: data nondeterminism raised from inside a transition.
   int chooseInt(int N) override;
 
@@ -183,6 +188,10 @@ private:
   };
 
   ExecEnd runOneExecution();
+  /// Folds one finished execution's detector results into the run:
+  /// RacesChecked, and one deduplicated DataRace incident per novel race
+  /// (keyed by the interleaving-independent report message).
+  void harvestRaces(const RaceDetector &D, const Runtime &RT);
   /// Snapshot of the whole search state for CheckpointSink /
   /// CheckResult::Resume: stats, the current stack as one non-frozen
   /// frontier unit, RNG state, and sorted coverage signatures.
@@ -226,6 +235,9 @@ private:
 
   CheckResult Result;
   Trace CurTrace;
+  /// Cross-execution race dedup: messages of every race already turned
+  /// into an incident (the same race recurs in many interleavings).
+  std::unordered_set<std::string> RaceKeys;
   std::unordered_set<uint64_t> SeenStates;
   std::unordered_set<uint64_t> PruneKeys;
   uint64_t CurExecution = 0;

@@ -77,6 +77,11 @@ struct ParallelExplorer::Shared {
   std::mutex MergeM;
   SearchStats Total;
   std::unordered_set<uint64_t> States;
+  // Race incidents, deduplicated globally: workers dedup only within
+  // their own explorer, so the same race arriving from two workers must
+  // collapse here. Guarded by MergeM.
+  std::unordered_set<std::string> RaceKeys;
+  std::vector<BugReport> RaceIncidents;
 
   void requestStop() {
     StopAll.store(true, std::memory_order_relaxed);
@@ -328,6 +333,10 @@ CheckResult ParallelExplorer::run() {
         mergeSearchStats(SH.Total, R.Stats);
         if (!E.seenStates().empty())
           SH.States.insert(E.seenStates().begin(), E.seenStates().end());
+        for (const BugReport &I : R.Incidents)
+          if (I.Kind != Verdict::DataRace ||
+              SH.RaceKeys.insert(I.Message).second)
+            SH.RaceIncidents.push_back(I);
       }
       Clock = E.obsClock();
       if (WCtr)
@@ -347,6 +356,9 @@ CheckResult ParallelExplorer::run() {
         CK->Stats.SearchExhausted = CK->Stats.Interrupted = false;
     CK->Stats.Seconds = 0;
     CK->Stats.DistinctStates = SH.States.size();
+    if (Opts.Races != RaceCheckMode::Off)
+      CK->Stats.RacesFound = (ResumeCK ? ResumeCK->Stats.RacesFound : 0) +
+                             SH.RaceKeys.size();
     CK->Rng = Opts.Seed;
     CK->States.assign(SH.States.begin(), SH.States.end());
     std::sort(CK->States.begin(), CK->States.end());
@@ -409,6 +421,23 @@ CheckResult ParallelExplorer::run() {
   CheckResult Result;
   Result.Stats = SH.Total;
   Result.Stats.DistinctStates = SH.States.size();
+  if (!SH.RaceIncidents.empty()) {
+    // Worker arrival order is nondeterministic; the messages are not (the
+    // execution multiset is), so sorting by message makes the incident
+    // list and its count deterministic across runs and job counts.
+    std::sort(SH.RaceIncidents.begin(), SH.RaceIncidents.end(),
+              [](const BugReport &A, const BugReport &B) {
+                return A.Message < B.Message;
+              });
+    Result.Incidents = std::move(SH.RaceIncidents);
+  }
+  // Per-worker RacesFound summed across workers overcounts shared races;
+  // the global key set is the true distinct count (plus any base from a
+  // resumed checkpoint, whose keys are no longer available).
+  if (Opts.Races != RaceCheckMode::Off) {
+    uint64_t Base = ResumeCK ? ResumeCK->Stats.RacesFound : 0;
+    Result.Stats.RacesFound = Base + SH.RaceKeys.size();
+  }
   if (Opts.ExportStateSignatures) {
     Result.StateSignatures.assign(SH.States.begin(), SH.States.end());
     std::sort(Result.StateSignatures.begin(), Result.StateSignatures.end());

@@ -20,6 +20,9 @@
 //   Choice    (tag 4)  probe mode only: every non-forced choice as it
 //                      resolves, so the parent can reconstruct the exact
 //                      stack of an execution that never finishes.
+//   Race      (tag 5)  --races only: a data-race incident (same payload as
+//                      Bug), streamed just before its execution's ExecDone
+//                      so it commits and is discarded with that execution.
 //
 // Records are `u8 tag + u32 length + payload`. Parent and child are the
 // same process image (fork, no exec), so trivially-copyable payloads
@@ -53,6 +56,7 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <unordered_set>
 
 #include <poll.h>
 #include <signal.h>
@@ -73,6 +77,7 @@ enum : uint8_t {
   TagBug = 2,
   TagBatchEnd = 3,
   TagChoice = 4,
+  TagRace = 5,
 };
 
 enum : uint8_t {
@@ -226,7 +231,7 @@ struct ChildInput {
   uint64_t Rng = 0;
 };
 
-void writeBugRecord(int Fd, const BugReport &B) {
+void writeBugRecord(int Fd, const BugReport &B, uint8_t Tag = TagBug) {
   WireWriter W;
   W.u8(uint8_t(B.Kind));
   W.u64(B.AtExecution);
@@ -234,7 +239,7 @@ void writeBugRecord(int Fd, const BugReport &B) {
   W.str(B.Message);
   W.str(B.Schedule);
   W.str(B.TraceText);
-  writeRecord(Fd, TagBug, W);
+  writeRecord(Fd, Tag, W);
 }
 
 /// Runs one batch inside the forked child and streams progress to \p Fd.
@@ -252,8 +257,14 @@ void writeBugRecord(int Fd, const BugReport &B) {
   E.enableStateLog();
 
   size_t StatesSent = 0;
+  size_t IncidentsSent = 0;
   bool PipeOk = true;
   E.setExecutionHook([&](Explorer &Ex) {
+    // Race incidents harvested by the execution that just finished go out
+    // first, so every Race record precedes the ExecDone that commits it.
+    const std::vector<BugReport> &Inc = Ex.incidents();
+    for (; IncidentsSent < Inc.size(); ++IncidentsSent)
+      writeBugRecord(Fd, Inc[IncidentsSent], TagRace);
     WireWriter W;
     W.stats(Ex.currentStats());
     W.u64(Ex.rngState());
@@ -342,6 +353,12 @@ struct BatchReport {
 
   std::optional<BugReport> Bug;
 
+  // Data-race incidents in arrival order. A Race record always precedes
+  // the ExecDone of the execution that found it, so RacesAtLastExec is the
+  // committable prefix when the batch dies mid-execution.
+  std::vector<BugReport> Races;
+  size_t RacesAtLastExec = 0;
+
   // BatchEnd, when the child finished cleanly.
   bool GotEnd = false;
   uint8_t Flags = 0;
@@ -365,9 +382,11 @@ struct BatchReport {
         break;
       StatesDelta.insert(StatesDelta.end(), Delta.begin(), Delta.end());
       HaveExec = true;
+      RacesAtLastExec = Races.size();
       return;
     }
-    case TagBug: {
+    case TagBug:
+    case TagRace: {
       BugReport B;
       B.Kind = Verdict(R.u8());
       B.AtExecution = R.u64();
@@ -377,7 +396,10 @@ struct BatchReport {
       B.TraceText = R.str();
       if (!R.Ok)
         break;
-      Bug = std::move(B);
+      if (Tag == TagRace)
+        Races.push_back(std::move(B));
+      else
+        Bug = std::move(B);
       return;
     }
     case TagBatchEnd: {
@@ -576,6 +598,10 @@ void addCounterDeltas(obs::WorkerCounters *Ctr, const SearchStats &Prev,
   D(Counter::BugsFound, Now.BugsFound, Prev.BugsFound);
   D(Counter::Divergences, Now.Divergences, Prev.Divergences);
   D(Counter::DivergenceRetries, Now.DivergenceRetries, Prev.DivergenceRetries);
+  // RacesFound is deliberately absent: each batch child dedups only within
+  // itself, so its delta overcounts races already seen by earlier batches.
+  // The parent bumps the counter per globally-novel race at commit time.
+  D(Counter::RacesChecked, Now.RacesChecked, Prev.RacesChecked);
   Ctr->maxGauge(obs::Gauge::MaxDepth, Now.MaxDepth);
 }
 
@@ -664,6 +690,23 @@ CheckResult fsmc::runSandboxed(const TestProgram &Program,
     Prefix = *InitialPrefix;
 
   CheckResult Agg;
+  // Cross-batch race dedup. Each batch child restarts with an empty key
+  // set, so its RacesFound recounts races earlier batches already found;
+  // the parent keeps the authoritative set and rewrites Cum.RacesFound as
+  // base-at-start + globally distinct races committed this run.
+  std::unordered_set<std::string> RaceKeys;
+  const uint64_t RaceBase = Cum.RacesFound;
+  auto commitRaces = [&](const std::vector<BugReport> &Races, size_t N) {
+    for (size_t I = 0; I < N && I < Races.size(); ++I) {
+      const BugReport &B = Races[I];
+      if (B.Kind != Verdict::DataRace || !RaceKeys.insert(B.Message).second)
+        continue;
+      if (Ctr)
+        Ctr->add(obs::Counter::RacesFound);
+      Agg.Incidents.push_back(B);
+    }
+    Cum.RacesFound = RaceBase + RaceKeys.size();
+  };
   bool Exhausted = false, TimedOut = false, CapHit = false,
        Interrupted = false;
   uint64_t NextCheckpointAt =
@@ -755,6 +798,7 @@ CheckResult fsmc::runSandboxed(const TestProgram &Program,
       Cum.TimedOut = Cum.ExecutionCapHit = Cum.SearchExhausted =
           Cum.Interrupted = false;
       commitStates(E.stateLog());
+      commitRaces(R.Incidents, R.Incidents.size());
       Rng = E.rngState();
       if (R.Bug && !FirstBug) {
         FirstBug = *R.Bug;
@@ -797,6 +841,7 @@ CheckResult fsmc::runSandboxed(const TestProgram &Program,
       Cum.TimedOut = Cum.ExecutionCapHit = Cum.SearchExhausted =
           Cum.Interrupted = false;
       commitStates(Rep.StatesDelta);
+      commitRaces(Rep.Races, Rep.Races.size());
       Rng = Rep.EndRng;
 
       bool GlobalCap = Opts.MaxExecutions &&
@@ -825,6 +870,9 @@ CheckResult fsmc::runSandboxed(const TestProgram &Program,
         Cum.TimedOut = Cum.ExecutionCapHit = Cum.SearchExhausted =
             Cum.Interrupted = false;
         commitStates(Rep.StatesDelta);
+        // Races past the last ExecDone belong to the uncommitted execution
+        // the child died in; they are discarded along with it.
+        commitRaces(Rep.Races, Rep.RacesAtLastExec);
         Rng = Rep.ExecRng;
       }
 
@@ -930,13 +978,22 @@ CheckResult fsmc::runSandboxed(const TestProgram &Program,
   Agg.Stats.DistinctStates = States.size();
   Agg.Stats.Seconds = elapsed();
 
+  // Data-race incidents never stand in for the verdict here: whether they
+  // escalate is a top-level policy decision (finalizeRaces), and letting a
+  // child batch promote one would perturb the search under StopOnFirstBug.
+  const BugReport *StandIn = nullptr;
+  for (const BugReport &I : Agg.Incidents)
+    if (I.Kind != Verdict::DataRace) {
+      StandIn = &I;
+      break;
+    }
   if (FirstBug) {
     Agg.Kind = FirstBug->Kind;
     Agg.Bug = FirstBug;
-  } else if (!Agg.Incidents.empty()) {
-    // No genuine workload bug: the first incident stands in.
-    Agg.Kind = Agg.Incidents.front().Kind;
-    Agg.Bug = Agg.Incidents.front();
+  } else if (StandIn) {
+    // No genuine workload bug: the first crash/hang incident stands in.
+    Agg.Kind = StandIn->Kind;
+    Agg.Bug = *StandIn;
   } else if (Cum.Divergences > 0 && Cum.Executions == 0) {
     Agg.Kind = Verdict::Divergence;
   }

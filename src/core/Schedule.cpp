@@ -80,11 +80,18 @@ CheckResult fsmc::replaySchedule(const TestProgram &Program,
   // Freeze the whole schedule: replay must stay on the recorded path. A
   // mismatch then surfaces as Verdict::Divergence (after the configured
   // retries) instead of wandering into sibling schedules.
-  if (Effective.Isolate == IsolationMode::Batch)
+  CheckResult R;
+  if (Effective.Isolate == IsolationMode::Batch) {
     // Replaying a crashing schedule in-process would kill the caller --
     // the one execution isolation exists for.
-    return runSandboxed(Program, Effective, &Choices, Choices.size());
-  Explorer E(Program, Effective);
-  E.preloadSchedule(Choices, /*Frozen=*/true);
-  return E.run();
+    R = runSandboxed(Program, Effective, &Choices, Choices.size());
+  } else {
+    Explorer E(Program, Effective);
+    E.preloadSchedule(Choices, /*Frozen=*/true);
+    R = E.run();
+  }
+  // Replay is a top-level entry point like check(): a replayed race
+  // schedule should reproduce the race as the verdict.
+  finalizeRaces(R, Effective);
+  return R;
 }

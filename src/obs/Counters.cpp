@@ -56,6 +56,10 @@ const char *fsmc::obs::counterName(Counter C) {
     return "hangs";
   case Counter::Checkpoints:
     return "checkpoints";
+  case Counter::RacesChecked:
+    return "races_checked";
+  case Counter::RacesFound:
+    return "races_found";
   case Counter::NumCounters:
     break;
   }

@@ -65,6 +65,8 @@ enum class Counter : unsigned {
   Crashes,                 ///< Sandboxed executions that died on a signal.
   Hangs,                   ///< Sandboxed executions killed by the watchdog.
   Checkpoints,             ///< Checkpoints written.
+  RacesChecked,            ///< Plain accesses race-checked (--races=on).
+  RacesFound,              ///< Distinct data races found.
   NumCounters
 };
 

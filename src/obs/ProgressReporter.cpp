@@ -31,7 +31,7 @@ std::string compactCount(uint64_t V) {
 
 ProgressReporter::ProgressReporter(const Observer &Obs, const Config &Cfg,
                                    OutStream &OS)
-    : Obs(Obs), Cfg(Cfg), OS(OS) {
+    : Obs(Obs), Cfg(Cfg), OS(OS), Start(std::chrono::steady_clock::now()) {
   if (this->Cfg.IntervalSeconds <= 0)
     this->Cfg.IntervalSeconds = 1.0;
   Th = std::thread([this] { run(); });
@@ -90,7 +90,6 @@ std::string ProgressReporter::formatLine(double ElapsedSeconds,
 }
 
 void ProgressReporter::run() {
-  auto Start = std::chrono::steady_clock::now();
   uint64_t PrevExecs = 0;
   double PrevT = 0;
   std::unique_lock<std::mutex> Lock(M);

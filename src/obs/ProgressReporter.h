@@ -23,6 +23,7 @@
 #ifndef FSMC_OBS_PROGRESSREPORTER_H
 #define FSMC_OBS_PROGRESSREPORTER_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -67,6 +68,11 @@ private:
   const Observer &Obs;
   Config Cfg;
   OutStream &OS;
+  /// Captured at construction, i.e. when the search starts -- not when the
+  /// reporter thread first gets scheduled. Seeding the first window from
+  /// thread startup undercounted its elapsed time and overstated (or, with
+  /// a slow spawn, zeroed) the first printed rate.
+  std::chrono::steady_clock::time_point Start;
   std::mutex M;
   std::condition_variable CV;
   bool Stopping = false;

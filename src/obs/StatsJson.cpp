@@ -54,6 +54,8 @@ const char *fsmc::obs::stopReason(const CheckResult &R) {
     return "workload_crash";
   if (R.Kind == Verdict::Hang)
     return "workload_hang";
+  if (R.Kind == Verdict::DataRace)
+    return "data_race";
   if (R.foundBug())
     return "bug_found";
   if (R.Stats.TimedOut)
@@ -173,6 +175,9 @@ std::string fsmc::obs::renderStatsJson(const CheckResult &R,
     }
     if (O.DivergenceRetries != 3)
       appendKV(Out, "divergence_retries", uint64_t(O.DivergenceRetries), true);
+    if (O.Races != RaceCheckMode::Off)
+      appendKVStr(Out, "races", O.Races == RaceCheckMode::Fatal ? "fatal" : "on",
+                  true);
     if (O.CheckpointEvery != 0)
       appendKV(Out, "checkpoint_every", O.CheckpointEvery, true);
     appendKVBool(Out, "stop_on_first_bug", O.StopOnFirstBug, false);
@@ -205,6 +210,10 @@ std::string fsmc::obs::renderStatsJson(const CheckResult &R,
     appendKV(Out, "hangs", S.Hangs, true);
   if (S.Checkpoints != 0)
     appendKV(Out, "checkpoints", S.Checkpoints, true);
+  if (S.RacesChecked != 0)
+    appendKV(Out, "races_checked", S.RacesChecked, true);
+  if (S.RacesFound != 0)
+    appendKV(Out, "races_found", S.RacesFound, true);
   if (S.Interrupted)
     appendKVBool(Out, "interrupted", true, true);
   char Secs[48];

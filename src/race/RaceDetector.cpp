@@ -1,0 +1,174 @@
+//===- race/RaceDetector.cpp - Happens-before data race detection ---------===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/RaceDetector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace fsmc;
+
+namespace {
+
+/// `Into |= From`, componentwise max.
+void joinInto(std::vector<uint32_t> &Into, const std::vector<uint32_t> &From) {
+  if (Into.size() < From.size())
+    Into.resize(From.size(), 0);
+  for (size_t I = 0; I < From.size(); ++I)
+    Into[I] = std::max(Into[I], From[I]);
+}
+
+void renderClock(std::ostringstream &OS, const std::vector<uint32_t> &C) {
+  OS << '{';
+  bool First = true;
+  for (size_t I = 0; I < C.size(); ++I) {
+    if (C[I] == 0)
+      continue;
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << 't' << I << ':' << C[I];
+  }
+  OS << '}';
+}
+
+} // namespace
+
+RaceDetector::Clock &RaceDetector::clockOf(Tid T) {
+  assert(T >= 0 && "race detector needs a real thread id");
+  if (size_t(T) >= Clocks.size())
+    Clocks.resize(size_t(T) + 1);
+  Clock &C = Clocks[size_t(T)];
+  if (C.size() <= size_t(T))
+    C.resize(size_t(T) + 1, 0);
+  if (C[size_t(T)] == 0)
+    C[size_t(T)] = 1;
+  return C;
+}
+
+void RaceDetector::onSpawn(Tid Parent, Tid Child) {
+  // Materialize both clocks before taking references: clockOf may grow
+  // the Clocks table, invalidating a reference taken earlier.
+  (void)clockOf(Parent);
+  (void)clockOf(Child);
+  Clock &P = Clocks[size_t(Parent)];
+  Clock &C = Clocks[size_t(Child)];
+  joinInto(C, P);
+  // The child is a new epoch of its own; the parent advances so its
+  // post-spawn actions are not ordered into the child.
+  C[size_t(Child)] = std::max<uint32_t>(C[size_t(Child)], 1);
+  P[size_t(Parent)]++;
+}
+
+void RaceDetector::onJoin(Tid Joiner, Tid Target) {
+  (void)clockOf(Target);
+  (void)clockOf(Joiner); // Same reallocation hazard as onSpawn.
+  joinInto(Clocks[size_t(Joiner)], Clocks[size_t(Target)]);
+}
+
+void RaceDetector::onAcquire(Tid T, int Obj) {
+  auto It = ObjClocks.find(Obj);
+  if (It == ObjClocks.end())
+    return;
+  joinInto(clockOf(T), It->second);
+}
+
+void RaceDetector::onRelease(Tid T, int Obj) {
+  Clock &C = clockOf(T);
+  joinInto(ObjClocks[Obj], C);
+  C[size_t(T)]++;
+}
+
+bool RaceDetector::happenedBefore(const Access &A, Tid T) {
+  if (A.T == T)
+    return true;
+  const Clock &C = clockOf(T);
+  return size_t(A.T) < C.size() && A.C <= C[size_t(A.T)];
+}
+
+void RaceDetector::report(VarState &V, const Access &Prior, bool PriorIsWrite,
+                          const Access &Cur, bool CurIsWrite,
+                          const std::string &VarName) {
+  if (V.Reported)
+    return;
+  V.Reported = true;
+
+  // The Message is the cross-execution dedup key, so it must not depend on
+  // which interleaving surfaced the race: no step indices or clocks, and a
+  // normalized ordering (write first; same-kind pairs sorted by thread
+  // name).
+  RaceReport R;
+  std::ostringstream Msg;
+  Msg << "data race on '" << VarName << "': ";
+  if (PriorIsWrite == CurIsWrite) {
+    const std::string &A = std::min(Prior.Thread, Cur.Thread);
+    const std::string &B = std::max(Prior.Thread, Cur.Thread);
+    Msg << "concurrent " << (CurIsWrite ? "writes" : "reads")
+        << " by threads '" << A << "' and '" << B << "'";
+  } else {
+    const Access &W = PriorIsWrite ? Prior : Cur;
+    const Access &Rd = PriorIsWrite ? Cur : Prior;
+    Msg << "write by thread '" << W.Thread
+        << "' concurrent with read by thread '" << Rd.Thread << "'";
+  }
+  R.Message = Msg.str();
+
+  std::ostringstream Det;
+  Det << R.Message << "\n";
+  auto Site = [&](const char *Label, const Access &A, bool IsWrite) {
+    Det << "  " << Label << ": " << (IsWrite ? "store" : "load") << " of '"
+        << VarName << "' by thread '" << A.Thread << "' (t" << A.T
+        << ") at step " << A.Step << ", clock ";
+    renderClock(Det, A.Snapshot);
+    Det << "\n";
+  };
+  Site("first access ", Prior, PriorIsWrite);
+  Site("second access", Cur, CurIsWrite);
+  Det << "  no happens-before edge orders the two accesses\n";
+  R.Detail = Det.str();
+
+  Races.push_back(std::move(R));
+}
+
+void RaceDetector::onAccess(Tid T, int Var, bool IsWrite,
+                            const std::string &VarName,
+                            const std::string &ThreadName, uint64_t Step) {
+  ++Checks;
+  Clock &C = clockOf(T);
+  VarState &V = Vars[Var];
+
+  Access Cur;
+  Cur.T = T;
+  Cur.C = C[size_t(T)];
+  Cur.Step = Step;
+  Cur.Thread = ThreadName;
+  Cur.Snapshot = C;
+
+  if (V.Write.T != -1 && !happenedBefore(V.Write, T))
+    report(V, V.Write, /*PriorIsWrite=*/true, Cur, IsWrite, VarName);
+
+  if (IsWrite) {
+    for (const Access &Rd : V.Reads)
+      if (!happenedBefore(Rd, T))
+        report(V, Rd, /*PriorIsWrite=*/false, Cur, /*CurIsWrite=*/true,
+               VarName);
+    V.Write = std::move(Cur);
+    V.Reads.clear();
+  } else {
+    // Keep the read set minimal: drop reads the current one supersedes
+    // (they happened-before this thread's point), then record this read.
+    // A same-thread entry is always superseded; genuinely concurrent
+    // reads accumulate -- the FastTrack read-share promotion.
+    V.Reads.erase(std::remove_if(V.Reads.begin(), V.Reads.end(),
+                                 [&](const Access &Rd) {
+                                   return happenedBefore(Rd, T);
+                                 }),
+                  V.Reads.end());
+    V.Reads.push_back(std::move(Cur));
+  }
+}

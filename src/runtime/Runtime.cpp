@@ -3,6 +3,7 @@
 #include "runtime/Runtime.h"
 
 #include "obs/Counters.h"
+#include "race/RaceDetector.h"
 #include "support/Hashing.h"
 
 #include <cassert>
@@ -92,6 +93,8 @@ Tid Runtime::spawn(std::function<void()> Body, std::string Name) {
     fail("fiber stack allocation failed");
   Live.insert(Id);
   Threads.push_back(std::move(TS));
+  if (Opts.Race)
+    Opts.Race->onSpawn(CurTid, Id);
   return Id;
 }
 
@@ -111,6 +114,8 @@ void Runtime::start(std::function<void()> MainBody, std::string Name) {
   (void)OK;
   Live.insert(Id);
   Threads.push_back(std::move(TS));
+  if (Opts.Race)
+    Opts.Race->onThreadStart(Id);
 }
 
 void Runtime::schedulePoint(const PendingOp &Op) {
@@ -127,7 +132,12 @@ void Runtime::schedulePoint(const PendingOp &Op) {
 }
 
 int Runtime::chooseInt(int N) {
-  assert(N > 0 && "chooseInt requires at least one alternative");
+  // A nonpositive alternative count is a workload bug; report it through
+  // the same path as fail() so release builds get a diagnosed safety
+  // violation instead of undefined behaviour.
+  if (N <= 0)
+    fail("chooseInt(" + std::to_string(N) +
+         "): the number of alternatives must be positive");
   if (N == 1)
     return 0;
   return Choices.chooseInt(N);
@@ -164,6 +174,33 @@ void Runtime::noteContended(OpKind Kind) {
     return;
   Opts.Ctr->add(obs::Counter::SyncContention);
   Opts.Ctr->addContended(unsigned(Kind));
+}
+
+void Runtime::raceAcquire(int Obj) {
+  if (Opts.Race)
+    Opts.Race->onAcquire(CurTid, Obj);
+}
+
+void Runtime::raceRelease(int Obj) {
+  if (Opts.Race)
+    Opts.Race->onRelease(CurTid, Obj);
+}
+
+void Runtime::raceJoin(Tid Target) {
+  if (Opts.Race)
+    Opts.Race->onJoin(CurTid, Target);
+}
+
+void Runtime::raceLoad(int Var) {
+  if (Opts.Race)
+    Opts.Race->onAccess(CurTid, Var, /*IsWrite=*/false, objectName(Var),
+                        Threads[CurTid]->Name, SyncOps);
+}
+
+void Runtime::raceStore(int Var) {
+  if (Opts.Race)
+    Opts.Race->onAccess(CurTid, Var, /*IsWrite=*/true, objectName(Var),
+                        Threads[CurTid]->Name, SyncOps);
 }
 
 void Runtime::setStateExtractor(std::function<uint64_t()> Fn) {

@@ -37,6 +37,8 @@ namespace obs {
 struct WorkerCounters;
 } // namespace obs
 
+class RaceDetector;
+
 /// Resolves nondeterministic choices that arise *inside* a transition.
 ///
 /// Thread scheduling is the primary nondeterminism, handled by the explorer
@@ -76,6 +78,12 @@ public:
     /// When set, schedulePoint and the sync primitives' contention
     /// notifications feed live counters (see src/obs/Counters.h).
     obs::WorkerCounters *Ctr = nullptr;
+    /// Happens-before race detector observing this execution, or null.
+    /// When set, spawn/join and the sync primitives' race* notifications
+    /// feed vector-clock edges, and PlainVar accesses are race-checked
+    /// (see src/race/RaceDetector.h). Purely observational: never
+    /// influences scheduling.
+    RaceDetector *Race = nullptr;
   };
 
   explicit Runtime(ChoiceSource &Choices);
@@ -125,6 +133,18 @@ public:
   /// on a busy object (lock held, queue full, ...). One counter increment
   /// when observability is attached; otherwise free.
   void noteContended(OpKind Kind);
+
+  /// Happens-before edges from sync primitives to the attached race
+  /// detector (no-ops when detection is off). raceAcquire: the caller
+  /// observes everything released through object \p Obj. raceRelease: the
+  /// caller publishes its history into \p Obj. raceJoin: the caller
+  /// inherits joined thread \p Target's final clock. raceLoad/raceStore:
+  /// race-checked plain accesses to variable \p Var.
+  void raceAcquire(int Obj);
+  void raceRelease(int Obj);
+  void raceJoin(Tid Target);
+  void raceLoad(int Var);
+  void raceStore(int Var);
 
   /// Registers the workload's manual state-extraction function (Section
   /// 4.2.1: "we manually added facilities to extract states"). The

@@ -35,10 +35,28 @@ public:
     return State * 0x2545f4914f6cdd1dULL;
   }
 
-  /// Uniform-ish value in [0, N). \p N must be positive.
+  /// Uniform value in [0, N). \p N must be positive.
+  ///
+  /// Lemire's bounded rejection method: multiply-shift maps the 64-bit
+  /// word onto [0, N) without the modulo bias of `next() % N`, and the
+  /// low-word rejection loop removes the residual bias entirely. The
+  /// rejection threshold is `2^64 mod N`, computed as `(0 - N) mod N`
+  /// in 64-bit arithmetic.
   int nextBelow(int N) {
     assert(N > 0 && "nextBelow requires a positive bound");
-    return int(next() % uint64_t(N));
+    const uint64_t Bound = uint64_t(N);
+    uint64_t X = next();
+    __uint128_t M = __uint128_t(X) * Bound;
+    uint64_t Low = uint64_t(M);
+    if (Low < Bound) {
+      const uint64_t Threshold = (0 - Bound) % Bound;
+      while (Low < Threshold) {
+        X = next();
+        M = __uint128_t(X) * Bound;
+        Low = uint64_t(M);
+      }
+    }
+    return int(uint64_t(M >> 64));
   }
 
   /// Reseeds the generator (0 maps to a fixed nonzero constant).

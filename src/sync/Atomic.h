@@ -35,32 +35,44 @@ public:
   explicit Atomic(T Init = T(), std::string Name = "var")
       : Id(Runtime::current().newObjectId(std::move(Name))), Value(Init) {}
 
-  /// Visible load.
+  /// Visible load. For race detection an atomic load is an *acquire*: it
+  /// synchronizes with prior stores to the same variable, matching the
+  /// seq-cst semantics the model gives these accesses. Atomic accesses
+  /// are therefore never themselves race candidates -- only PlainVar
+  /// (sync/Plain.h) accesses are.
   T load() {
-    Runtime::current().schedulePoint(makeOp(OpKind::VarLoad, Id));
+    Runtime &RT = Runtime::current();
+    RT.schedulePoint(makeOp(OpKind::VarLoad, Id));
+    RT.raceAcquire(Id);
     return Value;
   }
 
-  /// Visible store.
+  /// Visible store; a *release* for race detection.
   void store(T V) {
-    Runtime::current().schedulePoint(
-        makeOp(OpKind::VarStore, Id, auxOf(V)));
+    Runtime &RT = Runtime::current();
+    RT.schedulePoint(makeOp(OpKind::VarStore, Id, auxOf(V)));
+    RT.raceRelease(Id);
     Value = V;
   }
 
-  /// Atomic swap; one visible transition.
+  /// Atomic swap; one visible transition, acquire+release.
   T exchange(T V) {
-    Runtime::current().schedulePoint(makeOp(OpKind::VarRmw, Id, auxOf(V)));
+    Runtime &RT = Runtime::current();
+    RT.schedulePoint(makeOp(OpKind::VarRmw, Id, auxOf(V)));
+    RT.raceAcquire(Id);
+    RT.raceRelease(Id);
     T Old = Value;
     Value = V;
     return Old;
   }
 
-  /// Atomic compare-and-swap; one visible transition. On failure
-  /// \p Expected is updated with the observed value.
+  /// Atomic compare-and-swap; one visible transition, acquire+release. On
+  /// failure \p Expected is updated with the observed value.
   bool compareExchange(T &Expected, T Desired) {
-    Runtime::current().schedulePoint(
-        makeOp(OpKind::VarRmw, Id, auxOf(Desired)));
+    Runtime &RT = Runtime::current();
+    RT.schedulePoint(makeOp(OpKind::VarRmw, Id, auxOf(Desired)));
+    RT.raceAcquire(Id);
+    RT.raceRelease(Id);
     if (Value == Expected) {
       Value = Desired;
       return true;
@@ -69,11 +81,14 @@ public:
     return false;
   }
 
-  /// Atomic fetch-add (integral T only); one visible transition.
+  /// Atomic fetch-add (integral T only); one visible transition,
+  /// acquire+release.
   T fetchAdd(T Delta) {
     static_assert(std::is_integral_v<T>, "fetchAdd requires an integer");
-    Runtime::current().schedulePoint(
-        makeOp(OpKind::VarRmw, Id, auxOf(Delta)));
+    Runtime &RT = Runtime::current();
+    RT.schedulePoint(makeOp(OpKind::VarRmw, Id, auxOf(Delta)));
+    RT.raceAcquire(Id);
+    RT.raceRelease(Id);
     T Old = Value;
     Value = T(Value + Delta);
     return Old;

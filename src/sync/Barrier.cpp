@@ -13,9 +13,14 @@ Barrier::Barrier(int Participants, std::string Name)
 bool Barrier::arriveAndWait() {
   Runtime &RT = Runtime::current();
   RT.schedulePoint(makeOp(OpKind::BarrierArrive, Id));
+  // Every arriver publishes its history into the barrier; everyone who
+  // crosses acquires it, so all pre-barrier work happens-before all
+  // post-barrier work.
+  RT.raceRelease(Id);
   if (++Arrived == Participants) {
     Arrived = 0;
     ++Generation;
+    RT.raceAcquire(Id);
     return true;
   }
   // Park until the final participant advances the generation. The wait
@@ -25,5 +30,6 @@ bool Barrier::arriveAndWait() {
   RT.schedulePoint(makeGuardedOp(OpKind::BarrierArrive, Id,
                                  &Barrier::generationAdvanced, &W,
                                  /*Aux=*/1));
+  RT.raceAcquire(Id);
   return false;
 }

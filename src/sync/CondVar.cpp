@@ -19,6 +19,7 @@ void CondVar::wait(Mutex &M) {
   RT.schedulePoint(
       makeGuardedOp(OpKind::CondWait, Id, &CondVar::hasPermit, this));
   assert(Permits > 0 && "woken without a permit");
+  RT.raceAcquire(Id);
   --Permits;
   --Waiters;
   M.lock();
@@ -33,8 +34,10 @@ bool CondVar::waitTimed(Mutex &M) {
   // Always enabled (the timeout can fire) and yielding (Section 4).
   RT.schedulePoint(makeOp(OpKind::CondTimedWait, Id));
   bool Notified = Permits > 0;
-  if (Notified)
+  if (Notified) {
+    RT.raceAcquire(Id);
     --Permits;
+  }
   --Waiters;
   M.lock();
   return Notified;
@@ -43,6 +46,7 @@ bool CondVar::waitTimed(Mutex &M) {
 void CondVar::notifyOne() {
   Runtime &RT = Runtime::current();
   RT.schedulePoint(makeOp(OpKind::CondNotify, Id, /*Aux=*/1));
+  RT.raceRelease(Id);
   if (Permits < Waiters)
     ++Permits;
 }
@@ -50,5 +54,6 @@ void CondVar::notifyOne() {
 void CondVar::notifyAll() {
   Runtime &RT = Runtime::current();
   RT.schedulePoint(makeOp(OpKind::CondNotify, Id, /*Aux=*/2));
+  RT.raceRelease(Id);
   Permits = Waiters;
 }

@@ -15,6 +15,7 @@ void Event::wait() {
   RT.schedulePoint(
       makeGuardedOp(OpKind::EventWait, Id, &Event::isSignaled, this));
   assert(SetFlag && "scheduled while event unset");
+  RT.raceAcquire(Id);
   if (Mode == Reset::Auto)
     SetFlag = false;
 }
@@ -24,13 +25,16 @@ bool Event::waitTimed() {
   RT.schedulePoint(makeOp(OpKind::EventTimedWait, Id));
   if (!SetFlag)
     return false;
+  RT.raceAcquire(Id);
   if (Mode == Reset::Auto)
     SetFlag = false;
   return true;
 }
 
 void Event::set() {
-  Runtime::current().schedulePoint(makeOp(OpKind::EventSet, Id));
+  Runtime &RT = Runtime::current();
+  RT.schedulePoint(makeOp(OpKind::EventSet, Id));
+  RT.raceRelease(Id);
   SetFlag = true;
 }
 

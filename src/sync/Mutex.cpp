@@ -13,6 +13,7 @@ void Mutex::lock() {
     RT.noteContended(OpKind::MutexLock);
   RT.schedulePoint(makeGuardedOp(OpKind::MutexLock, Id, &Mutex::isFree, this));
   assert(Holder < 0 && "scheduled while mutex held");
+  RT.raceAcquire(Id);
   Holder = RT.self();
 }
 
@@ -21,6 +22,7 @@ bool Mutex::tryLock() {
   RT.schedulePoint(makeOp(OpKind::MutexTryLock, Id));
   if (Holder >= 0)
     return false;
+  RT.raceAcquire(Id);
   Holder = RT.self();
   return true;
 }
@@ -29,5 +31,6 @@ void Mutex::unlock() {
   Runtime &RT = Runtime::current();
   RT.schedulePoint(makeOp(OpKind::MutexUnlock, Id));
   checkThat(Holder == RT.self(), "unlock of a mutex not held by the caller");
+  RT.raceRelease(Id);
   Holder = -1;
 }

@@ -1,0 +1,78 @@
+//===- sync/Plain.h - Unsynchronized shared variables ----------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain (non-atomic) shared variables: every access is still a visible
+/// transition, so the explorer interleaves at it, but unlike `Atomic<T>`
+/// the accesses carry *no* synchronization semantics. Two concurrent
+/// conflicting PlainVar accesses with no happens-before edge between them
+/// are a data race, and the race detector (src/race/RaceDetector.h)
+/// reports them as `Verdict::DataRace`.
+///
+/// This models the `int x` a real program shares without atomics: the
+/// checker explores its interleavings faithfully, and the detector flags
+/// the missing synchronization that would make the real program UB.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_SYNC_PLAIN_H
+#define FSMC_SYNC_PLAIN_H
+
+#include "runtime/Runtime.h"
+
+#include <string>
+#include <type_traits>
+
+namespace fsmc {
+
+/// A modeled plain shared variable: interleaving at every access, no
+/// synchronization, race-checked when detection is on.
+template <typename T> class PlainVar {
+public:
+  explicit PlainVar(T Init = T(), std::string Name = "plain")
+      : Id(Runtime::current().newObjectId(std::move(Name))), Value(Init) {}
+
+  /// Visible race-checked load.
+  T load() {
+    Runtime &RT = Runtime::current();
+    RT.schedulePoint(makeOp(OpKind::VarLoad, Id));
+    RT.raceLoad(Id);
+    return Value;
+  }
+
+  /// Visible race-checked store.
+  void store(T V) {
+    Runtime &RT = Runtime::current();
+    RT.schedulePoint(makeOp(OpKind::VarStore, Id, auxOf(V)));
+    RT.raceStore(Id);
+    Value = V;
+  }
+
+  /// Non-visible read: no scheduling point, no race check. For state
+  /// extractors and quiescent invariant checks.
+  T raw() const { return Value; }
+
+  /// Non-visible write for initialization before threads race.
+  void rawStore(T V) { Value = V; }
+
+  int objectId() const { return Id; }
+
+private:
+  static int64_t auxOf(const T &V) {
+    if constexpr (std::is_integral_v<T> || std::is_enum_v<T>)
+      return int64_t(V);
+    else
+      return 0;
+  }
+
+  int Id;
+  T Value;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_SYNC_PLAIN_H

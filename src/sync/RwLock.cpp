@@ -14,6 +14,7 @@ void RwLock::lockShared() {
   RT.schedulePoint(
       makeGuardedOp(OpKind::RwReadLock, Id, &RwLock::noWriter, this));
   assert(Writer < 0 && "reader admitted while writer holds the lock");
+  RT.raceAcquire(Id);
   ++Readers;
 }
 
@@ -24,6 +25,7 @@ void RwLock::lockExclusive() {
   RT.schedulePoint(
       makeGuardedOp(OpKind::RwWriteLock, Id, &RwLock::isFree, this));
   assert(Writer < 0 && Readers == 0 && "writer admitted while lock busy");
+  RT.raceAcquire(Id);
   Writer = RT.self();
 }
 
@@ -31,6 +33,7 @@ void RwLock::unlockShared() {
   Runtime &RT = Runtime::current();
   RT.schedulePoint(makeOp(OpKind::RwUnlock, Id));
   checkThat(Readers > 0, "unlockShared with no readers");
+  RT.raceRelease(Id);
   --Readers;
 }
 
@@ -38,5 +41,6 @@ void RwLock::unlockExclusive() {
   Runtime &RT = Runtime::current();
   RT.schedulePoint(makeOp(OpKind::RwUnlock, Id, /*Aux=*/1));
   checkThat(Writer == RT.self(), "unlockExclusive by a non-writer");
+  RT.raceRelease(Id);
   Writer = -1;
 }

@@ -16,6 +16,7 @@ void Semaphore::wait() {
   RT.schedulePoint(
       makeGuardedOp(OpKind::SemWait, Id, &Semaphore::isPositive, this));
   assert(Count > 0 && "scheduled with zero semaphore count");
+  RT.raceAcquire(Id);
   --Count;
 }
 
@@ -24,6 +25,7 @@ bool Semaphore::tryWait() {
   RT.schedulePoint(makeOp(OpKind::SemWait, Id, /*Aux=*/1));
   if (Count == 0)
     return false;
+  RT.raceAcquire(Id);
   --Count;
   return true;
 }
@@ -31,5 +33,6 @@ bool Semaphore::tryWait() {
 void Semaphore::post() {
   Runtime &RT = Runtime::current();
   RT.schedulePoint(makeOp(OpKind::SemPost, Id));
+  RT.raceRelease(Id);
   ++Count;
 }

@@ -39,6 +39,7 @@ void TestThread::join() {
   R.schedulePoint(makeGuardedOp(OpKind::Join, /*ObjectId=*/-1,
                                 &TestThread::targetFinished, this,
                                 /*Aux=*/Id));
+  R.raceJoin(Id);
   Joined = true;
 }
 

@@ -4,6 +4,7 @@
 
 #include "runtime/Runtime.h"
 #include "sync/Atomic.h"
+#include "sync/Plain.h"
 #include "sync/TestThread.h"
 
 #include <cstdlib>
@@ -36,6 +37,8 @@ void fire(CrashFaultConfig::Fault Kind) {
     std::abort();
   case CrashFaultConfig::Fault::Hang:
     hardSpin();
+  case CrashFaultConfig::Fault::Race:
+    return; // The race is in the variable accesses, not a process fault.
   }
 }
 
@@ -56,6 +59,29 @@ TestProgram fsmc::makeCrashFaultProgram(const CrashFaultConfig &Config) {
   case CrashFaultConfig::Fault::Hang:
     P.Name = "crashfault-hang";
     break;
+  case CrashFaultConfig::Fault::Race:
+    P.Name = "crashfault-race";
+    break;
+  }
+  if (Config.Kind == CrashFaultConfig::Fault::Race) {
+    // The same three-thread shape, but the shared variable is plain: both
+    // writer/writer and writer/reader pairs conflict with no happens-
+    // before edge, so --races=on reports them while the program itself
+    // stays assertion-clean on every interleaving.
+    P.Body = [] {
+      auto X = std::make_shared<PlainVar<int>>(0, "x");
+      TestThread W1([X] { X->store(1); }, "w1");
+      TestThread W2([X] { X->store(2); }, "w2");
+      TestThread Reader([X] {
+        int A = X->load();
+        checkThat(A >= 0 && A <= 2, "x holds a written value");
+      }, "reader");
+      W1.join();
+      W2.join();
+      Reader.join();
+      checkThat(X->raw() == 1 || X->raw() == 2, "x holds a writer's value");
+    };
+    return P;
   }
   P.Body = [Kind = Config.Kind] {
     auto X = std::make_shared<Atomic<int>>(0, "x");

@@ -35,6 +35,9 @@ struct CrashFaultConfig {
     Abort,    ///< std::abort(): SIGABRT, the sandbox sees a crash.
     Hang,     ///< Spin inside one transition forever: the sandbox
               ///< watchdog kills the child and reports a hang.
+    Race,     ///< No process fault; the writers and the reader share a
+              ///< plain (unsynchronized) variable instead, seeding the
+              ///< data races --races=on must find.
   };
   Fault Kind = Fault::None;
 };

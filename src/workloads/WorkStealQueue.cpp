@@ -6,6 +6,7 @@
 #include "state/StateBuilder.h"
 #include "sync/Atomic.h"
 #include "sync/Mutex.h"
+#include "sync/Plain.h"
 #include "sync/TestThread.h"
 
 #include <vector>
@@ -27,9 +28,10 @@ enum WsqPhase : uint64_t {
 /// THE-protocol deque over modeled shared variables.
 class WsqDeque {
 public:
-  WsqDeque(int Capacity, WsqBug Bug)
+  WsqDeque(int Capacity, WsqBug Bug, bool RacySize)
       : Elems(size_t(Capacity), -1), Head(0, "wsq.head"), Tail(0, "wsq.tail"),
-        ForeignLock("wsq.lock"), Bug(Bug) {}
+        ForeignLock("wsq.lock"), Size(0, "wsq.size"), RacySize(RacySize),
+        Bug(Bug) {}
 
   /// Owner-only push at the tail.
   void push(int Task) {
@@ -37,6 +39,8 @@ public:
     checkThat(T - Head.raw() < long(Elems.size()), "wsq overflow");
     Elems[size_t(T) % Elems.size()] = Task;
     Tail.store(T + 1);
+    if (RacySize)
+      Size.store(Size.raw() + 1); // Racy: written without the lock.
   }
 
   /// Owner-only pop at the tail. \returns false when empty.
@@ -78,12 +82,19 @@ public:
   /// Thief-side steal at the head. \returns false when empty or losing
   /// the race.
   bool steal(int &Task) {
+    // Emptiness hint read without any synchronization against the owner's
+    // lock-free Size updates: a write/read data race by construction.
+    if (RacySize && Size.load() <= 0)
+      return false;
     if (!ForeignLock.tryLock())
       return false;
     long H = Head.load();
     Head.store(H + 1); // Claim first; the owner's pop sees the claim.
     if (H < Tail.load()) {
       Task = Elems[size_t(H) % Elems.size()];
+      if (RacySize)
+        Size.store(Size.raw() - 1); // Racy even under the lock: the owner
+                                    // never takes it for its updates.
       ForeignLock.unlock();
       return true;
     }
@@ -104,13 +115,16 @@ private:
   Atomic<long> Head;
   Atomic<long> Tail;
   Mutex ForeignLock;
+  PlainVar<long> Size; ///< Approximate count; racy when RacySize is on.
+  bool RacySize;
   WsqBug Bug;
 };
 
 /// Shared harness state.
 struct WsqWorld {
   WsqWorld(const WsqConfig &Config)
-      : Deque(Config.Capacity, Config.Bug), Done(false, "wsq.done") {
+      : Deque(Config.Capacity, Config.Bug, Config.RacySize),
+        Done(false, "wsq.done") {
     Executed.assign(size_t(Config.Tasks), 0);
   }
 
@@ -131,6 +145,8 @@ void runTask(WsqWorld &W, int Task) {
 TestProgram fsmc::makeWsqProgram(const WsqConfig &Config) {
   TestProgram P;
   P.Name = "wsq-" + std::to_string(Config.Stealers) + "s";
+  if (Config.RacySize)
+    P.Name += "-racy";
   P.Body = [Config] {
     Runtime &RT = Runtime::current();
     WsqWorld W(Config);

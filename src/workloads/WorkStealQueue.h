@@ -56,6 +56,15 @@ struct WsqConfig {
   /// Owner pops after every push (interleaved) instead of pushing all
   /// first; widens the reachable interleavings.
   bool InterleavePops = false;
+  /// Seeded data race for --races: maintain an approximate element count
+  /// in a plain (unsynchronized) shared variable. The owner updates it
+  /// lock-free around push/pop while thieves read it as an emptiness hint
+  /// and update it on a successful steal, so the counter is torn between
+  /// threads with no happens-before edge -- the classic "size field
+  /// updated outside the lock" bug. Benign for the harness (the hint only
+  /// skips doomed steal attempts), so the program stays bug-free and the
+  /// race is the sole finding.
+  bool RacySize = false;
 };
 
 /// Builds a work-stealing-queue test program for \p Config.

@@ -1,0 +1,294 @@
+//===- tests/race/RaceTest.cpp --------------------------------------------===//
+//
+// The race-detection contract (docs/RACES.md):
+//
+//  * Positive goldens: every seeded racy workload variant is reported as
+//    Verdict::DataRace with a replayable schedule, in serial, parallel,
+//    and sandboxed runs, and the replay reproduces the race.
+//
+//  * Zero false positives: the whole workload registry is data-race-free
+//    (every shared variable is a modeled sync object), so --races=on
+//    must find nothing on any of it, at jobs=1 and jobs=4.
+//
+//  * Non-perturbation: detection is purely observational. With the same
+//    seed and budget, --races=on explores byte-for-byte the same serial
+//    trace and the same parallel event multiset as --races=off; only the
+//    reporting differs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+#include "core/Schedule.h"
+#include "obs/EventSink.h"
+#include "obs/Observer.h"
+#include "obs/StatsJson.h"
+#include "obs/TraceValidate.h"
+#include "runtime/Runtime.h"
+#include "sync/Plain.h"
+#include "sync/TestThread.h"
+#include "workloads/CrashFault.h"
+#include "workloads/WorkStealQueue.h"
+#include "workloads/WorkloadRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+using namespace fsmc;
+
+namespace {
+
+TestProgram racyCrashFault() {
+  CrashFaultConfig F;
+  F.Kind = CrashFaultConfig::Fault::Race;
+  return makeCrashFaultProgram(F);
+}
+
+TestProgram racyWsq() {
+  WsqConfig C;
+  C.Stealers = 1;
+  C.Tasks = 2;
+  C.RacySize = true;
+  return makeWsqProgram(C);
+}
+
+CheckerOptions boundedRacy(RaceCheckMode Mode) {
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.TimeBudgetSeconds = 120;
+  O.Races = Mode;
+  return O;
+}
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + Name;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream F(Path, std::ios::binary);
+  std::ostringstream S;
+  S << F.rdbuf();
+  return S.str();
+}
+
+CheckResult runWithTrace(const TestProgram &Program, CheckerOptions Opts,
+                         const std::string &TracePath) {
+  obs::JsonlTraceSink Sink(TracePath);
+  EXPECT_TRUE(Sink.valid());
+  obs::Observer::Config OC;
+  OC.Sink = &Sink;
+  obs::Observer Obs(OC);
+  Opts.Obs = &Obs;
+  CheckResult R = check(Program, Opts);
+  Sink.close();
+  return R;
+}
+
+std::vector<std::string> normalizedMultiset(const std::string &Path) {
+  std::vector<std::string> Out;
+  std::string Err;
+  EXPECT_TRUE(obs::loadNormalizedEvents(Path, /*StripWorkerAndTime=*/true,
+                                        {"par"}, Out, Err))
+      << Err;
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Positive goldens: the seeded races are found and fully reported.
+//===----------------------------------------------------------------------===//
+
+TEST(RaceDetection, FindsSeededCrashFaultRace) {
+  TestProgram P = racyCrashFault();
+  CheckResult R = check(P, boundedRacy(RaceCheckMode::On));
+  ASSERT_EQ(R.Kind, Verdict::DataRace) << verdictName(R.Kind);
+  ASSERT_TRUE(R.Bug.has_value());
+  EXPECT_EQ(R.Bug->Kind, Verdict::DataRace);
+  EXPECT_NE(R.Bug->Message.find("data race on 'x'"), std::string::npos)
+      << R.Bug->Message;
+  EXPECT_FALSE(R.Bug->Schedule.empty());
+  // Both access sites and both threads' clocks are in the long report.
+  EXPECT_NE(R.Bug->TraceText.find("clock"), std::string::npos)
+      << R.Bug->TraceText;
+  ASSERT_FALSE(R.Incidents.empty());
+  EXPECT_GE(R.Stats.RacesFound, 1u);
+  EXPECT_GT(R.Stats.RacesChecked, 0u);
+  // Two writers plus a reader on one plain variable: the write/write pair
+  // and at least one write/read pair are distinct races.
+  EXPECT_GE(R.Incidents.size(), 2u);
+}
+
+TEST(RaceDetection, FindsSeededWsqTornSizeRace) {
+  CheckerOptions O = boundedRacy(RaceCheckMode::On);
+  // The race shows up within the first few executions; no need to let the
+  // bounded search run to exhaustion.
+  O.MaxExecutions = 500;
+  CheckResult R = check(racyWsq(), O);
+  ASSERT_EQ(R.Kind, Verdict::DataRace) << verdictName(R.Kind);
+  ASSERT_TRUE(R.Bug.has_value());
+  EXPECT_NE(R.Bug->Message.find("wsq.size"), std::string::npos)
+      << R.Bug->Message;
+  EXPECT_FALSE(R.Bug->Schedule.empty());
+  EXPECT_GE(R.Stats.RacesFound, 1u);
+}
+
+TEST(RaceDetection, RaceScheduleReplays) {
+  TestProgram P = racyCrashFault();
+  CheckerOptions O = boundedRacy(RaceCheckMode::On);
+  CheckResult R = check(P, O);
+  ASSERT_EQ(R.Kind, Verdict::DataRace);
+  ASSERT_FALSE(R.Bug->Schedule.empty());
+
+  CheckResult Replay = replaySchedule(P, O, R.Bug->Schedule);
+  EXPECT_EQ(Replay.Kind, Verdict::DataRace) << verdictName(Replay.Kind);
+  EXPECT_EQ(Replay.Stats.Executions, 1u);
+  ASSERT_TRUE(Replay.Bug.has_value());
+  EXPECT_EQ(Replay.Bug->Message, R.Bug->Message);
+}
+
+TEST(RaceDetection, FatalModeStopsOnFirstRacyExecution) {
+  CheckResult R = check(racyCrashFault(), boundedRacy(RaceCheckMode::Fatal));
+  ASSERT_EQ(R.Kind, Verdict::DataRace) << verdictName(R.Kind);
+  // Every interleaving of the seeded program races, so with
+  // StopOnFirstBug the very first execution ends the search.
+  EXPECT_EQ(R.Stats.Executions, 1u);
+  ASSERT_TRUE(R.Bug.has_value());
+  EXPECT_FALSE(R.Bug->Schedule.empty());
+}
+
+TEST(RaceDetection, ParallelSearchFindsAndDedupsRaces) {
+  CheckerOptions O = boundedRacy(RaceCheckMode::On);
+  O.Jobs = 4;
+  CheckResult R = check(racyCrashFault(), O);
+  ASSERT_EQ(R.Kind, Verdict::DataRace) << verdictName(R.Kind);
+  // RacesFound counts *distinct* races across all workers: the same three
+  // incident messages as the serial run, not one copy per worker.
+  EXPECT_EQ(R.Stats.RacesFound, R.Incidents.size());
+  std::vector<std::string> Keys;
+  for (const BugReport &I : R.Incidents)
+    Keys.push_back(I.Message);
+  std::sort(Keys.begin(), Keys.end());
+  EXPECT_EQ(std::adjacent_find(Keys.begin(), Keys.end()), Keys.end())
+      << "duplicate race incidents across workers";
+}
+
+TEST(RaceDetection, SandboxedSearchHarvestsRaces) {
+  CheckerOptions O = boundedRacy(RaceCheckMode::On);
+  O.Isolate = IsolationMode::Batch;
+  O.MaxExecutions = 20;
+  CheckResult R = check(racyCrashFault(), O);
+  ASSERT_EQ(R.Kind, Verdict::DataRace) << verdictName(R.Kind);
+  ASSERT_FALSE(R.Incidents.empty());
+  EXPECT_GE(R.Stats.RacesFound, 1u);
+  EXPECT_EQ(R.Stats.RacesFound, R.Incidents.size());
+  EXPECT_FALSE(R.Incidents.front().Schedule.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Zero false positives: the whole registry is DRF.
+//===----------------------------------------------------------------------===//
+
+TEST(RaceDetection, NoFalsePositivesAcrossRegistry) {
+  for (int Jobs : {1, 4}) {
+    for (const RegisteredWorkload &W : allWorkloads()) {
+      SCOPED_TRACE(W.Name + " jobs=" + std::to_string(Jobs));
+      CheckerOptions O = W.MeasureOptions;
+      O.MaxExecutions = 3;
+      O.ExecutionBound = 200000;
+      O.Races = RaceCheckMode::On;
+      O.Jobs = Jobs;
+      CheckResult R = check(W.Make(), O);
+      EXPECT_EQ(R.Kind, Verdict::Pass) << verdictName(R.Kind);
+      EXPECT_EQ(R.Stats.RacesFound, 0u);
+      // Registry workloads share state only through modeled sync objects,
+      // so nothing is even race-checked.
+      EXPECT_EQ(R.Stats.RacesChecked, 0u);
+      EXPECT_TRUE(R.Incidents.empty());
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Non-perturbation: --races=on explores exactly what --races=off does.
+//===----------------------------------------------------------------------===//
+
+TEST(RaceDetection, OnModeTraceIsByteIdenticalToOff) {
+  // A program that actually races: detection must observe without
+  // steering. The engine-level verdict stays Pass in both modes
+  // (promotion happens above the engine), so the traces match fully.
+  const std::string POff = tempPath("races_off.json");
+  const std::string POn = tempPath("races_on.json");
+  CheckResult Off =
+      runWithTrace(racyCrashFault(), boundedRacy(RaceCheckMode::Off), POff);
+  CheckResult On =
+      runWithTrace(racyCrashFault(), boundedRacy(RaceCheckMode::On), POn);
+
+  EXPECT_EQ(Off.Kind, Verdict::Pass);
+  EXPECT_EQ(On.Kind, Verdict::DataRace);
+  EXPECT_EQ(On.Stats.Executions, Off.Stats.Executions);
+  EXPECT_EQ(On.Stats.Transitions, Off.Stats.Transitions);
+
+  std::string TOff = slurp(POff);
+  ASSERT_FALSE(TOff.empty());
+  EXPECT_EQ(TOff, slurp(POn));
+}
+
+TEST(RaceDetection, OnModeParallelMultisetMatchesOff) {
+  CheckerOptions O = boundedRacy(RaceCheckMode::Off);
+  O.Jobs = 4;
+  const std::string POff = tempPath("races_par_off.json");
+  CheckResult Off = runWithTrace(racyCrashFault(), O, POff);
+  ASSERT_TRUE(Off.Stats.SearchExhausted)
+      << "the multiset contract needs an exhaustive search";
+
+  O.Races = RaceCheckMode::On;
+  const std::string POn = tempPath("races_par_on.json");
+  CheckResult On = runWithTrace(racyCrashFault(), O, POn);
+  EXPECT_TRUE(On.Stats.SearchExhausted);
+  EXPECT_EQ(On.Kind, Verdict::DataRace);
+  EXPECT_EQ(On.Stats.Executions, Off.Stats.Executions);
+  EXPECT_EQ(On.Stats.Transitions, Off.Stats.Transitions);
+  EXPECT_EQ(normalizedMultiset(POn), normalizedMultiset(POff));
+}
+
+TEST(RaceDetection, OffModeStatsJsonMentionsNoRaceKeys) {
+  // Default-off must be invisible: a racy program checked with races off
+  // renders the exact pre-detector report shape -- no races option echo,
+  // no races_* stats, no races_* counters.
+  obs::Observer Obs{obs::Observer::Config{}};
+  CheckerOptions O = boundedRacy(RaceCheckMode::Off);
+  O.Obs = &Obs;
+  CheckResult R = check(racyCrashFault(), O);
+  EXPECT_EQ(R.Kind, Verdict::Pass);
+
+  obs::StatsJsonInfo Info;
+  Info.Program = "crashfault-race";
+  Info.Options = &O;
+  Info.Obs = &Obs;
+  std::string Json = obs::renderStatsJson(R, Info);
+  EXPECT_EQ(Json.find("races"), std::string::npos) << Json;
+}
+
+//===----------------------------------------------------------------------===//
+// chooseInt validation (satellite bugfix): a non-positive alternative
+// count is a reported workload error, not a checker assert.
+//===----------------------------------------------------------------------===//
+
+TEST(RaceDetection, ChooseIntRejectsNonPositiveCounts) {
+  for (int N : {0, -3}) {
+    SCOPED_TRACE("N=" + std::to_string(N));
+    TestProgram P;
+    P.Name = "choose-bad";
+    P.Body = [N] { (void)Runtime::current().chooseInt(N); };
+    CheckResult R = check(P, CheckerOptions());
+    ASSERT_EQ(R.Kind, Verdict::SafetyViolation) << verdictName(R.Kind);
+    EXPECT_NE(R.Bug->Message.find("chooseInt"), std::string::npos)
+        << R.Bug->Message;
+  }
+}

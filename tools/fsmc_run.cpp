@@ -14,11 +14,11 @@
 //   fsmc_run --program=peterson --checkpoint=run.ckpt --checkpoint-every=50
 //   fsmc_run --resume=run.ckpt --checkpoint=run.ckpt
 //
-// Exit codes (docs/ROBUSTNESS.md):
+// Exit codes (docs/ROBUSTNESS.md, docs/RACES.md):
 //   0 = no bug found            4 = workload hang (sandbox watchdog)
 //   1 = bug found               5 = interrupted (SIGINT/SIGTERM)
 //   2 = usage/setup error       6 = replay divergence (checker limitation)
-//   3 = workload crash
+//   3 = workload crash          7 = data race (--races=on|fatal)
 //
 //===----------------------------------------------------------------------===//
 
@@ -147,6 +147,21 @@ std::map<std::string, std::function<TestProgram()>> catalogue() {
     F.Kind = CrashFaultConfig::Fault::Hang;
     return makeCrashFaultProgram(F);
   };
+  // Seeded data races for --races (docs/RACES.md). Like the fault
+  // variants, these stay out of the workload registry: the registry rows
+  // double as the detector's zero-false-positive corpus.
+  C["crashfault-race"] = [] {
+    CrashFaultConfig F;
+    F.Kind = CrashFaultConfig::Fault::Race;
+    return makeCrashFaultProgram(F);
+  };
+  C["wsq-racy"] = [] {
+    WsqConfig W;
+    W.Stealers = 1;
+    W.Tasks = 2;
+    W.RacySize = true;
+    return makeWsqProgram(W);
+  };
   C["minikernel"] = [] {
     return minikernel::makeKernelBootProgram(minikernel::KernelConfig());
   };
@@ -209,7 +224,14 @@ int usage() {
             "checkpoint F\n"
             "  --repro-dir=D    write every bug/crash/hang schedule "
             "under D as\n"
-            "                   a file --replay accepts\n\n"
+            "                   a file --replay accepts\n"
+            "  --races=MODE     off (default) | on: report happens-before "
+            "data\n"
+            "                   races as incidents without changing the "
+            "search |\n"
+            "                   fatal: stop at the first race like a bug "
+            "(docs/\n"
+            "                   RACES.md)\n\n"
             "observability options:\n"
             "  --stats-json=F   machine-readable run report to file F "
             "('-' = stdout)\n"
@@ -224,7 +246,7 @@ int usage() {
             "error,\n"
             "            3 = workload crash, 4 = workload hang, "
             "5 = interrupted,\n"
-            "            6 = replay divergence\n";
+            "            6 = replay divergence, 7 = data race\n";
   return 2;
 }
 
@@ -252,6 +274,8 @@ int exitCode(const CheckResult &R) {
     return 4;
   if (R.Kind == Verdict::Divergence)
     return 6;
+  if (R.Kind == Verdict::DataRace)
+    return 7;
   return R.foundBug() ? 1 : 0;
 }
 
@@ -450,6 +474,17 @@ int main(int Argc, char **Argv) {
       Opts.HangTimeoutSeconds = std::atof(V);
       if (Opts.HangTimeoutSeconds <= 0) {
         errs() << "--hang-timeout must be > 0\n";
+        return usage();
+      }
+    } else if (parseFlag(Argv[I], "--races", &V)) {
+      if (std::strcmp(V, "off") == 0)
+        Opts.Races = RaceCheckMode::Off;
+      else if (std::strcmp(V, "on") == 0)
+        Opts.Races = RaceCheckMode::On;
+      else if (std::strcmp(V, "fatal") == 0)
+        Opts.Races = RaceCheckMode::Fatal;
+      else {
+        errs() << "--races must be 'off', 'on' or 'fatal'\n";
         return usage();
       }
     } else if (parseFlag(Argv[I], "--divergence-retries", &V)) {

@@ -209,6 +209,14 @@ struct CheckerOptions {
   /// StatefulPruning ignore this and run serially.
   int Jobs = 1;
 
+  /// Recycle per-execution runtime state (thread records, pooled fiber
+  /// stacks, object-name storage) across the executions of a search
+  /// instead of destroying and re-creating it -- the hot-path fast path
+  /// (docs/PERFORMANCE.md). Observationally invisible: traces, stats and
+  /// the explored execution multiset are byte-identical either way; off
+  /// exists for A/B measurement and as an escape hatch.
+  bool ReuseExecutionState = true;
+
   /// EXPERIMENTAL: sleep-set partial-order reduction (Section 5 names POR
   /// over fair schedules as future work). Prunes interleavings that only
   /// permute independent operations. Sound for programs whose shared

@@ -8,6 +8,7 @@
 #include "core/Schedule.h"
 #include "obs/Observer.h"
 #include "race/RaceDetector.h"
+#include "runtime/StackPool.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -183,24 +184,32 @@ void Explorer::setExecutionHook(std::function<bool(Explorer &)> H) {
 size_t Explorer::splitWork(std::vector<std::vector<ScheduleChoice>> &Out,
                            size_t MaxItems) {
   size_t Donated = 0;
+  // Base is maintained incrementally as the shared prefix Stack[0..I):
+  // one append per record scanned, so a donation batch costs
+  // O(stack + donated-prefix bytes) instead of re-walking the whole
+  // prefix for every donating record (which made deep-stack donation
+  // quadratic).
+  std::vector<ScheduleChoice> Base;
+  Base.reserve(Stack.size());
+  for (size_t J = 0; J < FrozenLen && J < Stack.size(); ++J)
+    Base.push_back({Stack[J].Chosen, Stack[J].Num, Stack[J].Backtrack});
   for (size_t I = FrozenLen; I < Stack.size() && Donated < MaxItems; ++I) {
     ChoiceRec &R = Stack[I];
-    if (!R.Backtrack || R.Donated || R.Chosen + 1 >= R.Num)
-      continue;
-    std::vector<ScheduleChoice> Base;
-    Base.reserve(I + 1);
-    for (size_t J = 0; J < I; ++J)
-      Base.push_back({Stack[J].Chosen, Stack[J].Num, Stack[J].Backtrack});
-    // Partial donation of a record is not representable (Donated is
-    // all-or-nothing), so give away the record's whole remainder even if
-    // that overshoots MaxItems by a few siblings.
-    for (int Alt = R.Chosen + 1; Alt < R.Num; ++Alt) {
-      std::vector<ScheduleChoice> Prefix = Base;
-      Prefix.push_back({Alt, R.Num, R.Backtrack});
-      Out.push_back(std::move(Prefix));
-      ++Donated;
+    if (R.Backtrack && !R.Donated && R.Chosen + 1 < R.Num) {
+      // Partial donation of a record is not representable (Donated is
+      // all-or-nothing), so give away the record's whole remainder even
+      // if that overshoots MaxItems by a few siblings.
+      for (int Alt = R.Chosen + 1; Alt < R.Num; ++Alt) {
+        std::vector<ScheduleChoice> Prefix;
+        Prefix.reserve(Base.size() + 1);
+        Prefix.assign(Base.begin(), Base.end());
+        Prefix.push_back({Alt, R.Num, R.Backtrack});
+        Out.push_back(std::move(Prefix));
+        ++Donated;
+      }
+      R.Donated = true;
     }
-    R.Donated = true;
+    Base.push_back({R.Chosen, R.Num, R.Backtrack});
   }
   return Donated;
 }
@@ -248,11 +257,10 @@ void Explorer::reportBug(Verdict V, std::string Msg, const Runtime &RT,
   B.AtExecution = Result.Stats.Executions;
   B.AtStep = Step;
   // Serialize the consumed choice prefix so the schedule can be replayed.
-  std::vector<ScheduleChoice> Choices;
-  Choices.reserve(Cursor);
+  SchedScratch.clear();
   for (size_t I = 0; I < Cursor && I < Stack.size(); ++I)
-    Choices.push_back({Stack[I].Chosen, Stack[I].Num, Stack[I].Backtrack});
-  B.Schedule = encodeSchedule(Choices);
+    SchedScratch.push_back({Stack[I].Chosen, Stack[I].Num, Stack[I].Backtrack});
+  B.Schedule = encodeSchedule(SchedScratch);
   Result.Bug = std::move(B);
   Result.Kind = V;
 }
@@ -273,11 +281,11 @@ void Explorer::harvestRaces(const RaceDetector &D, const Runtime &RT) {
     B.TraceText = R.Detail + CurTrace.render(RT, 120);
     B.AtExecution = Result.Stats.Executions;
     B.AtStep = CurSteps;
-    std::vector<ScheduleChoice> Choices;
-    Choices.reserve(Cursor);
+    SchedScratch.clear();
     for (size_t I = 0; I < Cursor && I < Stack.size(); ++I)
-      Choices.push_back({Stack[I].Chosen, Stack[I].Num, Stack[I].Backtrack});
-    B.Schedule = encodeSchedule(Choices);
+      SchedScratch.push_back(
+          {Stack[I].Chosen, Stack[I].Num, Stack[I].Backtrack});
+    B.Schedule = encodeSchedule(SchedScratch);
     Result.Incidents.push_back(std::move(B));
   }
 }
@@ -313,7 +321,23 @@ Explorer::ExecEnd Explorer::runOneExecution() {
     RaceD.emplace();
     RTOpts.Race = &*RaceD;
   }
-  Runtime RT(*this, RTOpts);
+  // The execution's world: recycled from the previous execution when
+  // ReuseExecutionState is on (reset() rewinds it to a logically fresh
+  // state, keeping thread records and pooled fiber stacks), else built
+  // and torn down per execution -- the measured-baseline slow path.
+  std::optional<Runtime> LocalRT;
+  if (Opts.ReuseExecutionState) {
+    if (!OwnPool && !ExternalPool)
+      OwnPool = std::make_unique<StackPool>();
+    RTOpts.Pool = ExternalPool ? ExternalPool : OwnPool.get();
+    if (PersistentRT)
+      PersistentRT->reset(RTOpts);
+    else
+      PersistentRT = std::make_unique<Runtime>(*this, RTOpts);
+  } else {
+    LocalRT.emplace(*this, RTOpts);
+  }
+  Runtime &RT = LocalRT ? *LocalRT : *PersistentRT;
   FairScheduler FS(Opts.YieldK);
   LivenessMonitor Monitor(Opts.GoodSamaritanBound);
   Monitor.beginExecution();

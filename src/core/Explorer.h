@@ -48,6 +48,7 @@ struct WorkerCounters;
 } // namespace obs
 
 struct CheckpointState;
+class StackPool;
 
 /// Drives the whole search for one checker run. Also serves as the
 /// ChoiceSource that resolves Runtime::chooseInt data choices, so both
@@ -156,6 +157,13 @@ public:
   /// Logical transitions this explorer has run; see setObsWorker.
   uint64_t obsClock() const { return ObsClock; }
 
+  /// Uses \p P for fiber stacks instead of a private pool, letting a
+  /// parallel worker share one pool across the many short-lived explorers
+  /// it runs (one per work item). \p P must outlive the explorer; only
+  /// meaningful with CheckerOptions::ReuseExecutionState. Call before
+  /// run().
+  void setStackPool(StackPool *P) { ExternalPool = P; }
+
   /// Incidents collected so far (data races under RaceCheckMode::On); the
   /// sandbox child streams deltas of this list to its parent. Valid from
   /// the execution hook or after run().
@@ -233,8 +241,19 @@ private:
   /// it instead of wall time so serial traces are byte-reproducible.
   uint64_t ObsClock = 0;
 
+  /// Execution-state recycling (CheckerOptions::ReuseExecutionState):
+  /// one Runtime rewound via reset() per execution instead of a fresh
+  /// object, with fiber stacks drawn from a pool. Declared before
+  /// PersistentRT so the pool outlives the fibers that release into it.
+  std::unique_ptr<StackPool> OwnPool;
+  StackPool *ExternalPool = nullptr;
+  std::unique_ptr<Runtime> PersistentRT;
+
   CheckResult Result;
   Trace CurTrace;
+  /// Scratch for serializing Stack into ScheduleChoices (bug reports,
+  /// race incidents); a member so repeated serialization reuses capacity.
+  std::vector<struct ScheduleChoice> SchedScratch;
   /// Cross-execution race dedup: messages of every race already turned
   /// into an incident (the same race recurs in many interleavings).
   std::unordered_set<std::string> RaceKeys;

@@ -7,6 +7,7 @@
 #include "core/Schedule.h"
 #include "core/WorkQueue.h"
 #include "obs/Observer.h"
+#include "runtime/StackPool.h"
 
 #include <algorithm>
 #include <atomic>
@@ -203,6 +204,10 @@ CheckResult ParallelExplorer::run() {
         Opts.Obs ? &Opts.Obs->shard(unsigned(WorkerId)) : nullptr;
     obs::EventSink *Sink = Opts.Obs ? Opts.Obs->sink() : nullptr;
     uint64_t Clock = 0; ///< This worker's logical time across items.
+    // One stack pool per worker, shared across all its work items: fiber
+    // stacks warmed by the first item are reused for the rest instead of
+    // each short-lived Explorer growing a private pool from cold.
+    StackPool WorkerPool;
     while (std::optional<WorkItem> Item = SH.Queue.pop()) {
       if (SH.StopAll.load(std::memory_order_relaxed)) {
         SH.Queue.itemDone();
@@ -250,6 +255,8 @@ CheckResult ParallelExplorer::run() {
       }
 
       Explorer E(Program, ItemOpts);
+      if (ItemOpts.ReuseExecutionState)
+        E.setStackPool(&WorkerPool);
       E.setObsWorker(unsigned(WorkerId), Clock);
       E.preloadSchedule(Item->Prefix, /*Frozen=*/true);
       E.setExecutionHook([&](Explorer &Ex) {

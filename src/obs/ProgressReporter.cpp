@@ -55,9 +55,17 @@ std::string ProgressReporter::formatLine(double ElapsedSeconds,
                                          uint64_t Execs, uint64_t Trans,
                                          double ExecRate) const {
   CounterSnapshot S = Obs.snapshot();
-  char Head[160];
-  std::snprintf(Head, sizeof(Head), "[fsmc %.1fs] exec=%s (%.0f/s) trans=%s",
-                ElapsedSeconds, compactCount(Execs).c_str(), ExecRate,
+  // Two rates: the delta rate of the last window (spiky, shows stalls)
+  // and the cumulative average since the search began (what stats-json's
+  // timing block reports as execs_per_sec); elapsed_ms gives tooling a
+  // number to scrape without parsing "12.0s".
+  double AvgRate = ElapsedSeconds > 0 ? double(Execs) / ElapsedSeconds : 0;
+  char Head[192];
+  std::snprintf(Head, sizeof(Head),
+                "[fsmc %.1fs] elapsed_ms=%.0f exec=%s (%.0f/s, avg %.0f/s) "
+                "trans=%s",
+                ElapsedSeconds, ElapsedSeconds * 1000.0,
+                compactCount(Execs).c_str(), ExecRate, AvgRate,
                 compactCount(Trans).c_str());
   std::string Line = Head;
   Line += " depth=" + std::to_string(S.gauge(Gauge::MaxDepth));

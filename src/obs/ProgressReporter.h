@@ -10,10 +10,12 @@
 /// interval and prints a one-line status to stderr, so a multi-hour
 /// search is not a black box until it returns:
 ///
-///   [fsmc 12.0s] exec=48210 (4012/s) trans=1.2M depth=37 edges=880
-///       queue=3 workers=4 eta=88s
+///   [fsmc 12.0s] elapsed_ms=12000 exec=48210 (4012/s, avg 3900/s)
+///       trans=1.2M depth=37 edges=880 queue=3 workers=4 eta=88s
 ///
-/// Rates are computed from the delta since the previous tick; the ETA is
+/// The parenthesized rate pair is the last window's delta rate followed
+/// by the cumulative average (executions / elapsed -- the same
+/// execs_per_sec the stats-json timing block reports); the ETA is
 /// against whichever budget (time or executions) binds first. Each line
 /// is composed fully before a single atomic write, so progress never
 /// shears with a bug report being printed on stdout (see OutStream).

@@ -224,6 +224,16 @@ std::string fsmc::obs::renderStatsJson(const CheckResult &R,
   appendKVBool(Out, "search_exhausted", S.SearchExhausted, false);
   Out += "  },\n";
 
+  if (Info.Timing) {
+    char Buf[160];
+    double Rate = S.Seconds > 0 ? double(S.Executions) / S.Seconds : 0;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"timing\": {\n    \"elapsed_ms\": %.3f,\n"
+                  "    \"execs_per_sec\": %.1f\n  },\n",
+                  S.Seconds * 1000.0, Rate);
+    Out += Buf;
+  }
+
   if (Info.Obs) {
     CounterSnapshot C = Info.Obs->snapshot();
     Out += "  \"counters\": {\n";

@@ -49,6 +49,11 @@ struct StatsJsonInfo {
   const CheckerOptions *Options = nullptr; ///< Echoed into "options".
   const Observer *Obs = nullptr;           ///< Adds the "counters" section.
   bool Replay = false;                     ///< Run was a schedule replay.
+  /// Adds the "timing" section (elapsed_ms, execs_per_sec). Off by
+  /// default -- wall-clock numbers vary run to run, and default reports
+  /// are kept byte-identical across revisions (the PR 3 convention);
+  /// opt in via fsmc_run --timing.
+  bool Timing = false;
 };
 
 /// Renders the full report as a pretty-printed JSON object (trailing

@@ -2,6 +2,9 @@
 
 #include "runtime/Fiber.h"
 
+#include "runtime/Sanitizer.h"
+#include "runtime/StackPool.h"
+
 #include <cassert>
 #include <cstdint>
 #include <sys/mman.h>
@@ -9,9 +12,36 @@
 
 using namespace fsmc;
 
-Fiber::~Fiber() {
-  if (StackBase)
+#if FSMC_ASAN
+namespace {
+/// Stack extent of this OS thread, captured the first time one of its
+/// fibers runs (__sanitizer_finish_switch_fiber reports the stack that
+/// was switched away from). Fibers that switch back to the controller --
+/// whose "stack" is the host OS-thread stack -- announce this extent.
+thread_local const void *HostStackBottom = nullptr;
+thread_local size_t HostStackSize = 0;
+} // namespace
+#endif
+
+Fiber::~Fiber() { releaseStack(); }
+
+void Fiber::releaseStack() {
+  if (!StackBase)
+    return;
+  if (Pool) {
+    Pool->release(StackBase, MappedBytes);
+  } else {
+    long Page = sysconf(_SC_PAGESIZE);
+    // Shadow poison is not cleared by munmap; scrub it so an unrelated
+    // later mapping at the same address starts clean under ASan.
+    fsmcAsanUnpoison(StackBase + Page, MappedBytes - size_t(Page));
     munmap(StackBase, MappedBytes);
+  }
+  StackBase = nullptr;
+  MappedBytes = 0;
+  Pool = nullptr;
+  AsanStackBottom = nullptr;
+  AsanStackSize = 0;
 }
 
 void Fiber::initAsHost() {
@@ -24,29 +54,52 @@ void Fiber::trampoline(unsigned HiHalf, unsigned LoHalf) {
   // makecontext only passes ints; reassemble the Fiber pointer.
   auto Bits = (uint64_t(HiHalf) << 32) | uint64_t(LoHalf);
   auto *Self = reinterpret_cast<Fiber *>(uintptr_t(Bits));
+#if FSMC_ASAN
+  // First activation of this fiber: complete the switch ASan saw begin in
+  // switchTo, and learn the host stack's extent from it (the stack we
+  // just left is the OS thread's own).
+  __sanitizer_finish_switch_fiber(nullptr, &HostStackBottom, &HostStackSize);
+#endif
   Self->Entry(Self->EntryArg);
   // Entry functions must switch away before returning; see Runtime.
   assert(false && "fiber entry returned without switching away");
 }
 
-bool Fiber::initWithEntry(size_t StackBytes, EntryFn Entry, void *Arg) {
-  assert(!StackBase && "fiber already initialized");
+bool Fiber::initWithEntry(size_t StackBytes, EntryFn Entry, void *Arg,
+                          StackPool *Pool) {
   long Page = sysconf(_SC_PAGESIZE);
   size_t Usable = (StackBytes + Page - 1) / Page * Page;
-  MappedBytes = Usable + Page; // one guard page below the stack
-  void *Map = mmap(nullptr, MappedBytes, PROT_READ | PROT_WRITE,
-                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  if (Map == MAP_FAILED) {
-    MappedBytes = 0;
-    return false;
+  size_t Wanted = Usable + Page; // one guard page below the stack
+  if (StackBase && (MappedBytes != Wanted || this->Pool != Pool))
+    releaseStack();
+  if (StackBase) {
+    // Recycling fast path: same mapping, no syscalls. The previous fiber
+    // abandoned frames here; clear their stale sanitizer poison.
+    fsmcAsanUnpoison(StackBase + Page, Usable);
+  } else {
+    char *Map;
+    if (Pool) {
+      Map = Pool->acquire(Wanted);
+    } else {
+      void *Raw = mmap(nullptr, Wanted, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+      Map = Raw == MAP_FAILED ? nullptr : static_cast<char *>(Raw);
+      if (Map)
+        mprotect(Map, size_t(Page), PROT_NONE);
+    }
+    if (!Map)
+      return false;
+    StackBase = Map;
+    MappedBytes = Wanted;
+    this->Pool = Pool;
   }
-  StackBase = static_cast<char *>(Map);
-  mprotect(StackBase, Page, PROT_NONE);
 
   getcontext(&Ctx);
   Ctx.uc_stack.ss_sp = StackBase + Page;
   Ctx.uc_stack.ss_size = Usable;
   Ctx.uc_link = nullptr;
+  AsanStackBottom = StackBase + Page;
+  AsanStackSize = Usable;
 
   this->Entry = Entry;
   this->EntryArg = Arg;
@@ -57,6 +110,19 @@ bool Fiber::initWithEntry(size_t StackBytes, EntryFn Entry, void *Arg) {
 }
 
 void Fiber::switchTo(Fiber &From, Fiber &To) {
+#if FSMC_ASAN
+  // Tell ASan which stack is about to run. A stackless target is the
+  // controller, i.e. the host OS-thread stack captured at the first
+  // fiber activation on this thread.
+  const void *Bottom = To.StackBase ? To.AsanStackBottom : HostStackBottom;
+  size_t Size = To.StackBase ? To.AsanStackSize : HostStackSize;
+  void *FakeStack = nullptr;
+  __sanitizer_start_switch_fiber(&FakeStack, Bottom, Size);
   [[maybe_unused]] int RC = swapcontext(&From.Ctx, &To.Ctx);
+  // Control came back to From (possibly much later, from another fiber).
+  __sanitizer_finish_switch_fiber(FakeStack, nullptr, nullptr);
+#else
+  [[maybe_unused]] int RC = swapcontext(&From.Ctx, &To.Ctx);
+#endif
   assert(RC == 0 && "swapcontext failed");
 }

@@ -26,11 +26,15 @@
 
 namespace fsmc {
 
+class StackPool;
+
 /// A single execution context with its own stack.
 ///
 /// Two kinds of fibers exist: the controller fiber, which wraps the host
 /// context and owns no stack (\ref initAsHost), and test-thread fibers with
-/// a freshly mapped, guard-paged stack (\ref initWithEntry). Switching is
+/// a guard-paged stack (\ref initWithEntry) -- mapped directly, or acquired
+/// from a StackPool so re-initialization across executions reuses the same
+/// mapping instead of paying mmap/munmap per execution. Switching is
 /// always symmetric via \ref switchTo.
 class Fiber {
 public:
@@ -46,12 +50,23 @@ public:
   /// allocated; the context is filled in by the first switch away from it.
   void initAsHost();
 
-  /// Allocates a stack and arranges for \p Entry(\p Arg) to run when this
-  /// fiber is first switched to. The stack has an inaccessible guard page
-  /// below it so overflow faults instead of corrupting a neighbour.
+  /// Arranges for \p Entry(\p Arg) to run when this fiber is first
+  /// switched to, on a stack with an inaccessible guard page below it so
+  /// overflow faults instead of corrupting a neighbour.
+  ///
+  /// May be called again on an already-initialized fiber: when the
+  /// existing mapping fits \p StackBytes it is reused in place with no
+  /// syscalls (the recycling fast path); otherwise the old stack is
+  /// returned and a new one acquired. \p Pool, when non-null, supplies
+  /// and takes back mappings; it must outlive the fiber.
   ///
   /// \returns false if stack allocation failed.
-  bool initWithEntry(size_t StackBytes, EntryFn Entry, void *Arg);
+  bool initWithEntry(size_t StackBytes, EntryFn Entry, void *Arg,
+                     StackPool *Pool = nullptr);
+
+  /// Returns this fiber's stack to its pool (or unmaps it) now, leaving
+  /// the fiber uninitialized. The destructor does this implicitly.
+  void releaseStack();
 
   /// Saves the current context into \p From and resumes \p To. When some
   /// other fiber later switches back to \p From, this call returns.
@@ -69,8 +84,14 @@ private:
   ucontext_t Ctx = {};
   char *StackBase = nullptr; ///< mmap base (guard page + usable stack).
   size_t MappedBytes = 0;
+  StackPool *Pool = nullptr; ///< Where StackBase goes back on release.
   EntryFn Entry = nullptr;
   void *EntryArg = nullptr;
+  /// ASan switch annotations need the target's stack extent; kept
+  /// unconditionally (two words) so the layout is sanitizer-independent.
+  /// Null bottom means "the host OS-thread stack" (resolved lazily).
+  const void *AsanStackBottom = nullptr;
+  size_t AsanStackSize = 0;
 };
 
 } // namespace fsmc

@@ -78,44 +78,74 @@ void Runtime::switchToController(ThreadState &TS) {
   InController = false;
 }
 
+Runtime::ThreadState &Runtime::claimThreadSlot(Tid Id) {
+  if (size_t(Id) == Threads.size())
+    Threads.push_back(std::make_unique<ThreadState>());
+  // Else: a recycled record from before the last reset(). Its fiber keeps
+  // its stack mapping; initWithEntry below reuses it in place.
+  ThreadState &TS = *Threads[Id];
+  TS.Id = Id;
+  TS.RT = this;
+  TS.FinishedFlag = false;
+  TS.Annotation = 0;
+  TS.Pending = makeOp(OpKind::ThreadStart);
+  ++NumThreads;
+  return TS;
+}
+
 Tid Runtime::spawn(std::function<void()> Body, std::string Name) {
   assert(!InController && "spawn must be called from a test thread");
-  Tid Id = Tid(Threads.size());
+  Tid Id = Tid(NumThreads);
   if (Id >= MaxThreads)
     fail("thread limit exceeded (MaxThreads = 64)");
-  auto TS = std::make_unique<ThreadState>();
-  TS->Id = Id;
-  TS->Name = Name.empty() ? ("t" + std::to_string(Id)) : std::move(Name);
-  TS->Body = std::move(Body);
-  TS->RT = this;
-  TS->Pending = makeOp(OpKind::ThreadStart);
-  if (!TS->F.initWithEntry(Opts.StackBytes, &Runtime::threadEntry, TS.get()))
+  ThreadState &TS = claimThreadSlot(Id);
+  TS.Name = Name.empty() ? ("t" + std::to_string(Id)) : std::move(Name);
+  TS.Body = std::move(Body);
+  if (!TS.F.initWithEntry(Opts.StackBytes, &Runtime::threadEntry, &TS,
+                          Opts.Pool))
     fail("fiber stack allocation failed");
   Live.insert(Id);
-  Threads.push_back(std::move(TS));
   if (Opts.Race)
     Opts.Race->onSpawn(CurTid, Id);
   return Id;
 }
 
 void Runtime::start(std::function<void()> MainBody, std::string Name) {
-  assert(Threads.empty() && "start() called twice");
+  assert(NumThreads == 0 && "start() called twice");
   assert(InController && "start must be called from the controller");
   Tid Id = 0;
-  auto TS = std::make_unique<ThreadState>();
-  TS->Id = Id;
-  TS->Name = std::move(Name);
-  TS->Body = std::move(MainBody);
-  TS->RT = this;
-  TS->Pending = makeOp(OpKind::ThreadStart);
-  bool OK =
-      TS->F.initWithEntry(Opts.StackBytes, &Runtime::threadEntry, TS.get());
+  ThreadState &TS = claimThreadSlot(Id);
+  TS.Name = std::move(Name);
+  TS.Body = std::move(MainBody);
+  bool OK = TS.F.initWithEntry(Opts.StackBytes, &Runtime::threadEntry, &TS,
+                               Opts.Pool);
   assert(OK && "fiber stack allocation failed for main thread");
   (void)OK;
   Live.insert(Id);
-  Threads.push_back(std::move(TS));
   if (Opts.Race)
     Opts.Race->onThreadStart(Id);
+}
+
+void Runtime::reset(const Options &NewOpts) {
+  assert(InController && "reset must be called from the controller");
+  Opts = NewOpts;
+  // Recycled records keep their fiber (and stack mapping) and their
+  // string capacity; everything execution-specific is re-armed by
+  // claimThreadSlot when the slot is claimed again. Unfinished fibers
+  // are abandoned without unwinding, exactly as the destructor would.
+  for (size_t I = 0; I < NumThreads; ++I)
+    Threads[I]->Body = nullptr;
+  NumThreads = 0;
+  ObjectNames.clear();
+  Live.clear();
+  CurTid = -1;
+  Failed = false;
+  FailureBy = -1;
+  FailureMsg.clear();
+  SyncOps = 0;
+  InController = true;
+  StateExtractor = nullptr;
+  ExtractorOwner = -1;
 }
 
 void Runtime::schedulePoint(const PendingOp &Op) {
@@ -212,7 +242,8 @@ void Runtime::setStateExtractor(std::function<uint64_t()> Fn) {
 uint64_t Runtime::stateSignature() const {
   Fnv1a H;
   H.addU64(StateExtractor ? StateExtractor() : 0);
-  for (const auto &TS : Threads) {
+  for (size_t I = 0; I < NumThreads; ++I) {
+    const auto &TS = Threads[I];
     if (TS->FinishedFlag) {
       H.addU64(0xf1f1f1f1f1f1f1f1ULL);
       continue;
@@ -275,17 +306,17 @@ StepStatus Runtime::step(Tid T) {
 }
 
 bool Runtime::isFinished(Tid T) const {
-  assert(T >= 0 && T < int(Threads.size()) && "unknown thread");
+  assert(T >= 0 && size_t(T) < NumThreads && "unknown thread");
   return Threads[T]->FinishedFlag;
 }
 
 const std::string &Runtime::threadName(Tid T) const {
-  assert(T >= 0 && T < int(Threads.size()) && "unknown thread");
+  assert(T >= 0 && size_t(T) < NumThreads && "unknown thread");
   return Threads[T]->Name;
 }
 
 uint64_t Runtime::annotationOf(Tid T) const {
-  assert(T >= 0 && T < int(Threads.size()) && "unknown thread");
+  assert(T >= 0 && size_t(T) < NumThreads && "unknown thread");
   return Threads[T]->Annotation;
 }
 

@@ -38,6 +38,7 @@ struct WorkerCounters;
 } // namespace obs
 
 class RaceDetector;
+class StackPool;
 
 /// Resolves nondeterministic choices that arise *inside* a transition.
 ///
@@ -64,9 +65,11 @@ enum class StepStatus {
 ///
 /// Lifecycle: construct, `start()` with the main thread's body, then the
 /// explorer repeatedly calls `enabledSet()` / `step(t)` until no live
-/// threads remain (or a bug/bound stops the execution). A fresh Runtime is
-/// built for every execution; the stateless explorer replays by re-running
-/// the test with the same choice sequence.
+/// threads remain (or a bug/bound stops the execution). Every execution
+/// gets a logically fresh Runtime -- either a new object, or the previous
+/// one rewound via `reset()`, which recycles thread records and fiber
+/// stacks without changing observable behaviour; the stateless explorer
+/// replays by re-running the test with the same choice sequence.
 class Runtime {
 public:
   struct Options {
@@ -84,6 +87,11 @@ public:
     /// (see src/race/RaceDetector.h). Purely observational: never
     /// influences scheduling.
     RaceDetector *Race = nullptr;
+    /// Stack pool fiber stacks are acquired from and released to; null
+    /// maps/unmaps stacks directly. Must outlive the Runtime (and any
+    /// Runtime later reset() to a different pool, since recycled fibers
+    /// return their stack to the pool that issued it).
+    StackPool *Pool = nullptr;
   };
 
   explicit Runtime(ChoiceSource &Choices);
@@ -161,6 +169,14 @@ public:
   /// Creates thread 0 with \p MainBody. Must be called exactly once.
   void start(std::function<void()> MainBody, std::string Name = "main");
 
+  /// Rewinds this Runtime to its just-constructed state under \p NewOpts,
+  /// recycling what the next execution will rebuild anyway: thread
+  /// records, their fiber stack mappings, and name storage survive, so a
+  /// reset + start() costs no allocations or mmaps in the steady state.
+  /// The stateless search (Algorithm 1) re-executes the program per
+  /// schedule; this is its per-execution fast path.
+  void reset(const Options &NewOpts);
+
   /// Threads that have been spawned and have not finished.
   ThreadSet liveSet() const { return Live; }
 
@@ -185,7 +201,7 @@ public:
   Tid failureTid() const { return FailureBy; }
 
   /// Total threads ever spawned in this execution (Table 1 "Threads").
-  int threadCount() const { return int(Threads.size()); }
+  int threadCount() const { return int(NumThreads); }
   /// Scheduling points executed so far (Table 1 "Synch Ops").
   uint64_t syncOpCount() const { return SyncOps; }
 
@@ -203,6 +219,9 @@ public:
 private:
   struct ThreadState;
 
+  /// Readies slot \p Id (recycled or freshly allocated) for a new thread.
+  ThreadState &claimThreadSlot(Tid Id);
+
   static void threadEntry(void *Arg);
   [[noreturn]] void exitThread(ThreadState &TS);
   void switchToController(ThreadState &TS);
@@ -210,7 +229,11 @@ private:
   ChoiceSource &Choices;
   Options Opts;
   Fiber Controller;
+  /// Thread records of this execution in slots [0, NumThreads); slots
+  /// beyond that are recycled records from an earlier execution of this
+  /// (reset) Runtime, kept so their storage and stacks can be reused.
   std::vector<std::unique_ptr<ThreadState>> Threads;
+  size_t NumThreads = 0;
   std::vector<std::string> ObjectNames;
   ThreadSet Live;
   Tid CurTid = -1;       ///< Thread currently executing a transition.

@@ -1,0 +1,56 @@
+//===- runtime/Sanitizer.h - Sanitizer build detection ---------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FSMC_ASAN: 1 when compiling under AddressSanitizer (the `asan` CMake
+/// preset), 0 otherwise. The fiber runtime swaps stacks underneath the
+/// compiler, which ASan can only follow if it is told about every switch
+/// (__sanitizer_start/finish_switch_fiber) and if recycled stack memory
+/// is unpoisoned before reuse. All of that instrumentation compiles to
+/// nothing in non-sanitizer builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_RUNTIME_SANITIZER_H
+#define FSMC_RUNTIME_SANITIZER_H
+
+#include <cstddef>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define FSMC_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FSMC_ASAN 1
+#endif
+#endif
+#ifndef FSMC_ASAN
+#define FSMC_ASAN 0
+#endif
+
+#if FSMC_ASAN
+#include <sanitizer/asan_interface.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace fsmc {
+
+/// Clears ASan shadow poison over [\p Addr, \p Addr + \p Bytes); no-op in
+/// regular builds. A fiber that parked or exited leaves poisoned redzones
+/// from its abandoned frames on its stack, so the memory must be
+/// unpoisoned before a new fiber runs on it.
+inline void fsmcAsanUnpoison(void *Addr, size_t Bytes) {
+#if FSMC_ASAN
+  __asan_unpoison_memory_region(Addr, Bytes);
+#else
+  (void)Addr;
+  (void)Bytes;
+#endif
+}
+
+} // namespace fsmc
+
+#endif // FSMC_RUNTIME_SANITIZER_H

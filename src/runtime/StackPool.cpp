@@ -1,0 +1,71 @@
+//===- runtime/StackPool.cpp ----------------------------------------------===//
+
+#include "runtime/StackPool.h"
+
+#include "runtime/Sanitizer.h"
+
+#include <cassert>
+#include <sys/mman.h>
+#include <unistd.h>
+
+using namespace fsmc;
+
+StackPool::~StackPool() { trim(); }
+
+StackPool::SizeClass &StackPool::classFor(size_t MappedBytes) {
+  for (SizeClass &C : Classes)
+    if (C.MappedBytes == MappedBytes)
+      return C;
+  Classes.push_back(SizeClass{MappedBytes, {}});
+  return Classes.back();
+}
+
+char *StackPool::acquire(size_t MappedBytes) {
+  ++S.Acquires;
+  SizeClass &C = classFor(MappedBytes);
+  if (!C.Free.empty()) {
+    char *Base = C.Free.back();
+    C.Free.pop_back();
+    ++S.Hits;
+    return Base;
+  }
+  ++S.Misses;
+  void *Map = mmap(nullptr, MappedBytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Map == MAP_FAILED)
+    return nullptr;
+  long Page = sysconf(_SC_PAGESIZE);
+  mprotect(Map, size_t(Page), PROT_NONE);
+  if (++LiveMappings > S.HighWater)
+    S.HighWater = LiveMappings;
+  return static_cast<char *>(Map);
+}
+
+void StackPool::release(char *Base, size_t MappedBytes) {
+  assert(Base && "releasing a null stack");
+  ++S.Releases;
+  long Page = sysconf(_SC_PAGESIZE);
+  // The previous fiber abandoned its frames mid-stack; drop any stale
+  // sanitizer poison with the mapping so the next user starts clean.
+  fsmcAsanUnpoison(Base + Page, MappedBytes - size_t(Page));
+  if (TrimOnRelease)
+    madvise(Base + Page, MappedBytes - size_t(Page), MADV_DONTNEED);
+  classFor(MappedBytes).Free.push_back(Base);
+}
+
+void StackPool::trim() {
+  for (SizeClass &C : Classes) {
+    for (char *Base : C.Free) {
+      munmap(Base, C.MappedBytes);
+      --LiveMappings;
+    }
+    C.Free.clear();
+  }
+}
+
+size_t StackPool::freeCount() const {
+  size_t N = 0;
+  for (const SizeClass &C : Classes)
+    N += C.Free.size();
+  return N;
+}

@@ -1,0 +1,98 @@
+//===- runtime/StackPool.h - Reusable guard-paged fiber stacks -*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A free list of guard-paged stack mappings for fiber reuse across
+/// executions.
+///
+/// The stateless search re-executes the test program for every schedule
+/// (Algorithm 1), so per-execution setup cost -- not the scheduler --
+/// bounds throughput. Without pooling, every test thread of every
+/// execution pays an mmap + mprotect on creation and a munmap on teardown;
+/// at millions of executions x N threads that is millions of syscalls on
+/// the hottest path in the checker. The pool keeps released mappings,
+/// guard page intact, and hands them back to the next acquire of the same
+/// size, reducing the steady-state cost to a vector pop.
+///
+/// Threading: a pool is single-threaded by design -- one pool per search
+/// worker, mirroring how each worker owns its private Runtime. Stacks
+/// never migrate between pools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_RUNTIME_STACKPOOL_H
+#define FSMC_RUNTIME_STACKPOOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fsmc {
+
+/// Owns guard-paged stack mappings and recycles them by size.
+///
+/// Layout of every mapping (identical to what Fiber::initWithEntry maps
+/// directly): one inaccessible guard page at the base, then the usable
+/// stack above it. The guard page's protection is set once at map time
+/// and survives reuse, so pooled stacks still fault on overflow.
+class StackPool {
+public:
+  struct Stats {
+    uint64_t Acquires = 0; ///< Total acquire() calls.
+    uint64_t Hits = 0;     ///< Acquires served from the free list.
+    uint64_t Misses = 0;   ///< Acquires that fell back to mmap.
+    uint64_t Releases = 0; ///< Stacks returned to the free list.
+    size_t HighWater = 0;  ///< Max mappings alive (in use + free) at once.
+  };
+
+  StackPool() = default;
+  ~StackPool();
+
+  StackPool(const StackPool &) = delete;
+  StackPool &operator=(const StackPool &) = delete;
+
+  /// \returns the base of a mapping of exactly \p MappedBytes (guard page
+  /// at the base, already PROT_NONE), or null if mmap failed. Reuses a
+  /// free mapping of the same size when one exists.
+  char *acquire(size_t MappedBytes);
+
+  /// Returns \p Base (previously obtained from acquire) to the free list.
+  /// With trim-on-release set, the usable region's pages are given back
+  /// to the kernel via madvise(MADV_DONTNEED) first, so an idle pool
+  /// holds address space but not resident memory.
+  void release(char *Base, size_t MappedBytes);
+
+  /// Unmaps every free mapping now (in-use stacks are unaffected).
+  void trim();
+
+  /// Makes every future release() madvise the usable region away.
+  void setTrimOnRelease(bool On) { TrimOnRelease = On; }
+
+  const Stats &stats() const { return S; }
+
+  /// Free mappings currently held, across all sizes.
+  size_t freeCount() const;
+
+private:
+  struct SizeClass {
+    size_t MappedBytes = 0;
+    std::vector<char *> Free;
+  };
+
+  SizeClass &classFor(size_t MappedBytes);
+
+  /// Keyed linearly: real runs use exactly one stack size, so the "map"
+  /// is a one-element vector and lookup is a single compare.
+  std::vector<SizeClass> Classes;
+  Stats S;
+  size_t LiveMappings = 0; ///< In use + free, for the high-water mark.
+  bool TrimOnRelease = false;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_RUNTIME_STACKPOOL_H

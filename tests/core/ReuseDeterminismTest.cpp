@@ -1,0 +1,170 @@
+//===- tests/core/ReuseDeterminismTest.cpp --------------------------------===//
+//
+// Pins the invisibility contract of CheckerOptions::ReuseExecutionState
+// (docs/PERFORMANCE.md): recycling runtimes and pooling fiber stacks is
+// a pure hot-path optimization, so a search run with reuse on must be
+// observationally indistinguishable from the same search with reuse off
+// -- byte-identical event trace and stats-json at jobs=1, and identical
+// normalized event multiset plus stats-json at jobs=4 (where only worker
+// interleaving, never the explored tree, may differ between runs).
+//
+// The stats-json comparison normalizes the one wall-clock field
+// ("seconds") and renders without an Observer: per-worker work-stealing
+// counters (items popped, prefixes donated) legitimately vary run to run
+// at jobs > 1, while everything SearchStats holds must not.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+#include "obs/EventSink.h"
+#include "obs/Observer.h"
+#include "obs/StatsJson.h"
+#include "obs/TraceValidate.h"
+#include "workloads/Peterson.h"
+#include "workloads/WorkStealQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using namespace fsmc;
+using namespace fsmc::obs;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + Name;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream F(Path, std::ios::binary);
+  std::ostringstream S;
+  S << F.rdbuf();
+  return S.str();
+}
+
+CheckResult runWithTrace(const TestProgram &Program, CheckerOptions Opts,
+                         const std::string &TracePath) {
+  JsonlTraceSink Sink(TracePath);
+  EXPECT_TRUE(Sink.valid());
+  Observer::Config OC;
+  OC.Sink = &Sink;
+  Observer Obs(OC);
+  Opts.Obs = &Obs;
+  CheckResult R = check(Program, Opts);
+  Sink.close();
+  return R;
+}
+
+/// stats-json with the wall-clock "seconds" value blanked; every other
+/// byte must match between reuse on and off.
+std::string normalizedStatsJson(const CheckResult &R,
+                                const CheckerOptions &Opts) {
+  StatsJsonInfo Info;
+  Info.Program = "reuse_determinism";
+  Info.Options = &Opts;
+  std::string Text = renderStatsJson(R, Info);
+  size_t Pos = Text.find("\"seconds\": ");
+  EXPECT_NE(Pos, std::string::npos);
+  if (Pos != std::string::npos) {
+    size_t End = Text.find(',', Pos);
+    EXPECT_NE(End, std::string::npos);
+    Text.replace(Pos, End - Pos, "\"seconds\": 0");
+  }
+  return Text;
+}
+
+std::vector<std::string> normalizedMultiset(const std::string &Path) {
+  std::vector<std::string> Out;
+  std::string Err;
+  EXPECT_TRUE(loadNormalizedEvents(Path, /*StripWorkerAndTime=*/true,
+                                   {"par"}, Out, Err))
+      << Err;
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+TEST(ReuseDeterminism, SerialTraceAndStatsByteIdentical) {
+  PetersonConfig C;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.Jobs = 1;
+
+  const std::string OnPath = tempPath("reuse_on_jobs1.json");
+  const std::string OffPath = tempPath("reuse_off_jobs1.json");
+  O.ReuseExecutionState = true;
+  CheckResult On = runWithTrace(makePetersonProgram(C), O, OnPath);
+  CheckerOptions OOff = O;
+  OOff.ReuseExecutionState = false;
+  CheckResult Off = runWithTrace(makePetersonProgram(C), OOff, OffPath);
+
+  ASSERT_TRUE(On.Stats.SearchExhausted);
+  ASSERT_TRUE(Off.Stats.SearchExhausted);
+
+  std::string OnTrace = slurp(OnPath);
+  ASSERT_FALSE(OnTrace.empty());
+  EXPECT_EQ(OnTrace, slurp(OffPath));
+  EXPECT_EQ(normalizedStatsJson(On, O), normalizedStatsJson(Off, OOff));
+}
+
+TEST(ReuseDeterminism, SerialBugTraceByteIdentical) {
+  // A bug-finding run exercises the reportBug serialization path (the
+  // recycled schedule scratch) on top of the plain exploration loop.
+  WsqConfig C;
+  C.Stealers = 1;
+  C.Tasks = 2;
+  C.Bug = WsqBug::PopReordered;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+
+  const std::string OnPath = tempPath("reuse_on_bug.json");
+  const std::string OffPath = tempPath("reuse_off_bug.json");
+  O.ReuseExecutionState = true;
+  CheckResult On = runWithTrace(makeWsqProgram(C), O, OnPath);
+  CheckerOptions OOff = O;
+  OOff.ReuseExecutionState = false;
+  CheckResult Off = runWithTrace(makeWsqProgram(C), OOff, OffPath);
+
+  ASSERT_TRUE(On.foundBug());
+  ASSERT_TRUE(Off.foundBug());
+  ASSERT_TRUE(On.Bug && Off.Bug);
+  EXPECT_EQ(On.Bug->Schedule, Off.Bug->Schedule);
+  EXPECT_EQ(On.Bug->AtExecution, Off.Bug->AtExecution);
+
+  std::string OnTrace = slurp(OnPath);
+  ASSERT_FALSE(OnTrace.empty());
+  EXPECT_EQ(OnTrace, slurp(OffPath));
+  EXPECT_EQ(normalizedStatsJson(On, O), normalizedStatsJson(Off, OOff));
+}
+
+TEST(ReuseDeterminism, ParallelMultisetAndStatsIdentical) {
+  PetersonConfig C;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.Jobs = 4;
+
+  const std::string OnPath = tempPath("reuse_on_jobs4.json");
+  const std::string OffPath = tempPath("reuse_off_jobs4.json");
+  O.ReuseExecutionState = true;
+  CheckResult On = runWithTrace(makePetersonProgram(C), O, OnPath);
+  CheckerOptions OOff = O;
+  OOff.ReuseExecutionState = false;
+  CheckResult Off = runWithTrace(makePetersonProgram(C), OOff, OffPath);
+
+  ASSERT_TRUE(On.Stats.SearchExhausted);
+  ASSERT_TRUE(Off.Stats.SearchExhausted);
+  EXPECT_EQ(On.Stats.Executions, Off.Stats.Executions);
+  EXPECT_EQ(On.Stats.Transitions, Off.Stats.Transitions);
+
+  std::vector<std::string> Expected = normalizedMultiset(OnPath);
+  ASSERT_FALSE(Expected.empty());
+  EXPECT_EQ(normalizedMultiset(OffPath), Expected);
+  EXPECT_EQ(normalizedStatsJson(On, O), normalizedStatsJson(Off, OOff));
+}
+
+} // namespace

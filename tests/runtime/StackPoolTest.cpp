@@ -1,0 +1,134 @@
+//===- tests/runtime/StackPoolTest.cpp ------------------------------------===//
+//
+// The StackPool contract (runtime/StackPool.h): released mappings come
+// back on the next same-size acquire (that reuse is the whole point), the
+// hit/miss/high-water accounting is exact, trim really unmaps, and --
+// load-bearing for memory safety -- the guard page at the base of a
+// mapping keeps faulting after any number of pool round trips, because
+// its PROT_NONE protection is set once at map time and never relaxed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/StackPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <unistd.h>
+
+using namespace fsmc;
+
+namespace {
+
+size_t pageSize() { return size_t(sysconf(_SC_PAGESIZE)); }
+
+/// A convenient mapped size: guard page + a few usable pages.
+size_t smallMapping() { return pageSize() * 5; }
+
+TEST(StackPool, AcquireReleaseReusesSameMapping) {
+  StackPool Pool;
+  const size_t Bytes = smallMapping();
+
+  char *First = Pool.acquire(Bytes);
+  ASSERT_NE(First, nullptr);
+  Pool.release(First, Bytes);
+  EXPECT_EQ(Pool.freeCount(), 1u);
+
+  // The free list is LIFO per size class: the very next acquire of the
+  // same size must hand back the released mapping, not a fresh mmap.
+  char *Second = Pool.acquire(Bytes);
+  EXPECT_EQ(Second, First);
+  EXPECT_EQ(Pool.freeCount(), 0u);
+  Pool.release(Second, Bytes);
+}
+
+TEST(StackPool, StatsCountHitsMissesAndHighWater) {
+  StackPool Pool;
+  const size_t Bytes = smallMapping();
+
+  char *A = Pool.acquire(Bytes); // miss
+  char *B = Pool.acquire(Bytes); // miss: A still out
+  EXPECT_EQ(Pool.stats().Acquires, 2u);
+  EXPECT_EQ(Pool.stats().Misses, 2u);
+  EXPECT_EQ(Pool.stats().Hits, 0u);
+  EXPECT_EQ(Pool.stats().HighWater, 2u);
+
+  Pool.release(A, Bytes);
+  Pool.release(B, Bytes);
+  EXPECT_EQ(Pool.stats().Releases, 2u);
+
+  char *C = Pool.acquire(Bytes); // hit
+  EXPECT_EQ(Pool.stats().Hits, 1u);
+  // Two live mappings was the peak; a hit does not move the high water.
+  EXPECT_EQ(Pool.stats().HighWater, 2u);
+  Pool.release(C, Bytes);
+}
+
+TEST(StackPool, DistinctSizesGetDistinctClasses) {
+  StackPool Pool;
+  const size_t Small = smallMapping();
+  const size_t Large = smallMapping() * 2;
+
+  char *S = Pool.acquire(Small);
+  Pool.release(S, Small);
+  // A different size must not be served from the small free list.
+  char *L = Pool.acquire(Large);
+  EXPECT_EQ(Pool.stats().Misses, 2u);
+  EXPECT_EQ(Pool.stats().Hits, 0u);
+  EXPECT_EQ(Pool.freeCount(), 1u); // the small mapping, still free
+  Pool.release(L, Large);
+  EXPECT_EQ(Pool.freeCount(), 2u);
+}
+
+TEST(StackPool, TrimUnmapsFreeMappings) {
+  StackPool Pool;
+  const size_t Bytes = smallMapping();
+  char *A = Pool.acquire(Bytes);
+  char *B = Pool.acquire(Bytes);
+  Pool.release(A, Bytes);
+  Pool.release(B, Bytes);
+  ASSERT_EQ(Pool.freeCount(), 2u);
+
+  Pool.trim();
+  EXPECT_EQ(Pool.freeCount(), 0u);
+  // After a trim the next acquire is a fresh mapping again.
+  char *C = Pool.acquire(Bytes);
+  EXPECT_EQ(Pool.stats().Misses, 3u);
+  Pool.release(C, Bytes);
+}
+
+TEST(StackPool, UsableRegionIsWritableAcrossReuse) {
+  StackPool Pool;
+  Pool.setTrimOnRelease(true); // exercise the madvise path too
+  const size_t Bytes = smallMapping();
+  const size_t Page = pageSize();
+
+  for (int Round = 0; Round < 3; ++Round) {
+    char *Base = Pool.acquire(Bytes);
+    ASSERT_NE(Base, nullptr);
+    // Everything above the guard page belongs to the client.
+    std::memset(Base + Page, 0xAB, Bytes - Page);
+    EXPECT_EQ(char(0xAB), Base[Bytes - 1]);
+    Pool.release(Base, Bytes);
+  }
+}
+
+using StackPoolDeathTest = StackPool;
+
+TEST(StackPoolDeathTest, GuardPageFaultsAfterReuse) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        StackPool Pool;
+        const size_t Bytes = smallMapping();
+        // One full round trip first: the reused mapping must still have
+        // its PROT_NONE base page.
+        char *Base = Pool.acquire(Bytes);
+        Pool.release(Base, Bytes);
+        char *Again = Pool.acquire(Bytes);
+        Again[0] = 1; // lands in the guard page -> SIGSEGV
+      },
+      "");
+}
+
+} // namespace

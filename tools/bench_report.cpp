@@ -1,0 +1,255 @@
+//===- tools/bench_report.cpp - Perf regression report -------------------===//
+//
+// The benchmark regression harness (docs/PERFORMANCE.md): re-runs the
+// repository's three load-bearing performance measurements in-process --
+// the micro_scheduler end-to-end throughput workload, the par_speedup
+// parallel scaling run, and the fig5 time-to-first-deadlock search --
+// and writes one machine-readable BENCH_<PR>.json at the repo root so
+// every revision leaves a perf trajectory the next one can diff against.
+//
+// The micro section measures the same workload twice, with execution-
+// state reuse off (the pre-pooling hot path: a fresh Runtime plus
+// mmap/munmap per fiber stack per execution) and on (pooled stacks +
+// Runtime::reset), so the report carries its own baseline: "speedup" is
+// pooled over baseline on identical code, hardware and build flags.
+//
+// Usage: bench_report [--quick] [--out=FILE]
+//   --quick  shrink every budget (the bench-smoke ctest entry); numbers
+//            are noisier but the schema is identical
+//   --out=F  write the JSON to F (default: BENCH_5.json in the CWD)
+//
+// Always exits 0: the harness records numbers, it does not gate. Compare
+// across revisions with the methodology notes in docs/PERFORMANCE.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+#include "workloads/DiningPhilosophers.h"
+#include "workloads/SpinWait.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <sys/resource.h>
+#include <thread>
+
+using namespace fsmc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+/// One measured run: executions completed, wall time, derived rate.
+struct Meas {
+  uint64_t Executions = 0;
+  double WallMs = 0;
+  double ExecsPerSec = 0;
+  bool Exhausted = true;
+
+  void finish(double Secs) {
+    WallMs = Secs * 1000.0;
+    ExecsPerSec = Secs > 0 ? double(Executions) / Secs : 0;
+  }
+};
+
+/// Repeats the micro_scheduler end-to-end workload -- an exhaustive fair
+/// DFS over the Figure 3 spin-wait program, the highest executions/sec
+/// path in the checker -- until \p BudgetSeconds elapses.
+Meas measureMicro(bool Reuse, double BudgetSeconds) {
+  SpinWaitConfig C;
+  CheckerOptions O;
+  O.DetectDivergence = false;
+  O.ReuseExecutionState = Reuse;
+  Meas M;
+  auto T0 = Clock::now();
+  do {
+    CheckResult R = check(makeSpinWaitProgram(C), O);
+    M.Executions += R.Stats.Executions;
+  } while (secondsSince(T0) < BudgetSeconds);
+  M.finish(secondsSince(T0));
+  return M;
+}
+
+/// One par_speedup row: exhaustive Dining(N) Mixed under cb=2 at \p Jobs.
+Meas measurePar(int Philosophers, int Jobs, double BudgetSeconds) {
+  DiningConfig C;
+  C.Philosophers = Philosophers;
+  C.Kind = DiningConfig::Variant::Mixed;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.TrackCoverage = true;
+  O.Jobs = Jobs;
+  O.TimeBudgetSeconds = BudgetSeconds;
+  auto T0 = Clock::now();
+  CheckResult R = check(makeDiningProgram(C), O);
+  Meas M;
+  M.Executions = R.Stats.Executions;
+  M.Exhausted = R.Stats.SearchExhausted;
+  M.finish(secondsSince(T0));
+  return M;
+}
+
+/// The fig5 measurement: wall time for the fair DFS to surface the
+/// classic deadlock in DeadlockProne dining.
+Meas measureFigDeadlock(int Philosophers, double BudgetSeconds) {
+  DiningConfig C;
+  C.Philosophers = Philosophers;
+  C.Kind = DiningConfig::Variant::DeadlockProne;
+  CheckerOptions O;
+  O.TimeBudgetSeconds = BudgetSeconds;
+  auto T0 = Clock::now();
+  CheckResult R = check(makeDiningProgram(C), O);
+  Meas M;
+  M.Executions = R.Stats.Executions;
+  M.Exhausted = R.Kind == Verdict::Deadlock; // "found it" for this bench
+  M.finish(secondsSince(T0));
+  return M;
+}
+
+long peakRssKb() {
+  struct rusage RU;
+  if (getrusage(RUSAGE_SELF, &RU) != 0)
+    return 0;
+  return RU.ru_maxrss; // Linux: kilobytes.
+}
+
+void appendMeas(std::string &Out, const char *Key, const Meas &M,
+                int Indent, bool Comma) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "%*s\"%s\": { \"executions\": %llu, \"wall_ms\": %.1f, "
+                "\"execs_per_sec\": %.1f }%s\n",
+                Indent, "", Key, (unsigned long long)M.Executions, M.WallMs,
+                M.ExecsPerSec, Comma ? "," : "");
+  Out += Buf;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  std::string OutPath = "BENCH_5.json";
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--quick") == 0)
+      Quick = true;
+    else if (std::strncmp(Argv[I], "--out=", 6) == 0)
+      OutPath = Argv[I] + 6;
+    else {
+      std::fprintf(stderr, "bench_report: unknown option %s\n", Argv[I]);
+      std::fprintf(stderr, "usage: bench_report [--quick] [--out=FILE]\n");
+      return 0; // Non-gating by design; see the header comment.
+    }
+  }
+
+  // Budgets: long enough for stable rates in full mode, short enough for
+  // a non-gating smoke entry in quick mode.
+  const double MicroBudget = Quick ? 0.5 : 3.0;
+  const int ParPhilosophers = Quick ? 3 : 4;
+  const double ParBudget = Quick ? 20.0 : 120.0;
+  // Three philosophers: the deadlock is reached within the budget by the
+  // plain fair DFS, so the row measures time-to-first-bug (Table 3's
+  // metric), not budget exhaustion.
+  const int FigPhilosophers = 3;
+  const double FigBudget = Quick ? 10.0 : 60.0;
+
+  std::fprintf(stderr, "bench_report: micro_scheduler (reuse off)...\n");
+  Meas MicroOff = measureMicro(/*Reuse=*/false, MicroBudget);
+  std::fprintf(stderr, "bench_report: micro_scheduler (reuse on)...\n");
+  Meas MicroOn = measureMicro(/*Reuse=*/true, MicroBudget);
+  std::fprintf(stderr, "bench_report: par_speedup jobs=1...\n");
+  Meas Par1 = measurePar(ParPhilosophers, 1, ParBudget);
+  std::fprintf(stderr, "bench_report: par_speedup jobs=4...\n");
+  Meas Par4 = measurePar(ParPhilosophers, 4, ParBudget);
+  std::fprintf(stderr, "bench_report: fig5 dining deadlock...\n");
+  Meas Fig = measureFigDeadlock(FigPhilosophers, FigBudget);
+
+  double Speedup =
+      MicroOff.ExecsPerSec > 0 ? MicroOn.ExecsPerSec / MicroOff.ExecsPerSec
+                               : 0;
+
+  std::string Out;
+  Out += "{\n";
+  Out += "  \"schema\": 1,\n";
+  Out += "  \"bench\": 5,\n";
+  Out += std::string("  \"mode\": \"") + (Quick ? "quick" : "full") + "\",\n";
+#ifdef NDEBUG
+  Out += "  \"asserts\": false,\n";
+#else
+  Out += "  \"asserts\": true,\n";
+#endif
+  Out += "  \"hardware_threads\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n";
+
+  Out += "  \"micro_scheduler\": {\n";
+  Out += "    \"workload\": \"spinwait exhaustive fair DFS, repeated for a "
+         "fixed budget\",\n";
+  appendMeas(Out, "baseline_reuse_off", MicroOff, 4, true);
+  appendMeas(Out, "pooled_reuse_on", MicroOn, 4, true);
+  {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "    \"speedup\": %.2f\n", Speedup);
+    Out += Buf;
+  }
+  Out += "  },\n";
+
+  Out += "  \"par_speedup\": {\n";
+  Out += "    \"workload\": \"dining(" + std::to_string(ParPhilosophers) +
+         ") mixed, cb=2, coverage on\",\n";
+  Out += "    \"rows\": [\n";
+  {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "      { \"jobs\": 1, \"executions\": %llu, \"wall_ms\": "
+                  "%.1f, \"execs_per_sec\": %.1f, \"exhausted\": %s },\n",
+                  (unsigned long long)Par1.Executions, Par1.WallMs,
+                  Par1.ExecsPerSec, Par1.Exhausted ? "true" : "false");
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "      { \"jobs\": 4, \"executions\": %llu, \"wall_ms\": "
+                  "%.1f, \"execs_per_sec\": %.1f, \"exhausted\": %s }\n",
+                  (unsigned long long)Par4.Executions, Par4.WallMs,
+                  Par4.ExecsPerSec, Par4.Exhausted ? "true" : "false");
+    Out += Buf;
+  }
+  Out += "    ]\n";
+  Out += "  },\n";
+
+  Out += "  \"fig5_dining_deadlock\": {\n";
+  Out += "    \"workload\": \"dining(" + std::to_string(FigPhilosophers) +
+         ") deadlock-prone, fair DFS to first bug\",\n";
+  {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    \"executions\": %llu,\n    \"wall_ms\": %.1f,\n"
+                  "    \"found_deadlock\": %s\n",
+                  (unsigned long long)Fig.Executions, Fig.WallMs,
+                  Fig.Exhausted ? "true" : "false");
+    Out += Buf;
+  }
+  Out += "  },\n";
+
+  Out += "  \"peak_rss_kb\": " + std::to_string(peakRssKb()) + "\n";
+  Out += "}\n";
+
+  std::FILE *F = std::fopen(OutPath.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "bench_report: cannot open %s; report follows:\n%s",
+                 OutPath.c_str(), Out.c_str());
+    return 0;
+  }
+  std::fwrite(Out.data(), 1, Out.size(), F);
+  std::fclose(F);
+  std::fprintf(stderr,
+               "bench_report: wrote %s (micro speedup %.2fx: %.0f -> %.0f "
+               "execs/s)\n",
+               OutPath.c_str(), Speedup, MicroOff.ExecsPerSec,
+               MicroOn.ExecsPerSec);
+  return 0;
+}

@@ -240,6 +240,12 @@ int usage() {
             "  --progress[=S]   live status line to stderr every S seconds "
             "(default 1)\n"
             "  --step-timing    fill the per-transition latency histogram\n"
+            "  --timing         add the wall-clock timing block (elapsed_ms,\n"
+            "                   execs_per_sec) to --stats-json reports\n"
+            "  --reuse=on|off   recycle runtime state and pooled fiber "
+            "stacks\n"
+            "                   across executions (default on; off is the\n"
+            "                   measurement baseline, docs/PERFORMANCE.md)\n"
             "  --quiet          suppress the human-readable summary\n"
             "  --verbose        also print the counter and per-op tables\n\n"
             "exit codes: 0 = no bug found, 1 = bug found, 2 = usage "
@@ -415,6 +421,7 @@ int main(int Argc, char **Argv) {
   bool Quiet = false;
   bool Verbose = false;
   bool StepTiming = false;
+  bool Timing = false;
   bool SeedSet = false;
 
   for (int I = 1; I < Argc; ++I) {
@@ -540,6 +547,18 @@ int main(int Argc, char **Argv) {
       }
     } else if (parseFlag(Argv[I], "--step-timing", &V))
       StepTiming = true;
+    else if (parseFlag(Argv[I], "--timing", &V))
+      Timing = true;
+    else if (parseFlag(Argv[I], "--reuse", &V)) {
+      if (std::strcmp(V, "on") == 0)
+        Opts.ReuseExecutionState = true;
+      else if (std::strcmp(V, "off") == 0)
+        Opts.ReuseExecutionState = false;
+      else {
+        errs() << "--reuse must be 'on' or 'off'\n";
+        return usage();
+      }
+    }
     else if (parseFlag(Argv[I], "--quiet", &V))
       Quiet = true;
     else if (parseFlag(Argv[I], "--verbose", &V))
@@ -762,6 +781,7 @@ int main(int Argc, char **Argv) {
     Info.Options = &Opts;
     Info.Obs = Obs.get();
     Info.Replay = !Replay.empty();
+    Info.Timing = Timing;
     if (StatsJsonPath == "-") {
       obs::writeStatsJson(outs(), R, Info);
     } else {

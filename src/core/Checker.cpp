@@ -41,7 +41,9 @@ void fsmc::mergeSearchStats(SearchStats &Into, const SearchStats &From) {
   Into.Preemptions += From.Preemptions;
   Into.NonterminatingExecutions += From.NonterminatingExecutions;
   Into.PrunedExecutions += From.PrunedExecutions;
-  Into.SleepSetPrunes += From.SleepSetPrunes;
+  Into.PorBranchesPruned += From.PorBranchesPruned;
+  Into.PorSleepHits += From.PorSleepHits;
+  Into.PorFairWakes += From.PorFairWakes;
   Into.MaxDepth = std::max(Into.MaxDepth, From.MaxDepth);
   Into.FairEdgeAdditions += From.FairEdgeAdditions;
   Into.BugsFound += From.BugsFound;

@@ -99,8 +99,17 @@ struct SearchStats {
   uint64_t NonterminatingExecutions = 0;
   /// Executions pruned by the stateful reference search.
   uint64_t PrunedExecutions = 0;
-  /// Executions pruned by sleep-set partial-order reduction.
-  uint64_t SleepSetPrunes = 0;
+  /// Executions cut by sleep-set partial-order reduction: every
+  /// schedulable move slept, so the subtree is covered by an equivalent
+  /// interleaving explored elsewhere (docs/POR.md).
+  uint64_t PorBranchesPruned = 0;
+  /// Sleeping threads removed from candidate sets at scheduling points --
+  /// the per-branch work POR saved.
+  uint64_t PorSleepHits = 0;
+  /// Sleeping threads woken because they were the only fairness-allowed
+  /// choices left: under the fair scheduler a sleeping transition is
+  /// woken, never dropped (docs/POR.md).
+  uint64_t PorFairWakes = 0;
   uint64_t MaxDepth = 0;
   /// Distinct state signatures seen (when coverage tracking is on).
   uint64_t DistinctStates = 0;
@@ -217,13 +226,16 @@ struct CheckerOptions {
   /// exists for A/B measurement and as an escape hatch.
   bool ReuseExecutionState = true;
 
-  /// EXPERIMENTAL: sleep-set partial-order reduction (Section 5 names POR
-  /// over fair schedules as future work). Prunes interleavings that only
-  /// permute independent operations. Sound for programs whose shared
-  /// state lives entirely in modeled objects and -- in general -- only
-  /// without fairness; the combination with the fair scheduler is
-  /// exploratory, exactly as the paper leaves it.
-  bool SleepSets = false;
+  /// Sleep-set partial-order reduction (--por=on; docs/POR.md). Prunes
+  /// interleavings that only permute independent operations, as judged by
+  /// the dependence oracle in core/Dependence.h. Sound for programs whose
+  /// shared state lives entirely in modeled objects. Composed with the
+  /// fair scheduler via wake rules -- a sleeping transition that is the
+  /// only fairness-allowed choice is woken, never dropped -- but POR over
+  /// fair schedules remains the paper's stated future work (Section 5),
+  /// so the combination is pinned empirically by the differential parity
+  /// suite (tests/core/PorParityTest.cpp) rather than by proof.
+  bool Por = false;
 
   /// Record distinct state signatures (requires the test program to call
   /// Runtime::setStateExtractor, or relies on the built-in thread

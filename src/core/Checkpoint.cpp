@@ -15,7 +15,12 @@
 
 using namespace fsmc;
 
-static const char *CheckpointMagic = "fsmc-ckpt 1";
+// Version 2 adds the POR stat keys and sleep-mask suffixes inside unit
+// schedules (core/Schedule.h); version-1 files are still read, and a
+// checkpoint written without --por is parseable by a version-1 reader
+// (unknown stat keys are skipped, masks never appear).
+static const char *CheckpointMagic = "fsmc-ckpt 2";
+static const char *CheckpointMagicV1 = "fsmc-ckpt 1";
 
 namespace {
 
@@ -90,7 +95,8 @@ fsmc::decomposeUnitToFrozenPrefixes(const CheckpointUnit &U) {
     for (int Alt = C.Chosen + 1; Alt < C.Num; ++Alt) {
       std::vector<ScheduleChoice> P(U.Prefix.begin(),
                                     U.Prefix.begin() + long(I));
-      P.push_back({Alt, C.Num, C.Backtrack});
+      // Siblings share the choice point's sleep mask (core/Schedule.h).
+      P.push_back({Alt, C.Num, C.Backtrack, C.SleepMask});
       Out.push_back(std::move(P));
     }
   }
@@ -112,7 +118,9 @@ std::string fsmc::encodeCheckpoint(const CheckpointState &CK,
   OS << "stat nonterminating_executions " << S.NonterminatingExecutions
      << "\n";
   OS << "stat pruned_executions " << S.PrunedExecutions << "\n";
-  OS << "stat sleep_set_prunes " << S.SleepSetPrunes << "\n";
+  OS << "stat por_branches_pruned " << S.PorBranchesPruned << "\n";
+  OS << "stat por_sleep_hits " << S.PorSleepHits << "\n";
+  OS << "stat por_fair_wakes " << S.PorFairWakes << "\n";
   OS << "stat max_depth " << S.MaxDepth << "\n";
   OS << "stat fair_edge_additions " << S.FairEdgeAdditions << "\n";
   OS << "stat bugs_found " << S.BugsFound << "\n";
@@ -153,7 +161,8 @@ bool fsmc::decodeCheckpoint(const std::string &Text, CheckpointState &CK,
   Seed = 0;
   std::istringstream IS(Text);
   std::string Line;
-  if (!std::getline(IS, Line) || Line != CheckpointMagic) {
+  if (!std::getline(IS, Line) ||
+      (Line != CheckpointMagic && Line != CheckpointMagicV1)) {
     Err = "not a checkpoint file (missing '" + std::string(CheckpointMagic) +
           "' header)";
     return false;
@@ -191,8 +200,12 @@ bool fsmc::decodeCheckpoint(const std::string &Text, CheckpointState &CK,
         S.NonterminatingExecutions = Val;
       else if (Name == "pruned_executions")
         S.PrunedExecutions = Val;
-      else if (Name == "sleep_set_prunes")
-        S.SleepSetPrunes = Val;
+      else if (Name == "por_branches_pruned" || Name == "sleep_set_prunes")
+        S.PorBranchesPruned = Val; // sleep_set_prunes: the v1 key.
+      else if (Name == "por_sleep_hits")
+        S.PorSleepHits = Val;
+      else if (Name == "por_fair_wakes")
+        S.PorFairWakes = Val;
       else if (Name == "max_depth")
         S.MaxDepth = Val;
       else if (Name == "fair_edge_additions")

@@ -1,0 +1,70 @@
+//===- core/Dependence.cpp ------------------------------------------------===//
+
+#include "core/Dependence.h"
+
+using namespace fsmc;
+
+DepClass fsmc::depClassOf(OpKind K) {
+  switch (K) {
+  case OpKind::Yield:
+  case OpKind::Sleep:
+    return DepClass::Pure;
+  case OpKind::VarLoad:
+  case OpKind::RwReadLock:
+    // Mirrors the race detector's read side: a load folds into the
+    // variable's read summary without invalidating other reads, and a
+    // reader acquire neither changes which readers may enter nor the
+    // lock's release clock in an order-sensitive way.
+    return DepClass::ObjectRead;
+  case OpKind::Join:
+    return DepClass::ThreadLife;
+  case OpKind::ThreadStart:
+  case OpKind::UserOp:
+    return DepClass::Global;
+  default:
+    return DepClass::ObjectRw;
+  }
+}
+
+/// Join(t) commutes with a transition executed by thread \p Exec unless
+/// that transition might flip t's completion flag -- which only t's own
+/// transitions can (any of them may be t's last). Unknown executors get
+/// the conservative answer.
+static bool joinIndependentOf(const PendingOp &Join, Tid Exec) {
+  if (Exec < 0)
+    return false;
+  return Tid(Join.Aux) != Exec;
+}
+
+bool fsmc::independentOps(const PendingOp &A, const PendingOp &B) {
+  return independentTransitions(-1, A, -1, B);
+}
+
+bool fsmc::independentTransitions(Tid TA, const PendingOp &A, Tid TB,
+                                  const PendingOp &B) {
+  DepClass CA = depClassOf(A.Kind), CB = depClassOf(B.Kind);
+  if (CA == DepClass::Pure || CB == DepClass::Pure)
+    return true;
+  if (CA == DepClass::Global || CB == DepClass::Global)
+    return false;
+
+  if (CA == DepClass::ThreadLife || CB == DepClass::ThreadLife) {
+    // Each Join must commute with the other transition's executor; an
+    // object-footprint op on the other side imposes no constraint of its
+    // own (joins touch no sync object or variable).
+    if (CA == DepClass::ThreadLife && !joinIndependentOf(A, TB))
+      return false;
+    if (CB == DepClass::ThreadLife && !joinIndependentOf(B, TA))
+      return false;
+    return true;
+  }
+
+  // Both have single-object footprints: distinct objects always commute;
+  // an unmodeled object (-1) conservatively aliases everything.
+  if (A.ObjectId < 0 || B.ObjectId < 0)
+    return false;
+  if (A.ObjectId != B.ObjectId)
+    return true;
+  // Same object: only read-read commutes.
+  return CA == DepClass::ObjectRead && CB == DepClass::ObjectRead;
+}

@@ -1,0 +1,72 @@
+//===- core/Dependence.h - Dependence oracle for POR -----------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dependence oracle behind sleep-set partial-order reduction
+/// (CheckerOptions::Por, docs/POR.md): classifies pairs of visible
+/// operations as independent (commuting -- the two execution orders reach
+/// the same state and neither order changes the other's enabledness) or
+/// dependent.
+///
+/// The classification mirrors the access structure the race detector
+/// already models (src/race/RaceDetector.h): per-object read/write
+/// summaries for VarLoad/VarStore/VarRmw, and acquire/release edges for
+/// the sync primitives. Two operations are independent when their access
+/// footprints cannot overlap:
+///
+///   - pure yields (Yield/Sleep) touch no shared object;
+///   - operations on distinct sync objects or variables commute;
+///   - two reads of the same variable commute (the race detector's
+///     read-read non-conflict), as do two reader acquires of one RwLock;
+///   - Join(t) reads only thread t's completion flag, so it depends
+///     exactly on transitions *executed by t* (any of which may be t's
+///     last) and on thread-lifecycle operations naming t;
+///   - ThreadStart and UserOp conservatively depend on everything: their
+///     invisible tail may spawn threads, and tid assignment is
+///     order-sensitive.
+///
+/// Soundness caveat (same as the race detector's): a transition is the
+/// visible operation plus the invisible thread-local code after it.
+/// Programs whose shared state lives entirely in modeled objects satisfy
+/// this oracle; raw() back-channel accesses do not, which is why POR is
+/// opt-in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_CORE_DEPENDENCE_H
+#define FSMC_CORE_DEPENDENCE_H
+
+#include "runtime/PendingOp.h"
+#include "runtime/Runtime.h"
+
+namespace fsmc {
+
+/// Footprint class of a visible operation, derived from OpKind the same
+/// way the runtime derives the race detector's access kind.
+enum class DepClass : uint8_t {
+  Pure,       ///< No shared-object footprint (Yield, Sleep).
+  ObjectRead, ///< Reads one object, mutates nothing (VarLoad, RwReadLock).
+  ObjectRw,   ///< Reads and/or writes one sync object or variable.
+  ThreadLife, ///< Join: reads one thread's completion flag (Aux = tid).
+  Global,     ///< Unknown footprint (ThreadStart, UserOp): conflicts with
+              ///< everything.
+};
+
+/// \returns the footprint class of operations of kind \p K.
+DepClass depClassOf(OpKind K);
+
+/// Tid-aware independence: can the transitions "thread \p TA performs
+/// \p A" and "thread \p TB performs \p B" be commuted without changing
+/// the reached state or either transition's enabledness? Pass -1 for an
+/// unknown executor tid; the oracle then falls back to the conservative
+/// answer for tid-sensitive pairs (Join).
+bool independentTransitions(Tid TA, const PendingOp &A, Tid TB,
+                            const PendingOp &B);
+
+} // namespace fsmc
+
+#endif // FSMC_CORE_DEPENDENCE_H

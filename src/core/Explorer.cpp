@@ -3,6 +3,7 @@
 #include "core/Explorer.h"
 
 #include "core/Checkpoint.h"
+#include "core/Dependence.h"
 #include "core/FairScheduler.h"
 #include "core/LivenessMonitor.h"
 #include "core/Schedule.h"
@@ -58,17 +59,22 @@ Tid Explorer::nthMember(ThreadSet S, int Idx) {
   return -1;
 }
 
-int Explorer::pickIndex(int N, bool Backtrack, bool PickRandom) {
+int Explorer::pickIndex(int N, bool Backtrack, bool PickRandom,
+                        uint64_t SleepMask) {
   assert(N >= 1 && "empty choice");
   if (N == 1)
     return 0; // Forced moves never enter the stack.
   if (Cursor < Stack.size()) {
     ChoiceRec &R = Stack[Cursor];
-    if (R.Num != N) {
-      // The test program diverged from its own replay: it is
-      // nondeterministic beyond scheduling and chooseInt. The attempt is
-      // abandoned (ExecEnd::Diverged) with the stack untouched, so the
-      // driver can retry the prefix before discarding it.
+    // A Num mismatch means the test program diverged from its own replay:
+    // it is nondeterministic beyond scheduling and chooseInt. Under POR a
+    // sleep-mask mismatch is the same class of failure -- the recomputed
+    // sleep set disagrees with the recorded one, so the schedule was
+    // recorded under a different POR mode (or dependence relation) and
+    // replaying it would explore a different interleaving. Either way the
+    // attempt is abandoned (ExecEnd::Diverged) with the stack untouched,
+    // so the driver can retry the prefix before discarding it.
+    if (R.Num != N || (Opts.Por && R.SleepMask != SleepMask)) {
       ReplayMismatch = true;
       MismatchIdx = Cursor;
       ++Cursor;
@@ -76,14 +82,14 @@ int Explorer::pickIndex(int N, bool Backtrack, bool PickRandom) {
     }
     ++Cursor;
     if (StreamCb)
-      StreamCb(R.Chosen, R.Num, R.Backtrack);
+      StreamCb(R.Chosen, R.Num, R.Backtrack, R.SleepMask);
     return R.Chosen;
   }
   int Chosen = PickRandom ? Rng.nextBelow(N) : 0;
-  Stack.push_back({Chosen, N, Backtrack});
+  Stack.push_back({Chosen, N, Backtrack, /*Donated=*/false, SleepMask});
   ++Cursor;
   if (StreamCb)
-    StreamCb(Chosen, N, Backtrack);
+    StreamCb(Chosen, N, Backtrack, SleepMask);
   return Chosen;
 }
 
@@ -111,7 +117,8 @@ void Explorer::preloadSchedule(const std::vector<ScheduleChoice> &Choices,
                                bool Frozen) {
   assert(Stack.empty() && "preloadSchedule must precede run()");
   for (const ScheduleChoice &C : Choices)
-    Stack.push_back({C.Chosen, C.Num, C.Backtrack});
+    Stack.push_back({C.Chosen, C.Num, C.Backtrack, /*Donated=*/false,
+                     C.SleepMask});
   if (Frozen)
     FrozenLen = Stack.size();
 }
@@ -146,7 +153,7 @@ std::vector<ScheduleChoice> Explorer::currentStackSnapshot() const {
   std::vector<ScheduleChoice> Out;
   Out.reserve(Stack.size());
   for (const ChoiceRec &R : Stack)
-    Out.push_back({R.Chosen, R.Num, R.Backtrack});
+    Out.push_back({R.Chosen, R.Num, R.Backtrack, R.SleepMask});
   return Out;
 }
 
@@ -157,7 +164,9 @@ std::optional<std::vector<ScheduleChoice>> Explorer::nextFrontier() {
 }
 
 void Explorer::setChoiceStream(
-    std::function<void(int Chosen, int Num, bool Backtrack)> CB) {
+    std::function<void(int Chosen, int Num, bool Backtrack,
+                       uint64_t SleepMask)>
+        CB) {
   StreamCb = std::move(CB);
 }
 
@@ -192,7 +201,8 @@ size_t Explorer::splitWork(std::vector<std::vector<ScheduleChoice>> &Out,
   std::vector<ScheduleChoice> Base;
   Base.reserve(Stack.size());
   for (size_t J = 0; J < FrozenLen && J < Stack.size(); ++J)
-    Base.push_back({Stack[J].Chosen, Stack[J].Num, Stack[J].Backtrack});
+    Base.push_back(
+        {Stack[J].Chosen, Stack[J].Num, Stack[J].Backtrack, Stack[J].SleepMask});
   for (size_t I = FrozenLen; I < Stack.size() && Donated < MaxItems; ++I) {
     ChoiceRec &R = Stack[I];
     if (R.Backtrack && !R.Donated && R.Chosen + 1 < R.Num) {
@@ -203,13 +213,16 @@ size_t Explorer::splitWork(std::vector<std::vector<ScheduleChoice>> &Out,
         std::vector<ScheduleChoice> Prefix;
         Prefix.reserve(Base.size() + 1);
         Prefix.assign(Base.begin(), Base.end());
-        Prefix.push_back({Alt, R.Num, R.Backtrack});
+        // The sleep mask describes the choice point, not the branch
+        // taken, so every donated sibling inherits it verbatim; the
+        // worker replaying the prefix recomputes and validates it.
+        Prefix.push_back({Alt, R.Num, R.Backtrack, R.SleepMask});
         Out.push_back(std::move(Prefix));
         ++Donated;
       }
       R.Donated = true;
     }
-    Base.push_back({R.Chosen, R.Num, R.Backtrack});
+    Base.push_back({R.Chosen, R.Num, R.Backtrack, R.SleepMask});
   }
   return Donated;
 }
@@ -259,7 +272,8 @@ void Explorer::reportBug(Verdict V, std::string Msg, const Runtime &RT,
   // Serialize the consumed choice prefix so the schedule can be replayed.
   SchedScratch.clear();
   for (size_t I = 0; I < Cursor && I < Stack.size(); ++I)
-    SchedScratch.push_back({Stack[I].Chosen, Stack[I].Num, Stack[I].Backtrack});
+    SchedScratch.push_back(
+        {Stack[I].Chosen, Stack[I].Num, Stack[I].Backtrack, Stack[I].SleepMask});
   B.Schedule = encodeSchedule(SchedScratch);
   Result.Bug = std::move(B);
   Result.Kind = V;
@@ -283,8 +297,8 @@ void Explorer::harvestRaces(const RaceDetector &D, const Runtime &RT) {
     B.AtStep = CurSteps;
     SchedScratch.clear();
     for (size_t I = 0; I < Cursor && I < Stack.size(); ++I)
-      SchedScratch.push_back(
-          {Stack[I].Chosen, Stack[I].Num, Stack[I].Backtrack});
+      SchedScratch.push_back({Stack[I].Chosen, Stack[I].Num,
+                              Stack[I].Backtrack, Stack[I].SleepMask});
     B.Schedule = encodeSchedule(SchedScratch);
     Result.Incidents.push_back(std::move(B));
   }
@@ -423,21 +437,46 @@ Explorer::ExecEnd Explorer::runOneExecution() {
       Cands.Backtrack = false;
       Cands.PickRandom = true;
     }
-    if (Opts.SleepSets) {
-      Cands.Set -= Sleep;
-      if (Cands.Set.empty()) {
-        // Every schedulable move sleeps: this state's subtree is covered
-        // by an equivalent interleaving elsewhere. Not a deadlock.
-        finishStats("pruned");
-        ++Result.Stats.SleepSetPrunes;
+    uint64_t SleepMaskHere = 0;
+    if (Opts.Por) {
+      ThreadSet Sleeping = Cands.Set & Sleep;
+      if (!Sleeping.empty()) {
+        Result.Stats.PorSleepHits += Sleeping.size();
         if (Ctr)
-          Ctr->add(obs::Counter::SleepSetPrunes);
-        return ExecEnd::Pruned;
+          Ctr->add(obs::Counter::PorSleepHits, Sleeping.size());
+        Cands.Set -= Sleeping;
+        if (Cands.Set.empty()) {
+          if (Opts.Fair) {
+            // Fairness-interaction rule (docs/POR.md): under the fair
+            // scheduler the sleepers are the only fairness-allowed
+            // choices left, and dropping them would discard schedules
+            // the fairness guarantee (Theorem 1) depends on -- so they
+            // are woken, never dropped. Without fairness the classical
+            // prune below is sound: the subtree only permutes moves an
+            // already-explored sibling branch covers.
+            Cands.Set = Sleeping;
+            Sleep -= Sleeping;
+            Result.Stats.PorFairWakes += Sleeping.size();
+            if (Ctr)
+              Ctr->add(obs::Counter::PorFairWakes, Sleeping.size());
+          } else {
+            // Every schedulable move sleeps: this state's subtree is
+            // covered by an equivalent interleaving elsewhere. Not a
+            // deadlock.
+            finishStats("por_pruned");
+            ++Result.Stats.PorBranchesPruned;
+            if (Ctr)
+              Ctr->add(obs::Counter::PorBranchesPruned);
+            return ExecEnd::Pruned;
+          }
+        }
       }
+      SleepMaskHere = Sleep.rawBits();
     }
 
     bool Replaying = Cursor < ReplayLen;
-    int Idx = pickIndex(Cands.Set.size(), Cands.Backtrack, Cands.PickRandom);
+    int Idx = pickIndex(Cands.Set.size(), Cands.Backtrack, Cands.PickRandom,
+                        SleepMaskHere);
     if (ReplayMismatch) {
       // Nondeterminism beyond scheduling/chooseInt. A mismatch can only
       // fire in the replay region, so the stack is exactly as it was at
@@ -464,13 +503,21 @@ Explorer::ExecEnd Explorer::runOneExecution() {
         {T, Op.Kind, Op.ObjectId, Op.Aux, RT.annotationOf(T), WasYield});
     bool OthersEnabled = !(ES - ThreadSet::singleton(T)).empty();
 
-    if (Opts.SleepSets && Cands.Backtrack) {
+    if (Opts.Por && Cands.Backtrack) {
       // Siblings tried before this choice (indices < Idx) have fully
       // explored subtrees; their moves sleep below this transition.
       int K = 0;
       for (Tid Sib : Cands.Set) {
         if (K++ >= Idx)
           break;
+        // Fairness-interaction rule (docs/POR.md): yield transitions are
+        // never put to sleep under the fair scheduler. Yields commute
+        // with every operation, so a sleeping yield would sleep forever
+        // -- but Algorithm 1's priority bookkeeping depends on *which*
+        // thread executes the yield, so commuted branches are not
+        // fair-equivalent and may not stand in for each other.
+        if (Opts.Fair && RT.yieldPending(Sib))
+          continue;
         Sleep.insert(Sib);
       }
     }
@@ -562,13 +609,16 @@ Explorer::ExecEnd Explorer::runOneExecution() {
       }
     }
 
-    if (Opts.SleepSets) {
+    if (Opts.Por) {
       // Wake every sleeper whose pending move conflicts with the executed
-      // operation: the orders now differ in observable effect.
+      // operation: the orders now differ in observable effect. The
+      // dependence oracle (core/Dependence.h) is tid-aware -- a sleeping
+      // Join(t) wakes on any transition executed by t, and on nothing
+      // else t-related.
       Sleep.erase(T);
       for (Tid S : Sleep)
         if (!RT.liveSet().contains(S) ||
-            !independentOps(RT.pendingOf(S), Op))
+            !independentTransitions(S, RT.pendingOf(S), T, Op))
           Sleep.erase(S);
     }
 

@@ -118,8 +118,12 @@ public:
 
   /// Streams every non-forced choice as it resolves (replayed or fresh):
   /// the sandbox probe uses this to recover the exact stack of a crashing
-  /// execution from outside the process.
-  void setChoiceStream(std::function<void(int Chosen, int Num, bool Backtrack)> CB);
+  /// execution from outside the process. \p SleepMask is the POR sleep
+  /// set at the choice point (0 when CheckerOptions::Por is off), so
+  /// recovered crash schedules replay mask-exactly under POR too.
+  void setChoiceStream(std::function<void(int Chosen, int Num, bool Backtrack,
+                                          uint64_t SleepMask)>
+                           CB);
 
   /// Invoked after every execution (before the DFS stack advances).
   /// Returning false stops the search without marking it exhausted --
@@ -193,6 +197,8 @@ private:
     /// advanceStack treats the record as exhausted. Kept separate from
     /// Backtrack so bug schedules serialize identically to a serial run.
     bool Donated = false;
+    /// POR sleep set at this choice point (ScheduleChoice::SleepMask).
+    uint64_t SleepMask = 0;
   };
 
   ExecEnd runOneExecution();
@@ -209,8 +215,11 @@ private:
   void emitEvent(obs::ObsEvent E);
   /// Advances the deepest backtrackable choice; false when exhausted.
   bool advanceStack();
-  /// Resolves one choice among \p N options through the stack.
-  int pickIndex(int N, bool Backtrack, bool PickRandom);
+  /// Resolves one choice among \p N options through the stack. Under POR
+  /// \p SleepMask (the sleep set at the choice point) is recorded on
+  /// fresh pushes and validated against the stack during replay.
+  int pickIndex(int N, bool Backtrack, bool PickRandom,
+                uint64_t SleepMask = 0);
   void reportBug(Verdict V, std::string Msg, const Runtime &RT,
                  uint64_t Step);
   bool timeExceeded() const;
@@ -228,7 +237,7 @@ private:
   bool ReplayMismatch = false;
   size_t MismatchIdx = 0; ///< Stack index where replay diverged.
   std::function<bool(Explorer &)> Hook;
-  std::function<void(int, int, bool)> StreamCb;
+  std::function<void(int, int, bool, uint64_t)> StreamCb;
   bool LogStates = false;
   std::vector<uint64_t> StateLog;
 

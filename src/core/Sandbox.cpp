@@ -327,13 +327,15 @@ void writeBugRecord(int Fd, const BugReport &B, uint8_t Tag = TagBug) {
   if (!In.BaseStates.empty())
     E.preloadSeenStates(In.BaseStates);
   E.setRngState(In.Rng);
-  E.setChoiceStream([&](int Chosen, int Num, bool Backtrack) {
-    WireWriter W;
-    W.u32(uint32_t(Chosen));
-    W.u32(uint32_t(Num));
-    W.u8(Backtrack ? 1 : 0);
-    writeRecord(Fd, TagChoice, W);
-  });
+  E.setChoiceStream(
+      [&](int Chosen, int Num, bool Backtrack, uint64_t SleepMask) {
+        WireWriter W;
+        W.u32(uint32_t(Chosen));
+        W.u32(uint32_t(Num));
+        W.u8(Backtrack ? 1 : 0);
+        W.u64(SleepMask);
+        writeRecord(Fd, TagChoice, W);
+      });
   (void)E.run();
   _exit(0);
 }
@@ -419,6 +421,7 @@ struct BatchReport {
       C.Chosen = int(R.u32());
       C.Num = int(R.u32());
       C.Backtrack = R.u8() != 0;
+      C.SleepMask = R.u64();
       if (!R.Ok)
         break;
       Streamed.push_back(C);
@@ -593,7 +596,10 @@ void addCounterDeltas(obs::WorkerCounters *Ctr, const SearchStats &Prev,
   D(Counter::NonterminatingExecutions, Now.NonterminatingExecutions,
     Prev.NonterminatingExecutions);
   D(Counter::StatefulPrunes, Now.PrunedExecutions, Prev.PrunedExecutions);
-  D(Counter::SleepSetPrunes, Now.SleepSetPrunes, Prev.SleepSetPrunes);
+  D(Counter::PorSleepHits, Now.PorSleepHits, Prev.PorSleepHits);
+  D(Counter::PorBranchesPruned, Now.PorBranchesPruned,
+    Prev.PorBranchesPruned);
+  D(Counter::PorFairWakes, Now.PorFairWakes, Prev.PorFairWakes);
   D(Counter::FairEdgeAdds, Now.FairEdgeAdditions, Prev.FairEdgeAdditions);
   D(Counter::BugsFound, Now.BugsFound, Prev.BugsFound);
   D(Counter::Divergences, Now.Divergences, Prev.Divergences);

@@ -22,6 +22,12 @@ std::string fsmc::encodeSchedule(const std::vector<ScheduleChoice> &Choices) {
     Out += std::to_string(Choices[I].Num);
     if (!Choices[I].Backtrack)
       Out += "r";
+    if (Choices[I].SleepMask) {
+      char Buf[24];
+      std::snprintf(Buf, sizeof(Buf), "s%llx",
+                    (unsigned long long)Choices[I].SleepMask);
+      Out += Buf;
+    }
   }
   return Out;
 }
@@ -47,6 +53,17 @@ bool fsmc::decodeSchedule(const std::string &Text,
       return false;
     C.Chosen = std::atoi(std::string(Tok.substr(0, Slash)).c_str());
     std::string_view NumTok = Tok.substr(Slash + 1);
+    size_t SleepAt = NumTok.find('s');
+    if (SleepAt != std::string_view::npos) {
+      std::string Hex(NumTok.substr(SleepAt + 1));
+      if (Hex.empty())
+        return false;
+      char *End = nullptr;
+      C.SleepMask = std::strtoull(Hex.c_str(), &End, 16);
+      if (End == Hex.c_str() || *End != '\0')
+        return false;
+      NumTok = NumTok.substr(0, SleepAt);
+    }
     if (!NumTok.empty() && NumTok.back() == 'r') {
       C.Backtrack = false;
       NumTok.remove_suffix(1);

@@ -19,7 +19,14 @@
 ///   fsmc1:c/n;c/n;...;c/n
 /// where each `c/n` is the chosen index and the number of options of one
 /// choice point (scheduling or data). Non-backtrackable (random-tail)
-/// choices are marked with a trailing `r`.
+/// choices are marked with a trailing `r`. Under sleep-set POR
+/// (CheckerOptions::Por) a scheduling choice additionally carries the
+/// sleep set at the choice point as a trailing `s<hex>` thread mask;
+/// replay recomputes the sleep set deterministically and validates it
+/// against the recorded mask, so a schedule replayed under the wrong POR
+/// mode surfaces as Verdict::Divergence instead of silently exploring a
+/// different interleaving. Schedules recorded with POR off carry no
+/// masks and are byte-identical to pre-POR output.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +45,12 @@ struct ScheduleChoice {
   int Chosen = 0;
   int Num = 1;
   bool Backtrack = true;
+  /// Sleep set (ThreadSet::rawBits) at this choice point; nonzero only
+  /// for scheduling choices recorded under CheckerOptions::Por. The mask
+  /// is the set *before* this choice resolves, so every sibling at the
+  /// same node shares it -- which is what lets splitWork donate siblings
+  /// with the mask copied verbatim.
+  uint64_t SleepMask = 0;
 };
 
 /// Renders choices in the `fsmc1:` wire format.

@@ -28,8 +28,6 @@ const char *fsmc::obs::counterName(Counter C) {
     return "fair_edge_adds";
   case Counter::FairEdgeRemovals:
     return "fair_edge_removals";
-  case Counter::SleepSetPrunes:
-    return "sleepset_prunes";
   case Counter::StatefulPrunes:
     return "stateful_prunes";
   case Counter::NonterminatingExecutions:
@@ -46,6 +44,12 @@ const char *fsmc::obs::counterName(Counter C) {
     return "work_items_run";
   case Counter::PrefixesDonated:
     return "prefixes_donated";
+  case Counter::PorSleepHits:
+    return "por_sleep_hits";
+  case Counter::PorBranchesPruned:
+    return "por_branches_pruned";
+  case Counter::PorFairWakes:
+    return "por_fair_wakes";
   case Counter::Divergences:
     return "divergences";
   case Counter::DivergenceRetries:

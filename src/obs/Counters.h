@@ -48,7 +48,6 @@ enum class Counter : unsigned {
   SyncContention,          ///< Blocking ops that parked on a busy object.
   FairEdgeAdds,            ///< Priority edges added (Algorithm 1 line 25).
   FairEdgeRemovals,        ///< Priority edges removed (line 13).
-  SleepSetPrunes,          ///< Executions cut by sleep-set POR.
   StatefulPrunes,          ///< Executions cut by the reference search.
   NonterminatingExecutions,///< Executions abandoned at a bound.
   BugsFound,               ///< Buggy executions (all verdict classes).
@@ -57,6 +56,11 @@ enum class Counter : unsigned {
   GoodSamaritanViolations, ///< ... of which good-samaritan violations.
   WorkItemsRun,            ///< Parallel: prefixes popped and explored.
   PrefixesDonated,         ///< Parallel: prefixes split off for others.
+  // Sleep-set POR (docs/POR.md). Zero whenever --por is off, and omitted
+  // from --stats-json then, so non-POR output stays byte-identical.
+  PorSleepHits,            ///< Sleeping threads filtered from candidates.
+  PorBranchesPruned,       ///< Executions cut by sleep-set POR.
+  PorFairWakes,            ///< Sleepers woken as the only fair choices.
   // Robustness layer (docs/ROBUSTNESS.md). These report as zero on every
   // healthy run, so --stats-json omits zero values to keep legacy output
   // byte-identical.

@@ -70,6 +70,14 @@ std::string ProgressReporter::formatLine(double ElapsedSeconds,
   std::string Line = Head;
   Line += " depth=" + std::to_string(S.gauge(Gauge::MaxDepth));
   Line += " edges=" + compactCount(S.counter(Counter::FairEdgeAdds));
+  // POR activity, shown only when the reduction is doing work so the
+  // non-POR progress line keeps its historical shape.
+  uint64_t PorHits = S.counter(Counter::PorSleepHits);
+  uint64_t PorPruned = S.counter(Counter::PorBranchesPruned);
+  if (PorHits || PorPruned) {
+    Line += " por_hits=" + compactCount(PorHits);
+    Line += " por_pruned=" + compactCount(PorPruned);
+  }
   if (Cfg.Jobs > 1) {
     Line += " queue=" + std::to_string(S.gauge(Gauge::WorkQueueDepth));
     Line += " workers=" + std::to_string(S.gauge(Gauge::ActiveWorkers)) +

@@ -166,7 +166,7 @@ std::string fsmc::obs::renderStatsJson(const CheckResult &R,
            std::to_string(O.TimeBudgetSeconds) + ",\n";
     appendKV(Out, "seed", O.Seed, true);
     appendKV(Out, "jobs", uint64_t(O.Jobs), true);
-    appendKVBool(Out, "sleep_sets", O.SleepSets, true);
+    appendKVBool(Out, "por", O.Por, true);
     // Robustness options appear only when set away from their defaults,
     // so pre-existing outputs stay byte-identical.
     if (O.Isolate != IsolationMode::Off) {
@@ -191,7 +191,14 @@ std::string fsmc::obs::renderStatsJson(const CheckResult &R,
   appendKV(Out, "nonterminating_executions", S.NonterminatingExecutions,
            true);
   appendKV(Out, "pruned_executions", S.PrunedExecutions, true);
-  appendKV(Out, "sleepset_prunes", S.SleepSetPrunes, true);
+  // POR stats appear only when the reduction did something, mirroring the
+  // robustness stats below: a --por=off report keeps its legacy shape.
+  if (S.PorSleepHits != 0)
+    appendKV(Out, "por_sleep_hits", S.PorSleepHits, true);
+  if (S.PorBranchesPruned != 0)
+    appendKV(Out, "por_branches_pruned", S.PorBranchesPruned, true);
+  if (S.PorFairWakes != 0)
+    appendKV(Out, "por_fair_wakes", S.PorFairWakes, true);
   appendKV(Out, "max_depth", S.MaxDepth, true);
   appendKV(Out, "distinct_states", S.DistinctStates, true);
   appendKV(Out, "fair_edge_additions", S.FairEdgeAdditions, true);
@@ -238,9 +245,9 @@ std::string fsmc::obs::renderStatsJson(const CheckResult &R,
     CounterSnapshot C = Info.Obs->snapshot();
     Out += "  \"counters\": {\n";
     for (unsigned I = 0; I < unsigned(Counter::NumCounters); ++I) {
-      // Robustness counters (Divergences onward) are omitted at zero; see
-      // Counters.h.
-      if (I >= unsigned(Counter::Divergences) && C.C[I] == 0)
+      // POR and robustness counters (PorSleepHits onward) are omitted at
+      // zero; see Counters.h.
+      if (I >= unsigned(Counter::PorSleepHits) && C.C[I] == 0)
         continue;
       appendKV(Out, counterName(Counter(I)), C.C[I], true);
     }

@@ -58,28 +58,6 @@ const char *fsmc::opKindName(OpKind K) {
   return "?";
 }
 
-bool fsmc::independentOps(const PendingOp &A, const PendingOp &B) {
-  auto classify = [](const PendingOp &Op) -> int {
-    switch (Op.Kind) {
-    case OpKind::Yield:
-    case OpKind::Sleep:
-      return 0; // Pure: commutes with everything.
-    case OpKind::ThreadStart:
-    case OpKind::Join:
-    case OpKind::UserOp:
-      return 2; // Global: conflicts with everything.
-    default:
-      return 1; // Object-local: commutes across distinct objects.
-    }
-  };
-  int CA = classify(A), CB = classify(B);
-  if (CA == 0 || CB == 0)
-    return true;
-  if (CA == 2 || CB == 2)
-    return false;
-  return A.ObjectId >= 0 && B.ObjectId >= 0 && A.ObjectId != B.ObjectId;
-}
-
 bool fsmc::isYieldKind(OpKind K) {
   switch (K) {
   case OpKind::Yield:

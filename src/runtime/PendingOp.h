@@ -88,15 +88,16 @@ struct PendingOp {
 
 /// Conservative commutativity check for partial-order reduction: true
 /// only if executing one operation can neither change the effect nor the
-/// enabledness of the other. Operations on distinct sync objects or
-/// variables commute; pure yields/sleeps commute with everything;
-/// thread-management operations (start, join, user ops) conservatively
-/// conflict with everything.
+/// enabledness of the other. This is the tid-less entry point to the
+/// dependence oracle (core/Dependence.h, where it is defined): without
+/// executor tids, thread-management operations (start, join, user ops)
+/// conservatively conflict with everything. The explorer uses the
+/// tid-aware independentTransitions instead, which refines Join.
 ///
 /// Soundness caveat: a *transition* is the visible operation plus the
 /// invisible code after it. Programs whose shared state lives entirely in
 /// modeled objects satisfy this independence; raw() back-channel accesses
-/// do not, so POR is an opt-in (CheckerOptions::SleepSets).
+/// do not, so POR is an opt-in (CheckerOptions::Por).
 bool independentOps(const PendingOp &A, const PendingOp &B);
 
 /// Builds an always-enabled op of kind \p K on object \p ObjectId.

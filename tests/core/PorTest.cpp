@@ -9,6 +9,7 @@
 
 #include "core/Checker.h"
 
+#include "core/Dependence.h"
 #include "runtime/PendingOp.h"
 #include "runtime/Runtime.h"
 #include "sync/Atomic.h"
@@ -61,6 +62,44 @@ TEST(Independence, UnknownObjectsConflictConservatively) {
   EXPECT_FALSE(independentOps(A, B));
 }
 
+TEST(Independence, ReadsOfSameObjectCommute) {
+  // Mirrors the race detector: two reads never conflict, even on the
+  // same object (src/race/RaceDetector.h classifies them the same way).
+  PendingOp A = makeOp(OpKind::VarLoad, 5);
+  PendingOp B = makeOp(OpKind::VarLoad, 5);
+  EXPECT_TRUE(independentOps(A, B));
+  PendingOp R1 = makeOp(OpKind::RwReadLock, 9);
+  PendingOp R2 = makeOp(OpKind::RwReadLock, 9);
+  EXPECT_TRUE(independentOps(R1, R2));
+  // ...but a read still conflicts with a writer-side rwlock acquire.
+  PendingOp W = makeOp(OpKind::RwWriteLock, 9);
+  EXPECT_FALSE(independentOps(R1, W));
+}
+
+TEST(Independence, JoinDependsOnlyOnItsTarget) {
+  // join(t) commutes with transitions of threads other than t: whether
+  // the target has exited is unaffected by what bystanders do.  The
+  // tid-aware entry point carries the executing thread.
+  PendingOp J = makeOp(OpKind::Join, -1, /*Aux=target tid*/ 2);
+  PendingOp Store = makeOp(OpKind::VarStore, 3);
+  EXPECT_TRUE(independentTransitions(/*TA=*/0, J, /*TB=*/1, Store));
+  EXPECT_FALSE(independentTransitions(/*TA=*/0, J, /*TB=*/2, Store));
+  // Without an executing tid (the legacy pairwise entry point) the
+  // oracle stays conservative.
+  EXPECT_FALSE(independentOps(J, Store));
+}
+
+TEST(Independence, DepClassOfCoversTheFootprintLattice) {
+  EXPECT_EQ(depClassOf(OpKind::Yield), DepClass::Pure);
+  EXPECT_EQ(depClassOf(OpKind::Sleep), DepClass::Pure);
+  EXPECT_EQ(depClassOf(OpKind::VarLoad), DepClass::ObjectRead);
+  EXPECT_EQ(depClassOf(OpKind::RwReadLock), DepClass::ObjectRead);
+  EXPECT_EQ(depClassOf(OpKind::MutexLock), DepClass::ObjectRw);
+  EXPECT_EQ(depClassOf(OpKind::Join), DepClass::ThreadLife);
+  EXPECT_EQ(depClassOf(OpKind::ThreadStart), DepClass::Global);
+  EXPECT_EQ(depClassOf(OpKind::UserOp), DepClass::Global);
+}
+
 namespace {
 
 /// Three writers to three distinct variables: all interleavings are
@@ -93,13 +132,13 @@ TEST(Por, ShrinksSearchOnIndependentPrograms) {
   ASSERT_TRUE(Full.Stats.SearchExhausted);
 
   CheckerOptions Por = Plain;
-  Por.SleepSets = true;
+  Por.Por = true;
   CheckResult Reduced = check(disjointWriters(), Por);
   EXPECT_EQ(Reduced.Kind, Verdict::Pass);
   EXPECT_TRUE(Reduced.Stats.SearchExhausted);
   EXPECT_LT(Reduced.Stats.Transitions, Full.Stats.Transitions)
       << "POR must prune equivalent interleavings";
-  EXPECT_GT(Reduced.Stats.SleepSetPrunes, 0u);
+  EXPECT_GT(Reduced.Stats.PorBranchesPruned, 0u);
 }
 
 TEST(Por, StillFindsConflictingBug) {
@@ -117,7 +156,7 @@ TEST(Por, StillFindsConflictingBug) {
   };
   CheckerOptions O;
   O.Fair = false;
-  O.SleepSets = true;
+  O.Por = true;
   CheckResult R = check(P, O);
   EXPECT_EQ(R.Kind, Verdict::SafetyViolation);
 }
@@ -145,7 +184,7 @@ TEST(Por, StillFindsDeadlock) {
   };
   CheckerOptions O;
   O.Fair = false;
-  O.SleepSets = true;
+  O.Por = true;
   CheckResult R = check(P, O);
   EXPECT_EQ(R.Kind, Verdict::Deadlock);
 }
@@ -155,7 +194,7 @@ TEST(Por, SleepBlockedStateIsNotADeadlock) {
   // branches; none of those prunes may masquerade as a deadlock.
   CheckerOptions O;
   O.Fair = false;
-  O.SleepSets = true;
+  O.Por = true;
   CheckResult R = check(disjointWriters(), O);
   EXPECT_EQ(R.Kind, Verdict::Pass);
 }
@@ -165,7 +204,7 @@ TEST(Por, ComposesWithFairnessExperimentally) {
   // the combination at least preserves the verdict on a terminating
   // spin-free program.
   CheckerOptions O;
-  O.SleepSets = true; // Fair stays on.
+  O.Por = true; // Fair stays on.
   CheckResult R = check(disjointWriters(), O);
   EXPECT_EQ(R.Kind, Verdict::Pass);
   EXPECT_TRUE(R.Stats.SearchExhausted);

@@ -106,3 +106,51 @@ TEST(ReplayStress, DfsBugSchedulesReplayAcrossSeeds) {
     EXPECT_EQ(Replay.Bug->AtStep, R.Bug->AtStep);
   }
 }
+
+TEST(ReplayStress, PorSchedulesReplayByteIdentically) {
+  // A schedule recorded under --por=on carries sleep masks (the s<hex>
+  // suffix, core/Schedule.h) and indexes its choices into the
+  // sleep-filtered candidate set, so it is replayed under --por=on.
+  // Replay must reproduce the bug at the same step AND re-record the
+  // byte-identical schedule string: the recomputed sleep state validates
+  // against every recorded mask along the path.
+  TestProgram P = makeRaceProgram();
+  CheckerOptions Find;
+  Find.Por = true;
+  CheckResult R = check(P, Find);
+  ASSERT_EQ(R.Kind, Verdict::SafetyViolation);
+  ASSERT_TRUE(R.Bug.has_value());
+  ASSERT_NE(R.Bug->Schedule.find('s'), std::string::npos)
+      << "expected at least one recorded sleep mask in " << R.Bug->Schedule;
+
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    CheckerOptions ReplayOpts;
+    ReplayOpts.Por = true;
+    ReplayOpts.Seed = Seed * 977;
+    CheckResult Replay = replaySchedule(P, ReplayOpts, R.Bug->Schedule);
+    ASSERT_EQ(Replay.Kind, R.Kind) << "seed " << Seed;
+    ASSERT_TRUE(Replay.Bug.has_value());
+    EXPECT_EQ(Replay.Bug->AtStep, R.Bug->AtStep);
+    EXPECT_EQ(Replay.Bug->Message, R.Bug->Message);
+    EXPECT_EQ(Replay.Bug->Schedule, R.Bug->Schedule)
+        << "replay re-recorded a different schedule";
+  }
+}
+
+TEST(ReplayStress, PorScheduleUnderWrongModeIsDivergenceNotBug) {
+  // Replaying a masked schedule with POR off changes the candidate
+  // numbering the recorded indices assume. The engine must classify the
+  // mismatch as a divergence (a checker-side limitation), never
+  // misattribute it as a workload verdict.
+  TestProgram P = makeRaceProgram();
+  CheckerOptions Find;
+  Find.Por = true;
+  CheckResult R = check(P, Find);
+  ASSERT_EQ(R.Kind, Verdict::SafetyViolation);
+
+  CheckerOptions ReplayOpts; // Por left off.
+  CheckResult Replay = replaySchedule(P, ReplayOpts, R.Bug->Schedule);
+  EXPECT_TRUE(Replay.Kind == Verdict::Divergence ||
+              Replay.Kind == Verdict::SafetyViolation)
+      << "wrong-mode replay produced " << verdictName(Replay.Kind);
+}

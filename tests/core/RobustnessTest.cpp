@@ -323,3 +323,78 @@ TEST(Resume, CompletedCheckpointResumesToNoWork) {
   EXPECT_EQ(R.Stats.Executions, 77u);
   EXPECT_EQ(R.Stats.DistinctStates, 3u);
 }
+
+//===----------------------------------------------------------------------===
+// Checkpoint/resume under --por=on: sleep sets are a pure function of
+// the choice-stack path, so a frontier unit replayed after resume must
+// recompute them exactly and reach the same terminal stats -- including
+// the POR counters -- as an uninterrupted reduced search.
+//===----------------------------------------------------------------------===
+
+TEST(Resume, PorInterruptedSearchMatchesUninterrupted) {
+  PetersonConfig C;
+  TestProgram P = makePetersonProgram(C);
+  CheckerOptions O = boundedPetersonOpts();
+  O.Por = true;
+
+  CheckResult Straight = check(P, O);
+  ASSERT_TRUE(Straight.Stats.SearchExhausted);
+  ASSERT_GT(Straight.Stats.PorSleepHits, 0u) << "POR never engaged";
+
+  int Interrupts = 0;
+  CheckResult Chopped = runWithRepeatedInterrupts(P, O, 25, &Interrupts);
+  ASSERT_GT(Interrupts, 1) << "the run must actually have been interrupted";
+  EXPECT_TRUE(Chopped.Stats.SearchExhausted);
+  EXPECT_EQ(Chopped.Kind, Straight.Kind);
+  EXPECT_EQ(Chopped.Stats.Executions, Straight.Stats.Executions);
+  EXPECT_EQ(Chopped.Stats.Transitions, Straight.Stats.Transitions);
+  EXPECT_EQ(Chopped.Stats.PorSleepHits, Straight.Stats.PorSleepHits);
+  EXPECT_EQ(Chopped.Stats.PorBranchesPruned, Straight.Stats.PorBranchesPruned);
+  EXPECT_EQ(Chopped.Stats.PorFairWakes, Straight.Stats.PorFairWakes);
+  EXPECT_EQ(Chopped.StateSignatures, Straight.StateSignatures);
+}
+
+TEST(Resume, PorParallelResumeOfSerialCheckpointMatches) {
+  // The sharded resume decomposes the interrupted POR'd DFS stack into
+  // frozen prefixes whose recorded sleep masks must validate on replay.
+  DiningConfig C;
+  C.Philosophers = 3;
+  C.Kind = DiningConfig::Variant::Mixed;
+  TestProgram P = makeDiningProgram(C);
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.Por = true;
+
+  CheckResult Straight = check(P, O);
+  ASSERT_TRUE(Straight.Stats.SearchExhausted);
+  ASSERT_GT(Straight.Stats.PorSleepHits, 0u) << "POR never engaged";
+
+  std::atomic<bool> Flag{false};
+  CheckerOptions Cut = O;
+  Cut.InterruptFlag = &Flag;
+  Cut.CheckpointEvery = 10;
+  Cut.CheckpointSink = [&](const CheckpointState &) { Flag.store(true); };
+  CheckResult Partial = check(P, Cut);
+  ASSERT_TRUE(Partial.Stats.Interrupted);
+  ASSERT_TRUE(Partial.Resume != nullptr);
+
+  // Wire round-trip: the v2 format must carry the POR stat keys.
+  std::string Text = encodeCheckpoint(*Partial.Resume, P.Name, O.Seed);
+  CheckpointState CK;
+  std::string Name, Err;
+  uint64_t Seed = 0;
+  ASSERT_TRUE(decodeCheckpoint(Text, CK, Name, Seed, Err)) << Err;
+
+  CheckerOptions Par = O;
+  Par.Jobs = 4;
+  CheckResult Resumed = resumeCheck(P, Par, CK);
+  EXPECT_TRUE(Resumed.Stats.SearchExhausted);
+  EXPECT_EQ(Resumed.Kind, Straight.Kind);
+  EXPECT_EQ(Resumed.Stats.Executions, Straight.Stats.Executions);
+  EXPECT_EQ(Resumed.Stats.Transitions, Straight.Stats.Transitions);
+  EXPECT_EQ(Resumed.Stats.PorSleepHits, Straight.Stats.PorSleepHits);
+  EXPECT_EQ(Resumed.Stats.PorBranchesPruned,
+            Straight.Stats.PorBranchesPruned);
+  EXPECT_EQ(Resumed.Stats.PorFairWakes, Straight.Stats.PorFairWakes);
+}

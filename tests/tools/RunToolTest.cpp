@@ -134,7 +134,7 @@ TEST_F(RunTool, SigintWritesCheckpointAndHonestStats) {
   EXPECT_EQ(WEXITSTATUS(Status), 5);
 
   std::string CkptText = slurp(Ckpt);
-  EXPECT_TRUE(contains(CkptText, "fsmc-ckpt 1")) << CkptText.substr(0, 80);
+  EXPECT_TRUE(contains(CkptText, "fsmc-ckpt 2")) << CkptText.substr(0, 80);
   EXPECT_TRUE(contains(CkptText, "program peterson"));
 
   std::string Json = slurp(Stats);
@@ -145,6 +145,42 @@ TEST_F(RunTool, SigintWritesCheckpointAndHonestStats) {
   // and reports cumulative executions past what the checkpoint froze.
   EXPECT_EQ(run({"--resume=" + Ckpt, "--executions=999999999",
                  "--seconds=2", "--quiet"}),
+            0);
+}
+
+TEST_F(RunTool, SigintPorRunCheckpointsAndResumes) {
+  // The SIGINT contract composes with --por=on: the interrupted run's
+  // checkpoint carries the POR stat keys (v2 format) and resumes under
+  // the same flag. Exact interrupted-vs-straight stats equality is
+  // pinned in-process by Resume.PorInterruptedSearchMatchesUninterrupted;
+  // this covers the tool-level plumbing end to end.
+  std::string Ckpt = Dir + "/por.ckpt";
+  std::string Stats = Dir + "/stats.json";
+  pid_t Pid = spawn({"--program=peterson", "--por=on",
+                     "--checkpoint=" + Ckpt, "--stats-json=" + Stats,
+                     "--quiet"});
+  ASSERT_GT(Pid, 0);
+  usleep(500 * 1000);
+  ASSERT_EQ(kill(Pid, SIGINT), 0);
+  int Status = 0;
+  while (waitpid(Pid, &Status, 0) < 0 && errno == EINTR) {
+  }
+  ASSERT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 5);
+
+  std::string CkptText = slurp(Ckpt);
+  EXPECT_TRUE(contains(CkptText, "fsmc-ckpt 2")) << CkptText.substr(0, 80);
+  EXPECT_TRUE(contains(CkptText, "stat por_sleep_hits"));
+
+  std::string Json = slurp(Stats);
+  EXPECT_TRUE(contains(Json, "\"interrupted\": true"));
+  EXPECT_TRUE(contains(Json, "\"por\": true"));
+  EXPECT_TRUE(contains(Json, "por_sleep_hits")) << Json;
+
+  // The continuation must run under the same reduction mode: recorded
+  // frontier prefixes carry sleep masks that only validate with POR on.
+  EXPECT_EQ(run({"--resume=" + Ckpt, "--por=on",
+                 "--executions=999999999", "--seconds=2", "--quiet"}),
             0);
 }
 
@@ -181,7 +217,7 @@ TEST_F(RunTool, PeriodicCheckpointsAppearDuringTheRun) {
                  "--checkpoint=" + Ckpt, "--checkpoint-every=30",
                  "--stats-json=" + Stats, "--quiet"}),
             0);
-  EXPECT_TRUE(contains(slurp(Ckpt), "fsmc-ckpt 1"));
+  EXPECT_TRUE(contains(slurp(Ckpt), "fsmc-ckpt 2"));
   EXPECT_TRUE(contains(slurp(Stats), "\"checkpoints\": 3"));
 }
 

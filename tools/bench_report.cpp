@@ -13,10 +13,16 @@
 // Runtime::reset), so the report carries its own baseline: "speedup" is
 // pooled over baseline on identical code, hardware and build flags.
 //
+// The por section measures the sleep-set reduction (docs/POR.md) on two
+// searches run --por off then on: the micro spin-wait exhaustive DFS
+// (search-size reduction on a full search) and the dining(3)
+// deadlock-prone executions-to-first-bug count (the Table 3 metric the
+// PorParityTest acceptance bar pins).
+//
 // Usage: bench_report [--quick] [--out=FILE]
 //   --quick  shrink every budget (the bench-smoke ctest entry); numbers
 //            are noisier but the schema is identical
-//   --out=F  write the JSON to F (default: BENCH_5.json in the CWD)
+//   --out=F  write the JSON to F (default: BENCH_6.json in the CWD)
 //
 // Always exits 0: the harness records numbers, it does not gate. Compare
 // across revisions with the methodology notes in docs/PERFORMANCE.md.
@@ -97,18 +103,41 @@ Meas measurePar(int Philosophers, int Jobs, double BudgetSeconds) {
 }
 
 /// The fig5 measurement: wall time for the fair DFS to surface the
-/// classic deadlock in DeadlockProne dining.
-Meas measureFigDeadlock(int Philosophers, double BudgetSeconds) {
+/// classic deadlock in DeadlockProne dining. Doubles as the por bench's
+/// executions-to-first-bug probe when \p Por is set.
+Meas measureFigDeadlock(int Philosophers, double BudgetSeconds,
+                        bool Por = false) {
   DiningConfig C;
   C.Philosophers = Philosophers;
   C.Kind = DiningConfig::Variant::DeadlockProne;
   CheckerOptions O;
   O.TimeBudgetSeconds = BudgetSeconds;
+  O.Por = Por;
   auto T0 = Clock::now();
   CheckResult R = check(makeDiningProgram(C), O);
   Meas M;
   M.Executions = R.Stats.Executions;
   M.Exhausted = R.Kind == Verdict::Deadlock; // "found it" for this bench
+  M.finish(secondsSince(T0));
+  return M;
+}
+
+/// One por micro row: a single exhaustive fair DFS over the spin-wait
+/// program. Unlike measureMicro this runs the search once -- the number
+/// that matters is the search-size reduction (executions to exhaust),
+/// with wall time alongside to show the oracle's overhead stays paid
+/// for.
+Meas measurePorMicro(bool Por, double BudgetSeconds) {
+  SpinWaitConfig C;
+  CheckerOptions O;
+  O.DetectDivergence = false;
+  O.Por = Por;
+  O.TimeBudgetSeconds = BudgetSeconds;
+  auto T0 = Clock::now();
+  CheckResult R = check(makeSpinWaitProgram(C), O);
+  Meas M;
+  M.Executions = R.Stats.Executions;
+  M.Exhausted = R.Stats.SearchExhausted;
   M.finish(secondsSince(T0));
   return M;
 }
@@ -135,7 +164,7 @@ void appendMeas(std::string &Out, const char *Key, const Meas &M,
 
 int main(int Argc, char **Argv) {
   bool Quick = false;
-  std::string OutPath = "BENCH_5.json";
+  std::string OutPath = "BENCH_6.json";
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--quick") == 0)
       Quick = true;
@@ -169,6 +198,14 @@ int main(int Argc, char **Argv) {
   Meas Par4 = measurePar(ParPhilosophers, 4, ParBudget);
   std::fprintf(stderr, "bench_report: fig5 dining deadlock...\n");
   Meas Fig = measureFigDeadlock(FigPhilosophers, FigBudget);
+  std::fprintf(stderr, "bench_report: por micro (off)...\n");
+  Meas PorMicroOff = measurePorMicro(/*Por=*/false, FigBudget);
+  std::fprintf(stderr, "bench_report: por micro (on)...\n");
+  Meas PorMicroOn = measurePorMicro(/*Por=*/true, FigBudget);
+  std::fprintf(stderr, "bench_report: por dining deadlock (off)...\n");
+  Meas PorFigOff = measureFigDeadlock(FigPhilosophers, FigBudget);
+  std::fprintf(stderr, "bench_report: por dining deadlock (on)...\n");
+  Meas PorFigOn = measureFigDeadlock(FigPhilosophers, FigBudget, /*Por=*/true);
 
   double Speedup =
       MicroOff.ExecsPerSec > 0 ? MicroOn.ExecsPerSec / MicroOff.ExecsPerSec
@@ -177,7 +214,7 @@ int main(int Argc, char **Argv) {
   std::string Out;
   Out += "{\n";
   Out += "  \"schema\": 1,\n";
-  Out += "  \"bench\": 5,\n";
+  Out += "  \"bench\": 6,\n";
   Out += std::string("  \"mode\": \"") + (Quick ? "quick" : "full") + "\",\n";
 #ifdef NDEBUG
   Out += "  \"asserts\": false,\n";
@@ -231,6 +268,37 @@ int main(int Argc, char **Argv) {
                   "    \"found_deadlock\": %s\n",
                   (unsigned long long)Fig.Executions, Fig.WallMs,
                   Fig.Exhausted ? "true" : "false");
+    Out += Buf;
+  }
+  Out += "  },\n";
+
+  // Schedule-reduction factors, not rates: how many fewer executions the
+  // sleep-set search needs for the same result.
+  double PorMicroReduction =
+      PorMicroOn.Executions > 0
+          ? double(PorMicroOff.Executions) / double(PorMicroOn.Executions)
+          : 0;
+  double PorFigReduction =
+      PorFigOn.Executions > 0
+          ? double(PorFigOff.Executions) / double(PorFigOn.Executions)
+          : 0;
+  Out += "  \"por\": {\n";
+  Out += "    \"workload\": \"spinwait exhaustive fair DFS and dining(" +
+         std::to_string(FigPhilosophers) +
+         ") deadlock-prone executions-to-first-bug, --por off vs on\",\n";
+  appendMeas(Out, "micro_off", PorMicroOff, 4, true);
+  appendMeas(Out, "micro_on", PorMicroOn, 4, true);
+  appendMeas(Out, "dining_first_bug_off", PorFigOff, 4, true);
+  appendMeas(Out, "dining_first_bug_on", PorFigOn, 4, true);
+  {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    \"micro_reduction\": %.2f,\n"
+                  "    \"dining_first_bug_reduction\": %.2f,\n"
+                  "    \"dining_found_deadlock\": %s\n",
+                  PorMicroReduction, PorFigReduction,
+                  PorFigOn.Exhausted && PorFigOff.Exhausted ? "true"
+                                                            : "false");
     Out += Buf;
   }
   Out += "  },\n";

@@ -199,7 +199,9 @@ int usage() {
             "  --seconds=S      time budget\n"
             "  --seed=N         PRNG seed\n"
             "  --yieldk=N       process every k-th yield\n"
-            "  --por            experimental sleep-set reduction\n"
+            "  --por=on|off     sleep-set partial-order reduction "
+            "(docs/POR.md;\n"
+            "                   default off)\n"
             "  --replay=SCHED   replay a recorded schedule (an fsmc1:... "
             "string\n"
             "                   or the path of a file holding one)\n\n"
@@ -458,9 +460,16 @@ int main(int Argc, char **Argv) {
       SeedSet = true;
     } else if (parseFlag(Argv[I], "--yieldk", &V))
       Opts.YieldK = std::atoi(V);
-    else if (parseFlag(Argv[I], "--por", &V))
-      Opts.SleepSets = true;
-    else if (parseFlag(Argv[I], "--replay", &V))
+    else if (parseFlag(Argv[I], "--por", &V)) {
+      if (*V == '\0' || std::strcmp(V, "on") == 0)
+        Opts.Por = true;
+      else if (std::strcmp(V, "off") == 0)
+        Opts.Por = false;
+      else {
+        errs() << "--por must be 'on' or 'off'\n";
+        return usage();
+      }
+    } else if (parseFlag(Argv[I], "--replay", &V))
       Replay = V;
     else if (parseFlag(Argv[I], "--isolate", &V)) {
       if (std::strcmp(V, "off") == 0)

@@ -56,6 +56,8 @@ void fsmc::mergeSearchStats(SearchStats &Into, const SearchStats &From) {
   Into.Checkpoints += From.Checkpoints;
   Into.RacesChecked += From.RacesChecked;
   Into.RacesFound += From.RacesFound;
+  Into.StateHits += From.StateHits;
+  Into.EstimateMass += From.EstimateMass;
 }
 
 void fsmc::finalizeRaces(CheckResult &R, const CheckerOptions &Opts) {

@@ -35,6 +35,7 @@ namespace fsmc {
 
 namespace obs {
 class Observer;
+struct SearchProfile;
 } // namespace obs
 
 struct CheckpointState;
@@ -113,6 +114,10 @@ struct SearchStats {
   uint64_t MaxDepth = 0;
   /// Distinct state signatures seen (when coverage tracking is on).
   uint64_t DistinctStates = 0;
+  /// Revisits of already-seen signatures (when coverage tracking is on):
+  /// every signature lookup is either a new DistinctStates entry or a
+  /// StateHits increment, so DistinctStates + StateHits = lookups.
+  uint64_t StateHits = 0;
   /// Priority edges the fair scheduler added across the whole search.
   uint64_t FairEdgeAdditions = 0;
   /// Total buggy executions seen (> 1 only with StopOnFirstBug = false).
@@ -135,6 +140,13 @@ struct SearchStats {
   uint64_t RacesChecked = 0;
   /// Distinct data races found (deduplicated by race description).
   uint64_t RacesFound = 0;
+  /// Knuth weighted-backtrack estimator mass (CheckerOptions::Estimate):
+  /// each counted execution contributes the product of 1/branch-factor
+  /// over the backtrackable records on its path, so the masses partition
+  /// the choice tree and sum to exactly 1.0 at exhaustion. The online
+  /// tree-size estimate is Executions / EstimateMass (docs/
+  /// OBSERVABILITY.md covers the early-run bias caveat).
+  double EstimateMass = 0;
   bool TimedOut = false;        ///< Time budget exhausted.
   bool ExecutionCapHit = false; ///< MaxExecutions reached.
   bool SearchExhausted = false; ///< DFS enumerated every execution.
@@ -251,6 +263,18 @@ struct CheckerOptions {
   /// truth of Table 2; implies TrackCoverage.
   bool StatefulPruning = false;
 
+  /// Online tree-size estimation (--estimate): accumulate the Knuth
+  /// weighted-backtrack mass in SearchStats::EstimateMass so progress %
+  /// and estimated_total_executions can be reported mid-run. One
+  /// multiply-add per completed execution; off by default to keep default
+  /// reports byte-identical.
+  bool Estimate = false;
+  /// Schedule-point hotspot profiling (--profile-search): record per-op-
+  /// class / per-object branching histograms, depth and branch-factor
+  /// distributions, and POR-pruning attribution into
+  /// CheckResult::Profile (src/obs/SearchProfile.h).
+  bool ProfileSearch = false;
+
   /// Observability hub (src/obs/): live sharded counters and, if its sink
   /// is set, a structured event trace. Not owned, may outlive the run.
   /// Null keeps every instrumentation hook down to one pointer test.
@@ -312,6 +336,9 @@ struct CheckResult {
   /// Set when the run stopped on InterruptFlag: everything needed to
   /// continue the search via resumeCheck (core/Checkpoint.h).
   std::shared_ptr<CheckpointState> Resume;
+  /// Schedule-point hotspot profile; filled only when
+  /// CheckerOptions::ProfileSearch is set (src/obs/SearchProfile.h).
+  std::shared_ptr<obs::SearchProfile> Profile;
 
   /// True for workload bugs. Divergence is a checker limitation and Crash
   /// and Hang count: a workload that dies under sandboxing is buggy.

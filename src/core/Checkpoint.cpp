@@ -5,10 +5,12 @@
 #include "core/Explorer.h"
 #include "core/ParallelExplorer.h"
 #include "core/Sandbox.h"
+#include "obs/SearchProfile.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <unordered_set>
@@ -134,6 +136,17 @@ std::string fsmc::encodeCheckpoint(const CheckpointState &CK,
   // Older readers skip unknown stat keys, so these are forward-compatible.
   OS << "stat races_checked " << S.RacesChecked << "\n";
   OS << "stat races_found " << S.RacesFound << "\n";
+  if (S.StateHits)
+    OS << "stat state_hits " << S.StateHits << "\n";
+  // The estimator mass is a double; 'statf' carries it as a lossless
+  // hexfloat. Written only when the estimator ran, so checkpoints from
+  // estimator-off runs stay byte-identical to earlier revisions (and old
+  // readers skip the unknown key either way).
+  if (S.EstimateMass != 0) {
+    char Buf[48];
+    snprintf(Buf, sizeof Buf, "%a", S.EstimateMass);
+    OS << "statf estimate_mass " << Buf << "\n";
+  }
   if (CK.Bug) {
     OS << "bug " << verdictWire(CK.Bug->Kind) << " " << CK.Bug->AtExecution
        << " " << CK.Bug->AtStep << " " << CK.Bug->Schedule << "\n";
@@ -230,7 +243,15 @@ bool fsmc::decodeCheckpoint(const std::string &Text, CheckpointState &CK,
         S.RacesChecked = Val;
       else if (Name == "races_found")
         S.RacesFound = Val;
+      else if (Name == "state_hits")
+        S.StateHits = Val;
       // Unknown stat keys are skipped for forward compatibility.
+    } else if (Key == "statf") {
+      std::string Name, Tok;
+      LS >> Name >> Tok;
+      if (Name == "estimate_mass")
+        CK.Stats.EstimateMass = std::strtod(Tok.c_str(), nullptr);
+      // Unknown float stat keys are skipped for forward compatibility.
     } else if (Key == "bug") {
       std::string KindTok, Schedule;
       uint64_t AtExec = 0, AtStep = 0;
@@ -429,6 +450,14 @@ CheckResult fsmc::resumeCheck(const TestProgram &Program,
     }
 
     Agg.Stats = R.Stats; // Cumulative: the explorer ran on top of Agg.
+    if (R.Profile) {
+      // Per-unit profiles accumulate (stats thread through preloadBaseStats
+      // and need no merge; profiles are per-engine and do).
+      if (!Agg.Profile)
+        Agg.Profile = R.Profile;
+      else
+        Agg.Profile->merge(*R.Profile);
+    }
     if (R.Bug)
       Bug = R.Bug;
     for (const BugReport &I : R.Incidents)

@@ -7,13 +7,16 @@
 #include "core/FairScheduler.h"
 #include "core/LivenessMonitor.h"
 #include "core/Schedule.h"
+#include "obs/Explain.h"
 #include "obs/Observer.h"
+#include "obs/SearchProfile.h"
 #include "race/RaceDetector.h"
 #include "runtime/StackPool.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 using namespace fsmc;
 
@@ -23,6 +26,10 @@ Explorer::Explorer(const TestProgram &Program, const CheckerOptions &Opts)
   if (this->Opts.Obs) {
     Obs = this->Opts.Obs;
     Ctr = &Obs->shard(0);
+  }
+  if (this->Opts.ProfileSearch) {
+    Result.Profile = std::make_shared<obs::SearchProfile>();
+    Prof = Result.Profile.get();
   }
 }
 
@@ -133,6 +140,8 @@ void Explorer::preloadScheduleFrozenPrefix(
 void Explorer::preloadBaseStats(const SearchStats &Base) {
   assert(Result.Stats.Executions == 0 && "preloadBaseStats must precede run()");
   Result.Stats = Base;
+  EstMassSum = Base.EstimateMass;
+  EstMassComp = 0;
   Result.Stats.TimedOut = false;
   Result.Stats.ExecutionCapHit = false;
   Result.Stats.SearchExhausted = false;
@@ -309,6 +318,10 @@ int Explorer::chooseInt(int N) {
   // backtrack points, matching the treatment of scheduling choices there.
   bool InTail = Opts.DepthBound > 0 && CurSteps >= Opts.DepthBound;
   bool Random = Opts.Kind == SearchKind::RandomWalk || InTail;
+  // A fresh (non-replayed) backtrackable data choice is a branch point of
+  // the choice tree; Cursor >= ReplayLen means pickIndex will push.
+  if (Prof && N >= 2 && !Random && Cursor >= ReplayLen)
+    Prof->noteChoose(N, CurSteps);
   return pickIndex(N, /*Backtrack=*/!Random, /*PickRandom=*/Random);
 }
 
@@ -324,6 +337,19 @@ Explorer::ExecEnd Explorer::runOneExecution() {
   const bool TimeSteps = Ctr && Obs->stepTiming();
   const uint64_t ExecStartClock = ObsClock;
   uint64_t LastEdgeAdds = 0, LastEdgeRemovals = 0;
+
+  // Phase self-timing (Observer::Config::PhaseTiming): two clock reads
+  // per execution plus one pair per coverage lookup; the replay bucket
+  // closes when the cursor first leaves the recorded prefix. ReplayDone
+  // stays true with timing off, so the per-transition check is one
+  // always-true bool test.
+  const bool PhaseT = Ctr && Obs->phaseTiming();
+  std::chrono::steady_clock::time_point PhaseStart, ReplayEndT;
+  bool ReplayDone = true;
+  uint64_t SnapNs = 0;
+  // Snapshot ns accumulated before the replay bucket closed: coverage
+  // lookups inside the prefix belong to the snapshot bucket, not replay.
+  uint64_t SnapNsReplay = 0;
 
   // A fresh detector per execution, like every other piece of per-
   // execution state: the stateless search replays establish all clocks
@@ -357,6 +383,12 @@ Explorer::ExecEnd Explorer::runOneExecution() {
   Monitor.beginExecution();
   Strategy->beginExecution();
   RT.start(Program.Body);
+  if (PhaseT) {
+    PhaseStart = std::chrono::steady_clock::now();
+    ReplayDone = ReplayLen == 0;
+    if (ReplayDone)
+      ReplayEndT = PhaseStart;
+  }
 
   Tid Prev = -1;
   int Preemptions = 0;
@@ -373,6 +405,31 @@ Explorer::ExecEnd Explorer::runOneExecution() {
   // re-run, and harvesting them would double-count checks and break the
   // resumed run's equivalence with an uninterrupted one.
   auto finishStats = [&](const char *EndDetail, bool HarvestRaces = true) {
+    if (Explain)
+      Explain->EndDetail = EndDetail;
+    if (PhaseT) {
+      auto Now = std::chrono::steady_clock::now();
+      if (!ReplayDone) {
+        ReplayEndT = Now; // The whole execution was replay.
+        ReplayDone = true;
+        SnapNsReplay = SnapNs;
+      }
+      auto Ns = [](std::chrono::steady_clock::time_point A,
+                   std::chrono::steady_clock::time_point B) {
+        return uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(B - A)
+                .count());
+      };
+      uint64_t ReplayNs = Ns(PhaseStart, ReplayEndT);
+      uint64_t ExecNs = Ns(ReplayEndT, Now);
+      uint64_t SnapExec = SnapNs - SnapNsReplay;
+      Ctr->addPhaseNs(obs::Phase::Replay,
+                      ReplayNs - std::min(ReplayNs, SnapNsReplay));
+      Ctr->addPhaseNs(obs::Phase::Execute,
+                      ExecNs - std::min(ExecNs, SnapExec));
+      if (SnapNs)
+        Ctr->addPhaseNs(obs::Phase::Snapshot, SnapNs);
+    }
     if (RT.threadCount() > Result.Stats.MaxThreads)
       Result.Stats.MaxThreads = RT.threadCount();
     if (RT.syncOpCount() > Result.Stats.MaxSyncOps)
@@ -391,11 +448,32 @@ Explorer::ExecEnd Explorer::runOneExecution() {
         E.Dur = CurSteps;
         E.ArgA = CurSteps;
         E.Detail = EndDetail;
+        if (Opts.Estimate) {
+          // The leaf mass this path contributes to the tree-size
+          // estimate, mirrored into the trace so Perfetto can show which
+          // subtrees carry the estimator's weight.
+          double P = 1.0;
+          for (size_t I = 0, N = std::min(Cursor, Stack.size()); I < N; ++I)
+            if (Stack[I].Backtrack)
+              P /= double(Stack[I].Num);
+          E.Mass = P;
+        }
         emitEvent(E);
       }
     }
-    if (RaceD && HarvestRaces)
-      harvestRaces(*RaceD, RT);
+    if (RaceD && HarvestRaces) {
+      if (PhaseT) {
+        auto T0 = std::chrono::steady_clock::now();
+        harvestRaces(*RaceD, RT);
+        Ctr->addPhaseNs(
+            obs::Phase::RaceCheck,
+            uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - T0)
+                         .count()));
+      } else {
+        harvestRaces(*RaceD, RT);
+      }
+    }
   };
 
   while (true) {
@@ -408,6 +486,17 @@ Explorer::ExecEnd Explorer::runOneExecution() {
       finishStats("bug");
       // Theorem 3: under fairness the schedulable set is empty only when
       // ES is, so this is a genuine deadlock, never a false one.
+      if (Explain)
+        for (Tid B : RT.liveSet()) {
+          const PendingOp P = RT.pendingOf(B);
+          obs::ExplainBlocked BB;
+          BB.Thread = B;
+          BB.ThreadName = RT.threadName(B);
+          BB.Op = P.Kind;
+          if (P.ObjectId >= 0)
+            BB.Object = RT.objectName(P.ObjectId);
+          Explain->Blocked.push_back(std::move(BB));
+        }
       std::string Blocked;
       for (Tid T : RT.liveSet())
         Blocked += " " + RT.threadName(T);
@@ -444,6 +533,11 @@ Explorer::ExecEnd Explorer::runOneExecution() {
         Result.Stats.PorSleepHits += Sleeping.size();
         if (Ctr)
           Ctr->add(obs::Counter::PorSleepHits, Sleeping.size());
+        if (Prof)
+          // Attribute the filtered candidates to the op class they would
+          // have performed: where the reduction is earning its keep.
+          for (Tid S : Sleeping)
+            Prof->notePorSleep(unsigned(RT.pendingOf(S).Kind));
         Cands.Set -= Sleeping;
         if (Cands.Set.empty()) {
           if (Opts.Fair) {
@@ -475,6 +569,11 @@ Explorer::ExecEnd Explorer::runOneExecution() {
     }
 
     bool Replaying = Cursor < ReplayLen;
+    if (!ReplayDone && !Replaying) {
+      ReplayEndT = std::chrono::steady_clock::now();
+      ReplayDone = true;
+      SnapNsReplay = SnapNs;
+    }
     int Idx = pickIndex(Cands.Set.size(), Cands.Backtrack, Cands.PickRandom,
                         SleepMaskHere);
     if (ReplayMismatch) {
@@ -502,6 +601,29 @@ Explorer::ExecEnd Explorer::runOneExecution() {
     CurTrace.record(
         {T, Op.Kind, Op.ObjectId, Op.Aux, RT.annotationOf(T), WasYield});
     bool OthersEnabled = !(ES - ThreadSet::singleton(T)).empty();
+
+    if (Prof && !Replaying && Cands.Backtrack && Cands.Set.size() >= 2) {
+      // A fresh scheduling branch point: attribute the alternatives it
+      // opened to the executed operation's class and object.
+      Prof->noteBranch(unsigned(Op.Kind), Cands.Set.size(), CurSteps);
+      if (Op.ObjectId >= 0)
+        Prof->noteObject(RT.objectName(Op.ObjectId), Cands.Set.size());
+    }
+    if (Explain) {
+      obs::ExplainStep S;
+      S.Thread = T;
+      S.ThreadName = RT.threadName(T);
+      S.Op = Op.Kind;
+      if (Op.ObjectId >= 0)
+        S.Object = RT.objectName(Op.ObjectId);
+      S.Annotation = RT.annotationOf(T);
+      S.WasYield = WasYield;
+      S.EnabledMask = ES.rawBits();
+      S.SleepMask = SleepMaskHere;
+      S.Choices = Cands.Set.size();
+      S.ChosenIdx = Idx;
+      Explain->Steps.push_back(std::move(S));
+    }
 
     if (Opts.Por && Cands.Backtrack) {
       // Siblings tried before this choice (indices < Idx) have fully
@@ -636,9 +758,21 @@ Explorer::ExecEnd Explorer::runOneExecution() {
     }
 
     if (Opts.TrackCoverage || Opts.StatefulPruning) {
+      std::chrono::steady_clock::time_point SnapT0;
+      if (PhaseT)
+        SnapT0 = std::chrono::steady_clock::now();
       uint64_t Sig = RT.stateSignature();
-      if (SeenStates.insert(Sig).second && LogStates)
-        StateLog.push_back(Sig);
+      if (SeenStates.insert(Sig).second) {
+        if (LogStates)
+          StateLog.push_back(Sig);
+      } else {
+        ++Result.Stats.StateHits;
+      }
+      if (PhaseT)
+        SnapNs += uint64_t(std::chrono::duration_cast<
+                               std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - SnapT0)
+                               .count());
       // Pruning decisions are made only beyond the replayed prefix; the
       // prefix's states were inserted by the earlier execution that
       // explored it.
@@ -767,6 +901,31 @@ CheckResult Explorer::run() {
     RetriesLeft = Opts.DivergenceRetries;
     if (Ctr)
       Ctr->add(obs::Counter::Executions);
+    if (Opts.Estimate) {
+      // Knuth weighted-backtrack mass of the completed path: the product
+      // of 1/branch-factor over its backtrackable records. Donated
+      // records are included -- their untried siblings carry the same
+      // per-sibling factor on the workers exploring them, so the global
+      // masses still partition the tree and sum to 1.0 at exhaustion.
+      // Random-tail records (Backtrack=false) are not tree branches and
+      // contribute nothing.
+      double P = 1.0;
+      for (size_t I = 0, N = std::min(Cursor, Stack.size()); I < N; ++I)
+        if (Stack[I].Backtrack)
+          P /= double(Stack[I].Num);
+      // Neumaier-compensated sum: leaf masses span many orders of
+      // magnitude, and the exactness of the exhausted-run estimate
+      // depends on the sum landing within an ulp of 1.0.
+      double T = EstMassSum + P;
+      if (std::abs(EstMassSum) >= std::abs(P))
+        EstMassComp += (EstMassSum - T) + P;
+      else
+        EstMassComp += (P - T) + EstMassSum;
+      EstMassSum = T;
+      Result.Stats.EstimateMass = EstMassSum + EstMassComp;
+      if (Ctr)
+        Ctr->addEstimateMass(P);
+    }
 
     // The hook runs on every execution (it is also how the parallel
     // driver counts executions against the shared budget); its stop

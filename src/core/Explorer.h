@@ -45,6 +45,8 @@ namespace fsmc {
 namespace obs {
 struct ObsEvent;
 struct WorkerCounters;
+struct SearchProfile;
+struct ExplainLog;
 } // namespace obs
 
 struct CheckpointState;
@@ -173,6 +175,13 @@ public:
   /// the execution hook or after run().
   const std::vector<BugReport> &incidents() const { return Result.Incidents; }
 
+  /// Records every executed transition (thread, op, object, enabled set,
+  /// sleep mask, branch factor) plus the end classification into \p L --
+  /// the incident explainer's data source (src/obs/Explain.h). \p L must
+  /// outlive the explorer. Intended for single-execution replay runs; a
+  /// full search would append every execution's steps.
+  void setExplainLog(obs::ExplainLog *L) { Explain = L; }
+
   // ChoiceSource: data nondeterminism raised from inside a transition.
   int chooseInt(int N) override;
 
@@ -240,6 +249,17 @@ private:
   std::function<void(int, int, bool, uint64_t)> StreamCb;
   bool LogStates = false;
   std::vector<uint64_t> StateLog;
+  obs::ExplainLog *Explain = nullptr;
+
+  /// Knuth weighted-backtrack estimator (CheckerOptions::Estimate):
+  /// Neumaier-compensated running sum of per-execution leaf masses;
+  /// Result.Stats.EstimateMass always holds Sum + Comp so hooks and
+  /// checkpoints see the compensated total.
+  double EstMassSum = 0;
+  double EstMassComp = 0;
+  /// Borrowed view of Result.Profile (CheckerOptions::ProfileSearch);
+  /// null when profiling is off, so hot-path hooks are one pointer test.
+  obs::SearchProfile *Prof = nullptr;
 
   /// Observability (all null/zero when CheckerOptions::Obs is unset; every
   /// hot-path hook then reduces to one pointer test on Ctr).

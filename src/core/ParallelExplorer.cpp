@@ -7,6 +7,7 @@
 #include "core/Schedule.h"
 #include "core/WorkQueue.h"
 #include "obs/Observer.h"
+#include "obs/SearchProfile.h"
 #include "runtime/StackPool.h"
 
 #include <algorithm>
@@ -77,6 +78,7 @@ struct ParallelExplorer::Shared {
   // Result aggregation: per-item stats and signature shards.
   std::mutex MergeM;
   SearchStats Total;
+  std::shared_ptr<obs::SearchProfile> Profile; ///< Guarded by MergeM.
   std::unordered_set<uint64_t> States;
   // Race incidents, deduplicated globally: workers dedup only within
   // their own explorer, so the same race arriving from two workers must
@@ -338,6 +340,12 @@ CheckResult ParallelExplorer::run() {
       {
         std::lock_guard<std::mutex> Lock(SH.MergeM);
         mergeSearchStats(SH.Total, R.Stats);
+        if (R.Profile) {
+          if (!SH.Profile)
+            SH.Profile = R.Profile;
+          else
+            SH.Profile->merge(*R.Profile);
+        }
         if (!E.seenStates().empty())
           SH.States.insert(E.seenStates().begin(), E.seenStates().end());
         for (const BugReport &I : R.Incidents)
@@ -427,6 +435,7 @@ CheckResult ParallelExplorer::run() {
 
   CheckResult Result;
   Result.Stats = SH.Total;
+  Result.Profile = SH.Profile;
   Result.Stats.DistinctStates = SH.States.size();
   if (!SH.RaceIncidents.empty()) {
     // Worker arrival order is nondeterministic; the messages are not (the

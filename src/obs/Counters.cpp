@@ -4,6 +4,8 @@
 
 #include "runtime/PendingOp.h"
 
+#include <cstring>
+
 using namespace fsmc;
 using namespace fsmc::obs;
 
@@ -84,6 +86,39 @@ const char *fsmc::obs::gaugeName(Gauge G) {
   return "?";
 }
 
+const char *fsmc::obs::phaseName(Phase P) {
+  switch (P) {
+  case Phase::Replay:
+    return "replay";
+  case Phase::Execute:
+    return "execute";
+  case Phase::RaceCheck:
+    return "race_check";
+  case Phase::Snapshot:
+    return "snapshot";
+  case Phase::NumPhases:
+    break;
+  }
+  return "?";
+}
+
+static uint64_t doubleBits(double D) {
+  uint64_t B;
+  std::memcpy(&B, &D, sizeof B);
+  return B;
+}
+
+static double bitsDouble(uint64_t B) {
+  double D;
+  std::memcpy(&D, &B, sizeof D);
+  return D;
+}
+
+void WorkerCounters::addEstimateMass(double M) {
+  double Cur = bitsDouble(EstMassBits.load(std::memory_order_relaxed));
+  EstMassBits.store(doubleBits(Cur + M), std::memory_order_relaxed);
+}
+
 void WorkerCounters::addLatencyNs(uint64_t Ns) {
   unsigned Bucket = 0;
   while (Bucket + 1 < LatencyBuckets && (uint64_t(1) << (Bucket + 1)) <= Ns)
@@ -112,6 +147,10 @@ CounterSnapshot CounterRegistry::snapshot() const {
     }
     for (size_t K = 0; K < LatencyBuckets; ++K)
       S.Latency[K] += W.Latency[K].load(std::memory_order_relaxed);
+    for (size_t K = 0; K < size_t(Phase::NumPhases); ++K)
+      S.PhaseNs[K] += W.PhaseNs[K].load(std::memory_order_relaxed);
+    S.EstimateMass +=
+        bitsDouble(W.EstMassBits.load(std::memory_order_relaxed));
     uint64_t Depth = W.G[size_t(Gauge::MaxDepth)].load(std::memory_order_relaxed);
     if (Depth > S.G[size_t(Gauge::MaxDepth)])
       S.G[size_t(Gauge::MaxDepth)] = Depth;

@@ -84,8 +84,22 @@ enum class Gauge : unsigned {
   NumGauges
 };
 
+/// Wall-time phase buckets (Observer::Config::PhaseTiming): where an
+/// execution's time actually goes. Replay is the stateless method's tax;
+/// snapshot is the coverage-signature cost; race-check is the detector
+/// harvest at execution end; execute is everything else inside the run
+/// loop.
+enum class Phase : unsigned {
+  Replay,    ///< Re-running the recorded prefix.
+  Execute,   ///< Fresh transitions past the prefix.
+  RaceCheck, ///< Race-detector harvest at execution end.
+  Snapshot,  ///< State-signature hashing and lookup.
+  NumPhases
+};
+
 const char *counterName(Counter C);
 const char *gaugeName(Gauge G);
+const char *phaseName(Phase P);
 
 /// Number of power-of-two buckets in the scheduling-point latency
 /// histogram: bucket i counts steps whose latency was in [2^i, 2^(i+1))
@@ -108,6 +122,13 @@ struct alignas(64) WorkerCounters {
   /// log2-bucketed per-transition latency (only filled when step timing
   /// is enabled; clock reads are not free).
   std::atomic<uint64_t> Latency[LatencyBuckets] = {};
+  /// Nanoseconds per phase (only filled when phase timing is enabled).
+  std::atomic<uint64_t> PhaseNs[size_t(Phase::NumPhases)] = {};
+  /// Knuth weighted-backtrack mass accumulated on this shard, stored as
+  /// the bit pattern of a double (atomic<double> is not lock-free
+  /// everywhere). Single writer, so load-bitcast-add-store never loses
+  /// mass; readers sum shards for the live tree-size estimate.
+  std::atomic<uint64_t> EstMassBits{0};
 
   /// Single-writer increment: load+store, no RMW. The owning worker is
   /// the only writer, so this never loses updates.
@@ -124,6 +145,13 @@ struct alignas(64) WorkerCounters {
     A.store(A.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
   }
   void addLatencyNs(uint64_t Ns);
+  void addPhaseNs(Phase P, uint64_t Ns) {
+    auto &A = PhaseNs[size_t(P)];
+    A.store(A.load(std::memory_order_relaxed) + Ns,
+            std::memory_order_relaxed);
+  }
+  /// Single-writer add of estimator mass (see EstMassBits).
+  void addEstimateMass(double M);
   void setGauge(Gauge Id, uint64_t V) {
     G[size_t(Id)].store(V, std::memory_order_relaxed);
   }
@@ -143,9 +171,13 @@ struct CounterSnapshot {
   uint64_t Ops[OpKindSlots] = {};
   uint64_t Contended[OpKindSlots] = {};
   uint64_t Latency[LatencyBuckets] = {};
+  uint64_t PhaseNs[size_t(Phase::NumPhases)] = {};
+  /// Summed estimator mass across shards (0 when --estimate is off).
+  double EstimateMass = 0;
 
   uint64_t counter(Counter Id) const { return C[size_t(Id)]; }
   uint64_t gauge(Gauge Id) const { return G[size_t(Id)]; }
+  uint64_t phaseNs(Phase P) const { return PhaseNs[size_t(P)]; }
 };
 
 /// The sharded registry. Sized at construction for the maximum worker

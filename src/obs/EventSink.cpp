@@ -2,6 +2,10 @@
 
 #include "obs/EventSink.h"
 
+#include "support/OutStream.h"
+
+#include <cstdio>
+
 using namespace fsmc;
 using namespace fsmc::obs;
 
@@ -49,22 +53,27 @@ const char *fsmc::obs::eventCategory(EventKind K) {
 }
 
 JsonlTraceSink::JsonlTraceSink(const std::string &Path) {
-  F = std::fopen(Path.c_str(), "w");
-  if (!F)
-    return;
+  if (Path == "-") {
+    Out = &outs();
+  } else {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return;
+    Owned = std::make_unique<OutStream>(F, /*Owned=*/true);
+    Out = Owned.get();
+  }
   // Array format with a leading version record; every later line is one
   // event object followed by a comma, so close() can append the final
   // summary record and the terminator to form strictly valid JSON.
-  std::fputs("[\n{\"name\":\"fsmc_trace\",\"cat\":\"meta\",\"ph\":\"i\","
-             "\"s\":\"g\",\"ts\":0,\"pid\":0,\"tid\":0,"
-             "\"args\":{\"version\":1}},\n",
-             F);
+  *Out << "[\n{\"name\":\"fsmc_trace\",\"cat\":\"meta\",\"ph\":\"i\","
+          "\"s\":\"g\",\"ts\":0,\"pid\":0,\"tid\":0,"
+          "\"args\":{\"version\":1}},\n";
 }
 
 JsonlTraceSink::~JsonlTraceSink() { close(); }
 
 void JsonlTraceSink::event(const ObsEvent &E) {
-  if (!F)
+  if (!Out)
     return;
   char Buf[512];
   int N = 0;
@@ -79,15 +88,20 @@ void JsonlTraceSink::event(const ObsEvent &E) {
                       opKindName(E.Op), (unsigned long long)E.Ts, E.Worker,
                       E.Thread, (unsigned long long)E.ArgA, E.Object);
     break;
-  case EventKind::ExecutionEnd:
+  case EventKind::ExecutionEnd: {
+    char MassBuf[48] = "";
+    if (E.Mass >= 0)
+      std::snprintf(MassBuf, sizeof(MassBuf), ",\"mass\":%.9g", E.Mass);
     N = std::snprintf(Buf, sizeof(Buf),
                       "{\"name\":\"execution\",\"cat\":\"execution\","
                       "\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,\"pid\":%u,"
-                      "\"tid\":%d,\"args\":{\"steps\":%llu,\"end\":\"%s\"}},\n",
+                      "\"tid\":%d,\"args\":{\"steps\":%llu,\"end\":\"%s\"%s"
+                      "}},\n",
                       (unsigned long long)E.Ts, (unsigned long long)E.Dur,
                       E.Worker, E.Thread, (unsigned long long)E.ArgA,
-                      E.Detail ? E.Detail : "?");
+                      E.Detail ? E.Detail : "?", MassBuf);
     break;
+  }
   default:
     N = std::snprintf(
         Buf, sizeof(Buf),
@@ -103,30 +117,36 @@ void JsonlTraceSink::event(const ObsEvent &E) {
   }
   if (N <= 0)
     return;
+  // OutStream::write is atomic across streams; the sink mutex only keeps
+  // the Emitted count consistent with the lines actually written.
   std::lock_guard<std::mutex> Lock(M);
-  std::fwrite(Buf, 1, size_t(N), F);
+  Out->write(Buf, size_t(N));
   ++Emitted;
 }
 
 void JsonlTraceSink::flush() {
   std::lock_guard<std::mutex> Lock(M);
-  if (F)
-    std::fflush(F);
+  if (Out)
+    Out->flush();
 }
 
 void JsonlTraceSink::close() {
   std::lock_guard<std::mutex> Lock(M);
-  if (!F || Closed) {
+  if (!Out || Closed) {
     Closed = true;
     return;
   }
-  std::fprintf(F,
-               "{\"name\":\"fsmc_trace_end\",\"cat\":\"meta\",\"ph\":\"i\","
-               "\"s\":\"g\",\"ts\":0,\"pid\":0,\"tid\":0,"
-               "\"args\":{\"events\":%llu}}\n]\n",
-               (unsigned long long)Emitted);
-  std::fflush(F);
-  std::fclose(F);
-  F = nullptr;
+  char Buf[160];
+  int N = std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"name\":\"fsmc_trace_end\",\"cat\":\"meta\",\"ph\":\"i\","
+      "\"s\":\"g\",\"ts\":0,\"pid\":0,\"tid\":0,"
+      "\"args\":{\"events\":%llu}}\n]\n",
+      (unsigned long long)Emitted);
+  if (N > 0)
+    Out->write(Buf, size_t(N));
+  Out->flush();
+  Owned.reset(); // Closes the file; stdout stays open for the caller.
+  Out = nullptr;
   Closed = true;
 }

@@ -37,11 +37,14 @@
 #include "runtime/PendingOp.h"
 
 #include <cstdint>
-#include <cstdio>
+#include <memory>
 #include <mutex>
 #include <string>
 
 namespace fsmc {
+
+class OutStream;
+
 namespace obs {
 
 /// What happened. See EventSink.cpp for the stable wire names.
@@ -68,6 +71,11 @@ struct ObsEvent {
   uint64_t ArgA = 0;     ///< Kind-specific (step index, edge count, ...).
   uint64_t ArgB = 0;     ///< Kind-specific.
   const char *Detail = nullptr; ///< Static string (verdict name, ...).
+  /// ExecutionEnd only: the execution's Knuth leaf mass (product of
+  /// 1/branch-factor along its path) when tree-size estimation is on.
+  /// Negative = absent; the trace line then carries no "mass" field, so
+  /// estimator-off traces keep their historical bytes.
+  double Mass = -1;
 };
 
 const char *eventKindName(EventKind K);
@@ -88,13 +96,17 @@ public:
 /// (see file comment). The stream is valid JSON once close() runs and
 /// still loads in Perfetto if the process dies mid-trace (the array
 /// format tolerates a missing terminator).
+///
+/// Output goes through OutStream, so "-" routes the trace to stdout and
+/// each event line lands atomically with respect to the progress
+/// reporter, summaries and stats-json sharing the terminal.
 class JsonlTraceSink final : public EventSink {
 public:
-  /// Opens \p Path for writing; valid() reports failure.
+  /// Opens \p Path for writing ("-" = stdout); valid() reports failure.
   explicit JsonlTraceSink(const std::string &Path);
   ~JsonlTraceSink() override;
 
-  bool valid() const { return F != nullptr; }
+  bool valid() const { return Out != nullptr; }
 
   void event(const ObsEvent &E) override;
   void flush() override;
@@ -103,8 +115,9 @@ public:
   void close();
 
 private:
-  std::FILE *F = nullptr;
-  std::mutex M;
+  OutStream *Out = nullptr;         ///< Where events go; null = open failed.
+  std::unique_ptr<OutStream> Owned; ///< Backing file stream, unless stdout.
+  std::mutex M;                     ///< Guards Emitted and Closed.
   uint64_t Emitted = 0;
   bool Closed = false;
 };

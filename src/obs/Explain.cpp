@@ -1,0 +1,118 @@
+//===- obs/Explain.cpp ----------------------------------------------------===//
+
+#include "obs/Explain.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace fsmc;
+using namespace fsmc::obs;
+
+/// "{0,2,5}" for a thread-id bitmask.
+static std::string renderMask(uint64_t Mask) {
+  std::string Out = "{";
+  bool First = true;
+  for (int T = 0; T < 64; ++T)
+    if ((Mask >> T) & 1) {
+      if (!First)
+        Out += ",";
+      Out += std::to_string(T);
+      First = false;
+    }
+  Out += "}";
+  return Out;
+}
+
+static void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  vsnprintf(Buf, sizeof Buf, Fmt, Ap);
+  va_end(Ap);
+  Out += Buf;
+}
+
+std::string fsmc::obs::renderExplainTimeline(const ExplainLog &Log,
+                                             const CheckResult &R,
+                                             const std::string &ProgramName) {
+  std::string Out;
+  appendf(Out, "fsmc explain: %s\n", ProgramName.c_str());
+  appendf(Out, "verdict: %s\n", verdictName(R.Kind));
+  if (R.Bug)
+    appendf(Out, "bug: %s (at step %" PRIu64 ")\n", R.Bug->Message.c_str(),
+            R.Bug->AtStep);
+  appendf(Out, "steps: %zu  end: %s\n", Log.Steps.size(),
+          Log.EndDetail.empty() ? "?" : Log.EndDetail.c_str());
+
+  // Column widths sized to the content so the table stays readable for
+  // long thread or object names.
+  size_t NameW = 6, OpW = 9;
+  for (const ExplainStep &S : Log.Steps) {
+    NameW = std::max(NameW, S.ThreadName.size());
+    size_t OpLen = std::string(opKindName(S.Op)).size() +
+                   (S.Object.empty() ? 0 : S.Object.size() + 1);
+    OpW = std::max(OpW, OpLen);
+  }
+
+  // The bug fires on its last executed transition -- except a deadlock,
+  // which is a property of the state *after* the last step, spelled out
+  // in the cycle section below instead.
+  size_t FailIdx = size_t(-1);
+  if (R.Bug && R.Kind != Verdict::Deadlock && !Log.Steps.empty() &&
+      Log.EndDetail == "bug")
+    FailIdx = Log.Steps.size() - 1;
+
+  appendf(Out, "\n%5s  %-*s  %-*s  %-12s  %s\n", "step", int(NameW), "thread",
+          int(OpW), "operation", "enabled", "notes");
+  for (size_t I = 0; I < Log.Steps.size(); ++I) {
+    const ExplainStep &S = Log.Steps[I];
+    std::string Op = opKindName(S.Op);
+    if (!S.Object.empty())
+      Op += " " + S.Object;
+    std::string Notes;
+    if (S.Choices > 1)
+      appendf(Notes, "%d-way choice, picked %d", S.Choices, S.ChosenIdx);
+    if (S.SleepMask) {
+      if (!Notes.empty())
+        Notes += "; ";
+      Notes += "sleep=" + renderMask(S.SleepMask);
+    }
+    if (S.WasYield) {
+      if (!Notes.empty())
+        Notes += "; ";
+      Notes += "yield";
+    }
+    if (I == FailIdx) {
+      if (!Notes.empty())
+        Notes += "; ";
+      Notes += "<<< fails here";
+    }
+    appendf(Out, "%5zu  %-*s  %-*s  %-12s  %s\n", I, int(NameW),
+            S.ThreadName.c_str(), int(OpW), Op.c_str(),
+            renderMask(S.EnabledMask).c_str(), Notes.c_str());
+  }
+
+  if (!Log.Blocked.empty()) {
+    appendf(Out, "\ndeadlock: %zu threads blocked, none enabled\n",
+            Log.Blocked.size());
+    for (const ExplainBlocked &B : Log.Blocked) {
+      std::string On = opKindName(B.Op);
+      if (!B.Object.empty())
+        On += " on " + B.Object;
+      appendf(Out, "  %s waits for %s\n", B.ThreadName.c_str(), On.c_str());
+    }
+  }
+
+  bool RaceHeader = false;
+  for (const BugReport &I : R.Incidents)
+    if (I.Kind == Verdict::DataRace) {
+      if (!RaceHeader) {
+        Out += "\ndata races on this schedule:\n";
+        RaceHeader = true;
+      }
+      appendf(Out, "  %s\n", I.Message.c_str());
+    }
+  return Out;
+}

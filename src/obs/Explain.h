@@ -1,0 +1,78 @@
+//===- obs/Explain.h - Incident explainer ----------------------*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a recorded schedule as a human-readable thread-by-step
+/// interleaving timeline, so a deadlock or race incident is diagnosable
+/// without reading the fsmc1 wire format: one row per executed
+/// transition (thread, visible operation, object, enabled set, POR sleep
+/// set, branch factor), the failing step flagged, and -- for deadlocks --
+/// the wait cycle spelled out from each blocked thread's pending
+/// operation.
+///
+/// The Explorer fills an ExplainLog when one is attached via
+/// setExplainLog (strings are resolved while the Runtime is alive, since
+/// a stateless checker discards all program state between executions);
+/// `fsmc_run --explain` drives a single frozen replay with the log
+/// attached and prints renderExplainTimeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_OBS_EXPLAIN_H
+#define FSMC_OBS_EXPLAIN_H
+
+#include "core/Checker.h"
+#include "runtime/PendingOp.h"
+
+#include <string>
+#include <vector>
+
+namespace fsmc {
+namespace obs {
+
+/// One executed transition, with every id resolved to its name.
+struct ExplainStep {
+  int Thread = -1;
+  std::string ThreadName;
+  OpKind Op = OpKind::ThreadStart;
+  std::string Object;      ///< Modeled object name; empty if none.
+  uint64_t Annotation = 0; ///< User annotation value at the step.
+  bool WasYield = false;
+  uint64_t EnabledMask = 0; ///< Enabled set before the step.
+  uint64_t SleepMask = 0;   ///< POR sleep set at the choice point.
+  int Choices = 1;          ///< Scheduling candidates (1 = forced move).
+  int ChosenIdx = 0;        ///< Index picked among the candidates.
+};
+
+/// A thread left blocked when the execution deadlocked.
+struct ExplainBlocked {
+  int Thread = -1;
+  std::string ThreadName;
+  OpKind Op = OpKind::ThreadStart;
+  std::string Object;
+};
+
+/// Everything the Explorer recorded for one replayed execution.
+struct ExplainLog {
+  std::vector<ExplainStep> Steps;
+  /// Stable end-class wire name: terminated / bug / abandoned / pruned /
+  /// diverged.
+  std::string EndDetail;
+  std::vector<ExplainBlocked> Blocked;
+};
+
+/// Renders the timeline. \p R supplies the verdict, the bug report (for
+/// the failing-step flag and message) and race incidents (whose messages
+/// name the racing accesses).
+std::string renderExplainTimeline(const ExplainLog &Log,
+                                  const CheckResult &R,
+                                  const std::string &ProgramName);
+
+} // namespace obs
+} // namespace fsmc
+
+#endif // FSMC_OBS_EXPLAIN_H

@@ -43,6 +43,10 @@ public:
     /// Fill the scheduling-point latency histogram. Costs two clock
     /// reads per transition, so off by default.
     bool StepTiming = false;
+    /// Fill the wall-time phase buckets (replay / execute / race-check /
+    /// snapshot). Two clock reads per execution plus two per
+    /// coverage-signature lookup, so off by default.
+    bool PhaseTiming = false;
   };
 
   Observer() : Observer(Config()) {}
@@ -54,6 +58,7 @@ public:
   EventSink *sink() const { return Cfg.Sink; }
   bool traceTransitions() const { return Cfg.Sink && Cfg.TraceTransitions; }
   bool stepTiming() const { return Cfg.StepTiming; }
+  bool phaseTiming() const { return Cfg.PhaseTiming; }
 
 private:
   Config Cfg;

@@ -101,6 +101,23 @@ std::string ProgressReporter::formatLine(double ElapsedSeconds,
     std::snprintf(Buf, sizeof(Buf), " eta=%.0fs", Eta > 0 ? Eta : 0.0);
     Line += Buf;
   }
+  // Online tree-size estimate: progress % is the explored mass, est the
+  // projected total execution count, eta_est the remaining work at the
+  // cumulative average rate. Early in a run the estimate is biased by
+  // whichever subtrees DFS finished first (docs/OBSERVABILITY.md).
+  if (Cfg.Estimate && S.EstimateMass > 0 && Execs > 0) {
+    double Mass = S.EstimateMass < 1.0 ? S.EstimateMass : 1.0;
+    double Est = double(Execs) / S.EstimateMass;
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), " progress=%.1f%% est=%s", Mass * 100.0,
+                  compactCount(uint64_t(Est + 0.5)).c_str());
+    Line += Buf;
+    if (AvgRate > 0.1 && Est > double(Execs)) {
+      std::snprintf(Buf, sizeof(Buf), " eta_est=%.0fs",
+                    (Est - double(Execs)) / AvgRate);
+      Line += Buf;
+    }
+  }
   Line += '\n';
   return Line;
 }

@@ -48,6 +48,10 @@ public:
     uint64_t MaxExecutions = 0;
     /// Number of search workers, shown as `workers=N`; 0 hides the field.
     int Jobs = 0;
+    /// Tree-size estimation is on (CheckerOptions::Estimate): append
+    /// `progress=…% est=… eta_est=…` from the live weighted-backtrack
+    /// mass. Off keeps the historical line shape.
+    bool Estimate = false;
   };
 
   /// Starts the reporter thread immediately; prints to \p OS.

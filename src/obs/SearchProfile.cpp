@@ -1,0 +1,64 @@
+//===- obs/SearchProfile.cpp ----------------------------------------------===//
+
+#include "obs/SearchProfile.h"
+
+using namespace fsmc;
+using namespace fsmc::obs;
+
+static size_t branchBucket(int Num) {
+  size_t B = Num >= 2 ? size_t(Num) - 2 : 0;
+  return B < ProfileBranchBuckets ? B : ProfileBranchBuckets - 1;
+}
+
+static size_t depthBucket(uint64_t D) {
+  size_t B = 0;
+  while (B + 1 < ProfileDepthBuckets && (uint64_t(1) << (B + 1)) <= D + 1)
+    ++B;
+  return B;
+}
+
+void SearchProfile::noteBranch(unsigned Kind, int Num, uint64_t D) {
+  OpClassStats &S = Ops[Kind < OpKindSlots ? Kind : OpKindSlots - 1];
+  ++S.BranchPoints;
+  S.Alternatives += uint64_t(Num - 1);
+  ++BranchFactor[branchBucket(Num)];
+  ++Depth[depthBucket(D)];
+}
+
+void SearchProfile::noteObject(const std::string &Name, int Num) {
+  if (Name.empty())
+    return;
+  OpClassStats &S = Objects[Name];
+  ++S.BranchPoints;
+  S.Alternatives += uint64_t(Num - 1);
+}
+
+void SearchProfile::noteChoose(int Num, uint64_t D) {
+  ++Choose.BranchPoints;
+  Choose.Alternatives += uint64_t(Num - 1);
+  ++BranchFactor[branchBucket(Num)];
+  ++Depth[depthBucket(D)];
+}
+
+void SearchProfile::notePorSleep(unsigned Kind, uint64_t N) {
+  Ops[Kind < OpKindSlots ? Kind : OpKindSlots - 1].PorSleepHits += N;
+}
+
+uint64_t SearchProfile::totalBranchPoints() const {
+  uint64_t Total = Choose.BranchPoints;
+  for (const OpClassStats &S : Ops)
+    Total += S.BranchPoints;
+  return Total;
+}
+
+void SearchProfile::merge(const SearchProfile &O) {
+  for (size_t I = 0; I < OpKindSlots; ++I)
+    Ops[I].merge(O.Ops[I]);
+  Choose.merge(O.Choose);
+  for (const auto &[Name, S] : O.Objects)
+    Objects[Name].merge(S);
+  for (size_t I = 0; I < ProfileBranchBuckets; ++I)
+    BranchFactor[I] += O.BranchFactor[I];
+  for (size_t I = 0; I < ProfileDepthBuckets; ++I)
+    Depth[I] += O.Depth[I];
+}

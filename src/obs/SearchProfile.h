@@ -1,0 +1,94 @@
+//===- obs/SearchProfile.h - Schedule-point hotspot profiling --*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Where does the interleaving explosion come from? The profile answers
+/// by attributing every *fresh* DFS branch point (a scheduling or data
+/// choice with >= 2 alternatives, pushed for the first time -- replayed
+/// prefixes are not re-counted) to the visible operation class and the
+/// modeled object at that point, plus branch-factor and depth
+/// distributions and per-class POR-pruning attribution.
+///
+/// Collection is gated on CheckerOptions::ProfileSearch and costs one
+/// pointer test per transition when off. Parallel workers and resumed run
+/// parts each fill a private profile, merged with merge() -- the same
+/// single-writer-then-sum discipline as SearchStats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_OBS_SEARCHPROFILE_H
+#define FSMC_OBS_SEARCHPROFILE_H
+
+#include "obs/Counters.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fsmc {
+namespace obs {
+
+/// Branch-factor histogram: bucket i counts branch points with i + 2
+/// alternatives; the last bucket absorbs everything wider.
+constexpr size_t ProfileBranchBuckets = 16;
+/// Depth histogram: log2 buckets, bucket i counts branch points at
+/// transition depth in [2^i - 1, 2^(i+1) - 1).
+constexpr size_t ProfileDepthBuckets = 32;
+
+/// Schedule-point hotspot profile (CheckResult::Profile).
+struct SearchProfile {
+  struct OpClassStats {
+    /// Fresh DFS branch points attributed to this class.
+    uint64_t BranchPoints = 0;
+    /// Untried alternatives those points opened: sum of (branch factor
+    /// - 1) -- the future work the class generated.
+    uint64_t Alternatives = 0;
+    /// Sleeping candidates of this class filtered by POR (--por=on):
+    /// which op classes the reduction is earning its keep on.
+    uint64_t PorSleepHits = 0;
+
+    void merge(const OpClassStats &O) {
+      BranchPoints += O.BranchPoints;
+      Alternatives += O.Alternatives;
+      PorSleepHits += O.PorSleepHits;
+    }
+    bool empty() const {
+      return !BranchPoints && !Alternatives && !PorSleepHits;
+    }
+  };
+
+  /// Scheduling branch points by the executed operation's kind
+  /// (indexed by OpKind; same slot layout as WorkerCounters::Ops).
+  OpClassStats Ops[OpKindSlots];
+  /// Data-nondeterminism branch points (Runtime::chooseInt).
+  OpClassStats Choose;
+  /// Per-object attribution, keyed by the runtime object name; a std::map
+  /// so reports iterate in a deterministic order.
+  std::map<std::string, OpClassStats> Objects;
+  uint64_t BranchFactor[ProfileBranchBuckets] = {};
+  uint64_t Depth[ProfileDepthBuckets] = {};
+
+  /// Records one fresh branch point: \p Num alternatives at transition
+  /// depth \p D, attributed to op slot \p Kind (histograms included).
+  void noteBranch(unsigned Kind, int Num, uint64_t D);
+  /// Records the same point against object \p Name (empty = skip).
+  void noteObject(const std::string &Name, int Num);
+  /// Records a chooseInt branch point (histograms included).
+  void noteChoose(int Num, uint64_t D);
+  /// Records \p N sleeping candidates of op slot \p Kind filtered by POR.
+  void notePorSleep(unsigned Kind, uint64_t N = 1);
+
+  /// Total scheduling + data branch points recorded.
+  uint64_t totalBranchPoints() const;
+
+  void merge(const SearchProfile &O);
+};
+
+} // namespace obs
+} // namespace fsmc
+
+#endif // FSMC_OBS_SEARCHPROFILE_H

@@ -3,10 +3,12 @@
 #include "obs/StatsJson.h"
 
 #include "obs/Observer.h"
+#include "obs/SearchProfile.h"
 #include "runtime/PendingOp.h"
 #include "support/OutStream.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 using namespace fsmc;
@@ -136,6 +138,76 @@ void appendKVStr(std::string &Out, const char *Key, std::string_view V,
   Out += '\n';
 }
 
+/// One profile class row: { "branch_points": n, "alternatives": n[,
+/// "por_sleep_hits": n] }, appended without a trailing comma.
+void appendProfileClass(std::string &Out, std::string_view Key,
+                        const SearchProfile::OpClassStats &C) {
+  Out += "      \"";
+  appendJsonEscaped(Out, Key);
+  Out += "\": { \"branch_points\": " + std::to_string(C.BranchPoints) +
+         ", \"alternatives\": " + std::to_string(C.Alternatives);
+  if (C.PorSleepHits)
+    Out += ", \"por_sleep_hits\": " + std::to_string(C.PorSleepHits);
+  Out += " }";
+}
+
+/// The "profile" section (--profile-search): per-op-class and per-object
+/// branch-point attribution plus branch-factor and depth histograms,
+/// non-zero rows only.
+void appendProfile(std::string &Out, const SearchProfile &P) {
+  Out += "  \"profile\": {\n";
+  appendKV(Out, "branch_points", P.totalBranchPoints(), true);
+
+  std::string Rows;
+  for (unsigned I = 0; I < OpKindSlots; ++I) {
+    if (P.Ops[I].empty())
+      continue;
+    if (!Rows.empty())
+      Rows += ",\n";
+    appendProfileClass(Rows, opKindName(OpKind(I)), P.Ops[I]);
+  }
+  if (!P.Choose.empty()) {
+    if (!Rows.empty())
+      Rows += ",\n";
+    appendProfileClass(Rows, "choose", P.Choose);
+  }
+  Out += "    \"ops\": {\n" + Rows + "\n    },\n";
+
+  Rows.clear();
+  for (const auto &[Name, C] : P.Objects) {
+    if (!Rows.empty())
+      Rows += ",\n";
+    appendProfileClass(Rows, Name, C);
+  }
+  if (!Rows.empty())
+    Out += "    \"objects\": {\n" + Rows + "\n    },\n";
+
+  Rows.clear();
+  for (unsigned I = 0; I < ProfileBranchBuckets; ++I) {
+    if (!P.BranchFactor[I])
+      continue;
+    if (!Rows.empty())
+      Rows += ",\n";
+    Rows += "      \"" +
+            (I + 1 == ProfileBranchBuckets ? ">=" + std::to_string(I + 2)
+                                           : std::to_string(I + 2)) +
+            "\": " + std::to_string(P.BranchFactor[I]);
+  }
+  Out += "    \"branch_factor_hist\": {\n" + Rows + "\n    },\n";
+
+  Rows.clear();
+  for (unsigned I = 0; I < ProfileDepthBuckets; ++I) {
+    if (!P.Depth[I])
+      continue;
+    if (!Rows.empty())
+      Rows += ",\n";
+    uint64_t Lo = (uint64_t(1) << I) - 1;
+    Rows += "      \"" + std::to_string(Lo) +
+            "\": " + std::to_string(P.Depth[I]);
+  }
+  Out += "    \"depth_hist\": {\n" + Rows + "\n    }\n  },\n";
+}
+
 } // namespace
 
 std::string fsmc::obs::renderStatsJson(const CheckResult &R,
@@ -231,14 +303,68 @@ std::string fsmc::obs::renderStatsJson(const CheckResult &R,
   appendKVBool(Out, "search_exhausted", S.SearchExhausted, false);
   Out += "  },\n";
 
+  // The sections below are each gated on their own opt-in flag (or on the
+  // data existing at all), so default reports keep their legacy bytes.
+  if (Info.Options && Info.Options->Estimate) {
+    uint64_t Est = 0;
+    double Pct = 0;
+    if (S.EstimateMass > 0 && S.Executions) {
+      Est = uint64_t(std::llround(double(S.Executions) / S.EstimateMass));
+      // Parallel merge order can push the float sum a hair past 1.0.
+      double Mass = S.EstimateMass < 1.0 ? S.EstimateMass : 1.0;
+      Pct = 100.0 * Mass;
+    }
+    char Buf[192];
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"estimate\": {\n    \"explored_mass\": %.9g,\n"
+                  "    \"estimated_total_executions\": %" PRIu64 ",\n"
+                  "    \"progress_pct\": %.3f\n  },\n",
+                  S.EstimateMass, Est, Pct);
+    Out += Buf;
+  }
+
+  if (Info.Options && Info.Options->TrackCoverage) {
+    uint64_t Lookups = S.DistinctStates + S.StateHits;
+    double HitRate = Lookups ? double(S.StateHits) / double(Lookups) : 0;
+    Out += "  \"coverage\": {\n";
+    appendKV(Out, "distinct_states", S.DistinctStates, true);
+    appendKV(Out, "state_hits", S.StateHits, true);
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "    \"hit_rate\": %.4f\n", HitRate);
+    Out += Buf;
+    Out += "  },\n";
+  }
+
+  if (R.Profile)
+    appendProfile(Out, *R.Profile);
+
   if (Info.Timing) {
     char Buf[160];
     double Rate = S.Seconds > 0 ? double(S.Executions) / S.Seconds : 0;
     std::snprintf(Buf, sizeof(Buf),
                   "  \"timing\": {\n    \"elapsed_ms\": %.3f,\n"
-                  "    \"execs_per_sec\": %.1f\n  },\n",
+                  "    \"execs_per_sec\": %.1f",
                   S.Seconds * 1000.0, Rate);
     Out += Buf;
+    // Phase split, present only when phase timing actually ran (the
+    // counters stay zero otherwise), so plain --timing keeps its bytes.
+    if (Info.Obs) {
+      CounterSnapshot C = Info.Obs->snapshot();
+      uint64_t Total = 0;
+      for (unsigned I = 0; I < unsigned(Phase::NumPhases); ++I)
+        Total += C.PhaseNs[I];
+      if (Total) {
+        Out += ",\n    \"phases_ms\": {\n";
+        for (unsigned I = 0; I < unsigned(Phase::NumPhases); ++I) {
+          std::snprintf(Buf, sizeof(Buf), "      \"%s\": %.3f%s\n",
+                        phaseName(Phase(I)), double(C.PhaseNs[I]) / 1e6,
+                        I + 1 < unsigned(Phase::NumPhases) ? "," : "");
+          Out += Buf;
+        }
+        Out += "    }";
+      }
+    }
+    Out += "\n  },\n";
   }
 
   if (Info.Obs) {

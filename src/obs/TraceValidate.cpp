@@ -385,6 +385,28 @@ bool fsmc::obs::validateTraceFile(const std::string &Path, std::string &Err,
       if (!Dur || Dur->T != JsonValue::Type::Number)
         return Fail("'X' event missing numeric 'dur'");
     }
+    // args is optional, but when present it must be an object, and the
+    // typed fields the exporter can emit must have their declared types.
+    // Unknown args keys pass: readers skip fields they don't know, so the
+    // schema stays forward-compatible as new telemetry lands.
+    if (const JsonValue *Args = Ev.find("args")) {
+      if (!Args->isObject())
+        return Fail("'args' is not an object");
+      if (const JsonValue *Mass = Args->find("mass")) {
+        if (Mass->T != JsonValue::Type::Number || Mass->Num <= 0 ||
+            Mass->Num > 1.0)
+          return Fail("'args.mass' must be a number in (0, 1]");
+      }
+      for (const char *Key : {"steps", "step"}) {
+        const JsonValue *V = Args->find(Key);
+        if (V && V->T != JsonValue::Type::Number)
+          return Fail("'args.steps'/'args.step' must be numeric");
+      }
+      if (const JsonValue *End = Args->find("end")) {
+        if (End->T != JsonValue::Type::String)
+          return Fail("'args.end' must be a string");
+      }
+    }
     if (!isMeta(Ev))
       ++Events;
   }

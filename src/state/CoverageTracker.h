@@ -22,14 +22,25 @@
 namespace fsmc {
 
 /// A set of visited state signatures with hit statistics.
+///
+/// Accounting: every record() call lands in exactly one of two buckets.
+/// A signature seen for the first time grows distinct(); a repeat
+/// sighting increments hits(). So records() == distinct() + hits() is
+/// the total number of record() calls, and hits() / records() is the
+/// revisit rate -- the fraction stats-json reports as coverage.hit_rate
+/// (high on searches that keep reaching already-seen states).
 class CoverageTracker {
 public:
   /// Records \p Sig. \returns true if it was new.
   bool record(uint64_t Sig);
 
   bool contains(uint64_t Sig) const { return States.count(Sig) != 0; }
+  /// Signatures seen at least once (stats-json coverage.distinct_states).
   uint64_t distinct() const { return States.size(); }
+  /// Repeat sightings only: record() calls whose signature was already
+  /// present. NOT the total call count -- that is records().
   uint64_t hits() const { return Hits; }
+  /// Total record() calls: first sightings plus repeats.
   uint64_t records() const { return Hits + States.size(); }
 
   /// Fraction of \p Reference's states present here, in [0, 1].

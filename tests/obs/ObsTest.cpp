@@ -247,6 +247,63 @@ TEST(TraceValidator, RejectsMalformedTraces) {
   EXPECT_FALSE(validateTraceFile(P, Err));
 }
 
+TEST(TraceValidator, ArgsFieldTyping) {
+  std::string Err;
+  const std::string P = tempPath("args_trace.json");
+  // Wraps one event in the meta records every valid trace carries.
+  auto Trace = [](const std::string &Event) {
+    return "[\n{\"name\":\"fsmc_trace\",\"cat\":\"meta\",\"ph\":\"i\","
+           "\"ts\":0,\"pid\":0,\"tid\":0},\n" +
+           Event +
+           ",\n{\"name\":\"fsmc_trace_end\",\"cat\":\"meta\",\"ph\":\"i\","
+           "\"ts\":0,\"pid\":0,\"tid\":0}\n]";
+  };
+
+  // args must be an object when present.
+  writeFile(P, Trace("{\"name\":\"x\",\"cat\":\"execution\",\"ph\":\"X\","
+                     "\"ts\":0,\"dur\":1,\"pid\":0,\"tid\":0,\"args\":[1]}"));
+  EXPECT_FALSE(validateTraceFile(P, Err));
+  EXPECT_NE(Err.find("'args'"), std::string::npos) << Err;
+
+  // args.mass must be numeric...
+  writeFile(P,
+            Trace("{\"name\":\"x\",\"cat\":\"execution\",\"ph\":\"X\","
+                  "\"ts\":0,\"dur\":1,\"pid\":0,\"tid\":0,"
+                  "\"args\":{\"mass\":\"0.5\"}}"));
+  EXPECT_FALSE(validateTraceFile(P, Err));
+
+  // ...and a probability: in (0, 1].
+  writeFile(P, Trace("{\"name\":\"x\",\"cat\":\"execution\",\"ph\":\"X\","
+                     "\"ts\":0,\"dur\":1,\"pid\":0,\"tid\":0,"
+                     "\"args\":{\"mass\":1.5}}"));
+  EXPECT_FALSE(validateTraceFile(P, Err));
+  writeFile(P, Trace("{\"name\":\"x\",\"cat\":\"execution\",\"ph\":\"X\","
+                     "\"ts\":0,\"dur\":1,\"pid\":0,\"tid\":0,"
+                     "\"args\":{\"mass\":0}}"));
+  EXPECT_FALSE(validateTraceFile(P, Err));
+
+  // steps/end carry declared types.
+  writeFile(P, Trace("{\"name\":\"x\",\"cat\":\"execution\",\"ph\":\"X\","
+                     "\"ts\":0,\"dur\":1,\"pid\":0,\"tid\":0,"
+                     "\"args\":{\"steps\":\"two\"}}"));
+  EXPECT_FALSE(validateTraceFile(P, Err));
+  writeFile(P, Trace("{\"name\":\"x\",\"cat\":\"execution\",\"ph\":\"X\","
+                     "\"ts\":0,\"dur\":1,\"pid\":0,\"tid\":0,"
+                     "\"args\":{\"end\":7}}"));
+  EXPECT_FALSE(validateTraceFile(P, Err));
+
+  // A well-formed mass passes, and unknown args keys are accepted so new
+  // telemetry can land without a schema bump.
+  size_t Events = 0;
+  writeFile(P,
+            Trace("{\"name\":\"x\",\"cat\":\"execution\",\"ph\":\"X\","
+                  "\"ts\":0,\"dur\":1,\"pid\":0,\"tid\":0,"
+                  "\"args\":{\"steps\":2,\"end\":\"terminated\","
+                  "\"mass\":0.125,\"future_field\":[1,2]}}"));
+  EXPECT_TRUE(validateTraceFile(P, Err, &Events)) << Err;
+  EXPECT_EQ(Events, 1u);
+}
+
 TEST(TraceValidator, SinkOutputRoundTrips) {
   const std::string P = tempPath("sink_trace.json");
   {
@@ -268,6 +325,7 @@ TEST(TraceValidator, SinkOutputRoundTrips) {
     E.Dur = 1;
     E.ArgA = 1;
     E.Detail = "terminated";
+    E.Mass = 0.25; // estimator on: the leaf mass rides in args.mass
     Sink.event(E);
 
     ObsEvent B;
@@ -294,6 +352,8 @@ TEST(TraceValidator, SinkOutputRoundTrips) {
   EXPECT_EQ(Norm[0].find("\"pid\""), std::string::npos);
   EXPECT_EQ(Norm[0].find("\"ts\""), std::string::npos);
   EXPECT_NE(Norm[0].find("\"name\":\"lock\""), std::string::npos);
+  // The execution event's Mass round-trips as args.mass.
+  EXPECT_NE(Norm[1].find("\"mass\":0.25"), std::string::npos) << Norm[1];
 
   std::vector<std::string> NoVerdict;
   ASSERT_TRUE(loadNormalizedEvents(P, true, {"verdict"}, NoVerdict, Err));
@@ -333,14 +393,18 @@ TEST(GoldenTrace, SchemaV1Validates) {
   std::string Err;
   size_t Events = 0;
   ASSERT_TRUE(validateTraceFile(P, Err, &Events)) << Err;
-  EXPECT_EQ(Events, 5u);
+  EXPECT_EQ(Events, 6u);
 
   std::vector<std::string> Norm;
   ASSERT_TRUE(loadNormalizedEvents(P, true, {}, Norm, Err)) << Err;
-  ASSERT_EQ(Norm.size(), 5u);
+  ASSERT_EQ(Norm.size(), 6u);
   EXPECT_EQ(Norm[0],
             "{\"args\":{\"obj\":-1,\"step\":0},\"cat\":\"transition\","
             "\"dur\":1,\"name\":\"start\",\"ph\":\"X\",\"tid\":0}");
+  // The estimator's optional mass field is part of schema v1: present on
+  // estimator-on executions, absent otherwise (both forms in the golden).
+  EXPECT_EQ(Norm[3].find("\"mass\""), std::string::npos) << Norm[3];
+  EXPECT_NE(Norm[4].find("\"mass\":0.25"), std::string::npos) << Norm[4];
 }
 
 } // namespace

@@ -79,6 +79,49 @@ int run(const std::vector<std::string> &Args) {
   return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
 }
 
+/// Like run(), but captures the child's stdout into \p Out (for --explain
+/// and other reports that print to the terminal rather than a file).
+int runCapture(const std::vector<std::string> &Args, const std::string &Dir,
+               std::string &Out) {
+  std::string Path = Dir + "/stdout.txt";
+  pid_t Pid = fork();
+  if (Pid < 0)
+    return -2;
+  if (Pid == 0) {
+    FILE *F = std::fopen(Path.c_str(), "w");
+    FILE *Null = std::fopen("/dev/null", "w");
+    if (F)
+      dup2(fileno(F), 1);
+    if (Null)
+      dup2(fileno(Null), 2);
+    std::vector<char *> Argv;
+    std::string Bin = runBinary();
+    Argv.push_back(Bin.data());
+    std::vector<std::string> Copy = Args;
+    for (std::string &A : Copy)
+      Argv.push_back(A.data());
+    Argv.push_back(nullptr);
+    execv(Argv[0], Argv.data());
+    _exit(127);
+  }
+  int Status = 0;
+  while (waitpid(Pid, &Status, 0) < 0 && errno == EINTR) {
+  }
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+/// First integer after `"Key": ` in a stats-json body, or -1.
+long long jsonInt(const std::string &Json, const std::string &Key) {
+  size_t At = Json.find("\"" + Key + "\": ");
+  if (At == std::string::npos)
+    return -1;
+  return atoll(Json.c_str() + At + Key.size() + 4);
+}
+
 std::string slurp(const std::string &Path) {
   std::ifstream In(Path);
   std::stringstream SS;
@@ -223,4 +266,133 @@ TEST_F(RunTool, PeriodicCheckpointsAppearDuringTheRun) {
 
 TEST_F(RunTool, CheckpointEveryRequiresAFile) {
   EXPECT_EQ(run({"--program=peterson", "--checkpoint-every=10"}), 2);
+}
+
+TEST_F(RunTool, EstimateIsExactAtExhaustion) {
+  // Knuth's estimator telescopes to the truth on a fully explored tree:
+  // at exhaustion the explored mass is exactly 1 and the projected total
+  // equals the executions actually counted.
+  std::string Stats = Dir + "/stats.json";
+  ASSERT_EQ(run({"--program=peterson", "--cb=1", "--estimate",
+                 "--stats-json=" + Stats, "--quiet"}),
+            0);
+  std::string Json = slurp(Stats);
+  EXPECT_TRUE(contains(Json, "\"explored_mass\": 1,")) << Json;
+  EXPECT_TRUE(contains(Json, "\"progress_pct\": 100.000")) << Json;
+  long long Execs = jsonInt(Json, "executions");
+  long long Est = jsonInt(Json, "estimated_total_executions");
+  ASSERT_GT(Execs, 0);
+  EXPECT_EQ(Est, Execs) << Json;
+}
+
+TEST_F(RunTool, EstimateSurvivesCheckpointResume) {
+  // A mid-run checkpoint freezes the partial mass (a hexfloat `statf`
+  // record); resuming -- serial or parallel -- must finish with the same
+  // final estimate as the uninterrupted run. The execution cap stops the
+  // first run past a periodic checkpoint but well before exhaustion.
+  std::string Ckpt = Dir + "/est.ckpt";
+  std::string StraightStats = Dir + "/straight.json";
+  ASSERT_EQ(run({"--program=peterson", "--cb=1", "--estimate",
+                 "--stats-json=" + StraightStats, "--quiet"}),
+            0);
+  long long Truth = jsonInt(slurp(StraightStats), "estimated_total_executions");
+  ASSERT_GT(Truth, 0);
+
+  ASSERT_EQ(run({"--program=peterson", "--cb=1", "--estimate",
+                 "--executions=30", "--checkpoint=" + Ckpt,
+                 "--checkpoint-every=10", "--quiet"}),
+            0);
+  std::string CkptText = slurp(Ckpt);
+  ASSERT_TRUE(contains(CkptText, "statf estimate_mass 0x"))
+      << CkptText.substr(0, 200);
+
+  for (const char *Jobs : {"--jobs=1", "--jobs=4"}) {
+    std::string Stats = Dir + "/resume.json";
+    ASSERT_EQ(run({"--resume=" + Ckpt, "--cb=1", "--estimate", Jobs,
+                   "--stats-json=" + Stats, "--quiet"}),
+              0)
+        << Jobs;
+    std::string Json = slurp(Stats);
+    EXPECT_TRUE(contains(Json, "\"explored_mass\": 1,")) << Jobs << Json;
+    EXPECT_EQ(jsonInt(Json, "estimated_total_executions"), Truth) << Json;
+  }
+}
+
+TEST_F(RunTool, ExplainNamesTheDeadlockCycle) {
+  // --explain replays a repro schedule and renders the thread x step
+  // timeline plus a verdict-specific epilogue; for a deadlock that is
+  // the wait cycle, by thread and object name.
+  std::string Repro = Dir + "/repros";
+  ASSERT_EQ(run({"--program=dining-deadlock", "--repro-dir=" + Repro,
+                 "--quiet"}),
+            1);
+  std::string Sched = firstSched(Repro);
+  ASSERT_FALSE(Sched.empty());
+
+  std::string Out;
+  EXPECT_EQ(runCapture({"--program=dining-deadlock", "--explain=" + Sched},
+                       Dir, Out),
+            1);
+  EXPECT_TRUE(contains(Out, "verdict: deadlock")) << Out;
+  EXPECT_TRUE(contains(Out, "step  thread")) << Out;
+  EXPECT_TRUE(contains(Out, "phil0 waits for lock on fork1")) << Out;
+  EXPECT_TRUE(contains(Out, "phil1 waits for lock on fork0")) << Out;
+  EXPECT_TRUE(contains(Out, "main waits for join")) << Out;
+
+  // The directory form explains every .sched file under a header line.
+  EXPECT_EQ(runCapture({"--program=dining-deadlock", "--explain=" + Repro},
+                       Dir, Out),
+            1);
+  EXPECT_TRUE(contains(Out, "== ")) << Out;
+  EXPECT_TRUE(contains(Out, ".sched ==")) << Out;
+}
+
+TEST_F(RunTool, ExplainFlagsTheRacingStep) {
+  std::string Repro = Dir + "/repros";
+  ASSERT_EQ(run({"--program=wsq-racy", "--races=fatal", "--cb=2",
+                 "--repro-dir=" + Repro, "--quiet"}),
+            7);
+  std::string Sched = firstSched(Repro);
+  ASSERT_FALSE(Sched.empty());
+
+  std::string Out;
+  EXPECT_EQ(runCapture({"--program=wsq-racy", "--races=fatal",
+                        "--explain=" + Sched},
+                       Dir, Out),
+            7);
+  EXPECT_TRUE(contains(Out, "verdict: data race")) << Out;
+  // The failing step is flagged in the timeline, and the epilogue names
+  // the racing accesses.
+  EXPECT_TRUE(contains(Out, "<<< fails here")) << Out;
+  EXPECT_TRUE(contains(Out, "data race on 'wsq.size'")) << Out;
+  EXPECT_TRUE(contains(Out, "write by thread 'main'")) << Out;
+  EXPECT_TRUE(contains(Out, "read by thread 'steal0'")) << Out;
+}
+
+TEST_F(RunTool, ReportWritesSelfContainedHtml) {
+  std::string Html = Dir + "/report.html";
+  std::string Stats = Dir + "/stats.json";
+  ASSERT_EQ(run({"--program=peterson", "--cb=1", "--estimate",
+                 "--report=" + Html, "--stats-json=" + Stats, "--quiet"}),
+            0);
+  std::string Doc = slurp(Html);
+  EXPECT_TRUE(contains(Doc, "<!DOCTYPE html>"));
+  EXPECT_TRUE(contains(Doc, "peterson"));
+  // --report implies --profile-search, so the schedule-point sections
+  // are populated alongside the estimate.
+  EXPECT_TRUE(contains(Doc, "Tree-size estimate")) << Doc.substr(0, 400);
+  EXPECT_TRUE(contains(Doc, "Branch points by operation class"))
+      << Doc.substr(0, 400);
+  // No external fetches: self-contained means no src/href URLs.
+  EXPECT_FALSE(contains(Doc, "http://"));
+  EXPECT_FALSE(contains(Doc, "https://"));
+  // The implied profile also lands in stats-json.
+  EXPECT_TRUE(contains(slurp(Stats), "\"profile\""));
+}
+
+TEST_F(RunTool, ExplainRejectsConflictingModes) {
+  EXPECT_EQ(run({"--program=peterson", "--explain=fsmc1:0/1",
+                 "--replay=fsmc1:0/1"}),
+            2);
+  EXPECT_EQ(run({"--program=peterson", "--explain="}), 2);
 }

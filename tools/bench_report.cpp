@@ -19,10 +19,16 @@
 // deadlock-prone executions-to-first-bug count (the Table 3 metric the
 // PorParityTest acceptance bar pins).
 //
+// The telemetry section A/B-tests the search-telemetry layer
+// (docs/OBSERVABILITY.md): the same micro and dining workloads with the
+// tree-size estimator plus schedule-point profiler off then on, and the
+// throughput overhead percentage -- the number that keeps the "telemetry
+// costs < 5%" claim honest across revisions.
+//
 // Usage: bench_report [--quick] [--out=FILE]
 //   --quick  shrink every budget (the bench-smoke ctest entry); numbers
 //            are noisier but the schema is identical
-//   --out=F  write the JSON to F (default: BENCH_6.json in the CWD)
+//   --out=F  write the JSON to F (default: BENCH_7.json in the CWD)
 //
 // Always exits 0: the harness records numbers, it does not gate. Compare
 // across revisions with the methodology notes in docs/PERFORMANCE.md.
@@ -142,6 +148,49 @@ Meas measurePorMicro(bool Por, double BudgetSeconds) {
   return M;
 }
 
+/// One telemetry A/B row: the measureMicro workload with the estimator
+/// and the schedule-point profiler either both off or both on. Repeats
+/// the exhaustive spin-wait search for the budget like measureMicro, so
+/// on-vs-off is a like-for-like throughput comparison.
+Meas measureTelemetryMicro(bool Telemetry, double BudgetSeconds) {
+  SpinWaitConfig C;
+  CheckerOptions O;
+  O.DetectDivergence = false;
+  O.Estimate = Telemetry;
+  O.ProfileSearch = Telemetry;
+  Meas M;
+  auto T0 = Clock::now();
+  do {
+    CheckResult R = check(makeSpinWaitProgram(C), O);
+    M.Executions += R.Stats.Executions;
+  } while (secondsSince(T0) < BudgetSeconds);
+  M.finish(secondsSince(T0));
+  return M;
+}
+
+/// The dining telemetry row: one serial cb=2 Mixed search under a time
+/// budget, telemetry off or on -- a lock-heavy workload with real
+/// branch-point density, complementing the spin-dominated micro row.
+Meas measureTelemetryDining(bool Telemetry, int Philosophers,
+                            double BudgetSeconds) {
+  DiningConfig C;
+  C.Philosophers = Philosophers;
+  C.Kind = DiningConfig::Variant::Mixed;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.TimeBudgetSeconds = BudgetSeconds;
+  O.Estimate = Telemetry;
+  O.ProfileSearch = Telemetry;
+  auto T0 = Clock::now();
+  CheckResult R = check(makeDiningProgram(C), O);
+  Meas M;
+  M.Executions = R.Stats.Executions;
+  M.Exhausted = R.Stats.SearchExhausted;
+  M.finish(secondsSince(T0));
+  return M;
+}
+
 long peakRssKb() {
   struct rusage RU;
   if (getrusage(RUSAGE_SELF, &RU) != 0)
@@ -164,7 +213,7 @@ void appendMeas(std::string &Out, const char *Key, const Meas &M,
 
 int main(int Argc, char **Argv) {
   bool Quick = false;
-  std::string OutPath = "BENCH_6.json";
+  std::string OutPath = "BENCH_7.json";
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--quick") == 0)
       Quick = true;
@@ -206,6 +255,16 @@ int main(int Argc, char **Argv) {
   Meas PorFigOff = measureFigDeadlock(FigPhilosophers, FigBudget);
   std::fprintf(stderr, "bench_report: por dining deadlock (on)...\n");
   Meas PorFigOn = measureFigDeadlock(FigPhilosophers, FigBudget, /*Por=*/true);
+  std::fprintf(stderr, "bench_report: telemetry micro (off)...\n");
+  Meas TelMicroOff = measureTelemetryMicro(/*Telemetry=*/false, MicroBudget);
+  std::fprintf(stderr, "bench_report: telemetry micro (on)...\n");
+  Meas TelMicroOn = measureTelemetryMicro(/*Telemetry=*/true, MicroBudget);
+  std::fprintf(stderr, "bench_report: telemetry dining (off)...\n");
+  Meas TelDiningOff =
+      measureTelemetryDining(/*Telemetry=*/false, FigPhilosophers, FigBudget);
+  std::fprintf(stderr, "bench_report: telemetry dining (on)...\n");
+  Meas TelDiningOn =
+      measureTelemetryDining(/*Telemetry=*/true, FigPhilosophers, FigBudget);
 
   double Speedup =
       MicroOff.ExecsPerSec > 0 ? MicroOn.ExecsPerSec / MicroOff.ExecsPerSec
@@ -214,7 +273,7 @@ int main(int Argc, char **Argv) {
   std::string Out;
   Out += "{\n";
   Out += "  \"schema\": 1,\n";
-  Out += "  \"bench\": 6,\n";
+  Out += "  \"bench\": 7,\n";
   Out += std::string("  \"mode\": \"") + (Quick ? "quick" : "full") + "\",\n";
 #ifdef NDEBUG
   Out += "  \"asserts\": false,\n";
@@ -299,6 +358,33 @@ int main(int Argc, char **Argv) {
                   PorMicroReduction, PorFigReduction,
                   PorFigOn.Exhausted && PorFigOff.Exhausted ? "true"
                                                             : "false");
+    Out += Buf;
+  }
+  Out += "  },\n";
+
+  // Throughput overhead of the telemetry layer, in percent of the off
+  // rate; negative = measured faster with telemetry on (noise). The
+  // acceptance bar is < 5 on both workloads.
+  auto OverheadPct = [](const Meas &Off, const Meas &On) {
+    return Off.ExecsPerSec > 0
+               ? 100.0 * (Off.ExecsPerSec - On.ExecsPerSec) / Off.ExecsPerSec
+               : 0.0;
+  };
+  Out += "  \"telemetry\": {\n";
+  Out += "    \"workload\": \"spinwait exhaustive fair DFS and dining(" +
+         std::to_string(FigPhilosophers) +
+         ") mixed cb=2, --estimate + --profile-search off vs on\",\n";
+  appendMeas(Out, "micro_off", TelMicroOff, 4, true);
+  appendMeas(Out, "micro_on", TelMicroOn, 4, true);
+  appendMeas(Out, "dining_off", TelDiningOff, 4, true);
+  appendMeas(Out, "dining_on", TelDiningOn, 4, true);
+  {
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    \"micro_overhead_pct\": %.2f,\n"
+                  "    \"dining_overhead_pct\": %.2f\n",
+                  OverheadPct(TelMicroOff, TelMicroOn),
+                  OverheadPct(TelDiningOff, TelDiningOn));
     Out += Buf;
   }
   Out += "  },\n";

@@ -24,9 +24,12 @@
 
 #include "core/Checker.h"
 #include "core/Checkpoint.h"
+#include "core/Explorer.h"
 #include "core/IterativeCheck.h"
 #include "core/Schedule.h"
 #include "obs/EventSink.h"
+#include "obs/Explain.h"
+#include "obs/HtmlReport.h"
 #include "obs/Observer.h"
 #include "obs/ProgressReporter.h"
 #include "obs/StatsJson.h"
@@ -43,11 +46,13 @@
 #include "workloads/WorkloadRegistry.h"
 #include "workloads/minikernel/Kernel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <dirent.h>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -238,12 +243,34 @@ int usage() {
             "  --stats-json=F   machine-readable run report to file F "
             "('-' = stdout)\n"
             "  --trace-out=F    Chrome trace_event JSONL trace to file F "
-            "(Perfetto-loadable)\n"
+            "(Perfetto-loadable;\n"
+            "                   '-' = stdout)\n"
             "  --progress[=S]   live status line to stderr every S seconds "
             "(default 1)\n"
+            "  --estimate       online tree-size estimation: progress %% "
+            "and projected\n"
+            "                   total executions in the progress line and "
+            "stats-json\n"
+            "                   (docs/OBSERVABILITY.md)\n"
+            "  --profile-search schedule-point hotspot profile (per-op/"
+            "per-object\n"
+            "                   branch points) in stats-json\n"
+            "  --report=F       self-contained HTML search report to F "
+            "(implies\n"
+            "                   --profile-search)\n"
+            "  --explain=S      render schedule S (literal, file, or "
+            "--repro-dir\n"
+            "                   directory) as a thread-by-step timeline\n"
+            "  --coverage       track state signatures; adds the coverage "
+            "section\n"
+            "                   (distinct states, hit rate) to stats-json\n"
             "  --step-timing    fill the per-transition latency histogram\n"
             "  --timing         add the wall-clock timing block (elapsed_ms,\n"
             "                   execs_per_sec) to --stats-json reports\n"
+            "  --phase-timing   split wall time into replay/execute/race-"
+            "check/\n"
+            "                   snapshot buckets (shown under timing with "
+            "--timing)\n"
             "  --reuse=on|off   recycle runtime state and pooled fiber "
             "stacks\n"
             "                   across executions (default on; off is the\n"
@@ -367,6 +394,79 @@ std::string formatSeconds(double S) {
   return Buf;
 }
 
+/// Runs one frozen replay of \p Schedule with an explain log attached and
+/// prints renderExplainTimeline. Exit code as for a replay of the same
+/// schedule.
+int explainOne(const TestProgram &Program, const CheckerOptions &Opts,
+               const std::string &Schedule) {
+  std::vector<ScheduleChoice> Choices;
+  if (!decodeSchedule(Schedule, Choices)) {
+    errs() << "malformed schedule string\n";
+    return 2;
+  }
+  CheckerOptions Effective = Opts;
+  Effective.MaxExecutions = 1;
+  Effective.StopOnFirstBug = true;
+  Effective.Jobs = 1;
+  // In-process always: the explain log borrows runtime state (names) that
+  // a sandbox child could not hand back.
+  Effective.Isolate = IsolationMode::Off;
+  obs::ExplainLog Log;
+  Explorer E(Program, Effective);
+  E.setExplainLog(&Log);
+  E.preloadSchedule(Choices, /*Frozen=*/true);
+  CheckResult R = E.run();
+  finalizeRaces(R, Effective);
+  outs() << obs::renderExplainTimeline(Log, R, Program.Name);
+  return exitCode(R);
+}
+
+/// The --explain operand is a schedule (literal or file, like --replay)
+/// or a --repro-dir directory, in which case every *.sched file inside is
+/// explained in name order. Returns the worst exit code seen.
+int runExplain(const TestProgram &Program, const CheckerOptions &Opts,
+               const std::string &Operand) {
+  struct stat St;
+  if (::stat(Operand.c_str(), &St) == 0 && S_ISDIR(St.st_mode)) {
+    std::vector<std::string> Files;
+    if (DIR *D = ::opendir(Operand.c_str())) {
+      while (struct dirent *Ent = ::readdir(D)) {
+        std::string Name = Ent->d_name;
+        if (Name.size() > 6 && Name.rfind(".sched") == Name.size() - 6)
+          Files.push_back(Name);
+      }
+      ::closedir(D);
+    }
+    std::sort(Files.begin(), Files.end());
+    if (Files.empty()) {
+      errs() << "no .sched files in " << Operand << "\n";
+      return 2;
+    }
+    int Code = 0;
+    bool First = true;
+    for (const std::string &Name : Files) {
+      std::string Schedule;
+      if (!loadReplayOperand(Operand + "/" + Name, Schedule)) {
+        errs() << "cannot read " << Operand << "/" << Name << "\n";
+        Code = std::max(Code, 2);
+        continue;
+      }
+      if (!First)
+        outs() << "\n";
+      outs() << "== " << Name << " ==\n";
+      Code = std::max(Code, explainOne(Program, Opts, Schedule));
+      First = false;
+    }
+    return Code;
+  }
+  std::string Schedule;
+  if (!loadReplayOperand(Operand, Schedule)) {
+    errs() << "cannot read explain operand " << Operand << "\n";
+    return 2;
+  }
+  return explainOne(Program, Opts, Schedule);
+}
+
 /// The --verbose counter dump: every nonzero counter and gauge, then the
 /// per-op scheduling-point table, then the latency histogram if filled.
 void printVerboseTables(const obs::CounterSnapshot &S) {
@@ -415,6 +515,8 @@ int main(int Argc, char **Argv) {
   std::string CheckpointPath;
   std::string ResumePath;
   std::string ReproDir;
+  std::string ReportPath;
+  std::string ExplainOperand;
   CheckerOptions Opts;
   int Iterative = -1;
   bool List = false;
@@ -424,6 +526,7 @@ int main(int Argc, char **Argv) {
   bool Verbose = false;
   bool StepTiming = false;
   bool Timing = false;
+  bool PhaseTiming = false;
   bool SeedSet = false;
 
   for (int I = 1; I < Argc; ++I) {
@@ -558,6 +661,27 @@ int main(int Argc, char **Argv) {
       StepTiming = true;
     else if (parseFlag(Argv[I], "--timing", &V))
       Timing = true;
+    else if (parseFlag(Argv[I], "--phase-timing", &V))
+      PhaseTiming = true;
+    else if (parseFlag(Argv[I], "--estimate", &V))
+      Opts.Estimate = true;
+    else if (parseFlag(Argv[I], "--profile-search", &V))
+      Opts.ProfileSearch = true;
+    else if (parseFlag(Argv[I], "--coverage", &V))
+      Opts.TrackCoverage = true;
+    else if (parseFlag(Argv[I], "--report", &V)) {
+      if (!*V) {
+        errs() << "--report needs a file name\n";
+        return usage();
+      }
+      ReportPath = V;
+    } else if (parseFlag(Argv[I], "--explain", &V)) {
+      if (!*V) {
+        errs() << "--explain needs a schedule, file or repro directory\n";
+        return usage();
+      }
+      ExplainOperand = V;
+    }
     else if (parseFlag(Argv[I], "--reuse", &V)) {
       if (std::strcmp(V, "on") == 0)
         Opts.ReuseExecutionState = true;
@@ -646,6 +770,22 @@ int main(int Argc, char **Argv) {
   }
   TestProgram Program = It->second();
 
+  // Explain mode: one frozen replay with the timeline log attached,
+  // rendered and done. Search-shaping options (--por, --races, --cb) must
+  // match the recording run, which is why they stay honored here.
+  if (!ExplainOperand.empty()) {
+    if (!Replay.empty() || !ResumePath.empty() || Iterative >= 0) {
+      errs() << "--explain cannot be combined with --replay/--resume/"
+                "--iterative\n";
+      return usage();
+    }
+    return runExplain(Program, Opts, ExplainOperand);
+  }
+
+  // The HTML report is built from the search profile.
+  if (!ReportPath.empty())
+    Opts.ProfileSearch = true;
+
   // Observability: one Observer per run, attached through CheckerOptions.
   // Created whenever any consumer of its counters/events is requested.
   std::unique_ptr<obs::JsonlTraceSink> Sink;
@@ -657,10 +797,12 @@ int main(int Argc, char **Argv) {
     }
   }
   std::unique_ptr<obs::Observer> Obs;
-  if (Sink || !StatsJsonPath.empty() || Progress || Verbose || StepTiming) {
+  if (Sink || !StatsJsonPath.empty() || Progress || Verbose || StepTiming ||
+      PhaseTiming || Opts.Estimate) {
     obs::Observer::Config OC;
     OC.Sink = Sink.get();
     OC.StepTiming = StepTiming;
+    OC.PhaseTiming = PhaseTiming;
     Obs = std::make_unique<obs::Observer>(OC);
     Opts.Obs = Obs.get();
   }
@@ -672,6 +814,7 @@ int main(int Argc, char **Argv) {
     PC.TimeBudgetSeconds = Opts.TimeBudgetSeconds;
     PC.MaxExecutions = Opts.MaxExecutions;
     PC.Jobs = Opts.Jobs;
+    PC.Estimate = Opts.Estimate;
     Reporter = std::make_unique<obs::ProgressReporter>(*Obs, PC, errs());
   }
 
@@ -801,6 +944,15 @@ int main(int Argc, char **Argv) {
       }
       obs::writeStatsJson(F, R, Info);
     }
+  }
+
+  if (!ReportPath.empty()) {
+    OutStream F = OutStream::open(ReportPath);
+    if (!F.valid()) {
+      errs() << "cannot open " << ReportPath << " for writing\n";
+      return 2;
+    }
+    F << obs::renderHtmlReport(R, Opts, Program.Name);
   }
   return exitCode(R);
 }

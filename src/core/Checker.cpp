@@ -3,8 +3,10 @@
 #include "core/Checker.h"
 
 #include "core/Explorer.h"
+#include "core/Fleet.h"
 #include "core/ParallelExplorer.h"
 #include "core/Sandbox.h"
+#include "obs/Counters.h"
 
 #include <algorithm>
 #include <cassert>
@@ -56,8 +58,60 @@ void fsmc::mergeSearchStats(SearchStats &Into, const SearchStats &From) {
   Into.Checkpoints += From.Checkpoints;
   Into.RacesChecked += From.RacesChecked;
   Into.RacesFound += From.RacesFound;
+  Into.FleetWorkerCrashes += From.FleetWorkerCrashes;
+  Into.FleetReissues += From.FleetReissues;
+  Into.FleetRespawns += From.FleetRespawns;
+  Into.FleetQuarantined += From.FleetQuarantined;
   Into.StateHits += From.StateHits;
   Into.EstimateMass += From.EstimateMass;
+}
+
+void fsmc::foldStatsDeltaIntoCounters(obs::WorkerCounters *Ctr,
+                                      const SearchStats &Prev,
+                                      const SearchStats &Now) {
+  if (!Ctr)
+    return;
+  using obs::Counter;
+  auto D = [&](Counter C, uint64_t New, uint64_t Old) {
+    if (New > Old)
+      Ctr->add(C, New - Old);
+  };
+  D(Counter::Executions, Now.Executions, Prev.Executions);
+  D(Counter::Transitions, Now.Transitions, Prev.Transitions);
+  D(Counter::Preemptions, Now.Preemptions, Prev.Preemptions);
+  D(Counter::NonterminatingExecutions, Now.NonterminatingExecutions,
+    Prev.NonterminatingExecutions);
+  D(Counter::StatefulPrunes, Now.PrunedExecutions, Prev.PrunedExecutions);
+  D(Counter::PorSleepHits, Now.PorSleepHits, Prev.PorSleepHits);
+  D(Counter::PorBranchesPruned, Now.PorBranchesPruned,
+    Prev.PorBranchesPruned);
+  D(Counter::PorFairWakes, Now.PorFairWakes, Prev.PorFairWakes);
+  D(Counter::FairEdgeAdds, Now.FairEdgeAdditions, Prev.FairEdgeAdditions);
+  D(Counter::BugsFound, Now.BugsFound, Prev.BugsFound);
+  D(Counter::Divergences, Now.Divergences, Prev.Divergences);
+  D(Counter::DivergenceRetries, Now.DivergenceRetries,
+    Prev.DivergenceRetries);
+  // RacesFound is deliberately absent; see the declaration comment.
+  D(Counter::RacesChecked, Now.RacesChecked, Prev.RacesChecked);
+  Ctr->maxGauge(obs::Gauge::MaxDepth, Now.MaxDepth);
+}
+
+void fsmc::bumpBugClassCounter(obs::WorkerCounters *Ctr, Verdict V) {
+  if (!Ctr)
+    return;
+  switch (V) {
+  case Verdict::Deadlock:
+    Ctr->add(obs::Counter::Deadlocks);
+    break;
+  case Verdict::Livelock:
+    Ctr->add(obs::Counter::Livelocks);
+    break;
+  case Verdict::GoodSamaritanViolation:
+    Ctr->add(obs::Counter::GoodSamaritanViolations);
+    break;
+  default:
+    break;
+  }
 }
 
 void fsmc::finalizeRaces(CheckResult &R, const CheckerOptions &Opts) {
@@ -106,6 +160,13 @@ CheckResult fsmc::check(const TestProgram &Program,
   if (Effective.Isolate == IsolationMode::Batch &&
       !Effective.StatefulPruning) {
     R = runSandboxed(Program, Effective);
+  } else if (Effective.FleetWorkers >= 1 &&
+             Effective.Kind != SearchKind::RandomWalk &&
+             !Effective.StatefulPruning) {
+    // Fleet mode: supervised multi-process search (docs/FLEET.md). Random
+    // walks and stateful pruning fall back to the serial engine exactly as
+    // they do for Jobs > 1.
+    R = runFleet(Program, Effective);
   } else if (Effective.Jobs > 1) {
     ParallelExplorer PE(Program, Effective);
     R = PE.run();

@@ -36,6 +36,7 @@ namespace fsmc {
 namespace obs {
 class Observer;
 struct SearchProfile;
+struct WorkerCounters;
 } // namespace obs
 
 struct CheckpointState;
@@ -140,6 +141,19 @@ struct SearchStats {
   uint64_t RacesChecked = 0;
   /// Distinct data races found (deduplicated by race description).
   uint64_t RacesFound = 0;
+  /// Fleet mode (--fleet=N; docs/FLEET.md). Zero on every non-fleet run
+  /// and on every healthy fleet run, so stats-json omits zero values and
+  /// legacy output stays byte-identical.
+  /// Worker processes that died (signal or unexpected exit) mid-search.
+  uint64_t FleetWorkerCrashes = 0;
+  /// Work units re-issued to a surviving worker after their holder died
+  /// or missed its heartbeat deadline.
+  uint64_t FleetReissues = 0;
+  /// Replacement workers forked after a death, within the restart budget.
+  uint64_t FleetRespawns = 0;
+  /// Work units quarantined after killing K consecutive workers; each
+  /// becomes a replayable Verdict::Crash incident.
+  uint64_t FleetQuarantined = 0;
   /// Knuth weighted-backtrack estimator mass (CheckerOptions::Estimate):
   /// each counted execution contributes the product of 1/branch-factor
   /// over the backtrackable records on its path, so the masses partition
@@ -311,6 +325,31 @@ struct CheckerOptions {
   /// Stats.Interrupted, and returns a resume checkpoint in
   /// CheckResult::Resume.
   std::atomic<bool> *InterruptFlag = nullptr;
+
+  //===--- Fleet mode (docs/FLEET.md) ------------------------------------===//
+
+  /// > 1: supervised multi-process search (--fleet=N): a coordinator forks
+  /// N long-lived workers and streams leased work units over pipes, with
+  /// crash recovery, re-issue and graceful degradation (core/Fleet.h).
+  /// Verdicts and incident sets match --jobs=N on exhaustive searches.
+  /// RandomWalk and StatefulPruning fall back to the serial engine, as
+  /// they do for Jobs; mutually exclusive with IsolationMode::Batch.
+  int FleetWorkers = 0;
+  /// Execution budget per issued work unit; a worker that exhausts it
+  /// commits the unit with its remainder prefixes so the coordinator can
+  /// re-lease the rest. Small batches = fine-grained recovery, large
+  /// batches = less protocol overhead.
+  int FleetBatchSize = 64;
+  /// A unit whose attempt dies this many consecutive times is quarantined
+  /// as a replayable Verdict::Crash incident instead of being re-issued.
+  int FleetQuarantine = 3;
+  /// Replacement workers the coordinator may fork after deaths before
+  /// degrading to reduced width. Negative = 2*FleetWorkers+2.
+  int FleetRespawnBudget = -1;
+  /// Heartbeat silence after which a live-but-stuck worker is declared
+  /// hung and killed; 0 disables (chaos tests use HangTimeoutSeconds-like
+  /// tuning). Defaults to HangTimeoutSeconds at runFleet entry when <= 0.
+  double FleetHeartbeatTimeout = 0;
 };
 
 /// A test program: a closure run as thread 0 of every execution. It may
@@ -350,6 +389,21 @@ struct CheckResult {
 /// Runs the fair stateless model checker on \p Program under \p Opts.
 /// This is the library's main entry point.
 CheckResult check(const TestProgram &Program, const CheckerOptions &Opts);
+
+/// Folds the delta between two cumulative SearchStats snapshots into a
+/// live counter shard, so --stats-json counters and the progress line
+/// keep working when executions happen in another process. Null \p Ctr is
+/// a no-op. Shared by the sandbox parent and the fleet coordinator.
+/// RacesFound is deliberately absent: child processes dedup races only
+/// within themselves, so the supervising parent bumps that counter per
+/// globally-novel race at commit time.
+void foldStatsDeltaIntoCounters(obs::WorkerCounters *Ctr,
+                                const SearchStats &Prev,
+                                const SearchStats &Now);
+
+/// Bumps the per-verdict-class bug counter (deadlocks, livelocks, good
+/// samaritan violations) for a bug harvested from a child process.
+void bumpBugClassCounter(obs::WorkerCounters *Ctr, Verdict V);
 
 /// Top-level race promotion, shared by check() and resumeCheck(): when
 /// race detection is on and \p R carries DataRace incidents, reconciles

@@ -3,6 +3,7 @@
 #include "core/Checkpoint.h"
 
 #include "core/Explorer.h"
+#include "core/Fleet.h"
 #include "core/ParallelExplorer.h"
 #include "core/Sandbox.h"
 #include "obs/SearchProfile.h"
@@ -138,6 +139,17 @@ std::string fsmc::encodeCheckpoint(const CheckpointState &CK,
   OS << "stat races_found " << S.RacesFound << "\n";
   if (S.StateHits)
     OS << "stat state_hits " << S.StateHits << "\n";
+  // Fleet recovery counters (docs/FLEET.md): nonzero only when a fleet
+  // run actually lost workers, so healthy checkpoints stay byte-identical
+  // to earlier revisions.
+  if (S.FleetWorkerCrashes)
+    OS << "stat fleet_worker_crashes " << S.FleetWorkerCrashes << "\n";
+  if (S.FleetReissues)
+    OS << "stat fleet_reissues " << S.FleetReissues << "\n";
+  if (S.FleetRespawns)
+    OS << "stat fleet_respawns " << S.FleetRespawns << "\n";
+  if (S.FleetQuarantined)
+    OS << "stat fleet_quarantined " << S.FleetQuarantined << "\n";
   // The estimator mass is a double; 'statf' carries it as a lossless
   // hexfloat. Written only when the estimator ran, so checkpoints from
   // estimator-off runs stay byte-identical to earlier revisions (and old
@@ -195,13 +207,24 @@ bool fsmc::decodeCheckpoint(const std::string &Text, CheckpointState &CK,
       LS >> std::ws;
       std::getline(LS, Program);
     } else if (Key == "seed") {
-      LS >> Seed;
+      if (!(LS >> Seed)) {
+        Err = "corrupt checkpoint: bad seed value in '" + Line + "'";
+        return false;
+      }
     } else if (Key == "rng") {
-      LS >> CK.Rng;
+      if (!(LS >> CK.Rng)) {
+        Err = "corrupt checkpoint: bad rng value in '" + Line + "'";
+        return false;
+      }
     } else if (Key == "stat") {
       std::string Name;
       uint64_t Val = 0;
-      LS >> Name >> Val;
+      if (!(LS >> Name >> Val)) {
+        // Unknown NAMES are fine (forward compatibility) but a known line
+        // shape with an unparseable VALUE means the file was damaged.
+        Err = "corrupt checkpoint: bad stat line '" + Line + "'";
+        return false;
+      }
       SearchStats &S = CK.Stats;
       if (Name == "executions")
         S.Executions = Val;
@@ -245,20 +268,40 @@ bool fsmc::decodeCheckpoint(const std::string &Text, CheckpointState &CK,
         S.RacesFound = Val;
       else if (Name == "state_hits")
         S.StateHits = Val;
+      else if (Name == "fleet_worker_crashes")
+        S.FleetWorkerCrashes = Val;
+      else if (Name == "fleet_reissues")
+        S.FleetReissues = Val;
+      else if (Name == "fleet_respawns")
+        S.FleetRespawns = Val;
+      else if (Name == "fleet_quarantined")
+        S.FleetQuarantined = Val;
       // Unknown stat keys are skipped for forward compatibility.
     } else if (Key == "statf") {
       std::string Name, Tok;
-      LS >> Name >> Tok;
-      if (Name == "estimate_mass")
-        CK.Stats.EstimateMass = std::strtod(Tok.c_str(), nullptr);
+      if (!(LS >> Name >> Tok)) {
+        Err = "corrupt checkpoint: bad statf line '" + Line + "'";
+        return false;
+      }
+      if (Name == "estimate_mass") {
+        char *End = nullptr;
+        CK.Stats.EstimateMass = std::strtod(Tok.c_str(), &End);
+        if (End == Tok.c_str() || *End != '\0') {
+          Err = "corrupt checkpoint: bad estimate_mass value '" + Tok + "'";
+          return false;
+        }
+      }
       // Unknown float stat keys are skipped for forward compatibility.
     } else if (Key == "bug") {
       std::string KindTok, Schedule;
       uint64_t AtExec = 0, AtStep = 0;
-      LS >> KindTok >> AtExec >> AtStep >> Schedule;
+      if (!(LS >> KindTok >> AtExec >> AtStep >> Schedule)) {
+        Err = "corrupt checkpoint: bad bug line '" + Line + "'";
+        return false;
+      }
       BugReport B;
       if (!parseVerdictWire(KindTok, B.Kind)) {
-        Err = "bad bug verdict '" + KindTok + "'";
+        Err = "corrupt checkpoint: bad bug verdict '" + KindTok + "'";
         return false;
       }
       B.AtExecution = AtExec;
@@ -272,13 +315,20 @@ bool fsmc::decodeCheckpoint(const std::string &Text, CheckpointState &CK,
       }
     } else if (Key == "states") {
       size_t N = 0;
-      LS >> N;
-      CK.States.reserve(N);
+      if (!(LS >> N)) {
+        Err = "corrupt checkpoint: bad states count in '" + Line + "'";
+        return false;
+      }
+      // Bound the reserve by the line's actual capacity: a corrupted count
+      // must not turn into a multi-gigabyte allocation before the per-value
+      // reads below catch the truncation.
+      CK.States.reserve(std::min(N, Line.size() / 2 + 1));
       LS >> std::hex;
       for (size_t I = 0; I < N; ++I) {
         uint64_t V = 0;
         if (!(LS >> V)) {
-          Err = "truncated states line";
+          Err = "corrupt checkpoint: truncated states line (" +
+                std::to_string(I) + " of " + std::to_string(N) + " values)";
           return false;
         }
         CK.States.push_back(V);
@@ -286,13 +336,16 @@ bool fsmc::decodeCheckpoint(const std::string &Text, CheckpointState &CK,
     } else if (Key == "unit") {
       CheckpointUnit U;
       std::string Sched;
-      LS >> U.FrozenLen >> Sched;
+      if (!(LS >> U.FrozenLen >> Sched)) {
+        Err = "corrupt checkpoint: bad unit line '" + Line + "'";
+        return false;
+      }
       if (!decodeSchedule(Sched, U.Prefix)) {
-        Err = "malformed unit schedule '" + Sched + "'";
+        Err = "corrupt checkpoint: malformed unit schedule '" + Sched + "'";
         return false;
       }
       if (U.FrozenLen > U.Prefix.size()) {
-        Err = "unit frozen length exceeds prefix";
+        Err = "corrupt checkpoint: unit frozen length exceeds prefix";
         return false;
       }
       CK.Frontier.push_back(std::move(U));
@@ -300,7 +353,7 @@ bool fsmc::decodeCheckpoint(const std::string &Text, CheckpointState &CK,
     // Unknown keys are skipped for forward compatibility.
   }
   if (!SawEnd) {
-    Err = "truncated checkpoint (missing 'end' marker)";
+    Err = "corrupt checkpoint: truncated (missing 'end' marker)";
     return false;
   }
   CK.Stats.DistinctStates = CK.States.size();
@@ -360,6 +413,15 @@ CheckResult fsmc::resumeCheck(const TestProgram &Program,
     }
     if (Effective.ExportStateSignatures)
       R.StateSignatures = CK.States;
+    return R;
+  }
+
+  if (Effective.FleetWorkers >= 1 &&
+      Effective.Kind != SearchKind::RandomWalk &&
+      !Effective.StatefulPruning &&
+      Effective.Isolate != IsolationMode::Batch) {
+    CheckResult R = runFleet(Program, Effective, &CK);
+    finalizeRaces(R, Effective);
     return R;
   }
 

@@ -1,0 +1,1093 @@
+//===- core/Fleet.cpp - Supervised multi-process exploration --------------===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+// Process layout: the coordinator (this file's runFleet) forks
+// FleetWorkers long-lived children, each running fleetWorkerMain in a
+// blocking read loop on its "down" pipe. One unit is outstanding per
+// worker at a time, so the down pipe never fills and coordinator writes
+// never block. All records use the core/Wire.h framing; fork without exec
+// means trivially-copyable payloads cross as raw bytes.
+//
+// The exactness invariant everything rests on: a worker commits an
+// attempt with ONE atomic UnitDone record carrying the attempt's stats,
+// bug, incidents, coverage delta and remainder prefixes. A worker that
+// dies mid-attempt therefore commits nothing, and re-running the same
+// unit on another worker reproduces the identical deterministic attempt.
+// Committed stats plus pending units always describe exactly the
+// remaining search, which is why verdicts and incident sets match
+// --jobs=N even under FSMC_FLEET_CHAOS fault injection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Fleet.h"
+
+#include "core/Checkpoint.h"
+#include "core/Explorer.h"
+#include "core/Schedule.h"
+#include "core/Wire.h"
+#include "core/WorkLease.h"
+#include "obs/Observer.h"
+#include "runtime/StackPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace fsmc;
+using wire::FrameParser;
+using wire::WireReader;
+using wire::WireWriter;
+using wire::writeRecord;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+// Coordinator -> worker.
+enum DownTag : uint8_t {
+  TagUnit = 1,     // lease id, budget, time budget, frozen len, prefix
+  TagStop = 2,     // finish the current attempt early, commit the remainder
+  TagBestBug = 3,  // DFS-smallest bug key so far (first-bug pruning)
+  TagShutdown = 4, // exit once idle
+};
+
+// Worker -> coordinator.
+enum UpTag : uint8_t {
+  TagUnitDone = 16, // the one atomic commit record per attempt
+  TagHeartbeat = 17,
+};
+
+enum UnitDoneFlag : uint8_t {
+  FlagTimedOut = 1, // the attempt's own time budget expired
+};
+
+void putBug(WireWriter &W, const BugReport &B) {
+  W.u8(uint8_t(B.Kind));
+  W.str(B.Message);
+  W.str(B.TraceText);
+  W.str(B.Schedule);
+  W.u64(B.AtExecution);
+  W.u64(B.AtStep);
+}
+
+BugReport getBug(WireReader &R) {
+  BugReport B;
+  B.Kind = Verdict(R.u8());
+  B.Message = R.str();
+  B.TraceText = R.str();
+  B.Schedule = R.str();
+  B.AtExecution = R.u64();
+  B.AtStep = R.u64();
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// DFS order (mirrors core/ParallelExplorer.cpp so first-bug reports agree)
+//===----------------------------------------------------------------------===//
+
+/// DFS order over choice paths: the first differing choice index decides;
+/// an ancestor precedes its extensions.
+bool dfsBefore(const std::vector<int> &A, const std::vector<int> &B) {
+  size_t N = A.size() < B.size() ? A.size() : B.size();
+  for (size_t I = 0; I < N; ++I)
+    if (A[I] != B[I])
+      return A[I] < B[I];
+  return A.size() < B.size();
+}
+
+std::vector<int> pathKeyOfSchedule(const std::string &Schedule) {
+  std::vector<ScheduleChoice> Choices;
+  std::vector<int> Key;
+  if (decodeSchedule(Schedule, Choices))
+    for (const ScheduleChoice &C : Choices)
+      Key.push_back(C.Chosen);
+  return Key;
+}
+
+std::vector<int> pathKeyOfPrefix(const std::vector<ScheduleChoice> &P) {
+  std::vector<int> Key;
+  Key.reserve(P.size());
+  for (const ScheduleChoice &C : P)
+    Key.push_back(C.Chosen);
+  return Key;
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos fault injection (FSMC_FLEET_CHAOS=kill:<n>,hang:<n>; test-only)
+//===----------------------------------------------------------------------===//
+
+/// Armed workers self-destruct after this many lifetime executions --
+/// late enough to be mid-attempt, early enough for small test searches.
+constexpr uint64_t ChaosTriggerExecs = 3;
+
+struct ChaosSpec {
+  int Kills = 0; // next N spawned workers SIGKILL themselves
+  int Hangs = 0; // following N spawned workers hang (stop heartbeating)
+};
+
+ChaosSpec parseChaos(const char *Env) {
+  ChaosSpec C;
+  if (!Env)
+    return C;
+  const char *P = Env;
+  while (*P) {
+    if (std::strncmp(P, "kill:", 5) == 0)
+      C.Kills = std::atoi(P + 5);
+    else if (std::strncmp(P, "hang:", 5) == 0)
+      C.Hangs = std::atoi(P + 5);
+    const char *Comma = std::strchr(P, ',');
+    if (!Comma)
+      break;
+    P = Comma + 1;
+  }
+  if (C.Kills < 0)
+    C.Kills = 0;
+  if (C.Hangs < 0)
+    C.Hangs = 0;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Worker side
+//===----------------------------------------------------------------------===//
+
+struct WorkerConfig {
+  const TestProgram *Program = nullptr;
+  CheckerOptions Opts; // stripped attempt options (no Obs, no budgets)
+  bool WantStates = false;
+  double HeartbeatPeriod = 0.1;
+  uint64_t KillAfter = 0; // chaos: SIGKILL self after N lifetime execs
+  uint64_t HangAfter = 0; // chaos: hang (no heartbeats) after N execs
+};
+
+struct IssuedUnit {
+  uint64_t LeaseId = 0;
+  uint64_t Budget = 0;
+  double TimeBudget = 0;
+  uint32_t FrozenLen = 0;
+  std::vector<ScheduleChoice> Prefix;
+};
+
+/// The worker's view of the down pipe: one FrameParser shared between the
+/// idle read loop and the mid-attempt control pump, so records survive
+/// arbitrary fragmentation across both.
+struct WorkerCtl {
+  int DownFd = -1;
+  FrameParser Frames;
+  std::deque<IssuedUnit> Units;
+  bool StopReq = false;
+  bool Shutdown = false;
+  bool HaveBest = false;
+  std::vector<int> BestKey;
+
+  void onRecord(uint8_t Tag, WireReader R) {
+    switch (Tag) {
+    case TagUnit: {
+      IssuedUnit U;
+      U.LeaseId = R.u64();
+      U.Budget = R.u64();
+      U.TimeBudget = R.f64();
+      U.FrozenLen = R.u32();
+      U.Prefix = R.choices();
+      if (R.Ok)
+        Units.push_back(std::move(U));
+      break;
+    }
+    case TagStop:
+      StopReq = true;
+      break;
+    case TagBestBug: {
+      uint32_t N = R.u32();
+      std::vector<int> Key;
+      Key.reserve(N);
+      for (uint32_t I = 0; I < N && R.Ok; ++I)
+        Key.push_back(int(R.u32()));
+      if (R.Ok) {
+        HaveBest = true;
+        BestKey = std::move(Key);
+      }
+      break;
+    }
+    case TagShutdown:
+      Shutdown = true;
+      break;
+    }
+  }
+
+  /// Drains whatever is readable; with \p Block, waits for at least one
+  /// byte first. EOF or a read error means the coordinator is gone -- the
+  /// worker has nothing left to live for.
+  void pump(bool Block) {
+    for (;;) {
+      struct pollfd P = {DownFd, POLLIN, 0};
+      int R = ::poll(&P, 1, Block ? -1 : 0);
+      if (R < 0) {
+        if (errno == EINTR)
+          continue;
+        _exit(0);
+      }
+      if (R == 0)
+        return;
+      char Buf[4096];
+      ssize_t N = ::read(DownFd, Buf, sizeof Buf);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        _exit(0);
+      }
+      if (N == 0)
+        _exit(0); // coordinator closed the pipe
+      Frames.feed(Buf, size_t(N),
+                  [&](uint8_t Tag, WireReader Rd) { onRecord(Tag, Rd); });
+      Block = false; // got something; finish draining and return
+    }
+  }
+};
+
+/// The worker process: loop forever running issued units, one fresh
+/// serial Explorer per attempt (unit-local stats, shared stack pool), and
+/// commit each with a single UnitDone record.
+[[noreturn]] void fleetWorkerMain(const WorkerConfig &Cfg, int DownFd,
+                                  int UpFd) {
+  // The coordinator owns interrupt policy; workers die by pipe EOF,
+  // TagShutdown, or SIGKILL. SIGPIPE must not kill a worker whose
+  // coordinator vanished mid-write.
+  ::signal(SIGINT, SIG_IGN);
+  ::signal(SIGTERM, SIG_IGN);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  WorkerCtl Ctl;
+  Ctl.DownFd = DownFd;
+  StackPool Pool; // persists across attempts (fiber-stack reuse)
+  uint64_t LifetimeExecs = 0;
+
+  for (;;) {
+    Ctl.pump(/*Block=*/Ctl.Units.empty());
+    if (Ctl.Units.empty()) {
+      if (Ctl.Shutdown)
+        _exit(0);
+      continue;
+    }
+    IssuedUnit U = std::move(Ctl.Units.front());
+    Ctl.Units.pop_front();
+    Ctl.StopReq = false; // a stale Stop must not kill the fresh attempt
+
+    CheckerOptions AOpts = Cfg.Opts;
+    AOpts.TimeBudgetSeconds = U.TimeBudget;
+    Explorer E(*Cfg.Program, AOpts);
+    if (Cfg.Opts.ReuseExecutionState)
+      E.setStackPool(&Pool);
+    if (!U.Prefix.empty())
+      E.preloadScheduleFrozenPrefix(U.Prefix, U.FrozenLen);
+
+    uint64_t Done = 0;
+    std::vector<std::vector<ScheduleChoice>> Remainder;
+    auto LastBeat = std::chrono::steady_clock::now();
+    bool SentBeat = false;
+
+    E.setExecutionHook([&](Explorer &Ex) {
+      ++Done;
+      ++LifetimeExecs;
+      // Fault injection: die or go silent mid-attempt, before anything
+      // is committed -- exactly the failure the recovery path must mask.
+      if (Cfg.KillAfter && LifetimeExecs >= Cfg.KillAfter)
+        ::kill(::getpid(), SIGKILL);
+      if (Cfg.HangAfter && LifetimeExecs >= Cfg.HangAfter)
+        for (;;)
+          ::pause();
+      auto NowT = std::chrono::steady_clock::now();
+      if (!SentBeat ||
+          std::chrono::duration<double>(NowT - LastBeat).count() >=
+              Cfg.HeartbeatPeriod) {
+        WireWriter W;
+        W.u64(U.LeaseId);
+        W.u64(LifetimeExecs);
+        if (!writeRecord(UpFd, TagHeartbeat, W))
+          _exit(0);
+        LastBeat = NowT;
+        SentBeat = true;
+      }
+      Ctl.pump(/*Block=*/false);
+      if (Ctl.HaveBest && Cfg.Opts.StopOnFirstBug) {
+        // Everything still unexplored in this unit is DFS-after the path
+        // just consumed; if that path is already at-or-after the best
+        // bug, nothing here can improve it. Drop the rest (mirrors the
+        // parallel driver's afterBestBug pruning).
+        if (!dfsBefore(Ex.consumedPathKey(), Ctl.BestKey))
+          return false;
+      }
+      if (Ctl.StopReq || Ctl.Shutdown || Done >= U.Budget) {
+        Ex.splitWork(Remainder, SIZE_MAX);
+        return false;
+      }
+      return true;
+    });
+
+    CheckResult R = E.run();
+
+    WireWriter W;
+    W.u64(U.LeaseId);
+    uint8_t Flags = 0;
+    if (R.Stats.TimedOut)
+      Flags |= FlagTimedOut;
+    W.u8(Flags);
+    W.stats(R.Stats);
+    W.u8(R.Bug ? 1 : 0);
+    if (R.Bug)
+      putBug(W, *R.Bug);
+    W.u32(uint32_t(R.Incidents.size()));
+    for (const BugReport &I : R.Incidents)
+      putBug(W, I);
+    if (Cfg.WantStates) {
+      std::vector<uint64_t> SS(E.seenStates().begin(), E.seenStates().end());
+      std::sort(SS.begin(), SS.end());
+      W.states(SS.data(), SS.size());
+    } else {
+      W.states(nullptr, 0);
+    }
+    W.u32(uint32_t(Remainder.size()));
+    for (const std::vector<ScheduleChoice> &P : Remainder)
+      W.choices(P);
+    if (!writeRecord(UpFd, TagUnitDone, W))
+      _exit(0);
+    if (Ctl.Shutdown)
+      _exit(0);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Coordinator side
+//===----------------------------------------------------------------------===//
+
+struct FleetWorker {
+  pid_t Pid = -1;
+  int DownFd = -1; // coordinator -> worker
+  int UpFd = -1;   // worker -> coordinator
+  FrameParser Frames;
+  uint64_t LeaseId = 0; // 0 = idle
+  bool Alive = false;
+  bool UpEof = false;
+  bool KillSent = false;    // heartbeat-expiry SIGKILL already delivered
+  bool DrainKilled = false; // deliberately killed as a drain straggler
+};
+
+bool spawnWorker(FleetWorker &W, const WorkerConfig &BaseCfg,
+                 ChaosSpec &Chaos) {
+  int Down[2], Up[2];
+  if (::pipe(Down) != 0)
+    return false;
+  if (::pipe(Up) != 0) {
+    ::close(Down[0]);
+    ::close(Down[1]);
+    return false;
+  }
+  // Chaos arming happens at spawn so replacements fork unarmed once the
+  // configured fault count is spent -- the search then finishes cleanly.
+  uint64_t KillAfter = 0, HangAfter = 0;
+  if (Chaos.Kills > 0) {
+    KillAfter = ChaosTriggerExecs;
+    --Chaos.Kills;
+  } else if (Chaos.Hangs > 0) {
+    HangAfter = ChaosTriggerExecs;
+    --Chaos.Hangs;
+  }
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Down[0]);
+    ::close(Down[1]);
+    ::close(Up[0]);
+    ::close(Up[1]);
+    return false;
+  }
+  if (Pid == 0) {
+    ::close(Down[1]);
+    ::close(Up[0]);
+    WorkerConfig Cfg = BaseCfg;
+    Cfg.KillAfter = KillAfter;
+    Cfg.HangAfter = HangAfter;
+    fleetWorkerMain(Cfg, Down[0], Up[1]);
+  }
+  ::close(Down[0]);
+  ::close(Up[1]);
+  W.Pid = Pid;
+  W.DownFd = Down[1];
+  W.UpFd = Up[0];
+  W.Frames = FrameParser();
+  W.LeaseId = 0;
+  W.Alive = true;
+  W.UpEof = false;
+  W.KillSent = false;
+  W.DrainKilled = false;
+  return true;
+}
+
+} // namespace
+
+CheckResult fsmc::runFleet(const TestProgram &Program,
+                           const CheckerOptions &Opts,
+                           const CheckpointState *ResumeCK) {
+  auto StartTime = std::chrono::steady_clock::now();
+  auto elapsed = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         StartTime)
+        .count();
+  };
+  // A worker dying mid-read must surface as EPIPE from write(), never as
+  // a fatal signal to the coordinator.
+  wire::ScopedSigpipeIgnore NoSigpipe;
+
+  const bool WantStates = Opts.TrackCoverage || Opts.ExportStateSignatures;
+  const int Width = Opts.FleetWorkers > 0 ? Opts.FleetWorkers : 1;
+  const uint64_t Batch =
+      Opts.FleetBatchSize > 0 ? uint64_t(Opts.FleetBatchSize) : 64;
+  const double HbTimeout =
+      Opts.FleetHeartbeatTimeout > 0
+          ? Opts.FleetHeartbeatTimeout
+          : (Opts.HangTimeoutSeconds > 0 ? Opts.HangTimeoutSeconds : 10.0);
+  int RespawnsLeft =
+      Opts.FleetRespawnBudget >= 0 ? Opts.FleetRespawnBudget : 2 * Width + 2;
+
+  obs::WorkerCounters *Ctr = Opts.Obs ? &Opts.Obs->shard(0) : nullptr;
+
+  // Attempt options: in-process serial exploration with every
+  // parent-owned mechanism stripped (mirrors the sandbox's ChildOpts).
+  // Budgets are enforced per-unit through the execution hook, and the
+  // observer must stay null in children -- fork duplicates sink FILE
+  // buffers. Profiles cannot cross the pipe (shared_ptr payload).
+  CheckerOptions ChildOpts = Opts;
+  ChildOpts.Isolate = IsolationMode::Off;
+  ChildOpts.Jobs = 1;
+  ChildOpts.FleetWorkers = 0;
+  ChildOpts.Obs = nullptr;
+  ChildOpts.InterruptFlag = nullptr;
+  ChildOpts.CheckpointEvery = 0;
+  ChildOpts.CheckpointSink = nullptr;
+  ChildOpts.ExportStateSignatures = false;
+  ChildOpts.TrackCoverage = WantStates;
+  ChildOpts.MaxExecutions = 0;
+  ChildOpts.ProfileSearch = false;
+
+  WorkerConfig BaseCfg;
+  BaseCfg.Program = &Program;
+  BaseCfg.Opts = ChildOpts;
+  BaseCfg.WantStates = WantStates;
+  BaseCfg.HeartbeatPeriod = std::min(0.1, HbTimeout / 4);
+
+  ChaosSpec Chaos = parseChaos(std::getenv("FSMC_FLEET_CHAOS"));
+
+  LeaseTable::Config LC;
+  LC.QuarantineAfter = Opts.FleetQuarantine > 0 ? Opts.FleetQuarantine : 3;
+  LeaseTable LT(LC);
+
+  // Committed search state; exactly the parallel driver's Shared merge.
+  SearchStats Total;
+  std::unordered_set<uint64_t> States;
+  std::unordered_set<std::string> RaceKeys;
+  std::vector<BugReport> RaceIncidents;
+  std::vector<BugReport> CrashIncidents; // quarantine incidents, in order
+  bool HasBug = false;
+  std::vector<int> BestKey;
+  BugReport BestBug;
+  Verdict BestKind = Verdict::Pass;
+  uint64_t RaceBase = 0;
+
+  bool Interrupted = false, CapHit = false, TimedOut = false;
+  std::shared_ptr<CheckpointState> ResumeOut;
+
+  auto offerBug = [&](const BugReport &B, Verdict K) {
+    std::vector<int> Key = pathKeyOfSchedule(B.Schedule);
+    if (!HasBug || dfsBefore(Key, BestKey)) {
+      HasBug = true;
+      BestKey = std::move(Key);
+      BestBug = B;
+      BestKind = K;
+      return true;
+    }
+    return false;
+  };
+
+  if (ResumeCK) {
+    Total = ResumeCK->Stats;
+    Total.TimedOut = Total.ExecutionCapHit = Total.SearchExhausted =
+        Total.Interrupted = false;
+    Total.Seconds = 0;
+    States.insert(ResumeCK->States.begin(), ResumeCK->States.end());
+    RaceBase = ResumeCK->Stats.RacesFound;
+    if (ResumeCK->Bug)
+      offerBug(*ResumeCK->Bug, ResumeCK->Bug->Kind);
+    for (const CheckpointUnit &U : ResumeCK->Frontier)
+      LT.add(U.Prefix, U.FrozenLen);
+  } else {
+    LT.add({}, 0); // the whole choice tree
+  }
+
+  auto bump = [&](obs::Counter C, uint64_t &Field) {
+    ++Field;
+    if (Ctr)
+      Ctr->add(C);
+  };
+
+  std::vector<FleetWorker> Workers;
+  Workers.resize(size_t(Width));
+  for (FleetWorker &W : Workers)
+    (void)spawnWorker(W, BaseCfg, Chaos);
+
+  auto aliveCount = [&]() {
+    size_t N = 0;
+    for (const FleetWorker &W : Workers)
+      if (W.Alive)
+        ++N;
+    return N;
+  };
+  auto busyCount = [&]() {
+    size_t N = 0;
+    for (const FleetWorker &W : Workers)
+      if (W.Alive && W.LeaseId)
+        ++N;
+    return N;
+  };
+
+  auto sendTo = [&](FleetWorker &W, uint8_t Tag, const WireWriter &Wr) {
+    return writeRecord(W.DownFd, Tag, Wr);
+  };
+  auto bestBugRecord = [&]() {
+    WireWriter Wr;
+    Wr.u32(uint32_t(BestKey.size()));
+    for (int K : BestKey)
+      Wr.u32(uint32_t(K));
+    return Wr;
+  };
+  auto broadcastBestBug = [&]() {
+    WireWriter Wr = bestBugRecord();
+    for (FleetWorker &W : Workers)
+      if (W.Alive && W.LeaseId)
+        (void)sendTo(W, TagBestBug, Wr); // EPIPE = dead; reaped below
+  };
+
+  auto quarantineIncident = [&](uint64_t Id, const std::string &Why) {
+    bump(obs::Counter::FleetQuarantined, Total.FleetQuarantined);
+    ++Total.Crashes;
+    if (Ctr)
+      Ctr->add(obs::Counter::Crashes);
+    const WorkUnit &U = LT.unit(Id);
+    BugReport I;
+    I.Kind = Verdict::Crash;
+    I.Message = Why;
+    I.Schedule = encodeSchedule(U.Prefix);
+    I.AtExecution = Total.Executions;
+    CrashIncidents.push_back(std::move(I));
+  };
+
+  // Merges one committed attempt -- the only way search results enter the
+  // totals, shared by the piped path and the in-process fallback.
+  auto commitAttempt = [&](uint64_t LeaseId, const SearchStats &S,
+                           bool AttemptTimedOut,
+                           const std::optional<BugReport> &Bug,
+                           const std::vector<BugReport> &Incs,
+                           const std::vector<uint64_t> &UnitStates,
+                           std::vector<std::vector<ScheduleChoice>> &&Rem,
+                           bool Broadcast) {
+    // Attempt stats are unit-local (each attempt starts from zero), so
+    // the delta folded into the live counters is the stats themselves.
+    foldStatsDeltaIntoCounters(Ctr, SearchStats{}, S);
+    mergeSearchStats(Total, S);
+    States.insert(UnitStates.begin(), UnitStates.end());
+    for (const BugReport &I : Incs)
+      if (I.Kind != Verdict::DataRace || RaceKeys.insert(I.Message).second) {
+        if (I.Kind == Verdict::DataRace && Ctr)
+          Ctr->add(obs::Counter::RacesFound);
+        RaceIncidents.push_back(I);
+      }
+    if (Opts.Races != RaceCheckMode::Off)
+      Total.RacesFound = RaceBase + RaceKeys.size();
+    if (Bug) {
+      bumpBugClassCounter(Ctr, Bug->Kind);
+      if (offerBug(*Bug, Bug->Kind) && Broadcast && Opts.StopOnFirstBug)
+        broadcastBestBug();
+    }
+    for (std::vector<ScheduleChoice> &P : Rem) {
+      size_t N = P.size();
+      LT.add(std::move(P), N);
+    }
+    LT.commit(LeaseId);
+    if (AttemptTimedOut)
+      TimedOut = true;
+  };
+
+  auto commitUnitDone = [&](FleetWorker &W, WireReader R) {
+    uint64_t LeaseId = R.u64();
+    uint8_t Flags = R.u8();
+    SearchStats S = R.stats();
+    std::optional<BugReport> Bug;
+    if (R.u8())
+      Bug = getBug(R);
+    uint32_t NInc = R.u32();
+    std::vector<BugReport> Incs;
+    for (uint32_t I = 0; I < NInc && R.Ok; ++I)
+      Incs.push_back(getBug(R));
+    std::vector<uint64_t> UnitStates = R.states();
+    uint32_t NRem = R.u32();
+    std::vector<std::vector<ScheduleChoice>> Rem;
+    for (uint32_t I = 0; I < NRem && R.Ok; ++I)
+      Rem.push_back(R.choices());
+    if (!R.Ok || LeaseId == 0 || LeaseId != W.LeaseId) {
+      // Garbled commit: the worker is compromised; kill it and let the
+      // reap path fail its lease so nothing half-merged survives.
+      if (W.Alive && !W.KillSent) {
+        ::kill(W.Pid, SIGKILL);
+        W.KillSent = true;
+      }
+      return;
+    }
+    W.LeaseId = 0;
+    commitAttempt(LeaseId, S, (Flags & FlagTimedOut) != 0, Bug, Incs,
+                  UnitStates, std::move(Rem), /*Broadcast=*/true);
+  };
+
+  auto handleDeath = [&](FleetWorker &W) {
+    W.Alive = false;
+    if (W.DownFd >= 0) {
+      ::close(W.DownFd);
+      W.DownFd = -1;
+    }
+    if (W.UpFd >= 0) {
+      ::close(W.UpFd);
+      W.UpFd = -1;
+    }
+    uint64_t Id = W.LeaseId;
+    W.LeaseId = 0;
+    if (W.DrainKilled) {
+      // Deliberate straggler kill at drain time: nothing was committed,
+      // so releasing the lease keeps the frontier exact. No penalty, no
+      // crash accounting, no respawn -- the fleet is shutting down.
+      if (Id)
+        LT.release(Id);
+      return;
+    }
+    bump(obs::Counter::FleetWorkerCrashes, Total.FleetWorkerCrashes);
+    if (Id) {
+      if (LT.fail(Id, elapsed()) == LeaseTable::FailOutcome::Requeued)
+        bump(obs::Counter::FleetReissues, Total.FleetReissues);
+      else
+        quarantineIncident(
+            Id, "work unit killed " + std::to_string(LT.attempts(Id)) +
+                    " consecutive fleet workers; quarantined");
+    }
+    if (RespawnsLeft > 0) {
+      --RespawnsLeft;
+      if (spawnWorker(W, BaseCfg, Chaos))
+        bump(obs::Counter::FleetRespawns, Total.FleetRespawns);
+    }
+    // else: degraded width; with zero workers left the main loop falls
+    // back to in-process completion.
+  };
+
+  auto reapZombies = [&]() {
+    for (FleetWorker &W : Workers) {
+      if (!W.Alive)
+        continue;
+      int Status = 0;
+      pid_t P = ::waitpid(W.Pid, &Status, WNOHANG);
+      if (P == W.Pid)
+        handleDeath(W);
+    }
+  };
+
+  auto expireHeartbeats = [&]() {
+    for (uint64_t Id : LT.expiredLeases(elapsed())) {
+      int Owner = LT.owner(Id);
+      if (Owner < 0 || size_t(Owner) >= Workers.size())
+        continue;
+      FleetWorker &W = Workers[size_t(Owner)];
+      if (W.Alive && !W.KillSent) {
+        // Silent past the deadline: hung (or wedged). SIGKILL and let the
+        // reap path do the failure bookkeeping.
+        ::kill(W.Pid, SIGKILL);
+        W.KillSent = true;
+      }
+    }
+  };
+
+  auto processEvents = [&](int TimeoutMs) {
+    std::vector<struct pollfd> Pfds;
+    std::vector<size_t> Idx;
+    for (size_t I = 0; I < Workers.size(); ++I)
+      if (Workers[I].Alive && !Workers[I].UpEof && Workers[I].UpFd >= 0) {
+        Pfds.push_back({Workers[I].UpFd, POLLIN, 0});
+        Idx.push_back(I);
+      }
+    if (Pfds.empty()) {
+      if (TimeoutMs > 0)
+        ::usleep(useconds_t(TimeoutMs) * 1000);
+    } else {
+      int R = ::poll(Pfds.data(), nfds_t(Pfds.size()), TimeoutMs);
+      for (size_t K = 0; R > 0 && K < Pfds.size(); ++K) {
+        if (!(Pfds[K].revents & (POLLIN | POLLHUP | POLLERR)))
+          continue;
+        FleetWorker &W = Workers[Idx[K]];
+        char Buf[65536];
+        ssize_t N = ::read(W.UpFd, Buf, sizeof Buf);
+        if (N < 0) {
+          if (errno != EINTR && errno != EAGAIN)
+            W.UpEof = true;
+          continue;
+        }
+        if (N == 0) {
+          W.UpEof = true; // death itself is detected by waitpid
+          continue;
+        }
+        W.Frames.feed(Buf, size_t(N), [&](uint8_t Tag, WireReader Rd) {
+          if (Tag == TagHeartbeat) {
+            uint64_t Id = Rd.u64();
+            (void)Rd.u64(); // lifetime execs: informational
+            if (Rd.Ok && Id && Id == W.LeaseId)
+              LT.renew(Id, elapsed() + HbTimeout);
+          } else if (Tag == TagUnitDone) {
+            commitUnitDone(W, Rd);
+          }
+        });
+      }
+    }
+    reapZombies();
+    expireHeartbeats();
+  };
+
+  auto interruptRequested = [&]() {
+    return Opts.InterruptFlag &&
+           Opts.InterruptFlag->load(std::memory_order_relaxed);
+  };
+
+  auto issueUnits = [&]() {
+    double Now = elapsed();
+    for (size_t I = 0; I < Workers.size(); ++I) {
+      FleetWorker &W = Workers[I];
+      if (!W.Alive || W.LeaseId)
+        continue;
+      for (;;) {
+        const WorkUnit *U = LT.lease(int(I), Now, Now + HbTimeout);
+        if (!U)
+          break;
+        uint64_t Id = U->Id;
+        if (Opts.StopOnFirstBug && HasBug &&
+            !dfsBefore(pathKeyOfPrefix(U->Prefix), BestKey)) {
+          // DFS-at-or-after the best bug: cannot improve it. Retire the
+          // unit without running it (the parallel driver's discard rule).
+          LT.commit(Id);
+          continue;
+        }
+        uint64_t Budget = Batch;
+        if (Opts.MaxExecutions) {
+          // Bounded overshoot: each in-flight unit gets at most the cap
+          // remainder at issue time; committed units count whole.
+          uint64_t Left = Opts.MaxExecutions > Total.Executions
+                              ? Opts.MaxExecutions - Total.Executions
+                              : 1;
+          if (Left < Budget)
+            Budget = Left;
+        }
+        double TimeBudget = 0;
+        if (Opts.TimeBudgetSeconds > 0) {
+          TimeBudget = Opts.TimeBudgetSeconds - Now;
+          if (TimeBudget < 0.001)
+            TimeBudget = 0.001;
+        }
+        WireWriter Wr;
+        Wr.u64(Id);
+        Wr.u64(Budget);
+        Wr.f64(TimeBudget);
+        Wr.u32(uint32_t(U->FrozenLen));
+        Wr.choices(U->Prefix);
+        W.LeaseId = Id;
+        if (!sendTo(W, TagUnit, Wr))
+          break; // worker just died; reap fails the lease
+        if (Opts.StopOnFirstBug && HasBug)
+          (void)sendTo(W, TagBestBug, bestBugRecord());
+        break; // one outstanding unit per worker
+      }
+    }
+  };
+
+  auto buildCheckpoint = [&]() {
+    auto CK = std::make_shared<CheckpointState>();
+    CK->Stats = Total;
+    CK->Stats.TimedOut = CK->Stats.ExecutionCapHit =
+        CK->Stats.SearchExhausted = CK->Stats.Interrupted = false;
+    CK->Stats.Seconds = 0;
+    CK->Stats.DistinctStates = States.size();
+    if (Opts.Races != RaceCheckMode::Off)
+      CK->Stats.RacesFound = RaceBase + RaceKeys.size();
+    CK->Rng = Opts.Seed;
+    CK->States.assign(States.begin(), States.end());
+    std::sort(CK->States.begin(), CK->States.end());
+    for (const WorkUnit *U : LT.pendingUnits())
+      CK->Frontier.push_back({U->Prefix, U->FrozenLen});
+    if (HasBug)
+      CK->Bug = BestBug;
+    return CK;
+  };
+
+  // Settles every outstanding lease: asks busy workers to stop (they
+  // commit their partial attempt plus remainder), and past the grace
+  // deadline SIGKILLs stragglers, whose leases release without penalty.
+  // Either way the frontier stays exact.
+  auto drainLeases = [&](double GraceSeconds) {
+    WireWriter Empty;
+    for (FleetWorker &W : Workers)
+      if (W.Alive && W.LeaseId)
+        (void)sendTo(W, TagStop, Empty);
+    double KillAt = elapsed() + GraceSeconds;
+    bool Killed = false;
+    while (busyCount() > 0 || LT.leasedCount() > 0) {
+      if (busyCount() == 0 && LT.leasedCount() > 0) {
+        // Leases held by already-dead workers only; reap settles them.
+        reapZombies();
+        if (LT.leasedCount() == 0)
+          break;
+      }
+      processEvents(20);
+      if (!Killed && elapsed() >= KillAt) {
+        for (FleetWorker &W : Workers)
+          if (W.Alive && W.LeaseId) {
+            W.DrainKilled = true;
+            ::kill(W.Pid, SIGKILL);
+          }
+        Killed = true;
+      }
+    }
+  };
+
+  auto shutdownWorkers = [&]() {
+    WireWriter Empty;
+    for (FleetWorker &W : Workers)
+      if (W.Alive) {
+        (void)sendTo(W, TagShutdown, Empty);
+        ::close(W.DownFd); // EOF makes even a mid-attempt worker exit
+        W.DownFd = -1;
+      }
+    for (int Spin = 0; Spin < 100 && aliveCount() > 0; ++Spin) {
+      for (FleetWorker &W : Workers) {
+        if (!W.Alive)
+          continue;
+        int Status = 0;
+        if (::waitpid(W.Pid, &Status, WNOHANG) == W.Pid) {
+          W.Alive = false;
+          if (W.UpFd >= 0) {
+            ::close(W.UpFd);
+            W.UpFd = -1;
+          }
+        }
+      }
+      if (aliveCount() > 0)
+        ::usleep(10000);
+    }
+    for (FleetWorker &W : Workers) {
+      if (!W.Alive)
+        continue;
+      ::kill(W.Pid, SIGKILL);
+      int Status = 0;
+      ::waitpid(W.Pid, &Status, 0);
+      W.Alive = false;
+      if (W.UpFd >= 0) {
+        ::close(W.UpFd);
+        W.UpFd = -1;
+      }
+    }
+  };
+
+  // Last-resort degradation: every worker is gone and the respawn budget
+  // is spent. Units that never failed finish in the coordinator; units
+  // that already killed a worker are crash suspects and must not run in
+  // the only process left -- they are quarantined.
+  auto runQueueInProcess = [&]() {
+    StackPool Pool;
+    for (;;) {
+      if (interruptRequested()) {
+        Interrupted = true;
+        return;
+      }
+      if (Opts.MaxExecutions && Total.Executions >= Opts.MaxExecutions) {
+        CapHit = true;
+        return;
+      }
+      if (Opts.TimeBudgetSeconds > 0 && elapsed() >= Opts.TimeBudgetSeconds) {
+        TimedOut = true;
+        return;
+      }
+      if (TimedOut)
+        return;
+      const WorkUnit *U = LT.lease(/*Owner=*/-2, elapsed(), /*Deadline=*/0);
+      if (!U) {
+        if (LT.pendingCount() == 0)
+          return;
+        ::usleep(10000); // only backoff-delayed units remain
+        continue;
+      }
+      uint64_t Id = U->Id;
+      if (LT.attempts(Id) > 0) {
+        LT.quarantine(Id);
+        quarantineIncident(
+            Id, "crash-suspect work unit (" + std::to_string(LT.attempts(Id)) +
+                    " worker deaths) quarantined: no fleet workers left");
+        continue;
+      }
+      if (Opts.StopOnFirstBug && HasBug &&
+          !dfsBefore(pathKeyOfPrefix(U->Prefix), BestKey)) {
+        LT.commit(Id);
+        continue;
+      }
+      CheckerOptions AOpts = ChildOpts;
+      if (Opts.TimeBudgetSeconds > 0) {
+        AOpts.TimeBudgetSeconds = Opts.TimeBudgetSeconds - elapsed();
+        if (AOpts.TimeBudgetSeconds < 0.001)
+          AOpts.TimeBudgetSeconds = 0.001;
+      }
+      Explorer E(Program, AOpts);
+      if (AOpts.ReuseExecutionState)
+        E.setStackPool(&Pool);
+      if (!U->Prefix.empty())
+        E.preloadScheduleFrozenPrefix(U->Prefix, U->FrozenLen);
+      uint64_t Budget = UINT64_MAX;
+      if (Opts.MaxExecutions && Opts.MaxExecutions > Total.Executions)
+        Budget = Opts.MaxExecutions - Total.Executions;
+      uint64_t Done = 0;
+      std::vector<std::vector<ScheduleChoice>> Rem;
+      E.setExecutionHook([&](Explorer &Ex) {
+        ++Done;
+        if (Opts.StopOnFirstBug && HasBug &&
+            !dfsBefore(Ex.consumedPathKey(), BestKey))
+          return false;
+        if (interruptRequested() || Done >= Budget) {
+          Ex.splitWork(Rem, SIZE_MAX);
+          return false;
+        }
+        return true;
+      });
+      CheckResult R = E.run();
+      std::vector<uint64_t> SS(E.seenStates().begin(), E.seenStates().end());
+      commitAttempt(Id, R.Stats, R.Stats.TimedOut, R.Bug, R.Incidents, SS,
+                    std::move(Rem), /*Broadcast=*/false);
+    }
+  };
+
+  uint64_t NextCheckpointAt =
+      Opts.CheckpointEvery
+          ? (Total.Executions / Opts.CheckpointEvery + 1) *
+                Opts.CheckpointEvery
+          : 0;
+
+  for (;;) {
+    if (interruptRequested()) {
+      drainLeases(std::min(2.0, HbTimeout));
+      if (LT.pendingCount() > 0) {
+        ResumeOut = buildCheckpoint();
+        Interrupted = true;
+      }
+      break;
+    }
+    if (Opts.MaxExecutions && Total.Executions >= Opts.MaxExecutions) {
+      CapHit = true;
+      break;
+    }
+    if (Opts.TimeBudgetSeconds > 0 && elapsed() >= Opts.TimeBudgetSeconds)
+      TimedOut = true;
+    if (TimedOut)
+      break;
+    if (LT.pendingCount() == 0)
+      break;
+    if (aliveCount() == 0) {
+      runQueueInProcess();
+      if (Interrupted)
+        ResumeOut = buildCheckpoint();
+      break;
+    }
+    if (NextCheckpointAt && Opts.CheckpointSink &&
+        Total.Executions >= NextCheckpointAt) {
+      // Checkpoint barrier: settle every lease so the frontier is exact,
+      // persist, then resume issuing.
+      drainLeases(2 * HbTimeout);
+      ++Total.Checkpoints;
+      if (Ctr)
+        Ctr->add(obs::Counter::Checkpoints);
+      Opts.CheckpointSink(*buildCheckpoint());
+      NextCheckpointAt = (Total.Executions / Opts.CheckpointEvery + 1) *
+                         Opts.CheckpointEvery;
+      continue;
+    }
+    issueUnits();
+    if (Ctr) {
+      Ctr->setGauge(obs::Gauge::WorkQueueDepth, LT.queuedCount());
+      Ctr->setGauge(obs::Gauge::ActiveWorkers, busyCount());
+    }
+    processEvents(50);
+  }
+
+  shutdownWorkers();
+
+  CheckResult Result;
+  Result.Stats = Total;
+  Result.Stats.DistinctStates = States.size();
+  // Quarantine incidents keep their (unit-id ordered) arrival order, like
+  // the sandbox's crash incidents; race incidents sort by message so the
+  // list is deterministic across widths and schedules of arrival.
+  std::sort(RaceIncidents.begin(), RaceIncidents.end(),
+            [](const BugReport &A, const BugReport &B) {
+              return A.Message < B.Message;
+            });
+  Result.Incidents = std::move(CrashIncidents);
+  Result.Incidents.insert(Result.Incidents.end(), RaceIncidents.begin(),
+                          RaceIncidents.end());
+  if (Opts.Races != RaceCheckMode::Off)
+    Result.Stats.RacesFound = RaceBase + RaceKeys.size();
+  if (Opts.ExportStateSignatures) {
+    Result.StateSignatures.assign(States.begin(), States.end());
+    std::sort(Result.StateSignatures.begin(), Result.StateSignatures.end());
+  }
+  Result.Stats.ExecutionCapHit = CapHit;
+  Result.Stats.TimedOut = TimedOut;
+  Result.Stats.Interrupted = Interrupted;
+  if (Interrupted)
+    Result.Resume = ResumeOut;
+  if (HasBug) {
+    Result.Kind = BestKind;
+    Result.Bug = BestBug;
+  } else {
+    // No genuine workload bug: the first crash incident (a quarantined
+    // unit) stands in, mirroring the sandbox. Data races never stand in
+    // here -- escalation is finalizeRaces' top-level decision.
+    for (const BugReport &I : Result.Incidents)
+      if (I.Kind != Verdict::DataRace) {
+        Result.Kind = I.Kind;
+        Result.Bug = I;
+        break;
+      }
+    if (Result.Kind == Verdict::Pass && Total.Divergences > 0 &&
+        Total.Executions == 0)
+      Result.Kind = Verdict::Divergence;
+  }
+  // Exhausted iff nothing cut the enumeration short. First-bug pruning
+  // mirrors the serial early stop (flag stays clear), and a quarantined
+  // subtree counts like the sandbox's skipped crashing subtree.
+  Result.Stats.SearchExhausted =
+      !CapHit && !TimedOut && !Interrupted && !(HasBug && Opts.StopOnFirstBug);
+  Result.Stats.Seconds = elapsed();
+  if (Ctr) {
+    Ctr->setGauge(obs::Gauge::WorkQueueDepth, 0);
+    Ctr->setGauge(obs::Gauge::ActiveWorkers, 0);
+  }
+  return Result;
+}

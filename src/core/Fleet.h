@@ -1,0 +1,56 @@
+//===- core/Fleet.h - Supervised multi-process exploration -----*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fleet mode (--fleet=N; docs/FLEET.md): a coordinator process forks N
+/// long-lived worker processes and streams leased work units -- frozen
+/// schedule prefixes with an execution budget -- over pipes, merging each
+/// unit's stats, incidents and remainder prefixes back deterministically.
+///
+/// The robustness contract, and the difference from both --jobs=N
+/// (threads: a crashing workload kills the whole search) and
+/// --isolate=batch (a new fork per batch, serial frontier):
+///
+///   - a worker that crashes, exits or goes silent past its heartbeat
+///     deadline loses only its uncommitted attempt; the unit is re-issued
+///     with exponential backoff (every commit is one atomic record, so an
+///     attempt either merges completely or not at all);
+///   - a unit that kills FleetQuarantine consecutive workers is
+///     quarantined as a replayable Verdict::Crash incident;
+///   - dead workers are replaced up to a respawn budget, then the fleet
+///     degrades to reduced width; with every worker gone, never-failed
+///     units finish in-process and crash-suspect units are quarantined;
+///   - SIGINT/SIGTERM drains the outstanding leases into one checkpoint
+///     whose frontier reproduces the uninterrupted multiset on --resume.
+///
+/// On exhaustive searches the committed-stats-plus-pending-units
+/// invariant makes verdicts, stats and incident sets identical to
+/// --jobs=N -- including under FSMC_FLEET_CHAOS fault injection, where
+/// only the fleet_* recovery counters and wall time change.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_CORE_FLEET_H
+#define FSMC_CORE_FLEET_H
+
+#include "core/Checker.h"
+
+namespace fsmc {
+
+struct CheckpointState;
+
+/// Runs the supervised multi-process search. \p Opts.FleetWorkers must be
+/// >= 1; RandomWalk, StatefulPruning and IsolationMode::Batch are the
+/// caller's responsibility to exclude (check() and resumeCheck() route
+/// them elsewhere). With \p ResumeCK, seeds the lease table from the
+/// checkpoint's frontier and continues cumulatively.
+CheckResult runFleet(const TestProgram &Program, const CheckerOptions &Opts,
+                     const CheckpointState *ResumeCK = nullptr);
+
+} // namespace fsmc
+
+#endif // FSMC_CORE_FLEET_H

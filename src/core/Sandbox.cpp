@@ -24,9 +24,11 @@
 //                      Bug), streamed just before its execution's ExecDone
 //                      so it commits and is discarded with that execution.
 //
-// Records are `u8 tag + u32 length + payload`. Parent and child are the
-// same process image (fork, no exec), so trivially-copyable payloads
-// (SearchStats, ScheduleChoice) cross the pipe as raw bytes.
+// Records are `u8 tag + u32 length + payload`, framed and parsed by the
+// shared helpers in core/Wire.h (also spoken by the fleet coordinator).
+// Parent and child are the same process image (fork, no exec), so
+// trivially-copyable payloads (SearchStats, ScheduleChoice) cross the
+// pipe as raw bytes.
 //
 // Crash attribution: the child dies somewhere inside execution N+1, whose
 // replay prefix is advance(stack of ExecDone N). A fresh probe child
@@ -48,6 +50,7 @@
 
 #include "core/Checkpoint.h"
 #include "core/Explorer.h"
+#include "core/Wire.h"
 #include "obs/Observer.h"
 
 #include <algorithm>
@@ -65,11 +68,14 @@
 #include <unistd.h>
 
 using namespace fsmc;
+using wire::WireReader;
+using wire::WireWriter;
+using wire::writeRecord;
 
 namespace {
 
 //===----------------------------------------------------------------------===//
-// Wire format helpers
+// Wire format (helpers live in core/Wire.h, shared with the fleet)
 //===----------------------------------------------------------------------===//
 
 enum : uint8_t {
@@ -85,133 +91,6 @@ enum : uint8_t {
   FlagCapHit = 2,
   FlagExhausted = 4,
   FlagFrontier = 8,
-};
-
-struct WireWriter {
-  std::string Buf;
-
-  void u8(uint8_t V) { Buf.push_back(char(V)); }
-  void raw(const void *P, size_t N) {
-    Buf.append(reinterpret_cast<const char *>(P), N);
-  }
-  void u32(uint32_t V) { raw(&V, sizeof(V)); }
-  void u64(uint64_t V) { raw(&V, sizeof(V)); }
-  void str(const std::string &S) {
-    u32(uint32_t(S.size()));
-    Buf.append(S);
-  }
-  void stats(const SearchStats &S) { raw(&S, sizeof(S)); }
-  void choices(const std::vector<ScheduleChoice> &C) {
-    u32(uint32_t(C.size()));
-    if (!C.empty())
-      raw(C.data(), C.size() * sizeof(ScheduleChoice));
-  }
-  void states(const uint64_t *P, size_t N) {
-    u32(uint32_t(N));
-    if (N)
-      raw(P, N * sizeof(uint64_t));
-  }
-};
-
-/// Writes the whole buffer, restarting on EINTR. Returns false when the
-/// parent is gone (EPIPE; SIGPIPE is ignored in the child).
-bool writeAll(int Fd, const void *P, size_t N) {
-  const char *C = static_cast<const char *>(P);
-  while (N) {
-    ssize_t W = ::write(Fd, C, N);
-    if (W < 0) {
-      if (errno == EINTR)
-        continue;
-      return false;
-    }
-    C += W;
-    N -= size_t(W);
-  }
-  return true;
-}
-
-bool writeRecord(int Fd, uint8_t Tag, const WireWriter &W) {
-  std::string Frame;
-  Frame.reserve(W.Buf.size() + 5);
-  Frame.push_back(char(Tag));
-  uint32_t Len = uint32_t(W.Buf.size());
-  Frame.append(reinterpret_cast<char *>(&Len), sizeof(Len));
-  Frame.append(W.Buf);
-  return writeAll(Fd, Frame.data(), Frame.size());
-}
-
-/// Cursor over one received payload. All reads are bounds-checked; a short
-/// record marks the reader bad and the parent treats the batch as crashed.
-struct WireReader {
-  const char *P;
-  size_t N;
-  bool Ok = true;
-
-  bool take(void *Out, size_t K) {
-    if (!Ok || K > N) {
-      Ok = false;
-      return false;
-    }
-    std::memcpy(Out, P, K);
-    P += K;
-    N -= K;
-    return true;
-  }
-  uint8_t u8() {
-    uint8_t V = 0;
-    take(&V, 1);
-    return V;
-  }
-  uint32_t u32() {
-    uint32_t V = 0;
-    take(&V, sizeof(V));
-    return V;
-  }
-  uint64_t u64() {
-    uint64_t V = 0;
-    take(&V, sizeof(V));
-    return V;
-  }
-  std::string str() {
-    uint32_t K = u32();
-    if (!Ok || K > N) {
-      Ok = false;
-      return {};
-    }
-    std::string S(P, K);
-    P += K;
-    N -= K;
-    return S;
-  }
-  SearchStats stats() {
-    SearchStats S;
-    take(&S, sizeof(S));
-    return S;
-  }
-  std::vector<ScheduleChoice> choices() {
-    uint32_t K = u32();
-    std::vector<ScheduleChoice> C;
-    if (!Ok || size_t(K) * sizeof(ScheduleChoice) > N) {
-      Ok = false;
-      return C;
-    }
-    C.resize(K);
-    if (K)
-      take(C.data(), K * sizeof(ScheduleChoice));
-    return C;
-  }
-  std::vector<uint64_t> states() {
-    uint32_t K = u32();
-    std::vector<uint64_t> V;
-    if (!Ok || size_t(K) * sizeof(uint64_t) > N) {
-      Ok = false;
-      return V;
-    }
-    V.resize(K);
-    if (K)
-      take(V.data(), K * sizeof(uint64_t));
-    return V;
-  }
 };
 
 //===----------------------------------------------------------------------===//
@@ -448,23 +327,9 @@ struct ChildExit {
 ChildExit superviseChild(pid_t Pid, int Fd, const CheckerOptions &Opts,
                          BatchReport &Rep) {
   ChildExit Ex;
-  std::string Buf;
+  wire::FrameParser Frames;
   auto LastActivity = std::chrono::steady_clock::now();
   bool Killed = false;
-
-  auto drainParse = [&]() {
-    size_t Off = 0;
-    while (Buf.size() - Off >= 5) {
-      uint8_t Tag = uint8_t(Buf[Off]);
-      uint32_t Len;
-      std::memcpy(&Len, Buf.data() + Off + 1, sizeof(Len));
-      if (Buf.size() - Off - 5 < Len)
-        break;
-      Rep.onRecord(Tag, WireReader{Buf.data() + Off + 5, Len});
-      Off += 5 + size_t(Len);
-    }
-    Buf.erase(0, Off);
-  };
 
   for (;;) {
     if (!Killed && Opts.InterruptFlag &&
@@ -490,8 +355,8 @@ ChildExit superviseChild(pid_t Pid, int Fd, const CheckerOptions &Opts,
       }
       if (R == 0)
         break; // EOF: child closed its end (exit or death).
-      Buf.append(Chunk, size_t(R));
-      drainParse();
+      Frames.feed(Chunk, size_t(R),
+                  [&](uint8_t Tag, WireReader Rd) { Rep.onRecord(Tag, Rd); });
       LastActivity = std::chrono::steady_clock::now();
       continue;
     }
@@ -575,58 +440,6 @@ bool advancePrefix(std::vector<ScheduleChoice> &P, size_t FrozenLen,
     P.pop_back();
   }
   return false;
-}
-
-/// Folds the per-batch SearchStats delta into the parent's shard-0 live
-/// counters, so --stats-json counters and the progress line keep working
-/// under isolation. Per-op and latency telemetry has no SearchStats
-/// mirror and is lost when the child exits (see docs/ROBUSTNESS.md).
-void addCounterDeltas(obs::WorkerCounters *Ctr, const SearchStats &Prev,
-                      const SearchStats &Now) {
-  if (!Ctr)
-    return;
-  using obs::Counter;
-  auto D = [&](Counter C, uint64_t New, uint64_t Old) {
-    if (New > Old)
-      Ctr->add(C, New - Old);
-  };
-  D(Counter::Executions, Now.Executions, Prev.Executions);
-  D(Counter::Transitions, Now.Transitions, Prev.Transitions);
-  D(Counter::Preemptions, Now.Preemptions, Prev.Preemptions);
-  D(Counter::NonterminatingExecutions, Now.NonterminatingExecutions,
-    Prev.NonterminatingExecutions);
-  D(Counter::StatefulPrunes, Now.PrunedExecutions, Prev.PrunedExecutions);
-  D(Counter::PorSleepHits, Now.PorSleepHits, Prev.PorSleepHits);
-  D(Counter::PorBranchesPruned, Now.PorBranchesPruned,
-    Prev.PorBranchesPruned);
-  D(Counter::PorFairWakes, Now.PorFairWakes, Prev.PorFairWakes);
-  D(Counter::FairEdgeAdds, Now.FairEdgeAdditions, Prev.FairEdgeAdditions);
-  D(Counter::BugsFound, Now.BugsFound, Prev.BugsFound);
-  D(Counter::Divergences, Now.Divergences, Prev.Divergences);
-  D(Counter::DivergenceRetries, Now.DivergenceRetries, Prev.DivergenceRetries);
-  // RacesFound is deliberately absent: each batch child dedups only within
-  // itself, so its delta overcounts races already seen by earlier batches.
-  // The parent bumps the counter per globally-novel race at commit time.
-  D(Counter::RacesChecked, Now.RacesChecked, Prev.RacesChecked);
-  Ctr->maxGauge(obs::Gauge::MaxDepth, Now.MaxDepth);
-}
-
-void bumpBugClass(obs::WorkerCounters *Ctr, Verdict V) {
-  if (!Ctr)
-    return;
-  switch (V) {
-  case Verdict::Deadlock:
-    Ctr->add(obs::Counter::Deadlocks);
-    break;
-  case Verdict::Livelock:
-    Ctr->add(obs::Counter::Livelocks);
-    break;
-  case Verdict::GoodSamaritanViolation:
-    Ctr->add(obs::Counter::GoodSamaritanViolations);
-    break;
-  default:
-    break;
-  }
 }
 
 std::string describeSignal(int Sig) {
@@ -799,7 +612,7 @@ CheckResult fsmc::runSandboxed(const TestProgram &Program,
       E.setRngState(Rng);
       E.enableStateLog();
       CheckResult R = E.run();
-      addCounterDeltas(Ctr, Cum, R.Stats);
+      foldStatsDeltaIntoCounters(Ctr, Cum, R.Stats);
       Cum = R.Stats;
       Cum.TimedOut = Cum.ExecutionCapHit = Cum.SearchExhausted =
           Cum.Interrupted = false;
@@ -808,7 +621,7 @@ CheckResult fsmc::runSandboxed(const TestProgram &Program,
       Rng = E.rngState();
       if (R.Bug && !FirstBug) {
         FirstBug = *R.Bug;
-        bumpBugClass(Ctr, R.Bug->Kind);
+        bumpBugClassCounter(Ctr, R.Bug->Kind);
       }
       if (FirstBug && Opts.StopOnFirstBug)
         break;
@@ -837,12 +650,12 @@ CheckResult fsmc::runSandboxed(const TestProgram &Program,
 
     if (Rep.Bug) {
       FirstBug = *Rep.Bug;
-      bumpBugClass(Ctr, Rep.Bug->Kind);
+      bumpBugClassCounter(Ctr, Rep.Bug->Kind);
     }
 
     if (Rep.GotEnd && !Rep.Malformed) {
       // Clean batch: the BatchEnd block is authoritative.
-      addCounterDeltas(Ctr, Cum, Rep.EndStats);
+      foldStatsDeltaIntoCounters(Ctr, Cum, Rep.EndStats);
       Cum = Rep.EndStats;
       Cum.TimedOut = Cum.ExecutionCapHit = Cum.SearchExhausted =
           Cum.Interrupted = false;
@@ -871,7 +684,7 @@ CheckResult fsmc::runSandboxed(const TestProgram &Program,
       // The child died (or truncated the protocol) inside execution N+1.
       // Commit through ExecDone N, attribute the crash, and skip past it.
       if (Rep.HaveExec) {
-        addCounterDeltas(Ctr, Cum, Rep.ExecStats);
+        foldStatsDeltaIntoCounters(Ctr, Cum, Rep.ExecStats);
         Cum = Rep.ExecStats;
         Cum.TimedOut = Cum.ExecutionCapHit = Cum.SearchExhausted =
             Cum.Interrupted = false;

@@ -66,6 +66,14 @@ const char *fsmc::obs::counterName(Counter C) {
     return "races_checked";
   case Counter::RacesFound:
     return "races_found";
+  case Counter::FleetWorkerCrashes:
+    return "fleet_worker_crashes";
+  case Counter::FleetReissues:
+    return "fleet_reissues";
+  case Counter::FleetRespawns:
+    return "fleet_respawns";
+  case Counter::FleetQuarantined:
+    return "fleet_quarantined";
   case Counter::NumCounters:
     break;
   }

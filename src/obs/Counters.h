@@ -71,6 +71,13 @@ enum class Counter : unsigned {
   Checkpoints,             ///< Checkpoints written.
   RacesChecked,            ///< Plain accesses race-checked (--races=on).
   RacesFound,              ///< Distinct data races found.
+  // Fleet mode (docs/FLEET.md). Zero off-fleet and on healthy fleet runs;
+  // omitted from --stats-json at zero like the rest of the robustness
+  // block.
+  FleetWorkerCrashes,      ///< Fleet worker processes that died.
+  FleetReissues,           ///< Leased units re-issued after a death.
+  FleetRespawns,           ///< Replacement workers forked.
+  FleetQuarantined,        ///< Units quarantined as crash incidents.
   NumCounters
 };
 

@@ -78,6 +78,21 @@ std::string ProgressReporter::formatLine(double ElapsedSeconds,
     Line += " por_hits=" + compactCount(PorHits);
     Line += " por_pruned=" + compactCount(PorPruned);
   }
+  // Fleet recovery activity, shown only once the supervisor has actually
+  // had to intervene (crash, re-issue, respawn or quarantine); healthy
+  // fleet runs and non-fleet runs keep the historical line shape.
+  uint64_t FleetCrashes = S.counter(Counter::FleetWorkerCrashes);
+  uint64_t FleetReissues = S.counter(Counter::FleetReissues);
+  uint64_t FleetRespawns = S.counter(Counter::FleetRespawns);
+  uint64_t FleetQuarantined = S.counter(Counter::FleetQuarantined);
+  if (FleetCrashes || FleetReissues || FleetRespawns || FleetQuarantined) {
+    Line += " fleet_crashes=" + compactCount(FleetCrashes);
+    Line += " fleet_reissues=" + compactCount(FleetReissues);
+    if (FleetRespawns)
+      Line += " fleet_respawns=" + compactCount(FleetRespawns);
+    if (FleetQuarantined)
+      Line += " fleet_quarantined=" + compactCount(FleetQuarantined);
+  }
   if (Cfg.Jobs > 1) {
     Line += " queue=" + std::to_string(S.gauge(Gauge::WorkQueueDepth));
     Line += " workers=" + std::to_string(S.gauge(Gauge::ActiveWorkers)) +

@@ -252,6 +252,11 @@ std::string fsmc::obs::renderStatsJson(const CheckResult &R,
                   true);
     if (O.CheckpointEvery != 0)
       appendKV(Out, "checkpoint_every", O.CheckpointEvery, true);
+    if (O.FleetWorkers > 0) {
+      appendKV(Out, "fleet_workers", uint64_t(O.FleetWorkers), true);
+      appendKV(Out, "fleet_batch", uint64_t(O.FleetBatchSize), true);
+      appendKV(Out, "fleet_quarantine", uint64_t(O.FleetQuarantine), true);
+    }
     appendKVBool(Out, "stop_on_first_bug", O.StopOnFirstBug, false);
     Out += "  },\n";
   }
@@ -293,6 +298,16 @@ std::string fsmc::obs::renderStatsJson(const CheckResult &R,
     appendKV(Out, "races_checked", S.RacesChecked, true);
   if (S.RacesFound != 0)
     appendKV(Out, "races_found", S.RacesFound, true);
+  // Fleet recovery counters, zero (and omitted) on healthy fleet runs and
+  // on every non-fleet run.
+  if (S.FleetWorkerCrashes != 0)
+    appendKV(Out, "fleet_worker_crashes", S.FleetWorkerCrashes, true);
+  if (S.FleetReissues != 0)
+    appendKV(Out, "fleet_reissues", S.FleetReissues, true);
+  if (S.FleetRespawns != 0)
+    appendKV(Out, "fleet_respawns", S.FleetRespawns, true);
+  if (S.FleetQuarantined != 0)
+    appendKV(Out, "fleet_quarantined", S.FleetQuarantined, true);
   if (S.Interrupted)
     appendKVBool(Out, "interrupted", true, true);
   char Secs[48];

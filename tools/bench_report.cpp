@@ -25,10 +25,18 @@
 // throughput overhead percentage -- the number that keeps the "telemetry
 // costs < 5%" claim honest across revisions.
 //
+// The fleet section (docs/FLEET.md) prices the supervised multi-process
+// engine: the par_speedup dining workload at --fleet 1/2/4 beside the
+// same widths under --jobs (the fleet/jobs rate ratio is the cost of
+// pipes + process isolation), the spin-wait micro search at width 2
+// (worst case: tiny units, fork/lease overhead undiluted), and the fig5
+// time-to-first-deadlock run healthy vs with one worker kill injected
+// through FSMC_FLEET_CHAOS (what a mid-search crash costs in wall time).
+//
 // Usage: bench_report [--quick] [--out=FILE]
 //   --quick  shrink every budget (the bench-smoke ctest entry); numbers
 //            are noisier but the schema is identical
-//   --out=F  write the JSON to F (default: BENCH_7.json in the CWD)
+//   --out=F  write the JSON to F (default: BENCH_8.json in the CWD)
 //
 // Always exits 0: the harness records numbers, it does not gate. Compare
 // across revisions with the methodology notes in docs/PERFORMANCE.md.
@@ -42,6 +50,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <sys/resource.h>
@@ -191,6 +200,72 @@ Meas measureTelemetryDining(bool Telemetry, int Philosophers,
   return M;
 }
 
+/// One fleet row: the par_speedup dining workload under the supervised
+/// multi-process engine at \p Width workers (same bounds and coverage as
+/// measurePar, so the jobs rows are its direct baseline).
+Meas measureFleetPar(int Philosophers, int Width, double BudgetSeconds) {
+  DiningConfig C;
+  C.Philosophers = Philosophers;
+  C.Kind = DiningConfig::Variant::Mixed;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.TrackCoverage = true;
+  O.FleetWorkers = Width;
+  O.TimeBudgetSeconds = BudgetSeconds;
+  auto T0 = Clock::now();
+  CheckResult R = check(makeDiningProgram(C), O);
+  Meas M;
+  M.Executions = R.Stats.Executions;
+  M.Exhausted = R.Stats.SearchExhausted;
+  M.finish(secondsSince(T0));
+  return M;
+}
+
+/// The fleet micro row: the spin-wait exhaustive search once, width 2.
+/// The search is tiny, so this is the engine's worst case -- fork,
+/// lease and pipe overhead undiluted by real exploration.
+Meas measureFleetMicro(double BudgetSeconds) {
+  SpinWaitConfig C;
+  CheckerOptions O;
+  O.DetectDivergence = false;
+  O.FleetWorkers = 2;
+  O.TimeBudgetSeconds = BudgetSeconds;
+  Meas M;
+  auto T0 = Clock::now();
+  do {
+    CheckResult R = check(makeSpinWaitProgram(C), O);
+    M.Executions += R.Stats.Executions;
+  } while (secondsSince(T0) < BudgetSeconds);
+  M.finish(secondsSince(T0));
+  return M;
+}
+
+/// Fleet time-to-first-bug: the fig5 deadlock hunt at \p Width workers,
+/// optionally with FSMC_FLEET_CHAOS injected for this one run -- the
+/// wall-time delta against the healthy row is what a worker crash costs
+/// mid-search (detection + respawn + one re-run attempt).
+Meas measureFleetDeadlock(int Philosophers, int Width, double BudgetSeconds,
+                          const char *Chaos) {
+  if (Chaos)
+    setenv("FSMC_FLEET_CHAOS", Chaos, 1);
+  DiningConfig C;
+  C.Philosophers = Philosophers;
+  C.Kind = DiningConfig::Variant::DeadlockProne;
+  CheckerOptions O;
+  O.TimeBudgetSeconds = BudgetSeconds;
+  O.FleetWorkers = Width;
+  auto T0 = Clock::now();
+  CheckResult R = check(makeDiningProgram(C), O);
+  if (Chaos)
+    unsetenv("FSMC_FLEET_CHAOS");
+  Meas M;
+  M.Executions = R.Stats.Executions;
+  M.Exhausted = R.Kind == Verdict::Deadlock; // "found it" for this bench
+  M.finish(secondsSince(T0));
+  return M;
+}
+
 long peakRssKb() {
   struct rusage RU;
   if (getrusage(RUSAGE_SELF, &RU) != 0)
@@ -213,7 +288,7 @@ void appendMeas(std::string &Out, const char *Key, const Meas &M,
 
 int main(int Argc, char **Argv) {
   bool Quick = false;
-  std::string OutPath = "BENCH_7.json";
+  std::string OutPath = "BENCH_8.json";
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--quick") == 0)
       Quick = true;
@@ -266,6 +341,27 @@ int main(int Argc, char **Argv) {
   Meas TelDiningOn =
       measureTelemetryDining(/*Telemetry=*/true, FigPhilosophers, FigBudget);
 
+  // Fleet vs jobs at matched widths on the par_speedup workload, plus
+  // the undiluted-overhead micro row and the injected-kill deadlock hunt.
+  Meas FleetJobs[3], FleetPar[3];
+  const int FleetWidths[3] = {1, 2, 4};
+  for (int I = 0; I < 3; ++I) {
+    std::fprintf(stderr, "bench_report: fleet dining jobs=%d...\n",
+                 FleetWidths[I]);
+    FleetJobs[I] = measurePar(ParPhilosophers, FleetWidths[I], ParBudget);
+    std::fprintf(stderr, "bench_report: fleet dining fleet=%d...\n",
+                 FleetWidths[I]);
+    FleetPar[I] = measureFleetPar(ParPhilosophers, FleetWidths[I], ParBudget);
+  }
+  std::fprintf(stderr, "bench_report: fleet micro (width 2)...\n");
+  Meas FleetMicro = measureFleetMicro(MicroBudget);
+  std::fprintf(stderr, "bench_report: fleet first-bug (healthy)...\n");
+  Meas FleetBugClean =
+      measureFleetDeadlock(FigPhilosophers, 2, FigBudget, nullptr);
+  std::fprintf(stderr, "bench_report: fleet first-bug (kill:1)...\n");
+  Meas FleetBugKill =
+      measureFleetDeadlock(FigPhilosophers, 2, FigBudget, "kill:1");
+
   double Speedup =
       MicroOff.ExecsPerSec > 0 ? MicroOn.ExecsPerSec / MicroOff.ExecsPerSec
                                : 0;
@@ -273,7 +369,7 @@ int main(int Argc, char **Argv) {
   std::string Out;
   Out += "{\n";
   Out += "  \"schema\": 1,\n";
-  Out += "  \"bench\": 7,\n";
+  Out += "  \"bench\": 8,\n";
   Out += std::string("  \"mode\": \"") + (Quick ? "quick" : "full") + "\",\n";
 #ifdef NDEBUG
   Out += "  \"asserts\": false,\n";
@@ -385,6 +481,47 @@ int main(int Argc, char **Argv) {
                   "    \"dining_overhead_pct\": %.2f\n",
                   OverheadPct(TelMicroOff, TelMicroOn),
                   OverheadPct(TelDiningOff, TelDiningOn));
+    Out += Buf;
+  }
+  Out += "  },\n";
+
+  Out += "  \"fleet\": {\n";
+  Out += "    \"workload\": \"dining(" + std::to_string(ParPhilosophers) +
+         ") mixed cb=2 at matched --fleet/--jobs widths; spinwait micro at "
+         "width 2; dining(" +
+         std::to_string(FigPhilosophers) +
+         ") deadlock-prone time-to-first-bug healthy vs one injected worker "
+         "kill\",\n";
+  Out += "    \"rows\": [\n";
+  for (int I = 0; I < 3; ++I) {
+    double Ratio = FleetJobs[I].ExecsPerSec > 0
+                       ? FleetPar[I].ExecsPerSec / FleetJobs[I].ExecsPerSec
+                       : 0;
+    char Buf[320];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "      { \"width\": %d, \"fleet_execs_per_sec\": %.1f, "
+        "\"jobs_execs_per_sec\": %.1f, \"fleet_wall_ms\": %.1f, "
+        "\"jobs_wall_ms\": %.1f, \"fleet_vs_jobs\": %.2f, "
+        "\"exhausted\": %s }%s\n",
+        FleetWidths[I], FleetPar[I].ExecsPerSec, FleetJobs[I].ExecsPerSec,
+        FleetPar[I].WallMs, FleetJobs[I].WallMs, Ratio,
+        FleetPar[I].Exhausted && FleetJobs[I].Exhausted ? "true" : "false",
+        I + 1 < 3 ? "," : "");
+    Out += Buf;
+  }
+  Out += "    ],\n";
+  appendMeas(Out, "micro_width2", FleetMicro, 4, true);
+  {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    \"first_bug_healthy_ms\": %.1f,\n"
+                  "    \"first_bug_one_kill_ms\": %.1f,\n"
+                  "    \"first_bug_found\": %s\n",
+                  FleetBugClean.WallMs, FleetBugKill.WallMs,
+                  FleetBugClean.Exhausted && FleetBugKill.Exhausted
+                      ? "true"
+                      : "false");
     Out += Buf;
   }
   Out += "  },\n";

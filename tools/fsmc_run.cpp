@@ -13,12 +13,18 @@
 //   fsmc_run --program=crashfault-segv --isolate=batch --repro-dir=repros
 //   fsmc_run --program=peterson --checkpoint=run.ckpt --checkpoint-every=50
 //   fsmc_run --resume=run.ckpt --checkpoint=run.ckpt
+//   fsmc_run --program=dining --fleet=4        (supervised worker fleet)
 //
-// Exit codes (docs/ROBUSTNESS.md, docs/RACES.md):
+// Installed as `fsmc_fleet`, the same binary defaults --fleet to the
+// hardware concurrency (clamped to [2,8]) so `fsmc_fleet --program=X`
+// is the supervised-search spelling of `fsmc_run --program=X`.
+//
+// Exit codes (docs/ROBUSTNESS.md, docs/RACES.md, docs/FLEET.md):
 //   0 = no bug found            4 = workload hang (sandbox watchdog)
 //   1 = bug found               5 = interrupted (SIGINT/SIGTERM)
 //   2 = usage/setup error       6 = replay divergence (checker limitation)
 //   3 = workload crash          7 = data race (--races=on|fatal)
+//                               8 = corrupt/truncated checkpoint (--resume)
 //
 //===----------------------------------------------------------------------===//
 
@@ -60,6 +66,7 @@
 #include <sstream>
 #include <string>
 #include <sys/stat.h>
+#include <thread>
 #include <vector>
 
 using namespace fsmc;
@@ -239,6 +246,24 @@ int usage() {
             "                   fatal: stop at the first race like a bug "
             "(docs/\n"
             "                   RACES.md)\n\n"
+            "fleet options (docs/FLEET.md):\n"
+            "  --fleet=N        supervised multi-process search: a "
+            "coordinator\n"
+            "                   forks N long-lived workers, re-issues the "
+            "units of\n"
+            "                   crashed/hung workers and degrades "
+            "gracefully\n"
+            "                   (mutually exclusive with --jobs/--isolate="
+            "batch/\n"
+            "                   --random; the fsmc_fleet binary defaults "
+            "this)\n"
+            "  --fleet-batch=N  execution budget per leased work unit "
+            "(default 64)\n"
+            "  --fleet-quarantine=K    quarantine a unit after K "
+            "consecutive\n"
+            "                   fatal attempts as a replayable crash "
+            "incident\n"
+            "                   (default 3)\n\n"
             "observability options:\n"
             "  --stats-json=F   machine-readable run report to file F "
             "('-' = stdout)\n"
@@ -281,7 +306,8 @@ int usage() {
             "error,\n"
             "            3 = workload crash, 4 = workload hang, "
             "5 = interrupted,\n"
-            "            6 = replay divergence, 7 = data race\n";
+            "            6 = replay divergence, 7 = data race,\n"
+            "            8 = corrupt/truncated checkpoint\n";
   return 2;
 }
 
@@ -556,6 +582,24 @@ int main(int Argc, char **Argv) {
         errs() << "--jobs must be >= 1\n";
         return usage();
       }
+    } else if (parseFlag(Argv[I], "--fleet", &V)) {
+      Opts.FleetWorkers = std::atoi(V);
+      if (Opts.FleetWorkers < 1) {
+        errs() << "--fleet must be >= 1\n";
+        return usage();
+      }
+    } else if (parseFlag(Argv[I], "--fleet-batch", &V)) {
+      Opts.FleetBatchSize = std::atoi(V);
+      if (Opts.FleetBatchSize < 1) {
+        errs() << "--fleet-batch must be >= 1\n";
+        return usage();
+      }
+    } else if (parseFlag(Argv[I], "--fleet-quarantine", &V)) {
+      Opts.FleetQuarantine = std::atoi(V);
+      if (Opts.FleetQuarantine < 1) {
+        errs() << "--fleet-quarantine must be >= 1\n";
+        return usage();
+      }
     } else if (parseFlag(Argv[I], "--seconds", &V))
       Opts.TimeBudgetSeconds = std::atof(V);
     else if (parseFlag(Argv[I], "--seed", &V)) {
@@ -737,6 +781,35 @@ int main(int Argc, char **Argv) {
     return usage();
   }
 
+  // Installed as fsmc_fleet, the binary is the supervised-search spelling:
+  // default the fleet width to the machine, clamped so a 128-core box does
+  // not fork 128 checkers for a toy workload.
+  {
+    const char *Base = std::strrchr(Argv[0], '/');
+    Base = Base ? Base + 1 : Argv[0];
+    if (std::strcmp(Base, "fsmc_fleet") == 0 && Opts.FleetWorkers == 0) {
+      unsigned HW = std::thread::hardware_concurrency();
+      Opts.FleetWorkers = int(std::min(8u, std::max(2u, HW ? HW : 2u)));
+    }
+  }
+  if (Opts.FleetWorkers > 0) {
+    if (Opts.Jobs > 1) {
+      errs() << "--fleet and --jobs are mutually exclusive (fleet workers "
+                "are processes, not threads)\n";
+      return usage();
+    }
+    if (Opts.Isolate == IsolationMode::Batch) {
+      errs() << "--fleet already isolates workloads in worker processes; "
+                "drop --isolate=batch\n";
+      return usage();
+    }
+    if (Opts.Kind == SearchKind::RandomWalk) {
+      errs() << "--fleet needs a deterministic frontier and cannot drive "
+                "--random\n";
+      return usage();
+    }
+  }
+
   // A checkpoint names the program and seed it froze; --resume alone is a
   // complete invocation. Explicit flags still win so a resumed search can
   // e.g. lower its remaining time budget.
@@ -750,7 +823,11 @@ int main(int Argc, char **Argv) {
     uint64_t CkSeed = 0;
     if (!readCheckpointFile(ResumePath, ResumeCK, CkProgram, CkSeed, Err)) {
       errs() << "cannot resume from " << ResumePath << ": " << Err << "\n";
-      return 2;
+      // 8 = the file exists but is corrupt/truncated -- distinguishable
+      // from plain usage errors so automation can tell "retry with the
+      // previous checkpoint" from "fix the command line".
+      std::ifstream Probe(ResumePath);
+      return Probe ? 8 : 2;
     }
     if (ProgramName.empty())
       ProgramName = CkProgram;
@@ -813,7 +890,7 @@ int main(int Argc, char **Argv) {
     PC.IntervalSeconds = ProgressSeconds;
     PC.TimeBudgetSeconds = Opts.TimeBudgetSeconds;
     PC.MaxExecutions = Opts.MaxExecutions;
-    PC.Jobs = Opts.Jobs;
+    PC.Jobs = Opts.FleetWorkers > 0 ? Opts.FleetWorkers : Opts.Jobs;
     PC.Estimate = Opts.Estimate;
     Reporter = std::make_unique<obs::ProgressReporter>(*Obs, PC, errs());
   }

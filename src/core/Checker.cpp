@@ -63,6 +63,8 @@ void fsmc::mergeSearchStats(SearchStats &Into, const SearchStats &From) {
   Into.FleetRespawns += From.FleetRespawns;
   Into.FleetQuarantined += From.FleetQuarantined;
   Into.StateHits += From.StateHits;
+  Into.BufferedStores += From.BufferedStores;
+  Into.StoreFlushes += From.StoreFlushes;
   Into.EstimateMass += From.EstimateMass;
 }
 
@@ -93,6 +95,8 @@ void fsmc::foldStatsDeltaIntoCounters(obs::WorkerCounters *Ctr,
     Prev.DivergenceRetries);
   // RacesFound is deliberately absent; see the declaration comment.
   D(Counter::RacesChecked, Now.RacesChecked, Prev.RacesChecked);
+  D(Counter::BufferedStores, Now.BufferedStores, Prev.BufferedStores);
+  D(Counter::StoreFlushes, Now.StoreFlushes, Prev.StoreFlushes);
   Ctr->maxGauge(obs::Gauge::MaxDepth, Now.MaxDepth);
 }
 

@@ -23,6 +23,8 @@
 #ifndef FSMC_CORE_CHECKER_H
 #define FSMC_CORE_CHECKER_H
 
+#include "runtime/PendingOp.h"
+
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -154,6 +156,14 @@ struct SearchStats {
   /// Work units quarantined after killing K consecutive workers; each
   /// becomes a replayable Verdict::Crash incident.
   uint64_t FleetQuarantined = 0;
+  /// Weak-memory exploration (--memory=tso|pso; docs/MEMORY.md). Zero
+  /// under --memory=sc, so stats-json omits them and sc output stays
+  /// byte-identical.
+  /// Stores enqueued into per-thread store buffers.
+  uint64_t BufferedStores = 0;
+  /// Buffered stores committed to memory (by flush agents, fences, or
+  /// implicit drains at sync operations).
+  uint64_t StoreFlushes = 0;
   /// Knuth weighted-backtrack estimator mass (CheckerOptions::Estimate):
   /// each counted execution contributes the product of 1/branch-factor
   /// over the backtrackable records on its path, so the masses partition
@@ -251,6 +261,16 @@ struct CheckerOptions {
   /// the explored execution multiset are byte-identical either way; off
   /// exists for A/B measurement and as an escape hatch.
   bool ReuseExecutionState = true;
+
+  /// Memory model to explore under (--memory=sc|tso|pso; docs/MEMORY.md).
+  /// Sc is the historical sequentially-consistent search, byte-identical
+  /// to builds without the feature. Tso gives every thread a FIFO store
+  /// buffer: stores enqueue, loads forward from the own buffer, and a
+  /// pseudo-thread-visible "flush oldest entry" action joins the enabled
+  /// set, so the fair scheduler and DFS backtracking explore delayed
+  /// propagation. Pso additionally relaxes inter-variable flush order.
+  /// Caps the workload at 32 threads (tids 32..63 name flush agents).
+  MemoryModel Memory = MemoryModel::Sc;
 
   /// Sleep-set partial-order reduction (--por=on; docs/POR.md). Prunes
   /// interleavings that only permute independent operations, as judged by

@@ -18,11 +18,13 @@
 
 using namespace fsmc;
 
-// Version 2 adds the POR stat keys and sleep-mask suffixes inside unit
-// schedules (core/Schedule.h); version-1 files are still read, and a
-// checkpoint written without --por is parseable by a version-1 reader
-// (unknown stat keys are skipped, masks never appear).
-static const char *CheckpointMagic = "fsmc-ckpt 2";
+// Version 3 adds the weak-memory stat keys and flush-mask suffixes inside
+// unit schedules (core/Schedule.h); version 2 added the POR stat keys and
+// sleep-mask suffixes. Version-1 and version-2 files are still read, and
+// a checkpoint written without --por and with --memory=sc is parseable by
+// older readers (unknown stat keys are skipped, masks never appear).
+static const char *CheckpointMagic = "fsmc-ckpt 3";
+static const char *CheckpointMagicV2 = "fsmc-ckpt 2";
 static const char *CheckpointMagicV1 = "fsmc-ckpt 1";
 
 namespace {
@@ -98,8 +100,9 @@ fsmc::decomposeUnitToFrozenPrefixes(const CheckpointUnit &U) {
     for (int Alt = C.Chosen + 1; Alt < C.Num; ++Alt) {
       std::vector<ScheduleChoice> P(U.Prefix.begin(),
                                     U.Prefix.begin() + long(I));
-      // Siblings share the choice point's sleep mask (core/Schedule.h).
-      P.push_back({Alt, C.Num, C.Backtrack, C.SleepMask});
+      // Siblings share the choice point's sleep and flush masks
+      // (core/Schedule.h).
+      P.push_back({Alt, C.Num, C.Backtrack, C.SleepMask, C.FlushMask});
       Out.push_back(std::move(P));
     }
   }
@@ -150,6 +153,13 @@ std::string fsmc::encodeCheckpoint(const CheckpointState &CK,
     OS << "stat fleet_respawns " << S.FleetRespawns << "\n";
   if (S.FleetQuarantined)
     OS << "stat fleet_quarantined " << S.FleetQuarantined << "\n";
+  // Weak-memory counters (docs/MEMORY.md): nonzero only under
+  // --memory=tso|pso, so sc checkpoints stay byte-identical to earlier
+  // revisions.
+  if (S.BufferedStores)
+    OS << "stat buffered_stores " << S.BufferedStores << "\n";
+  if (S.StoreFlushes)
+    OS << "stat store_flushes " << S.StoreFlushes << "\n";
   // The estimator mass is a double; 'statf' carries it as a lossless
   // hexfloat. Written only when the estimator ran, so checkpoints from
   // estimator-off runs stay byte-identical to earlier revisions (and old
@@ -187,7 +197,8 @@ bool fsmc::decodeCheckpoint(const std::string &Text, CheckpointState &CK,
   std::istringstream IS(Text);
   std::string Line;
   if (!std::getline(IS, Line) ||
-      (Line != CheckpointMagic && Line != CheckpointMagicV1)) {
+      (Line != CheckpointMagic && Line != CheckpointMagicV2 &&
+       Line != CheckpointMagicV1)) {
     Err = "not a checkpoint file (missing '" + std::string(CheckpointMagic) +
           "' header)";
     return false;
@@ -276,6 +287,10 @@ bool fsmc::decodeCheckpoint(const std::string &Text, CheckpointState &CK,
         S.FleetRespawns = Val;
       else if (Name == "fleet_quarantined")
         S.FleetQuarantined = Val;
+      else if (Name == "buffered_stores")
+        S.BufferedStores = Val;
+      else if (Name == "store_flushes")
+        S.StoreFlushes = Val;
       // Unknown stat keys are skipped for forward compatibility.
     } else if (Key == "statf") {
       std::string Name, Tok;

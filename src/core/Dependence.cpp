@@ -21,6 +21,19 @@ DepClass fsmc::depClassOf(OpKind K) {
   case OpKind::ThreadStart:
   case OpKind::UserOp:
     return DepClass::Global;
+  case OpKind::VarFlush:
+    // A flush commits a buffered store: a write on the op's ObjectId (the
+    // runtime sets -1 when a PSO flush could pick among several
+    // variables, which aliases everything below -- conservative, sound).
+    // Note a flush is also ordered against its own thread's enqueues and
+    // fences, but those share the agent's owner or the variable id, so
+    // the object footprint already captures it.
+    return DepClass::ObjectRw;
+  case OpKind::VarFence:
+    // Draining the whole buffer touches every variable the thread has
+    // buffered; ObjectId is -1, so the alias rule below makes it
+    // dependent on every object op -- conservative, sound.
+    return DepClass::ObjectRw;
   default:
     return DepClass::ObjectRw;
   }

@@ -67,7 +67,7 @@ Tid Explorer::nthMember(ThreadSet S, int Idx) {
 }
 
 int Explorer::pickIndex(int N, bool Backtrack, bool PickRandom,
-                        uint64_t SleepMask) {
+                        uint64_t SleepMask, uint64_t FlushMask) {
   assert(N >= 1 && "empty choice");
   if (N == 1)
     return 0; // Forced moves never enter the stack.
@@ -78,10 +78,16 @@ int Explorer::pickIndex(int N, bool Backtrack, bool PickRandom,
     // sleep-mask mismatch is the same class of failure -- the recomputed
     // sleep set disagrees with the recorded one, so the schedule was
     // recorded under a different POR mode (or dependence relation) and
-    // replaying it would explore a different interleaving. Either way the
-    // attempt is abandoned (ExecEnd::Diverged) with the stack untouched,
-    // so the driver can retry the prefix before discarding it.
-    if (R.Num != N || (Opts.Por && R.SleepMask != SleepMask)) {
+    // replaying it would explore a different interleaving. A flush-mask
+    // mismatch likewise: the recomputed flush-agent candidates disagree
+    // with the recorded ones, so the schedule was recorded under a
+    // different memory model. (The flush check is unconditional -- both
+    // masks are zero under --memory=sc, so sc-on-sc replay is
+    // unaffected.) Either way the attempt is abandoned
+    // (ExecEnd::Diverged) with the stack untouched, so the driver can
+    // retry the prefix before discarding it.
+    if (R.Num != N || (Opts.Por && R.SleepMask != SleepMask) ||
+        R.FlushMask != FlushMask) {
       ReplayMismatch = true;
       MismatchIdx = Cursor;
       ++Cursor;
@@ -89,14 +95,15 @@ int Explorer::pickIndex(int N, bool Backtrack, bool PickRandom,
     }
     ++Cursor;
     if (StreamCb)
-      StreamCb(R.Chosen, R.Num, R.Backtrack, R.SleepMask);
+      StreamCb(R.Chosen, R.Num, R.Backtrack, R.SleepMask, R.FlushMask);
     return R.Chosen;
   }
   int Chosen = PickRandom ? Rng.nextBelow(N) : 0;
-  Stack.push_back({Chosen, N, Backtrack, /*Donated=*/false, SleepMask});
+  Stack.push_back(
+      {Chosen, N, Backtrack, /*Donated=*/false, SleepMask, FlushMask});
   ++Cursor;
   if (StreamCb)
-    StreamCb(Chosen, N, Backtrack, SleepMask);
+    StreamCb(Chosen, N, Backtrack, SleepMask, FlushMask);
   return Chosen;
 }
 
@@ -125,7 +132,7 @@ void Explorer::preloadSchedule(const std::vector<ScheduleChoice> &Choices,
   assert(Stack.empty() && "preloadSchedule must precede run()");
   for (const ScheduleChoice &C : Choices)
     Stack.push_back({C.Chosen, C.Num, C.Backtrack, /*Donated=*/false,
-                     C.SleepMask});
+                     C.SleepMask, C.FlushMask});
   if (Frozen)
     FrozenLen = Stack.size();
 }
@@ -162,7 +169,7 @@ std::vector<ScheduleChoice> Explorer::currentStackSnapshot() const {
   std::vector<ScheduleChoice> Out;
   Out.reserve(Stack.size());
   for (const ChoiceRec &R : Stack)
-    Out.push_back({R.Chosen, R.Num, R.Backtrack, R.SleepMask});
+    Out.push_back({R.Chosen, R.Num, R.Backtrack, R.SleepMask, R.FlushMask});
   return Out;
 }
 
@@ -174,7 +181,7 @@ std::optional<std::vector<ScheduleChoice>> Explorer::nextFrontier() {
 
 void Explorer::setChoiceStream(
     std::function<void(int Chosen, int Num, bool Backtrack,
-                       uint64_t SleepMask)>
+                       uint64_t SleepMask, uint64_t FlushMask)>
         CB) {
   StreamCb = std::move(CB);
 }
@@ -210,8 +217,8 @@ size_t Explorer::splitWork(std::vector<std::vector<ScheduleChoice>> &Out,
   std::vector<ScheduleChoice> Base;
   Base.reserve(Stack.size());
   for (size_t J = 0; J < FrozenLen && J < Stack.size(); ++J)
-    Base.push_back(
-        {Stack[J].Chosen, Stack[J].Num, Stack[J].Backtrack, Stack[J].SleepMask});
+    Base.push_back({Stack[J].Chosen, Stack[J].Num, Stack[J].Backtrack,
+                    Stack[J].SleepMask, Stack[J].FlushMask});
   for (size_t I = FrozenLen; I < Stack.size() && Donated < MaxItems; ++I) {
     ChoiceRec &R = Stack[I];
     if (R.Backtrack && !R.Donated && R.Chosen + 1 < R.Num) {
@@ -222,16 +229,17 @@ size_t Explorer::splitWork(std::vector<std::vector<ScheduleChoice>> &Out,
         std::vector<ScheduleChoice> Prefix;
         Prefix.reserve(Base.size() + 1);
         Prefix.assign(Base.begin(), Base.end());
-        // The sleep mask describes the choice point, not the branch
-        // taken, so every donated sibling inherits it verbatim; the
-        // worker replaying the prefix recomputes and validates it.
-        Prefix.push_back({Alt, R.Num, R.Backtrack, R.SleepMask});
+        // The sleep and flush masks describe the choice point, not the
+        // branch taken, so every donated sibling inherits them verbatim;
+        // the worker replaying the prefix recomputes and validates both.
+        Prefix.push_back({Alt, R.Num, R.Backtrack, R.SleepMask, R.FlushMask});
         Out.push_back(std::move(Prefix));
         ++Donated;
       }
       R.Donated = true;
     }
-    Base.push_back({R.Chosen, R.Num, R.Backtrack, R.SleepMask});
+    Base.push_back(
+        {R.Chosen, R.Num, R.Backtrack, R.SleepMask, R.FlushMask});
   }
   return Donated;
 }
@@ -281,8 +289,9 @@ void Explorer::reportBug(Verdict V, std::string Msg, const Runtime &RT,
   // Serialize the consumed choice prefix so the schedule can be replayed.
   SchedScratch.clear();
   for (size_t I = 0; I < Cursor && I < Stack.size(); ++I)
-    SchedScratch.push_back(
-        {Stack[I].Chosen, Stack[I].Num, Stack[I].Backtrack, Stack[I].SleepMask});
+    SchedScratch.push_back({Stack[I].Chosen, Stack[I].Num,
+                            Stack[I].Backtrack, Stack[I].SleepMask,
+                            Stack[I].FlushMask});
   B.Schedule = encodeSchedule(SchedScratch);
   Result.Bug = std::move(B);
   Result.Kind = V;
@@ -307,10 +316,39 @@ void Explorer::harvestRaces(const RaceDetector &D, const Runtime &RT) {
     SchedScratch.clear();
     for (size_t I = 0; I < Cursor && I < Stack.size(); ++I)
       SchedScratch.push_back({Stack[I].Chosen, Stack[I].Num,
-                              Stack[I].Backtrack, Stack[I].SleepMask});
+                              Stack[I].Backtrack, Stack[I].SleepMask,
+                              Stack[I].FlushMask});
     B.Schedule = encodeSchedule(SchedScratch);
     Result.Incidents.push_back(std::move(B));
   }
+}
+
+void Explorer::creditEstimateMass() {
+  if (!Opts.Estimate)
+    return;
+  // Knuth weighted-backtrack mass of the completed path: the product of
+  // 1/branch-factor over its consumed backtrackable records. Donated
+  // records are included -- their untried siblings carry the same
+  // per-sibling factor on the workers exploring them, so the global
+  // masses still partition the tree and sum to 1.0 at exhaustion.
+  // Random-tail records (Backtrack=false) are not tree branches and
+  // contribute nothing.
+  double P = 1.0;
+  for (size_t I = 0, N = std::min(Cursor, Stack.size()); I < N; ++I)
+    if (Stack[I].Backtrack)
+      P /= double(Stack[I].Num);
+  // Neumaier-compensated sum: leaf masses span many orders of magnitude,
+  // and the exactness of the exhausted-run estimate depends on the sum
+  // landing within an ulp of 1.0.
+  double T = EstMassSum + P;
+  if (std::abs(EstMassSum) >= std::abs(P))
+    EstMassComp += (EstMassSum - T) + P;
+  else
+    EstMassComp += (P - T) + EstMassSum;
+  EstMassSum = T;
+  Result.Stats.EstimateMass = EstMassSum + EstMassComp;
+  if (Ctr)
+    Ctr->addEstimateMass(P);
 }
 
 int Explorer::chooseInt(int N) {
@@ -357,6 +395,7 @@ Explorer::ExecEnd Explorer::runOneExecution() {
   std::optional<RaceDetector> RaceD;
   Runtime::Options RTOpts;
   RTOpts.Ctr = Ctr;
+  RTOpts.Memory = Opts.Memory;
   if (Opts.Races != RaceCheckMode::Off) {
     RaceD.emplace();
     RTOpts.Race = &*RaceD;
@@ -436,6 +475,11 @@ Explorer::ExecEnd Explorer::runOneExecution() {
       Result.Stats.MaxSyncOps = RT.syncOpCount();
     if (CurSteps > Result.Stats.MaxDepth)
       Result.Stats.MaxDepth = CurSteps;
+    // Unconditional like FairEdgeAdditions: diverged attempts did enqueue
+    // and flush, and the totals describe work done, not executions
+    // counted. Both stay zero under --memory=sc.
+    Result.Stats.BufferedStores += RT.bufferedStoreCount();
+    Result.Stats.StoreFlushes += RT.storeFlushCount();
     Result.Stats.FairEdgeAdditions += FS.edgeAdditions();
     if (Ctr) {
       Ctr->add(obs::Counter::FairEdgeAdds, FS.edgeAdditions());
@@ -556,17 +600,30 @@ Explorer::ExecEnd Explorer::runOneExecution() {
           } else {
             // Every schedulable move sleeps: this state's subtree is
             // covered by an equivalent interleaving elsewhere. Not a
-            // deadlock.
+            // deadlock. The pruned path's estimator mass is credited
+            // here, at the prune site, so the subtree the reduction cuts
+            // can never drop out of the weighted-backtrack sum.
             finishStats("por_pruned");
             ++Result.Stats.PorBranchesPruned;
             if (Ctr)
               Ctr->add(obs::Counter::PorBranchesPruned);
+            creditEstimateMass();
             return ExecEnd::Pruned;
           }
         }
       }
       SleepMaskHere = Sleep.rawBits();
     }
+
+    // Flush-agent bits of the candidate set (--memory=tso|pso): recorded
+    // on the stack and in schedules so replay under a different memory
+    // model -- where the same choice indices would name different
+    // threads -- diverges instead of silently exploring another
+    // interleaving. Always zero under sc, so sc output is unchanged.
+    uint64_t FlushMaskHere = 0;
+    if (Opts.Memory != MemoryModel::Sc)
+      FlushMaskHere = Cands.Set.rawBits() &
+                      ~((uint64_t(1) << Runtime::FlushBase) - 1);
 
     bool Replaying = Cursor < ReplayLen;
     if (!ReplayDone && !Replaying) {
@@ -575,7 +632,7 @@ Explorer::ExecEnd Explorer::runOneExecution() {
       SnapNsReplay = SnapNs;
     }
     int Idx = pickIndex(Cands.Set.size(), Cands.Backtrack, Cands.PickRandom,
-                        SleepMaskHere);
+                        SleepMaskHere, FlushMaskHere);
     if (ReplayMismatch) {
       // Nondeterminism beyond scheduling/chooseInt. A mismatch can only
       // fire in the replay region, so the stack is exactly as it was at
@@ -600,7 +657,15 @@ Explorer::ExecEnd Explorer::runOneExecution() {
     bool WasYield = Op.isYield();
     CurTrace.record(
         {T, Op.Kind, Op.ObjectId, Op.Aux, RT.annotationOf(T), WasYield});
-    bool OthersEnabled = !(ES - ThreadSet::singleton(T)).empty();
+    // "Others enabled" feeds the good-samaritan monitor, which reasons
+    // about *program* threads: a flush agent being enabled (someone's
+    // buffer is non-empty) must not turn a spinning thread into a
+    // violator. Gated on the memory model -- under sc the high tids are
+    // ordinary threads and masking them would be wrong.
+    ThreadSet RealES = ES;
+    if (Opts.Memory != MemoryModel::Sc)
+      RealES = ES & ThreadSet::firstN(Runtime::FlushBase);
+    bool OthersEnabled = !(RealES - ThreadSet::singleton(T)).empty();
 
     if (Prof && !Replaying && Cands.Backtrack && Cands.Set.size() >= 2) {
       // A fresh scheduling branch point: attribute the alternatives it
@@ -744,7 +809,12 @@ Explorer::ExecEnd Explorer::runOneExecution() {
           Sleep.erase(S);
     }
 
-    Monitor.onTransition(T, WasYield, OthersEnabled);
+    // Flush agents are exempt from liveness accounting: they never yield
+    // by design, so feeding their transitions to the monitor would trip
+    // the eager good-samaritan bound on behalf of a pseudo-thread the
+    // workload cannot fix.
+    if (!Runtime::isFlushAgent(T))
+      Monitor.onTransition(T, WasYield, OthersEnabled);
     if (Opts.DetectDivergence && Monitor.eagerGsViolator() >= 0) {
       Tid V = Monitor.eagerGsViolator();
       finishStats("bug");
@@ -795,6 +865,7 @@ Explorer::ExecEnd Explorer::runOneExecution() {
           ++Result.Stats.PrunedExecutions;
           if (Ctr)
             Ctr->add(obs::Counter::StatefulPrunes);
+          creditEstimateMass(); // At the prune site; see the POR prune.
           return ExecEnd::Pruned;
         }
       }
@@ -901,31 +972,14 @@ CheckResult Explorer::run() {
     RetriesLeft = Opts.DivergenceRetries;
     if (Ctr)
       Ctr->add(obs::Counter::Executions);
-    if (Opts.Estimate) {
-      // Knuth weighted-backtrack mass of the completed path: the product
-      // of 1/branch-factor over its backtrackable records. Donated
-      // records are included -- their untried siblings carry the same
-      // per-sibling factor on the workers exploring them, so the global
-      // masses still partition the tree and sum to 1.0 at exhaustion.
-      // Random-tail records (Backtrack=false) are not tree branches and
-      // contribute nothing.
-      double P = 1.0;
-      for (size_t I = 0, N = std::min(Cursor, Stack.size()); I < N; ++I)
-        if (Stack[I].Backtrack)
-          P /= double(Stack[I].Num);
-      // Neumaier-compensated sum: leaf masses span many orders of
-      // magnitude, and the exactness of the exhausted-run estimate
-      // depends on the sum landing within an ulp of 1.0.
-      double T = EstMassSum + P;
-      if (std::abs(EstMassSum) >= std::abs(P))
-        EstMassComp += (EstMassSum - T) + P;
-      else
-        EstMassComp += (P - T) + EstMassSum;
-      EstMassSum = T;
-      Result.Stats.EstimateMass = EstMassSum + EstMassComp;
-      if (Ctr)
-        Ctr->addEstimateMass(P);
-    }
+    // Pruned executions (POR and stateful) credited their estimator mass
+    // at the prune site, where the cursor still framed the pruned node;
+    // every other completed execution credits here. Nothing changes the
+    // stack or cursor between a prune return and this point, so the
+    // split is value-identical to crediting everything here -- it just
+    // makes "pruned subtrees keep their mass" hold by construction.
+    if (End != ExecEnd::Pruned)
+      creditEstimateMass();
 
     // The hook runs on every execution (it is also how the parallel
     // driver counts executions against the shared budget); its stop

@@ -121,10 +121,13 @@ public:
   /// Streams every non-forced choice as it resolves (replayed or fresh):
   /// the sandbox probe uses this to recover the exact stack of a crashing
   /// execution from outside the process. \p SleepMask is the POR sleep
-  /// set at the choice point (0 when CheckerOptions::Por is off), so
-  /// recovered crash schedules replay mask-exactly under POR too.
+  /// set at the choice point (0 when CheckerOptions::Por is off) and
+  /// \p FlushMask the flush-agent bits of the candidate set (0 under
+  /// --memory=sc), so recovered crash schedules replay mask-exactly
+  /// under POR and weak memory too.
   void setChoiceStream(std::function<void(int Chosen, int Num, bool Backtrack,
-                                          uint64_t SleepMask)>
+                                          uint64_t SleepMask,
+                                          uint64_t FlushMask)>
                            CB);
 
   /// Invoked after every execution (before the DFS stack advances).
@@ -208,6 +211,9 @@ private:
     bool Donated = false;
     /// POR sleep set at this choice point (ScheduleChoice::SleepMask).
     uint64_t SleepMask = 0;
+    /// Flush-agent candidate bits (ScheduleChoice::FlushMask); nonzero
+    /// only under --memory=tso|pso.
+    uint64_t FlushMask = 0;
   };
 
   ExecEnd runOneExecution();
@@ -226,11 +232,24 @@ private:
   bool advanceStack();
   /// Resolves one choice among \p N options through the stack. Under POR
   /// \p SleepMask (the sleep set at the choice point) is recorded on
-  /// fresh pushes and validated against the stack during replay.
+  /// fresh pushes and validated against the stack during replay;
+  /// \p FlushMask (flush-agent candidate bits, --memory=tso|pso) is
+  /// validated unconditionally -- it is always zero when weak memory is
+  /// off, so sc replays of sc schedules are unaffected while a schedule
+  /// replayed under the wrong memory model diverges deterministically.
   int pickIndex(int N, bool Backtrack, bool PickRandom,
-                uint64_t SleepMask = 0);
+                uint64_t SleepMask = 0, uint64_t FlushMask = 0);
   void reportBug(Verdict V, std::string Msg, const Runtime &RT,
                  uint64_t Step);
+  /// Credits the just-completed path's Knuth leaf mass (the product of
+  /// 1/branch-factor over its consumed backtrackable records) into the
+  /// weighted-backtrack estimator. No-op unless CheckerOptions::Estimate.
+  /// Pruned executions (POR and stateful) call this *at the prune site*,
+  /// where the cursor still frames the pruned node, so the pruned
+  /// subtree's mass is credited by construction and the estimator sums
+  /// to 1.0 at exhaustion regardless of which exits prune; every other
+  /// end credits from run().
+  void creditEstimateMass();
   bool timeExceeded() const;
   static Tid nthMember(ThreadSet S, int Idx);
 
@@ -246,7 +265,7 @@ private:
   bool ReplayMismatch = false;
   size_t MismatchIdx = 0; ///< Stack index where replay diverged.
   std::function<bool(Explorer &)> Hook;
-  std::function<void(int, int, bool, uint64_t)> StreamCb;
+  std::function<void(int, int, bool, uint64_t, uint64_t)> StreamCb;
   bool LogStates = false;
   std::vector<uint64_t> StateLog;
   obs::ExplainLog *Explain = nullptr;

@@ -46,9 +46,21 @@ LivenessMonitor::classifyDivergence(const Trace &T, size_t Window) {
   }
   uint64_t Persistent = std::max<uint64_t>(4, (T.size() - Start) / 32);
   ThreadSet Spinners;
-  for (Tid U = 0; U < MaxThreads; ++U)
-    if (Sched[U] >= Persistent && Yields[U] == 0)
-      Spinners.insert(U);
+  for (Tid U = 0; U < MaxThreads; ++U) {
+    // Store-buffer flush agents (tids >= Runtime::FlushBase under
+    // --memory=tso|pso) never yield by design; branding one a spinner
+    // would misclassify genuine livelocks as good-samaritan violations.
+    // Their transitions are VarFlush ops, recognizable in the trace, so
+    // exempt any tid whose suffix transitions are all flushes.
+    if (Sched[U] >= Persistent && Yields[U] == 0) {
+      bool AllFlush = true;
+      for (size_t I = Start; I < T.size() && AllFlush; ++I)
+        if (T[I].Thread == U && T[I].Kind != OpKind::VarFlush)
+          AllFlush = false;
+      if (!AllFlush)
+        Spinners.insert(U);
+    }
+  }
 
   if (!Spinners.empty()) {
     // Some thread runs in the limit without ever yielding: the execution

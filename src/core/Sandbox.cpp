@@ -206,15 +206,16 @@ void writeBugRecord(int Fd, const BugReport &B, uint8_t Tag = TagBug) {
   if (!In.BaseStates.empty())
     E.preloadSeenStates(In.BaseStates);
   E.setRngState(In.Rng);
-  E.setChoiceStream(
-      [&](int Chosen, int Num, bool Backtrack, uint64_t SleepMask) {
-        WireWriter W;
-        W.u32(uint32_t(Chosen));
-        W.u32(uint32_t(Num));
-        W.u8(Backtrack ? 1 : 0);
-        W.u64(SleepMask);
-        writeRecord(Fd, TagChoice, W);
-      });
+  E.setChoiceStream([&](int Chosen, int Num, bool Backtrack,
+                        uint64_t SleepMask, uint64_t FlushMask) {
+    WireWriter W;
+    W.u32(uint32_t(Chosen));
+    W.u32(uint32_t(Num));
+    W.u8(Backtrack ? 1 : 0);
+    W.u64(SleepMask);
+    W.u64(FlushMask);
+    writeRecord(Fd, TagChoice, W);
+  });
   (void)E.run();
   _exit(0);
 }
@@ -301,6 +302,7 @@ struct BatchReport {
       C.Num = int(R.u32());
       C.Backtrack = R.u8() != 0;
       C.SleepMask = R.u64();
+      C.FlushMask = R.u64();
       if (!R.Ok)
         break;
       Streamed.push_back(C);

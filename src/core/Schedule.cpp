@@ -22,6 +22,12 @@ std::string fsmc::encodeSchedule(const std::vector<ScheduleChoice> &Choices) {
     Out += std::to_string(Choices[I].Num);
     if (!Choices[I].Backtrack)
       Out += "r";
+    if (Choices[I].FlushMask) {
+      char Buf[24];
+      std::snprintf(Buf, sizeof(Buf), "f%llx",
+                    (unsigned long long)Choices[I].FlushMask);
+      Out += Buf;
+    }
     if (Choices[I].SleepMask) {
       char Buf[24];
       std::snprintf(Buf, sizeof(Buf), "s%llx",
@@ -53,6 +59,11 @@ bool fsmc::decodeSchedule(const std::string &Text,
       return false;
     C.Chosen = std::atoi(std::string(Tok.substr(0, Slash)).c_str());
     std::string_view NumTok = Tok.substr(Slash + 1);
+    // Suffixes come off right-to-left: the `s` mask first (its hex digits
+    // cannot contain 's'), then the `f` mask -- everything left of the
+    // `f` marker is decimal digits plus an optional 'r', so the *first*
+    // 'f' in what remains is always the marker, never a hex digit of the
+    // flush mask -- then the trailing 'r'.
     size_t SleepAt = NumTok.find('s');
     if (SleepAt != std::string_view::npos) {
       std::string Hex(NumTok.substr(SleepAt + 1));
@@ -63,6 +74,17 @@ bool fsmc::decodeSchedule(const std::string &Text,
       if (End == Hex.c_str() || *End != '\0')
         return false;
       NumTok = NumTok.substr(0, SleepAt);
+    }
+    size_t FlushAt = NumTok.find('f');
+    if (FlushAt != std::string_view::npos) {
+      std::string Hex(NumTok.substr(FlushAt + 1));
+      if (Hex.empty())
+        return false;
+      char *End = nullptr;
+      C.FlushMask = std::strtoull(Hex.c_str(), &End, 16);
+      if (End == Hex.c_str() || *End != '\0')
+        return false;
+      NumTok = NumTok.substr(0, FlushAt);
     }
     if (!NumTok.empty() && NumTok.back() == 'r') {
       C.Backtrack = false;

@@ -19,14 +19,18 @@
 ///   fsmc1:c/n;c/n;...;c/n
 /// where each `c/n` is the chosen index and the number of options of one
 /// choice point (scheduling or data). Non-backtrackable (random-tail)
-/// choices are marked with a trailing `r`. Under sleep-set POR
-/// (CheckerOptions::Por) a scheduling choice additionally carries the
-/// sleep set at the choice point as a trailing `s<hex>` thread mask;
-/// replay recomputes the sleep set deterministically and validates it
-/// against the recorded mask, so a schedule replayed under the wrong POR
-/// mode surfaces as Verdict::Divergence instead of silently exploring a
-/// different interleaving. Schedules recorded with POR off carry no
-/// masks and are byte-identical to pre-POR output.
+/// choices are marked with a trailing `r`. Under --memory=tso|pso a
+/// scheduling choice whose candidates include store-buffer flush agents
+/// (docs/MEMORY.md) carries their bits as a trailing `f<hex>` thread
+/// mask; replay recomputes the flush-agent set and validates it against
+/// the recorded mask, so a schedule replayed under the wrong memory
+/// model surfaces as Verdict::Divergence instead of silently exploring a
+/// different interleaving. Under sleep-set POR (CheckerOptions::Por) a
+/// scheduling choice additionally carries the sleep set at the choice
+/// point as a trailing `s<hex>` thread mask, validated the same way
+/// against the wrong POR mode. Suffix order is `r`, `f<hex>`, `s<hex>`.
+/// Schedules recorded with POR off and --memory=sc carry no masks and
+/// are byte-identical to pre-POR, pre-weak-memory output.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +55,11 @@ struct ScheduleChoice {
   /// same node shares it -- which is what lets splitWork donate siblings
   /// with the mask copied verbatim.
   uint64_t SleepMask = 0;
+  /// Flush-agent bits (tids >= Runtime::FlushBase) of the candidate set
+  /// at this choice point; nonzero only for scheduling choices recorded
+  /// under --memory=tso|pso with at least one flush agent among the
+  /// candidates. Shared by every sibling at the node, like SleepMask.
+  uint64_t FlushMask = 0;
 };
 
 /// Renders choices in the `fsmc1:` wire format.

@@ -9,7 +9,7 @@
 using namespace fsmc;
 using namespace fsmc::obs;
 
-static_assert(size_t(OpKind::UserOp) < OpKindSlots,
+static_assert(size_t(OpKind::VarFence) < OpKindSlots,
               "OpKindSlots must cover every OpKind");
 
 const char *fsmc::obs::counterName(Counter C) {
@@ -74,6 +74,10 @@ const char *fsmc::obs::counterName(Counter C) {
     return "fleet_respawns";
   case Counter::FleetQuarantined:
     return "fleet_quarantined";
+  case Counter::BufferedStores:
+    return "buffered_stores";
+  case Counter::StoreFlushes:
+    return "store_flushes";
   case Counter::NumCounters:
     break;
   }

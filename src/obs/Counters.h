@@ -78,6 +78,10 @@ enum class Counter : unsigned {
   FleetReissues,           ///< Leased units re-issued after a death.
   FleetRespawns,           ///< Replacement workers forked.
   FleetQuarantined,        ///< Units quarantined as crash incidents.
+  // Weak-memory exploration (docs/MEMORY.md). Zero under --memory=sc and
+  // omitted from --stats-json then, so sc output stays byte-identical.
+  BufferedStores,          ///< Stores enqueued into a thread store buffer.
+  StoreFlushes,            ///< Buffered stores committed to memory.
   NumCounters
 };
 

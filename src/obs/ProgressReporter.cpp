@@ -6,6 +6,7 @@
 #include "support/OutStream.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 
 using namespace fsmc;
@@ -99,8 +100,12 @@ std::string ProgressReporter::formatLine(double ElapsedSeconds,
             "/" + std::to_string(Cfg.Jobs);
   }
   // ETA against whichever budget binds first; execution-cap ETA needs a
-  // rate to extrapolate with.
+  // rate to extrapolate with. When a budget or cap exists but there is no
+  // usable rate yet (first tick, stalled search), or the arithmetic lands
+  // on inf/nan (e.g. a denormal rate), print `eta=?` rather than `eta=inf`
+  // -- scrapers key on the field being numeric-or-'?'.
   double Eta = -1;
+  bool WantEta = Cfg.TimeBudgetSeconds > 0 || Cfg.MaxExecutions > 0;
   if (Cfg.TimeBudgetSeconds > 0)
     Eta = Cfg.TimeBudgetSeconds - ElapsedSeconds;
   if (Cfg.MaxExecutions > 0 && ExecRate > 0.1) {
@@ -108,13 +113,15 @@ std::string ProgressReporter::formatLine(double ElapsedSeconds,
                                ? Cfg.MaxExecutions - Execs
                                : 0) /
                     ExecRate;
-    if (Eta < 0 || CapEta < Eta)
+    if (std::isfinite(CapEta) && (Eta < 0 || CapEta < Eta))
       Eta = CapEta;
   }
-  if (Eta >= 0) {
+  if (Eta >= 0 && std::isfinite(Eta)) {
     char Buf[32];
     std::snprintf(Buf, sizeof(Buf), " eta=%.0fs", Eta > 0 ? Eta : 0.0);
     Line += Buf;
+  } else if (WantEta) {
+    Line += " eta=?";
   }
   // Online tree-size estimate: progress % is the explored mass, est the
   // projected total execution count, eta_est the remaining work at the
@@ -127,10 +134,17 @@ std::string ProgressReporter::formatLine(double ElapsedSeconds,
     std::snprintf(Buf, sizeof(Buf), " progress=%.1f%% est=%s", Mass * 100.0,
                   compactCount(uint64_t(Est + 0.5)).c_str());
     Line += Buf;
-    if (AvgRate > 0.1 && Est > double(Execs)) {
-      std::snprintf(Buf, sizeof(Buf), " eta_est=%.0fs",
-                    (Est - double(Execs)) / AvgRate);
-      Line += Buf;
+    if (Est > double(Execs)) {
+      // Same `?` discipline as eta= above: an estimate with no usable
+      // average rate (or a non-finite quotient) must not print inf/nan.
+      double EtaEst =
+          AvgRate > 0.1 ? (Est - double(Execs)) / AvgRate : -1;
+      if (EtaEst >= 0 && std::isfinite(EtaEst)) {
+        std::snprintf(Buf, sizeof(Buf), " eta_est=%.0fs", EtaEst);
+        Line += Buf;
+      } else {
+        Line += " eta_est=?";
+      }
     }
   }
   Line += '\n';

@@ -241,6 +241,8 @@ std::string fsmc::obs::renderStatsJson(const CheckResult &R,
     appendKVBool(Out, "por", O.Por, true);
     // Robustness options appear only when set away from their defaults,
     // so pre-existing outputs stay byte-identical.
+    if (O.Memory != MemoryModel::Sc)
+      appendKVStr(Out, "memory", memoryModelName(O.Memory), true);
     if (O.Isolate != IsolationMode::Off) {
       appendKVStr(Out, "isolate", "batch", true);
       appendKV(Out, "sandbox_batch_size", uint64_t(O.SandboxBatchSize), true);
@@ -308,6 +310,12 @@ std::string fsmc::obs::renderStatsJson(const CheckResult &R,
     appendKV(Out, "fleet_respawns", S.FleetRespawns, true);
   if (S.FleetQuarantined != 0)
     appendKV(Out, "fleet_quarantined", S.FleetQuarantined, true);
+  // Weak-memory stats, nonzero only under --memory=tso|pso (flushes and
+  // buffered stores do not exist under sc), so sc output keeps its bytes.
+  if (S.BufferedStores != 0)
+    appendKV(Out, "buffered_stores", S.BufferedStores, true);
+  if (S.StoreFlushes != 0)
+    appendKV(Out, "store_flushes", S.StoreFlushes, true);
   if (S.Interrupted)
     appendKVBool(Out, "interrupted", true, true);
   char Secs[48];

@@ -135,6 +135,42 @@ void RaceDetector::report(VarState &V, const Access &Prior, bool PriorIsWrite,
   Races.push_back(std::move(R));
 }
 
+void RaceDetector::onBufferedHazard(Tid Loader, const std::string &LoaderName,
+                                    uint64_t LoadStep, Tid Storer,
+                                    const std::string &StorerName,
+                                    uint64_t StoreStep, int Var,
+                                    const std::string &VarName) {
+  VarState &V = Vars[Var];
+  if (V.Reported)
+    return;
+  V.Reported = true;
+
+  // Like report(): the Message is the cross-execution dedup key, so it
+  // carries no step indices or clocks -- only the variable, the roles and
+  // the weak-memory tag.
+  RaceReport R;
+  std::ostringstream Msg;
+  Msg << "data race on '" << VarName << "': buffered store by thread '"
+      << StorerName << "' concurrent with read by thread '" << LoaderName
+      << "' [tso]";
+  R.Message = Msg.str();
+
+  std::ostringstream Det;
+  Det << R.Message << "\n";
+  Det << "  store: plain store of '" << VarName << "' by thread '"
+      << StorerName << "' (t" << Storer << ") buffered at step " << StoreStep
+      << ", not yet flushed\n";
+  Det << "  load : plain load of '" << VarName << "' by thread '"
+      << LoaderName << "' (t" << Loader << ") at step " << LoadStep << "\n";
+  Det << "  the store was still in t" << Storer
+      << "'s store buffer when the load executed; no happens-before edge "
+         "can order a still-buffered store before another thread's load "
+         "(docs/MEMORY.md)\n";
+  R.Detail = Det.str();
+
+  Races.push_back(std::move(R));
+}
+
 void RaceDetector::onAccess(Tid T, int Var, bool IsWrite,
                             const std::string &VarName,
                             const std::string &ThreadName, uint64_t Step) {

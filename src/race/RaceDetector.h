@@ -86,6 +86,18 @@ public:
   void onAccess(Tid T, int Var, bool IsWrite, const std::string &VarName,
                 const std::string &ThreadName, uint64_t Step);
 
+  /// Weak-memory hazard (--memory=tso|pso, docs/MEMORY.md): thread
+  /// \p Loader performs a plain load of \p Var while thread \p Storer
+  /// still holds a plain buffered store to it. Such a pair is always a
+  /// genuine race -- every happens-before edge out of the storer either
+  /// drains its buffer or is itself deferred behind the buffered store --
+  /// so this reports directly, tagged "[tso]", without a clock check.
+  /// Shares the one-report-per-variable dedup with onAccess.
+  void onBufferedHazard(Tid Loader, const std::string &LoaderName,
+                        uint64_t LoadStep, Tid Storer,
+                        const std::string &StorerName, uint64_t StoreStep,
+                        int Var, const std::string &VarName);
+
   /// Number of plain accesses race-checked so far.
   uint64_t checks() const { return Checks; }
 

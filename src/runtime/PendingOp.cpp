@@ -54,6 +54,10 @@ const char *fsmc::opKindName(OpKind K) {
     return "rmw";
   case OpKind::UserOp:
     return "userop";
+  case OpKind::VarFlush:
+    return "flush";
+  case OpKind::VarFence:
+    return "fence";
   }
   return "?";
 }
@@ -68,4 +72,30 @@ bool fsmc::isYieldKind(OpKind K) {
   default:
     return false;
   }
+}
+
+bool fsmc::isFencingKind(OpKind K) {
+  switch (K) {
+  case OpKind::ThreadStart: // First transition; the buffer is empty.
+  case OpKind::Yield:
+  case OpKind::Sleep:
+  case OpKind::VarLoad:
+  case OpKind::VarStore:
+  case OpKind::VarFlush:
+    return false;
+  default:
+    return true;
+  }
+}
+
+const char *fsmc::memoryModelName(MemoryModel M) {
+  switch (M) {
+  case MemoryModel::Sc:
+    return "sc";
+  case MemoryModel::Tso:
+    return "tso";
+  case MemoryModel::Pso:
+    return "pso";
+  }
+  return "?";
 }

@@ -57,6 +57,14 @@ enum class OpKind : uint8_t {
   VarStore,      ///< Store to a modeled shared variable.
   VarRmw,        ///< Atomic read-modify-write (exchange, CAS, fetch-add).
   UserOp,        ///< Workload-defined visible operation.
+  // Weak-memory operations (docs/MEMORY.md). Appended after UserOp so the
+  // numeric values of every pre-existing kind -- and with them traces,
+  // stats-json op tables and counter slots -- are unchanged under
+  // --memory=sc.
+  VarFlush,      ///< Store-buffer flush agent commits its owner's oldest
+                 ///< buffered store to memory (--memory=tso|pso).
+  VarFence,      ///< fsmc::fence(): drains the calling thread's store
+                 ///< buffer. Never published under --memory=sc.
 };
 
 /// \returns a short stable name for \p K, used in traces and bug reports.
@@ -67,6 +75,26 @@ const char *opKindName(OpKind K);
 /// scheduler only ever demotes a thread's priority at these points
 /// (Section 2: "the scheduler only penalizes yielding threads").
 bool isYieldKind(OpKind K);
+
+/// \returns true if operations of kind \p K drain the executing thread's
+/// store buffer before taking effect under --memory=tso|pso
+/// (docs/MEMORY.md). Real synchronization primitives are implemented with
+/// barriers or interlocked instructions, so every modeled sync operation
+/// fences; only plain variable loads/stores, yields and sleeps leave the
+/// buffer in place -- those are exactly the operations whose delayed
+/// visibility TSO/PSO exploration is after.
+bool isFencingKind(OpKind K);
+
+/// The memory model an execution is explored under (--memory=sc|tso|pso;
+/// docs/MEMORY.md). Under Tso every thread gets a FIFO store buffer whose
+/// flush points are first-class scheduling decisions; Pso additionally
+/// relaxes the buffer's inter-variable order (flushes pick which variable
+/// commits next). Sc is the historical behavior, byte-identical to a
+/// build without the feature.
+enum class MemoryModel : uint8_t { Sc, Tso, Pso };
+
+/// \returns the stable wire name ("sc", "tso", "pso") of \p M.
+const char *memoryModelName(MemoryModel M);
 
 /// The visible operation a parked thread is about to perform.
 ///

@@ -21,6 +21,25 @@ namespace {
 thread_local Runtime *CurrentRuntime = nullptr;
 } // namespace
 
+namespace {
+/// One entry of a thread's FIFO store buffer (--memory=tso|pso): a store
+/// whose effect on memory is deferred until a flush agent, a fence, or a
+/// fencing sync operation commits it.
+struct BufferedStore {
+  int ObjectId = -1;
+  int64_t Value = 0;
+  /// Writes Value into the variable behind Obj; supplied by the sync
+  /// primitive that enqueued the store (it knows the variable's type).
+  void (*Commit)(void *, int64_t) = nullptr;
+  void *Obj = nullptr;
+  /// Race-checked PlainVar store: its race-detector write access is
+  /// registered at commit time, when the store becomes visible.
+  bool Plain = false;
+  /// SyncOps at enqueue, used only for race-report step numbering.
+  uint64_t Step = 0;
+};
+} // namespace
+
 struct Runtime::ThreadState {
   Tid Id = -1;
   std::string Name;
@@ -30,6 +49,13 @@ struct Runtime::ThreadState {
   bool FinishedFlag = false;
   uint64_t Annotation = 0;
   Runtime *RT = nullptr;
+  /// FIFO store buffer, oldest entry first. Always empty under
+  /// --memory=sc and whenever the thread is finished (exit drains).
+  std::vector<BufferedStore> Buffer;
+  /// Pending op of this thread's flush agent while Buffer is non-empty;
+  /// kept current by refreshFlushPending so pendingOf(FlushBase + Id)
+  /// returns a stable reference.
+  PendingOp FlushPending;
 };
 
 Runtime::Runtime(ChoiceSource &Choices) : Runtime(Choices, Options()) {}
@@ -60,6 +86,11 @@ void Runtime::threadEntry(void *Arg) {
 }
 
 void Runtime::exitThread(ThreadState &TS) {
+  // A real processor's buffer drains before the thread's context dies;
+  // modeling that here also keeps the invariant that flush agents only
+  // ever belong to live threads.
+  if (Opts.Memory != MemoryModel::Sc)
+    drainBuffer(TS.Id);
   TS.FinishedFlag = true;
   Live.erase(TS.Id);
   // The extractor reads locals of its registering thread; those are gone
@@ -89,6 +120,8 @@ Runtime::ThreadState &Runtime::claimThreadSlot(Tid Id) {
   TS.FinishedFlag = false;
   TS.Annotation = 0;
   TS.Pending = makeOp(OpKind::ThreadStart);
+  TS.Buffer.clear(); // Keeps capacity across reset(), like the strings.
+  TS.FlushPending = makeOp(OpKind::VarFlush, -1, Id);
   ++NumThreads;
   return TS;
 }
@@ -96,8 +129,16 @@ Runtime::ThreadState &Runtime::claimThreadSlot(Tid Id) {
 Tid Runtime::spawn(std::function<void()> Body, std::string Name) {
   assert(!InController && "spawn must be called from a test thread");
   Tid Id = Tid(NumThreads);
+  // Under weak memory the upper half of the tid space belongs to the
+  // flush agents, so real threads cap at FlushBase.
+  if (Opts.Memory != MemoryModel::Sc && Id >= FlushBase)
+    fail("thread limit exceeded (32 under --memory=tso|pso)");
   if (Id >= MaxThreads)
     fail("thread limit exceeded (MaxThreads = 64)");
+  // Spawning is a release: the parent's writes happen-before the child's
+  // first transition, so its buffered stores must be visible by then.
+  if (Opts.Memory != MemoryModel::Sc)
+    drainBuffer(CurTid);
   ThreadState &TS = claimThreadSlot(Id);
   TS.Name = Name.empty() ? ("t" + std::to_string(Id)) : std::move(Name);
   TS.Body = std::move(Body);
@@ -143,6 +184,9 @@ void Runtime::reset(const Options &NewOpts) {
   FailureBy = -1;
   FailureMsg.clear();
   SyncOps = 0;
+  BufferedStores = 0;
+  StoreFlushes = 0;
+  FlushNames.clear();
   InController = true;
   StateExtractor = nullptr;
   ExtractorOwner = -1;
@@ -157,6 +201,12 @@ void Runtime::schedulePoint(const PendingOp &Op) {
   if (Opts.Ctr)
     Opts.Ctr->add(obs::Counter::SchedulePoints);
   switchToController(TS);
+  // The scheduler picked this thread; its visible operation is about to
+  // take effect. Fencing operations (docs/MEMORY.md) drain the store
+  // buffer first, so e.g. a mutex acquire never completes with the
+  // acquirer's own stores still pending.
+  if (Opts.Memory != MemoryModel::Sc && isFencingKind(TS.Pending.Kind))
+    drainBuffer(TS.Id);
   assert(TS.Pending.isEnabled() &&
          "scheduler resumed a thread whose pending op is disabled");
 }
@@ -222,15 +272,142 @@ void Runtime::raceJoin(Tid Target) {
 }
 
 void Runtime::raceLoad(int Var) {
-  if (Opts.Race)
-    Opts.Race->onAccess(CurTid, Var, /*IsWrite=*/false, objectName(Var),
-                        Threads[CurTid]->Name, SyncOps);
+  if (!Opts.Race)
+    return;
+  if (Opts.Memory != MemoryModel::Sc) {
+    // A plain load racing with a *still-buffered* plain store is always a
+    // genuine data race: any happens-before edge from the storer into
+    // this load either came from a fencing operation (which would have
+    // drained the entry) or from an atomic store whose release is
+    // deferred to its commit -- and FIFO order commits entries enqueued
+    // before it first. So no edge can cover a store that is still in the
+    // buffer; report it immediately with the weak-memory tag.
+    for (Tid U : Live) {
+      if (U == CurTid)
+        continue;
+      for (const BufferedStore &E : Threads[U]->Buffer)
+        if (E.Plain && E.ObjectId == Var) {
+          Opts.Race->onBufferedHazard(CurTid, Threads[CurTid]->Name,
+                                      SyncOps, U, Threads[U]->Name, E.Step,
+                                      Var, objectName(Var));
+          break;
+        }
+    }
+  }
+  Opts.Race->onAccess(CurTid, Var, /*IsWrite=*/false, objectName(Var),
+                      Threads[CurTid]->Name, SyncOps);
 }
 
 void Runtime::raceStore(int Var) {
   if (Opts.Race)
     Opts.Race->onAccess(CurTid, Var, /*IsWrite=*/true, objectName(Var),
                         Threads[CurTid]->Name, SyncOps);
+}
+
+void Runtime::bufferStore(int Var, int64_t Value,
+                          void (*Commit)(void *, int64_t), void *Obj,
+                          bool Plain) {
+  assert(!InController && "bufferStore must be called from a test thread");
+  assert(Opts.Memory != MemoryModel::Sc && "store buffered under sc");
+  ThreadState &TS = *Threads[CurTid];
+  TS.Buffer.push_back({Var, Value, Commit, Obj, Plain, SyncOps});
+  ++BufferedStores;
+  if (Opts.Ctr)
+    Opts.Ctr->add(obs::Counter::BufferedStores);
+  refreshFlushPending(CurTid);
+}
+
+bool Runtime::forwardedLoad(int Var, int64_t &Out) const {
+  assert(!InController && "forwardedLoad must be called from a test thread");
+  const ThreadState &TS = *Threads[CurTid];
+  // Newest entry wins: the thread sees its own latest store.
+  for (auto It = TS.Buffer.rbegin(); It != TS.Buffer.rend(); ++It)
+    if (It->ObjectId == Var) {
+      Out = It->Value;
+      return true;
+    }
+  return false;
+}
+
+void Runtime::commitEntryAt(Tid Owner, size_t Index) {
+  ThreadState &TS = *Threads[Owner];
+  assert(Index < TS.Buffer.size() && "committing past the buffer");
+  const BufferedStore E = TS.Buffer[Index];
+  TS.Buffer.erase(TS.Buffer.begin() + Index);
+  E.Commit(E.Obj, E.Value);
+  ++StoreFlushes;
+  if (Opts.Ctr)
+    Opts.Ctr->add(obs::Counter::StoreFlushes);
+  if (Opts.Race) {
+    // The store becomes visible now, so this is where its race-detector
+    // event belongs: the write access of a plain store, the release edge
+    // of an atomic one. Deferring the release is what lets the detector
+    // see that synchronizing through a still-buffered atomic store does
+    // not order the storer's earlier plain writes (docs/MEMORY.md).
+    if (E.Plain)
+      Opts.Race->onAccess(Owner, E.ObjectId, /*IsWrite=*/true,
+                          objectName(E.ObjectId), TS.Name, E.Step);
+    else
+      Opts.Race->onRelease(Owner, E.ObjectId);
+  }
+  refreshFlushPending(Owner);
+}
+
+void Runtime::drainBuffer(Tid T) {
+  ThreadState &TS = *Threads[T];
+  while (!TS.Buffer.empty())
+    commitEntryAt(T, 0);
+}
+
+void Runtime::flushStep(Tid Owner) {
+  assert(Opts.Memory != MemoryModel::Sc && "flush step under --memory=sc");
+  ThreadState &TS = *Threads[Owner];
+  assert(!TS.Buffer.empty() && "flush agent stepped with an empty buffer");
+  if (Opts.Memory == MemoryModel::Tso) {
+    commitEntryAt(Owner, 0); // TSO: strictly FIFO.
+    return;
+  }
+  // PSO relaxes inter-variable order: a data choice picks which buffered
+  // variable commits next (within one variable, FIFO still holds). The
+  // choice lands on the explorer's stack like any chooseInt, so replay
+  // and backtracking round-trip it. Distinct variables are enumerated in
+  // first-occurrence order to keep the numbering deterministic.
+  auto IsFirstOccurrence = [&](size_t I) {
+    for (size_t J = 0; J < I; ++J)
+      if (TS.Buffer[J].ObjectId == TS.Buffer[I].ObjectId)
+        return false;
+    return true;
+  };
+  int K = 0;
+  for (size_t I = 0; I < TS.Buffer.size(); ++I)
+    if (IsFirstOccurrence(I))
+      ++K;
+  int Pick = K == 1 ? 0 : Choices.chooseInt(K);
+  int Nth = -1;
+  for (size_t I = 0; I < TS.Buffer.size(); ++I)
+    if (IsFirstOccurrence(I) && ++Nth == Pick) {
+      commitEntryAt(Owner, I);
+      return;
+    }
+  assert(false && "PSO flush choice out of range");
+}
+
+void Runtime::refreshFlushPending(Tid T) {
+  ThreadState &TS = *Threads[T];
+  if (TS.Buffer.empty())
+    return; // Agent leaves the enabled set; its op is never consulted.
+  // Under TSO only the front entry can commit, so the agent's op carries
+  // its precise variable for the dependence oracle. A PSO flush may pick
+  // any buffered variable: a single distinct id stays precise, several
+  // collapse to -1 (aliases every object -- conservatively dependent).
+  int Obj = TS.Buffer.front().ObjectId;
+  if (Opts.Memory == MemoryModel::Pso)
+    for (const BufferedStore &E : TS.Buffer)
+      if (E.ObjectId != Obj) {
+        Obj = -1;
+        break;
+      }
+  TS.FlushPending = makeOp(OpKind::VarFlush, Obj, /*Aux=*/T);
 }
 
 void Runtime::setStateExtractor(std::function<uint64_t()> Fn) {
@@ -252,19 +429,42 @@ uint64_t Runtime::stateSignature() const {
     H.addU64(uint64_t(TS->Pending.ObjectId) + 1);
     H.addU64(uint64_t(TS->Pending.Aux));
     H.addU64(TS->Annotation);
+    // Buffer contents are program state under weak memory: two points
+    // that differ only in pending stores must not collapse to one
+    // signature. Gated so sc digests stay byte-identical.
+    if (Opts.Memory != MemoryModel::Sc) {
+      H.addU64(TS->Buffer.size());
+      for (const BufferedStore &E : TS->Buffer) {
+        H.addU64(uint64_t(E.ObjectId) + 1);
+        H.addU64(uint64_t(E.Value));
+      }
+    }
   }
   return H.digest();
 }
 
 ThreadSet Runtime::enabledSet() const {
   ThreadSet ES;
-  for (Tid T : Live)
+  for (Tid T : Live) {
     if (Threads[T]->Pending.isEnabled())
       ES.insert(T);
+    // A thread's flush agent is enabled exactly while the buffer holds
+    // stores -- even if the thread itself is blocked (a parked thread's
+    // buffer still drains in real hardware). Note flush agents are never
+    // in liveSet(): they have no fiber and never finish, they just fall
+    // out of the enabled set when the buffer empties.
+    if (Opts.Memory != MemoryModel::Sc && !Threads[T]->Buffer.empty())
+      ES.insert(FlushBase + T);
+  }
   return ES;
 }
 
 const PendingOp &Runtime::pendingOf(Tid T) const {
+  if (isFlushAgent(T)) {
+    const ThreadState &TS = *Threads[T - FlushBase];
+    assert(!TS.Buffer.empty() && "pendingOf on an idle flush agent");
+    return TS.FlushPending;
+  }
   assert(Live.contains(T) && "pendingOf on a non-live thread");
   return Threads[T]->Pending;
 }
@@ -275,6 +475,13 @@ bool Runtime::yieldPending(Tid T) const {
 
 StepStatus Runtime::step(Tid T) {
   assert(InController && "step must be called from the controller");
+  if (isFlushAgent(T)) {
+    // Flush transitions run entirely in the controller: no fiber switch,
+    // no invisible code -- one buffered store commits, and the agent
+    // "parks" again (or leaves the enabled set if the buffer emptied).
+    flushStep(T - FlushBase);
+    return StepStatus::Parked;
+  }
   assert(Live.contains(T) && "stepping a non-live thread");
   assert(Threads[T]->Pending.isEnabled() && "stepping a disabled thread");
   assert(!Failed && "stepping after a failure");
@@ -306,16 +513,31 @@ StepStatus Runtime::step(Tid T) {
 }
 
 bool Runtime::isFinished(Tid T) const {
+  if (isFlushAgent(T)) {
+    assert(size_t(T - FlushBase) < NumThreads && "unknown flush agent");
+    return Threads[T - FlushBase]->Buffer.empty();
+  }
   assert(T >= 0 && size_t(T) < NumThreads && "unknown thread");
   return Threads[T]->FinishedFlag;
 }
 
 const std::string &Runtime::threadName(Tid T) const {
+  if (isFlushAgent(T)) {
+    Tid Owner = T - FlushBase;
+    assert(size_t(Owner) < NumThreads && "unknown flush agent");
+    if (size_t(Owner) >= FlushNames.size())
+      FlushNames.resize(NumThreads);
+    if (FlushNames[Owner].empty())
+      FlushNames[Owner] = "sb(" + Threads[Owner]->Name + ")";
+    return FlushNames[Owner];
+  }
   assert(T >= 0 && size_t(T) < NumThreads && "unknown thread");
   return Threads[T]->Name;
 }
 
 uint64_t Runtime::annotationOf(Tid T) const {
+  if (isFlushAgent(T))
+    return 0; // Agents carry no program counter of their own.
   assert(T >= 0 && size_t(T) < NumThreads && "unknown thread");
   return Threads[T]->Annotation;
 }
@@ -330,4 +552,15 @@ const std::string &Runtime::objectName(int Id) const {
 void fsmc::checkThat(bool Cond, const char *Msg) {
   if (!Cond)
     Runtime::current().fail(Msg);
+}
+
+void fsmc::fence() {
+  Runtime &RT = Runtime::current();
+  // Under sc a fence is a *complete* no-op -- no scheduling point is
+  // published, so schedules with and without fences are byte-identical.
+  if (RT.memory() == MemoryModel::Sc)
+    return;
+  // VarFence is a fencing kind; schedulePoint's drain-at-resume commits
+  // the whole buffer before this returns.
+  RT.schedulePoint(makeOp(OpKind::VarFence));
 }

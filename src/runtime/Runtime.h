@@ -92,7 +92,22 @@ public:
     /// Runtime later reset() to a different pool, since recycled fibers
     /// return their stack to the pool that issued it).
     StackPool *Pool = nullptr;
+    /// Memory model executions run under (docs/MEMORY.md). Away from Sc,
+    /// every thread gets a FIFO store buffer, integral Atomic/PlainVar
+    /// stores enqueue instead of writing memory, and per-thread flush
+    /// agents (tids FlushBase + t) join the enabled set while the buffer
+    /// is non-empty. Sc is byte-identical to the pre-feature runtime.
+    MemoryModel Memory = MemoryModel::Sc;
   };
+
+  /// First pseudo-tid of the store-buffer flush agents: agent
+  /// FlushBase + t commits the oldest buffered store of thread t. Real
+  /// threads are capped at FlushBase under --memory=tso|pso so both
+  /// populations fit one ThreadSet (MaxThreads = 64).
+  static constexpr Tid FlushBase = MaxThreads / 2;
+
+  /// \returns true iff \p T names a flush agent, not a real thread.
+  static constexpr bool isFlushAgent(Tid T) { return T >= FlushBase; }
 
   explicit Runtime(ChoiceSource &Choices);
   Runtime(ChoiceSource &Choices, Options Opts);
@@ -154,6 +169,24 @@ public:
   void raceLoad(int Var);
   void raceStore(int Var);
 
+  /// The memory model of this execution; workloads and sync primitives
+  /// branch on it to pick the buffered or direct store path.
+  MemoryModel memory() const { return Opts.Memory; }
+
+  /// Enqueues a store of \p Value to variable \p Var into the calling
+  /// thread's store buffer (--memory=tso|pso). \p Commit is invoked with
+  /// (\p Obj, \p Value) when the entry is flushed -- by the flush agent, a
+  /// fence, or an implicit drain at a fencing sync operation. \p Plain
+  /// marks race-checked PlainVar stores: their race-detector write access
+  /// is registered at commit time, when the store becomes visible.
+  void bufferStore(int Var, int64_t Value, void (*Commit)(void *, int64_t),
+                   void *Obj, bool Plain);
+
+  /// Store-to-load forwarding: if the calling thread's buffer holds an
+  /// entry for \p Var, writes the *newest* such value to \p Out and
+  /// returns true; the load must then not read memory.
+  bool forwardedLoad(int Var, int64_t &Out) const;
+
   /// Registers the workload's manual state-extraction function (Section
   /// 4.2.1: "we manually added facilities to extract states"). The
   /// callback is invoked from the controller after every transition while
@@ -205,6 +238,11 @@ public:
   /// Scheduling points executed so far (Table 1 "Synch Ops").
   uint64_t syncOpCount() const { return SyncOps; }
 
+  /// Stores enqueued into / committed from store buffers this execution.
+  /// Both are zero under --memory=sc.
+  uint64_t bufferedStoreCount() const { return BufferedStores; }
+  uint64_t storeFlushCount() const { return StoreFlushes; }
+
   /// Signature of the current program state: the workload extractor's
   /// digest (if registered) combined with each thread's liveness, pending
   /// operation and annotation. Used for coverage counting and for the
@@ -226,6 +264,22 @@ private:
   [[noreturn]] void exitThread(ThreadState &TS);
   void switchToController(ThreadState &TS);
 
+  /// Commits every buffered store of thread \p T, oldest first. Called at
+  /// fences, at fencing sync operations (drain-at-resume), at spawn (the
+  /// parent's writes happen-before the child), and at thread exit.
+  void drainBuffer(Tid T);
+  /// One transition of flush agent FlushBase + \p Owner: commits one
+  /// buffered store of thread \p Owner (the oldest under TSO; under PSO a
+  /// data choice picks among the buffered variables first-come-first-
+  /// served per variable).
+  void flushStep(Tid Owner);
+  /// Recomputes thread \p T's flush-agent pending op after any buffer
+  /// mutation, so pendingOf(FlushBase + T) stays a stable reference.
+  void refreshFlushPending(Tid T);
+  /// Commits (and erases) entry \p Index of thread \p Owner's buffer:
+  /// runs the deferred store, feeds the race detector, bumps counters.
+  void commitEntryAt(Tid Owner, size_t Index);
+
   ChoiceSource &Choices;
   Options Opts;
   Fiber Controller;
@@ -241,6 +295,12 @@ private:
   Tid FailureBy = -1;
   std::string FailureMsg;
   uint64_t SyncOps = 0;
+  uint64_t BufferedStores = 0;
+  uint64_t StoreFlushes = 0;
+  /// Lazily built display names of flush agents ("sb(main)", ...),
+  /// indexed by owner tid; cleared on reset with the rest of the naming
+  /// state. Mutable because threadName() is const.
+  mutable std::vector<std::string> FlushNames;
   bool InController = true;
   std::function<uint64_t()> StateExtractor;
   Tid ExtractorOwner = -1;
@@ -254,6 +314,13 @@ private:
 /// Checks a safety property from inside a test thread; on failure reports
 /// a safety violation (with \p Msg) and abandons the execution.
 void checkThat(bool Cond, const char *Msg);
+
+/// Full memory barrier: drains the calling thread's store buffer. A
+/// complete no-op under --memory=sc (no scheduling point is published, so
+/// sc schedules are byte-identical with or without fences); under tso/pso
+/// it parks at a VarFence scheduling point and commits every buffered
+/// store before continuing.
+void fence();
 
 } // namespace fsmc
 

@@ -39,21 +39,44 @@ public:
   /// synchronizes with prior stores to the same variable, matching the
   /// seq-cst semantics the model gives these accesses. Atomic accesses
   /// are therefore never themselves race candidates -- only PlainVar
-  /// (sync/Plain.h) accesses are.
+  /// (sync/Plain.h) accesses are. Under --memory=tso|pso the thread's own
+  /// buffered store to this variable forwards (newest entry wins) without
+  /// reading memory.
   T load() {
     Runtime &RT = Runtime::current();
     RT.schedulePoint(makeOp(OpKind::VarLoad, Id));
     RT.raceAcquire(Id);
+    if constexpr (std::is_integral_v<T> || std::is_enum_v<T>)
+      if (RT.memory() != MemoryModel::Sc) {
+        int64_t V;
+        if (RT.forwardedLoad(Id, V))
+          return T(V);
+      }
     return Value;
   }
 
-  /// Visible store; a *release* for race detection.
+  /// Visible store; a *release* for race detection. Under --memory=tso|pso
+  /// (integral/enum T) the store enqueues into the calling thread's store
+  /// buffer instead of writing memory, and its release edge is deferred to
+  /// the commit: synchronizing through a still-buffered store must not
+  /// order the storer's earlier writes (docs/MEMORY.md).
   void store(T V) {
     Runtime &RT = Runtime::current();
     RT.schedulePoint(makeOp(OpKind::VarStore, Id, auxOf(V)));
+    if constexpr (std::is_integral_v<T> || std::is_enum_v<T>)
+      if (RT.memory() != MemoryModel::Sc) {
+        RT.bufferStore(Id, int64_t(V), &commitThunk, this, /*Plain=*/false);
+        return;
+      }
     RT.raceRelease(Id);
     Value = V;
   }
+
+  // The RMW operations below need no weak-memory branch: VarRmw is a
+  // fencing kind (runtime/PendingOp.h), so the runtime drains the calling
+  // thread's buffer before the effect runs -- an interlocked instruction
+  // on real hardware implies a full barrier -- and the bodies then read
+  // and write memory directly.
 
   /// Atomic swap; one visible transition, acquire+release.
   T exchange(T V) {
@@ -111,6 +134,12 @@ private:
       return int64_t(V);
     else
       return 0;
+  }
+
+  /// Deferred-store target for Runtime::bufferStore; only ever
+  /// instantiated for integral/enum T (the buffered-store path).
+  static void commitThunk(void *Obj, int64_t V) {
+    static_cast<Atomic *>(Obj)->Value = T(V);
   }
 
   int Id;

@@ -36,18 +36,34 @@ public:
   explicit PlainVar(T Init = T(), std::string Name = "plain")
       : Id(Runtime::current().newObjectId(std::move(Name))), Value(Init) {}
 
-  /// Visible race-checked load.
+  /// Visible race-checked load. Under --memory=tso|pso the thread's own
+  /// buffered store forwards (newest entry wins); the race check still
+  /// runs first, and it additionally flags loads that observe another
+  /// thread's still-buffered plain store (RaceDetector::onBufferedHazard).
   T load() {
     Runtime &RT = Runtime::current();
     RT.schedulePoint(makeOp(OpKind::VarLoad, Id));
     RT.raceLoad(Id);
+    if constexpr (std::is_integral_v<T> || std::is_enum_v<T>)
+      if (RT.memory() != MemoryModel::Sc) {
+        int64_t V;
+        if (RT.forwardedLoad(Id, V))
+          return T(V);
+      }
     return Value;
   }
 
-  /// Visible race-checked store.
+  /// Visible race-checked store. Under --memory=tso|pso (integral/enum T)
+  /// the store enqueues into the calling thread's buffer; its race-checked
+  /// write access registers at commit time, when it becomes visible.
   void store(T V) {
     Runtime &RT = Runtime::current();
     RT.schedulePoint(makeOp(OpKind::VarStore, Id, auxOf(V)));
+    if constexpr (std::is_integral_v<T> || std::is_enum_v<T>)
+      if (RT.memory() != MemoryModel::Sc) {
+        RT.bufferStore(Id, int64_t(V), &commitThunk, this, /*Plain=*/true);
+        return;
+      }
     RT.raceStore(Id);
     Value = V;
   }
@@ -67,6 +83,12 @@ private:
       return int64_t(V);
     else
       return 0;
+  }
+
+  /// Deferred-store target for Runtime::bufferStore; only ever
+  /// instantiated for integral/enum T (the buffered-store path).
+  static void commitThunk(void *Obj, int64_t V) {
+    static_cast<PlainVar *>(Obj)->Value = T(V);
   }
 
   int Id;

@@ -45,19 +45,19 @@ public:
 
   /// Owner-only pop at the tail. \returns false when empty.
   bool pop(int &Task) {
-    long T, H;
-    if (Bug == WsqBug::PopReordered) {
-      // Bug1: the head read is hoisted above the tail publish -- the
-      // reorder a missing fence permits. A thief running between the two
-      // reads can take the same last element this pop will take.
-      T = Tail.load() - 1;
-      H = Head.load();
-      Tail.store(T);
-    } else {
-      T = Tail.load() - 1;
-      Tail.store(T);
-      H = Head.load();
-    }
+    long T = Tail.load() - 1;
+    Tail.store(T);
+    // Publish the tail decrement before reading head. Under
+    // --memory=tso|pso the store sits in this thread's store buffer until
+    // flushed; without the fence a thief can still read the stale tail
+    // after this pop has read head, and both take the last element. Bug1
+    // is exactly this missing fence -- the store/load reordering TSO
+    // permits. Under sc the fence is a no-op and stores are immediately
+    // visible, so the Bug1 variant is indistinguishable from the correct
+    // code there: the bug needs a weak memory model to manifest.
+    if (Bug != WsqBug::PopReordered)
+      fence();
+    long H = Head.load();
     if (H <= T) {
       Task = Elems[size_t(T) % Elems.size()];
       return true;
@@ -90,6 +90,13 @@ public:
       return false;
     long H = Head.load();
     Head.store(H + 1); // Claim first; the owner's pop sees the claim.
+    // The claim must be visible before probing the tail: the owner's
+    // lock-free pop fast path does not take ForeignLock, so under
+    // --memory=tso|pso a buffered claim could be missed and the last
+    // element taken twice even in the bug-free configuration. (The
+    // restore path below needs no fence; the unlock is a fencing op and
+    // drains the buffer.)
+    fence();
     if (H < Tail.load()) {
       Task = Elems[size_t(H) % Elems.size()];
       if (RacySize)

@@ -17,9 +17,14 @@
 ///
 /// Three seeded bugs reproduce the classes of defects CHESS found in the
 /// original (Table 3, "WSQ bug 1-3"):
-///   Bug1 -- pop reads head before publishing its tail decrement (the
-///           missing-fence/reorder bug): a concurrent steal and pop can
-///           both take the last element.
+///   Bug1 -- pop omits the fence between publishing its tail decrement
+///           and reading head: under --memory=tso|pso the decrement sits
+///           in the owner's store buffer while a thief reads the stale
+///           tail, and steal and pop both take the last element. Under
+///           --memory=sc stores are immediately visible, the fence is a
+///           no-op, and this bug CANNOT manifest -- it is the classic
+///           missing-fence defect only a weak-memory search exposes
+///           (docs/MEMORY.md).
 ///   Bug2 -- steal forgets to restore head when it loses the race for the
 ///           last element: that element is leaked and never executed.
 ///   Bug3 -- pop's lock-protected slow path takes the element without
@@ -42,7 +47,8 @@ namespace fsmc {
 
 enum class WsqBug {
   None,
-  PopReordered,   ///< Bug1: head read hoisted above the tail publish.
+  PopReordered,   ///< Bug1: missing fence after the tail publish in pop;
+                  ///< manifests only under --memory=tso|pso.
   StealNoRestore, ///< Bug2: failed steal leaves head incremented.
   PopNoRecheck,   ///< Bug3: locked pop path skips the head re-check.
 };

@@ -84,6 +84,8 @@ TEST(IterativeCheck, WorkloadBugHasSmallPreemptionBound) {
   C.Bug = WsqBug::PopReordered;
   CheckerOptions O;
   O.TimeBudgetSeconds = 120;
+  // Bug1 needs a weak-memory search (workloads/WorkStealQueue.h).
+  O.Memory = MemoryModel::Tso;
   IterativeCheckResult R = iterativeCheck(makeWsqProgram(C), O, 3);
   ASSERT_TRUE(R.foundBug());
   EXPECT_LE(R.BugBound, 2);

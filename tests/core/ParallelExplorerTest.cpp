@@ -149,6 +149,8 @@ TEST(ParallelFirstBug, SafetyViolationInWorkStealQueue) {
   CheckerOptions O;
   O.Kind = SearchKind::ContextBounded;
   O.ContextBound = 2;
+  // Bug1 needs a weak-memory search (workloads/WorkStealQueue.h).
+  O.Memory = MemoryModel::Tso;
   expectSameFirstBug(makeWsqProgram(C), O);
 }
 
@@ -176,6 +178,8 @@ TEST(ParallelFirstBug, ReportedScheduleReplaysToTheSameBug) {
   CheckerOptions O;
   O.Kind = SearchKind::ContextBounded;
   O.ContextBound = 2;
+  // Bug1 needs a weak-memory search (workloads/WorkStealQueue.h).
+  O.Memory = MemoryModel::Tso;
   O.Jobs = 4;
   TestProgram P = makeWsqProgram(C);
   CheckResult R = check(P, O);

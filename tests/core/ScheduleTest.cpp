@@ -33,6 +33,45 @@ TEST(Schedule, EncodeDecodeRoundTrip) {
   }
 }
 
+TEST(Schedule, FlushMaskRoundTrip) {
+  // `f<hex>` records flush-agent candidate bits under --memory=tso|pso.
+  // Suffix order is r, f<hex>, s<hex>; bit 32 is the main thread's flush
+  // agent (Runtime::FlushBase), the common case in real tso schedules.
+  std::vector<ScheduleChoice> In = {
+      {0, 3, true, 0, 0x100000000ull},
+      {2, 3, false, 0, 0x300000000ull},
+      {1, 2, true, 0x5, 0x100000000ull},
+      {0, 2, false, 0x2, 0x600000000ull},
+      {1, 4, true, 0, 0}};
+  std::string Text = encodeSchedule(In);
+  EXPECT_EQ(Text, "fsmc1:0/3f100000000;2/3rf300000000;"
+                  "1/2f100000000s5;0/2rf600000000s2;1/4");
+  std::vector<ScheduleChoice> Out;
+  ASSERT_TRUE(decodeSchedule(Text, Out));
+  ASSERT_EQ(Out.size(), In.size());
+  for (size_t I = 0; I < In.size(); ++I) {
+    EXPECT_EQ(Out[I].Chosen, In[I].Chosen) << I;
+    EXPECT_EQ(Out[I].Num, In[I].Num) << I;
+    EXPECT_EQ(Out[I].Backtrack, In[I].Backtrack) << I;
+    EXPECT_EQ(Out[I].SleepMask, In[I].SleepMask) << I;
+    EXPECT_EQ(Out[I].FlushMask, In[I].FlushMask) << I;
+  }
+}
+
+TEST(Schedule, RejectsMalformedFlushMask) {
+  std::vector<ScheduleChoice> Out;
+  EXPECT_FALSE(decodeSchedule("fsmc1:0/2f", Out));     // Empty mask.
+  EXPECT_FALSE(decodeSchedule("fsmc1:0/2fzz", Out));   // Not hex.
+  EXPECT_FALSE(decodeSchedule("fsmc1:0/2f1x", Out));   // Trailing junk.
+  EXPECT_FALSE(decodeSchedule("fsmc1:0/2fs1", Out));   // f mask empty, s ok.
+  // Well-formed combined suffixes still parse.
+  EXPECT_TRUE(decodeSchedule("fsmc1:0/2rf100000000s3", Out));
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_FALSE(Out[0].Backtrack);
+  EXPECT_EQ(Out[0].FlushMask, 0x100000000ull);
+  EXPECT_EQ(Out[0].SleepMask, 0x3ull);
+}
+
 TEST(Schedule, EmptyScheduleIsValid) {
   std::vector<ScheduleChoice> Out{{1, 2, true}};
   ASSERT_TRUE(decodeSchedule("fsmc1:", Out));
@@ -99,6 +138,9 @@ TEST(Schedule, ReplaysWorkloadBug) {
   CheckerOptions O;
   O.Kind = SearchKind::ContextBounded;
   O.ContextBound = 2;
+  // Bug1 needs --memory=tso to manifest; the replay inherits the same
+  // options, round-tripping the f<hex> flush masks in the schedule.
+  O.Memory = MemoryModel::Tso;
   O.TimeBudgetSeconds = 120;
   TestProgram P = makeWsqProgram(C);
   CheckResult R = check(P, O);

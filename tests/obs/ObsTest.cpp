@@ -141,6 +141,8 @@ TEST(StatsJson, ReportParsesAndMatchesRun) {
   CheckerOptions O;
   O.Kind = SearchKind::ContextBounded;
   O.ContextBound = 2;
+  // Bug1 needs a weak-memory search (workloads/WorkStealQueue.h).
+  O.Memory = MemoryModel::Tso;
   O.Obs = &Obs;
   CheckResult R = check(wsqBug1(), O);
   ASSERT_TRUE(R.foundBug());

@@ -77,6 +77,9 @@ TEST(TraceDeterminism, SerialRunsAreByteIdentical) {
   CheckerOptions O;
   O.Kind = SearchKind::ContextBounded;
   O.ContextBound = 2;
+  // Bug1 is the missing-fence defect; it only manifests under a weak
+  // memory model (workloads/WorkStealQueue.h).
+  O.Memory = MemoryModel::Tso;
 
   const std::string P1 = tempPath("serial_run1.json");
   const std::string P2 = tempPath("serial_run2.json");

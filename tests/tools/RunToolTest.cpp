@@ -186,7 +186,7 @@ TEST_F(RunTool, SigintWritesCheckpointAndHonestStats) {
   EXPECT_EQ(WEXITSTATUS(Status), 5);
 
   std::string CkptText = slurp(Ckpt);
-  EXPECT_TRUE(contains(CkptText, "fsmc-ckpt 2")) << CkptText.substr(0, 80);
+  EXPECT_TRUE(contains(CkptText, "fsmc-ckpt 3")) << CkptText.substr(0, 80);
   EXPECT_TRUE(contains(CkptText, "program peterson"));
 
   std::string Json = slurp(Stats);
@@ -221,7 +221,7 @@ TEST_F(RunTool, SigintPorRunCheckpointsAndResumes) {
   EXPECT_EQ(WEXITSTATUS(Status), 5);
 
   std::string CkptText = slurp(Ckpt);
-  EXPECT_TRUE(contains(CkptText, "fsmc-ckpt 2")) << CkptText.substr(0, 80);
+  EXPECT_TRUE(contains(CkptText, "fsmc-ckpt 3")) << CkptText.substr(0, 80);
   EXPECT_TRUE(contains(CkptText, "stat por_sleep_hits"));
 
   std::string Json = slurp(Stats);
@@ -269,7 +269,7 @@ TEST_F(RunTool, PeriodicCheckpointsAppearDuringTheRun) {
                  "--checkpoint=" + Ckpt, "--checkpoint-every=30",
                  "--stats-json=" + Stats, "--quiet"}),
             0);
-  EXPECT_TRUE(contains(slurp(Ckpt), "fsmc-ckpt 2"));
+  EXPECT_TRUE(contains(slurp(Ckpt), "fsmc-ckpt 3"));
   EXPECT_TRUE(contains(slurp(Stats), "\"checkpoints\": 3"));
 }
 
@@ -292,6 +292,27 @@ TEST_F(RunTool, EstimateIsExactAtExhaustion) {
   long long Est = jsonInt(Json, "estimated_total_executions");
   ASSERT_GT(Execs, 0);
   EXPECT_EQ(Est, Execs) << Json;
+}
+
+TEST_F(RunTool, EstimatePorMassIsExactAtExhaustion) {
+  // The estimator credits POR-pruned subtrees at the prune site, so the
+  // mass identity survives sleep-set pruning: an exhausted --por=on run
+  // reports exactly mass 1 and est == executions, serial and parallel.
+  for (const char *Jobs : {"--jobs=1", "--jobs=4"}) {
+    SCOPED_TRACE(Jobs);
+    std::string Stats = Dir + "/por-est.json";
+    ASSERT_EQ(run({"--program=peterson", "--cb=1", "--estimate",
+                   "--por=on", Jobs, "--stats-json=" + Stats, "--quiet"}),
+              0);
+    std::string Json = slurp(Stats);
+    EXPECT_TRUE(contains(Json, "\"search_exhausted\": true")) << Json;
+    EXPECT_TRUE(contains(Json, "\"explored_mass\": 1,")) << Json;
+    EXPECT_TRUE(contains(Json, "\"progress_pct\": 100.000")) << Json;
+    long long Execs = jsonInt(Json, "executions");
+    long long Est = jsonInt(Json, "estimated_total_executions");
+    ASSERT_GT(Execs, 0);
+    EXPECT_EQ(Est, Execs) << Json;
+  }
 }
 
 TEST_F(RunTool, EstimateSurvivesCheckpointResume) {
@@ -434,7 +455,7 @@ TEST_F(RunTool, SigtermMidFleetDrainsCheckpointAndResumes) {
     EXPECT_EQ(WEXITSTATUS(Status), 5);
 
     std::string CkptText = slurp(Ckpt);
-    EXPECT_TRUE(contains(CkptText, "fsmc-ckpt 2")) << CkptText.substr(0, 80);
+    EXPECT_TRUE(contains(CkptText, "fsmc-ckpt 3")) << CkptText.substr(0, 80);
     EXPECT_TRUE(contains(CkptText, "program peterson"));
     std::string Json = slurp(Stats);
     EXPECT_TRUE(contains(Json, "\"stop_reason\": \"interrupted\"")) << Json;
@@ -531,7 +552,7 @@ TEST_F(RunTool, CorruptCheckpointExitsEightEverywhere) {
                  "--quiet"}),
             0);
   std::string Good = slurp(Ckpt);
-  ASSERT_TRUE(contains(Good, "fsmc-ckpt 2"));
+  ASSERT_TRUE(contains(Good, "fsmc-ckpt 3"));
   ASSERT_EQ(run({"--resume=" + Ckpt, "--cb=1", "--quiet"}), 0)
       << "the intact checkpoint must resume before we corrupt copies";
 
@@ -567,12 +588,68 @@ TEST_F(RunTool, CorruptCheckpointExitsEightEverywhere) {
     EXPECT_EQ(run({"--resume=" + Bad, "--cb=1", "--quiet"}), 8)
         << From << " -> " << To;
   };
-  mutate("fsmc-ckpt 2", "fsmc-ckpt 9");            // unknown version
+  mutate("fsmc-ckpt 3", "fsmc-ckpt 9");            // unknown version
   mutate("seed ", "seed garbage-");                // unparseable seed
   mutate("stat executions ", "stat executions x"); // unparseable stat
   mutate("\nend\n", "\n");                         // missing end marker
 
   EXPECT_EQ(run({"--resume=" + Dir + "/does-not-exist.ckpt"}), 2);
+}
+
+TEST_F(RunTool, OlderCheckpointVersionsStillLoad) {
+  // The v3 magic bump (store-buffer stats) must not orphan existing
+  // checkpoint files: a plain run writes no v3-only records, so
+  // rewriting its magic to the v2 or v1 tag produces exactly what those
+  // versions' writers emitted -- and both must still resume.
+  std::string Ckpt = Dir + "/good.ckpt";
+  ASSERT_EQ(run({"--program=peterson", "--cb=1", "--executions=30",
+                 "--checkpoint=" + Ckpt, "--checkpoint-every=10",
+                 "--quiet"}),
+            0);
+  std::string Good = slurp(Ckpt);
+  ASSERT_TRUE(contains(Good, "fsmc-ckpt 3"));
+  ASSERT_FALSE(contains(Good, "buffered_stores"))
+      << "an sc run must not write v3-only stat records";
+
+  for (const char *Old : {"fsmc-ckpt 2", "fsmc-ckpt 1"}) {
+    SCOPED_TRACE(Old);
+    std::string Text = Good;
+    Text.replace(Text.find("fsmc-ckpt 3"), strlen("fsmc-ckpt 3"), Old);
+    std::string Path = Dir + "/old.ckpt";
+    std::ofstream(Path, std::ios::trunc) << Text;
+    EXPECT_EQ(run({"--resume=" + Path, "--cb=1", "--quiet"}), 0);
+  }
+}
+
+TEST_F(RunTool, MemoryFlagRoundTripsThroughReplay) {
+  // The tentpole's end-to-end acceptance at the tool level: wsq-bug1 is
+  // clean under the default sc search, found under --memory=tso with a
+  // flush-recording repro that replays -- and that repro is rejected as
+  // a divergence (exit 6), not silently re-explored, when replayed under
+  // the wrong model.
+  EXPECT_EQ(run({"--program=wsq-bug1", "--cb=2", "--quiet"}), 0);
+
+  std::string Repro = Dir + "/repros";
+  std::string Stats = Dir + "/stats.json";
+  ASSERT_EQ(run({"--program=wsq-bug1", "--cb=2", "--memory=tso",
+                 "--repro-dir=" + Repro, "--stats-json=" + Stats,
+                 "--quiet"}),
+            1);
+  std::string Json = slurp(Stats);
+  EXPECT_TRUE(contains(Json, "\"memory\": \"tso\"")) << Json;
+  EXPECT_GT(jsonInt(Json, "buffered_stores"), 0) << Json;
+
+  std::string Sched = firstSched(Repro);
+  ASSERT_FALSE(Sched.empty());
+  EXPECT_TRUE(contains(slurp(Sched), "f")) << slurp(Sched);
+  EXPECT_EQ(run({"--program=wsq-bug1", "--cb=2", "--memory=tso",
+                 "--replay=" + Sched, "--quiet"}),
+            1);
+  EXPECT_EQ(run({"--program=wsq-bug1", "--cb=2", "--replay=" + Sched,
+                 "--quiet"}),
+            6);
+
+  EXPECT_EQ(run({"--program=peterson", "--memory=bogus"}), 2);
 }
 
 TEST_F(RunTool, ExplainRejectsConflictingModes) {

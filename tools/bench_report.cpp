@@ -33,10 +33,17 @@
 // time-to-first-deadlock run healthy vs with one worker kill injected
 // through FSMC_FLEET_CHAOS (what a mid-search crash costs in wall time).
 //
+// The memory section (docs/MEMORY.md) prices weak-memory exploration:
+// the spin-wait micro search and the bug-free WSQ cb=2 search, each
+// exhausted under --memory=sc then tso, with the execution blow-up
+// factor (flush agents are extra schedule points, so the tso tree
+// strictly contains the sc one) -- the number that tells users what
+// turning on store-buffer exploration costs on their workload.
+//
 // Usage: bench_report [--quick] [--out=FILE]
 //   --quick  shrink every budget (the bench-smoke ctest entry); numbers
 //            are noisier but the schema is identical
-//   --out=F  write the JSON to F (default: BENCH_8.json in the CWD)
+//   --out=F  write the JSON to F (default: BENCH_9.json in the CWD)
 //
 // Always exits 0: the harness records numbers, it does not gate. Compare
 // across revisions with the methodology notes in docs/PERFORMANCE.md.
@@ -46,6 +53,7 @@
 #include "core/Checker.h"
 #include "workloads/DiningPhilosophers.h"
 #include "workloads/SpinWait.h"
+#include "workloads/WorkStealQueue.h"
 
 #include <chrono>
 #include <cstdint>
@@ -266,6 +274,45 @@ Meas measureFleetDeadlock(int Philosophers, int Width, double BudgetSeconds,
   return M;
 }
 
+/// One memory A/B row, micro flavor: the spin-wait program exhausted
+/// once under \p M. The metric is the search-size blow-up (executions to
+/// exhaust) from the flush-agent schedule points, with wall time
+/// alongside so the per-execution cost of the buffer machinery shows.
+Meas measureMemoryMicro(MemoryModel M, double BudgetSeconds) {
+  SpinWaitConfig C;
+  CheckerOptions O;
+  O.DetectDivergence = false;
+  O.Memory = M;
+  O.TimeBudgetSeconds = BudgetSeconds;
+  auto T0 = Clock::now();
+  CheckResult R = check(makeSpinWaitProgram(C), O);
+  Meas M2;
+  M2.Executions = R.Stats.Executions;
+  M2.Exhausted = R.Stats.SearchExhausted;
+  M2.finish(secondsSince(T0));
+  return M2;
+}
+
+/// The wsq memory row: the bug-free work-stealing queue (the workload
+/// weak memory exists for) exhausted under cb=2 at \p M.
+Meas measureMemoryWsq(MemoryModel M, double BudgetSeconds) {
+  WsqConfig C;
+  C.Stealers = 1;
+  C.Tasks = 2;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.Memory = M;
+  O.TimeBudgetSeconds = BudgetSeconds;
+  auto T0 = Clock::now();
+  CheckResult R = check(makeWsqProgram(C), O);
+  Meas M2;
+  M2.Executions = R.Stats.Executions;
+  M2.Exhausted = R.Stats.SearchExhausted;
+  M2.finish(secondsSince(T0));
+  return M2;
+}
+
 long peakRssKb() {
   struct rusage RU;
   if (getrusage(RUSAGE_SELF, &RU) != 0)
@@ -288,7 +335,7 @@ void appendMeas(std::string &Out, const char *Key, const Meas &M,
 
 int main(int Argc, char **Argv) {
   bool Quick = false;
-  std::string OutPath = "BENCH_8.json";
+  std::string OutPath = "BENCH_9.json";
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--quick") == 0)
       Quick = true;
@@ -361,6 +408,14 @@ int main(int Argc, char **Argv) {
   std::fprintf(stderr, "bench_report: fleet first-bug (kill:1)...\n");
   Meas FleetBugKill =
       measureFleetDeadlock(FigPhilosophers, 2, FigBudget, "kill:1");
+  std::fprintf(stderr, "bench_report: memory micro (sc)...\n");
+  Meas MemMicroSc = measureMemoryMicro(MemoryModel::Sc, FigBudget);
+  std::fprintf(stderr, "bench_report: memory micro (tso)...\n");
+  Meas MemMicroTso = measureMemoryMicro(MemoryModel::Tso, FigBudget);
+  std::fprintf(stderr, "bench_report: memory wsq (sc)...\n");
+  Meas MemWsqSc = measureMemoryWsq(MemoryModel::Sc, FigBudget);
+  std::fprintf(stderr, "bench_report: memory wsq (tso)...\n");
+  Meas MemWsqTso = measureMemoryWsq(MemoryModel::Tso, FigBudget);
 
   double Speedup =
       MicroOff.ExecsPerSec > 0 ? MicroOn.ExecsPerSec / MicroOff.ExecsPerSec
@@ -369,7 +424,7 @@ int main(int Argc, char **Argv) {
   std::string Out;
   Out += "{\n";
   Out += "  \"schema\": 1,\n";
-  Out += "  \"bench\": 8,\n";
+  Out += "  \"bench\": 9,\n";
   Out += std::string("  \"mode\": \"") + (Quick ? "quick" : "full") + "\",\n";
 #ifdef NDEBUG
   Out += "  \"asserts\": false,\n";
@@ -520,6 +575,39 @@ int main(int Argc, char **Argv) {
                   "    \"first_bug_found\": %s\n",
                   FleetBugClean.WallMs, FleetBugKill.WallMs,
                   FleetBugClean.Exhausted && FleetBugKill.Exhausted
+                      ? "true"
+                      : "false");
+    Out += Buf;
+  }
+  Out += "  },\n";
+
+  // Execution blow-up of weak-memory exploration: tso executions over sc
+  // executions for the same exhausted search (>= 1 by construction; the
+  // flush agents only add schedule points).
+  double MemMicroBlowup =
+      MemMicroSc.Executions > 0
+          ? double(MemMicroTso.Executions) / double(MemMicroSc.Executions)
+          : 0;
+  double MemWsqBlowup =
+      MemWsqSc.Executions > 0
+          ? double(MemWsqTso.Executions) / double(MemWsqSc.Executions)
+          : 0;
+  Out += "  \"memory\": {\n";
+  Out += "    \"workload\": \"spinwait exhaustive fair DFS and bug-free "
+         "wsq(1 stealer, 2 tasks) cb=2, --memory sc vs tso\",\n";
+  appendMeas(Out, "micro_sc", MemMicroSc, 4, true);
+  appendMeas(Out, "micro_tso", MemMicroTso, 4, true);
+  appendMeas(Out, "wsq_sc", MemWsqSc, 4, true);
+  appendMeas(Out, "wsq_tso", MemWsqTso, 4, true);
+  {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    \"micro_blowup\": %.2f,\n"
+                  "    \"wsq_blowup\": %.2f,\n"
+                  "    \"exhausted\": %s\n",
+                  MemMicroBlowup, MemWsqBlowup,
+                  MemMicroSc.Exhausted && MemMicroTso.Exhausted &&
+                          MemWsqSc.Exhausted && MemWsqTso.Exhausted
                       ? "true"
                       : "false");
     Out += Buf;

@@ -101,8 +101,9 @@ int main() {
   Table.print(outs());
   outs() << '\n';
   std::printf("Each worker owns a private Explorer/Runtime; subtrees are\n"
-              "sharded by frozen schedule prefix and re-balanced through\n"
-              "the bounded MPMC work queue, so executions and state\n"
-              "coverage are identical at every jobs count.\n");
+              "sharded by frozen schedule prefix and re-balanced by\n"
+              "thief-driven work stealing between per-worker deques, so\n"
+              "executions and state coverage are identical at every jobs\n"
+              "count.\n");
   return 0;
 }

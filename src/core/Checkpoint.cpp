@@ -98,8 +98,9 @@ fsmc::decomposeUnitToFrozenPrefixes(const CheckpointUnit &U) {
     if (!C.Backtrack || C.Chosen + 1 >= C.Num)
       continue;
     for (int Alt = C.Chosen + 1; Alt < C.Num; ++Alt) {
-      std::vector<ScheduleChoice> P(U.Prefix.begin(),
-                                    U.Prefix.begin() + long(I));
+      std::vector<ScheduleChoice> P;
+      P.reserve(I + 1);
+      P.assign(U.Prefix.begin(), U.Prefix.begin() + long(I));
       // Siblings share the choice point's sleep and flush masks
       // (core/Schedule.h).
       P.push_back({Alt, C.Num, C.Backtrack, C.SleepMask, C.FlushMask});

@@ -157,7 +157,9 @@ void Explorer::preloadBaseStats(const SearchStats &Base) {
 }
 
 void Explorer::preloadSeenStates(const std::vector<uint64_t> &States) {
-  SeenStates.insert(States.begin(), States.end());
+  SeenStates.reserve(SeenStates.size() + States.size());
+  for (uint64_t S : States)
+    SeenStates.insert(S);
 }
 
 void Explorer::preloadBug(const BugReport &B) {
@@ -233,6 +235,9 @@ size_t Explorer::splitWork(std::vector<std::vector<ScheduleChoice>> &Out,
         // branch taken, so every donated sibling inherits them verbatim;
         // the worker replaying the prefix recomputes and validates both.
         Prefix.push_back({Alt, R.Num, R.Backtrack, R.SleepMask, R.FlushMask});
+        if (Ctr)
+          Ctr->add(obs::Counter::DonationBytes,
+                   Prefix.size() * sizeof(ScheduleChoice));
         Out.push_back(std::move(Prefix));
         ++Donated;
       }
@@ -832,7 +837,7 @@ Explorer::ExecEnd Explorer::runOneExecution() {
       if (PhaseT)
         SnapT0 = std::chrono::steady_clock::now();
       uint64_t Sig = RT.stateSignature();
-      if (SeenStates.insert(Sig).second) {
+      if (SeenStates.insert(Sig)) {
         if (LogStates)
           StateLog.push_back(Sig);
       } else {
@@ -860,7 +865,7 @@ Explorer::ExecEnd Explorer::runOneExecution() {
           Tid NewPrev = St == StepStatus::Finished ? -1 : T;
           Key ^= hashU64(0xc0117e87ULL * uint64_t(NewPrev + 2));
         }
-        if (!PruneKeys.insert(Key).second) {
+        if (!PruneKeys.insert(Key)) {
           finishStats("pruned");
           ++Result.Stats.PrunedExecutions;
           if (Ctr)

@@ -32,6 +32,7 @@
 #include "core/SearchStrategy.h"
 #include "core/Trace.h"
 #include "runtime/Runtime.h"
+#include "support/U64Set.h"
 #include "support/Xorshift.h"
 
 #include <chrono>
@@ -152,9 +153,7 @@ public:
 
   /// State signatures this explorer inserted (TrackCoverage); the
   /// parallel driver unions the per-worker shards.
-  const std::unordered_set<uint64_t> &seenStates() const {
-    return SeenStates;
-  }
+  const U64Set &seenStates() const { return SeenStates; }
 
   /// Binds this explorer to observability shard \p Worker of Opts.Obs
   /// (serial search and the replay path use shard 0; parallel workers get
@@ -305,8 +304,11 @@ private:
   /// Cross-execution race dedup: messages of every race already turned
   /// into an incident (the same race recurs in many interleavings).
   std::unordered_set<std::string> RaceKeys;
-  std::unordered_set<uint64_t> SeenStates;
-  std::unordered_set<uint64_t> PruneKeys;
+  /// Open-addressing flat tables (support/U64Set.h): one probe per
+  /// signature on the hot path, pre-sized on resume by
+  /// preloadSeenStates so long runs never rehash mid-search.
+  U64Set SeenStates;
+  U64Set PruneKeys;
   uint64_t CurExecution = 0;
   uint64_t CurSteps = 0;
   std::chrono::steady_clock::time_point StartTime;

@@ -1,4 +1,24 @@
 //===- core/ParallelExplorer.cpp ------------------------------------------===//
+//
+// The work-stealing parallel engine (docs/PERFORMANCE.md, "Parallel
+// search"). Architecture in one paragraph: each worker owns a private
+// WorkStealDeque of frozen-prefix items and runs serial DFS on whatever
+// it pops; the shared WorkQueue survives only as a cold-path injector
+// (seeding, epoch restarts, idle parking). A starving worker first
+// sweeps the other deques (steal-half from the top, shallowest-first =
+// largest subtrees), and only when every deque is empty posts a *steal
+// request* on an active victim; the victim answers at its next execution
+// boundary by splitting its shallowest unexplored siblings onto its own
+// deque top, where thieves grab them. Cross-worker results (stats,
+// coverage signatures, race dedup, search profile) accumulate in
+// worker-local buffers and merge once per worker per epoch, so the
+// steady-state execution loop acquires no shared lock at all: its only
+// shared traffic is a handful of relaxed atomic loads and one fetch_add
+// on the execution counter. The best-bug check that used to take a mutex
+// every execution is now a generation-stamped cache refreshed only when
+// some worker actually lands a better bug.
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/ParallelExplorer.h"
 
@@ -6,6 +26,7 @@
 #include "core/Explorer.h"
 #include "core/Schedule.h"
 #include "core/WorkQueue.h"
+#include "core/WorkStealDeque.h"
 #include "obs/Observer.h"
 #include "obs/SearchProfile.h"
 #include "runtime/StackPool.h"
@@ -14,6 +35,7 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_set>
@@ -43,12 +65,40 @@ std::vector<int> pathKeyOfSchedule(const std::string &Schedule) {
   return Key;
 }
 
+/// How long an idle worker parks on the injector between rescans. Also
+/// bounds the window in which a lock-free notify can be missed.
+constexpr std::chrono::microseconds ParkTimeout(500);
+
 } // namespace
 
 struct ParallelExplorer::Shared {
-  explicit Shared(size_t QueueCapacity) : Queue(QueueCapacity) {}
+  Shared(size_t QueueCapacity, size_t Jobs)
+      : Injector(QueueCapacity), Deques(Jobs),
+        StealReq(std::make_unique<std::atomic<bool>[]>(Jobs)),
+        Active(std::make_unique<std::atomic<bool>[]>(Jobs)) {
+    for (size_t I = 0; I < Jobs; ++I) {
+      StealReq[I].store(false, std::memory_order_relaxed);
+      Active[I].store(false, std::memory_order_relaxed);
+    }
+  }
 
-  WorkQueue Queue;
+  /// Cold path only: seeding, epoch restarts, idle parking.
+  WorkQueue Injector;
+  /// Hot path: Deques[W] is worker W+1's private deque.
+  std::vector<WorkStealDeque> Deques;
+  /// StealReq[W]: a starving thief asks worker W+1 to split. Checked by
+  /// the victim with one relaxed load per execution.
+  std::unique_ptr<std::atomic<bool>[]> StealReq;
+  /// Active[W]: worker W+1 is inside an item (a useful steal victim).
+  std::unique_ptr<std::atomic<bool>[]> Active;
+
+  /// Items created and not yet finished (injector + deques + in hand).
+  /// The stash is *not* outstanding: the driver re-registers it when an
+  /// epoch restarts. Outstanding==0 is stable -- new items are only
+  /// created by a worker holding an outstanding item or by the driver
+  /// between epochs -- so it is the termination signal.
+  std::atomic<uint64_t> Outstanding{0};
+
   std::atomic<uint64_t> Executions{0};
   std::atomic<bool> StopAll{false};
   std::atomic<bool> CapHit{false};
@@ -67,41 +117,55 @@ struct ParallelExplorer::Shared {
   std::mutex StashM;
   std::vector<std::vector<ScheduleChoice>> Stash;
 
-  // Best (DFS-smallest) bug so far. Guarded by BugM; read on every
-  // execution by every worker, written only when a better bug lands.
+  // Best (DFS-smallest) bug so far. Guarded by BugM, but *not* read
+  // per-execution: BugVersion bumps on every improvement, and workers
+  // keep a private copy of (HasBug, BestKey) refreshed only when the
+  // version moved. Pruning against a slightly stale best is sound --
+  // a former best is DFS-after the current best, so anything pruned as
+  // DFS-after the former best is DFS-after the current best too.
   std::mutex BugM;
+  std::atomic<uint64_t> BugVersion{0};
   bool HasBug = false;
   std::vector<int> BestKey;
   BugReport BestBug;
   Verdict BestKind = Verdict::Pass;
 
-  // Result aggregation: per-item stats and signature shards.
+  // Result aggregation, deferred: workers accumulate stats, signature
+  // shards and race incidents in worker-local buffers and merge them
+  // here once per worker per epoch (before the epoch's join), never per
+  // item. Guarded by MergeM.
   std::mutex MergeM;
   SearchStats Total;
   std::shared_ptr<obs::SearchProfile> Profile; ///< Guarded by MergeM.
   std::unordered_set<uint64_t> States;
   // Race incidents, deduplicated globally: workers dedup only within
-  // their own explorer, so the same race arriving from two workers must
+  // their own buffers, so the same race arriving from two workers must
   // collapse here. Guarded by MergeM.
   std::unordered_set<std::string> RaceKeys;
   std::vector<BugReport> RaceIncidents;
 
   void requestStop() {
     StopAll.store(true, std::memory_order_relaxed);
-    Queue.stop();
+    Injector.stop();
+  }
+
+  /// Balances item creation (see Outstanding); call before the items
+  /// become visible to any worker.
+  void registerItems(size_t N) {
+    Outstanding.fetch_add(N, std::memory_order_relaxed);
+  }
+
+  /// Balances \p N pops; reaching zero broadcasts termination to every
+  /// parked worker.
+  void finishItems(size_t N) {
+    if (Outstanding.fetch_sub(N, std::memory_order_acq_rel) == N)
+      Injector.notifyAll();
   }
 
   void stashPrefixes(std::vector<std::vector<ScheduleChoice>> &&Prefixes) {
     std::lock_guard<std::mutex> Lock(StashM);
     for (auto &P : Prefixes)
       Stash.push_back(std::move(P));
-  }
-
-  /// True when \p Key lies strictly after the best bug in DFS order --
-  /// the serial search would have stopped before reaching it.
-  bool afterBestBug(const std::vector<int> &Key) {
-    std::lock_guard<std::mutex> Lock(BugM);
-    return HasBug && !dfsBefore(Key, BestKey);
   }
 
   void offerBug(const BugReport &Bug, Verdict Kind) {
@@ -112,6 +176,7 @@ struct ParallelExplorer::Shared {
       BestKey = std::move(Key);
       BestBug = Bug;
       BestKind = Kind;
+      BugVersion.fetch_add(1, std::memory_order_release);
     }
   }
 };
@@ -140,9 +205,9 @@ CheckResult ParallelExplorer::run() {
   }
 
   auto Start = std::chrono::steady_clock::now();
-  Shared SH(/*QueueCapacity=*/size_t(Jobs) * 64);
+  Shared SH(/*QueueCapacity=*/size_t(Jobs) * 64, size_t(Jobs));
   if (Opts.Obs)
-    SH.Queue.setObserver(&Opts.Obs->shard(0));
+    SH.Injector.setObserver(&Opts.Obs->shard(0));
   if (Opts.TimeBudgetSeconds > 0) {
     SH.HasDeadline = true;
     SH.Deadline = Start + std::chrono::duration_cast<
@@ -154,8 +219,8 @@ CheckResult ParallelExplorer::run() {
   if (ResumeCK) {
     // Continue a checkpointed run: cumulative totals, seeded coverage,
     // the carried-over first bug, and the frontier sharded into fully
-    // frozen subtree prefixes. pushAll's capacity is soft, so a frontier
-    // wider than the queue still seeds completely.
+    // frozen subtree prefixes. The injector's capacity is soft, so a
+    // frontier wider than the queue still seeds completely.
     SH.Total = ResumeCK->Stats;
     SH.Total.TimedOut = SH.Total.ExecutionCapHit = SH.Total.SearchExhausted =
         SH.Total.Interrupted = false;
@@ -169,13 +234,15 @@ CheckResult ParallelExplorer::run() {
     for (const CheckpointUnit &U : ResumeCK->Frontier)
       for (auto &P : decomposeUnitToFrozenPrefixes(U))
         Seed.push_back(WorkItem{std::move(P)});
-    SH.Queue.pushAll(std::move(Seed));
+    SH.registerItems(Seed.size());
+    SH.Injector.pushAll(std::move(Seed));
   } else {
     // Seed the search with the whole tree: one item, empty prefix. The
-    // first worker to pop it starts donating as soon as the queue reports
-    // hungry, which is immediately.
+    // other workers immediately post steal requests at whoever pops it,
+    // and the tree fans out from its first execution boundaries.
     std::vector<WorkItem> Root(1);
-    SH.Queue.pushAll(std::move(Root));
+    SH.registerItems(1);
+    SH.Injector.pushAll(std::move(Root));
   }
 
   CheckerOptions WorkerOpts = Opts;
@@ -192,7 +259,6 @@ CheckResult ParallelExplorer::run() {
 
   const uint64_t MaxExecutions = Opts.MaxExecutions;
   const bool StopOnFirstBug = Opts.StopOnFirstBug;
-  const size_t LowWater = size_t(Jobs);
   const uint64_t Every = Opts.CheckpointSink ? Opts.CheckpointEvery : 0;
   if (Every)
     SH.NextCheckpointAt.store(
@@ -200,8 +266,12 @@ CheckResult ParallelExplorer::run() {
         std::memory_order_relaxed);
 
   // Worker ids 1..Jobs: observability shard 0 stays with the driver (the
-  // work queue publishes its depth gauge there).
+  // injector publishes its depth gauge there; each worker publishes its
+  // own deque depth on its own shard, and the snapshot sums them).
   auto WorkerMain = [&](int WorkerId) {
+    const size_t Self = size_t(WorkerId) - 1;
+    WorkStealDeque &MyDeque = SH.Deques[Self];
+    std::atomic<bool> &MyStealReq = SH.StealReq[Self];
     obs::WorkerCounters *WCtr =
         Opts.Obs ? &Opts.Obs->shard(unsigned(WorkerId)) : nullptr;
     obs::EventSink *Sink = Opts.Obs ? Opts.Obs->sink() : nullptr;
@@ -210,26 +280,142 @@ CheckResult ParallelExplorer::run() {
     // stacks warmed by the first item are reused for the rest instead of
     // each short-lived Explorer growing a private pool from cold.
     StackPool WorkerPool;
-    while (std::optional<WorkItem> Item = SH.Queue.pop()) {
+
+    // Counts every shared-lock acquisition this worker performs --
+    // injector, stash, bug and merge mutexes, plus steals into other
+    // workers' deques. Own-deque operations are private (uncontended
+    // unless a thief is mid-steal) and deliberately excluded: the budget
+    // this counter enforces is cross-worker contention.
+    auto CountLock = [&] {
+      if (WCtr)
+        WCtr->add(obs::Counter::QueueLockAcquires);
+    };
+
+    // Worker-local merge buffers: reconciled into SH once, at worker
+    // exit (= end of epoch), never per item or per execution.
+    SearchStats LStats;
+    std::shared_ptr<obs::SearchProfile> LProfile;
+    std::unordered_set<uint64_t> LStates;
+    std::unordered_set<std::string> LRaceKeys;
+    std::vector<BugReport> LRaceIncidents;
+
+    // Generation-stamped private copy of the best bug (see Shared::BugM).
+    uint64_t LBugVer = 0;
+    bool LHasBug = false;
+    std::vector<int> LBestKey;
+    auto RefreshBug = [&] {
+      if (SH.BugVersion.load(std::memory_order_acquire) == LBugVer)
+        return;
+      CountLock();
+      std::lock_guard<std::mutex> Lock(SH.BugM);
+      LBugVer = SH.BugVersion.load(std::memory_order_relaxed);
+      LHasBug = SH.HasBug;
+      LBestKey = SH.BestKey;
+    };
+
+    /// Posts a steal request at the nearest active worker. One victim
+    /// per starving rescan keeps split granularity close to the old
+    /// donor-push behavior instead of shattering every worker's subtree.
+    auto PostStealRequest = [&] {
+      for (int K = 1; K < Jobs; ++K) {
+        size_t V = (Self + size_t(K)) % size_t(Jobs);
+        if (SH.Active[V].load(std::memory_order_relaxed)) {
+          SH.StealReq[V].store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    };
+
+    unsigned IdleSpins = 0;
+    for (;;) {
+      if (SH.StopAll.load(std::memory_order_relaxed))
+        break;
+
+      // Acquire work, cheapest source first: own deque (private lock),
+      // then the injector, then stealing half of the fullest-looking
+      // victim deque.
+      std::optional<WorkItem> Item = MyDeque.popBottom();
+      if (!Item && SH.Injector.approxSize() > 0) {
+        CountLock();
+        Item = SH.Injector.tryPop();
+      }
+      if (!Item) {
+        for (int K = 1; K < Jobs && !Item; ++K) {
+          size_t V = (Self + size_t(K)) % size_t(Jobs);
+          if (SH.Deques[V].empty())
+            continue;
+          std::vector<WorkItem> Loot;
+          CountLock();
+          if (SH.Deques[V].stealTop(Loot)) {
+            if (WCtr)
+              WCtr->add(obs::Counter::Steals);
+            // Keep the shallowest (largest) stolen subtree as the next
+            // item; the rest go on our own deque where further thieves
+            // can find them.
+            Item = std::move(Loot.front());
+            if (Loot.size() > 1) {
+              std::vector<WorkItem> Rest;
+              Rest.reserve(Loot.size() - 1);
+              for (size_t I = 1; I < Loot.size(); ++I)
+                Rest.push_back(std::move(Loot[I]));
+              MyDeque.publishTop(std::move(Rest));
+              SH.Injector.notifyAll();
+            }
+          } else if (WCtr) {
+            WCtr->add(obs::Counter::StealFails);
+          }
+        }
+      }
+      if (!Item) {
+        // Nothing visible anywhere. Either the search is over, or the
+        // remaining work is implicit in some victim's DFS stack -- ask
+        // for it and park until something becomes visible.
+        if (SH.Outstanding.load(std::memory_order_acquire) == 0)
+          break;
+        PostStealRequest();
+        if (++IdleSpins < 16) {
+          std::this_thread::yield();
+          continue;
+        }
+        CountLock();
+        Item = SH.Injector.popWait(ParkTimeout);
+        if (!Item)
+          continue;
+      }
+      IdleSpins = 0;
+
       if (SH.StopAll.load(std::memory_order_relaxed)) {
-        SH.Queue.itemDone();
+        SH.finishItems(1);
         continue;
       }
       if (SH.EpochStop.load(std::memory_order_relaxed)) {
-        // Wind-down: drain the queue into the stash untouched.
-        SH.stashPrefixes({std::move(Item->Prefix)});
-        SH.Queue.itemDone();
+        // Wind-down: stash this item and everything on our deque
+        // untouched. Stashed prefixes leave the outstanding count; the
+        // driver re-registers them if the epoch restarts.
+        std::vector<std::vector<ScheduleChoice>> Ps;
+        Ps.push_back(std::move(Item->Prefix));
+        std::vector<WorkItem> Drained;
+        MyDeque.drainAll(Drained);
+        for (WorkItem &D : Drained)
+          Ps.push_back(std::move(D.Prefix));
+        size_t N = Ps.size();
+        CountLock();
+        SH.stashPrefixes(std::move(Ps));
+        SH.finishItems(N);
         continue;
       }
       // Serial semantics never reach subtrees past the first bug.
       if (StopOnFirstBug && !Item->Prefix.empty()) {
-        std::vector<int> Key;
-        Key.reserve(Item->Prefix.size());
-        for (const ScheduleChoice &C : Item->Prefix)
-          Key.push_back(C.Chosen);
-        if (SH.afterBestBug(Key)) {
-          SH.Queue.itemDone();
-          continue;
+        RefreshBug();
+        if (LHasBug) {
+          std::vector<int> Key;
+          Key.reserve(Item->Prefix.size());
+          for (const ScheduleChoice &C : Item->Prefix)
+            Key.push_back(C.Chosen);
+          if (!dfsBefore(Key, LBestKey)) {
+            SH.finishItems(1);
+            continue;
+          }
         }
       }
 
@@ -246,6 +432,7 @@ CheckResult ParallelExplorer::run() {
       if (WCtr) {
         WCtr->add(obs::Counter::WorkItemsRun);
         WCtr->setGauge(obs::Gauge::ActiveWorkers, 1);
+        WCtr->setGauge(obs::Gauge::WorkQueueDepth, MyDeque.size());
       }
       if (Sink) {
         obs::ObsEvent Ev;
@@ -255,6 +442,7 @@ CheckResult ParallelExplorer::run() {
         Ev.ArgA = Item->Prefix.size();
         Sink->event(Ev);
       }
+      SH.Active[Self].store(true, std::memory_order_relaxed);
 
       Explorer E(Program, ItemOpts);
       if (ItemOpts.ReuseExecutionState)
@@ -286,42 +474,53 @@ CheckResult ParallelExplorer::run() {
         if (SH.EpochStop.load(std::memory_order_relaxed)) {
           // Stash this item's entire unexplored remainder: splitWork over
           // the whole stack donates every untried alternative, so stopping
-          // here loses nothing.
+          // here loses nothing. (The item itself stays outstanding until
+          // the post-run finishItems.)
           std::vector<std::vector<ScheduleChoice>> Rest;
           Ex.splitWork(Rest, SIZE_MAX);
+          CountLock();
           SH.stashPrefixes(std::move(Rest));
           return false;
         }
         // First-bug pruning: everything this item would explore next is
         // DFS-after its current path, so once that path passes the best
-        // bug the serial search would already have stopped.
-        if (StopOnFirstBug && SH.afterBestBug(Ex.consumedPathKey()))
-          return false;
-        // Donate the shallowest unexplored siblings when the queue runs
-        // dry; idle workers pick them up (work stealing by splitting).
-        if (SH.Queue.hungry(LowWater)) {
-          size_t Free = SH.Queue.freeSlots();
-          if (Free > 0) {
-            std::vector<std::vector<ScheduleChoice>> Prefixes;
-            size_t Want = size_t(Jobs) * 2;
-            E.splitWork(Prefixes, Want < Free ? Want : Free);
-            if (!Prefixes.empty()) {
-              size_t Donated = Prefixes.size();
-              std::vector<WorkItem> Items;
-              Items.reserve(Donated);
-              for (auto &P : Prefixes)
-                Items.push_back(WorkItem{std::move(P)});
-              SH.Queue.pushAll(std::move(Items));
-              if (WCtr)
-                WCtr->add(obs::Counter::PrefixesDonated, Donated);
-              if (Sink) {
-                obs::ObsEvent Ev;
-                Ev.Kind = obs::EventKind::Donation;
-                Ev.Worker = unsigned(WorkerId);
-                Ev.Ts = Ex.obsClock();
-                Ev.ArgA = Donated;
-                Sink->event(Ev);
-              }
+        // bug the serial search would already have stopped. The common
+        // no-bug case costs one relaxed version load -- no lock, no key
+        // materialization.
+        if (StopOnFirstBug) {
+          RefreshBug();
+          if (LHasBug && !dfsBefore(Ex.consumedPathKey(), LBestKey))
+            return false;
+        }
+        // Steal response: a starving thief asked us to split. Publish the
+        // shallowest unexplored siblings -- the largest subtrees we own --
+        // on our own deque top, where the thief (and anyone else) can
+        // take them without stopping us.
+        if (MyStealReq.load(std::memory_order_relaxed)) {
+          MyStealReq.store(false, std::memory_order_relaxed);
+          std::vector<std::vector<ScheduleChoice>> Prefixes;
+          Ex.splitWork(Prefixes, size_t(Jobs) * 2);
+          if (!Prefixes.empty()) {
+            size_t Donated = Prefixes.size();
+            std::vector<WorkItem> Items;
+            Items.reserve(Donated);
+            for (auto &P : Prefixes)
+              Items.push_back(WorkItem{std::move(P)});
+            SH.registerItems(Donated);
+            MyDeque.publishTop(std::move(Items));
+            // Lock-free wake; a miss is bounded by the park timeout.
+            SH.Injector.notifyAll();
+            if (WCtr) {
+              WCtr->add(obs::Counter::PrefixesDonated, Donated);
+              WCtr->setGauge(obs::Gauge::WorkQueueDepth, MyDeque.size());
+            }
+            if (Sink) {
+              obs::ObsEvent Ev;
+              Ev.Kind = obs::EventKind::Donation;
+              Ev.Worker = unsigned(WorkerId);
+              Ev.Ts = Ex.obsClock();
+              Ev.ArgA = Donated;
+              Sink->event(Ev);
             }
           }
         }
@@ -329,41 +528,72 @@ CheckResult ParallelExplorer::run() {
       });
 
       CheckResult R = E.run();
+      SH.Active[Self].store(false, std::memory_order_relaxed);
       if (R.Stats.TimedOut) {
         // The per-item remaining budget ran out mid-execution; that is
         // the shared deadline expiring, so stop the whole search.
         SH.GlobalTimeout.store(true, std::memory_order_relaxed);
         SH.requestStop();
       }
-      if (R.Bug)
+      if (R.Bug) {
+        CountLock();
         SH.offerBug(*R.Bug, R.Kind);
-      {
-        std::lock_guard<std::mutex> Lock(SH.MergeM);
-        mergeSearchStats(SH.Total, R.Stats);
-        if (R.Profile) {
-          if (!SH.Profile)
-            SH.Profile = R.Profile;
-          else
-            SH.Profile->merge(*R.Profile);
-        }
-        if (!E.seenStates().empty())
-          SH.States.insert(E.seenStates().begin(), E.seenStates().end());
-        for (const BugReport &I : R.Incidents)
-          if (I.Kind != Verdict::DataRace ||
-              SH.RaceKeys.insert(I.Message).second)
-            SH.RaceIncidents.push_back(I);
       }
+      // Worker-local accumulation -- the per-item merge lock is gone.
+      mergeSearchStats(LStats, R.Stats);
+      if (R.Profile) {
+        if (!LProfile)
+          LProfile = R.Profile;
+        else
+          LProfile->merge(*R.Profile);
+      }
+      if (!E.seenStates().empty())
+        LStates.insert(E.seenStates().begin(), E.seenStates().end());
+      for (const BugReport &I : R.Incidents)
+        if (I.Kind != Verdict::DataRace || LRaceKeys.insert(I.Message).second)
+          LRaceIncidents.push_back(I);
       Clock = E.obsClock();
-      if (WCtr)
+      if (WCtr) {
         WCtr->setGauge(obs::Gauge::ActiveWorkers, 0);
-      SH.Queue.itemDone();
+        WCtr->setGauge(obs::Gauge::WorkQueueDepth, MyDeque.size());
+      }
+      SH.finishItems(1);
     }
-    if (WCtr)
+
+    // Epoch-local reconciliation: one merge per worker per epoch. This
+    // runs before the driver joins the epoch's threads, so checkpoints
+    // built between epochs see complete totals.
+    auto MergeT0 = std::chrono::steady_clock::now();
+    {
+      CountLock();
+      std::lock_guard<std::mutex> Lock(SH.MergeM);
+      mergeSearchStats(SH.Total, LStats);
+      if (LProfile) {
+        if (!SH.Profile)
+          SH.Profile = LProfile;
+        else
+          SH.Profile->merge(*LProfile);
+      }
+      if (!LStates.empty())
+        SH.States.insert(LStates.begin(), LStates.end());
+      for (BugReport &I : LRaceIncidents)
+        if (I.Kind != Verdict::DataRace ||
+            SH.RaceKeys.insert(I.Message).second)
+          SH.RaceIncidents.push_back(std::move(I));
+    }
+    if (WCtr) {
+      WCtr->add(obs::Counter::MergeNs,
+                uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - MergeT0)
+                             .count()));
       WCtr->setGauge(obs::Gauge::ActiveWorkers, 0);
+      WCtr->setGauge(obs::Gauge::WorkQueueDepth, 0);
+    }
   };
 
   // Snapshot of the whole search for the checkpoint sink / resume: only
-  // valid between epochs, when every worker has joined.
+  // valid between epochs, when every worker has joined (and therefore
+  // merged its local buffers).
   auto buildCheckpoint = [&]() {
     auto CK = std::make_shared<CheckpointState>();
     CK->Stats = SH.Total;
@@ -430,7 +660,8 @@ CheckResult ParallelExplorer::run() {
       Items.push_back(WorkItem{std::move(P)});
     SH.Stash.clear();
     SH.EpochStop.store(false, std::memory_order_relaxed);
-    SH.Queue.pushAll(std::move(Items));
+    SH.registerItems(Items.size());
+    SH.Injector.pushAll(std::move(Items));
   }
 
   CheckResult Result;

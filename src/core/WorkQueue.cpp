@@ -13,6 +13,7 @@ void WorkQueue::setObserver(obs::WorkerCounters *C) {
 }
 
 void WorkQueue::publishDepth() {
+  Depth.store(Q.size(), std::memory_order_relaxed);
   if (Ctr)
     Ctr->setGauge(obs::Gauge::WorkQueueDepth, Q.size());
 }
@@ -24,7 +25,6 @@ void WorkQueue::pushAll(std::vector<WorkItem> Items) {
     std::lock_guard<std::mutex> Lock(M);
     if (Stopped)
       return;
-    Outstanding += Items.size();
     for (WorkItem &I : Items)
       Q.push_back(std::move(I));
     publishDepth();
@@ -32,9 +32,8 @@ void WorkQueue::pushAll(std::vector<WorkItem> Items) {
   CV.notify_all();
 }
 
-std::optional<WorkItem> WorkQueue::pop() {
-  std::unique_lock<std::mutex> Lock(M);
-  CV.wait(Lock, [this] { return !Q.empty() || Outstanding == 0 || Stopped; });
+std::optional<WorkItem> WorkQueue::tryPop() {
+  std::lock_guard<std::mutex> Lock(M);
   if (Stopped || Q.empty())
     return std::nullopt;
   WorkItem I = std::move(Q.front());
@@ -43,21 +42,24 @@ std::optional<WorkItem> WorkQueue::pop() {
   return I;
 }
 
-void WorkQueue::itemDone() {
-  bool Done;
-  {
-    std::lock_guard<std::mutex> Lock(M);
-    Done = --Outstanding == 0;
-  }
-  if (Done)
-    CV.notify_all();
+std::optional<WorkItem> WorkQueue::popWait(std::chrono::microseconds Timeout) {
+  std::unique_lock<std::mutex> Lock(M);
+  if (Q.empty() && !Stopped)
+    CV.wait_for(Lock, Timeout);
+  if (Stopped || Q.empty())
+    return std::nullopt;
+  WorkItem I = std::move(Q.front());
+  Q.pop_front();
+  publishDepth();
+  return I;
 }
+
+void WorkQueue::notifyAll() { CV.notify_all(); }
 
 void WorkQueue::stop() {
   {
     std::lock_guard<std::mutex> Lock(M);
     Stopped = true;
-    Outstanding -= Q.size();
     Q.clear();
     publishDepth();
   }
@@ -72,9 +74,4 @@ size_t WorkQueue::size() const {
 size_t WorkQueue::freeSlots() const {
   std::lock_guard<std::mutex> Lock(M);
   return Q.size() >= Capacity ? 0 : Capacity - Q.size();
-}
-
-bool WorkQueue::hungry(size_t LowWater) const {
-  std::lock_guard<std::mutex> Lock(M);
-  return !Stopped && Q.size() < LowWater;
 }

@@ -1,4 +1,4 @@
-//===- core/WorkQueue.h - MPMC queue of schedule-prefix shards -*- C++ -*-===//
+//===- core/WorkQueue.h - Cold-path injector of prefix shards --*- C++ -*-===//
 //
 // Part of the fsmc project: a reproduction of "Fair Stateless Model
 // Checking" (Musuvathi & Qadeer, PLDI 2008).
@@ -6,17 +6,25 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The bounded multi-producer/multi-consumer queue that carries schedule
-/// prefixes between parallel workers. Each item is one unexplored subtree
-/// of the DFS choice tree, identified by the frozen choice prefix that
-/// reaches its root (see Explorer::preloadSchedule(Frozen)).
+/// The cold-path *injector* queue of the parallel search. Steady-state
+/// work flows through per-worker WorkStealDeques (WorkStealDeque.h) and
+/// never touches this queue; the injector carries only the cold paths:
 ///
-/// The queue also owns search-wide termination: it counts *outstanding*
-/// items -- queued plus popped-but-unfinished -- and pop() returns empty
-/// only when that count hits zero (every subtree fully explored, and no
-/// running worker can donate more) or the search is stopped. This is the
-/// standard work-stealing termination argument: an item can only appear
-/// while some other item is outstanding, so outstanding==0 is stable.
+///   - seeding (the root item, or a resumed checkpoint frontier),
+///   - epoch restarts (requeueing the stash after a periodic checkpoint),
+///   - the idle workers' park bench: a worker that finds every deque and
+///     the injector empty parks on the injector's condvar with a timeout,
+///     and notifyAll() is the global wake signal (work published, search
+///     over, epoch stop).
+///
+/// Each item is one unexplored subtree of the DFS choice tree, identified
+/// by the frozen choice prefix that reaches its root (see
+/// Explorer::preloadSchedule(Frozen)).
+///
+/// Termination is *not* this queue's job anymore: the engine counts
+/// outstanding items in a shared atomic (see ParallelExplorer.cpp) and
+/// uses notifyAll() to broadcast the count reaching zero. That is what
+/// lets the hot loop run without ever acquiring this lock.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +33,7 @@
 
 #include "core/Schedule.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -46,27 +55,34 @@ class WorkQueue {
 public:
   explicit WorkQueue(size_t Capacity) : Capacity(Capacity) {}
 
-  /// Enqueues \p Items, registering them as outstanding. Donation is
-  /// gated on freeSlots(), so the capacity is a soft bound: a racing
-  /// donor may briefly overshoot it rather than lose donated work.
+  /// Enqueues \p Items and wakes every parked worker. The capacity is a
+  /// soft bound: seeding a resumed frontier wider than the queue must
+  /// not lose items, so pushes never block or drop.
   void pushAll(std::vector<WorkItem> Items);
 
-  /// Blocks until an item is available, all work is done, or stop().
-  /// A successful pop leaves the item outstanding until itemDone().
-  std::optional<WorkItem> pop();
+  /// Non-blocking pop; nullopt when empty or stopped.
+  std::optional<WorkItem> tryPop();
 
-  /// Balances one successful pop(); the last call wakes all waiters.
-  void itemDone();
+  /// Park for up to \p Timeout or until notifyAll()/pushAll() wakes the
+  /// caller, then pop if anything arrived. A nullopt return says only
+  /// "nothing here now" -- callers rescan deques and the termination
+  /// count, then park again. Deliberately not a predicate loop: any wake
+  /// reason (new work, search over, epoch stop) must return control to
+  /// the caller's scan loop.
+  std::optional<WorkItem> popWait(std::chrono::microseconds Timeout);
+
+  /// Wakes every parked worker without touching the queue.
+  void notifyAll();
 
   /// Aborts the search: drops queued items and wakes every waiter.
   void stop();
 
   size_t size() const;
+  /// Lock-free depth probe for starving workers' rescan loops; may be
+  /// stale by the time the caller acts.
+  size_t approxSize() const { return Depth.load(std::memory_order_relaxed); }
   /// Remaining soft capacity; donors size their splits by this.
   size_t freeSlots() const;
-  /// True when the queue holds fewer than \p LowWater items -- the
-  /// signal for busy workers to donate a slice of their subtree.
-  bool hungry(size_t LowWater) const;
 
   /// Publishes the queue depth to \p Ctr's WorkQueueDepth gauge after
   /// every mutation (the driver's shard; all writes happen under the
@@ -81,8 +97,9 @@ private:
   mutable std::mutex M;
   std::condition_variable CV;
   std::deque<WorkItem> Q;
+  /// Mirrors Q.size(); written under M, read without it.
+  std::atomic<size_t> Depth{0};
   size_t Capacity;
-  size_t Outstanding = 0;
   bool Stopped = false;
 };
 

@@ -78,6 +78,16 @@ const char *fsmc::obs::counterName(Counter C) {
     return "buffered_stores";
   case Counter::StoreFlushes:
     return "store_flushes";
+  case Counter::Steals:
+    return "steals";
+  case Counter::StealFails:
+    return "steal_fails";
+  case Counter::QueueLockAcquires:
+    return "queue_lock_acquires";
+  case Counter::MergeNs:
+    return "merge_ns";
+  case Counter::DonationBytes:
+    return "donation_bytes";
   case Counter::NumCounters:
     break;
   }

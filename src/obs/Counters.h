@@ -82,6 +82,16 @@ enum class Counter : unsigned {
   // omitted from --stats-json then, so sc output stays byte-identical.
   BufferedStores,          ///< Stores enqueued into a thread store buffer.
   StoreFlushes,            ///< Buffered stores committed to memory.
+  // Work-stealing parallel engine (docs/PERFORMANCE.md). Zero at --jobs=1
+  // and omitted from --stats-json then, so serial output stays
+  // byte-identical.
+  Steals,                  ///< Successful steal-half grabs from a victim.
+  StealFails,              ///< Steal attempts that found the victim empty.
+  QueueLockAcquires,       ///< Shared-lock acquisitions (injector, bug,
+                           ///< merge, stash) -- the contention budget.
+  MergeNs,                 ///< Nanoseconds spent in deferred cross-worker
+                           ///< merges (stats/states/races/profile).
+  DonationBytes,           ///< Prefix bytes materialized by splitWork.
   NumCounters
 };
 

@@ -23,11 +23,26 @@ thread_local size_t HostStackSize = 0;
 } // namespace
 #endif
 
+#if FSMC_TSAN
+namespace {
+/// TSan's handle for this OS thread's own (root) fiber, captured on the
+/// first switch away from it. Switches back to the controller target
+/// this handle; it is never destroyed.
+thread_local void *HostTsanFiber = nullptr;
+} // namespace
+#endif
+
 Fiber::~Fiber() { releaseStack(); }
 
 void Fiber::releaseStack() {
   if (!StackBase)
     return;
+#if FSMC_TSAN
+  if (TsanFiber) {
+    __tsan_destroy_fiber(TsanFiber);
+    TsanFiber = nullptr;
+  }
+#endif
   if (Pool) {
     Pool->release(StackBase, MappedBytes);
   } else {
@@ -100,6 +115,13 @@ bool Fiber::initWithEntry(size_t StackBytes, EntryFn Entry, void *Arg,
   Ctx.uc_link = nullptr;
   AsanStackBottom = StackBase + Page;
   AsanStackSize = Usable;
+#if FSMC_TSAN
+  // A fresh logical fiber, even on a recycled stack: the old handle's
+  // synchronization history must not leak into the new fiber.
+  if (TsanFiber)
+    __tsan_destroy_fiber(TsanFiber);
+  TsanFiber = __tsan_create_fiber(0);
+#endif
 
   this->Entry = Entry;
   this->EntryArg = Arg;
@@ -110,6 +132,14 @@ bool Fiber::initWithEntry(size_t StackBytes, EntryFn Entry, void *Arg,
 }
 
 void Fiber::switchTo(Fiber &From, Fiber &To) {
+#if FSMC_TSAN
+  // Announce the logical-thread switch before the stacks actually swap.
+  // Leaving the host for the first time on this OS thread is when its
+  // root-fiber handle becomes known.
+  if (!From.StackBase && !HostTsanFiber)
+    HostTsanFiber = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(To.StackBase ? To.TsanFiber : HostTsanFiber, 0);
+#endif
 #if FSMC_ASAN
   // Tell ASan which stack is about to run. A stackless target is the
   // controller, i.e. the host OS-thread stack captured at the first

@@ -92,6 +92,12 @@ private:
   /// Null bottom means "the host OS-thread stack" (resolved lazily).
   const void *AsanStackBottom = nullptr;
   size_t AsanStackSize = 0;
+  /// ThreadSanitizer's handle for this fiber-as-logical-thread; created
+  /// per initWithEntry (a recycled stack hosts a *new* logical fiber, so
+  /// it gets a fresh handle) and destroyed with the stack. Null in
+  /// non-TSan builds and for the host fiber (whose handle lives in a
+  /// thread_local; destroying a thread's root fiber is forbidden).
+  void *TsanFiber = nullptr;
 };
 
 } // namespace fsmc

@@ -13,6 +13,16 @@
 /// is unpoisoned before reuse. All of that instrumentation compiles to
 /// nothing in non-sanitizer builds.
 ///
+/// FSMC_TSAN: 1 when compiling under ThreadSanitizer (the `tsan` CMake
+/// preset), 0 otherwise. TSan models each ucontext fiber as its own
+/// logical thread: every fiber gets a __tsan_create_fiber handle, every
+/// swapcontext is announced with __tsan_switch_to_fiber, and recycled
+/// stacks get a fresh handle so two logical fibers never share TSan
+/// state. Without this, TSan sees one OS thread whose stack pointer
+/// teleports and reports garbage. This is what lets the checker's own
+/// concurrency -- the work-stealing parallel engine -- run under the
+/// same sanitizer treatment it gives workloads (ctest preset tsan-par).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FSMC_RUNTIME_SANITIZER_H
@@ -34,6 +44,21 @@
 #if FSMC_ASAN
 #include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define FSMC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FSMC_TSAN 1
+#endif
+#endif
+#ifndef FSMC_TSAN
+#define FSMC_TSAN 0
+#endif
+
+#if FSMC_TSAN
+#include <sanitizer/tsan_interface.h>
 #endif
 
 namespace fsmc {

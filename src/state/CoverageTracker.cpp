@@ -5,7 +5,7 @@
 using namespace fsmc;
 
 bool CoverageTracker::record(uint64_t Sig) {
-  if (States.insert(Sig).second)
+  if (States.insert(Sig))
     return true;
   ++Hits;
   return false;
@@ -16,7 +16,7 @@ double CoverageTracker::coverageOf(const CoverageTracker &Reference) const {
     return 1.0;
   uint64_t Covered = 0;
   for (uint64_t S : Reference.States)
-    if (States.count(S))
+    if (States.contains(S))
       ++Covered;
   return double(Covered) / double(Reference.States.size());
 }

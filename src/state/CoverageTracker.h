@@ -16,8 +16,9 @@
 #ifndef FSMC_STATE_COVERAGETRACKER_H
 #define FSMC_STATE_COVERAGETRACKER_H
 
+#include "support/U64Set.h"
+
 #include <cstdint>
-#include <unordered_set>
 
 namespace fsmc {
 
@@ -34,7 +35,11 @@ public:
   /// Records \p Sig. \returns true if it was new.
   bool record(uint64_t Sig);
 
-  bool contains(uint64_t Sig) const { return States.count(Sig) != 0; }
+  /// Pre-sizes the signature table (e.g. from a checkpoint's state
+  /// count) so long runs never pay a rehash stall mid-search.
+  void reserve(size_t N) { States.reserve(N); }
+
+  bool contains(uint64_t Sig) const { return States.contains(Sig); }
   /// Signatures seen at least once (stats-json coverage.distinct_states).
   uint64_t distinct() const { return States.size(); }
   /// Repeat sightings only: record() calls whose signature was already
@@ -46,11 +51,13 @@ public:
   /// Fraction of \p Reference's states present here, in [0, 1].
   double coverageOf(const CoverageTracker &Reference) const;
 
-  const std::unordered_set<uint64_t> &states() const { return States; }
+  const U64Set &states() const { return States; }
   void clear();
 
 private:
-  std::unordered_set<uint64_t> States;
+  /// Open-addressing flat table (support/U64Set.h): the record() hot
+  /// path is one probe, no per-node allocation.
+  U64Set States;
   uint64_t Hits = 0;
 };
 

@@ -1,0 +1,180 @@
+//===- support/U64Set.h - Open-addressing set of uint64 keys ---*- C++ -*-===//
+//
+// Part of the fsmc project: a reproduction of "Fair Stateless Model
+// Checking" (Musuvathi & Qadeer, PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flat open-addressing hash set specialized for 64-bit keys -- state
+/// signatures and prune keys, the hottest sets in the checker. Compared
+/// to std::unordered_set<uint64_t> (node-per-element, one allocation and
+/// one pointer chase per insert), this is a single power-of-two array
+/// probed linearly: inserts on the signature hot path touch one or two
+/// cache lines and allocate only on growth, and reserve() can pre-size
+/// the table from a checkpoint's state count so long resumed runs never
+/// rehash at all.
+///
+/// Keys are already well-mixed hashes almost everywhere this is used,
+/// but a splitmix64 finalizer is applied anyway so adversarial or
+/// low-entropy keys (prune keys, test values) cannot degenerate the
+/// probe sequence. Slot value 0 marks "empty"; the key 0 itself is
+/// carried in a side flag. No erase -- the checker's sets only grow
+/// within a run and clear() between runs, so tombstones are dead weight.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FSMC_SUPPORT_U64SET_H
+#define FSMC_SUPPORT_U64SET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+
+namespace fsmc {
+
+class U64Set {
+public:
+  U64Set() = default;
+
+  /// Inserts \p Key. \returns true if it was not present before.
+  bool insert(uint64_t Key) {
+    if (Key == 0) {
+      bool New = !HasZero;
+      HasZero = true;
+      return New;
+    }
+    if ((Count + 1) * 10 >= Cap * 7) // max load factor 0.7
+      grow(Cap ? Cap * 2 : 64);
+    size_t I = probeStart(Key);
+    for (;;) {
+      uint64_t S = Slots[I];
+      if (S == Key)
+        return false;
+      if (S == 0) {
+        Slots[I] = Key;
+        ++Count;
+        return true;
+      }
+      I = (I + 1) & (Cap - 1);
+    }
+  }
+
+  bool contains(uint64_t Key) const {
+    if (Key == 0)
+      return HasZero;
+    if (!Cap)
+      return false;
+    size_t I = probeStart(Key);
+    for (;;) {
+      uint64_t S = Slots[I];
+      if (S == Key)
+        return true;
+      if (S == 0)
+        return false;
+      I = (I + 1) & (Cap - 1);
+    }
+  }
+
+  size_t size() const { return Count + (HasZero ? 1 : 0); }
+  bool empty() const { return size() == 0; }
+
+  /// Pre-sizes the table for \p N keys without rehash churn.
+  void reserve(size_t N) {
+    size_t Need = 64;
+    while (N * 10 >= Need * 7)
+      Need *= 2;
+    if (Need > Cap)
+      grow(Need);
+  }
+
+  void clear() {
+    Slots.reset();
+    Cap = Count = 0;
+    HasZero = false;
+  }
+
+  /// Forward iteration in unspecified order (like unordered_set). The
+  /// zero key, if present, comes first.
+  class const_iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = uint64_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const uint64_t *;
+    using reference = uint64_t;
+
+    const_iterator(const U64Set *S, size_t I, bool AtZero)
+        : S(S), I(I), AtZero(AtZero) {
+      if (!AtZero)
+        skipEmpty();
+    }
+    uint64_t operator*() const { return AtZero ? 0 : S->Slots[I]; }
+    const_iterator &operator++() {
+      if (AtZero)
+        AtZero = false;
+      else
+        ++I;
+      skipEmpty();
+      return *this;
+    }
+    bool operator==(const const_iterator &O) const {
+      return AtZero == O.AtZero && I == O.I;
+    }
+    bool operator!=(const const_iterator &O) const { return !(*this == O); }
+
+  private:
+    void skipEmpty() {
+      while (I < S->Cap && S->Slots[I] == 0)
+        ++I;
+    }
+    const U64Set *S;
+    size_t I;
+    bool AtZero;
+  };
+
+  const_iterator begin() const {
+    return const_iterator(this, 0, HasZero);
+  }
+  const_iterator end() const { return const_iterator(this, Cap, false); }
+
+private:
+  /// splitmix64 finalizer: defends the probe sequence against keys that
+  /// are not already uniformly mixed.
+  static uint64_t mix(uint64_t X) {
+    X ^= X >> 30;
+    X *= 0xbf58476d1ce4e5b9ULL;
+    X ^= X >> 27;
+    X *= 0x94d049bb133111ebULL;
+    X ^= X >> 31;
+    return X;
+  }
+
+  size_t probeStart(uint64_t Key) const { return mix(Key) & (Cap - 1); }
+
+  void grow(size_t NewCap) {
+    std::unique_ptr<uint64_t[]> Old = std::move(Slots);
+    size_t OldCap = Cap;
+    Slots = std::make_unique<uint64_t[]>(NewCap); // zero-initialized
+    Cap = NewCap;
+    for (size_t I = 0; I < OldCap; ++I) {
+      uint64_t Key = Old[I];
+      if (Key == 0)
+        continue;
+      size_t J = probeStart(Key);
+      while (Slots[J] != 0)
+        J = (J + 1) & (Cap - 1);
+      Slots[J] = Key;
+    }
+  }
+
+  std::unique_ptr<uint64_t[]> Slots;
+  size_t Cap = 0;   ///< Power of two (or 0 before first insert).
+  size_t Count = 0; ///< Non-zero keys stored.
+  bool HasZero = false;
+};
+
+} // namespace fsmc
+
+#endif // FSMC_SUPPORT_U64SET_H

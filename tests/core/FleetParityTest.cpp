@@ -153,7 +153,7 @@ TEST(FleetParity, RegistrySweepFleet4MatchesJobs4) {
 }
 
 //===----------------------------------------------------------------------===//
-// Exhaustive catalogue: exact multiset parity at widths 1, 2 and 4
+// Exhaustive catalogue: exact multiset parity at widths 1, 2, 4 and 8
 // against both the serial engine and --jobs=4.
 //===----------------------------------------------------------------------===//
 
@@ -180,7 +180,7 @@ TEST(FleetParity, ExhaustiveCatalogueExactAtAllWidths) {
     CheckResult J = check(registryProgram(E.Key), Jobs);
     expectExactlyEqual(J, Serial);
 
-    for (int Width : {1, 2, 4}) {
+    for (int Width : {1, 2, 4, 8}) {
       SCOPED_TRACE("fleet width " + std::to_string(Width));
       CheckResult F =
           check(registryProgram(E.Key), fleetOpts(Base, Width));

@@ -78,6 +78,10 @@ TEST(PorParity, RegistrySweepSerial) { sweepRegistry(/*Jobs=*/1); }
 
 TEST(PorParity, RegistrySweepJobs4) { sweepRegistry(/*Jobs=*/4); }
 
+// More workers than cores: the work-stealing engine's exactness must not
+// depend on every worker getting a CPU.
+TEST(PorParity, RegistrySweepJobs8) { sweepRegistry(/*Jobs=*/8); }
+
 //===----------------------------------------------------------------------===//
 // Seeded-bug catalogue: POR must find every bug the full search finds,
 // in fewer executions.

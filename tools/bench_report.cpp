@@ -40,10 +40,21 @@
 // strictly contains the sc one) -- the number that tells users what
 // turning on store-buffer exploration costs on their workload.
 //
+// The scaling section prices the work-stealing parallel engine
+// (docs/PERFORMANCE.md): the par_speedup dining workload at jobs
+// 1/2/4/8 with the engine's contention counters read from an attached
+// Observer -- steals, steal_fails, queue_lock_acquires, merge_ns,
+// donation_bytes -- and the derived locks-per-execution ratio. The
+// donation-era engine took at least two shared-lock acquisitions per
+// execution (the hungry() poll under the queue mutex plus the
+// best-bug mutex in the per-execution hook), so that floor is the
+// baseline the lock_reduction_vs_donation factor is computed against;
+// the acceptance bar is >= 10x at jobs 4.
+//
 // Usage: bench_report [--quick] [--out=FILE]
 //   --quick  shrink every budget (the bench-smoke ctest entry); numbers
 //            are noisier but the schema is identical
-//   --out=F  write the JSON to F (default: BENCH_9.json in the CWD)
+//   --out=F  write the JSON to F (default: BENCH_10.json in the CWD)
 //
 // Always exits 0: the harness records numbers, it does not gate. Compare
 // across revisions with the methodology notes in docs/PERFORMANCE.md.
@@ -51,6 +62,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Checker.h"
+#include "obs/Observer.h"
 #include "workloads/DiningPhilosophers.h"
 #include "workloads/SpinWait.h"
 #include "workloads/WorkStealQueue.h"
@@ -313,6 +325,51 @@ Meas measureMemoryWsq(MemoryModel M, double BudgetSeconds) {
   return M2;
 }
 
+/// One scaling row: the par_speedup dining workload at \p Jobs with an
+/// Observer attached so the work-stealing engine's contention counters
+/// (docs/OBSERVABILITY.md) ride along with the rate.
+struct ScalingMeas {
+  Meas M;
+  uint64_t Steals = 0;
+  uint64_t StealFails = 0;
+  uint64_t QueueLockAcquires = 0;
+  uint64_t MergeNs = 0;
+  uint64_t DonationBytes = 0;
+  uint64_t PrefixesDonated = 0;
+
+  double locksPerExecution() const {
+    return M.Executions ? double(QueueLockAcquires) / double(M.Executions) : 0;
+  }
+};
+
+ScalingMeas measureScaling(int Philosophers, int Jobs, double BudgetSeconds) {
+  DiningConfig C;
+  C.Philosophers = Philosophers;
+  C.Kind = DiningConfig::Variant::Mixed;
+  CheckerOptions O;
+  O.Kind = SearchKind::ContextBounded;
+  O.ContextBound = 2;
+  O.TrackCoverage = true;
+  O.Jobs = Jobs;
+  O.TimeBudgetSeconds = BudgetSeconds;
+  obs::Observer Obs;
+  O.Obs = &Obs;
+  auto T0 = Clock::now();
+  CheckResult R = check(makeDiningProgram(C), O);
+  ScalingMeas S;
+  S.M.Executions = R.Stats.Executions;
+  S.M.Exhausted = R.Stats.SearchExhausted;
+  S.M.finish(secondsSince(T0));
+  obs::CounterSnapshot Snap = Obs.snapshot();
+  S.Steals = Snap.counter(obs::Counter::Steals);
+  S.StealFails = Snap.counter(obs::Counter::StealFails);
+  S.QueueLockAcquires = Snap.counter(obs::Counter::QueueLockAcquires);
+  S.MergeNs = Snap.counter(obs::Counter::MergeNs);
+  S.DonationBytes = Snap.counter(obs::Counter::DonationBytes);
+  S.PrefixesDonated = Snap.counter(obs::Counter::PrefixesDonated);
+  return S;
+}
+
 long peakRssKb() {
   struct rusage RU;
   if (getrusage(RUSAGE_SELF, &RU) != 0)
@@ -335,7 +392,7 @@ void appendMeas(std::string &Out, const char *Key, const Meas &M,
 
 int main(int Argc, char **Argv) {
   bool Quick = false;
-  std::string OutPath = "BENCH_9.json";
+  std::string OutPath = "BENCH_10.json";
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--quick") == 0)
       Quick = true;
@@ -408,6 +465,15 @@ int main(int Argc, char **Argv) {
   std::fprintf(stderr, "bench_report: fleet first-bug (kill:1)...\n");
   Meas FleetBugKill =
       measureFleetDeadlock(FigPhilosophers, 2, FigBudget, "kill:1");
+  // Work-stealing scaling sweep: the par_speedup workload at jobs
+  // 1/2/4/8 with contention counters attached.
+  const int ScalingJobs[4] = {1, 2, 4, 8};
+  ScalingMeas Scaling[4];
+  for (int I = 0; I < 4; ++I) {
+    std::fprintf(stderr, "bench_report: scaling jobs=%d...\n", ScalingJobs[I]);
+    Scaling[I] = measureScaling(ParPhilosophers, ScalingJobs[I], ParBudget);
+  }
+
   std::fprintf(stderr, "bench_report: memory micro (sc)...\n");
   Meas MemMicroSc = measureMemoryMicro(MemoryModel::Sc, FigBudget);
   std::fprintf(stderr, "bench_report: memory micro (tso)...\n");
@@ -424,7 +490,7 @@ int main(int Argc, char **Argv) {
   std::string Out;
   Out += "{\n";
   Out += "  \"schema\": 1,\n";
-  Out += "  \"bench\": 9,\n";
+  Out += "  \"bench\": 10,\n";
   Out += std::string("  \"mode\": \"") + (Quick ? "quick" : "full") + "\",\n";
 #ifdef NDEBUG
   Out += "  \"asserts\": false,\n";
@@ -610,6 +676,49 @@ int main(int Argc, char **Argv) {
                           MemWsqSc.Exhausted && MemWsqTso.Exhausted
                       ? "true"
                       : "false");
+    Out += Buf;
+  }
+  Out += "  },\n";
+
+  // Lock contention of the work-stealing engine. The donation-era
+  // engine's floor was two shared-lock acquisitions per execution (the
+  // hungry() poll under the queue mutex plus the best-bug mutex in the
+  // per-execution hook), so the reduction factor is that floor over the
+  // measured rate at jobs 4.
+  const double DonationLockFloor = 2.0;
+  double Jobs4Locks = Scaling[2].locksPerExecution();
+  double LockReduction = Jobs4Locks > 0 ? DonationLockFloor / Jobs4Locks : 0;
+  Out += "  \"scaling\": {\n";
+  Out += "    \"workload\": \"dining(" + std::to_string(ParPhilosophers) +
+         ") mixed cb=2, coverage on, work-stealing engine with contention "
+         "counters\",\n";
+  Out += "    \"rows\": [\n";
+  for (int I = 0; I < 4; ++I) {
+    const ScalingMeas &S = Scaling[I];
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "      { \"jobs\": %d, \"executions\": %llu, \"wall_ms\": %.1f, "
+        "\"execs_per_sec\": %.1f, \"steals\": %llu, \"steal_fails\": %llu, "
+        "\"queue_lock_acquires\": %llu, \"merge_ns\": %llu, "
+        "\"donation_bytes\": %llu, \"prefixes_donated\": %llu, "
+        "\"locks_per_execution\": %.4f, \"exhausted\": %s }%s\n",
+        ScalingJobs[I], (unsigned long long)S.M.Executions, S.M.WallMs,
+        S.M.ExecsPerSec, (unsigned long long)S.Steals,
+        (unsigned long long)S.StealFails,
+        (unsigned long long)S.QueueLockAcquires,
+        (unsigned long long)S.MergeNs, (unsigned long long)S.DonationBytes,
+        (unsigned long long)S.PrefixesDonated, S.locksPerExecution(),
+        S.M.Exhausted ? "true" : "false", I + 1 < 4 ? "," : "");
+    Out += Buf;
+  }
+  Out += "    ],\n";
+  {
+    char Buf[192];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    \"donation_engine_locks_per_execution_floor\": %.1f,\n"
+                  "    \"lock_reduction_vs_donation\": %.1f\n",
+                  DonationLockFloor, LockReduction);
     Out += Buf;
   }
   Out += "  },\n";
